@@ -1,0 +1,39 @@
+# Convenience targets for the TspSZ repository.
+
+GO ?= go
+
+.PHONY: all build vet test bench race cover experiments figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/cpsz ./internal/core ./internal/skeleton ./internal/parallel
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/tspbench -exp all -csv results | tee experiments_output.txt
+
+# Render the qualitative figures as PNGs.
+figures:
+	$(GO) run ./cmd/topoviz -mode skeleton -dataset ocean -lic -out fig_skeleton_ocean.png
+	$(GO) run ./cmd/topoviz -mode error -dataset ocean -out fig_errmap_ocean.png
+	$(GO) run ./cmd/topoviz -mode lossless -dataset ocean -out fig_lossless_ocean.png
+	$(GO) run ./cmd/topoviz -mode lic -dataset cba -out fig_lic_cba.png
+
+clean:
+	rm -f cover.out experiments_output.txt fig_*.png

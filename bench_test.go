@@ -1,0 +1,256 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VIII). Each benchmark runs the same harness code as cmd/tspbench and
+// reports the headline quantities via b.ReportMetric, so `go test -bench=.`
+// doubles as a miniature reproduction run. Dataset resolution follows
+// TSPSZ_BENCH_SCALE (fraction of the paper's full sizes, default 0.05 so
+// the whole suite completes quickly; see EXPERIMENTS.md for the larger-
+// scale shipped results).
+package tspsz_test
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"tspsz/internal/experiments"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("TSPSZ_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return 0.05
+}
+
+func benchConfig(b *testing.B, name string) experiments.DataConfig {
+	b.Helper()
+	cfg, err := experiments.Config(name, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg
+}
+
+// findRow picks a compressor row for metric reporting.
+func findRow(rows []experiments.TableRow, name string) *experiments.TableRow {
+	for i := range rows {
+		if rows[i].Compressor == name {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func benchTable(b *testing.B, dataset string) {
+	cfg := benchConfig(b, dataset)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		for _, name := range []string{"TspSZ-i-abs", "TspSZ-1-abs", "cpSZ-abs"} {
+			if r := findRow(rows, name); r != nil {
+				b.ReportMetric(r.CR, name+"-CR")
+				if name != "cpSZ-abs" && r.IS != 0 {
+					b.Fatalf("%s produced %d incorrect separatrices", name, r.IS)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTableIV_CBA regenerates Table IV (2D CBA data).
+func BenchmarkTableIV_CBA(b *testing.B) { benchTable(b, "cba") }
+
+// BenchmarkTableV_Ocean regenerates Table V (2D Ocean data).
+func BenchmarkTableV_Ocean(b *testing.B) { benchTable(b, "ocean") }
+
+// BenchmarkTableVI_Hurricane regenerates Table VI (3D Hurricane data).
+func BenchmarkTableVI_Hurricane(b *testing.B) { benchTable(b, "hurricane") }
+
+// BenchmarkTableVII_Nek5000 regenerates Table VII (3D Nek5000 data).
+func BenchmarkTableVII_Nek5000(b *testing.B) { benchTable(b, "nek5000") }
+
+// BenchmarkFig4RateDistortion regenerates the rate-distortion curves of
+// Fig. 4 on the Ocean dataset and reports the PSNR advantage of absolute
+// over relative error control at the largest common bitrate.
+func BenchmarkFig4RateDistortion(b *testing.B) {
+	cfg := benchConfig(b, "ocean")
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunRateDistortion(cfg, experiments.DefaultRDBounds(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		var relPSNR, absPSNR float64
+		for _, p := range pts {
+			if p.ErrBound != 1e-2 {
+				continue
+			}
+			switch p.Compressor {
+			case "cpSZ":
+				relPSNR = p.PSNR
+			case "cpSZ-abs":
+				absPSNR = p.PSNR
+			}
+		}
+		b.ReportMetric(absPSNR-relPSNR, "abs-psnr-gain-dB")
+	}
+}
+
+// BenchmarkFig8Scalability regenerates the Fig. 8 worker sweep on the
+// Hurricane dataset (ladder capped at 8 on small hosts; the full 128-way
+// ladder is available via cmd/tspbench -exp scalability).
+func BenchmarkFig8Scalability(b *testing.B) {
+	cfg := benchConfig(b, "hurricane")
+	counts := []int{1, 2, 4, 8}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunScalability(cfg, counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		for _, p := range pts {
+			if p.Compressor == "TspSZ-i-abs" && p.Workers == counts[len(counts)-1] {
+				b.ReportMetric(p.SpeedupC, "compress-speedup")
+				b.ReportMetric(p.SpeedupD, "decompress-speedup")
+			}
+		}
+	}
+}
+
+// BenchmarkTableVIII_Params regenerates the Table VIII parameter study on
+// the Ocean dataset (grids scaled to the bench resolution).
+func BenchmarkTableVIII_Params(b *testing.B) {
+	cfg := benchConfig(b, "ocean")
+	// Absolute step budgets so error accumulation is visible even at small
+	// grid scales (the paper's t grid spans 500-2000 on the full grid).
+	study := experiments.ParamStudy{
+		MaxSteps: []int{100, 400, 800},
+		StepSize: []float64{0.1, 0.05, 0.025},
+		Tau:      []float64{5, math.Sqrt2, 1},
+	}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunParamStudy(cfg, study, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		// The paper's trend: CR decreases as t grows.
+		var crSmallT, crLargeT float64
+		for _, p := range pts {
+			if p.Param != "t" {
+				continue
+			}
+			if p.Value == float64(study.MaxSteps[0]) {
+				crSmallT = p.CR
+			}
+			if p.Value == float64(study.MaxSteps[len(study.MaxSteps)-1]) {
+				crLargeT = p.CR
+			}
+		}
+		b.ReportMetric(crSmallT-crLargeT, "cr-drop-with-t")
+	}
+}
+
+// BenchmarkFig3ErrorControl regenerates the Fig. 3 error-map comparison on
+// the Ocean dataset and reports the mean-error ratio rel/abs.
+func BenchmarkFig3ErrorControl(b *testing.B) {
+	cfg := benchConfig(b, "ocean")
+	for i := 0; i < b.N; i++ {
+		rel, abs, err := experiments.RunErrorMap(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && abs.MeanErr > 0 {
+			b.ReportMetric(rel.MeanErr/abs.MeanErr, "rel-vs-abs-mean-err")
+		}
+	}
+}
+
+// BenchmarkExtraSegmentation runs the basin-agreement extension (the
+// MSz-style domain metric, DESIGN.md) on the Ocean dataset.
+func BenchmarkExtraSegmentation(b *testing.B) {
+	cfg := benchConfig(b, "ocean")
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunSegmentation(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		for _, r := range rows {
+			if r.Compressor == "TspSZ-i-abs" {
+				b.ReportMetric(100*r.Agreement, "basin-agreement-%")
+			}
+		}
+	}
+}
+
+// BenchmarkExtraSequence runs the temporal-compression extension on a
+// drifting ocean time series.
+func BenchmarkExtraSequence(b *testing.B) {
+	cfg := benchConfig(b, "ocean")
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunSequence(cfg, 4, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*row.Saving, "temporal-saving-%")
+		}
+	}
+}
+
+// BenchmarkExtraAblation runs the codec design-choice ablation (predictor
+// family, error-control mode) on the Ocean dataset.
+func BenchmarkExtraAblation(b *testing.B) {
+	cfg := benchConfig(b, "ocean")
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunAblation(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		for _, r := range rows {
+			if r.Knob == "predictor" {
+				b.ReportMetric(r.CR, r.Value+"-CR")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6LosslessMap regenerates the Fig. 6 lossless-vertex fractions
+// on the Ocean dataset.
+func BenchmarkFig6LosslessMap(b *testing.B) {
+	cfg := benchConfig(b, "ocean")
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunLosslessMap(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		for _, r := range rows {
+			if r.Compressor == "TspSZ-i-abs" {
+				b.ReportMetric(100*r.Fraction, "tspsz-i-abs-lossless-%")
+			}
+		}
+	}
+}

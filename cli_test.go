@@ -1,0 +1,110 @@
+package tspsz_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the repository's commands into dir and returns
+// the binary path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// The full CLI pipeline: generate → compress → decompress → compare →
+// export → render, end to end through the real binaries.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline in short mode")
+	}
+	dir := t.TempDir()
+	tspszBin := buildCmd(t, dir, "tspsz")
+	topovizBin := buildCmd(t, dir, "topoviz")
+
+	field := filepath.Join(dir, "f.tspf")
+	stream := filepath.Join(dir, "f.tsz")
+	decoded := filepath.Join(dir, "f.dec.tspf")
+	vtk := filepath.Join(dir, "f.vtk")
+	png := filepath.Join(dir, "f.png")
+
+	out := run(t, tspszBin, "gen", "-dataset", "cba", "-scale", "0.3", "-out", field)
+	if !strings.Contains(out, "wrote "+field) {
+		t.Fatalf("gen output: %s", out)
+	}
+	out = run(t, tspszBin, "compress", "-in", field, "-out", stream,
+		"-variant", "i", "-mode", "abs", "-eb", "1e-3", "-t", "300", "-h", "1")
+	if !strings.Contains(out, "CR ") {
+		t.Fatalf("compress output: %s", out)
+	}
+	run(t, tspszBin, "decompress", "-in", stream, "-out", decoded)
+	out = run(t, tspszBin, "compare", "-orig", field, "-dec", decoded, "-t", "300", "-h", "1")
+	if !strings.Contains(out, "0 incorrect") {
+		t.Fatalf("compare output: %s", out)
+	}
+	out = run(t, tspszBin, "inspect", "-in", field, "-t", "100", "-h", "1")
+	if !strings.Contains(out, "critical points:") {
+		t.Fatalf("inspect output: %s", out)
+	}
+	run(t, tspszBin, "export", "-in", field, "-out", vtk, "-t", "100", "-h", "1")
+	if fi, err := os.Stat(vtk); err != nil || fi.Size() == 0 {
+		t.Fatalf("vtk export missing: %v", err)
+	}
+	run(t, topovizBin, "-mode", "skeleton", "-in", field, "-t", "100", "-h", "1", "-out", png)
+	if fi, err := os.Stat(png); err != nil || fi.Size() == 0 {
+		t.Fatalf("png render missing: %v", err)
+	}
+	out = run(t, tspszBin, "stats", "-in", field, "-dec", decoded)
+	if !strings.Contains(out, "PSNR") || !strings.Contains(out, "vorticity") {
+		t.Fatalf("stats output: %s", out)
+	}
+
+	// Sequence pipeline over two frames.
+	seq := filepath.Join(dir, "f.tsq")
+	out = run(t, tspszBin, "compress-seq", "-out", seq, "-eb", "1e-3", "-t", "100", "-h", "1", field, field)
+	if !strings.Contains(out, "2 frames") {
+		t.Fatalf("compress-seq output: %s", out)
+	}
+	run(t, tspszBin, "decompress-seq", "-in", seq, "-outprefix", filepath.Join(dir, "seq_"))
+	if _, err := os.Stat(filepath.Join(dir, "seq_001.tspf")); err != nil {
+		t.Fatalf("sequence frame missing: %v", err)
+	}
+}
+
+// tspbench must run a small real experiment and emit a scorecard.
+func TestCLITspbench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tspbench in short mode")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "tspbench")
+	cmd := exec.Command(bin, "-exp", "errmap", "-dataset", "cba", "-scale", "0.25", "-csv", dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tspbench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Fig. 3") || !strings.Contains(string(out), "PASS") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig3_errmap_cba.csv")); err != nil {
+		t.Fatalf("csv missing: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+// Command topoviz renders vector field topology to PNG images, covering
+// the paper's qualitative figures: skeleton overlays with LIC context
+// (Figs. 1/5/7), error maps under the two error-control modes (Fig. 3),
+// lossless-vertex maps (Fig. 6), and plain LIC flow textures. 3D fields
+// render through an axis-aligned z-slice.
+//
+//	topoviz -mode skeleton -dataset ocean -scale 0.08 -lic -out skel.png
+//	topoviz -mode skeleton -in field.tspf -dec decompressed.tspf -out cmp.png
+//	topoviz -mode error    -dataset ocean -out err.png
+//	topoviz -mode lossless -dataset ocean -out lossless.png
+//	topoviz -mode lic      -dataset cba -out lic.png
+//	topoviz -mode skeleton -dataset nek5000 -slice 12 -out slice.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"image/png"
+	"os"
+
+	"tspsz"
+	"tspsz/internal/datagen"
+	"tspsz/internal/experiments"
+	"tspsz/internal/field"
+	"tspsz/internal/render"
+	"tspsz/internal/segment"
+)
+
+func main() {
+	mode := flag.String("mode", "skeleton", "render mode: skeleton|error|lossless|lic|basins")
+	dataset := flag.String("dataset", "", "generate this dataset instead of reading -in")
+	scale := flag.Float64("scale", experiments.DefaultScale, "dataset scale")
+	in := flag.String("in", "", "input .tspf field")
+	dec := flag.String("dec", "", "decompressed .tspf to overlay/compare (skeleton & error modes)")
+	out := flag.String("out", "topoviz.png", "output PNG path")
+	zoom := flag.Int("zoom", 3, "pixels per grid unit")
+	slice := flag.Int("slice", -1, "z-slice for 3D fields (default: middle plane)")
+	lic := flag.Bool("lic", false, "LIC background for skeleton mode (as in Figs. 5/7)")
+	tau := flag.Float64("tau", 1.4142135623730951, "Fréchet tolerance for wrong-separatrix highlighting")
+	epsP := flag.Float64("epsp", 1e-2, "absorption threshold")
+	steps := flag.Int("t", 1000, "maximal RK4 steps")
+	h := flag.Float64("h", 0.05, "RK4 step size")
+	flag.Parse()
+
+	par := tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h}
+	if err := run(*mode, *dataset, *scale, *in, *dec, *out, *zoom, *slice, *lic, *tau, par); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+}
+
+func loadField(dataset string, scale float64, path string) (*field.Field, error) {
+	if dataset != "" {
+		return datagen.ByName(dataset, scale)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("either -dataset or -in is required")
+	}
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return tspsz.ReadField(r)
+}
+
+// to2D reduces a field to 2D, slicing 3D volumes at the requested (or
+// middle) z-plane.
+func to2D(f *field.Field, slice int) (*field.Field, error) {
+	if f.Dim() == 2 {
+		return f, nil
+	}
+	_, _, nz := f.Grid.Dims()
+	if slice < 0 {
+		slice = nz / 2
+	}
+	return render.SliceXY(f, slice)
+}
+
+func run(mode, dataset string, scale float64, in, decPath, out string, zoom, slice int, lic bool, tau float64, par tspsz.IntegrationParams) error {
+	f, err := loadField(dataset, scale, in)
+	if err != nil {
+		return err
+	}
+	f2, err := to2D(f, slice)
+	if err != nil {
+		return err
+	}
+	var decF *field.Field
+	if decPath != "" {
+		r, err := os.Open(decPath)
+		if err != nil {
+			return err
+		}
+		df, err := tspsz.ReadField(r)
+		r.Close()
+		if err != nil {
+			return err
+		}
+		if decF, err = to2D(df, slice); err != nil {
+			return err
+		}
+	}
+
+	var img *image.RGBA
+	switch mode {
+	case "skeleton":
+		img, err = render.Skeleton(f2, decF, render.SkeletonOptions{
+			Zoom: zoom, LICBackground: lic, Tau: tau, Params: par,
+		})
+	case "error":
+		if decF == nil {
+			// Default comparison: cpSZ under relative control (Fig. 3).
+			res, cerr := tspsz.CompressCP(f2, tspsz.ModeRelative, 1e-2, 0)
+			if cerr != nil {
+				return cerr
+			}
+			decF = res.Decompressed
+		}
+		img, err = render.ErrorMap(f2, decF, zoom)
+	case "lossless":
+		res, cerr := tspsz.Compress(f2, tspsz.Options{
+			Variant: tspsz.TspSZi, Mode: tspsz.ModeAbsolute, ErrBound: 1e-2, Params: par,
+		})
+		if cerr != nil {
+			return cerr
+		}
+		img, err = render.LosslessMap(f2, res.LosslessVertices.Get, zoom)
+	case "lic":
+		img = render.LIC(f2, render.LICOptions{Zoom: zoom})
+	case "basins":
+		cps := tspsz.ExtractSkeleton(f2, par, 0).CPs
+		labels := segment.Basins(f2, cps, 1, par, 0)
+		img, err = render.BasinMap(f2, labels, zoom)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if err != nil {
+		return err
+	}
+	w, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := png.Encode(w, img); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%dx%d)\n", out, img.Bounds().Dx(), img.Bounds().Dy())
+	return nil
+}

@@ -1,0 +1,203 @@
+// Command tspbench regenerates every table and figure of the paper's
+// evaluation section (§VIII) from the experiment harness:
+//
+//	tspbench -exp table -dataset cba            # Tables IV-VII
+//	tspbench -exp rate-distortion -dataset ocean # Fig. 4
+//	tspbench -exp scalability -dataset hurricane # Fig. 8
+//	tspbench -exp params -dataset ocean          # Table VIII
+//	tspbench -exp errmap -dataset ocean          # Fig. 3 statistics
+//	tspbench -exp lossless-map -dataset ocean    # Fig. 6 fractions
+//	tspbench -exp all                            # everything
+//
+// Synthetic stand-ins replace the paper's proprietary datasets (DESIGN.md
+// §2); -scale controls the fraction of full Table III resolution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tspsz/internal/datagen"
+	"tspsz/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "table", "experiment: table|rate-distortion|scalability|params|errmap|lossless-map|segmentation|ablation|sequence|all")
+	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	dataset := flag.String("dataset", "", "dataset: cba|ocean|hurricane|nek5000 (empty = all for table/all)")
+	scale := flag.Float64("scale", experiments.DefaultScale, "fraction of full Table III resolution")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	maxWorkers := flag.Int("max-workers", 128, "largest worker count in the scalability ladder")
+	flag.Parse()
+
+	if err := run(*exp, *dataset, *scale, *workers, *maxWorkers, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "tspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, dataset string, scale float64, workers, maxWorkers int, csvDir string) error {
+	writeCSV := func(name string, fn func(w *os.File) error) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	datasets := datagen.Names()
+	if dataset != "" {
+		datasets = []string{dataset}
+	}
+	tableNo := map[string]string{"cba": "IV", "ocean": "V", "hurricane": "VI", "nek5000": "VII"}
+
+	runOne := func(kind, name string) error {
+		cfg, err := experiments.Config(name, scale)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case "table":
+			rows, err := experiments.RunTable(cfg, workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable(os.Stdout,
+				fmt.Sprintf("Table %s — %s (scale %.3g)", tableNo[name], strings.ToUpper(name), cfg.Scale), rows)
+			if err := writeCSV("table_"+name+".csv", func(w *os.File) error {
+				return experiments.WriteTableCSV(w, rows)
+			}); err != nil {
+				return err
+			}
+			experiments.PrintScorecard(os.Stdout, "Reproduction scorecard:", experiments.TableScorecard(rows))
+		case "rate-distortion":
+			pts, err := experiments.RunRateDistortion(cfg, experiments.DefaultRDBounds(), workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintRD(os.Stdout, fmt.Sprintf("Fig. 4 — rate-distortion on %s", name), pts)
+			if err := writeCSV("fig4_rd_"+name+".csv", func(w *os.File) error {
+				return experiments.WriteRDCSV(w, pts)
+			}); err != nil {
+				return err
+			}
+		case "scalability":
+			counts := []int{}
+			for w := 1; w <= maxWorkers; w *= 2 {
+				counts = append(counts, w)
+			}
+			pts, err := experiments.RunScalability(cfg, counts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintScalability(os.Stdout, fmt.Sprintf("Fig. 8 — scalability on %s", name), pts)
+			if err := writeCSV("fig8_scalability_"+name+".csv", func(w *os.File) error {
+				return experiments.WriteScalabilityCSV(w, pts)
+			}); err != nil {
+				return err
+			}
+		case "params":
+			pts, err := experiments.RunParamStudy(cfg, experiments.DefaultParamStudy(), workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintParamStudy(os.Stdout, fmt.Sprintf("Table VIII — parameter impact on %s", name), pts)
+			if err := writeCSV("table8_params_"+name+".csv", func(w *os.File) error {
+				return experiments.WriteParamStudyCSV(w, pts)
+			}); err != nil {
+				return err
+			}
+		case "errmap":
+			rel, abs, err := experiments.RunErrorMap(cfg, workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintErrMap(os.Stdout, fmt.Sprintf("Fig. 3 — error control comparison on %s", name), rel, abs)
+			experiments.PrintScorecard(os.Stdout, "Reproduction scorecard:", experiments.ErrMapScorecard(rel, abs))
+			if err := writeCSV("fig3_errmap_"+name+".csv", func(w *os.File) error {
+				return experiments.WriteErrMapCSV(w, rel, abs)
+			}); err != nil {
+				return err
+			}
+		case "lossless-map":
+			rows, err := experiments.RunLosslessMap(cfg, workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintLosslessMap(os.Stdout, fmt.Sprintf("Fig. 6 — lossless vertices on %s", name), rows)
+			experiments.PrintScorecard(os.Stdout, "Reproduction scorecard:", experiments.LosslessScorecard(rows))
+			if err := writeCSV("fig6_lossless_"+name+".csv", func(w *os.File) error {
+				return experiments.WriteLosslessMapCSV(w, rows)
+			}); err != nil {
+				return err
+			}
+		case "sequence":
+			row, err := experiments.RunSequence(cfg, 6, workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintSequence(os.Stdout,
+				fmt.Sprintf("Extension — temporal sequence compression on %s", name), row)
+		case "ablation":
+			rows, err := experiments.RunAblation(cfg, workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintAblation(os.Stdout,
+				fmt.Sprintf("Ablation — codec design choices on %s", name), rows)
+			if err := writeCSV("ablation_"+name+".csv", func(w *os.File) error {
+				return experiments.WriteAblationCSV(w, rows)
+			}); err != nil {
+				return err
+			}
+		case "segmentation":
+			rows, err := experiments.RunSegmentation(cfg, workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintSegmentation(os.Stdout,
+				fmt.Sprintf("Extra — basin segmentation agreement on %s", name), rows)
+			if err := writeCSV("seg_"+name+".csv", func(w *os.File) error {
+				return experiments.WriteSegmentationCSV(w, rows)
+			}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", kind)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	kinds := []string{exp}
+	if exp == "all" {
+		kinds = []string{"table", "rate-distortion", "scalability", "params", "errmap", "lossless-map", "segmentation", "ablation"}
+	}
+	for _, kind := range kinds {
+		names := datasets
+		// Figure experiments default to the datasets the paper uses them on.
+		if dataset == "" {
+			switch kind {
+			case "scalability":
+				names = []string{"hurricane", "nek5000"} // 3D only (Fig. 8)
+			case "params", "errmap", "lossless-map", "segmentation", "ablation", "sequence":
+				names = []string{"ocean"}
+			}
+		}
+		for _, name := range names {
+			if err := runOne(kind, name); err != nil {
+				return fmt.Errorf("%s/%s: %w", kind, name, err)
+			}
+		}
+	}
+	return nil
+}

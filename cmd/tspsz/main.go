@@ -1,0 +1,428 @@
+// Command tspsz is the command-line front end of the TspSZ compressor:
+// generate synthetic datasets, compress and decompress fields, and inspect
+// topological skeletons.
+//
+// Usage:
+//
+//	tspsz gen        -dataset ocean -scale 0.1 -out ocean.tspf
+//	tspsz compress   -in ocean.tspf -out ocean.tsz -variant i -mode abs -eb 5e-2
+//	tspsz decompress -in ocean.tsz -out ocean.dec.tspf
+//	tspsz inspect    -in ocean.tspf
+//	tspsz compare    -orig ocean.tspf -dec ocean.dec.tspf -tau 1.4142
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"tspsz"
+	"tspsz/internal/datagen"
+	"tspsz/internal/metrics"
+	"tspsz/internal/skeleton"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "compress-seq":
+		err = cmdCompressSeq(os.Args[2:])
+	case "decompress-seq":
+		err = cmdDecompressSeq(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tspsz:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tspsz <gen|compress|decompress|inspect|compare> [flags]
+  gen        generate a synthetic dataset (cba, ocean, hurricane, nek5000)
+  compress   compress a .tspf field into a .tsz stream
+  decompress reconstruct a .tspf field from a .tsz stream
+  inspect    print a field's topological skeleton summary
+  compare    compare skeletons of two fields (original vs decompressed)
+  export     write a field's topological skeleton as legacy VTK polydata
+  stats      print value range, divergence, and vorticity diagnostics
+  compress-seq   compress a time series of .tspf frames with temporal prediction
+  decompress-seq reconstruct every frame of a .tsq sequence stream`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dataset := fs.String("dataset", "ocean", "dataset name: cba|ocean|hurricane|nek5000")
+	scale := fs.Float64("scale", 0.1, "fraction of the paper's full resolution (0,1]")
+	out := fs.String("out", "", "output .tspf path (required)")
+	rawPrefix := fs.String("raw", "", "also write bare float32 components as <prefix>_u.dat, _v.dat[, _w.dat] (SDRBench layout)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	f, err := datagen.ByName(*dataset, *scale)
+	if err != nil {
+		return err
+	}
+	w, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := f.WriteTo(w); err != nil {
+		return err
+	}
+	if *rawPrefix != "" {
+		names := []string{"_u.dat", "_v.dat", "_w.dat"}[:len(f.Components())]
+		writers := make([]io.Writer, len(names))
+		files := make([]*os.File, len(names))
+		for i, suffix := range names {
+			fh, err := os.Create(*rawPrefix + suffix)
+			if err != nil {
+				return err
+			}
+			files[i] = fh
+			writers[i] = fh
+		}
+		err := f.WriteRaw(writers...)
+		for _, fh := range files {
+			fh.Close()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote raw components with prefix %s\n", *rawPrefix)
+	}
+	nx, ny, nz := f.Grid.Dims()
+	fmt.Printf("wrote %s: %dD %dx%dx%d (%d vertices, %.2f MB raw)\n",
+		*out, f.Dim(), nx, ny, nz, f.NumVertices(), float64(f.SizeBytes())/1e6)
+	return nil
+}
+
+func readField(path string) (*tspsz.Field, error) {
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return tspsz.ReadField(r)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "input .tspf path (required)")
+	out := fs.String("out", "", "output .tsz path (required)")
+	variant := fs.String("variant", "i", "preservation algorithm: 1 (TspSZ-I) or i (TspSZ-i)")
+	mode := fs.String("mode", "abs", "error control: abs or rel")
+	eb := fs.Float64("eb", 1e-2, "error bound (absolute value or relative factor)")
+	tau := fs.Float64("tau", math.Sqrt2, "Fréchet tolerance for TspSZ-i")
+	epsP := fs.Float64("epsp", 1e-3, "sink/source absorption threshold ε_p")
+	steps := fs.Int("t", 1000, "maximal RK4 steps")
+	h := fs.Float64("h", 0.05, "RK4 step size")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compress: -in and -out are required")
+	}
+	f, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	opts := tspsz.Options{
+		ErrBound: *eb,
+		Tau:      *tau,
+		Params:   tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h},
+		Workers:  *workers,
+	}
+	switch *variant {
+	case "1":
+		opts.Variant = tspsz.TspSZ1
+	case "i":
+		opts.Variant = tspsz.TspSZi
+	default:
+		return fmt.Errorf("compress: unknown variant %q", *variant)
+	}
+	switch *mode {
+	case "abs":
+		opts.Mode = tspsz.ModeAbsolute
+	case "rel":
+		opts.Mode = tspsz.ModeRelative
+	default:
+		return fmt.Errorf("compress: unknown mode %q", *mode)
+	}
+	t0 := time.Now()
+	res, err := tspsz.Compress(f, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	if err := os.WriteFile(*out, res.Bytes, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s %s: %d -> %d bytes (CR %.2f) in %v\n",
+		opts.Variant, opts.Mode, f.SizeBytes(), len(res.Bytes),
+		metrics.CR(f, len(res.Bytes)), elapsed.Round(time.Millisecond))
+	fmt.Printf("skeleton: %d critical points, %d saddles, %d separatrices; %d lossless vertices",
+		res.Stats.NumCPs, res.Stats.NumSaddles, res.Stats.NumSeps, res.Stats.LosslessCount)
+	if opts.Variant == tspsz.TspSZi {
+		fmt.Printf("; %d initially wrong, fixed in %d iterations",
+			res.Stats.InitiallyIncorrect, res.Stats.Iterations)
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "", "input .tsz path (required)")
+	out := fs.String("out", "", "output .tspf path (required)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("decompress: -in and -out are required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	f, err := tspsz.Decompress(data, *workers)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	w, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if _, err := f.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed %d vertices in %v -> %s\n", f.NumVertices(), elapsed.Round(time.Millisecond), *out)
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "input .tspf path (required)")
+	epsP := fs.Float64("epsp", 1e-3, "absorption threshold")
+	steps := fs.Int("t", 1000, "maximal RK4 steps")
+	h := fs.Float64("h", 0.05, "RK4 step size")
+	workers := fs.Int("workers", 0, "worker goroutines")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("inspect: -in is required")
+	}
+	f, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	sk := tspsz.ExtractSkeleton(f, tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h}, *workers)
+	nx, ny, nz := f.Grid.Dims()
+	fmt.Printf("field: %dD %dx%dx%d, %d vertices\n", f.Dim(), nx, ny, nz, f.NumVertices())
+	fmt.Printf("critical points: %d (%d saddles)\n", len(sk.CPs), sk.NumSaddles())
+	fmt.Printf("separatrices: %d\n", len(sk.Seps))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input .tspf path (required)")
+	dec := fs.String("dec", "", "optional decompressed .tspf to diff against")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("stats: -in is required")
+	}
+	f, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	lo, hi := f.Range()
+	nx, ny, nz := f.Grid.Dims()
+	fmt.Printf("field: %dD %dx%dx%d, %d vertices, range [%g, %g]\n",
+		f.Dim(), nx, ny, nz, f.NumVertices(), lo, hi)
+	fmt.Printf("divergence RMS: %.4g   vorticity RMS: %.4g\n",
+		metrics.RMS(metrics.Divergence(f)), metrics.RMS(metrics.Vorticity(f)))
+	if *dec != "" {
+		d, err := readField(*dec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vs %s: PSNR %.2f dB, MSE %.4g\n", *dec, metrics.PSNR(f, d), metrics.MSE(f, d))
+		fmt.Printf("decompressed divergence RMS: %.4g   vorticity RMS: %.4g\n",
+			metrics.RMS(metrics.Divergence(d)), metrics.RMS(metrics.Vorticity(d)))
+	}
+	return nil
+}
+
+func cmdCompressSeq(args []string) error {
+	fs := flag.NewFlagSet("compress-seq", flag.ExitOnError)
+	out := fs.String("out", "", "output .tsq path (required)")
+	variant := fs.String("variant", "i", "preservation algorithm: 1 or i")
+	mode := fs.String("mode", "abs", "error control: abs or rel")
+	eb := fs.Float64("eb", 1e-2, "error bound")
+	tau := fs.Float64("tau", math.Sqrt2, "Fréchet tolerance for TspSZ-i")
+	epsP := fs.Float64("epsp", 1e-3, "absorption threshold")
+	steps := fs.Int("t", 1000, "maximal RK4 steps")
+	h := fs.Float64("h", 0.05, "RK4 step size")
+	workers := fs.Int("workers", 0, "worker goroutines")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("compress-seq: -out and at least one input frame are required")
+	}
+	frames := make([]*tspsz.Field, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		f, err := readField(path)
+		if err != nil {
+			return fmt.Errorf("frame %s: %w", path, err)
+		}
+		frames = append(frames, f)
+	}
+	opts := tspsz.Options{
+		ErrBound: *eb, Tau: *tau, Workers: *workers,
+		Params: tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h},
+	}
+	if *variant == "1" {
+		opts.Variant = tspsz.TspSZ1
+	} else {
+		opts.Variant = tspsz.TspSZi
+	}
+	if *mode == "rel" {
+		opts.Mode = tspsz.ModeRelative
+	} else {
+		opts.Mode = tspsz.ModeAbsolute
+	}
+	t0 := time.Now()
+	res, err := tspsz.CompressSequence(frames, opts)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, res.Bytes, 0o644); err != nil {
+		return err
+	}
+	raw := 0
+	for _, f := range frames {
+		raw += f.SizeBytes()
+	}
+	fmt.Printf("%d frames: %d -> %d bytes (CR %.2f) in %v\n",
+		len(frames), raw, len(res.Bytes), float64(raw)/float64(len(res.Bytes)),
+		time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
+func cmdDecompressSeq(args []string) error {
+	fs := flag.NewFlagSet("decompress-seq", flag.ExitOnError)
+	in := fs.String("in", "", "input .tsq path (required)")
+	prefix := fs.String("outprefix", "", "output prefix; frames land at <prefix>NNN.tspf (required)")
+	workers := fs.Int("workers", 0, "worker goroutines")
+	fs.Parse(args)
+	if *in == "" || *prefix == "" {
+		return fmt.Errorf("decompress-seq: -in and -outprefix are required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	frames, err := tspsz.DecompressSequence(data, *workers)
+	if err != nil {
+		return err
+	}
+	for i, f := range frames {
+		path := fmt.Sprintf("%s%03d.tspf", *prefix, i)
+		w, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteTo(w); err != nil {
+			w.Close()
+			return err
+		}
+		w.Close()
+	}
+	fmt.Printf("decompressed %d frames to %sNNN.tspf\n", len(frames), *prefix)
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	in := fs.String("in", "", "input .tspf path (required)")
+	out := fs.String("out", "", "output .vtk path (required)")
+	epsP := fs.Float64("epsp", 1e-3, "absorption threshold")
+	steps := fs.Int("t", 1000, "maximal RK4 steps")
+	h := fs.Float64("h", 0.05, "RK4 step size")
+	workers := fs.Int("workers", 0, "worker goroutines")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("export: -in and -out are required")
+	}
+	f, err := readField(*in)
+	if err != nil {
+		return err
+	}
+	sk := tspsz.ExtractSkeleton(f, tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h}, *workers)
+	w, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := skeleton.WriteVTK(w, sk); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d critical points, %d separatrices\n", *out, len(sk.CPs), len(sk.Seps))
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	origPath := fs.String("orig", "", "original .tspf (required)")
+	decPath := fs.String("dec", "", "decompressed .tspf (required)")
+	tau := fs.Float64("tau", math.Sqrt2, "Fréchet tolerance")
+	epsP := fs.Float64("epsp", 1e-3, "absorption threshold")
+	steps := fs.Int("t", 1000, "maximal RK4 steps")
+	h := fs.Float64("h", 0.05, "RK4 step size")
+	workers := fs.Int("workers", 0, "worker goroutines")
+	fs.Parse(args)
+	if *origPath == "" || *decPath == "" {
+		return fmt.Errorf("compare: -orig and -dec are required")
+	}
+	orig, err := readField(*origPath)
+	if err != nil {
+		return err
+	}
+	dec, err := readField(*decPath)
+	if err != nil {
+		return err
+	}
+	par := tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h}
+	oSk := tspsz.ExtractSkeleton(orig, par, *workers)
+	dSk := tspsz.ExtractSkeletonWith(dec, oSk, par, *workers)
+	st := tspsz.CompareSkeletons(oSk, dSk, *tau, *workers)
+	fmt.Printf("PSNR: %.2f dB\n", metrics.PSNR(orig, dec))
+	fmt.Printf("separatrices: %d compared, %d incorrect\n", st.Total, st.Incorrect)
+	fmt.Printf("Fréchet: max %.4f  mean %.4f  std %.4f\n", st.MaxF, st.MeanF, st.StdF)
+	return nil
+}

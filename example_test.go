@@ -1,0 +1,87 @@
+package tspsz_test
+
+import (
+	"fmt"
+	"math"
+
+	"tspsz"
+)
+
+// buildDemo fills a small field with a saddle between two spiral centers.
+func buildDemo() *tspsz.Field {
+	f := tspsz.NewField2D(32, 32)
+	l := 15.5
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		x, y := math.Pi*p[0]/l, math.Pi*p[1]/l
+		f.U[idx] = float32(-math.Sin(x)*math.Cos(y) - 0.1*math.Cos(x)*math.Sin(y))
+		f.V[idx] = float32(math.Cos(x)*math.Sin(y) - 0.1*math.Sin(x)*math.Cos(y))
+	}
+	return f
+}
+
+// Compress a field with the exact-separatrix variant and get it back.
+func ExampleCompress() {
+	f := buildDemo()
+	res, err := tspsz.Compress(f, tspsz.Options{
+		Variant:  tspsz.TspSZ1,
+		Mode:     tspsz.ModeAbsolute,
+		ErrBound: 0.01,
+		Params:   tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: 200, H: 0.05},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dec, err := tspsz.Decompress(res.Bytes, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("vertices:", dec.NumVertices())
+	fmt.Println("compressed smaller than raw:", len(res.Bytes) < f.SizeBytes())
+	// Output:
+	// vertices: 1024
+	// compressed smaller than raw: true
+}
+
+// Extract and compare topological skeletons.
+func ExampleCompareSkeletons() {
+	f := buildDemo()
+	par := tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: 200, H: 0.05}
+	orig := tspsz.ExtractSkeleton(f, par, 0)
+
+	res, err := tspsz.Compress(f, tspsz.Options{
+		Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.01, Params: par,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dec, _ := tspsz.Decompress(res.Bytes, 0)
+	got := tspsz.ExtractSkeletonWith(dec, orig, par, 0)
+	st := tspsz.CompareSkeletons(orig, got, math.Sqrt2, 0)
+	fmt.Println("incorrect separatrices:", st.Incorrect)
+	fmt.Println("max Fréchet distance:", st.MaxF)
+	// Output:
+	// incorrect separatrices: 0
+	// max Fréchet distance: 0
+}
+
+// Run the plain critical-point-preserving baseline (cpSZ) for comparison.
+func ExampleCompressCP() {
+	f := buildDemo()
+	res, err := tspsz.CompressCP(f, tspsz.ModeAbsolute, 0.01, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	dec, err := tspsz.DecompressCP(res.Bytes, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("round trip ok:", dec.NumVertices() == f.NumVertices())
+	// Output:
+	// round trip ok: true
+}

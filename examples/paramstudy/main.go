@@ -1,0 +1,47 @@
+// Paramstudy: how the integration budget t, step size h, and Fréchet
+// tolerance τ trade compression ratio against compression time for TspSZ-i
+// (the Table VIII experiment, § VIII-F), runnable on a small ocean field.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tspsz"
+	"tspsz/internal/datagen"
+	"tspsz/internal/metrics"
+)
+
+func main() {
+	f, err := datagen.ByName("ocean", 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label string, par tspsz.IntegrationParams, tau float64) {
+		t0 := time.Now()
+		res, err := tspsz.Compress(f, tspsz.Options{
+			Variant: tspsz.TspSZi, Mode: tspsz.ModeAbsolute, ErrBound: 0.05,
+			Params: par, Tau: tau,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s CR %6.2f   Tc %8.3fs   patched %5d vertices\n",
+			label, metrics.CR(f, len(res.Bytes)), time.Since(t0).Seconds(), res.Stats.PatchedVertices)
+	}
+
+	fmt.Println("== maximal RK4 steps t (longer separatrices -> more cells to protect) ==")
+	for _, t := range []int{100, 200, 400, 800} {
+		run(fmt.Sprintf("t=%d", t), tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: t, H: 0.05}, 1.4142)
+	}
+	fmt.Println("== step size h ==")
+	for _, h := range []float64{0.1, 0.05, 0.025} {
+		run(fmt.Sprintf("h=%g", h), tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: 300, H: h}, 1.4142)
+	}
+	fmt.Println("== Fréchet tolerance tau (stricter -> more correction) ==")
+	for _, tau := range []float64{5, 3, 1.4142, 1, 0.5} {
+		run(fmt.Sprintf("tau=%g", tau), tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: 300, H: 0.05}, tau)
+	}
+}

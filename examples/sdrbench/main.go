@@ -1,0 +1,86 @@
+// Sdrbench: load a vector field distributed as bare float32 component
+// files (the SDRBench layout used by the paper's Hurricane-ISABEL and
+// ocean datasets), compress it, and report the result. The example
+// generates its own component files first so it runs self-contained;
+// point -u/-v at real downloads to use actual data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tspsz"
+	"tspsz/internal/datagen"
+	"tspsz/internal/field"
+	"tspsz/internal/metrics"
+)
+
+func main() {
+	uPath := flag.String("u", "", "u-component .dat file (bare little-endian float32)")
+	vPath := flag.String("v", "", "v-component .dat file")
+	nx := flag.Int("nx", 0, "grid width (required with -u/-v)")
+	ny := flag.Int("ny", 0, "grid height")
+	eb := flag.Float64("eb", 1e-2, "absolute error bound")
+	flag.Parse()
+
+	var f *tspsz.Field
+	if *uPath == "" {
+		// Self-contained demo: synthesize the component files first.
+		dir, err := os.MkdirTemp("", "sdrbench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		gen, err := datagen.ByName("ocean", 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*nx, *ny, _ = gen.Grid.Dims()
+		*uPath = filepath.Join(dir, "u.dat")
+		*vPath = filepath.Join(dir, "v.dat")
+		uf, _ := os.Create(*uPath)
+		vf, _ := os.Create(*vPath)
+		if err := gen.WriteRaw(uf, vf); err != nil {
+			log.Fatal(err)
+		}
+		uf.Close()
+		vf.Close()
+		fmt.Printf("generated demo components %s, %s (%dx%d)\n", *uPath, *vPath, *nx, *ny)
+	}
+	if *nx < 2 || *ny < 2 {
+		log.Fatal("need -nx/-ny with component files")
+	}
+	ur, err := os.Open(*uPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ur.Close()
+	vr, err := os.Open(*vPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vr.Close()
+	f, err = field.ReadRaw2D(*nx, *ny, ur, vr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := tspsz.Compress(f, tspsz.Options{
+		Variant: tspsz.TspSZi, Mode: tspsz.ModeAbsolute, ErrBound: *eb,
+		Params: tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: 500, H: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := tspsz.Decompress(res.Bytes, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed %d -> %d bytes (CR %.2f), PSNR %.2f dB\n",
+		f.SizeBytes(), len(res.Bytes), metrics.CR(f, len(res.Bytes)), metrics.PSNR(f, dec))
+	fmt.Printf("skeleton: %d critical points, %d separatrices preserved\n",
+		res.Stats.NumCPs, res.Stats.NumSeps)
+}

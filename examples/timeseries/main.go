@@ -1,0 +1,75 @@
+// Timeseries: compress a slowly evolving ocean-like sequence with temporal
+// prediction (an extension beyond the paper) and show the per-frame ratio
+// gain over standalone compression, with the topological skeleton of every
+// frame preserved.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tspsz"
+)
+
+// frame builds time step t of a drifting multi-gyre flow.
+func frame(nx, ny int, t float64) *tspsz.Field {
+	f := tspsz.NewField2D(nx, ny)
+	lx := float64(nx-1) / 2
+	ly := float64(ny-1) / 2
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		x := math.Pi*p[0]/lx + 0.02*t
+		y := math.Pi*p[1]/ly + 0.01*t
+		f.U[idx] = float32(-math.Sin(x)*math.Cos(y) - 0.12*math.Cos(x)*math.Sin(y))
+		f.V[idx] = float32(math.Cos(x)*math.Sin(y) - 0.12*math.Sin(x)*math.Cos(y))
+	}
+	return f
+}
+
+func main() {
+	const steps = 6
+	frames := make([]*tspsz.Field, steps)
+	for t := range frames {
+		frames[t] = frame(96, 80, float64(t))
+	}
+	opts := tspsz.Options{
+		Variant: tspsz.TspSZi, Mode: tspsz.ModeAbsolute, ErrBound: 0.005,
+		Params: tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: 400, H: 0.05},
+		Tau:    1.0,
+	}
+
+	seq, err := tspsz.CompressSequence(frames, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := frames[0].SizeBytes()
+	fmt.Printf("%-8s %12s %10s\n", "frame", "bytes", "CR")
+	standalone := 0
+	for t, sz := range seq.FrameSizes {
+		fmt.Printf("t=%-6d %12d %10.2f\n", t, sz, float64(raw)/float64(sz))
+		res, err := tspsz.Compress(frames[t], opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		standalone += len(res.Bytes)
+	}
+	total := 0
+	for _, sz := range seq.FrameSizes {
+		total += sz
+	}
+	fmt.Printf("\nsequence total: %d bytes (temporal)  vs  %d bytes (standalone)  -> %.1f%% smaller\n",
+		total, standalone, 100*(1-float64(total)/float64(standalone)))
+
+	// Verify skeleton preservation on the last frame.
+	dec, err := tspsz.DecompressSequence(seq.Bytes, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := len(frames) - 1
+	orig := tspsz.ExtractSkeleton(frames[last], opts.Params, 0)
+	got := tspsz.ExtractSkeletonWith(dec[last], orig, opts.Params, 0)
+	st := tspsz.CompareSkeletons(orig, got, opts.Tau, 0)
+	fmt.Printf("frame %d skeleton: %d critical points, %d separatrices, %d incorrect after decompression\n",
+		last, len(orig.CPs), st.Total, st.Incorrect)
+}

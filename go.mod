@@ -1,0 +1,3 @@
+module tspsz
+
+go 1.22

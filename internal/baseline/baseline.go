@@ -1,0 +1,72 @@
+// Package baseline provides the lossless comparators of §VIII: GZIP (via
+// the standard library's DEFLATE, the algorithm gzip wraps) and a
+// from-scratch ZSTD-style LZ77+Huffman compressor standing in for zstd
+// (documented substitution, DESIGN.md §2). It also exposes the raw byte
+// layout baselines compress.
+package baseline
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"tspsz/internal/field"
+)
+
+// FieldBytes serializes a field's payload exactly as the paper's baselines
+// see it: each component as consecutive little-endian float32 values.
+func FieldBytes(f *field.Field) []byte {
+	out := make([]byte, 0, f.SizeBytes())
+	for _, comp := range f.Components() {
+		for _, v := range comp {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+		}
+	}
+	return out
+}
+
+// FieldFromBytes rebuilds a field of the given shape from FieldBytes output.
+func FieldFromBytes(data []byte, dim, nx, ny, nz int) (*field.Field, error) {
+	var f *field.Field
+	if dim == 2 {
+		f = field.New2D(nx, ny)
+	} else {
+		f = field.New3D(nx, ny, nz)
+	}
+	if len(data) != f.SizeBytes() {
+		return nil, io.ErrUnexpectedEOF
+	}
+	for _, comp := range f.Components() {
+		for i := range comp {
+			comp[i] = math.Float32frombits(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+		}
+	}
+	return f, nil
+}
+
+// Gzip compresses data with the standard gzip container at the default
+// level, the paper's GZIP baseline.
+func Gzip(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w := gzip.NewWriter(&buf)
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Gunzip decompresses a Gzip stream.
+func Gunzip(data []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}

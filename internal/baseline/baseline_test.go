@@ -1,0 +1,135 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tspsz/internal/datagen"
+)
+
+func TestGzipRoundTrip(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog, twice: the quick brown fox")
+	packed, err := Gzip(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Gunzip(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("gzip round trip mismatch")
+	}
+}
+
+func TestLZRoundTripQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint16, repRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 4096)
+		rep := int(repRaw%16) + 1
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Intn(rep * 8)) // tunable redundancy
+		}
+		got, err := UnLZ(LZ(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLZRoundTripEdges(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		{1, 2, 3},
+		bytes.Repeat([]byte{7}, 10000),
+		bytes.Repeat([]byte("abcd"), 2500),
+		[]byte("abc"),
+	}
+	for i, data := range cases {
+		got, err := UnLZ(LZ(data))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("case %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestLZCompressesRedundancy(t *testing.T) {
+	data := bytes.Repeat([]byte("scientific data compression "), 1000)
+	packed := LZ(data)
+	if len(packed) > len(data)/10 {
+		t.Errorf("highly redundant input: %d -> %d bytes", len(data), len(packed))
+	}
+}
+
+func TestLZRejectsCorruption(t *testing.T) {
+	if _, err := UnLZ([]byte("NOPE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	packed := LZ(bytes.Repeat([]byte("hello world "), 100))
+	if _, err := UnLZ(packed[:len(packed)/2]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+// The paper's motivation: lossless baselines land well under 2× on float
+// scientific data.
+func TestLosslessRatiosOnScientificData(t *testing.T) {
+	f := datagen.Ocean(120, 80)
+	raw := FieldBytes(f)
+	gz, err := Gzip(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz := LZ(raw)
+	for name, packed := range map[string][]byte{"gzip": gz, "lz": lz} {
+		cr := float64(len(raw)) / float64(len(packed))
+		if cr < 0.9 || cr > 3 {
+			t.Errorf("%s ratio %.2f outside the plausible lossless band", name, cr)
+		}
+	}
+	// And the LZ stream must still round trip on real-looking data.
+	got, err := UnLZ(lz)
+	if err != nil || !bytes.Equal(got, raw) {
+		t.Fatal("LZ round trip failed on field data")
+	}
+}
+
+func TestFieldBytesRoundTrip(t *testing.T) {
+	f := datagen.Hurricane(12, 10, 8)
+	raw := FieldBytes(f)
+	if len(raw) != f.SizeBytes() {
+		t.Fatalf("FieldBytes length %d, want %d", len(raw), f.SizeBytes())
+	}
+	g, err := FieldFromBytes(raw, 3, 12, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, comp := range f.Components() {
+		for i := range comp {
+			if g.Components()[c][i] != comp[i] {
+				t.Fatalf("component %d vertex %d mismatch", c, i)
+			}
+		}
+	}
+	if _, err := FieldFromBytes(raw[:10], 3, 12, 10, 8); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func BenchmarkLZCompressField(b *testing.B) {
+	raw := FieldBytes(datagen.Ocean(240, 160))
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LZ(raw)
+	}
+}

@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tspsz/internal/huffman"
+)
+
+// ZSTD-style LZ77 + entropy coding. The format mirrors zstd's sequence
+// model in miniature: a token stream of (literal-run length, match length,
+// match distance) triples plus a literal byte pool, each entropy coded with
+// the canonical Huffman backend. It is not wire compatible with zstd — it
+// is a stand-in with the same algorithmic family and a comparable ~1.1-1.6×
+// ratio on float32 scientific data (see DESIGN.md §2).
+
+const (
+	lzMagic     = "ZSTL"
+	lzMinMatch  = 4
+	lzWindow    = 1 << 16
+	lzHashBits  = 17
+	lzMaxMatch  = 1 << 16
+	lzTableSize = 1 << lzHashBits
+)
+
+func lzHash(data []byte, pos int) uint32 {
+	v := binary.LittleEndian.Uint32(data[pos:])
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// LZ compresses data with the greedy single-candidate LZ77 matcher and
+// Huffman-codes the resulting streams.
+func LZ(data []byte) []byte {
+	var litLens, matchLens, dists []uint32
+	var literals []byte
+	head := make([]int32, lzTableSize)
+	for i := range head {
+		head[i] = -1
+	}
+	pos, litStart := 0, 0
+	emit := func(matchLen, dist int) {
+		litLens = append(litLens, uint32(pos-litStart))
+		literals = append(literals, data[litStart:pos]...)
+		matchLens = append(matchLens, uint32(matchLen))
+		dists = append(dists, uint32(dist))
+	}
+	for pos+lzMinMatch <= len(data) {
+		h := lzHash(data, pos)
+		cand := int(head[h])
+		head[h] = int32(pos)
+		if cand >= 0 && pos-cand < lzWindow &&
+			binary.LittleEndian.Uint32(data[cand:]) == binary.LittleEndian.Uint32(data[pos:]) {
+			l := lzMinMatch
+			for pos+l < len(data) && l < lzMaxMatch && data[cand+l] == data[pos+l] {
+				l++
+			}
+			emit(l, pos-cand)
+			// Insert a few hash entries inside the match for future hits.
+			end := pos + l
+			for p := pos + 1; p < end-lzMinMatch && p < pos+16; p++ {
+				head[lzHash(data, p)] = int32(p)
+			}
+			pos = end
+			litStart = pos
+			continue
+		}
+		pos++
+	}
+	// Trailing literal run with a zero-length match sentinel.
+	pos = len(data)
+	litLens = append(litLens, uint32(pos-litStart))
+	literals = append(literals, data[litStart:pos]...)
+	matchLens = append(matchLens, 0)
+	dists = append(dists, 0)
+
+	litSyms := make([]uint32, len(literals))
+	for i, b := range literals {
+		litSyms[i] = uint32(b)
+	}
+	var out []byte
+	out = append(out, lzMagic...)
+	out = binary.AppendUvarint(out, uint64(len(data)))
+	for _, section := range [][]uint32{litLens, matchLens, dists, litSyms} {
+		enc := huffman.Encode(section)
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// UnLZ decompresses an LZ stream.
+func UnLZ(data []byte) ([]byte, error) {
+	if len(data) < 4 || string(data[:4]) != lzMagic {
+		return nil, errors.New("baseline: bad LZ magic")
+	}
+	data = data[4:]
+	rawLen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errors.New("baseline: truncated LZ header")
+	}
+	data = data[n:]
+	sections := make([][]uint32, 4)
+	for i := range sections {
+		sz, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < sz {
+			return nil, fmt.Errorf("baseline: truncated LZ section %d", i)
+		}
+		data = data[n:]
+		dec, err := huffman.Decode(data[:sz])
+		if err != nil {
+			return nil, fmt.Errorf("baseline: LZ section %d: %w", i, err)
+		}
+		sections[i] = dec
+		data = data[sz:]
+	}
+	litLens, matchLens, dists, litSyms := sections[0], sections[1], sections[2], sections[3]
+	if len(litLens) != len(matchLens) || len(litLens) != len(dists) {
+		return nil, errors.New("baseline: inconsistent LZ token streams")
+	}
+	// Validate the claimed output size against the token streams before
+	// allocating anything proportional to it (decompression-bomb guard).
+	var total uint64
+	for i := range litLens {
+		total += uint64(litLens[i]) + uint64(matchLens[i])
+	}
+	if total != rawLen {
+		return nil, fmt.Errorf("baseline: token streams produce %d bytes, header claims %d", total, rawLen)
+	}
+	out := make([]byte, 0, rawLen)
+	litPos := 0
+	for t := range litLens {
+		ll := int(litLens[t])
+		if litPos+ll > len(litSyms) {
+			return nil, errors.New("baseline: literal overrun")
+		}
+		for i := 0; i < ll; i++ {
+			out = append(out, byte(litSyms[litPos+i]))
+		}
+		litPos += ll
+		ml, d := int(matchLens[t]), int(dists[t])
+		if ml == 0 {
+			continue
+		}
+		if d <= 0 || d > len(out) {
+			return nil, errors.New("baseline: invalid match distance")
+		}
+		for i := 0; i < ml; i++ {
+			out = append(out, out[len(out)-d])
+		}
+	}
+	if uint64(len(out)) != rawLen {
+		return nil, fmt.Errorf("baseline: decoded %d bytes, want %d", len(out), rawLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+// Package bitmap implements the dense bitset used by TspSZ to mark vertices
+// that must be encoded losslessly (Algorithms 2 and 3 in the paper).
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is a fixed-length dense bitset.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero bitmap of n bits.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmap: negative length %d", n))
+	}
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len reports the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i to 1.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear sets bit i to 0.
+func (b *Bitmap) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or merges other into b (bitwise union). Both bitmaps must have the same
+// length.
+func (b *Bitmap) Or(other *Bitmap) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitmap: length mismatch %d vs %d", b.n, other.n))
+	}
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{n: b.n, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// MarshalBinary serializes the bitmap: uint64 length followed by the words
+// in little-endian order.
+func (b *Bitmap) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8+8*len(b.words))
+	binary.LittleEndian.PutUint64(out, uint64(b.n))
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(out[8+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a bitmap serialized by MarshalBinary.
+func (b *Bitmap) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bitmap: truncated header (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	nw := (n + 63) / 64
+	if len(data) != 8+8*nw {
+		return fmt.Errorf("bitmap: payload size %d does not match %d bits", len(data)-8, n)
+	}
+	b.n = n
+	b.words = make([]uint64, nw)
+	for i := range b.words {
+		b.words[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(200)
+	want := 0
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		if rng.Intn(3) == 0 {
+			if !b.Get(i) {
+				want++
+			}
+			b.Set(i)
+		}
+	}
+	if got := b.Count(); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestOr(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(3)
+	b.Set(70)
+	b.Set(3)
+	a.Or(b)
+	if !a.Get(3) || !a.Get(70) {
+		t.Error("Or missing bits")
+	}
+	if a.Count() != 2 {
+		t.Errorf("Count after Or = %d, want 2", a.Count())
+	}
+}
+
+func TestOrLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Get(6) {
+		t.Error("clone shares storage")
+	}
+	if !c.Get(5) {
+		t.Error("clone lost bit")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		b := New(n)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		data, err := b.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var r Bitmap
+		if err := r.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if r.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if r.Get(i) != b.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsBadSizes(t *testing.T) {
+	var b Bitmap
+	if err := b.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("expected error for truncated header")
+	}
+	good, _ := New(70).MarshalBinary()
+	if err := b.UnmarshalBinary(good[:len(good)-1]); err == nil {
+		t.Error("expected error for truncated payload")
+	}
+}

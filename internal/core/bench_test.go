@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"tspsz/internal/ebound"
+)
+
+func BenchmarkTspSZ1Compress2D(b *testing.B) {
+	f := gyre2D(96, 96)
+	opts := Options{Variant: TspSZ1, Mode: ebound.Absolute, ErrBound: 0.01, Params: testParams()}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTspSZiCompress2D(b *testing.B) {
+	f := gyre2D(96, 96)
+	opts := Options{Variant: TspSZi, Mode: ebound.Absolute, ErrBound: 0.01, Params: testParams(), Tau: 0.5}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress2D(b *testing.B) {
+	f := gyre2D(96, 96)
+	res, err := Compress(f, Options{Variant: TspSZi, Mode: ebound.Absolute, ErrBound: 0.01, Params: testParams(), Tau: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(res.Bytes, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTspSZ1Compress3D(b *testing.B) {
+	f := turb3D(20)
+	opts := Options{Variant: TspSZ1, Mode: ebound.Absolute, ErrBound: 0.02,
+		Params: testParams()}
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

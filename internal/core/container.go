@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"tspsz/internal/bitmap"
+	"tspsz/internal/field"
+)
+
+// The TspSZ container wraps the cpSZ stream with a variant tag and the
+// TspSZ-i correction patch (compressed₂ in Algorithm 3):
+//
+//	magic "TSPZ" | version u8 | variant u8 | ncomp u8 | pad u8
+//	u64 patchLen | DEFLATE(patch) | u64 innerLen | inner cpSZ stream
+//
+// The patch body is: u64 count | varint index deltas | per-component
+// float32 values (count × ncomp × 4 bytes, little endian).
+const containerMagic = "TSPZ"
+const containerVersion = 1
+
+var errBadContainer = errors.New("core: bad magic, not a TspSZ container")
+
+// patchSet is the correction set V of Algorithm 3: vertex indices restored
+// to their original values, with those values.
+type patchSet struct {
+	indices []int
+	values  [][]float32 // [component][entry]
+}
+
+// buildPatch collects original values of all patched vertices in ascending
+// index order.
+func buildPatch(orig *field.Field, patched *bitmap.Bitmap) patchSet {
+	var p patchSet
+	comps := orig.Components()
+	p.values = make([][]float32, len(comps))
+	for i := 0; i < patched.Len(); i++ {
+		if !patched.Get(i) {
+			continue
+		}
+		p.indices = append(p.indices, i)
+		for c, vals := range comps {
+			p.values[c] = append(p.values[c], vals[i])
+		}
+	}
+	return p
+}
+
+// apply overwrites f's values at the patch indices.
+func (p *patchSet) apply(f *field.Field) error {
+	comps := f.Components()
+	if len(p.values) != len(comps) {
+		return fmt.Errorf("core: patch has %d components, field has %d", len(p.values), len(comps))
+	}
+	n := f.NumVertices()
+	for ei, idx := range p.indices {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("core: patch index %d out of range [0,%d)", idx, n)
+		}
+		for c, vals := range comps {
+			vals[idx] = p.values[c][ei]
+		}
+	}
+	return nil
+}
+
+func (p *patchSet) marshal(ncomp int) ([]byte, error) {
+	if len(p.indices) > 1 && !sort.IntsAreSorted(p.indices) {
+		return nil, errors.New("core: patch indices must be sorted")
+	}
+	var body []byte
+	body = binary.AppendUvarint(body, uint64(len(p.indices)))
+	prev := 0
+	for _, idx := range p.indices {
+		body = binary.AppendUvarint(body, uint64(idx-prev))
+		prev = idx
+	}
+	for c := 0; c < ncomp && c < len(p.values); c++ {
+		for _, v := range p.values[c] {
+			bits := math.Float32bits(v)
+			body = append(body, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+		}
+	}
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(body); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func unmarshalPatch(packed []byte, ncomp int) (patchSet, error) {
+	var p patchSet
+	r := flate.NewReader(bytes.NewReader(packed))
+	body, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		return p, fmt.Errorf("core: patch inflate: %w", err)
+	}
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return p, errors.New("core: truncated patch count")
+	}
+	body = body[n:]
+	// Each entry takes at least 1 index byte plus 4 value bytes per
+	// component; reject counts the body cannot back before allocating.
+	if count > uint64(len(body)) {
+		return p, fmt.Errorf("core: patch count %d exceeds body size %d", count, len(body))
+	}
+	p.indices = make([]int, count)
+	prev := uint64(0)
+	for i := range p.indices {
+		d, n := binary.Uvarint(body)
+		if n <= 0 {
+			return p, errors.New("core: truncated patch index")
+		}
+		prev += d
+		p.indices[i] = int(prev)
+		body = body[n:]
+	}
+	if len(body) != int(count)*ncomp*4 {
+		return p, fmt.Errorf("core: patch values: %d bytes, want %d", len(body), int(count)*ncomp*4)
+	}
+	p.values = make([][]float32, ncomp)
+	for c := 0; c < ncomp; c++ {
+		p.values[c] = make([]float32, count)
+		for i := range p.values[c] {
+			p.values[c][i] = math.Float32frombits(binary.LittleEndian.Uint32(body))
+			body = body[4:]
+		}
+	}
+	return p, nil
+}
+
+func buildContainer(variant Variant, patch patchSet, inner []byte, ncomp int) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(containerMagic)
+	buf.WriteByte(containerVersion)
+	buf.WriteByte(byte(variant))
+	buf.WriteByte(byte(ncomp))
+	buf.WriteByte(0)
+	packed, err := patch.marshal(ncomp)
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint64(len(packed))); err != nil {
+		return nil, err
+	}
+	buf.Write(packed)
+	if err := binary.Write(&buf, binary.LittleEndian, uint64(len(inner))); err != nil {
+		return nil, err
+	}
+	buf.Write(inner)
+	return buf.Bytes(), nil
+}
+
+func parseContainer(data []byte) (Variant, patchSet, []byte, error) {
+	var p patchSet
+	if len(data) < 8 {
+		return 0, p, nil, errBadContainer
+	}
+	if string(data[:4]) != containerMagic {
+		return 0, p, nil, errBadContainer
+	}
+	if data[4] != containerVersion {
+		return 0, p, nil, fmt.Errorf("core: unsupported container version %d", data[4])
+	}
+	variant := Variant(data[5])
+	ncomp := int(data[6])
+	if ncomp != 2 && ncomp != 3 {
+		return 0, p, nil, fmt.Errorf("core: invalid component count %d", ncomp)
+	}
+	off := 8
+	if off+8 > len(data) {
+		return 0, p, nil, errors.New("core: truncated container")
+	}
+	plen := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	if uint64(off)+plen > uint64(len(data)) {
+		return 0, p, nil, errors.New("core: truncated patch section")
+	}
+	patch, err := unmarshalPatch(data[off:off+int(plen)], ncomp)
+	if err != nil {
+		return 0, p, nil, err
+	}
+	off += int(plen)
+	if off+8 > len(data) {
+		return 0, p, nil, errors.New("core: truncated inner length")
+	}
+	ilen := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	if uint64(off)+ilen > uint64(len(data)) {
+		return 0, p, nil, errors.New("core: truncated inner stream")
+	}
+	return variant, patch, data[off : off+int(ilen)], nil
+}

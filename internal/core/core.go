@@ -1,0 +1,528 @@
+// Package core implements the paper's primary contribution: the two
+// topological-skeleton-preserving compression algorithms of §V.
+//
+//   - TspSZ-I (Algorithm 2): trace every separatrix on the original data,
+//     mark every vertex involved in any RK4 interpolation, and compress with
+//     the revised cpSZ while storing those vertices losslessly. Guaranteed
+//     exact separatrices with a single compression pass.
+//   - TspSZ-i (Algorithm 3 + 4): compress with the revised cpSZ alone, then
+//     iteratively correct the separatrices that diverged beyond the Fréchet
+//     tolerance by patching growing prefixes of the offending trajectories
+//     back to their original values, until the whole skeleton verifies.
+//
+// Both produce a self-contained container: the cpSZ stream plus (for
+// TspSZ-i) a losslessly packed correction patch (compressed₂ in the paper).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"tspsz/internal/bitmap"
+	"tspsz/internal/cpsz"
+	"tspsz/internal/critical"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/integrate"
+	"tspsz/internal/parallel"
+	"tspsz/internal/skeleton"
+)
+
+// Variant selects the separatrix preservation algorithm.
+type Variant int
+
+const (
+	// TspSZ1 is the single-pass selective-lossless algorithm (TspSZ-I).
+	TspSZ1 Variant = iota
+	// TspSZi is the iterative-correction algorithm (TspSZ-i).
+	TspSZi
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == TspSZi {
+		return "TspSZ-i"
+	}
+	return "TspSZ-1"
+}
+
+// Options configures topological-skeleton-preserving compression.
+type Options struct {
+	// Variant selects TspSZ-I or TspSZ-i.
+	Variant Variant
+	// Mode selects relative (cpSZ-style) or absolute (§VI) error control.
+	Mode ebound.Mode
+	// ErrBound is the user bound ε (Table II).
+	ErrBound float64
+	// Params are the RK4 parameters θ = {ε_p, t, h} (Table II).
+	Params integrate.Params
+	// Tau is the Fréchet tolerance τ_t for TspSZ-i (Table II default √2).
+	Tau float64
+	// Workers bounds parallelism (< 1 means GOMAXPROCS).
+	Workers int
+	// MaxIterations caps TspSZ-i's outer correction loop; 0 means the
+	// default of 64 (the paper observes < 10 in practice).
+	MaxIterations int
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.Params == (integrate.Params{}) {
+		opts.Params = integrate.DefaultParams()
+	}
+	if opts.Tau == 0 {
+		opts.Tau = math.Sqrt2
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 64
+	}
+	return opts
+}
+
+// Stats reports what compression did, for the evaluation harness.
+type Stats struct {
+	// NumCPs, NumSaddles, NumSeps describe the original skeleton.
+	NumCPs, NumSaddles, NumSeps int
+	// LosslessCount is the number of vertices stored verbatim, including
+	// the TspSZ-i correction patch.
+	LosslessCount int
+	// Iterations is the number of TspSZ-i outer correction rounds (0 for
+	// TspSZ-I).
+	Iterations int
+	// InitiallyIncorrect is the number of separatrices the plain revised
+	// cpSZ got wrong before correction (TspSZ-i only).
+	InitiallyIncorrect int
+	// PatchedVertices is the size of the TspSZ-i correction set V.
+	PatchedVertices int
+}
+
+// Result is the outcome of Compress.
+type Result struct {
+	// Bytes is the self-contained compressed container.
+	Bytes []byte
+	// Decompressed is the reconstruction the decoder will produce
+	// (including TspSZ-i patches).
+	Decompressed *field.Field
+	// LosslessVertices marks every verbatim-stored vertex (Fig. 6).
+	LosslessVertices *bitmap.Bitmap
+	// Stats carries evaluation counters.
+	Stats Stats
+}
+
+// Compress encodes f while preserving its full topological skeleton.
+func Compress(f *field.Field, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	if !(o.ErrBound > 0) {
+		return nil, fmt.Errorf("core: error bound must be positive, got %v", o.ErrBound)
+	}
+	if o.Variant == TspSZ1 {
+		return compress1(f, o, nil)
+	}
+	return compressI(f, o, nil)
+}
+
+// Decompress reconstructs a field from a TspSZ container. Containers from
+// CompressSequence must be decoded with DecompressSequence.
+func Decompress(data []byte, workers int) (*field.Field, error) {
+	return decompressRef(data, workers, nil)
+}
+
+func decompressRef(data []byte, workers int, ref *field.Field) (*field.Field, error) {
+	variant, patch, inner, err := parseContainer(data)
+	if err != nil {
+		return nil, err
+	}
+	var dec *field.Field
+	if ref != nil {
+		dec, err = cpsz.DecompressRef(inner, workers, ref)
+	} else {
+		dec, err = cpsz.Decompress(inner, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if variant == TspSZi && len(patch.indices) > 0 {
+		if err := patch.apply(dec); err != nil {
+			return nil, err
+		}
+	}
+	return dec, nil
+}
+
+// compress1 is Algorithm 2: selective lossless encoding with a single
+// pass; ref enables temporal prediction for sequence frames.
+func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
+	cps := extractCPs(f, o.Workers)
+	marks := bitmap.New(f.NumVertices())
+	markCPCells(f, cps, marks)
+
+	// Trace all separatrices on the original data, collecting every vertex
+	// any RK4 stage interpolates from (lines 12-22).
+	saddles := saddleIndices(cps)
+	perSaddle := make([][]int, len(saddles))
+	parallel.For(len(saddles), o.Workers, 1, func(i int) {
+		var verts []int
+		integrate.TraceSeparatricesOf(f, cps, saddles[i], o.Params, &verts)
+		perSaddle[i] = verts
+	})
+	for _, verts := range perSaddle {
+		for _, v := range verts {
+			marks.Set(v)
+		}
+	}
+
+	res, err := cpsz.Compress(f, cpsz.Options{
+		Mode: o.Mode, ErrBound: o.ErrBound, Lossless: marks, Workers: o.Workers,
+		Reference: ref,
+	})
+	if err != nil {
+		return nil, err
+	}
+	container, err := buildContainer(TspSZ1, patchSet{}, res.Bytes, len(f.Components()))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Bytes:            container,
+		Decompressed:     res.Decompressed,
+		LosslessVertices: res.LosslessVertices,
+		Stats: Stats{
+			NumCPs:        len(cps),
+			NumSaddles:    len(saddles),
+			NumSeps:       numSeps(f.Dim(), len(saddles)),
+			LosslessCount: res.LosslessVertices.Count(),
+		},
+	}, nil
+}
+
+// compressI is Algorithm 3 with the per-trajectory correction of
+// Algorithm 4; ref enables temporal prediction for sequence frames.
+func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
+	cps := extractCPs(f, o.Workers)
+	saddles := saddleIndices(cps)
+
+	res, err := cpsz.Compress(f, cpsz.Options{
+		Mode: o.Mode, ErrBound: o.ErrBound, Workers: o.Workers, Reference: ref,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dec := res.Decompressed
+
+	// Trace separatrices on original and decompressed data (lines 13-31).
+	// Per-trajectory involved-vertex sets make the re-verification rounds
+	// incremental: a trajectory that touches no vertex patched in the
+	// current round samples exactly the same data, so its previous trace
+	// is provably still valid and it is skipped.
+	td := traceAll(f, cps, saddles, o.Params, o.Workers)
+	tdp, involved := traceAllWithInvolved(dec, cps, saddles, o.Params, o.Workers)
+	correct := make([]bool, len(td))
+	queue := make([]int, 0)
+	for i := range td {
+		correct[i] = skeleton.CheckTraj(&td[i], &tdp[i], o.Tau)
+		if !correct[i] {
+			queue = append(queue, i)
+		}
+	}
+	stats := Stats{
+		NumCPs:             len(cps),
+		NumSaddles:         len(saddles),
+		NumSeps:            numSeps(f.Dim(), len(saddles)),
+		InitiallyIncorrect: len(queue),
+	}
+
+	log := &patchLog{patched: bitmap.New(f.NumVertices())}
+	loc := integrate.NewCPLocator(cps)
+	iter := 0
+	for len(queue) > 0 {
+		iter++
+		log.round = log.round[:0]
+		if iter > o.MaxIterations {
+			// Last resort: patch everything the original separatrices
+			// touch, which provably reproduces them (same argument as
+			// TspSZ-I), then do a final verification round.
+			forceExact(f, dec, cps, saddles, o, log)
+		} else {
+			// Speculative parallel correction (§VII): each wrong
+			// trajectory is fixed against the shared decompressed data;
+			// patch writes are idempotent (they restore originals), and
+			// the subsequent global verification catches interactions.
+			parallel.For(len(queue), o.Workers, 1, func(qi int) {
+				fixTraj(f, dec, cps, loc, &td[queue[qi]], o, log)
+			})
+		}
+		// Re-verify (lines 36-49), incrementally: only trajectories whose
+		// sample set intersects this round's patches can have changed.
+		roundSet := bitmap.New(f.NumVertices())
+		for _, idx := range log.round {
+			roundSet.Set(idx)
+		}
+		parallel.For(len(td), o.Workers, 4, func(i int) {
+			if correct[i] && !touchesAny(involved[i], roundSet) {
+				return
+			}
+			var verts []int
+			tr := integrate.Retrace(dec, cps, loc, &td[i], o.Params, &verts)
+			tdp[i] = tr
+			involved[i] = dedupe(verts)
+			correct[i] = skeleton.CheckTraj(&td[i], &tdp[i], o.Tau)
+		})
+		queue = queue[:0]
+		for i := range td {
+			if !correct[i] {
+				queue = append(queue, i)
+			}
+		}
+		if iter > o.MaxIterations && len(queue) > 0 {
+			return nil, fmt.Errorf("core: TspSZ-i failed to converge after force-exact fallback (%d wrong)", len(queue))
+		}
+	}
+	stats.Iterations = iter
+
+	patched := log.patched
+	patch := buildPatch(f, patched)
+	stats.PatchedVertices = len(patch.indices)
+	container, err := buildContainer(TspSZi, patch, res.Bytes, len(f.Components()))
+	if err != nil {
+		return nil, err
+	}
+	lossless := res.LosslessVertices.Clone()
+	lossless.Or(patched)
+	stats.LosslessCount = lossless.Count()
+	return &Result{
+		Bytes:            container,
+		Decompressed:     dec,
+		LosslessVertices: lossless,
+		Stats:            stats,
+	}, nil
+}
+
+// fixTraj is Algorithm 4: restore growing prefixes of the separatrix to
+// original values until the full retrace matches within tau. In addition to
+// the vertices the decompressed-data trace involves, the prefix of the
+// *original* trajectory is also patched, which guarantees the trace follows
+// the original for the whole prefix and therefore guarantees convergence
+// once the prefix spans the trajectory.
+func fixTraj(orig, dec *field.Field, cps []critical.Point, loc *integrate.CPLocator,
+	td *integrate.Trajectory, o Options, log *patchLog) {
+
+	// Find the divergence point (lines 2-8) against the current trace.
+	var cur integrate.Trajectory
+	log.traceLocked(func() {
+		cur = integrate.Retrace(dec, cps, loc, td, o.Params, nil)
+	})
+	divergeAt := len(td.Points)
+	for i := 0; i < len(td.Points) && i < len(cur.Points); i++ {
+		if dist(td.Points[i], cur.Points[i]) >= o.Tau {
+			divergeAt = i
+			break
+		}
+	}
+	if divergeAt > len(cur.Points) {
+		divergeAt = len(cur.Points)
+	}
+
+	const chunk = 32
+	prefix := divergeAt + chunk
+	for {
+		par := o.Params
+		if prefix < par.MaxSteps {
+			par.MaxSteps = prefix
+		}
+		var verts []int
+		log.traceLocked(func() {
+			// Vertices the decompressed trace currently involves (line 13)...
+			integrate.Retrace(dec, cps, loc, td, par, &verts)
+		})
+		// ...plus the vertices the original trajectory involves over the
+		// same prefix, so the patched trace provably follows it (orig is
+		// never written, so no lock is needed).
+		integrate.Retrace(orig, cps, loc, td, par, &verts)
+		log.apply(orig, dec, verts)
+
+		var full integrate.Trajectory
+		log.traceLocked(func() {
+			full = integrate.Retrace(dec, cps, loc, td, o.Params, nil)
+		})
+		if skeleton.CheckTraj(td, &full, o.Tau) {
+			return
+		}
+		if prefix >= o.Params.MaxSteps {
+			return // fully patched along the trajectory; outer loop re-verifies
+		}
+		prefix *= 2
+	}
+}
+
+// forceExact patches every vertex involved in any original separatrix,
+// the TspSZ-I guarantee applied as a fallback.
+func forceExact(orig, dec *field.Field, cps []critical.Point, saddles []int, o Options, log *patchLog) {
+	parallel.For(len(saddles), o.Workers, 1, func(i int) {
+		var verts []int
+		integrate.TraceSeparatricesOf(orig, cps, saddles[i], o.Params, &verts)
+		log.traceLocked(func() {
+			integrate.TraceSeparatricesOf(dec, cps, saddles[i], o.Params, &verts)
+		})
+		log.apply(orig, dec, verts)
+	})
+}
+
+// patchLog tracks the cumulative patched-vertex set plus the vertices
+// patched in the current correction round (consumed by the incremental
+// re-verification). Its RWMutex also guards the shared decompressed field
+// during speculative parallel correction: tracers hold the read lock,
+// patch application the write lock, so the paper's stale-read speculation
+// stays within the Go memory model (a fix may still trace data patched by
+// a concurrent fix between its lock sections; the global verification pass
+// catches any interaction).
+type patchLog struct {
+	mu      sync.RWMutex
+	patched *bitmap.Bitmap
+	round   []int
+}
+
+// traceLocked runs fn under the read lock, for retraces of the shared
+// decompressed field during correction.
+func (l *patchLog) traceLocked(fn func()) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	fn()
+}
+
+// apply restores original values at the given vertices. Writes are
+// serialized: they are idempotent, but the shared bitmap, the round list,
+// and the float32 stores need a consistent view for the verification pass.
+func (l *patchLog) apply(orig, dec *field.Field, verts []int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	decComps := dec.Components()
+	origComps := orig.Components()
+	for _, v := range verts {
+		if l.patched.Get(v) {
+			continue
+		}
+		l.patched.Set(v)
+		l.round = append(l.round, v)
+		for c := range decComps {
+			decComps[c][v] = origComps[c][v]
+		}
+	}
+}
+
+// traceAllWithInvolved is traceAll plus per-trajectory deduplicated
+// involved-vertex sets.
+func traceAllWithInvolved(f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) ([]integrate.Trajectory, [][]int32) {
+	perSaddle := make([][]integrate.Trajectory, len(saddles))
+	perInv := make([][][]int32, len(saddles))
+	loc := integrate.NewCPLocator(cps) // read-only after construction
+	parallel.For(len(saddles), workers, 1, func(i int) {
+		cp := cps[saddles[i]]
+		if cp.Type != critical.Saddle {
+			return
+		}
+		seeds, dirs, seedIdx := integrate.SeparatrixSeeds(cp, par.EpsP)
+		for si := range seeds {
+			var verts []int
+			tr := integrate.Streamline(f, seeds[si], dirs[si], par, loc, &verts)
+			tr.Saddle = saddles[i]
+			tr.SeedIdx = seedIdx[si]
+			perSaddle[i] = append(perSaddle[i], tr)
+			perInv[i] = append(perInv[i], dedupe(verts))
+		}
+	})
+	var out []integrate.Trajectory
+	var inv [][]int32
+	for i := range perSaddle {
+		out = append(out, perSaddle[i]...)
+		inv = append(inv, perInv[i]...)
+	}
+	return out, inv
+}
+
+// dedupe sorts and uniquifies a vertex list into a compact int32 slice.
+func dedupe(verts []int) []int32 {
+	out := make([]int32, len(verts))
+	for i, v := range verts {
+		out[i] = int32(v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// touchesAny reports whether any vertex in the sorted set appears in the
+// round bitmap.
+func touchesAny(set []int32, round *bitmap.Bitmap) bool {
+	for _, v := range set {
+		if round.Get(int(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+func dist(a, b [3]float64) float64 {
+	dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+func extractCPs(f *field.Field, workers int) []critical.Point {
+	return skeleton.ExtractCPsParallel(f, workers)
+}
+
+func markCPCells(f *field.Field, cps []critical.Point, marks *bitmap.Bitmap) {
+	var vbuf [4]int
+	for _, cp := range cps {
+		for _, v := range f.Grid.CellVertices(cp.Cell, vbuf[:0]) {
+			marks.Set(v)
+		}
+	}
+}
+
+func saddleIndices(cps []critical.Point) []int {
+	var out []int
+	for i, cp := range cps {
+		if cp.Type == critical.Saddle {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func numSeps(dim, saddles int) int {
+	if dim == 2 {
+		return 4 * saddles
+	}
+	return 6 * saddles
+}
+
+func traceAll(f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) []integrate.Trajectory {
+	perSaddle := make([][]integrate.Trajectory, len(saddles))
+	loc := integrate.NewCPLocator(cps) // shared, read-only
+	parallel.For(len(saddles), workers, 1, func(i int) {
+		cp := cps[saddles[i]]
+		if cp.Type != critical.Saddle {
+			return
+		}
+		seeds, dirs, seedIdx := integrate.SeparatrixSeeds(cp, par.EpsP)
+		for si := range seeds {
+			tr := integrate.Streamline(f, seeds[si], dirs[si], par, loc, nil)
+			tr.Saddle = saddles[i]
+			tr.SeedIdx = seedIdx[si]
+			perSaddle[i] = append(perSaddle[i], tr)
+		}
+	})
+	var out []integrate.Trajectory
+	for _, trs := range perSaddle {
+		out = append(out, trs...)
+	}
+	return out
+}

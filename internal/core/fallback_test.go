@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/skeleton"
+)
+
+// Exhausting the iteration budget must trigger the force-exact fallback
+// (patch everything the separatrices touch) and still converge with a
+// fully preserved skeleton.
+func TestTspSZiForceExactFallback(t *testing.T) {
+	// Dense gyre lattice with a coarse bound and strict tau: reliably
+	// produces initially wrong separatrices (cf. the parallel stress test).
+	f := field.New2D(72, 64)
+	lx, ly := 35.5/3, 31.5/3
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		x, y := math.Pi*p[0]/lx, math.Pi*p[1]/ly
+		f.U[idx] = float32(-math.Sin(x)*math.Cos(y) - 0.08*math.Cos(x)*math.Sin(y))
+		f.V[idx] = float32(math.Cos(x)*math.Sin(y) - 0.08*math.Sin(x)*math.Cos(y))
+	}
+	base := Options{
+		Variant: TspSZi, Mode: ebound.Absolute, ErrBound: 0.08,
+		Params: testParams(), Tau: 0.05, // very strict tau to force corrections
+		Workers: 2,
+	}
+	o := base.withDefaults()
+	o.MaxIterations = 0 // first round already exceeds the budget
+	res, err := compressI(f, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InitiallyIncorrect == 0 {
+		t.Fatal("setup: expected initially wrong separatrices to exercise the fallback")
+	}
+	if res.Stats.PatchedVertices == 0 {
+		t.Fatal("fallback patched nothing")
+	}
+	dec, err := Decompress(res.Bytes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cps := critical.Extract(f)
+	orig := skeleton.ExtractWith(f, cps, o.Params)
+	got := skeleton.ExtractWith(dec, cps, o.Params)
+	st := skeleton.Compare(orig, got, o.Tau)
+	if st.Incorrect != 0 {
+		t.Fatalf("fallback left %d incorrect separatrices", st.Incorrect)
+	}
+}
+
+// A field whose revised-cpSZ output already preserves the skeleton must
+// need zero iterations and an empty patch.
+func TestTspSZiNoCorrectionsNeeded(t *testing.T) {
+	f := gyre2D(24, 24)
+	res, err := Compress(f, Options{
+		Variant: TspSZi, Mode: ebound.Absolute, ErrBound: 1e-6, // ultra-tight
+		Params: testParams(), Tau: 5, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InitiallyIncorrect != 0 {
+		t.Skip("tiny bound still produced wrong separatrices; data-dependent")
+	}
+	if res.Stats.Iterations != 0 || res.Stats.PatchedVertices != 0 {
+		t.Errorf("no-op correction recorded work: %+v", res.Stats)
+	}
+}

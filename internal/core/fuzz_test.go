@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tspsz/internal/ebound"
+)
+
+// Container decompression must never panic on corrupted input.
+func TestDecompressNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, rng.Intn(600))
+		rng.Read(data)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on garbage (%d bytes): %v", len(data), r)
+				}
+			}()
+			_, _ = Decompress(data, 1)
+		}()
+	}
+}
+
+func TestDecompressNeverPanicsOnBitflips(t *testing.T) {
+	f := gyre2D(14, 14)
+	res, err := Compress(f, Options{
+		Variant: TspSZi, Mode: ebound.Absolute, ErrBound: 0.05,
+		Params: testParams(), Tau: 0.5, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 150; trial++ {
+		mut := append([]byte(nil), res.Bytes...)
+		mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated container (trial %d): %v", trial, r)
+				}
+			}()
+			_, _ = Decompress(mut, 1)
+		}()
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/skeleton"
+)
+
+// evolvingGyre produces frame t of a slowly drifting gyre field.
+func evolvingGyre(nx, ny int, t float64) *field.Field {
+	f := field.New2D(nx, ny)
+	lx := float64(nx-1) / 2
+	ly := float64(ny-1) / 2
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		x := math.Pi*p[0]/lx + 0.03*t
+		y := math.Pi * p[1] / ly
+		f.U[idx] = float32(-math.Sin(x)*math.Cos(y) - 0.12*math.Cos(x)*math.Sin(y))
+		f.V[idx] = float32(math.Cos(x)*math.Sin(y) - 0.12*math.Sin(x)*math.Cos(y))
+	}
+	return f
+}
+
+func makeSequence(n int) []*field.Field {
+	frames := make([]*field.Field, n)
+	for t := range frames {
+		frames[t] = evolvingGyre(36, 32, float64(t))
+	}
+	return frames
+}
+
+func TestSequenceRoundTripPreservesSkeletons(t *testing.T) {
+	frames := makeSequence(4)
+	opts := Options{Variant: TspSZi, Mode: ebound.Absolute, ErrBound: 0.02,
+		Params: testParams(), Tau: 0.5, Workers: 2}
+	res, err := CompressSequence(frames, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecompressSequence(res.Bytes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(dec), len(frames))
+	}
+	for fi := range frames {
+		// Bound holds per frame.
+		for c, comp := range dec[fi].Components() {
+			orig := frames[fi].Components()[c]
+			for i := range comp {
+				if d := math.Abs(float64(comp[i]) - float64(orig[i])); d > opts.ErrBound {
+					t.Fatalf("frame %d comp %d vertex %d: error %v", fi, c, i, d)
+				}
+			}
+		}
+		// Full skeleton preserved per frame.
+		cps := critical.Extract(frames[fi])
+		decCPs := critical.Extract(dec[fi])
+		if len(cps) != len(decCPs) {
+			t.Fatalf("frame %d: cp count %d -> %d", fi, len(cps), len(decCPs))
+		}
+		orig := skeleton.ExtractWith(frames[fi], cps, opts.Params)
+		got := skeleton.ExtractWith(dec[fi], cps, opts.Params)
+		if st := skeleton.Compare(orig, got, 0.5); st.Incorrect != 0 {
+			t.Fatalf("frame %d: %d incorrect separatrices", fi, st.Incorrect)
+		}
+	}
+}
+
+// Temporal prediction must pay off on slowly varying sequences: the total
+// sequence size should undercut compressing every frame standalone.
+func TestSequenceBeatsStandaloneFrames(t *testing.T) {
+	frames := makeSequence(5)
+	opts := Options{Variant: TspSZ1, Mode: ebound.Absolute, ErrBound: 0.005,
+		Params: testParams(), Workers: 2}
+	seq, err := CompressSequence(frames, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone := 0
+	for _, f := range frames {
+		res, err := Compress(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		standalone += len(res.Bytes)
+	}
+	if len(seq.Bytes) >= standalone {
+		t.Errorf("sequence %d bytes not below standalone %d", len(seq.Bytes), standalone)
+	}
+	// Later frames individually should also be smaller than frame 0.
+	if seq.FrameSizes[2] >= seq.FrameSizes[0] {
+		t.Logf("warning: temporal frame %d >= first frame %d (acceptable on tiny data)",
+			seq.FrameSizes[2], seq.FrameSizes[0])
+	}
+}
+
+func TestSequenceRejectsBadInput(t *testing.T) {
+	if _, err := CompressSequence(nil, Options{ErrBound: 1}); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	frames := []*field.Field{evolvingGyre(16, 16, 0), evolvingGyre(20, 16, 1)}
+	if _, err := CompressSequence(frames, Options{Variant: TspSZ1, Mode: ebound.Absolute, ErrBound: 0.01, Params: testParams()}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestDecompressSequenceRejectsCorruption(t *testing.T) {
+	frames := makeSequence(2)
+	res, err := CompressSequence(frames, Options{Variant: TspSZ1, Mode: ebound.Absolute,
+		ErrBound: 0.01, Params: testParams(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressSequence(nil, 1); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecompressSequence([]byte("XXXXYYYYZZZZ"), 1); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := DecompressSequence(res.Bytes[:len(res.Bytes)/2], 1); err == nil {
+		t.Error("truncation accepted")
+	}
+	// A single temporal frame must not decode through the standalone API.
+	if len(res.FrameSizes) == 2 {
+		frame1 := res.Bytes[9+8+res.FrameSizes[0]+8:]
+		if _, err := Decompress(frame1, 1); err == nil {
+			t.Error("temporal frame decoded without its reference")
+		}
+	}
+}

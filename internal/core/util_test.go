@@ -1,0 +1,11 @@
+package core
+
+import "tspsz/internal/bitmap"
+
+func newTestBitmap(n int, set []int) *bitmap.Bitmap {
+	b := bitmap.New(n)
+	for _, i := range set {
+		b.Set(i)
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+// Package cpsz implements the critical-point-preserving error-bounded lossy
+// compressor that TspSZ builds on (Algorithm 1 of the paper, revised per
+// §IV-B to encode cells containing critical points losslessly). It supports
+// cpSZ's original point-wise relative error control (Theorem 1) and the
+// absolute error control TspSZ derives in §VI, an externally supplied set of
+// forced-lossless vertices (the hook used by TspSZ-I), and the multi-stage
+// shared-memory parallelization of §VII.
+//
+// The compressed stream stores, per vertex, a quantized error-bound
+// exponent, SZ-style Lorenzo-predicted quantization codes, and verbatim
+// float32 values for lossless or unpredictable samples; the symbol streams
+// are Huffman coded and DEFLATE packed.
+package cpsz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tspsz/internal/bitmap"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+)
+
+// Options configures compression.
+type Options struct {
+	// Mode selects relative (cpSZ) or absolute (TspSZ, §VI) error control.
+	Mode ebound.Mode
+	// ErrBound is the user bound ε: an absolute bound in Absolute mode, a
+	// point-wise relative factor in Relative mode. Must be positive.
+	ErrBound float64
+	// Lossless optionally marks vertices that must be stored verbatim
+	// (Algorithm 2/3 use this for separatrix-involved vertices). May be
+	// nil. Length must equal the vertex count when set.
+	Lossless *bitmap.Bitmap
+	// Workers bounds compression parallelism; values < 1 mean GOMAXPROCS.
+	// The output stream is identical for every worker count.
+	Workers int
+	// SoS switches to the cpSZ-sos baseline bound [36]: the sign of every
+	// barycentric determinant predicate is preserved instead of forcing
+	// critical-point cells lossless. Critical point existence survives but
+	// positions drift, so separatrices are not preserved. cpSZ-sos has no
+	// parallel implementation in the paper; combine with Workers: 1 when
+	// reproducing its timing rows.
+	SoS bool
+	// Plain disables all topology coupling: every vertex uses the user
+	// bound directly, i.e. a vanilla SZ3-style error-bounded compressor
+	// (the SZ3 baseline of Fig. 8). Mutually exclusive with SoS.
+	Plain bool
+	// Predictor selects Lorenzo (default, region parallel) or the
+	// SZ3-style level-wise interpolation predictor (serial).
+	Predictor Predictor
+	// Reference enables temporal prediction for time-varying sequences:
+	// every vertex is predicted by its value in this (already
+	// decompressed) previous frame instead of spatial neighbors. The
+	// stream is then no longer self-contained — decode it with
+	// DecompressRef supplying the same reference. Shape must match f.
+	Reference *field.Field
+}
+
+// Result is the outcome of Compress.
+type Result struct {
+	// Bytes is the self-contained compressed stream.
+	Bytes []byte
+	// Decompressed holds the reconstruction the decoder will produce,
+	// computed for free during compression (TspSZ-i operates on it).
+	Decompressed *field.Field
+	// LosslessVertices marks every vertex stored verbatim: forced ones,
+	// critical-point-adjacent ones, and bound-underflow ones (Fig. 6).
+	LosslessVertices *bitmap.Bitmap
+}
+
+// Error-bound symbol encoding. Absolute mode stores one symbol per vertex:
+// exponent e with realized bound ε·2^−e, or absLosslessSym. Relative mode
+// stores one symbol per vertex component: 0 for exact storage, otherwise
+// e+relBias+1 with realized absolute bound 2^e.
+const (
+	absExpCap      = 30
+	absLosslessSym = absExpCap + 1
+	relBias        = 200
+	relExpCap      = 200
+	relExactSym    = 0
+)
+
+var (
+	errBadMagic   = errors.New("cpsz: bad magic, not a cpSZ stream")
+	errTruncated  = errors.New("cpsz: truncated stream")
+	errBadSymbols = errors.New("cpsz: corrupt symbol stream")
+)
+
+// Compress encodes f under opts. The input field is not modified.
+func Compress(f *field.Field, opts Options) (*Result, error) {
+	if !(opts.ErrBound > 0) {
+		return nil, fmt.Errorf("cpsz: error bound must be positive, got %v", opts.ErrBound)
+	}
+	if opts.Lossless != nil && opts.Lossless.Len() != f.NumVertices() {
+		return nil, fmt.Errorf("cpsz: lossless bitmap has %d bits, field has %d vertices",
+			opts.Lossless.Len(), f.NumVertices())
+	}
+	if opts.SoS && opts.Plain {
+		return nil, errors.New("cpsz: SoS and Plain are mutually exclusive")
+	}
+	if opts.Predictor != PredictorLorenzo && opts.Predictor != PredictorInterpolation {
+		return nil, fmt.Errorf("cpsz: unknown predictor %d", opts.Predictor)
+	}
+	if opts.Reference != nil {
+		if opts.Predictor == PredictorInterpolation {
+			return nil, errors.New("cpsz: temporal reference requires the Lorenzo path")
+		}
+		if opts.Reference.Dim() != f.Dim() || opts.Reference.NumVertices() != f.NumVertices() {
+			return nil, errors.New("cpsz: reference shape differs from input")
+		}
+	}
+	if opts.Predictor == PredictorInterpolation {
+		return compressInterp(f, opts)
+	}
+	return compress(f, opts)
+}
+
+// Decompress reconstructs a field from a self-contained stream produced by
+// Compress. workers bounds reconstruction parallelism (values < 1 mean
+// GOMAXPROCS). Streams written with a temporal Reference must use
+// DecompressRef instead.
+func Decompress(data []byte, workers int) (*field.Field, error) {
+	return decompress(data, workers, nil)
+}
+
+// DecompressRef reconstructs a temporally predicted stream against the
+// same reference frame the encoder used (the previous decompressed frame
+// of the sequence).
+func DecompressRef(data []byte, workers int, ref *field.Field) (*field.Field, error) {
+	if ref == nil {
+		return nil, errors.New("cpsz: DecompressRef requires a reference frame")
+	}
+	return decompress(data, workers, ref)
+}
+
+// absSymbol quantizes a derived bound into the absolute-mode exponent
+// symbol: the smallest e with ε·2^−e ≤ target, or absLosslessSym when the
+// target is below the representable range. The realized bound is returned.
+func absSymbol(userEB, target float64) (sym uint32, realized float64) {
+	if !(target > 0) {
+		return absLosslessSym, 0
+	}
+	if math.IsInf(target, 1) {
+		return 0, userEB
+	}
+	e := 0
+	realized = userEB
+	for realized > target {
+		e++
+		if e > absExpCap {
+			return absLosslessSym, 0
+		}
+		realized = userEB * math.Pow(2, -float64(e))
+	}
+	return uint32(e), realized
+}
+
+// absBoundOf inverts absSymbol on the decoder side.
+func absBoundOf(userEB float64, sym uint32) (realized float64, lossless bool) {
+	if sym == absLosslessSym {
+		return 0, true
+	}
+	return userEB * math.Pow(2, -float64(sym)), false
+}
+
+// relSymbol quantizes a per-component absolute target bound (ξ·|x|) into
+// the relative-mode symbol: floor-log2 exponent biased by relBias, or
+// relExactSym for exact storage.
+func relSymbol(target float64) (sym uint32, realized float64) {
+	if !(target > 0) || math.IsNaN(target) {
+		return relExactSym, 0
+	}
+	if math.IsInf(target, 1) {
+		target = math.MaxFloat64
+	}
+	e := math.Ilogb(target)
+	if e > relExpCap {
+		e = relExpCap
+	}
+	if e < -relBias {
+		return relExactSym, 0
+	}
+	return uint32(e + relBias + 1), math.Ldexp(1, e)
+}
+
+// relBoundOf inverts relSymbol.
+func relBoundOf(sym uint32) (realized float64, exact bool) {
+	if sym == relExactSym {
+		return 0, true
+	}
+	return math.Ldexp(1, int(sym)-relBias-1), false
+}

@@ -1,0 +1,197 @@
+package cpsz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/parallel"
+	"tspsz/internal/quantizer"
+)
+
+// regionOffsets locates a region's slice of each decoded stream.
+type regionOffsets struct {
+	eb, quant, raw int
+}
+
+func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error) {
+	hdr, ebSyms, quantSyms, raw, err := parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.temporal && ref == nil {
+		return nil, fmt.Errorf("cpsz: stream is temporally predicted; use DecompressRef")
+	}
+	if !hdr.temporal {
+		ref = nil // ignore a stray reference for self-contained streams
+	}
+	var f *field.Field
+	if hdr.dim == 2 {
+		if hdr.nx < 2 || hdr.ny < 2 {
+			return nil, fmt.Errorf("cpsz: invalid 2D dims %dx%d", hdr.nx, hdr.ny)
+		}
+		f = field.New2D(hdr.nx, hdr.ny)
+	} else {
+		if hdr.nx < 2 || hdr.ny < 2 || hdr.nz < 2 {
+			return nil, fmt.Errorf("cpsz: invalid 3D dims %dx%dx%d", hdr.nx, hdr.ny, hdr.nz)
+		}
+		f = field.New3D(hdr.nx, hdr.ny, hdr.nz)
+	}
+	if ref != nil && (ref.Dim() != f.Dim() || ref.NumVertices() != f.NumVertices()) {
+		return nil, fmt.Errorf("cpsz: reference shape differs from stream")
+	}
+	if hdr.predictor == PredictorInterpolation {
+		if err := reconstructInterp(f, hdr, ebSyms, quantSyms, raw); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	interiors, boundaries := partition(f.Grid)
+	regions := append(append([]region{}, interiors...), boundaries...)
+
+	// Serial pass: compute per-region stream offsets. Consumption per
+	// vertex is fully determined by the symbols, so this is a cheap scan
+	// that unlocks parallel reconstruction.
+	offsets := make([]regionOffsets, len(regions))
+	nComps := len(f.Components())
+	cur := regionOffsets{}
+	for ri, r := range regions {
+		offsets[ri] = cur
+		nv := r.numVertices()
+		for v := 0; v < nv; v++ {
+			if hdr.mode == ebound.Absolute {
+				if cur.eb >= len(ebSyms) {
+					return nil, errBadSymbols
+				}
+				sym := ebSyms[cur.eb]
+				cur.eb++
+				if sym == absLosslessSym {
+					cur.raw += 4 * nComps
+					continue
+				}
+				if sym > absLosslessSym {
+					return nil, errBadSymbols
+				}
+				for c := 0; c < nComps; c++ {
+					if cur.quant >= len(quantSyms) {
+						return nil, errBadSymbols
+					}
+					if quantSyms[cur.quant] == quantizer.UnpredictableSym {
+						cur.raw += 4
+					}
+					cur.quant++
+				}
+				continue
+			}
+			for c := 0; c < nComps; c++ {
+				if cur.eb >= len(ebSyms) {
+					return nil, errBadSymbols
+				}
+				sym := ebSyms[cur.eb]
+				cur.eb++
+				if sym == relExactSym {
+					cur.raw += 4
+					continue
+				}
+				if sym > relBias+relExpCap+1 {
+					return nil, errBadSymbols
+				}
+				if cur.quant >= len(quantSyms) {
+					return nil, errBadSymbols
+				}
+				if quantSyms[cur.quant] == quantizer.UnpredictableSym {
+					cur.raw += 4
+				}
+				cur.quant++
+			}
+		}
+	}
+	if cur.eb != len(ebSyms) || cur.quant != len(quantSyms) || cur.raw != len(raw) {
+		return nil, errBadSymbols
+	}
+
+	// Parallel reconstruction: regions are prediction-independent.
+	errs := make([]error, len(regions))
+	parallel.For(len(regions), workers, 1, func(ri int) {
+		errs[ri] = reconstructRegion(f, ref, regions[ri], hdr, ebSyms, quantSyms, raw, offsets[ri])
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return f, nil
+}
+
+// reconstructRegion replays one region's vertices in row-major order,
+// mirroring compressRegion exactly.
+func reconstructRegion(f, ref *field.Field, r region, hdr header, ebSyms, quantSyms []uint32, raw []byte, off regionOffsets) error {
+	nx, ny, _ := f.Grid.Dims()
+	nxny := nx * ny
+	comps := f.Components()
+	var refComps [][]float32
+	if ref != nil {
+		refComps = ref.Components()
+	}
+	refOf := func(c int) []float32 {
+		if refComps == nil {
+			return nil
+		}
+		return refComps[c]
+	}
+	for k := r.lo[2]; k < r.hi[2]; k++ {
+		for j := r.lo[1]; j < r.hi[1]; j++ {
+			for i := r.lo[0]; i < r.hi[0]; i++ {
+				idx := i + j*nx + k*nxny
+				if hdr.mode == ebound.Absolute {
+					sym := ebSyms[off.eb]
+					off.eb++
+					aeb, lossless := absBoundOf(hdr.errBound, sym)
+					for c, vals := range comps {
+						if lossless {
+							vals[idx] = readFloat(raw, &off.raw)
+							continue
+						}
+						reconstructOne(vals, refOf(c), quantSyms, raw, &off, nx, nxny, i, j, k, idx, r.lo, aeb)
+					}
+					continue
+				}
+				for c, vals := range comps {
+					sym := ebSyms[off.eb]
+					off.eb++
+					aeb, exact := relBoundOf(sym)
+					if exact {
+						vals[idx] = readFloat(raw, &off.raw)
+						continue
+					}
+					reconstructOne(vals, refOf(c), quantSyms, raw, &off, nx, nxny, i, j, k, idx, r.lo, aeb)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func reconstructOne(vals, ref []float32, quantSyms []uint32, raw []byte, off *regionOffsets, nx, nxny, i, j, k, idx int, lo [3]int, aeb float64) {
+	qs := quantSyms[off.quant]
+	off.quant++
+	if qs == quantizer.UnpredictableSym {
+		vals[idx] = readFloat(raw, &off.raw)
+		return
+	}
+	var pred float64
+	if ref != nil {
+		pred = float64(ref[idx])
+	} else {
+		pred = quantizer.Predict(vals, nx, nxny, i, j, k, lo)
+	}
+	vals[idx] = float32(quantizer.Reconstruct(pred, aeb, quantizer.Unzigzag(qs)))
+}
+
+func readFloat(raw []byte, pos *int) float32 {
+	v := math.Float32frombits(binary.LittleEndian.Uint32(raw[*pos:]))
+	*pos += 4
+	return v
+}

@@ -1,0 +1,143 @@
+package cpsz
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/huffman"
+)
+
+const streamMagic = "CPSZ"
+const formatVersion = 1
+
+// header mirrors the on-wire stream header.
+type header struct {
+	dim        int
+	nx, ny, nz int
+	mode       ebound.Mode
+	predictor  Predictor
+	temporal   bool
+	errBound   float64
+}
+
+// temporalFlag marks streams predicted against a previous frame.
+const temporalFlag = 0x80
+
+// serialize assembles the final stream: header, Huffman+DEFLATE packed
+// symbol sections, and a DEFLATE packed raw-float section. This mirrors
+// SZ's Huffman + lossless-backend pipeline.
+func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(streamMagic)
+	buf.WriteByte(formatVersion)
+	buf.WriteByte(byte(f.Dim()))
+	buf.WriteByte(byte(opts.Mode))
+	pb := byte(opts.Predictor)
+	if opts.Reference != nil {
+		pb |= temporalFlag
+	}
+	buf.WriteByte(pb)
+	nx, ny, nz := f.Grid.Dims()
+	for _, v := range []uint32{uint32(nx), uint32(ny), uint32(nz)} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, opts.ErrBound); err != nil {
+		return nil, err
+	}
+	for _, section := range [][]byte{huffman.Encode(ebSyms), huffman.Encode(quantSyms), raw} {
+		packed, err := deflate(section)
+		if err != nil {
+			return nil, err
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, uint64(len(packed))); err != nil {
+			return nil, err
+		}
+		buf.Write(packed)
+	}
+	return buf.Bytes(), nil
+}
+
+// parse splits a stream back into its header and sections.
+func parse(data []byte) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
+	if len(data) < 28 {
+		return hdr, nil, nil, nil, errTruncated
+	}
+	if string(data[:4]) != streamMagic {
+		return hdr, nil, nil, nil, errBadMagic
+	}
+	if data[4] != formatVersion {
+		return hdr, nil, nil, nil, fmt.Errorf("cpsz: unsupported version %d", data[4])
+	}
+	hdr.dim = int(data[5])
+	hdr.mode = ebound.Mode(data[6])
+	hdr.temporal = data[7]&temporalFlag != 0
+	hdr.predictor = Predictor(data[7] &^ temporalFlag)
+	if hdr.predictor != PredictorLorenzo && hdr.predictor != PredictorInterpolation {
+		return hdr, nil, nil, nil, fmt.Errorf("cpsz: unknown predictor %d", hdr.predictor)
+	}
+	off := 8
+	hdr.nx = int(binary.LittleEndian.Uint32(data[off:]))
+	hdr.ny = int(binary.LittleEndian.Uint32(data[off+4:]))
+	hdr.nz = int(binary.LittleEndian.Uint32(data[off+8:]))
+	off += 12
+	hdr.errBound = float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	off += 8
+	if hdr.dim != 2 && hdr.dim != 3 {
+		return hdr, nil, nil, nil, fmt.Errorf("cpsz: invalid dimension %d", hdr.dim)
+	}
+	sections := make([][]byte, 3)
+	for i := range sections {
+		if off+8 > len(data) {
+			return hdr, nil, nil, nil, errTruncated
+		}
+		n := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		if uint64(off)+n > uint64(len(data)) {
+			return hdr, nil, nil, nil, errTruncated
+		}
+		packed := data[off : off+int(n)]
+		off += int(n)
+		sections[i], err = inflate(packed)
+		if err != nil {
+			return hdr, nil, nil, nil, fmt.Errorf("cpsz: section %d: %w", i, err)
+		}
+	}
+	if ebSyms, err = huffman.Decode(sections[0]); err != nil {
+		return hdr, nil, nil, nil, fmt.Errorf("cpsz: eb symbols: %w", err)
+	}
+	if quantSyms, err = huffman.Decode(sections[1]); err != nil {
+		return hdr, nil, nil, nil, fmt.Errorf("cpsz: quant symbols: %w", err)
+	}
+	return hdr, ebSyms, quantSyms, sections[2], nil
+}
+
+func deflate(data []byte) ([]byte, error) {
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func inflate(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,49 @@
+package cpsz
+
+import (
+	"math/rand"
+	"testing"
+
+	"tspsz/internal/ebound"
+)
+
+// Decompress must never panic: arbitrary bytes and corrupted valid streams
+// either round-trip or fail with an error.
+func TestDecompressNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, rng.Intn(600))
+		rng.Read(data)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %d garbage bytes: %v", len(data), r)
+				}
+			}()
+			_, _ = Decompress(data, 1)
+		}()
+	}
+}
+
+func TestDecompressNeverPanicsOnBitflips(t *testing.T) {
+	f := gyre2D(16, 12)
+	res, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 400; trial++ {
+		mut := append([]byte(nil), res.Bytes...)
+		for flips := 0; flips <= trial%3; flips++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated stream (trial %d): %v", trial, r)
+				}
+			}()
+			_, _ = Decompress(mut, 1)
+		}()
+	}
+}

@@ -1,0 +1,149 @@
+package cpsz
+
+import (
+	"math"
+	"testing"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+)
+
+// SoS mode must preserve the sign pattern of every barycentric determinant
+// in every cell (the cpSZ-sos invariant), which implies critical point
+// existence per cell is unchanged even without lossless cp-cells.
+func TestSoSPreservesSignPatterns2D(t *testing.T) {
+	f := gyre2D(40, 32)
+	res, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 2, SoS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := res.Decompressed
+	var vbuf [4]int
+	for c := 0; c < f.Grid.NumCells(); c++ {
+		vs := f.Grid.CellVertices(c, vbuf[:0])
+		var vo, vd [3][2]float64
+		for i, vi := range vs {
+			vo[i][0], vo[i][1] = float64(f.U[vi]), float64(f.V[vi])
+			vd[i][0], vd[i][1] = float64(dec.U[vi]), float64(dec.V[vi])
+		}
+		po := ebound.SignPattern2D(vo)
+		pd := ebound.SignPattern2D(vd)
+		if po != pd {
+			t.Fatalf("cell %d sign pattern changed: %v -> %v", c, po, pd)
+		}
+	}
+	// Critical point existence per cell must therefore be identical.
+	oc := critical.Extract(f)
+	dc := critical.Extract(dec)
+	if len(oc) != len(dc) {
+		t.Fatalf("cp count changed: %d -> %d", len(oc), len(dc))
+	}
+	for i := range oc {
+		if oc[i].Cell != dc[i].Cell {
+			t.Fatalf("cp %d moved cells: %d -> %d", i, oc[i].Cell, dc[i].Cell)
+		}
+	}
+}
+
+func TestSoSPreservesCPExistence3D(t *testing.T) {
+	f := turb3D(14)
+	res, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: 0.02, Workers: 2, SoS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := critical.Extract(f)
+	dc := critical.Extract(res.Decompressed)
+	if len(oc) != len(dc) {
+		t.Fatalf("3D cp count changed: %d -> %d", len(oc), len(dc))
+	}
+	for i := range oc {
+		if oc[i].Cell != dc[i].Cell {
+			t.Fatalf("3D cp %d moved cells", i)
+		}
+	}
+}
+
+// Unlike revised cpSZ, SoS mode does not pin critical point positions
+// bit-exactly (it has no lossless cells); positions may drift within the
+// cell. This is exactly why cpSZ-sos distorts separatrices in the paper.
+func TestSoSDoesNotPinPositions(t *testing.T) {
+	f := gyre2D(40, 32)
+	res, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1, SoS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := critical.Extract(f)
+	dc := critical.Extract(res.Decompressed)
+	moved := false
+	for i := range oc {
+		if oc[i].Pos != dc[i].Pos {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Skip("positions happened to be exact; acceptable but unusual")
+	}
+}
+
+// Plain mode is the vanilla SZ3 baseline: the bound must hold but critical
+// points are free to appear or vanish.
+func TestPlainModeRespectsBoundOnly(t *testing.T) {
+	f := gyre2D(48, 40)
+	const eb = 0.02
+	res, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: eb, Workers: 2, Plain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(res.Bytes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, comp := range dec.Components() {
+		orig := f.Components()[c]
+		for i := range comp {
+			if d := math.Abs(float64(comp[i]) - float64(orig[i])); d > eb {
+				t.Fatalf("component %d vertex %d: error %v exceeds bound", c, i, d)
+			}
+		}
+	}
+	// Plain mode must compress at least as well as coupled cpSZ.
+	coupled, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: eb, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bytes) > len(coupled.Bytes) {
+		t.Errorf("plain mode larger than coupled: %d > %d", len(res.Bytes), len(coupled.Bytes))
+	}
+}
+
+func TestSoSPlainMutuallyExclusive(t *testing.T) {
+	f := gyre2D(8, 8)
+	if _, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: 0.1, SoS: true, Plain: true}); err == nil {
+		t.Fatal("SoS+Plain accepted")
+	}
+}
+
+// SoS bounds are tighter than Theorem 1 bounds, so SoS streams should have
+// better (or equal) PSNR at lower (or equal) ratios — the cpSZ-sos row
+// shape of Tables IV-VII.
+func TestSoSTighterThanCoupled(t *testing.T) {
+	f := field.New2D(40, 40)
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		f.U[idx] = float32(math.Sin(p[0]/4) + 1.5)
+		f.V[idx] = float32(math.Cos(p[1]/4) + 1.5)
+	}
+	sos, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: 0.05, SoS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Compress(f, Options{Mode: ebound.Absolute, ErrBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sos.Bytes) < len(reg.Bytes) {
+		t.Errorf("SoS stream smaller than coupled (%d < %d); bounds should be tighter",
+			len(sos.Bytes), len(reg.Bytes))
+	}
+}

@@ -1,0 +1,90 @@
+package cpsz
+
+import "tspsz/internal/grid"
+
+// region is one independently predictable box of vertices: either a slab
+// interior or a single boundary plane (§VII). Prediction never crosses a
+// region boundary, so regions reconstruct independently; error-bound
+// derivation does cross boundaries, which the two-stage schedule makes safe
+// (interiors first, then boundary planes).
+type region struct {
+	lo, hi   [3]int // vertex box [lo, hi)
+	boundary bool
+}
+
+func (r region) contains(i, j, k int) bool {
+	return i >= r.lo[0] && i < r.hi[0] &&
+		j >= r.lo[1] && j < r.hi[1] &&
+		k >= r.lo[2] && k < r.hi[2]
+}
+
+func (r region) numVertices() int {
+	return (r.hi[0] - r.lo[0]) * (r.hi[1] - r.lo[1]) * (r.hi[2] - r.lo[2])
+}
+
+// slabTarget is the nominal slab thickness along the partition axis; the
+// slab count is a pure function of the grid (never of the worker count), so
+// compressed output is bit-identical for any parallelism level. It is a
+// variable only so the ablation benchmarks can sweep it; production code
+// never mutates it.
+var slabTarget = 8
+
+// maxSlabs bounds the number of slabs; more slabs shorten the serial
+// boundary stage's critical path but cost compression ratio (degraded
+// predictors at more planes). Variable for the ablation benchmarks only.
+var maxSlabs = 64
+
+// partitionAxis returns the axis slabs are cut along: the slowest-varying
+// one (y in 2D, z in 3D).
+func partitionAxis(g *grid.Grid) int {
+	if g.Dim() == 2 {
+		return 1
+	}
+	return 2
+}
+
+// partition splits the grid into slab interiors and the single-plane
+// boundary regions between them, in deterministic order: all interiors
+// (ascending), then all boundary planes (ascending).
+func partition(g *grid.Grid) (interiors, boundaries []region) {
+	nx, ny, nz := g.Dims()
+	dims := [3]int{nx, ny, nz}
+	axis := partitionAxis(g)
+	n := dims[axis]
+	t := n / slabTarget
+	if t < 1 {
+		t = 1
+	}
+	if t > maxSlabs {
+		t = maxSlabs
+	}
+	// Cut planes c_1 < ... < c_{t-1}; interiors are the open gaps.
+	var cuts []int
+	prev := -1
+	for s := 1; s < t; s++ {
+		c := s * n / t
+		if c <= prev+1 || c >= n-1 {
+			continue // keep gaps non-empty and planes ≥ 2 apart
+		}
+		cuts = append(cuts, c)
+		prev = c
+	}
+	full := region{hi: dims}
+	start := 0
+	for _, c := range cuts {
+		in := full
+		in.lo[axis] = start
+		in.hi[axis] = c
+		interiors = append(interiors, in)
+		b := full
+		b.lo[axis] = c
+		b.hi[axis] = c + 1
+		b.boundary = true
+		boundaries = append(boundaries, b)
+		start = c + 1
+	}
+	last := full
+	last.lo[axis] = start
+	interiors = append(interiors, last)
+	return interiors, boundaries
+}

@@ -1,0 +1,377 @@
+// Package critical extracts and classifies the critical points of
+// piecewise-linear vector fields (§III-B of the paper). A critical point is
+// a location where the interpolated field vanishes; inside a simplex this
+// reduces to a barycentric linear solve (Eq. 2). Points are classified by
+// the eigenvalues of the per-cell Jacobian (sources, sinks, saddles, and
+// their spiraling variants), and saddles carry the eigen-directions used to
+// seed separatrices.
+package critical
+
+import (
+	"math"
+
+	"tspsz/internal/field"
+	"tspsz/internal/mat"
+)
+
+// Type categorizes a critical point by the local flow behaviour.
+type Type int
+
+const (
+	// Degenerate marks a numerically singular Jacobian or a center
+	// (purely imaginary eigenvalues); no separatrices are seeded.
+	Degenerate Type = iota
+	// Source repels in all directions (all eigenvalue real parts > 0).
+	Source
+	// Sink attracts in all directions (all eigenvalue real parts < 0).
+	Sink
+	// Saddle has mixed-sign eigenvalues. In 3D this covers both 1:2 and
+	// 2:1 sign splits; SaddleKind distinguishes them.
+	Saddle
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Source:
+		return "source"
+	case Sink:
+		return "sink"
+	case Saddle:
+		return "saddle"
+	default:
+		return "degenerate"
+	}
+}
+
+// Point is one extracted critical point.
+type Point struct {
+	Cell int        // simplex containing the point
+	Pos  [3]float64 // spatial position (z = 0 in 2D)
+	Type Type
+	// Spiral is set when the Jacobian has a complex eigenvalue pair
+	// (rotating local behaviour).
+	Spiral bool
+	// Jacobian is the row-major per-cell Jacobian; 2D fields use the
+	// top-left 2×2 block.
+	Jacobian [9]float64
+	// Eigs holds the Jacobian eigenvalues (2 entries in 2D, 3 in 3D).
+	Eigs []mat.Eigen
+	// SeedDirs are the unit directions along which separatrices are
+	// seeded (saddles only): 2 directions in 2D (unstable, stable), 3 in
+	// 3D. SeedSigns[i] is +1 to integrate forward along SeedDirs[i]
+	// (unstable direction), -1 for backward (stable direction).
+	SeedDirs  [][3]float64
+	SeedSigns []int
+}
+
+// Barycentric2D returns the barycentric numerators (m0, m1, m2) and their
+// sum M for a triangle with vertex vectors v0, v1, v2 (Eq. 2). The
+// barycentric coordinate of vertex k is m[k]/M. The cyclic convention is
+// m0 = det(v1, v2), m1 = det(v2, v0), m2 = det(v0, v1).
+func Barycentric2D(v [3][2]float64) (m [3]float64, M float64) {
+	m[0] = mat.Det2(v[1][0], v[2][0], v[1][1], v[2][1])
+	m[1] = mat.Det2(v[2][0], v[0][0], v[2][1], v[0][1])
+	m[2] = mat.Det2(v[0][0], v[1][0], v[0][1], v[1][1])
+	return m, m[0] + m[1] + m[2]
+}
+
+// Barycentric3D returns the barycentric numerators (d0..d3) and their sum M
+// for a tetrahedron with vertex vectors v0..v3. The barycentric coordinate
+// of vertex k is d[k]/M, with d_k = (-1)^(k+1) · det3 of the remaining
+// vertex vectors as columns in index order.
+func Barycentric3D(v [4][3]float64) (d [4]float64, M float64) {
+	det := func(a, b, c [3]float64) float64 {
+		return mat.Det3([9]float64{
+			a[0], b[0], c[0],
+			a[1], b[1], c[1],
+			a[2], b[2], c[2],
+		})
+	}
+	d[0] = -det(v[1], v[2], v[3])
+	d[1] = det(v[0], v[2], v[3])
+	d[2] = -det(v[0], v[1], v[3])
+	d[3] = det(v[0], v[1], v[2])
+	return d, d[0] + d[1] + d[2] + d[3]
+}
+
+// CellHasCP reports whether cell c of f contains a critical point,
+// i.e. whether all barycentric coordinates of the zero of the linear
+// interpolant lie in [0, 1].
+func CellHasCP(f *field.Field, c int) bool {
+	_, ok := solveCell(f, c)
+	return ok
+}
+
+// solveCell solves Eq. 2 for cell c, returning the barycentric coordinates
+// of the critical point. ok is false when there is no critical point in the
+// cell or the cell is degenerate (M == 0).
+func solveCell(f *field.Field, c int) (bc [4]float64, ok bool) {
+	var vbuf [4]int
+	vs := f.Grid.CellVertices(c, vbuf[:0])
+	if f.Dim() == 2 {
+		var v [3][2]float64
+		for i, vi := range vs {
+			v[i][0] = float64(f.U[vi])
+			v[i][1] = float64(f.V[vi])
+		}
+		m, M := Barycentric2D(v)
+		if M == 0 {
+			return bc, false
+		}
+		for k := 0; k < 3; k++ {
+			bc[k] = m[k] / M
+			if bc[k] < 0 || bc[k] > 1 {
+				return bc, false
+			}
+		}
+		return bc, true
+	}
+	var v [4][3]float64
+	for i, vi := range vs {
+		v[i][0] = float64(f.U[vi])
+		v[i][1] = float64(f.V[vi])
+		v[i][2] = float64(f.W[vi])
+	}
+	d, M := Barycentric3D(v)
+	if M == 0 {
+		return bc, false
+	}
+	for k := 0; k < 4; k++ {
+		bc[k] = d[k] / M
+		if bc[k] < 0 || bc[k] > 1 {
+			return bc, false
+		}
+	}
+	return bc, true
+}
+
+// CellJacobian computes the (constant) Jacobian of the linear interpolant
+// on cell c, row-major. ok is false for degenerate cell geometry, which
+// cannot happen for the regular simplicial grids in this package but is
+// reported defensively.
+func CellJacobian(f *field.Field, c int) (J [9]float64, ok bool) {
+	var vbuf [4]int
+	vs := f.Grid.CellVertices(c, vbuf[:0])
+	var pos [4][3]float64
+	ps := f.Grid.CellVerticesPositions(c, pos[:0])
+	if f.Dim() == 2 {
+		// Field is linear: comp(x) = a + g·x. Solve the 2×2 edge system
+		// for each component's gradient g.
+		e1 := [2]float64{ps[1][0] - ps[0][0], ps[1][1] - ps[0][1]}
+		e2 := [2]float64{ps[2][0] - ps[0][0], ps[2][1] - ps[0][1]}
+		for comp, vals := range [][]float32{f.U, f.V} {
+			d1 := float64(vals[vs[1]] - vals[vs[0]])
+			d2 := float64(vals[vs[2]] - vals[vs[0]])
+			gx, gy, sOK := mat.Solve2(e1[0], e1[1], e2[0], e2[1], d1, d2)
+			if !sOK {
+				return J, false
+			}
+			J[comp*3] = gx
+			J[comp*3+1] = gy
+		}
+		J[8] = 0
+		return J, true
+	}
+	var em [9]float64
+	for r := 0; r < 3; r++ {
+		for cc := 0; cc < 3; cc++ {
+			em[r*3+cc] = ps[r+1][cc] - ps[0][cc]
+		}
+	}
+	for comp, vals := range [][]float32{f.U, f.V, f.W} {
+		var b [3]float64
+		for r := 0; r < 3; r++ {
+			b[r] = float64(vals[vs[r+1]] - vals[vs[0]])
+		}
+		g, sOK := mat.Solve3(em, b)
+		if !sOK {
+			return J, false
+		}
+		J[comp*3] = g[0]
+		J[comp*3+1] = g[1]
+		J[comp*3+2] = g[2]
+	}
+	return J, true
+}
+
+// ExtractCell extracts the critical point of cell c if one exists.
+func ExtractCell(f *field.Field, c int) (Point, bool) {
+	bc, ok := solveCell(f, c)
+	if !ok {
+		return Point{}, false
+	}
+	var pbuf [4][3]float64
+	ps := f.Grid.CellVerticesPositions(c, pbuf[:0])
+	var pos [3]float64
+	for i, p := range ps {
+		for d := 0; d < 3; d++ {
+			pos[d] += bc[i] * p[d]
+		}
+	}
+	pt := Point{Cell: c, Pos: pos}
+	J, jok := CellJacobian(f, c)
+	if !jok {
+		pt.Type = Degenerate
+		return pt, true
+	}
+	pt.Jacobian = J
+	classify(&pt, f.Dim())
+	return pt, true
+}
+
+// classify fills Type, Spiral, Eigs, and saddle seed directions from the
+// Jacobian.
+func classify(pt *Point, dim int) {
+	const eps = 1e-12
+	if dim == 2 {
+		ev := mat.Eigen2(pt.Jacobian[0], pt.Jacobian[1], pt.Jacobian[3], pt.Jacobian[4])
+		pt.Eigs = []mat.Eigen{ev[0], ev[1]}
+	} else {
+		ev := mat.Eigen3(pt.Jacobian)
+		pt.Eigs = []mat.Eigen{ev[0], ev[1], ev[2]}
+	}
+	npos, nneg := 0, 0
+	for _, e := range pt.Eigs {
+		if e.Im != 0 {
+			pt.Spiral = true
+		}
+		switch {
+		case e.Re > eps:
+			npos++
+		case e.Re < -eps:
+			nneg++
+		}
+	}
+	switch {
+	case npos+nneg < len(pt.Eigs):
+		pt.Type = Degenerate // zero real part: center or line singularity
+	case nneg == 0:
+		pt.Type = Source
+	case npos == 0:
+		pt.Type = Sink
+	default:
+		pt.Type = Saddle
+		pt.computeSeeds(dim)
+	}
+}
+
+// computeSeeds derives the separatrix seed directions of a saddle: the
+// eigen-directions of the Jacobian, integrated forward for positive
+// eigenvalues (unstable manifold) and backward for negative ones (stable
+// manifold). Complex pairs in 3D contribute their invariant plane via two
+// orthonormal in-plane directions (a pragmatic substitution documented in
+// DESIGN.md that keeps the paper's 6-separatrices-per-3D-saddle count).
+func (pt *Point) computeSeeds(dim int) {
+	if dim == 2 {
+		a, b, c, d := pt.Jacobian[0], pt.Jacobian[1], pt.Jacobian[3], pt.Jacobian[4]
+		for _, e := range pt.Eigs {
+			v, ok := mat.EigenVector2(a, b, c, d, e.Re)
+			if !ok {
+				continue
+			}
+			sign := 1
+			if e.Re < 0 {
+				sign = -1
+			}
+			pt.SeedDirs = append(pt.SeedDirs, [3]float64{v[0], v[1], 0})
+			pt.SeedSigns = append(pt.SeedSigns, sign)
+		}
+		return
+	}
+	var realDir [3]float64
+	haveComplex := false
+	var complexSign int
+	for _, e := range pt.Eigs {
+		if e.Im != 0 {
+			if e.Im > 0 { // one entry per conjugate pair
+				haveComplex = true
+				complexSign = 1
+				if e.Re < 0 {
+					complexSign = -1
+				}
+			}
+			continue
+		}
+		v, ok := mat.EigenVector3(pt.Jacobian, e.Re)
+		if !ok {
+			continue
+		}
+		sign := 1
+		if e.Re < 0 {
+			sign = -1
+		}
+		pt.SeedDirs = append(pt.SeedDirs, v)
+		pt.SeedSigns = append(pt.SeedSigns, sign)
+		realDir = v
+	}
+	if haveComplex {
+		// Span the invariant plane with two directions orthogonal to the
+		// real eigen-direction.
+		u1, u2 := orthonormalComplement(realDir)
+		pt.SeedDirs = append(pt.SeedDirs, u1, u2)
+		pt.SeedSigns = append(pt.SeedSigns, complexSign, complexSign)
+	}
+}
+
+// orthonormalComplement returns two unit vectors orthogonal to v and to
+// each other.
+func orthonormalComplement(v [3]float64) (a, b [3]float64) {
+	n := math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+	if n < 1e-14 {
+		return [3]float64{1, 0, 0}, [3]float64{0, 1, 0}
+	}
+	w := [3]float64{v[0] / n, v[1] / n, v[2] / n}
+	ref := [3]float64{1, 0, 0}
+	if math.Abs(w[0]) > 0.9 {
+		ref = [3]float64{0, 1, 0}
+	}
+	a = [3]float64{
+		w[1]*ref[2] - w[2]*ref[1],
+		w[2]*ref[0] - w[0]*ref[2],
+		w[0]*ref[1] - w[1]*ref[0],
+	}
+	an := math.Sqrt(a[0]*a[0] + a[1]*a[1] + a[2]*a[2])
+	a = [3]float64{a[0] / an, a[1] / an, a[2] / an}
+	b = [3]float64{
+		w[1]*a[2] - w[2]*a[1],
+		w[2]*a[0] - w[0]*a[2],
+		w[0]*a[1] - w[1]*a[0],
+	}
+	return a, b
+}
+
+// Extract returns all critical points of f in cell-index order.
+func Extract(f *field.Field) []Point {
+	var pts []Point
+	nc := f.Grid.NumCells()
+	for c := 0; c < nc; c++ {
+		if pt, ok := ExtractCell(f, c); ok {
+			pts = append(pts, pt)
+		}
+	}
+	return pts
+}
+
+// ExtractRange returns the critical points of cells [lo, hi), used by the
+// parallel extraction driver.
+func ExtractRange(f *field.Field, lo, hi int) []Point {
+	var pts []Point
+	for c := lo; c < hi; c++ {
+		if pt, ok := ExtractCell(f, c); ok {
+			pts = append(pts, pt)
+		}
+	}
+	return pts
+}
+
+// CountSaddles returns the number of saddles in pts.
+func CountSaddles(pts []Point) int {
+	n := 0
+	for _, p := range pts {
+		if p.Type == Saddle {
+			n++
+		}
+	}
+	return n
+}

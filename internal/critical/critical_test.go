@@ -1,0 +1,336 @@
+package critical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tspsz/internal/field"
+)
+
+// fill2D samples an analytic vector field onto f, with the field evaluated
+// at lattice positions shifted so features land at chosen spots.
+func fill2D(f *field.Field, fn func(x, y float64) (float64, float64)) {
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		u, v := fn(p[0], p[1])
+		f.U[idx] = float32(u)
+		f.V[idx] = float32(v)
+	}
+}
+
+func fill3D(f *field.Field, fn func(x, y, z float64) (float64, float64, float64)) {
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		u, v, w := fn(p[0], p[1], p[2])
+		f.U[idx] = float32(u)
+		f.V[idx] = float32(v)
+		f.W[idx] = float32(w)
+	}
+}
+
+// A pure source field V = (x-c, y-c) has exactly one critical point at c.
+func TestExtractSource2D(t *testing.T) {
+	f := field.New2D(9, 9)
+	const cx, cy = 4.3, 4.2
+	fill2D(f, func(x, y float64) (float64, float64) { return x - cx, y - cy })
+	pts := Extract(f)
+	if len(pts) != 1 {
+		t.Fatalf("found %d critical points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Type != Source {
+		t.Errorf("type = %v, want source", p.Type)
+	}
+	if math.Abs(p.Pos[0]-cx) > 1e-5 || math.Abs(p.Pos[1]-cy) > 1e-5 {
+		t.Errorf("position %v, want (%v,%v)", p.Pos, cx, cy)
+	}
+	if p.Spiral {
+		t.Error("radial source misclassified as spiral")
+	}
+}
+
+func TestExtractSink2D(t *testing.T) {
+	f := field.New2D(9, 9)
+	fill2D(f, func(x, y float64) (float64, float64) { return -(x - 4), -(y - 4) })
+	pts := Extract(f)
+	if len(pts) == 0 || pts[0].Type != Sink {
+		t.Fatalf("want one sink, got %v", pts)
+	}
+}
+
+func TestExtractSpiralSink2D(t *testing.T) {
+	f := field.New2D(9, 9)
+	// V = ((-0.2(x-4) - (y-4)), (x-4) - 0.2(y-4)): spiral sink.
+	fill2D(f, func(x, y float64) (float64, float64) {
+		return -0.2*(x-4.3) - (y - 4.2), (x - 4.3) - 0.2*(y-4.2)
+	})
+	pts := Extract(f)
+	if len(pts) != 1 {
+		t.Fatalf("found %d critical points, want 1", len(pts))
+	}
+	if pts[0].Type != Sink || !pts[0].Spiral {
+		t.Errorf("got %v spiral=%v, want spiral sink", pts[0].Type, pts[0].Spiral)
+	}
+}
+
+func TestExtractSaddle2D(t *testing.T) {
+	f := field.New2D(9, 9)
+	fill2D(f, func(x, y float64) (float64, float64) { return x - 4.5, -(y - 4.5) })
+	pts := Extract(f)
+	// The saddle sits on a cell edge crossing; extraction may find it in
+	// one or two adjacent cells. At least one must be a saddle.
+	var saddle *Point
+	for i := range pts {
+		if pts[i].Type == Saddle {
+			saddle = &pts[i]
+		}
+	}
+	if saddle == nil {
+		t.Fatalf("no saddle found in %v", pts)
+	}
+	if math.Abs(saddle.Pos[0]-4.5) > 1e-5 || math.Abs(saddle.Pos[1]-4.5) > 1e-5 {
+		t.Errorf("saddle at %v, want (4.5,4.5)", saddle.Pos)
+	}
+	if len(saddle.SeedDirs) != 2 || len(saddle.SeedSigns) != 2 {
+		t.Fatalf("saddle has %d seed dirs, want 2", len(saddle.SeedDirs))
+	}
+	// For this diagonal field the unstable direction is x, stable is y.
+	for i, d := range saddle.SeedDirs {
+		sign := saddle.SeedSigns[i]
+		if sign == 1 && math.Abs(math.Abs(d[0])-1) > 1e-9 {
+			t.Errorf("unstable dir %v, want ±x", d)
+		}
+		if sign == -1 && math.Abs(math.Abs(d[1])-1) > 1e-9 {
+			t.Errorf("stable dir %v, want ±y", d)
+		}
+	}
+}
+
+func TestExtractNoCP(t *testing.T) {
+	f := field.New2D(8, 8)
+	fill2D(f, func(x, y float64) (float64, float64) { return 1, 0.5 }) // uniform flow
+	if pts := Extract(f); len(pts) != 0 {
+		t.Fatalf("uniform flow has %d critical points, want 0", len(pts))
+	}
+}
+
+func TestExtractSource3D(t *testing.T) {
+	f := field.New3D(7, 7, 7)
+	fill3D(f, func(x, y, z float64) (float64, float64, float64) {
+		return x - 3.2, y - 3.4, z - 3.6
+	})
+	pts := Extract(f)
+	if len(pts) != 1 {
+		t.Fatalf("found %d critical points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Type != Source {
+		t.Errorf("type %v, want source", p.Type)
+	}
+	want := [3]float64{3.2, 3.4, 3.6}
+	for d := 0; d < 3; d++ {
+		if math.Abs(p.Pos[d]-want[d]) > 1e-5 {
+			t.Errorf("position %v, want %v", p.Pos, want)
+		}
+	}
+}
+
+func TestExtractSaddle3D(t *testing.T) {
+	f := field.New3D(7, 7, 7)
+	fill3D(f, func(x, y, z float64) (float64, float64, float64) {
+		return x - 3.3, 1.5 * (y - 3.45), -2 * (z - 3.6)
+	})
+	pts := Extract(f)
+	if len(pts) != 1 {
+		t.Fatalf("found %d critical points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Type != Saddle {
+		t.Fatalf("type %v, want saddle", p.Type)
+	}
+	if len(p.SeedDirs) != 3 {
+		t.Fatalf("3D saddle has %d seed dirs, want 3", len(p.SeedDirs))
+	}
+	fwd, bwd := 0, 0
+	for _, s := range p.SeedSigns {
+		if s == 1 {
+			fwd++
+		} else {
+			bwd++
+		}
+	}
+	if fwd != 2 || bwd != 1 {
+		t.Errorf("seed signs %v, want two forward one backward", p.SeedSigns)
+	}
+}
+
+func TestExtractSpiralSaddle3DSeedsPlane(t *testing.T) {
+	f := field.New3D(7, 7, 7)
+	// Spiral in xy (unstable), contracting in z: eigenvalues 0.3±i, -1.
+	fill3D(f, func(x, y, z float64) (float64, float64, float64) {
+		dx, dy, dz := x-3.3, y-3.45, z-3.6
+		return 0.3*dx - dy, dx + 0.3*dy, -dz
+	})
+	pts := Extract(f)
+	if len(pts) != 1 {
+		t.Fatalf("found %d, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Type != Saddle || !p.Spiral {
+		t.Fatalf("got %v spiral=%v, want spiral saddle", p.Type, p.Spiral)
+	}
+	if len(p.SeedDirs) != 3 {
+		t.Fatalf("spiral saddle has %d seeds, want 3 (1 real + plane pair)", len(p.SeedDirs))
+	}
+}
+
+// Barycentric3D must agree with direct linear solution of the zero-crossing
+// system.
+func TestBarycentric3DAgainstSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		var v [4][3]float64
+		for i := range v {
+			for d := 0; d < 3; d++ {
+				v[i][d] = rng.NormFloat64()
+			}
+		}
+		d4, M := Barycentric3D(v)
+		if math.Abs(M) < 1e-6 {
+			continue
+		}
+		// Verify Σ_k (d_k/M)·v_k == 0 and Σ_k d_k/M == 1.
+		var r [3]float64
+		sum := 0.0
+		for k := 0; k < 4; k++ {
+			mu := d4[k] / M
+			sum += mu
+			for c := 0; c < 3; c++ {
+				r[c] += mu * v[k][c]
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("barycentric sum %v != 1", sum)
+		}
+		for c := 0; c < 3; c++ {
+			if math.Abs(r[c]) > 1e-8*(1+math.Abs(M)) {
+				t.Fatalf("trial %d: residual %v for v=%v", trial, r, v)
+			}
+		}
+	}
+}
+
+func TestBarycentric2DZeroReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		var v [3][2]float64
+		for i := range v {
+			v[i][0] = rng.NormFloat64()
+			v[i][1] = rng.NormFloat64()
+		}
+		m, M := Barycentric2D(v)
+		if math.Abs(M) < 1e-6 {
+			continue
+		}
+		var ru, rv float64
+		for k := 0; k < 3; k++ {
+			mu := m[k] / M
+			ru += mu * v[k][0]
+			rv += mu * v[k][1]
+		}
+		if math.Abs(ru) > 1e-9 || math.Abs(rv) > 1e-9 {
+			t.Fatalf("trial %d: residual (%v,%v)", trial, ru, rv)
+		}
+	}
+}
+
+// The Jacobian of a linear field must be recovered exactly in every cell.
+func TestCellJacobianLinearField(t *testing.T) {
+	f := field.New3D(4, 4, 4)
+	J := [9]float64{1, 2, -1, 0.5, -3, 2, 4, 0, 1}
+	fill3D(f, func(x, y, z float64) (float64, float64, float64) {
+		return J[0]*x + J[1]*y + J[2]*z, J[3]*x + J[4]*y + J[5]*z, J[6]*x + J[7]*y + J[8]*z
+	})
+	for c := 0; c < f.Grid.NumCells(); c++ {
+		got, ok := CellJacobian(f, c)
+		if !ok {
+			t.Fatalf("cell %d: Jacobian failed", c)
+		}
+		for i := range J {
+			if math.Abs(got[i]-J[i]) > 1e-4 {
+				t.Fatalf("cell %d: J[%d] = %v, want %v", c, i, got[i], J[i])
+			}
+		}
+	}
+}
+
+// Extraction must be stable: ExtractRange over a partition equals Extract.
+func TestExtractRangePartition(t *testing.T) {
+	f := field.New2D(16, 16)
+	rng := rand.New(rand.NewSource(12))
+	for i := range f.U {
+		f.U[i] = rng.Float32()*2 - 1
+		f.V[i] = rng.Float32()*2 - 1
+	}
+	all := Extract(f)
+	nc := f.Grid.NumCells()
+	var parts []Point
+	for lo := 0; lo < nc; lo += 37 {
+		hi := lo + 37
+		if hi > nc {
+			hi = nc
+		}
+		parts = append(parts, ExtractRange(f, lo, hi)...)
+	}
+	if len(all) != len(parts) {
+		t.Fatalf("partitioned extraction found %d points, serial %d", len(parts), len(all))
+	}
+	for i := range all {
+		if all[i].Cell != parts[i].Cell || all[i].Type != parts[i].Type {
+			t.Fatalf("mismatch at %d: %+v vs %+v", i, all[i], parts[i])
+		}
+	}
+}
+
+func TestCountSaddles(t *testing.T) {
+	pts := []Point{{Type: Saddle}, {Type: Source}, {Type: Saddle}, {Type: Sink}}
+	if got := CountSaddles(pts); got != 2 {
+		t.Errorf("CountSaddles = %d, want 2", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{Source: "source", Sink: "sink", Saddle: "saddle", Degenerate: "degenerate"} {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+// Seed directions must actually be eigen-directions of the Jacobian.
+func TestSaddleSeedDirsAreEigenvectors(t *testing.T) {
+	f := field.New2D(9, 9)
+	fill2D(f, func(x, y float64) (float64, float64) {
+		return 2*(x-4.3) + (y - 4.3), (x - 4.3) - 1.5*(y-4.3)
+	})
+	pts := Extract(f)
+	var saddle *Point
+	for i := range pts {
+		if pts[i].Type == Saddle {
+			saddle = &pts[i]
+		}
+	}
+	if saddle == nil {
+		t.Fatal("no saddle")
+	}
+	for i, d := range saddle.SeedDirs {
+		// J d must be parallel to d.
+		jx := saddle.Jacobian[0]*d[0] + saddle.Jacobian[1]*d[1]
+		jy := saddle.Jacobian[3]*d[0] + saddle.Jacobian[4]*d[1]
+		crossZ := jx*d[1] - jy*d[0]
+		if math.Abs(crossZ) > 1e-8 {
+			t.Errorf("seed %d: J d not parallel to d (cross=%v)", i, crossZ)
+		}
+	}
+}

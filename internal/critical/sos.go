@@ -1,0 +1,68 @@
+package critical
+
+import (
+	"tspsz/internal/field"
+	"tspsz/internal/robust"
+)
+
+// ExtractSoS2D extracts critical points of a 2D field with the
+// sign-of-determinant predicate under Simulation of Simplicity [46], the
+// detection scheme cpSZ-sos preserves. A cell contains a critical point
+// exactly when the three barycentric determinant signs agree; SoS
+// perturbation makes every sign decision nonzero and globally consistent,
+// so a critical point lying exactly on a shared face is claimed by exactly
+// one of the adjacent cells — unlike the numerical extractor, which
+// reports it in both.
+func ExtractSoS2D(f *field.Field) []Point {
+	if f.Dim() != 2 {
+		panic("critical: ExtractSoS2D requires a 2D field")
+	}
+	var pts []Point
+	nc := f.Grid.NumCells()
+	var vbuf [4]int
+	for c := 0; c < nc; c++ {
+		vs := f.Grid.CellVertices(c, vbuf[:0])
+		if !cellHasCPSoS(f, vs) {
+			continue
+		}
+		// Reuse the numerical solver for position/classification; SoS only
+		// decides membership. For face-degenerate points the numerical μ
+		// may sit exactly on the boundary, which is fine for positions.
+		if pt, ok := ExtractCell(f, c); ok {
+			pts = append(pts, pt)
+			continue
+		}
+		// Membership held under SoS but the numerical test rejected it
+		// (boundary rounding): synthesize the point at the cell centroid
+		// of the numerical solution clamped into the cell.
+		var pbuf [4][3]float64
+		ps := f.Grid.CellVerticesPositions(c, pbuf[:0])
+		var pos [3]float64
+		for _, p := range ps {
+			for d := 0; d < 3; d++ {
+				pos[d] += p[d] / float64(len(ps))
+			}
+		}
+		pt := Point{Cell: c, Pos: pos}
+		if J, ok := CellJacobian(f, c); ok {
+			pt.Jacobian = J
+			classify(&pt, 2)
+		} else {
+			pt.Type = Degenerate
+		}
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// cellHasCPSoS evaluates the three SoS determinant signs of Eq. 2.
+func cellHasCPSoS(f *field.Field, vs []int) bool {
+	u := [3]float64{float64(f.U[vs[0]]), float64(f.U[vs[1]]), float64(f.U[vs[2]])}
+	v := [3]float64{float64(f.V[vs[0]]), float64(f.V[vs[1]]), float64(f.V[vs[2]])}
+	// m0 = det(V1, V2), m1 = det(V2, V0), m2 = det(V0, V1), all with the
+	// global vertex indices driving the SoS perturbation order.
+	s0 := robust.SoSDetSign2(u[1], v[1], vs[1], u[2], v[2], vs[2])
+	s1 := robust.SoSDetSign2(u[2], v[2], vs[2], u[0], v[0], vs[0])
+	s2 := robust.SoSDetSign2(u[0], v[0], vs[0], u[1], v[1], vs[1])
+	return s0 == s1 && s1 == s2
+}

@@ -1,0 +1,84 @@
+package critical
+
+import (
+	"tspsz/internal/field"
+	"tspsz/internal/robust"
+)
+
+// ExtractSoS3D is the tetrahedral analogue of ExtractSoS2D: critical point
+// membership decided by the four barycentric determinant signs under
+// Simulation of Simplicity, so face- and edge-degenerate points are
+// claimed by exactly one tetrahedron.
+func ExtractSoS3D(f *field.Field) []Point {
+	if f.Dim() != 3 {
+		panic("critical: ExtractSoS3D requires a 3D field")
+	}
+	var pts []Point
+	nc := f.Grid.NumCells()
+	var vbuf [4]int
+	for c := 0; c < nc; c++ {
+		vs := f.Grid.CellVertices(c, vbuf[:0])
+		if !cellHasCPSoS3D(f, vs) {
+			continue
+		}
+		if pt, ok := ExtractCell(f, c); ok {
+			pts = append(pts, pt)
+			continue
+		}
+		var pbuf [4][3]float64
+		ps := f.Grid.CellVerticesPositions(c, pbuf[:0])
+		var pos [3]float64
+		for _, p := range ps {
+			for d := 0; d < 3; d++ {
+				pos[d] += p[d] / float64(len(ps))
+			}
+		}
+		pt := Point{Cell: c, Pos: pos}
+		if J, ok := CellJacobian(f, c); ok {
+			pt.Jacobian = J
+			classify(&pt, 3)
+		} else {
+			pt.Type = Degenerate
+		}
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// cellHasCPSoS3D checks that all four signed barycentric determinants
+// d_k = (−1)^(k+1)·det3(columns ≠ k) share a sign under SoS.
+func cellHasCPSoS3D(f *field.Field, vs []int) bool {
+	col := func(slot int) robust.Vec3 {
+		vi := vs[slot]
+		return robust.Vec3{
+			U:   float64(f.U[vi]),
+			V:   float64(f.V[vi]),
+			W:   float64(f.W[vi]),
+			Idx: vi,
+		}
+	}
+	var ref int
+	for k := 0; k < 4; k++ {
+		var cols [3]robust.Vec3
+		ci := 0
+		for s := 0; s < 4; s++ {
+			if s == k {
+				continue
+			}
+			cols[ci] = col(s)
+			ci++
+		}
+		s := robust.SoSDetSign3(cols[0], cols[1], cols[2])
+		if k%2 == 0 {
+			s = -s // the (−1)^(k+1) factor
+		}
+		if k == 0 {
+			ref = s
+			continue
+		}
+		if s != ref {
+			return false
+		}
+	}
+	return true
+}

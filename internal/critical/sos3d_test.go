@@ -1,0 +1,62 @@
+package critical
+
+import (
+	"testing"
+
+	"tspsz/internal/field"
+)
+
+// A 3D critical point exactly on the main diagonal of a cube is shared by
+// all six Kuhn tetrahedra: the numerical extractor reports it many times,
+// SoS exactly once.
+func TestExtractSoS3DDeduplicatesDiagonalCP(t *testing.T) {
+	f := field.New3D(7, 7, 7)
+	fill3D(f, func(x, y, z float64) (float64, float64, float64) {
+		return x - 3.25, y - 3.25, z - 3.25 // exactly on the cube diagonal
+	})
+	numeric := Extract(f)
+	sos := ExtractSoS3D(f)
+	if len(numeric) < 2 {
+		t.Skipf("numerical extractor found %d; diagonal placement did not collide", len(numeric))
+	}
+	if len(sos) != 1 {
+		t.Fatalf("SoS found %d critical points, want 1 (numeric found %d)", len(sos), len(numeric))
+	}
+	if sos[0].Type != Source {
+		t.Errorf("type %v, want source", sos[0].Type)
+	}
+}
+
+func TestExtractSoS3DMatchesNumericGeneric(t *testing.T) {
+	f := field.New3D(10, 9, 8)
+	fill3D(f, func(x, y, z float64) (float64, float64, float64) {
+		return x - 4.31, 1.4 * (y - 3.94), -0.7 * (z - 3.57)
+	})
+	numeric := Extract(f)
+	sos := ExtractSoS3D(f)
+	if len(numeric) != len(sos) {
+		t.Fatalf("numeric %d vs SoS %d", len(numeric), len(sos))
+	}
+	for i := range numeric {
+		if numeric[i].Cell != sos[i].Cell {
+			t.Fatalf("cp %d cell differs", i)
+		}
+	}
+}
+
+func TestExtractSoS3DUniformNoCP(t *testing.T) {
+	f := field.New3D(6, 6, 6)
+	fill3D(f, func(x, y, z float64) (float64, float64, float64) { return 1, 0.5, -0.2 })
+	if pts := ExtractSoS3D(f); len(pts) != 0 {
+		t.Fatalf("uniform 3D flow: SoS found %d", len(pts))
+	}
+}
+
+func TestExtractSoS3DPanicsOn2D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2D input")
+		}
+	}()
+	ExtractSoS3D(field.New2D(4, 4))
+}

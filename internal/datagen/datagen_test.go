@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/field"
+)
+
+func finite(t *testing.T, f *field.Field, name string) {
+	t.Helper()
+	for c, comp := range f.Components() {
+		for i, v := range comp {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: component %d vertex %d is %v", name, c, i, v)
+			}
+		}
+	}
+}
+
+func TestGeneratorsProduceTopology(t *testing.T) {
+	cases := []struct {
+		name       string
+		f          *field.Field
+		minCPs     int
+		minSaddles int
+	}{
+		{"cba", CBA(150, 50), 2, 1},
+		{"ocean", Ocean(120, 80), 10, 3},
+		{"hurricane", Hurricane(40, 40, 12), 5, 1},
+		{"nek5000", Nek5000(24), 10, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			finite(t, tc.f, tc.name)
+			cps := critical.Extract(tc.f)
+			if len(cps) < tc.minCPs {
+				t.Errorf("%s: %d critical points, want >= %d", tc.name, len(cps), tc.minCPs)
+			}
+			if s := critical.CountSaddles(cps); s < tc.minSaddles {
+				t.Errorf("%s: %d saddles, want >= %d", tc.name, s, tc.minSaddles)
+			}
+		})
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Ocean(60, 40)
+	b := Ocean(60, 40)
+	for i := range a.U {
+		if a.U[i] != b.U[i] || a.V[i] != b.V[i] {
+			t.Fatal("Ocean generator not deterministic")
+		}
+	}
+	c := Nek5000(12)
+	d := Nek5000(12)
+	for i := range c.U {
+		if c.U[i] != d.U[i] || c.W[i] != d.W[i] {
+			t.Fatal("Nek5000 generator not deterministic")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		f, err := ByName(name, 0.05)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if f.NumVertices() == 0 {
+			t.Fatalf("ByName(%q): empty field", name)
+		}
+	}
+	if _, err := ByName("nope", 0.5); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := ByName("cba", 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := ByName("cba", 1.5); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+}
+
+func TestByNameFullScaleDims(t *testing.T) {
+	f, err := ByName("cba", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, ny, _ := f.Grid.Dims()
+	if nx != 450 || ny != 150 {
+		t.Errorf("cba full scale = %dx%d, want 450x150 (Table III)", nx, ny)
+	}
+}
+
+// Ocean and Nek5000 stand in for the turbulent datasets: they must have a
+// markedly higher saddle density than the smooth CBA/Hurricane analogues.
+func TestTurbulentDatasetsDenserTopology(t *testing.T) {
+	smooth := CBA(150, 50)
+	turb := Ocean(150, 50)
+	ds := float64(len(critical.Extract(smooth))) / float64(smooth.NumVertices())
+	dt := float64(len(critical.Extract(turb))) / float64(turb.NumVertices())
+	if dt <= ds {
+		t.Errorf("ocean cp density %v not above cba %v", dt, ds)
+	}
+}

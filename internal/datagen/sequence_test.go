@@ -1,0 +1,52 @@
+package datagen
+
+import (
+	"testing"
+
+	"tspsz/internal/critical"
+)
+
+func TestOceanSequenceShapeAndDrift(t *testing.T) {
+	frames := OceanSequence(60, 40, 4)
+	if len(frames) != 4 {
+		t.Fatalf("%d frames, want 4", len(frames))
+	}
+	for i, f := range frames {
+		if f.NumVertices() != 60*40 {
+			t.Fatalf("frame %d: %d vertices", i, f.NumVertices())
+		}
+		finite(t, f, "ocean-seq")
+	}
+	// Consecutive frames must differ (drift) but only mildly (coherence).
+	var diff, mag float64
+	for i := range frames[0].U {
+		d := float64(frames[1].U[i] - frames[0].U[i])
+		diff += d * d
+		m := float64(frames[0].U[i])
+		mag += m * m
+	}
+	if diff == 0 {
+		t.Fatal("frames identical; no drift")
+	}
+	if diff > mag {
+		t.Fatalf("frames differ too much for temporal coherence: %v vs %v", diff, mag)
+	}
+	// Topology persists across frames.
+	for i, f := range frames {
+		if cps := critical.Extract(f); len(cps) < 10 {
+			t.Fatalf("frame %d: only %d critical points", i, len(cps))
+		}
+	}
+}
+
+func TestOceanSequenceDeterministic(t *testing.T) {
+	a := OceanSequence(30, 20, 2)
+	b := OceanSequence(30, 20, 2)
+	for fi := range a {
+		for i := range a[fi].U {
+			if a[fi].U[i] != b[fi].U[i] {
+				t.Fatal("sequence generator not deterministic")
+			}
+		}
+	}
+}

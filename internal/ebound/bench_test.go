@@ -1,0 +1,61 @@
+package ebound
+
+import (
+	"math/rand"
+	"testing"
+
+	"tspsz/internal/field"
+)
+
+func randomField2D(n int, seed int64) *field.Field {
+	f := field.New2D(n, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range f.U {
+		f.U[i] = rng.Float32()*2 - 1
+		f.V[i] = rng.Float32()*2 - 1
+	}
+	return f
+}
+
+func randomField3D(n int, seed int64) *field.Field {
+	f := field.New3D(n, n, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range f.U {
+		f.U[i] = rng.Float32()*2 - 1
+		f.V[i] = rng.Float32()*2 - 1
+		f.W[i] = rng.Float32()*2 - 1
+	}
+	return f
+}
+
+func BenchmarkVertexBound2DAbs(b *testing.B) {
+	f := randomField2D(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VertexBound(f, i%f.NumVertices(), Absolute)
+	}
+}
+
+func BenchmarkVertexBound2DRel(b *testing.B) {
+	f := randomField2D(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VertexBound(f, i%f.NumVertices(), Relative)
+	}
+}
+
+func BenchmarkVertexBound3DAbs(b *testing.B) {
+	f := randomField3D(24, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VertexBound(f, i%f.NumVertices(), Absolute)
+	}
+}
+
+func BenchmarkVertexBoundSoS3D(b *testing.B) {
+	f := randomField3D(24, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VertexBoundSoS(f, i%f.NumVertices(), Absolute)
+	}
+}

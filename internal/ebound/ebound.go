@@ -1,0 +1,244 @@
+// Package ebound derives the coupled per-vertex error bounds that make
+// lossy compression critical-point preserving. For every cell adjacent to
+// the vertex being compressed, it computes the largest perturbation of that
+// vertex's vector components that provably cannot create a false-positive
+// critical point (Theorem 1 of the paper for point-wise relative bounds,
+// and the Lemma 1 derivation of §VI-B for the absolute bounds TspSZ
+// introduces). Cells that do contain a critical point force the vertex to
+// be encoded losslessly (the "revised cpSZ" of §IV-B, which eliminates
+// false negatives and false types and keeps exact positions/eigenvectors).
+package ebound
+
+import (
+	"math"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/field"
+)
+
+// Mode selects the error-control flavour.
+type Mode int
+
+const (
+	// Relative is cpSZ's original point-wise relative error control:
+	// |x−x′| ≤ ε_r·|x| per component (Theorem 1).
+	Relative Mode = iota
+	// Absolute is the absolute error control TspSZ derives in §VI-B:
+	// |x−x′| ≤ ε_a per component (Lemma 1).
+	Absolute
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Absolute {
+		return "abs"
+	}
+	return "rel"
+}
+
+// signEB returns the maximal error bound keeping the sign of the linear
+// expression C + Σ_i A_i·ξ_i where each |ξ_i| ≤ ε·w_i. In absolute mode all
+// weights w_i are 1 (Lemma 1: ε = |C| / Σ|A_i|); in relative mode w_i is
+// the magnitude of the perturbed component (ε = |C| / Σ|A_i·x_i|).
+// A zero denominator means the expression ignores the perturbation: +Inf.
+// A zero C means the sign is not strictly preservable: 0.
+func signEB(c float64, coeffs, weights *[3]float64, n int) float64 {
+	den := 0.0
+	for i := 0; i < n; i++ {
+		den += math.Abs(coeffs[i] * weights[i])
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	if c == 0 {
+		return 0
+	}
+	// Shave a relative safety margin: at exactly |ξ_i| = ε·w_i the
+	// expression touches zero and floating-point rounding could push it
+	// across. The margin is orders of magnitude above the accumulated
+	// rounding error, keeping sign preservation strict.
+	const margin = 1 - 1e-9
+	return math.Abs(c) / den * margin
+}
+
+// Cell2D returns the maximal error bound for perturbing both components of
+// vertex cur of a triangle with vertex vectors v, such that the cell cannot
+// acquire a false-positive critical point. hasCP reports that the cell
+// already contains a critical point, in which case the vertex must be
+// stored losslessly and eb is 0.
+func Cell2D(v [3][2]float64, cur int, mode Mode) (eb float64, hasCP bool) {
+	m, M := critical.Barycentric2D(v)
+	// A degenerate cell (M == 0) holds no critical point; eligibility below
+	// treats every k as outside so a sign-preserving bound is still derived.
+	if M != 0 {
+		inside := true
+		for k := 0; k < 3; k++ {
+			if mu := m[k] / M; mu < 0 || mu > 1 {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return 0, true
+		}
+	}
+	weights := perturbWeights2D(v[cur], mode)
+	best := 0.0
+	for k := 0; k < 3; k++ {
+		if M != 0 {
+			if mu := m[k] / M; mu >= 0 && mu <= 1 {
+				continue
+			}
+		}
+		// Coefficients of m_k and (M − m_k) w.r.t. (ξ_u, ξ_v) on vertex
+		// cur, obtained exactly from unit perturbations (all expressions
+		// are linear in the perturbation).
+		cM, a0, a1 := linearize2D(v, cur, k)
+		e := math.Min(
+			signEB(cM[0], &a0, &weights, 2),
+			signEB(cM[1], &a1, &weights, 2),
+		)
+		if e > best {
+			best = e
+		}
+	}
+	return best, false
+}
+
+// linearize2D returns the constants and perturbation coefficients of
+// (m_k, M−m_k) as linear functions of the perturbation (ξ_u, ξ_v) applied
+// to vertex cur: value = C + A_u·ξ_u + A_v·ξ_v.
+func linearize2D(v [3][2]float64, cur, k int) (c [2]float64, a0, a1 [3]float64) {
+	eval := func(du, dv float64) (mk, rest float64) {
+		w := v
+		w[cur][0] += du
+		w[cur][1] += dv
+		m, M := critical.Barycentric2D(w)
+		return m[k], M - m[k]
+	}
+	c0, c1 := eval(0, 0)
+	u0, u1 := eval(1, 0)
+	v0, v1 := eval(0, 1)
+	c = [2]float64{c0, c1}
+	a0 = [3]float64{u0 - c0, v0 - c0}
+	a1 = [3]float64{u1 - c1, v1 - c1}
+	return c, a0, a1
+}
+
+func perturbWeights2D(cur [2]float64, mode Mode) [3]float64 {
+	if mode == Absolute {
+		return [3]float64{1, 1}
+	}
+	return [3]float64{math.Abs(cur[0]), math.Abs(cur[1])}
+}
+
+// Cell3D is the tetrahedral analogue of Cell2D, using the generalized
+// Lemma 1 bound ε = |C| / Σ|A_i| over the three perturbed components.
+func Cell3D(v [4][3]float64, cur int, mode Mode) (eb float64, hasCP bool) {
+	d, M := critical.Barycentric3D(v)
+	if M != 0 {
+		inside := true
+		for k := 0; k < 4; k++ {
+			if mu := d[k] / M; mu < 0 || mu > 1 {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return 0, true
+		}
+	}
+	weights := perturbWeights3D(v[cur], mode)
+	best := 0.0
+	for k := 0; k < 4; k++ {
+		if M != 0 {
+			if mu := d[k] / M; mu >= 0 && mu <= 1 {
+				continue
+			}
+		}
+		cM, a0, a1 := linearize3D(v, cur, k)
+		e := math.Min(
+			signEB(cM[0], &a0, &weights, 3),
+			signEB(cM[1], &a1, &weights, 3),
+		)
+		if e > best {
+			best = e
+		}
+	}
+	return best, false
+}
+
+func linearize3D(v [4][3]float64, cur, k int) (c [2]float64, a0, a1 [3]float64) {
+	eval := func(du, dv, dw float64) (dk, rest float64) {
+		w := v
+		w[cur][0] += du
+		w[cur][1] += dv
+		w[cur][2] += dw
+		d, M := critical.Barycentric3D(w)
+		return d[k], M - d[k]
+	}
+	c0, c1 := eval(0, 0, 0)
+	pu0, pu1 := eval(1, 0, 0)
+	pv0, pv1 := eval(0, 1, 0)
+	pw0, pw1 := eval(0, 0, 1)
+	c = [2]float64{c0, c1}
+	a0 = [3]float64{pu0 - c0, pv0 - c0, pw0 - c0}
+	a1 = [3]float64{pu1 - c1, pv1 - c1, pw1 - c1}
+	return c, a0, a1
+}
+
+func perturbWeights3D(cur [3]float64, mode Mode) [3]float64 {
+	if mode == Absolute {
+		return [3]float64{1, 1, 1}
+	}
+	return [3]float64{math.Abs(cur[0]), math.Abs(cur[1]), math.Abs(cur[2])}
+}
+
+// VertexBound aggregates the per-cell bounds over all cells adjacent to
+// vertex idx of f (Algorithm 1, lines 3-7): the minimum bound across cells.
+// hasCP is true when any adjacent cell contains a critical point, which
+// forces lossless encoding of the vertex. The field must hold the *current*
+// working values: already-compressed vertices carry their decompressed
+// values, unprocessed vertices their originals.
+func VertexBound(f *field.Field, idx int, mode Mode) (eb float64, hasCP bool) {
+	var cbuf [24]int
+	cells := f.Grid.VertexCells(idx, cbuf[:0])
+	eb = math.Inf(1)
+	var vbuf [4]int
+	for _, c := range cells {
+		vs := f.Grid.CellVertices(c, vbuf[:0])
+		var cellEB float64
+		var cellCP bool
+		if f.Dim() == 2 {
+			var v [3][2]float64
+			cur := -1
+			for i, vi := range vs {
+				v[i][0] = float64(f.U[vi])
+				v[i][1] = float64(f.V[vi])
+				if vi == idx {
+					cur = i
+				}
+			}
+			cellEB, cellCP = Cell2D(v, cur, mode)
+		} else {
+			var v [4][3]float64
+			cur := -1
+			for i, vi := range vs {
+				v[i][0] = float64(f.U[vi])
+				v[i][1] = float64(f.V[vi])
+				v[i][2] = float64(f.W[vi])
+				if vi == idx {
+					cur = i
+				}
+			}
+			cellEB, cellCP = Cell3D(v, cur, mode)
+		}
+		if cellCP {
+			return 0, true
+		}
+		if cellEB < eb {
+			eb = cellEB
+		}
+	}
+	return eb, false
+}

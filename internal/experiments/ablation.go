@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tspsz/internal/cpsz"
+	"tspsz/internal/ebound"
+	"tspsz/internal/metrics"
+)
+
+// AblationRow is one configuration of the design-choice ablations
+// (DESIGN.md §4): predictor family and error-control mode, measured at the
+// codec level on the configured dataset.
+type AblationRow struct {
+	Knob   string // "predictor" or "mode"
+	Value  string
+	CR     float64
+	PSNR   float64
+	Tc, Td float64
+}
+
+// RunAblation measures the impact of the codec-level design choices the
+// repository isolates: Lorenzo vs SZ3-style interpolation prediction, and
+// relative vs absolute error control, all on the revised cpSZ without
+// separatrix machinery so the codec effect is unconfounded.
+func RunAblation(cfg DataConfig, workers int) ([]AblationRow, error) {
+	f, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	runOne := func(knob, value string, opts cpsz.Options) error {
+		t0 := time.Now()
+		res, err := cpsz.Compress(f, opts)
+		if err != nil {
+			return fmt.Errorf("%s=%s: %w", knob, value, err)
+		}
+		tc := time.Since(t0).Seconds()
+		t0 = time.Now()
+		var dec = res.Decompressed
+		if _, err := cpsz.Decompress(res.Bytes, opts.Workers); err != nil {
+			return err
+		}
+		rows = append(rows, AblationRow{
+			Knob: knob, Value: value,
+			CR:   metrics.CR(f, len(res.Bytes)),
+			PSNR: metrics.PSNR(f, dec),
+			Tc:   tc, Td: time.Since(t0).Seconds(),
+		})
+		return nil
+	}
+	for _, pred := range []cpsz.Predictor{cpsz.PredictorLorenzo, cpsz.PredictorInterpolation} {
+		if err := runOne("predictor", pred.String(), cpsz.Options{
+			Mode: ebound.Absolute, ErrBound: cfg.EpsAbs, Workers: workers, Predictor: pred,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, mode := range []ebound.Mode{ebound.Relative, ebound.Absolute} {
+		eps := cfg.EpsRel
+		if mode == ebound.Absolute {
+			eps = cfg.EpsAbs
+		}
+		if err := runOne("mode", mode.String(), cpsz.Options{
+			Mode: mode, ErrBound: eps, Workers: workers,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// PrintAblation renders the ablation rows.
+func PrintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %-14s %8s %8s %10s %10s\n", "Knob", "Value", "CR", "PSNR", "Tc(s)", "Td(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-14s %8.2f %8.2f %10.3f %10.3f\n", r.Knob, r.Value, r.CR, r.PSNR, r.Tc, r.Td)
+	}
+}
+
+// WriteAblationCSV emits the ablation rows as CSV.
+func WriteAblationCSV(w io.Writer, rows []AblationRow) error {
+	_, err := fmt.Fprintln(w, "knob,value,cr,psnr,tc_s,td_s")
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s\n",
+			r.Knob, r.Value, fmtF(r.CR), fmtF(r.PSNR), fmtF(r.Tc), fmtF(r.Td)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAblation(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	rows, err := RunAblation(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 predictors + 2 modes)", len(rows))
+	}
+	knobs := map[string]int{}
+	for _, r := range rows {
+		knobs[r.Knob]++
+		if r.CR <= 1 {
+			t.Errorf("%s=%s: CR %.2f not compressing", r.Knob, r.Value, r.CR)
+		}
+		if r.PSNR < 20 {
+			t.Errorf("%s=%s: implausible PSNR %.2f", r.Knob, r.Value, r.PSNR)
+		}
+	}
+	if knobs["predictor"] != 2 || knobs["mode"] != 2 {
+		t.Errorf("knob counts %v", knobs)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, "ab", rows)
+	if !strings.Contains(buf.String(), "Knob") {
+		t.Error("PrintAblation missing header")
+	}
+	buf.Reset()
+	if err := WriteAblationCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "knob,value,") {
+		t.Error("CSV header missing")
+	}
+}

@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VIII): the quantitative Tables IV–VII, the rate-distortion
+// curves of Fig. 4, the scalability sweep of Fig. 8, the parameter study of
+// Table VIII, and the error/lossless maps behind Figs. 3 and 6. It is
+// shared by cmd/tspbench and the root bench_test.go so the numbers printed
+// by both come from exactly the same code.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tspsz/internal/datagen"
+	"tspsz/internal/field"
+	"tspsz/internal/integrate"
+)
+
+// DataConfig describes one dataset row of Table III plus the settings the
+// paper uses for it in Tables IV–VII.
+type DataConfig struct {
+	// Name is the datagen dataset name.
+	Name string
+	// Scale is the fraction of the paper's full resolution to generate
+	// (EXPERIMENTS.md records the scales used for the shipped results).
+	Scale float64
+	// Params are the RK4 parameters θ for this dataset (the h and t of
+	// the tables' Setting column).
+	Params integrate.Params
+	// Tau is the Fréchet tolerance τ_t.
+	Tau float64
+	// EpsRel and EpsAbs are the error bounds for the relative-mode and
+	// absolute-mode compressor rows; EpsSoS drives the cpSZ-sos row. As
+	// in the paper, they are adjusted per dataset to land the compressors
+	// at comparable ratios.
+	EpsRel, EpsAbs, EpsSoS float64
+}
+
+// Standard returns the four paper datasets at the given scale with the
+// Setting-column parameters of Tables IV–VII. Integration step budgets use
+// the paper's absolute values: the generators keep critical point *density*
+// fixed, so the ratio of trajectory length (t·h) to critical point spacing
+// — which controls how much structure a separatrix crosses — matches the
+// full-scale setting at any grid scale.
+func Standard(scale float64) []DataConfig {
+	return []DataConfig{
+		{
+			Name: "cba", Scale: 1, // full size: the CBA grid is tiny
+			Params: integrate.Params{EpsP: 1e-2, MaxSteps: 3000, H: 1},
+			Tau:    0.5,
+			EpsRel: 5e-2, EpsAbs: 5e-4, EpsSoS: 6e-6,
+		},
+		{
+			Name: "ocean", Scale: scale,
+			Params: integrate.Params{EpsP: 1e-2, MaxSteps: 1000, H: 2.5e-2},
+			Tau:    math.Sqrt2,
+			EpsRel: 2e-1, EpsAbs: 2e-2, EpsSoS: 1e-5,
+		},
+		{
+			Name: "hurricane", Scale: scale,
+			Params: integrate.Params{EpsP: 1e-2, MaxSteps: 1000, H: 5e-2},
+			Tau:    math.Sqrt2,
+			EpsRel: 5e-2, EpsAbs: 5e-3, EpsSoS: 3e-5,
+		},
+		{
+			Name: "nek5000", Scale: scale,
+			Params: integrate.Params{EpsP: 1e-2, MaxSteps: 1000, H: 2.5e-2},
+			Tau:    math.Sqrt2,
+			EpsRel: 1e-1, EpsAbs: 1e-2, EpsSoS: 1e-5,
+		},
+	}
+}
+
+// Config returns the Standard config for one dataset name.
+func Config(name string, scale float64) (DataConfig, error) {
+	for _, c := range Standard(scale) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return DataConfig{}, fmt.Errorf("experiments: unknown dataset %q (want one of %v)", name, datagen.Names())
+}
+
+// Generate builds the dataset for a config.
+func (c DataConfig) Generate() (*field.Field, error) {
+	return datagen.ByName(c.Name, c.Scale)
+}
+
+// DefaultScale is the resolution fraction the shipped experiment results
+// use: large enough to exhibit the paper's trends, small enough for a
+// laptop run (the paper's full Nek5000 alone is 1.5 GB).
+const DefaultScale = 0.08

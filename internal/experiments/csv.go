@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"math"
+	"strconv"
+)
+
+// CSV emitters so the regenerated tables and figure series can be fed
+// straight into a plotting tool. Each writer emits a header row followed by
+// one record per data point; lossless PSNR (+Inf) is written as "inf".
+
+func fmtF(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}
+
+// WriteTableCSV emits Tables IV-VII rows.
+func WriteTableCSV(w io.Writer, rows []TableRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"compressor", "setting", "cr", "psnr", "is", "frechet_max", "frechet_mean", "frechet_std", "tc_s", "td_s"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Compressor, r.Setting,
+			fmtF(r.CR), fmtF(r.PSNR), strconv.Itoa(r.IS),
+			fmtF(r.MaxF), fmtF(r.MeanF), fmtF(r.StdF),
+			fmtF(r.Tc), fmtF(r.Td),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRDCSV emits Fig. 4 rate-distortion points.
+func WriteRDCSV(w io.Writer, pts []RDPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"compressor", "err_bound", "bitrate", "psnr"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{p.Compressor, fmtF(p.ErrBound), fmtF(p.Bitrate), fmtF(p.PSNR)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalabilityCSV emits Fig. 8 sweep points.
+func WriteScalabilityCSV(w io.Writer, pts []ScalePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"compressor", "workers", "tc_s", "td_s", "speedup_c", "speedup_d"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{p.Compressor, strconv.Itoa(p.Workers), fmtF(p.Tc), fmtF(p.Td), fmtF(p.SpeedupC), fmtF(p.SpeedupD)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteParamStudyCSV emits Table VIII points.
+func WriteParamStudyCSV(w io.Writer, pts []ParamPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"param", "value", "cr", "tc_s", "td_s"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{p.Param, fmtF(p.Value), fmtF(p.CR), fmtF(p.Tc), fmtF(p.Td)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLosslessMapCSV emits Fig. 6 fractions.
+func WriteLosslessMapCSV(w io.Writer, rows []LosslessMapResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"compressor", "lossless_count", "fraction"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Compressor, strconv.Itoa(r.Count), fmtF(r.Fraction)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteErrMapCSV emits the Fig. 3 summary for both modes.
+func WriteErrMapCSV(w io.Writer, rel, abs *ErrMapResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mode", "cr", "psnr", "mean_err", "max_err"}); err != nil {
+		return err
+	}
+	for _, r := range []*ErrMapResult{rel, abs} {
+		if err := cw.Write([]string{r.Mode, fmtF(r.CR), fmtF(r.PSNR), fmtF(r.MeanErr), fmtF(r.MaxErr)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSegmentationCSV emits the basin-agreement rows.
+func WriteSegmentationCSV(w io.Writer, rows []SegRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"compressor", "agreement", "assigned"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Compressor, fmtF(r.Agreement), fmtF(r.Assigned)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse csv: %v", err)
+	}
+	return recs
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	rows := []TableRow{
+		{Compressor: "GZIP", Setting: "/", CR: 1.1, PSNR: math.Inf(1)},
+		{Compressor: "TspSZ-i", Setting: "eps=1e-2", CR: 7.7, PSNR: 81.9, IS: 0, MaxF: 1.41, Tc: 45.89, Td: 0.34},
+	}
+	var buf bytes.Buffer
+	if err := WriteTableCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	if recs[0][0] != "compressor" {
+		t.Errorf("header %v", recs[0])
+	}
+	if recs[1][3] != "inf" {
+		t.Errorf("lossless PSNR serialized as %q, want inf", recs[1][3])
+	}
+	if recs[2][0] != "TspSZ-i" || recs[2][4] != "0" {
+		t.Errorf("row %v", recs[2])
+	}
+}
+
+func TestWriteRDCSV(t *testing.T) {
+	pts := []RDPoint{{Compressor: "cpSZ", ErrBound: 1e-2, Bitrate: 4.5, PSNR: 73.4}}
+	var buf bytes.Buffer
+	if err := WriteRDCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 2 || recs[1][0] != "cpSZ" {
+		t.Fatalf("records %v", recs)
+	}
+}
+
+func TestWriteScalabilityCSV(t *testing.T) {
+	pts := []ScalePoint{{Compressor: "SZ3", Workers: 8, Tc: 1.5, Td: 0.2, SpeedupC: 6.1, SpeedupD: 2.0}}
+	var buf bytes.Buffer
+	if err := WriteScalabilityCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SZ3,8,") {
+		t.Errorf("output %q", buf.String())
+	}
+}
+
+func TestWriteParamStudyCSV(t *testing.T) {
+	pts := []ParamPoint{{Param: "t", Value: 1000, CR: 5.03, Tc: 260.57, Td: 0.15}}
+	var buf bytes.Buffer
+	if err := WriteParamStudyCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t,1000,") {
+		t.Errorf("output %q", buf.String())
+	}
+}
+
+func TestWriteLosslessMapCSV(t *testing.T) {
+	rows := []LosslessMapResult{{Compressor: "TspSZ-i-abs", Count: 42, Fraction: 0.0074}}
+	var buf bytes.Buffer
+	if err := WriteLosslessMapCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TspSZ-i-abs,42,") {
+		t.Errorf("output %q", buf.String())
+	}
+}
+
+func TestWriteErrMapCSV(t *testing.T) {
+	rel := &ErrMapResult{Mode: "rel", CR: 6.6, PSNR: 73.4, MeanErr: 1e-3, MaxErr: 0.2}
+	abs := &ErrMapResult{Mode: "abs", CR: 7.0, PSNR: 93.6, MeanErr: 1e-4, MaxErr: 0.02}
+	var buf bytes.Buffer
+	if err := WriteErrMapCSV(&buf, rel, abs); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 || recs[1][0] != "rel" || recs[2][0] != "abs" {
+		t.Fatalf("records %v", recs)
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyConfig returns a configuration small enough for unit testing.
+func tinyConfig(t *testing.T, name string) DataConfig {
+	t.Helper()
+	cfg, err := Config(name, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "cba" {
+		cfg.Scale = 0.3
+	}
+	cfg.Params.MaxSteps = 80
+	return cfg
+}
+
+func TestConfigUnknown(t *testing.T) {
+	if _, err := Config("bogus", 0.1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestStandardCoversAllDatasets(t *testing.T) {
+	cfgs := Standard(0.1)
+	if len(cfgs) != 4 {
+		t.Fatalf("Standard returned %d configs, want 4", len(cfgs))
+	}
+	names := map[string]bool{}
+	for _, c := range cfgs {
+		names[c.Name] = true
+		if c.EpsRel <= 0 || c.EpsAbs <= 0 || c.EpsSoS <= 0 {
+			t.Errorf("%s: non-positive bounds", c.Name)
+		}
+	}
+	for _, want := range []string{"cba", "ocean", "hurricane", "nek5000"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+}
+
+// RunTable must reproduce the paper's qualitative shape on every dataset:
+// lossless baselines low, cpSZ distorts separatrices, TspSZ variants do not.
+func TestRunTableShape(t *testing.T) {
+	for _, name := range []string{"cba", "ocean"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := tinyConfig(t, name)
+			rows, err := RunTable(cfg, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			byName := map[string]TableRow{}
+			for _, r := range rows {
+				byName[r.Compressor] = r
+			}
+			if len(rows) != 9 {
+				t.Fatalf("%d rows, want 9", len(rows))
+			}
+			for _, lossless := range []string{"ZSTD", "GZIP"} {
+				r := byName[lossless]
+				if r.CR < 0.8 || r.CR > 3 {
+					t.Errorf("%s CR %.2f outside lossless band", lossless, r.CR)
+				}
+				if !math.IsInf(r.PSNR, 1) || r.IS != 0 {
+					t.Errorf("%s should be perfect: %+v", lossless, r)
+				}
+			}
+			for _, tsp := range []string{"TspSZ-1", "TspSZ-1-abs", "TspSZ-i", "TspSZ-i-abs"} {
+				r := byName[tsp]
+				if r.IS != 0 {
+					t.Errorf("%s has %d incorrect separatrices", tsp, r.IS)
+				}
+				if r.CR <= 1 {
+					t.Errorf("%s CR %.2f not better than raw", tsp, r.CR)
+				}
+			}
+			for _, exact := range []string{"TspSZ-1", "TspSZ-1-abs"} {
+				if r := byName[exact]; r.MaxF != 0 {
+					t.Errorf("%s max Fréchet %v, want 0 (bit-exact)", exact, r.MaxF)
+				}
+			}
+		})
+	}
+}
+
+func TestPrintTable(t *testing.T) {
+	rows := []TableRow{{Compressor: "X", Setting: "s", CR: 2, PSNR: math.Inf(1)}}
+	var buf bytes.Buffer
+	PrintTable(&buf, "T", rows)
+	out := buf.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "X") || !strings.Contains(out, "/") {
+		t.Errorf("unexpected table output:\n%s", out)
+	}
+}
+
+func TestRunRateDistortion(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	pts, err := RunRateDistortion(cfg, []float64{1e-3, 1e-2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 modes × 2 bounds × 3 compressors, plus the extra ZFP* series.
+	if len(pts) != 14 {
+		t.Fatalf("%d points, want 14", len(pts))
+	}
+	for _, p := range pts {
+		if p.Bitrate <= 0 || p.Bitrate > 32 {
+			t.Errorf("%s: bitrate %v out of range", p.Compressor, p.Bitrate)
+		}
+		if p.PSNR < 10 {
+			t.Errorf("%s: implausible PSNR %v", p.Compressor, p.PSNR)
+		}
+	}
+	// Monotonicity within one series: larger bound -> lower bitrate.
+	series := map[string][]RDPoint{}
+	for _, p := range pts {
+		series[p.Compressor] = append(series[p.Compressor], p)
+	}
+	for name, s := range series {
+		for i := 1; i < len(s); i++ {
+			if s[i].ErrBound > s[i-1].ErrBound && s[i].Bitrate >= s[i-1].Bitrate {
+				t.Errorf("%s: bitrate not decreasing with bound: %+v", name, s)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintRD(&buf, "rd", pts)
+	if !strings.Contains(buf.String(), "Bitrate") {
+		t.Error("PrintRD missing header")
+	}
+}
+
+func TestRunScalability(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	pts, err := RunScalability(cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5*2 {
+		t.Fatalf("%d points, want 10", len(pts))
+	}
+	for _, p := range pts {
+		if p.Tc <= 0 || p.Td <= 0 || p.SpeedupC <= 0 {
+			t.Errorf("%s workers=%d: bad timing %+v", p.Compressor, p.Workers, p)
+		}
+	}
+	var buf bytes.Buffer
+	PrintScalability(&buf, "sc", pts)
+	if !strings.Contains(buf.String(), "SpeedupC") {
+		t.Error("PrintScalability missing header")
+	}
+}
+
+func TestRunParamStudy(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	study := ParamStudy{MaxSteps: []int{40, 80}, StepSize: []float64{0.1}, Tau: []float64{1}}
+	pts, err := RunParamStudy(cfg, study, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points, want 4", len(pts))
+	}
+	var buf bytes.Buffer
+	PrintParamStudy(&buf, "ps", pts)
+	if !strings.Contains(buf.String(), "Param") {
+		t.Error("PrintParamStudy missing header")
+	}
+}
+
+func TestRunErrorMap(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	rel, abs, err := RunErrorMap(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Errors) == 0 || len(abs.Errors) != len(rel.Errors) {
+		t.Fatal("error maps missing")
+	}
+	if rel.MaxErr < rel.MeanErr || abs.MaxErr < abs.MeanErr {
+		t.Error("max error below mean error")
+	}
+	// The paper's §VI claim: at matched compression ratios, absolute error
+	// control yields better data quality than point-wise relative control.
+	if ratio := abs.CR / rel.CR; ratio > 0.85 && ratio < 1.15 {
+		if abs.PSNR <= rel.PSNR {
+			t.Errorf("at matched CR (%.2f vs %.2f), abs PSNR %.2f not above rel %.2f",
+				abs.CR, rel.CR, abs.PSNR, rel.PSNR)
+		}
+	}
+	var buf bytes.Buffer
+	PrintErrMap(&buf, "em", rel, abs)
+	if !strings.Contains(buf.String(), "MeanErr") {
+		t.Error("PrintErrMap missing header")
+	}
+}
+
+func TestRunLosslessMap(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	rows, err := RunLosslessMap(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fraction < 0 || r.Fraction > 1 {
+			t.Errorf("%s: fraction %v", r.Compressor, r.Fraction)
+		}
+		count := 0
+		for _, m := range r.Marks {
+			if m {
+				count++
+			}
+		}
+		if count != r.Count {
+			t.Errorf("%s: count %d != marks %d", r.Compressor, r.Count, count)
+		}
+	}
+	var buf bytes.Buffer
+	PrintLosslessMap(&buf, "lm", rows)
+	if !strings.Contains(buf.String(), "Fraction") {
+		t.Error("PrintLosslessMap missing header")
+	}
+}

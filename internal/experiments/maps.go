@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"tspsz/internal/core"
+	"tspsz/internal/cpsz"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/metrics"
+)
+
+// ErrMapResult backs Fig. 3: per-vertex error magnitudes of cpSZ under
+// point-wise relative versus absolute control at comparable ratios.
+type ErrMapResult struct {
+	Mode       string
+	CR         float64
+	PSNR       float64
+	MeanErr    float64
+	MaxErr     float64
+	Errors     []float64 // per-vertex error magnitude (max over components)
+	Decoded    *field.Field
+	Compressed int
+}
+
+// RunErrorMap compresses the dataset with both error-control modes "under
+// similar compression ratios" (Fig. 3): the relative mode runs at the
+// configured bound, then the absolute bound is bisected until its ratio
+// lands within 10% of the relative one, so the error statistics compare
+// like for like.
+func RunErrorMap(cfg DataConfig, workers int) (rel, abs *ErrMapResult, err error) {
+	f, err := cfg.Generate()
+	if err != nil {
+		return nil, nil, err
+	}
+	one := func(mode ebound.Mode, eb float64) (*ErrMapResult, error) {
+		res, err := cpsz.Compress(f, cpsz.Options{Mode: mode, ErrBound: eb, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		dec := res.Decompressed
+		errs := make([]float64, f.NumVertices())
+		var sum, maxE float64
+		oc, dc := f.Components(), dec.Components()
+		for i := range errs {
+			e := 0.0
+			for c := range oc {
+				d := math.Abs(float64(oc[c][i]) - float64(dc[c][i]))
+				if d > e {
+					e = d
+				}
+			}
+			errs[i] = e
+			sum += e
+			if e > maxE {
+				maxE = e
+			}
+		}
+		return &ErrMapResult{
+			Mode:       mode.String(),
+			CR:         metrics.CR(f, len(res.Bytes)),
+			PSNR:       metrics.PSNR(f, dec),
+			MeanErr:    sum / float64(len(errs)),
+			MaxErr:     maxE,
+			Errors:     errs,
+			Decoded:    dec,
+			Compressed: len(res.Bytes),
+		}, nil
+	}
+	rel, err = one(ebound.Relative, cfg.EpsRel)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Bisect the absolute bound to match the relative ratio within 10%.
+	lo, hi := cfg.EpsAbs/1024, cfg.EpsAbs*1024
+	eb := cfg.EpsAbs
+	for iter := 0; iter < 12; iter++ {
+		abs, err = one(ebound.Absolute, eb)
+		if err != nil {
+			return nil, nil, err
+		}
+		ratio := abs.CR / rel.CR
+		switch {
+		case ratio > 1.1:
+			hi = eb // too much compression: tighten the bound
+		case ratio < 0.9:
+			lo = eb
+		default:
+			return rel, abs, nil
+		}
+		eb = math.Sqrt(lo * hi)
+	}
+	return rel, abs, nil
+}
+
+// LosslessMapResult backs Fig. 6: which vertices each compressor stores
+// verbatim and what fraction of the data that is.
+type LosslessMapResult struct {
+	Compressor string
+	Count      int
+	Fraction   float64
+	Marks      []bool
+}
+
+// RunLosslessMap reports lossless-vertex maps for cpSZ and TspSZ-i under
+// both error-control modes.
+func RunLosslessMap(cfg DataConfig, workers int) ([]LosslessMapResult, error) {
+	f, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var out []LosslessMapResult
+	add := func(name string, marksOf func() (interface{ Get(int) bool }, error)) error {
+		m, err := marksOf()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		marks := make([]bool, f.NumVertices())
+		count := 0
+		for i := range marks {
+			if m.Get(i) {
+				marks[i] = true
+				count++
+			}
+		}
+		out = append(out, LosslessMapResult{
+			Compressor: name,
+			Count:      count,
+			Fraction:   float64(count) / float64(len(marks)),
+			Marks:      marks,
+		})
+		return nil
+	}
+	for _, mode := range []ebound.Mode{ebound.Relative, ebound.Absolute} {
+		mode := mode
+		eb := cfg.EpsRel
+		suffix := ""
+		if mode == ebound.Absolute {
+			eb = cfg.EpsAbs
+			suffix = "-abs"
+		}
+		if err := add("cpSZ"+suffix, func() (interface{ Get(int) bool }, error) {
+			res, err := cpsz.Compress(f, cpsz.Options{Mode: mode, ErrBound: eb, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			return res.LosslessVertices, nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := add("TspSZ-i"+suffix, func() (interface{ Get(int) bool }, error) {
+			res, err := core.Compress(f, core.Options{Variant: core.TspSZi, Mode: mode,
+				ErrBound: eb, Params: cfg.Params, Tau: cfg.Tau, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			return res.LosslessVertices, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PrintErrMap renders the Fig. 3 summary statistics.
+func PrintErrMap(w io.Writer, title string, rel, abs *ErrMapResult) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-6s %8s %8s %12s %12s\n", "Mode", "CR", "PSNR", "MeanErr", "MaxErr")
+	for _, r := range []*ErrMapResult{rel, abs} {
+		fmt.Fprintf(w, "%-6s %8.2f %8.2f %12.3e %12.3e\n", r.Mode, r.CR, r.PSNR, r.MeanErr, r.MaxErr)
+	}
+}
+
+// PrintLosslessMap renders the Fig. 6 fractions.
+func PrintLosslessMap(w io.Writer, title string, rows []LosslessMapResult) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-13s %10s %10s\n", "Compressor", "Lossless", "Fraction")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %10d %9.2f%%\n", r.Compressor, r.Count, 100*r.Fraction)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tspsz/internal/core"
+	"tspsz/internal/ebound"
+	"tspsz/internal/integrate"
+	"tspsz/internal/metrics"
+)
+
+// ParamPoint is one column of Table VIII: the effect of one integration or
+// tolerance parameter on TspSZ-i-abs.
+type ParamPoint struct {
+	Param  string // "t", "h", or "tau"
+	Value  float64
+	CR     float64
+	Tc, Td float64
+}
+
+// ParamStudy configures the Table VIII sweeps. Zero-valued fields fall back
+// to the paper's grids scaled to the configured dataset.
+type ParamStudy struct {
+	MaxSteps []int
+	StepSize []float64
+	Tau      []float64
+}
+
+// DefaultParamStudy returns the paper's Table VIII grids.
+func DefaultParamStudy() ParamStudy {
+	return ParamStudy{
+		MaxSteps: []int{500, 1000, 1500, 2000},
+		StepSize: []float64{0.1, 0.05, 0.025, 0.01},
+		Tau:      []float64{5, 3, 1.4142135623730951, 1},
+	}
+}
+
+// RunParamStudy reproduces Table VIII on the configured dataset using
+// TspSZ-i with absolute error control (the paper's setting).
+func RunParamStudy(cfg DataConfig, study ParamStudy, workers int) ([]ParamPoint, error) {
+	f, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var out []ParamPoint
+	run := func(param string, value float64, ip integrate.Params, tau float64) error {
+		t0 := time.Now()
+		res, err := core.Compress(f, core.Options{
+			Variant: core.TspSZi, Mode: ebound.Absolute, ErrBound: cfg.EpsAbs,
+			Params: ip, Tau: tau, Workers: workers,
+		})
+		if err != nil {
+			return fmt.Errorf("param %s=%v: %w", param, value, err)
+		}
+		tc := time.Since(t0).Seconds()
+		t0 = time.Now()
+		if _, err := core.Decompress(res.Bytes, workers); err != nil {
+			return err
+		}
+		out = append(out, ParamPoint{
+			Param: param, Value: value,
+			CR: metrics.CR(f, len(res.Bytes)),
+			Tc: tc, Td: time.Since(t0).Seconds(),
+		})
+		return nil
+	}
+	for _, t := range study.MaxSteps {
+		ip := cfg.Params
+		ip.MaxSteps = t
+		if err := run("t", float64(t), ip, cfg.Tau); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range study.StepSize {
+		ip := cfg.Params
+		ip.H = h
+		if err := run("h", h, ip, cfg.Tau); err != nil {
+			return nil, err
+		}
+	}
+	for _, tau := range study.Tau {
+		if err := run("tau", tau, cfg.Params, tau); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PrintParamStudy renders the Table VIII layout.
+func PrintParamStudy(w io.Writer, title string, pts []ParamPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-6s %10s %8s %10s %10s\n", "Param", "Value", "CR", "Tc(s)", "Td(s)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-6s %10.4g %8.2f %10.3f %10.3f\n", p.Param, p.Value, p.CR, p.Tc, p.Td)
+	}
+}

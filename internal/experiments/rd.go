@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tspsz/internal/core"
+	"tspsz/internal/cpsz"
+	"tspsz/internal/ebound"
+	"tspsz/internal/metrics"
+	"tspsz/internal/zfp"
+)
+
+// RDPoint is one point of a rate-distortion curve (Fig. 4): bitrate in
+// bits per value against PSNR in dB.
+type RDPoint struct {
+	Compressor string
+	ErrBound   float64
+	Bitrate    float64
+	PSNR       float64
+}
+
+// RunRateDistortion sweeps the error bound for each compressor variant and
+// reports the rate-distortion series of Fig. 4. ebs are interpreted as
+// absolute bounds for the -abs variants and relative factors otherwise.
+func RunRateDistortion(cfg DataConfig, ebs []float64, workers int) ([]RDPoint, error) {
+	f, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var out []RDPoint
+	// Extra series beyond the paper's figure: the ZFP-style transform
+	// codec, the other major compressor family §II reviews.
+	for _, eb := range ebs {
+		data, err := zfp.Compress(f, eb)
+		if err != nil {
+			return nil, fmt.Errorf("zfp eb=%g: %w", eb, err)
+		}
+		dec, err := zfp.Decompress(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RDPoint{
+			Compressor: "ZFP*",
+			ErrBound:   eb,
+			Bitrate:    metrics.Bitrate(metrics.CR(f, len(data))),
+			PSNR:       metrics.PSNR(f, dec),
+		})
+	}
+	for _, mode := range []ebound.Mode{ebound.Relative, ebound.Absolute} {
+		suffix := ""
+		if mode == ebound.Absolute {
+			suffix = "-abs"
+		}
+		for _, eb := range ebs {
+			res, err := cpsz.Compress(f, cpsz.Options{Mode: mode, ErrBound: eb, Workers: workers})
+			if err != nil {
+				return nil, fmt.Errorf("cpSZ%s eb=%g: %w", suffix, eb, err)
+			}
+			out = append(out, RDPoint{
+				Compressor: "cpSZ" + suffix,
+				ErrBound:   eb,
+				Bitrate:    metrics.Bitrate(metrics.CR(f, len(res.Bytes))),
+				PSNR:       metrics.PSNR(f, res.Decompressed),
+			})
+			for _, variant := range []core.Variant{core.TspSZ1, core.TspSZi} {
+				name := "TspSZ-1" + suffix
+				if variant == core.TspSZi {
+					name = "TspSZ-i" + suffix
+				}
+				tres, err := core.Compress(f, core.Options{
+					Variant: variant, Mode: mode, ErrBound: eb,
+					Params: cfg.Params, Tau: cfg.Tau, Workers: workers,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s eb=%g: %w", name, eb, err)
+				}
+				out = append(out, RDPoint{
+					Compressor: name,
+					ErrBound:   eb,
+					Bitrate:    metrics.Bitrate(metrics.CR(f, len(tres.Bytes))),
+					PSNR:       metrics.PSNR(f, tres.Decompressed),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// DefaultRDBounds returns the bound sweep used for the shipped Fig. 4
+// reproduction, one ladder per mode interpretation.
+func DefaultRDBounds() []float64 { return []float64{1e-3, 5e-3, 1e-2, 5e-2} }
+
+// PrintRD renders the rate-distortion series, one line per point, grouped
+// by compressor so the series can be plotted directly.
+func PrintRD(w io.Writer, title string, pts []RDPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-13s %10s %10s %10s\n", "Compressor", "ErrBound", "Bitrate", "PSNR")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-13s %10.2g %10.3f %10.2f\n", p.Compressor, p.ErrBound, p.Bitrate, p.PSNR)
+	}
+}

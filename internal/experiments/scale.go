@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tspsz/internal/core"
+	"tspsz/internal/cpsz"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+)
+
+// ScalePoint is one measurement of the Fig. 8 scalability sweep.
+type ScalePoint struct {
+	Compressor string
+	Workers    int
+	Tc, Td     float64 // seconds
+	SpeedupC   float64 // relative to Workers == first entry
+	SpeedupD   float64
+}
+
+// RunScalability reproduces Fig. 8: compression and decompression times of
+// SZ3 (plain), cpSZ, cpSZ-abs, TspSZ-i, and TspSZ-i-abs across worker
+// counts. On hosts with fewer cores than the largest count, the extra
+// goroutines time-share — the harness still emits the full series and
+// EXPERIMENTS.md documents the hardware gate.
+func RunScalability(cfg DataConfig, workerCounts []int) ([]ScalePoint, error) {
+	f, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"SZ3", "cpSZ", "cpSZ-abs", "TspSZ-i", "TspSZ-i-abs"}
+	var out []ScalePoint
+	for _, name := range names {
+		var baseC, baseD float64
+		for i, w := range workerCounts {
+			tc, td, err := timeOne(name, f, cfg, w)
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", name, w, err)
+			}
+			if i == 0 {
+				baseC, baseD = tc, td
+			}
+			out = append(out, ScalePoint{
+				Compressor: name, Workers: w, Tc: tc, Td: td,
+				SpeedupC: baseC / tc, SpeedupD: baseD / td,
+			})
+		}
+	}
+	return out, nil
+}
+
+func timeOne(name string, f *field.Field, cfg DataConfig, workers int) (tc, td float64, err error) {
+	switch name {
+	case "SZ3", "cpSZ", "cpSZ-abs":
+		opts := cpsz.Options{Workers: workers}
+		switch name {
+		case "SZ3":
+			// Authentic SZ3 shape: interpolation predictor, no topology
+			// coupling, serial compression path.
+			opts.Mode, opts.ErrBound, opts.Plain = ebound.Absolute, cfg.EpsAbs, true
+			opts.Predictor = cpsz.PredictorInterpolation
+		case "cpSZ":
+			opts.Mode, opts.ErrBound = ebound.Relative, cfg.EpsRel
+		case "cpSZ-abs":
+			opts.Mode, opts.ErrBound = ebound.Absolute, cfg.EpsAbs
+		}
+		t0 := time.Now()
+		res, cerr := cpsz.Compress(f, opts)
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		tc = time.Since(t0).Seconds()
+		t0 = time.Now()
+		if _, derr := cpsz.Decompress(res.Bytes, workers); derr != nil {
+			return 0, 0, derr
+		}
+		return tc, time.Since(t0).Seconds(), nil
+	default:
+		opts := core.Options{Variant: core.TspSZi, Params: cfg.Params, Tau: cfg.Tau, Workers: workers}
+		if name == "TspSZ-i" {
+			opts.Mode, opts.ErrBound = ebound.Relative, cfg.EpsRel
+		} else {
+			opts.Mode, opts.ErrBound = ebound.Absolute, cfg.EpsAbs
+		}
+		t0 := time.Now()
+		res, cerr := core.Compress(f, opts)
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		tc = time.Since(t0).Seconds()
+		t0 = time.Now()
+		if _, derr := core.Decompress(res.Bytes, workers); derr != nil {
+			return 0, 0, derr
+		}
+		return tc, time.Since(t0).Seconds(), nil
+	}
+}
+
+// DefaultWorkerCounts is the Fig. 8 thread ladder.
+func DefaultWorkerCounts() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128} }
+
+// PrintScalability renders the sweep.
+func PrintScalability(w io.Writer, title string, pts []ScalePoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-13s %8s %10s %10s %10s %10s\n", "Compressor", "Workers", "Tc(s)", "Td(s)", "SpeedupC", "SpeedupD")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-13s %8d %10.4f %10.4f %10.2f %10.2f\n",
+			p.Compressor, p.Workers, p.Tc, p.Td, p.SpeedupC, p.SpeedupD)
+	}
+}

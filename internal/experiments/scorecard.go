@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Claim is one qualitative statement from the paper's evaluation, checked
+// against regenerated results. Reproduction targets the *shape* of the
+// results (who wins, roughly by how much, where trade-offs fall), not the
+// absolute numbers, which depend on the substituted datasets and host.
+type Claim struct {
+	ID     string
+	Text   string
+	Pass   bool
+	Detail string
+}
+
+// TableScorecard evaluates the per-dataset claims of Tables IV-VII against
+// one regenerated table.
+func TableScorecard(rows []TableRow) []Claim {
+	byName := map[string]TableRow{}
+	for _, r := range rows {
+		byName[r.Compressor] = r
+	}
+	var claims []Claim
+	add := func(id, text string, pass bool, detail string) {
+		claims = append(claims, Claim{ID: id, Text: text, Pass: pass, Detail: detail})
+	}
+
+	// C1: lossless baselines land well under 2× (the paper's motivation).
+	zs, gz := byName["ZSTD"], byName["GZIP"]
+	add("C1", "lossless baselines compress under ~2x",
+		zs.CR > 0 && zs.CR < 2.5 && gz.CR > 0 && gz.CR < 2.5,
+		fmt.Sprintf("ZSTD %.2f, GZIP %.2f", zs.CR, gz.CR))
+
+	// C2: every TspSZ variant preserves the skeleton (#IS == 0).
+	pass := true
+	detail := ""
+	for _, n := range []string{"TspSZ-1", "TspSZ-i", "TspSZ-1-abs", "TspSZ-i-abs"} {
+		r := byName[n]
+		detail += fmt.Sprintf("%s:%d ", n, r.IS)
+		if r.IS != 0 {
+			pass = false
+		}
+	}
+	add("C2", "TspSZ variants have zero incorrect separatrices", pass, detail)
+
+	// C3: TspSZ-1 separatrices are exact (zero Fréchet).
+	add("C3", "TspSZ-1 separatrices are bit-exact",
+		byName["TspSZ-1"].MaxF == 0 && byName["TspSZ-1-abs"].MaxF == 0,
+		fmt.Sprintf("maxF %.3g / %.3g", byName["TspSZ-1"].MaxF, byName["TspSZ-1-abs"].MaxF))
+
+	// C4: TspSZ-i ratio comparable to or better than TspSZ-1 (the paper
+	// reports "usually better"; on tiny grids the iterative patch can
+	// occasionally exceed the selective-lossless set, hence the slack).
+	add("C4", "TspSZ-i compresses comparably to or better than TspSZ-1",
+		byName["TspSZ-i"].CR >= byName["TspSZ-1"].CR*0.85 &&
+			byName["TspSZ-i-abs"].CR >= byName["TspSZ-1-abs"].CR*0.85,
+		fmt.Sprintf("rel %.2f vs %.2f; abs %.2f vs %.2f",
+			byName["TspSZ-i"].CR, byName["TspSZ-1"].CR,
+			byName["TspSZ-i-abs"].CR, byName["TspSZ-1-abs"].CR))
+
+	// C5: TspSZ beats lossless compression on ratio.
+	best := math.Max(zs.CR, gz.CR)
+	add("C5", "TspSZ ratios exceed lossless baselines",
+		byName["TspSZ-i"].CR > best && byName["TspSZ-i-abs"].CR > best,
+		fmt.Sprintf("TspSZ-i %.2f / TspSZ-i-abs %.2f vs lossless %.2f",
+			byName["TspSZ-i"].CR, byName["TspSZ-i-abs"].CR, best))
+
+	// C6: plain cpSZ (either mode) distorts separatrices on this dataset
+	// family (nonzero #IS or nonzero Fréchet drift) — the paper's Fig. 1.
+	cp, cpa := byName["cpSZ"], byName["cpSZ-abs"]
+	add("C6", "cpSZ alone does not preserve separatrices",
+		cp.IS > 0 || cpa.IS > 0 || cp.MaxF > 0 || cpa.MaxF > 0,
+		fmt.Sprintf("cpSZ #IS=%d maxF=%.3g; cpSZ-abs #IS=%d maxF=%.3g", cp.IS, cp.MaxF, cpa.IS, cpa.MaxF))
+
+	// C7: TspSZ-i keeps Fréchet drift within the tolerance while cpSZ's
+	// drift is unbounded by τ.
+	ti, tia := byName["TspSZ-i"], byName["TspSZ-i-abs"]
+	add("C7", "TspSZ-i max Fréchet stays within tau",
+		ti.MaxF <= 1.5*math.Sqrt2 && tia.MaxF <= 1.5*math.Sqrt2,
+		fmt.Sprintf("%.3g / %.3g", ti.MaxF, tia.MaxF))
+
+	// C8: decompression is much faster than compression for TspSZ
+	// (the paper's "compressed once, decompressed many times" argument).
+	add("C8", "TspSZ decompression much faster than compression",
+		tia.Td < tia.Tc && ti.Td < ti.Tc,
+		fmt.Sprintf("abs %.3fs vs %.3fs; rel %.3fs vs %.3fs", tia.Td, tia.Tc, ti.Td, ti.Tc))
+
+	return claims
+}
+
+// ErrMapScorecard evaluates the §VI claim behind Fig. 3.
+func ErrMapScorecard(rel, abs *ErrMapResult) []Claim {
+	matched := abs.CR/rel.CR > 0.8 && abs.CR/rel.CR < 1.25
+	pass := matched && abs.PSNR > rel.PSNR && abs.MeanErr < rel.MeanErr
+	return []Claim{{
+		ID:   "C9",
+		Text: "absolute error control beats relative at matched CR (PSNR up, mean error down)",
+		Pass: pass,
+		Detail: fmt.Sprintf("CR %.2f vs %.2f; PSNR %.2f vs %.2f; meanErr %.3g vs %.3g",
+			abs.CR, rel.CR, abs.PSNR, rel.PSNR, abs.MeanErr, rel.MeanErr),
+	}}
+}
+
+// LosslessScorecard evaluates the Fig. 6 claim: TspSZ-i stores only a small
+// fraction losslessly, and absolute control needs no more than relative.
+func LosslessScorecard(rows []LosslessMapResult) []Claim {
+	byName := map[string]LosslessMapResult{}
+	for _, r := range rows {
+		byName[r.Compressor] = r
+	}
+	ti, tia := byName["TspSZ-i"], byName["TspSZ-i-abs"]
+	return []Claim{{
+		ID:   "C10",
+		Text: "TspSZ-i lossless fraction is small (single-digit percent)",
+		Pass: ti.Fraction < 0.15 && tia.Fraction < 0.15,
+		Detail: fmt.Sprintf("TspSZ-i %.2f%%, TspSZ-i-abs %.2f%%",
+			100*ti.Fraction, 100*tia.Fraction),
+	}}
+}
+
+// PrintScorecard renders claims with PASS/FAIL verdicts.
+func PrintScorecard(w io.Writer, title string, claims []Claim) {
+	fmt.Fprintf(w, "%s\n", title)
+	for _, c := range claims {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %-4s %s (%s)\n", c.ID, verdict, c.Text, c.Detail)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableScorecardOnRealRun(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	rows, err := RunTable(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := TableScorecard(rows)
+	if len(claims) != 8 {
+		t.Fatalf("%d claims, want 8", len(claims))
+	}
+	for _, c := range claims {
+		// C8 (timing) can flake on loaded CI hosts; everything else is a
+		// structural property that must reproduce.
+		if !c.Pass && c.ID != "C8" {
+			t.Errorf("claim %s failed: %s (%s)", c.ID, c.Text, c.Detail)
+		}
+	}
+}
+
+func TestTableScorecardDetectsViolations(t *testing.T) {
+	rows := []TableRow{
+		{Compressor: "ZSTD", CR: 1.1, PSNR: math.Inf(1)},
+		{Compressor: "GZIP", CR: 1.1, PSNR: math.Inf(1)},
+		{Compressor: "cpSZ", CR: 5, IS: 3, MaxF: 10},
+		{Compressor: "cpSZ-abs", CR: 5, IS: 2, MaxF: 8},
+		{Compressor: "TspSZ-1", CR: 3, IS: 1, MaxF: 0.2}, // violates C2/C3
+		{Compressor: "TspSZ-1-abs", CR: 3},
+		{Compressor: "TspSZ-i", CR: 4, Tc: 1, Td: 0.1},
+		{Compressor: "TspSZ-i-abs", CR: 4, Tc: 1, Td: 0.1},
+	}
+	claims := TableScorecard(rows)
+	byID := map[string]Claim{}
+	for _, c := range claims {
+		byID[c.ID] = c
+	}
+	if byID["C2"].Pass {
+		t.Error("C2 should fail with IS=1 on TspSZ-1")
+	}
+	if byID["C3"].Pass {
+		t.Error("C3 should fail with nonzero Fréchet on TspSZ-1")
+	}
+	if !byID["C6"].Pass {
+		t.Error("C6 should pass when cpSZ distorts")
+	}
+}
+
+func TestErrMapScorecard(t *testing.T) {
+	rel := &ErrMapResult{Mode: "rel", CR: 7, PSNR: 73, MeanErr: 1e-2}
+	abs := &ErrMapResult{Mode: "abs", CR: 7, PSNR: 93, MeanErr: 1e-3}
+	claims := ErrMapScorecard(rel, abs)
+	if len(claims) != 1 || !claims[0].Pass {
+		t.Errorf("expected pass: %+v", claims)
+	}
+	worse := &ErrMapResult{Mode: "abs", CR: 7, PSNR: 60, MeanErr: 1e-1}
+	if ErrMapScorecard(rel, worse)[0].Pass {
+		t.Error("should fail when abs is worse")
+	}
+}
+
+func TestLosslessScorecard(t *testing.T) {
+	rows := []LosslessMapResult{
+		{Compressor: "TspSZ-i", Fraction: 0.01},
+		{Compressor: "TspSZ-i-abs", Fraction: 0.005},
+	}
+	if !LosslessScorecard(rows)[0].Pass {
+		t.Error("small fractions should pass")
+	}
+	rows[0].Fraction = 0.5
+	if LosslessScorecard(rows)[0].Pass {
+		t.Error("50% lossless should fail")
+	}
+}
+
+func TestPrintScorecard(t *testing.T) {
+	var buf bytes.Buffer
+	PrintScorecard(&buf, "claims", []Claim{
+		{ID: "X", Text: "t", Pass: true, Detail: "d"},
+		{ID: "Y", Text: "u", Pass: false, Detail: "e"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "FAIL") {
+		t.Errorf("output %q", out)
+	}
+}

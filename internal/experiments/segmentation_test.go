@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSegmentation(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	rows, err := RunSegmentation(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	byName := map[string]SegRow{}
+	for _, r := range rows {
+		if r.Agreement < 0 || r.Agreement > 1 || r.Assigned < 0 || r.Assigned > 1 {
+			t.Fatalf("row out of range: %+v", r)
+		}
+		byName[r.Compressor] = r
+	}
+	// Domain-level topology preservation: TspSZ-i basins must agree at
+	// least as well as plain cpSZ's in each mode (small slack for tie).
+	if byName["TspSZ-i"].Agreement < byName["cpSZ"].Agreement-0.02 {
+		t.Errorf("TspSZ-i agreement %.3f below cpSZ %.3f",
+			byName["TspSZ-i"].Agreement, byName["cpSZ"].Agreement)
+	}
+	if byName["TspSZ-i-abs"].Agreement < byName["cpSZ-abs"].Agreement-0.02 {
+		t.Errorf("TspSZ-i-abs agreement %.3f below cpSZ-abs %.3f",
+			byName["TspSZ-i-abs"].Agreement, byName["cpSZ-abs"].Agreement)
+	}
+	var buf bytes.Buffer
+	PrintSegmentation(&buf, "seg", rows)
+	if !strings.Contains(buf.String(), "Agreement") {
+		t.Error("PrintSegmentation missing header")
+	}
+	buf.Reset()
+	if err := WriteSegmentationCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compressor,agreement,assigned") {
+		t.Error("CSV header missing")
+	}
+}

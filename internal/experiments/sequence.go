@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tspsz/internal/core"
+	"tspsz/internal/datagen"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+)
+
+// SequenceRow summarizes the temporal-compression extension on one frame
+// budget: total bytes and the gain over standalone per-frame compression.
+type SequenceRow struct {
+	Frames          int
+	TemporalBytes   int
+	StandaloneBytes int
+	// Saving is 1 − temporal/standalone.
+	Saving float64
+	Tc     float64
+}
+
+// RunSequence measures the time-varying extension on a drifting ocean
+// sequence: CompressSequence (temporal prediction) against compressing
+// every frame standalone, both with TspSZ-i-abs and per-frame skeleton
+// guarantees.
+func RunSequence(cfg DataConfig, nFrames, workers int) (*SequenceRow, error) {
+	if cfg.Name != "ocean" {
+		return nil, fmt.Errorf("experiments: sequence experiment is defined on the ocean dataset")
+	}
+	base, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	nx, ny, _ := base.Grid.Dims()
+	frames := datagen.OceanSequence(nx, ny, nFrames)
+	opts := core.Options{
+		Variant: core.TspSZi, Mode: ebound.Absolute, ErrBound: cfg.EpsAbs,
+		Params: cfg.Params, Tau: cfg.Tau, Workers: workers,
+	}
+	t0 := time.Now()
+	seq, err := core.CompressSequence(frames, opts)
+	if err != nil {
+		return nil, err
+	}
+	tc := time.Since(t0).Seconds()
+	standalone := 0
+	for fi, f := range frames {
+		res, err := core.Compress(f, opts)
+		if err != nil {
+			return nil, fmt.Errorf("standalone frame %d: %w", fi, err)
+		}
+		standalone += len(res.Bytes)
+	}
+	row := &SequenceRow{
+		Frames:          nFrames,
+		TemporalBytes:   len(seq.Bytes),
+		StandaloneBytes: standalone,
+		Saving:          1 - float64(len(seq.Bytes))/float64(standalone),
+		Tc:              tc,
+	}
+	// Round-trip sanity.
+	dec, err := core.DecompressSequence(seq.Bytes, workers)
+	if err != nil {
+		return nil, err
+	}
+	if len(dec) != nFrames {
+		return nil, fmt.Errorf("sequence round trip produced %d frames, want %d", len(dec), nFrames)
+	}
+	var _ []*field.Field = dec
+	return row, nil
+}
+
+// PrintSequence renders the sequence-extension measurement.
+func PrintSequence(w io.Writer, title string, row *SequenceRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  frames: %d\n", row.Frames)
+	fmt.Fprintf(w, "  temporal:   %10d bytes\n", row.TemporalBytes)
+	fmt.Fprintf(w, "  standalone: %10d bytes\n", row.StandaloneBytes)
+	fmt.Fprintf(w, "  saving:     %9.1f%%  (Tc %.2fs)\n", 100*row.Saving, row.Tc)
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSequence(t *testing.T) {
+	cfg := tinyConfig(t, "ocean")
+	row, err := RunSequence(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Frames != 3 || row.TemporalBytes <= 0 || row.StandaloneBytes <= 0 {
+		t.Fatalf("implausible row %+v", row)
+	}
+	// Temporal must not be dramatically worse than standalone; on slowly
+	// drifting data it is normally smaller.
+	if float64(row.TemporalBytes) > 1.1*float64(row.StandaloneBytes) {
+		t.Errorf("temporal %d far above standalone %d", row.TemporalBytes, row.StandaloneBytes)
+	}
+	var buf bytes.Buffer
+	PrintSequence(&buf, "seq", row)
+	if !strings.Contains(buf.String(), "saving") {
+		t.Error("PrintSequence missing saving line")
+	}
+}
+
+func TestRunSequenceRejectsOtherDatasets(t *testing.T) {
+	cfg := tinyConfig(t, "cba")
+	if _, err := RunSequence(cfg, 2, 1); err == nil {
+		t.Error("non-ocean dataset accepted")
+	}
+}

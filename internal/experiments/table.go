@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"tspsz/internal/baseline"
+	"tspsz/internal/core"
+	"tspsz/internal/cpsz"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/metrics"
+	"tspsz/internal/skeleton"
+)
+
+// TableRow is one compressor row of Tables IV–VII.
+type TableRow struct {
+	Compressor string
+	Setting    string
+	CR         float64
+	PSNR       float64 // +Inf for lossless rows (printed "/")
+	IS         int
+	MaxF       float64
+	MeanF      float64
+	StdF       float64
+	Tc, Td     float64 // seconds
+}
+
+// RunTable reproduces one of Tables IV–VII for the configured dataset:
+// ZSTD-style LZ, GZIP, cpSZ-sos, then {cpSZ, TspSZ-1, TspSZ-i} under both
+// relative and absolute error control.
+func RunTable(cfg DataConfig, workers int) ([]TableRow, error) {
+	f, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	orig := skeleton.ExtractParallel(f, cfg.Params, workers)
+
+	rows := make([]TableRow, 0, 9)
+	raw := baseline.FieldBytes(f)
+
+	// ZSTD stand-in.
+	t0 := time.Now()
+	lz := baseline.LZ(raw)
+	tc := time.Since(t0).Seconds()
+	t0 = time.Now()
+	if _, err := baseline.UnLZ(lz); err != nil {
+		return nil, fmt.Errorf("lz round trip: %w", err)
+	}
+	rows = append(rows, TableRow{
+		Compressor: "ZSTD", Setting: "/",
+		CR: metrics.CR(f, len(lz)), PSNR: math.Inf(1),
+		Tc: tc, Td: time.Since(t0).Seconds(),
+	})
+
+	// GZIP.
+	t0 = time.Now()
+	gz, err := baseline.Gzip(raw)
+	if err != nil {
+		return nil, err
+	}
+	tc = time.Since(t0).Seconds()
+	t0 = time.Now()
+	if _, err := baseline.Gunzip(gz); err != nil {
+		return nil, err
+	}
+	rows = append(rows, TableRow{
+		Compressor: "GZIP", Setting: "/",
+		CR: metrics.CR(f, len(gz)), PSNR: math.Inf(1),
+		Tc: tc, Td: time.Since(t0).Seconds(),
+	})
+
+	// cpSZ-sos (serial, per the paper).
+	row, err := runCPSZ(f, orig, cfg, cpsz.Options{
+		Mode: ebound.Absolute, ErrBound: cfg.EpsSoS, Workers: 1, SoS: true,
+	}, "cpSZ-sos", fmt.Sprintf("eps=%.0e", cfg.EpsSoS))
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, *row)
+
+	for _, mode := range []ebound.Mode{ebound.Relative, ebound.Absolute} {
+		eps := cfg.EpsRel
+		suffix := ""
+		if mode == ebound.Absolute {
+			eps = cfg.EpsAbs
+			suffix = "-abs"
+		}
+		setting := fmt.Sprintf("eps=%.0e h=%g t=%d tau=%.3g", eps, cfg.Params.H, cfg.Params.MaxSteps, cfg.Tau)
+
+		row, err := runCPSZ(f, orig, cfg, cpsz.Options{Mode: mode, ErrBound: eps, Workers: workers},
+			"cpSZ"+suffix, setting)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+
+		for _, variant := range []core.Variant{core.TspSZ1, core.TspSZi} {
+			name := "TspSZ-1" + suffix
+			if variant == core.TspSZi {
+				name = "TspSZ-i" + suffix
+			}
+			row, err := runTspSZ(f, orig, cfg, core.Options{
+				Variant: variant, Mode: mode, ErrBound: eps,
+				Params: cfg.Params, Tau: cfg.Tau, Workers: workers,
+			}, name, setting)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func runCPSZ(f *field.Field, orig *skeleton.Skeleton, cfg DataConfig, opts cpsz.Options, name, setting string) (*TableRow, error) {
+	t0 := time.Now()
+	res, err := cpsz.Compress(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	tc := time.Since(t0).Seconds()
+	t0 = time.Now()
+	dec, err := cpsz.Decompress(res.Bytes, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("%s decompress: %w", name, err)
+	}
+	td := time.Since(t0).Seconds()
+	return evalRow(f, dec, orig, cfg, name, setting, len(res.Bytes), tc, td, opts.Workers), nil
+}
+
+func runTspSZ(f *field.Field, orig *skeleton.Skeleton, cfg DataConfig, opts core.Options, name, setting string) (*TableRow, error) {
+	t0 := time.Now()
+	res, err := core.Compress(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	tc := time.Since(t0).Seconds()
+	t0 = time.Now()
+	dec, err := core.Decompress(res.Bytes, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("%s decompress: %w", name, err)
+	}
+	td := time.Since(t0).Seconds()
+	return evalRow(f, dec, orig, cfg, name, setting, len(res.Bytes), tc, td, opts.Workers), nil
+}
+
+func evalRow(f, dec *field.Field, orig *skeleton.Skeleton, cfg DataConfig, name, setting string, nbytes int, tc, td float64, workers int) *TableRow {
+	got := skeleton.ExtractWithParallel(dec, orig.CPs, cfg.Params, workers)
+	st := skeleton.CompareParallel(orig, got, cfg.Tau, workers)
+	return &TableRow{
+		Compressor: name,
+		Setting:    setting,
+		CR:         metrics.CR(f, nbytes),
+		PSNR:       metrics.PSNR(f, dec),
+		IS:         st.Incorrect,
+		MaxF:       st.MaxF,
+		MeanF:      st.MeanF,
+		StdF:       st.StdF,
+		Tc:         tc,
+		Td:         td,
+	}
+}
+
+// PrintTable renders rows in the layout of Tables IV–VII.
+func PrintTable(w io.Writer, title string, rows []TableRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-13s %-34s %7s %8s %6s %9s %9s %9s %9s %9s\n",
+		"Compressor", "Setting", "CR", "PSNR", "#IS", "FrMax", "FrMean", "FrStd", "Tc(s)", "Td(s)")
+	for _, r := range rows {
+		psnr := "/"
+		if !math.IsInf(r.PSNR, 1) {
+			psnr = fmt.Sprintf("%8.2f", r.PSNR)
+		}
+		fmt.Fprintf(w, "%-13s %-34s %7.2f %8s %6d %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+			r.Compressor, r.Setting, r.CR, psnr, r.IS, r.MaxF, r.MeanF, r.StdF, r.Tc, r.Td)
+	}
+}

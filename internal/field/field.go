@@ -1,0 +1,185 @@
+// Package field holds the vector field container used by TspSZ: a structure
+// of arrays of float32 component samples over a regular simplicial grid,
+// with piecewise-linear sampling and raw binary I/O.
+package field
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"tspsz/internal/grid"
+)
+
+// Field is a 2D or 3D vector field sampled at the vertices of a regular
+// grid. Components are stored as separate float32 slices (U, V, and W for 3D
+// fields; W is nil for 2D fields), matching the storage layout of the
+// datasets in the paper.
+type Field struct {
+	Grid *grid.Grid
+	U, V []float32
+	W    []float32 // nil in 2D
+}
+
+// New2D allocates a zero-valued 2D field over an nx×ny grid.
+func New2D(nx, ny int) *Field {
+	g := grid.New2D(nx, ny)
+	n := g.NumVertices()
+	return &Field{Grid: g, U: make([]float32, n), V: make([]float32, n)}
+}
+
+// New3D allocates a zero-valued 3D field over an nx×ny×nz grid.
+func New3D(nx, ny, nz int) *Field {
+	g := grid.New3D(nx, ny, nz)
+	n := g.NumVertices()
+	return &Field{Grid: g, U: make([]float32, n), V: make([]float32, n), W: make([]float32, n)}
+}
+
+// Dim reports the spatial dimension (2 or 3).
+func (f *Field) Dim() int { return f.Grid.Dim() }
+
+// NumVertices reports the number of sample points.
+func (f *Field) NumVertices() int { return f.Grid.NumVertices() }
+
+// Components returns the component slices in order (u, v[, w]).
+func (f *Field) Components() [][]float32 {
+	if f.W == nil {
+		return [][]float32{f.U, f.V}
+	}
+	return [][]float32{f.U, f.V, f.W}
+}
+
+// Clone returns a deep copy sharing the (immutable) grid.
+func (f *Field) Clone() *Field {
+	c := &Field{Grid: f.Grid}
+	c.U = append([]float32(nil), f.U...)
+	c.V = append([]float32(nil), f.V...)
+	if f.W != nil {
+		c.W = append([]float32(nil), f.W...)
+	}
+	return c
+}
+
+// VecAt returns the vector at vertex idx. In 2D the third component is 0.
+func (f *Field) VecAt(idx int) [3]float64 {
+	v := [3]float64{float64(f.U[idx]), float64(f.V[idx]), 0}
+	if f.W != nil {
+		v[2] = float64(f.W[idx])
+	}
+	return v
+}
+
+// Sample evaluates the piecewise-linear interpolant at point p. It returns
+// the interpolated vector, the cell used, and ok == false when p is outside
+// the domain. If verts is non-nil, the indices of the vertices participating
+// in the interpolation are appended to *verts — this is the involved-vertex
+// tracking TspSZ-I relies on (Algorithm 2, line 16).
+func (f *Field) Sample(p [3]float64, verts *[]int) (vec [3]float64, cell int, ok bool) {
+	cell, bc, ok := f.Grid.Locate(p)
+	if !ok {
+		return vec, 0, false
+	}
+	var vbuf [4]int
+	vs := f.Grid.CellVertices(cell, vbuf[:0])
+	for i, v := range vs {
+		w := bc[i]
+		vec[0] += w * float64(f.U[v])
+		vec[1] += w * float64(f.V[v])
+		if f.W != nil {
+			vec[2] += w * float64(f.W[v])
+		}
+	}
+	if verts != nil {
+		*verts = append(*verts, vs...)
+	}
+	return vec, cell, true
+}
+
+// Range returns the global min and max over all components, as used by the
+// PSNR definition in §VIII-B.
+func (f *Field) Range() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, comp := range f.Components() {
+		for _, x := range comp {
+			v := float64(x)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// SizeBytes reports the uncompressed payload size (float32 per sample per
+// component), the numerator of the compression ratio.
+func (f *Field) SizeBytes() int {
+	return 4 * f.NumVertices() * len(f.Components())
+}
+
+const fileMagic = "TSPF"
+
+// WriteTo serializes the field with a small self-describing header:
+// magic, dim, nx, ny, nz, then each component as little-endian float32.
+func (f *Field) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return n, err
+	}
+	n += 4
+	nx, ny, nz := f.Grid.Dims()
+	hdr := []uint32{uint32(f.Dim()), uint32(nx), uint32(ny), uint32(nz)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return n, err
+		}
+		n += 4
+	}
+	for _, comp := range f.Components() {
+		if err := binary.Write(bw, binary.LittleEndian, comp); err != nil {
+			return n, err
+		}
+		n += int64(4 * len(comp))
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a field written by WriteTo.
+func ReadFrom(r io.Reader) (*Field, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("field: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, errors.New("field: bad magic, not a TSPF file")
+	}
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("field: reading header: %w", err)
+		}
+	}
+	dim, nx, ny, nz := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
+	var f *Field
+	switch dim {
+	case 2:
+		f = New2D(nx, ny)
+	case 3:
+		f = New3D(nx, ny, nz)
+	default:
+		return nil, fmt.Errorf("field: unsupported dimension %d", dim)
+	}
+	for _, comp := range f.Components() {
+		if err := binary.Read(br, binary.LittleEndian, comp); err != nil {
+			return nil, fmt.Errorf("field: reading component: %w", err)
+		}
+	}
+	return f, nil
+}

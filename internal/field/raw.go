@@ -1,0 +1,83 @@
+package field
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Raw component I/O. Public scientific data repositories (e.g. SDRBench,
+// where the paper's Hurricane-ISABEL and ocean datasets originate)
+// distribute vector fields as one bare little-endian float32 file per
+// component with the grid size documented out of band. These helpers load
+// and store that layout so real datasets can be fed to the compressor
+// directly.
+
+// ReadRawComponent fills dst with little-endian float32 values from r,
+// requiring exactly len(dst) values.
+func ReadRawComponent(r io.Reader, dst []float32) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+		return fmt.Errorf("field: reading raw component: %w", err)
+	}
+	// Detect trailing data, which almost always means wrong dimensions.
+	var extra [1]byte
+	if n, _ := br.Read(extra[:]); n != 0 {
+		return fmt.Errorf("field: raw component longer than %d values; wrong grid size?", len(dst))
+	}
+	return nil
+}
+
+// ReadRaw2D assembles a 2D field from one raw float32 reader per component
+// (u, v), each holding nx·ny row-major values.
+func ReadRaw2D(nx, ny int, u, v io.Reader) (*Field, error) {
+	f := New2D(nx, ny)
+	if err := ReadRawComponent(u, f.U); err != nil {
+		return nil, fmt.Errorf("component u: %w", err)
+	}
+	if err := ReadRawComponent(v, f.V); err != nil {
+		return nil, fmt.Errorf("component v: %w", err)
+	}
+	return f, nil
+}
+
+// ReadRaw3D assembles a 3D field from one raw float32 reader per component
+// (u, v, w), each holding nx·ny·nz row-major values.
+func ReadRaw3D(nx, ny, nz int, u, v, w io.Reader) (*Field, error) {
+	f := New3D(nx, ny, nz)
+	if err := ReadRawComponent(u, f.U); err != nil {
+		return nil, fmt.Errorf("component u: %w", err)
+	}
+	if err := ReadRawComponent(v, f.V); err != nil {
+		return nil, fmt.Errorf("component v: %w", err)
+	}
+	if err := ReadRawComponent(w, f.W); err != nil {
+		return nil, fmt.Errorf("component w: %w", err)
+	}
+	return f, nil
+}
+
+// WriteRawComponent writes one component as bare little-endian float32.
+func WriteRawComponent(w io.Writer, src []float32) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := binary.Write(bw, binary.LittleEndian, src); err != nil {
+		return fmt.Errorf("field: writing raw component: %w", err)
+	}
+	return bw.Flush()
+}
+
+// WriteRaw writes every component of f to the corresponding writer; the
+// number of writers must equal the component count (2 in 2D, 3 in 3D).
+func (f *Field) WriteRaw(ws ...io.Writer) error {
+	comps := f.Components()
+	if len(ws) != len(comps) {
+		return fmt.Errorf("field: %d writers for %d components", len(ws), len(comps))
+	}
+	for i, comp := range comps {
+		if err := WriteRawComponent(ws[i], comp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

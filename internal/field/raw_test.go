@@ -1,0 +1,76 @@
+package field
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRawRoundTrip2D(t *testing.T) {
+	f := New2D(7, 5)
+	rng := rand.New(rand.NewSource(1))
+	for i := range f.U {
+		f.U[i], f.V[i] = rng.Float32(), rng.Float32()
+	}
+	var u, v bytes.Buffer
+	if err := f.WriteRaw(&u, &v); err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 4*35 {
+		t.Fatalf("u payload %d bytes, want 140", u.Len())
+	}
+	g, err := ReadRaw2D(7, 5, &u, &v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.U {
+		if g.U[i] != f.U[i] || g.V[i] != f.V[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestRawRoundTrip3D(t *testing.T) {
+	f := New3D(4, 3, 5)
+	rng := rand.New(rand.NewSource(2))
+	for i := range f.U {
+		f.U[i], f.V[i], f.W[i] = rng.Float32(), rng.Float32(), rng.Float32()
+	}
+	var u, v, w bytes.Buffer
+	if err := f.WriteRaw(&u, &v, &w); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadRaw3D(4, 3, 5, &u, &v, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.U {
+		if g.U[i] != f.U[i] || g.W[i] != f.W[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestRawRejectsShortInput(t *testing.T) {
+	short := bytes.NewReader(make([]byte, 10))
+	ok := bytes.NewReader(make([]byte, 4*35))
+	if _, err := ReadRaw2D(7, 5, short, ok); err == nil {
+		t.Error("short component accepted")
+	}
+}
+
+func TestRawRejectsLongInput(t *testing.T) {
+	long := bytes.NewReader(make([]byte, 4*35+4))
+	ok := bytes.NewReader(make([]byte, 4*35))
+	if _, err := ReadRaw2D(7, 5, long, ok); err == nil {
+		t.Error("oversized component accepted (wrong dims should be caught)")
+	}
+}
+
+func TestWriteRawWrongWriterCount(t *testing.T) {
+	f := New2D(3, 3)
+	var one bytes.Buffer
+	if err := f.WriteRaw(&one); err == nil {
+		t.Error("writer count mismatch accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package frechet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteDistance is the textbook exponential-memoization reference
+// implementation, used to validate the rolling-row DP on small inputs.
+func bruteDistance(p, q []Point) float64 {
+	memo := make(map[[2]int]float64)
+	var c func(i, j int) float64
+	c = func(i, j int) float64 {
+		if v, ok := memo[[2]int{i, j}]; ok {
+			return v
+		}
+		d := math.Sqrt(sqDist(p[i], q[j]))
+		var v float64
+		switch {
+		case i == 0 && j == 0:
+			v = d
+		case i == 0:
+			v = math.Max(c(0, j-1), d)
+		case j == 0:
+			v = math.Max(c(i-1, 0), d)
+		default:
+			v = math.Max(math.Min(c(i-1, j), math.Min(c(i-1, j-1), c(i, j-1))), d)
+		}
+		memo[[2]int{i, j}] = v
+		return v
+	}
+	return c(len(p)-1, len(q)-1)
+}
+
+func TestDistanceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(12) + 1
+		m := rng.Intn(12) + 1
+		p := randCurve(rng, n)
+		q := randCurve(rng, m)
+		got := Distance(p, q)
+		want := bruteDistance(p, q)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: Distance %v, brute force %v", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package frechet implements the discrete Fréchet distance between
+// polygonal curves (Eiter & Mannila), the trajectory-similarity metric TspSZ
+// uses to decide whether a separatrix survived compression (§IV-A, §VIII-B).
+package frechet
+
+import "math"
+
+// Point is a point on a trajectory; 2D trajectories set the third coordinate
+// to zero.
+type Point = [3]float64
+
+func sqDist(a, b Point) float64 {
+	dx := a[0] - b[0]
+	dy := a[1] - b[1]
+	dz := a[2] - b[2]
+	return dx*dx + dy*dy + dz*dz
+}
+
+// Distance returns the discrete Fréchet distance between curves p and q
+// using the standard O(|p|·|q|) coupled dynamic program with a rolling row.
+// Distance of an empty curve against anything is +Inf except for two empty
+// curves, which have distance 0.
+func Distance(p, q []Point) float64 {
+	if len(p) == 0 && len(q) == 0 {
+		return 0
+	}
+	if len(p) == 0 || len(q) == 0 {
+		return math.Inf(1)
+	}
+	// Fast path: identical curves (bit-exact separatrices after TspSZ-1
+	// are the common case in the evaluation harness) need no DP.
+	if len(p) == len(q) {
+		same := true
+		for i := range p {
+			if p[i] != q[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return 0
+		}
+	}
+	// prev[j] = c(i-1, j); cur[j] = c(i, j), with
+	// c(i,j) = max(d(p_i,q_j), min(c(i-1,j), c(i-1,j-1), c(i,j-1))).
+	prev := make([]float64, len(q))
+	cur := make([]float64, len(q))
+	prev[0] = sqDist(p[0], q[0])
+	for j := 1; j < len(q); j++ {
+		prev[j] = math.Max(prev[j-1], sqDist(p[0], q[j]))
+	}
+	for i := 1; i < len(p); i++ {
+		cur[0] = math.Max(prev[0], sqDist(p[i], q[0]))
+		for j := 1; j < len(q); j++ {
+			m := math.Min(prev[j], math.Min(prev[j-1], cur[j-1]))
+			cur[j] = math.Max(m, sqDist(p[i], q[j]))
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[len(q)-1])
+}
+
+// WithinTol reports whether the discrete Fréchet distance between p and q is
+// at most tol. It runs the boolean reachability variant of the DP, which is
+// cheaper than Distance and can exit early when a full row becomes
+// unreachable.
+func WithinTol(p, q []Point, tol float64) bool {
+	if len(p) == 0 && len(q) == 0 {
+		return true
+	}
+	if len(p) == 0 || len(q) == 0 {
+		return false
+	}
+	t2 := tol * tol
+	close := func(i, j int) bool { return sqDist(p[i], q[j]) <= t2 }
+	prev := make([]bool, len(q))
+	cur := make([]bool, len(q))
+	prev[0] = close(0, 0)
+	if !prev[0] {
+		return false
+	}
+	for j := 1; j < len(q); j++ {
+		prev[j] = prev[j-1] && close(0, j)
+	}
+	for i := 1; i < len(p); i++ {
+		cur[0] = prev[0] && close(i, 0)
+		any := cur[0]
+		for j := 1; j < len(q); j++ {
+			cur[j] = (prev[j] || prev[j-1] || cur[j-1]) && close(i, j)
+			any = any || cur[j]
+		}
+		if !any {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(q)-1]
+}

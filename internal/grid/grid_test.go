@@ -1,0 +1,272 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew2DPanicsOnTinyDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1xN grid")
+		}
+	}()
+	New2D(1, 5)
+}
+
+func TestNew3DPanicsOnTinyDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NxNx1 grid")
+		}
+	}()
+	New3D(4, 4, 1)
+}
+
+func TestVertexIndexRoundTrip2D(t *testing.T) {
+	g := New2D(7, 5)
+	for j := 0; j < 5; j++ {
+		for i := 0; i < 7; i++ {
+			idx := g.VertexIndex(i, j, 0)
+			ri, rj, rk := g.VertexCoords(idx)
+			if ri != i || rj != j || rk != 0 {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d,%d)", i, j, idx, ri, rj, rk)
+			}
+		}
+	}
+}
+
+func TestVertexIndexRoundTrip3D(t *testing.T) {
+	g := New3D(4, 5, 6)
+	for k := 0; k < 6; k++ {
+		for j := 0; j < 5; j++ {
+			for i := 0; i < 4; i++ {
+				idx := g.VertexIndex(i, j, k)
+				ri, rj, rk := g.VertexCoords(idx)
+				if ri != i || rj != j || rk != k {
+					t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", i, j, k, idx, ri, rj, rk)
+				}
+			}
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g2 := New2D(10, 8)
+	if got, want := g2.NumVertices(), 80; got != want {
+		t.Errorf("2D NumVertices = %d, want %d", got, want)
+	}
+	if got, want := g2.NumCells(), 9*7*2; got != want {
+		t.Errorf("2D NumCells = %d, want %d", got, want)
+	}
+	g3 := New3D(4, 5, 6)
+	if got, want := g3.NumVertices(), 120; got != want {
+		t.Errorf("3D NumVertices = %d, want %d", got, want)
+	}
+	if got, want := g3.NumCells(), 3*4*5*6; got != want {
+		t.Errorf("3D NumCells = %d, want %d", got, want)
+	}
+}
+
+func TestCellVerticesDistinctAndInRange(t *testing.T) {
+	for _, g := range []*Grid{New2D(5, 4), New3D(3, 4, 5)} {
+		nv := g.NumVertices()
+		want := g.Dim() + 1
+		for c := 0; c < g.NumCells(); c++ {
+			vs := g.CellVertices(c, nil)
+			if len(vs) != want {
+				t.Fatalf("dim %d cell %d: %d vertices, want %d", g.Dim(), c, len(vs), want)
+			}
+			seen := map[int]bool{}
+			for _, v := range vs {
+				if v < 0 || v >= nv {
+					t.Fatalf("dim %d cell %d: vertex %d out of range", g.Dim(), c, v)
+				}
+				if seen[v] {
+					t.Fatalf("dim %d cell %d: duplicate vertex %d", g.Dim(), c, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+// Every cell must appear in VertexCells of each of its vertices.
+func TestVertexCellsConsistency(t *testing.T) {
+	for _, g := range []*Grid{New2D(5, 4), New3D(3, 4, 4)} {
+		for c := 0; c < g.NumCells(); c++ {
+			for _, v := range g.CellVertices(c, nil) {
+				found := false
+				for _, vc := range g.VertexCells(v, nil) {
+					if vc == c {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("dim %d: cell %d missing from VertexCells(%d)", g.Dim(), c, v)
+				}
+			}
+		}
+	}
+}
+
+func TestVertexCellsInteriorCounts(t *testing.T) {
+	g2 := New2D(5, 5)
+	v := g2.VertexIndex(2, 2, 0)
+	if got := len(g2.VertexCells(v, nil)); got != 6 {
+		t.Errorf("2D interior vertex touches %d cells, want 6", got)
+	}
+	g3 := New3D(5, 5, 5)
+	v = g3.VertexIndex(2, 2, 2)
+	if got := len(g3.VertexCells(v, nil)); got != 24 {
+		t.Errorf("3D interior vertex touches %d cells, want 24", got)
+	}
+}
+
+// Kuhn subdivision of a cube must partition it: the 6 tets cover all 8 cube
+// corners and each tet contains the main diagonal endpoints.
+func TestKuhnTetsShareDiagonal(t *testing.T) {
+	g := New3D(2, 2, 2)
+	base := g.VertexIndex(0, 0, 0)
+	far := g.VertexIndex(1, 1, 1)
+	for c := 0; c < g.NumCells(); c++ {
+		vs := g.CellVertices(c, nil)
+		hasBase, hasFar := false, false
+		for _, v := range vs {
+			if v == base {
+				hasBase = true
+			}
+			if v == far {
+				hasFar = true
+			}
+		}
+		if !hasBase || !hasFar {
+			t.Fatalf("tet %d %v misses cube diagonal", c, vs)
+		}
+	}
+}
+
+func barycentricReconstructs(g *Grid, p [3]float64) bool {
+	cell, bc, ok := g.Locate(p)
+	if !ok {
+		return false
+	}
+	var pos [4][3]float64
+	ps := g.CellVerticesPositions(cell, pos[:0])
+	var rec [3]float64
+	sum := 0.0
+	for i, vp := range ps {
+		if bc[i] < -1e-12 {
+			return false
+		}
+		sum += bc[i]
+		for d := 0; d < 3; d++ {
+			rec[d] += bc[i] * vp[d]
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return false
+	}
+	for d := 0; d < g.Dim(); d++ {
+		if math.Abs(rec[d]-p[d]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLocateReconstructs2D(t *testing.T) {
+	g := New2D(6, 4)
+	f := func(a, b uint16) bool {
+		x := float64(a) / 65535 * 5
+		y := float64(b) / 65535 * 3
+		return barycentricReconstructs(g, [3]float64{x, y, 0})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocateReconstructs3D(t *testing.T) {
+	g := New3D(4, 5, 3)
+	f := func(a, b, c uint16) bool {
+		x := float64(a) / 65535 * 3
+		y := float64(b) / 65535 * 4
+		z := float64(c) / 65535 * 2
+		return barycentricReconstructs(g, [3]float64{x, y, z})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocateOutside(t *testing.T) {
+	g := New2D(4, 4)
+	for _, p := range [][3]float64{{-0.1, 1, 0}, {1, -0.1, 0}, {3.01, 1, 0}, {1, 3.5, 0}} {
+		if _, _, ok := g.Locate(p); ok {
+			t.Errorf("Locate(%v) should be outside", p)
+		}
+	}
+	g3 := New3D(4, 4, 4)
+	for _, p := range [][3]float64{{1, 1, -0.2}, {1, 1, 3.2}} {
+		if _, _, ok := g3.Locate(p); ok {
+			t.Errorf("3D Locate(%v) should be outside", p)
+		}
+	}
+}
+
+func TestLocateBoundaryCorners(t *testing.T) {
+	g := New2D(4, 4)
+	for _, p := range [][3]float64{{0, 0, 0}, {3, 3, 0}, {3, 0, 0}, {0, 3, 0}} {
+		if !barycentricReconstructs(g, p) {
+			t.Errorf("corner %v not reconstructed", p)
+		}
+	}
+	g3 := New3D(3, 3, 3)
+	for _, p := range [][3]float64{{0, 0, 0}, {2, 2, 2}, {2, 0, 2}} {
+		if !barycentricReconstructs(g3, p) {
+			t.Errorf("3D corner %v not reconstructed", p)
+		}
+	}
+}
+
+// The located cell must actually contain the queried point's vertex span:
+// every barycentric coordinate non-negative already checks containment; this
+// test additionally confirms the cell id is stable for interior points.
+func TestLocateDeterministic(t *testing.T) {
+	g := New3D(5, 5, 5)
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 200; n++ {
+		p := [3]float64{rng.Float64() * 4, rng.Float64() * 4, rng.Float64() * 4}
+		c1, bc1, ok1 := g.Locate(p)
+		c2, bc2, ok2 := g.Locate(p)
+		if c1 != c2 || bc1 != bc2 || ok1 != ok2 {
+			t.Fatalf("Locate not deterministic at %v", p)
+		}
+	}
+}
+
+func BenchmarkLocate3D(b *testing.B) {
+	g := New3D(64, 64, 64)
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][3]float64, 1024)
+	for i := range pts {
+		pts[i] = [3]float64{rng.Float64() * 63, rng.Float64() * 63, rng.Float64() * 63}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Locate(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkVertexCells3D(b *testing.B) {
+	g := New3D(64, 64, 64)
+	buf := make([]int, 0, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.VertexCells(i%g.NumVertices(), buf[:0])
+	}
+}

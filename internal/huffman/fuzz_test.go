@@ -1,0 +1,50 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Decode must never panic on arbitrary input bytes — it either round-trips
+// or returns an error.
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, nRaw%512)
+		rng.Read(data)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Flipping any single byte of a valid stream must not panic (errors and
+// mis-decodes are acceptable; memory safety is not negotiable).
+func TestDecodeBitflippedStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]uint32, 300)
+	for i := range syms {
+		syms[i] = uint32(rng.Intn(50))
+	}
+	data := Encode(syms)
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0xA5
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked with byte %d flipped: %v", pos, r)
+				}
+			}()
+			_, _ = Decode(mut)
+		}()
+	}
+}

@@ -1,0 +1,380 @@
+// Package huffman implements a canonical Huffman coder over uint32 symbol
+// streams. It is the entropy-coding backend of the SZ-style pipeline in
+// TspSZ: quantization codes and error-bound exponents are Huffman-coded
+// before the final DEFLATE pass (cf. SZ's Huffman+ZSTD stage).
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// node is a Huffman tree node used only during code-length construction.
+type node struct {
+	freq        uint64
+	symbol      uint32
+	left, right int // child indices; -1 for leaves
+	order       int // tie-break to keep construction deterministic
+}
+
+type nodeHeap struct {
+	nodes []node
+	idx   []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.idx) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.idx[i]], h.nodes[h.idx[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.order < b.order
+}
+func (h *nodeHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// codeLengths computes per-symbol Huffman code lengths for the given
+// frequency table (parallel slices sym/freq). A single distinct symbol gets
+// length 1.
+func codeLengths(sym []uint32, freq []uint64) []uint8 {
+	n := len(sym)
+	if n == 1 {
+		return []uint8{1}
+	}
+	nodes := make([]node, 0, 2*n)
+	h := &nodeHeap{nodes: nil}
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, node{freq: freq[i], symbol: sym[i], left: -1, right: -1, order: i})
+	}
+	h.nodes = nodes
+	h.idx = make([]int, n)
+	for i := range h.idx {
+		h.idx[i] = i
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		h.nodes = append(h.nodes, node{
+			freq:  h.nodes[a].freq + h.nodes[b].freq,
+			left:  a,
+			right: b,
+			order: len(h.nodes),
+		})
+		heap.Push(h, len(h.nodes)-1)
+	}
+	root := h.idx[0]
+	lengths := make([]uint8, n)
+	// Iterative DFS assigning depths to leaves.
+	type frame struct {
+		n     int
+		depth uint8
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := h.nodes[f.n]
+		if nd.left == -1 {
+			// Leaf: nd.order is its index in sym (leaves were added first).
+			lengths[f.n] = f.depth
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+	return lengths
+}
+
+// canonical assigns canonical codes given symbols and code lengths. Symbols
+// are reordered by (length, symbol value); codes fill in increasing order.
+type canonical struct {
+	syms []uint32
+	lens []uint8
+	code []uint64
+}
+
+func buildCanonical(sym []uint32, lens []uint8) canonical {
+	n := len(sym)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if lens[ia] != lens[ib] {
+			return lens[ia] < lens[ib]
+		}
+		return sym[ia] < sym[ib]
+	})
+	c := canonical{
+		syms: make([]uint32, n),
+		lens: make([]uint8, n),
+		code: make([]uint64, n),
+	}
+	var next uint64
+	var prevLen uint8
+	for i, oi := range order {
+		l := lens[oi]
+		next <<= (l - prevLen)
+		prevLen = l
+		c.syms[i] = sym[oi]
+		c.lens[i] = l
+		c.code[i] = next
+		next++
+	}
+	return c
+}
+
+// bitWriter packs MSB-first bits.
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	nacc uint
+}
+
+func (w *bitWriter) writeBits(code uint64, n uint8) {
+	w.acc = w.acc<<n | code
+	w.nacc += uint(n)
+	for w.nacc >= 8 {
+		w.nacc -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.nacc))
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nacc)))
+		w.nacc = 0
+	}
+}
+
+// Encode Huffman-codes the symbol stream into a self-contained byte slice
+// including the canonical code table.
+func Encode(symbols []uint32) []byte {
+	// Header: varint count; varint distinct; per distinct symbol:
+	// varint symbol delta (sorted), then packed 6-bit lengths? Keep it
+	// simple and robust: varint symbol, single byte length.
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(symbols)))
+	if len(symbols) == 0 {
+		return out
+	}
+	freqMap := make(map[uint32]uint64)
+	for _, s := range symbols {
+		freqMap[s]++
+	}
+	syms := make([]uint32, 0, len(freqMap))
+	for s := range freqMap {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	freqs := make([]uint64, len(syms))
+	for i, s := range syms {
+		freqs[i] = freqMap[s]
+	}
+	lens := codeLengths(syms, freqs)
+	c := buildCanonical(syms, lens)
+
+	out = binary.AppendUvarint(out, uint64(len(c.syms)))
+	prev := uint32(0)
+	for i := range c.syms {
+		// Canonical order sorts primarily by length, so symbol deltas may
+		// be negative; store raw symbols in (length, symbol) order with a
+		// zigzag delta to stay compact for dense alphabets.
+		out = binary.AppendUvarint(out, zigzag(int64(c.syms[i])-int64(prev)))
+		prev = c.syms[i]
+		out = append(out, c.lens[i])
+	}
+
+	lookup := make(map[uint32]int, len(c.syms))
+	for i, s := range c.syms {
+		lookup[s] = i
+	}
+	w := bitWriter{buf: out}
+	for _, s := range symbols {
+		i := lookup[s]
+		w.writeBits(c.code[i], c.lens[i])
+	}
+	w.flush()
+	return w.buf
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Decode restores the symbol stream produced by Encode.
+func Decode(data []byte) ([]uint32, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("huffman: truncated count")
+	}
+	data = data[n:]
+	if count == 0 {
+		return nil, nil
+	}
+	distinct, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("huffman: truncated table size")
+	}
+	data = data[n:]
+	if distinct == 0 || distinct > count {
+		return nil, fmt.Errorf("huffman: invalid table size %d for %d symbols", distinct, count)
+	}
+	// Every table entry takes at least 2 bytes and every symbol at least a
+	// fraction of a bit; reject counts a corrupted stream cannot back,
+	// before allocating anything proportional to them.
+	if distinct > uint64(len(data))/2+1 {
+		return nil, fmt.Errorf("huffman: table size %d exceeds stream capacity", distinct)
+	}
+	if count > 8*uint64(len(data))+64 {
+		return nil, fmt.Errorf("huffman: symbol count %d exceeds stream capacity", count)
+	}
+	syms := make([]uint32, distinct)
+	lens := make([]uint8, distinct)
+	prev := int64(0)
+	maxLen := uint8(0)
+	for i := range syms {
+		d, n := binary.Uvarint(data)
+		if n <= 0 || len(data) < n+1 {
+			return nil, fmt.Errorf("huffman: truncated table entry %d", i)
+		}
+		prev += unzigzag(d)
+		syms[i] = uint32(prev)
+		data = data[n:]
+		lens[i] = data[0]
+		data = data[1:]
+		if lens[i] == 0 || lens[i] > 58 {
+			return nil, fmt.Errorf("huffman: invalid code length %d", lens[i])
+		}
+		if lens[i] > maxLen {
+			maxLen = lens[i]
+		}
+	}
+	// Rebuild canonical codes: entries already stored in canonical order.
+	// firstCode[l], firstIndex[l]: canonical decoding tables.
+	firstCode := make([]uint64, maxLen+2)
+	countAt := make([]int, maxLen+2)
+	for _, l := range lens {
+		countAt[l]++
+	}
+	var code uint64
+	firstIndex := make([]int, maxLen+2)
+	idx := 0
+	for l := uint8(1); l <= maxLen; l++ {
+		firstCode[l] = code
+		firstIndex[l] = idx
+		code = (code + uint64(countAt[l])) << 1
+		idx += countAt[l]
+	}
+	// Validate monotone lengths (canonical order).
+	for i := 1; i < len(lens); i++ {
+		if lens[i] < lens[i-1] {
+			return nil, fmt.Errorf("huffman: non-canonical table order")
+		}
+	}
+
+	// Primary lookup table: any code of length <= tableBits resolves in a
+	// single peek; longer codes fall back to the canonical per-length walk.
+	const tableBits = 11
+	type tentry struct {
+		sym uint32
+		len uint8
+	}
+	var table []tentry
+	if maxLen >= 1 {
+		tb := int(maxLen)
+		if tb > tableBits {
+			tb = tableBits
+		}
+		table = make([]tentry, 1<<tb)
+		for i := range syms {
+			l := lens[i]
+			if int(l) > tb {
+				continue
+			}
+			// Reconstruct this symbol's canonical code.
+			code := firstCode[l] + uint64(i-firstIndex[l])
+			base := code << (uint(tb) - uint(l))
+			span := uint64(1) << (uint(tb) - uint(l))
+			for e := uint64(0); e < span; e++ {
+				table[base+e] = tentry{sym: syms[i], len: l}
+			}
+		}
+		// Decode with a bit accumulator refilled bytewise.
+		out := make([]uint32, 0, count)
+		var acc uint64
+		var nacc uint // bits available in acc (MSB-aligned in low bits)
+		bitPos := 0
+		total := uint64(len(data)) * 8
+		consumed := uint64(0)
+		for uint64(len(out)) < count {
+			for nacc <= 56 && bitPos < len(data) {
+				acc = acc<<8 | uint64(data[bitPos])
+				bitPos++
+				nacc += 8
+			}
+			if nacc == 0 {
+				return nil, fmt.Errorf("huffman: bitstream exhausted after %d of %d symbols", len(out), count)
+			}
+			// Peek up to tb bits (zero-padded at stream end).
+			var peek uint64
+			if nacc >= uint(tb) {
+				peek = (acc >> (nacc - uint(tb))) & ((1 << uint(tb)) - 1)
+			} else {
+				peek = (acc << (uint(tb) - nacc)) & ((1 << uint(tb)) - 1)
+			}
+			e := table[peek]
+			if e.len != 0 && uint(e.len) <= nacc && consumed+uint64(e.len) <= total {
+				out = append(out, e.sym)
+				nacc -= uint(e.len)
+				consumed += uint64(e.len)
+				continue
+			}
+			// Fallback: canonical walk for long codes, bit by bit.
+			var code uint64
+			var l uint8
+			matched := false
+			for !matched {
+				if nacc == 0 {
+					if bitPos >= len(data) {
+						return nil, fmt.Errorf("huffman: bitstream exhausted after %d of %d symbols", len(out), count)
+					}
+					acc = acc<<8 | uint64(data[bitPos])
+					bitPos++
+					nacc += 8
+				}
+				bit := (acc >> (nacc - 1)) & 1
+				nacc--
+				consumed++
+				code = code<<1 | bit
+				l++
+				if l > maxLen {
+					return nil, fmt.Errorf("huffman: invalid code (length > %d)", maxLen)
+				}
+				if countAt[l] == 0 {
+					continue
+				}
+				offset := code - firstCode[l]
+				if code >= firstCode[l] && offset < uint64(countAt[l]) {
+					out = append(out, syms[firstIndex[l]+int(offset)])
+					matched = true
+				}
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("huffman: empty code table")
+}
+
+// MaxCodeLen is a sanity bound on code lengths; streams with more than 2^58
+// symbols of a pathological distribution are outside the supported range.
+const MaxCodeLen = 58

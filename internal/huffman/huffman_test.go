@@ -1,0 +1,156 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, symbols []uint32) {
+	t.Helper()
+	data := Encode(symbols)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(symbols) {
+		t.Fatalf("decoded %d symbols, want %d", len(got), len(symbols))
+	}
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			t.Fatalf("symbol %d: got %d, want %d", i, got[i], symbols[i])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T)        { roundTrip(t, nil) }
+func TestSingleSymbol(t *testing.T) { roundTrip(t, []uint32{7}) }
+func TestAllSame(t *testing.T)      { roundTrip(t, []uint32{3, 3, 3, 3, 3, 3}) }
+func TestTwoSymbols(t *testing.T)   { roundTrip(t, []uint32{0, 1, 0, 0, 1, 0}) }
+func TestLargeSymbols(t *testing.T) { roundTrip(t, []uint32{1 << 31, 0, 1<<31 + 5, 42}) }
+func TestSequential(t *testing.T) {
+	s := make([]uint32, 300)
+	for i := range s {
+		s[i] = uint32(i)
+	}
+	roundTrip(t, s)
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := make([]uint32, 10000)
+	for i := range s {
+		// Geometric-ish: mostly 0, occasional large codes — the shape of
+		// SZ quantization residuals.
+		v := uint32(0)
+		for rng.Intn(3) == 0 {
+			v++
+		}
+		s[i] = v
+	}
+	roundTrip(t, s)
+	// Compression sanity: skewed stream must shrink well below 4 bytes/symbol.
+	if enc := Encode(s); len(enc) > len(s)*2 {
+		t.Errorf("encoded %d symbols into %d bytes; expected entropy gain", len(s), len(enc))
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16, spread uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 2000)
+		s := make([]uint32, n)
+		mod := uint32(spread)%512 + 1
+		for i := range s {
+			s[i] = uint32(rng.Intn(int(mod)))
+		}
+		data := Encode(s)
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	s := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4}
+	data := Encode(s)
+	for cut := 1; cut < len(data); cut += 3 {
+		if got, err := Decode(data[:len(data)-cut]); err == nil && len(got) == len(s) {
+			eq := true
+			for i := range s {
+				if got[i] != s[i] {
+					eq = false
+				}
+			}
+			if eq {
+				t.Fatalf("truncation by %d bytes decoded fully and correctly", cut)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{}); err == nil {
+		t.Error("empty input should error")
+	}
+	// count says 5 symbols but no table follows
+	if _, err := Decode([]byte{5}); err == nil {
+		t.Error("missing table should error")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := make([]uint32, 500)
+	for i := range s {
+		s[i] = uint32(rng.Intn(40))
+	}
+	a := Encode(s)
+	b := Encode(s)
+	if !bytes.Equal(a, b) {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := make([]uint32, 1<<16)
+	for i := range s {
+		s[i] = uint32(rng.Intn(64))
+	}
+	b.SetBytes(int64(4 * len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(s)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := make([]uint32, 1<<16)
+	for i := range s {
+		s[i] = uint32(rng.Intn(64))
+	}
+	data := Encode(s)
+	b.SetBytes(int64(4 * len(s)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

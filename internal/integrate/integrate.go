@@ -1,0 +1,387 @@
+// Package integrate implements streamline tracing over piecewise-linear
+// vector fields with the classical fourth-order Runge–Kutta scheme (Eq. 1 of
+// the paper), and separatrix construction from saddle points (§III-B, §V).
+// Trajectories optionally record every vertex whose value participated in
+// any RK4 interpolation — the "involved vertices" that TspSZ-I encodes
+// losslessly.
+package integrate
+
+import (
+	"math"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/field"
+	"tspsz/internal/frechet"
+)
+
+// Params are the user-facing integration parameters of Table II.
+type Params struct {
+	// EpsP is the absorption threshold: a streamline terminates when it
+	// comes within EpsP of a sink or source. The same value scales the
+	// seed offset from a saddle.
+	EpsP float64
+	// MaxSteps bounds the number of RK4 steps (t in the paper).
+	MaxSteps int
+	// H is the RK4 step size.
+	H float64
+	// DetectOrbits enables closed-orbit detection: trajectories that
+	// return within OrbitEps of a position visited at least OrbitMinSep
+	// steps earlier terminate with ClosedOrbit instead of running to the
+	// step budget (extension; the paper handles orbits by capping t).
+	DetectOrbits bool
+	// OrbitEps is the revisit radius (defaults to EpsP when zero).
+	OrbitEps float64
+	// OrbitMinSep is the minimum step separation for a revisit to count
+	// as a loop (defaults to 20 when zero).
+	OrbitMinSep int
+}
+
+// DefaultParams returns the paper's defaults (Table II): ε_p = 1e-3,
+// t = 1000, h = 0.05.
+func DefaultParams() Params {
+	return Params{EpsP: 1e-3, MaxSteps: 1000, H: 0.05}
+}
+
+// Termination describes why a trajectory ended.
+type Termination int
+
+const (
+	// MaxSteps: the step budget was exhausted (closed orbits etc.).
+	MaxSteps Termination = iota
+	// AbsorbedAtCP: the trajectory came within EpsP of a sink/source.
+	AbsorbedAtCP
+	// LeftDomain: an RK4 stage sampled outside the grid.
+	LeftDomain
+	// ZeroVelocity: the velocity magnitude vanished away from any
+	// recorded critical point (e.g. re-entering a saddle).
+	ZeroVelocity
+	// ClosedOrbit: the trajectory revisited its own path (only reported
+	// when Params.DetectOrbits is set).
+	ClosedOrbit
+)
+
+// String implements fmt.Stringer.
+func (t Termination) String() string {
+	switch t {
+	case AbsorbedAtCP:
+		return "absorbed"
+	case LeftDomain:
+		return "left-domain"
+	case ZeroVelocity:
+		return "zero-velocity"
+	case ClosedOrbit:
+		return "closed-orbit"
+	default:
+		return "max-steps"
+	}
+}
+
+// Trajectory is one traced streamline.
+type Trajectory struct {
+	Points []frechet.Point
+	Term   Termination
+	// EndCP is the index (into the critical point slice passed to the
+	// tracer) of the absorbing critical point, or -1.
+	EndCP int
+	// Saddle is the index of the originating saddle for separatrices
+	// (-1 for plain streamlines), SeedIdx the seed slot within it.
+	Saddle, SeedIdx int
+	// Dir is +1 for forward integration, -1 for backward.
+	Dir int
+}
+
+// cpLocator answers nearest sink/source queries via a dense unit-cell
+// bucket grid in CSR layout (an array lookup per probe — map hashing was
+// the hot spot of RK4 tracing). Only sinks and sources absorb
+// trajectories; the grid spans their bounding box plus one cell of apron.
+type cpLocator struct {
+	cps        []critical.Point
+	lo         [3]int
+	dim        [3]int
+	start      []int32 // CSR offsets, len dim[0]*dim[1]*dim[2]+1
+	entries    []int32 // cp indices grouped by bucket
+	hasTargets bool
+}
+
+func newCPLocator(cps []critical.Point) *cpLocator {
+	l := &cpLocator{cps: cps}
+	lo := [3]int{math.MaxInt32, math.MaxInt32, math.MaxInt32}
+	hi := [3]int{math.MinInt32, math.MinInt32, math.MinInt32}
+	n := 0
+	for _, cp := range cps {
+		if cp.Type != critical.Sink && cp.Type != critical.Source {
+			continue
+		}
+		n++
+		for d := 0; d < 3; d++ {
+			c := int(math.Floor(cp.Pos[d]))
+			if c < lo[d] {
+				lo[d] = c
+			}
+			if c > hi[d] {
+				hi[d] = c
+			}
+		}
+	}
+	if n == 0 {
+		return l
+	}
+	l.hasTargets = true
+	for d := 0; d < 3; d++ {
+		l.lo[d] = lo[d] - 1 // apron so neighbour probes stay in range
+		l.dim[d] = hi[d] - lo[d] + 3
+	}
+	nb := l.dim[0] * l.dim[1] * l.dim[2]
+	counts := make([]int32, nb+1)
+	bucketOf := func(cp *critical.Point) int {
+		i := int(math.Floor(cp.Pos[0])) - l.lo[0]
+		j := int(math.Floor(cp.Pos[1])) - l.lo[1]
+		k := int(math.Floor(cp.Pos[2])) - l.lo[2]
+		return i + l.dim[0]*(j+l.dim[1]*k)
+	}
+	for i := range cps {
+		cp := &cps[i]
+		if cp.Type != critical.Sink && cp.Type != critical.Source {
+			continue
+		}
+		counts[bucketOf(cp)+1]++
+	}
+	for b := 1; b <= nb; b++ {
+		counts[b] += counts[b-1]
+	}
+	l.start = counts
+	l.entries = make([]int32, n)
+	fill := make([]int32, nb)
+	for i := range cps {
+		cp := &cps[i]
+		if cp.Type != critical.Sink && cp.Type != critical.Source {
+			continue
+		}
+		b := bucketOf(cp)
+		l.entries[l.start[b]+fill[b]] = int32(i)
+		fill[b]++
+	}
+	return l
+}
+
+// near returns the index of a sink/source within eps of p, or -1. eps must
+// be < 1 for the 27-bucket neighbourhood to be sufficient.
+func (l *cpLocator) near(p [3]float64, eps float64) int {
+	if !l.hasTargets {
+		return -1
+	}
+	bx := int(math.Floor(p[0])) - l.lo[0]
+	by := int(math.Floor(p[1])) - l.lo[1]
+	bz := int(math.Floor(p[2])) - l.lo[2]
+	e2 := eps * eps
+	for dz := -1; dz <= 1; dz++ {
+		z := bz + dz
+		if z < 0 || z >= l.dim[2] {
+			continue
+		}
+		for dy := -1; dy <= 1; dy++ {
+			y := by + dy
+			if y < 0 || y >= l.dim[1] {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				x := bx + dx
+				if x < 0 || x >= l.dim[0] {
+					continue
+				}
+				b := x + l.dim[0]*(y+l.dim[1]*z)
+				for _, ei := range l.entries[l.start[b]:l.start[b+1]] {
+					cp := &l.cps[ei]
+					ddx := cp.Pos[0] - p[0]
+					ddy := cp.Pos[1] - p[1]
+					ddz := cp.Pos[2] - p[2]
+					if ddx*ddx+ddy*ddy+ddz*ddz <= e2 {
+						return int(ei)
+					}
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// rk4Step advances p by one RK4 step of size h·dir. ok is false when any of
+// the four stage samples falls outside the domain. Visited vertices are
+// appended to verts when non-nil.
+func rk4Step(f *field.Field, p [3]float64, h, dir float64, verts *[]int) (np [3]float64, ok bool) {
+	sample := func(q [3]float64) ([3]float64, bool) {
+		v, _, sOK := f.Sample(q, verts)
+		if !sOK {
+			return v, false
+		}
+		v[0] *= dir
+		v[1] *= dir
+		v[2] *= dir
+		return v, true
+	}
+	k1, ok := sample(p)
+	if !ok {
+		return p, false
+	}
+	k2, ok := sample(add(p, scale(k1, h/2)))
+	if !ok {
+		return p, false
+	}
+	k3, ok := sample(add(p, scale(k2, h/2)))
+	if !ok {
+		return p, false
+	}
+	k4, ok := sample(add(p, scale(k3, h)))
+	if !ok {
+		return p, false
+	}
+	for d := 0; d < 3; d++ {
+		np[d] = p[d] + h/6*(k1[d]+2*k2[d]+2*k3[d]+k4[d])
+	}
+	return np, true
+}
+
+func add(a, b [3]float64) [3]float64 { return [3]float64{a[0] + b[0], a[1] + b[1], a[2] + b[2]} }
+func scale(a [3]float64, s float64) [3]float64 {
+	return [3]float64{a[0] * s, a[1] * s, a[2] * s}
+}
+
+// Streamline traces a streamline from seed in direction dir (+1 forward,
+// -1 backward) until absorption, domain exit, vanishing velocity, or the
+// step budget. cps provides the absorption targets (its sinks/sources).
+// Visited vertices are appended to verts when non-nil.
+func Streamline(f *field.Field, seed [3]float64, dir int, par Params, loc *CPLocator, verts *[]int) Trajectory {
+	return streamline(f, seed, dir, par, (*cpLocator)(loc), verts)
+}
+
+func streamline(f *field.Field, seed [3]float64, dir int, par Params, loc *cpLocator, verts *[]int) Trajectory {
+	tr := Trajectory{EndCP: -1, Saddle: -1, SeedIdx: -1, Dir: dir, Term: MaxSteps}
+	tr.Points = append(tr.Points, seed)
+	p := seed
+	const vEps = 1e-12
+	var orbits *orbitDetector
+	if par.DetectOrbits {
+		eps := par.OrbitEps
+		if eps <= 0 {
+			eps = par.EpsP
+		}
+		minSep := par.OrbitMinSep
+		if minSep <= 0 {
+			minSep = 20
+		}
+		orbits = newOrbitDetector(eps, minSep)
+		orbits.visit(seed, 0)
+	}
+	for step := 0; step < par.MaxSteps; step++ {
+		np, ok := rk4Step(f, p, par.H, float64(dir), verts)
+		if !ok {
+			tr.Term = LeftDomain
+			return tr
+		}
+		tr.Points = append(tr.Points, np)
+		if cp := loc.near(np, par.EpsP); cp >= 0 {
+			tr.Term = AbsorbedAtCP
+			tr.EndCP = cp
+			return tr
+		}
+		dx := np[0] - p[0]
+		dy := np[1] - p[1]
+		dz := np[2] - p[2]
+		if dx*dx+dy*dy+dz*dz < vEps*vEps {
+			tr.Term = ZeroVelocity
+			return tr
+		}
+		if orbits != nil && orbits.visit(np, step+1) {
+			tr.Term = ClosedOrbit
+			return tr
+		}
+		p = np
+	}
+	return tr
+}
+
+// TraceStreamline is the public entry for a single streamline; it builds
+// the critical point locator internally.
+func TraceStreamline(f *field.Field, seed [3]float64, dir int, par Params, cps []critical.Point, verts *[]int) Trajectory {
+	return streamline(f, seed, dir, par, newCPLocator(cps), verts)
+}
+
+// SeparatrixSeeds enumerates the separatrix seeds of a saddle: positions
+// s ± ε_p·j for each seed direction j, with the integration direction given
+// by the eigenvalue sign. A 2D saddle yields 4 seeds, a 3D saddle 6.
+func SeparatrixSeeds(cp critical.Point, epsP float64) (seeds [][3]float64, dirs []int, seedIdx []int) {
+	for i, d := range cp.SeedDirs {
+		plus := add(cp.Pos, scale(d, epsP))
+		minus := add(cp.Pos, scale(d, -epsP))
+		seeds = append(seeds, plus, minus)
+		dirs = append(dirs, cp.SeedSigns[i], cp.SeedSigns[i])
+		seedIdx = append(seedIdx, 2*i, 2*i+1)
+	}
+	return seeds, dirs, seedIdx
+}
+
+// TraceSeparatrices traces every separatrix of every saddle in cps over f,
+// in deterministic (saddle, seed) order. If verts is non-nil, all involved
+// vertices across all separatrices are appended to it (Algorithm 2,
+// lines 12-18).
+func TraceSeparatrices(f *field.Field, cps []critical.Point, par Params, verts *[]int) []Trajectory {
+	loc := newCPLocator(cps)
+	var out []Trajectory
+	for ci, cp := range cps {
+		if cp.Type != critical.Saddle {
+			continue
+		}
+		seeds, dirs, seedIdx := SeparatrixSeeds(cp, par.EpsP)
+		for si := range seeds {
+			tr := streamline(f, seeds[si], dirs[si], par, loc, verts)
+			tr.Saddle = ci
+			tr.SeedIdx = seedIdx[si]
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// TraceSeparatricesOf traces only the separatrices of the saddle at index
+// ci in cps, used by the parallel drivers and the iterative corrector.
+func TraceSeparatricesOf(f *field.Field, cps []critical.Point, ci int, par Params, verts *[]int) []Trajectory {
+	loc := newCPLocator(cps)
+	cp := cps[ci]
+	if cp.Type != critical.Saddle {
+		return nil
+	}
+	seeds, dirs, seedIdx := SeparatrixSeeds(cp, par.EpsP)
+	out := make([]Trajectory, 0, len(seeds))
+	for si := range seeds {
+		tr := streamline(f, seeds[si], dirs[si], par, loc, verts)
+		tr.Saddle = ci
+		tr.SeedIdx = seedIdx[si]
+		out = append(out, tr)
+	}
+	return out
+}
+
+// Retrace re-traces a single separatrix identified by its originating
+// trajectory (saddle and seed slot) on field f, reusing a prebuilt locator.
+func Retrace(f *field.Field, cps []critical.Point, loc *CPLocator, t *Trajectory, par Params, verts *[]int) Trajectory {
+	cp := cps[t.Saddle]
+	dirIdx := t.SeedIdx / 2
+	sign := 1.0
+	if t.SeedIdx%2 == 1 {
+		sign = -1
+	}
+	seed := add(cp.Pos, scale(cp.SeedDirs[dirIdx], sign*par.EpsP))
+	tr := streamline(f, seed, cp.SeedSigns[dirIdx], par, (*cpLocator)(loc), verts)
+	tr.Saddle = t.Saddle
+	tr.SeedIdx = t.SeedIdx
+	return tr
+}
+
+// CPLocator is the exported handle for the spatial critical point index,
+// so callers can amortize its construction across many Retrace calls.
+type CPLocator cpLocator
+
+// NewCPLocator builds a locator over the sinks and sources of cps.
+func NewCPLocator(cps []critical.Point) *CPLocator {
+	return (*CPLocator)(newCPLocator(cps))
+}

@@ -1,0 +1,88 @@
+package integrate
+
+import (
+	"testing"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/field"
+)
+
+// dummySink builds a single synthetic sink for absorption checks.
+func dummySink(x, y float64) []critical.Point {
+	return []critical.Point{{Type: critical.Sink, Pos: [3]float64{x, y, 0}}}
+}
+
+// A pure rotation field has closed circular streamlines: with detection on
+// the tracer must report ClosedOrbit well before the step budget.
+func TestClosedOrbitDetected(t *testing.T) {
+	f := field.New2D(17, 17)
+	fill2D(f, func(x, y float64) (float64, float64) { return -(y - 8), x - 8 })
+	par := Params{EpsP: 1e-2, MaxSteps: 10000, H: 0.05, DetectOrbits: true}
+	tr := TraceStreamline(f, [3]float64{11, 8, 0}, 1, par, nil, nil)
+	if tr.Term != ClosedOrbit {
+		t.Fatalf("termination %v, want closed-orbit", tr.Term)
+	}
+	// One revolution of radius 3 is 2π·3 ≈ 18.85 arc length; with |v| ≈ 3
+	// and h = 0.05 that is ≈ 126 steps. Detection must fire around there,
+	// well short of the 10000-step budget.
+	if len(tr.Points) > 400 {
+		t.Errorf("orbit detected only after %d steps", len(tr.Points))
+	}
+	if len(tr.Points) < 50 {
+		t.Errorf("orbit detected suspiciously early (%d steps)", len(tr.Points))
+	}
+}
+
+// Detection off: the same trajectory runs to the budget.
+func TestClosedOrbitIgnoredWhenDisabled(t *testing.T) {
+	f := field.New2D(17, 17)
+	fill2D(f, func(x, y float64) (float64, float64) { return -(y - 8), x - 8 })
+	par := Params{EpsP: 1e-2, MaxSteps: 500, H: 0.05}
+	tr := TraceStreamline(f, [3]float64{11, 8, 0}, 1, par, nil, nil)
+	if tr.Term != MaxSteps {
+		t.Fatalf("termination %v, want max-steps", tr.Term)
+	}
+}
+
+// Straight streamlines must never be misclassified as orbits.
+func TestNoFalseOrbitOnStraightFlow(t *testing.T) {
+	f := field.New2D(32, 8)
+	fill2D(f, func(x, y float64) (float64, float64) { return 1, 0 })
+	par := Params{EpsP: 1e-2, MaxSteps: 5000, H: 0.05, DetectOrbits: true}
+	tr := TraceStreamline(f, [3]float64{1, 3.5, 0}, 1, par, nil, nil)
+	if tr.Term != LeftDomain {
+		t.Fatalf("termination %v, want left-domain", tr.Term)
+	}
+}
+
+// A trajectory absorbed by a sink must report absorption, not an orbit,
+// even while spiraling in.
+func TestSpiralSinkAbsorbedNotOrbit(t *testing.T) {
+	f := field.New2D(17, 17)
+	fill2D(f, func(x, y float64) (float64, float64) {
+		dx, dy := x-8.3, y-8.2
+		return -0.3*dx - dy, dx - 0.3*dy
+	})
+	cps := dummySink(8.3, 8.2)
+	par := Params{EpsP: 5e-2, MaxSteps: 20000, H: 0.05, DetectOrbits: true, OrbitEps: 1e-3}
+	tr := TraceStreamline(f, [3]float64{11, 8.2, 0}, 1, par, cps, nil)
+	if tr.Term != AbsorbedAtCP {
+		t.Fatalf("termination %v, want absorbed (points=%d)", tr.Term, len(tr.Points))
+	}
+}
+
+func TestOrbitDetectorMinSep(t *testing.T) {
+	d := newOrbitDetector(0.1, 10)
+	p := [3]float64{1, 1, 0}
+	if d.visit(p, 0) {
+		t.Fatal("first visit reported as orbit")
+	}
+	// Revisit too soon: not an orbit.
+	if d.visit(p, 5) {
+		t.Fatal("revisit below minSep reported as orbit")
+	}
+	// Revisit after the separation: orbit.
+	if !d.visit(p, 20) {
+		t.Fatal("revisit after minSep not reported")
+	}
+}

@@ -1,0 +1,138 @@
+package integrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func circle(n int, r float64) [][3]float64 {
+	pts := make([][3]float64, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n-1)
+		pts[i] = [3]float64{r * math.Cos(a), r * math.Sin(a), 0}
+	}
+	return pts
+}
+
+func TestArcLength(t *testing.T) {
+	line := [][3]float64{{0, 0, 0}, {3, 0, 0}, {3, 4, 0}}
+	if got := ArcLength(line); math.Abs(got-7) > 1e-12 {
+		t.Errorf("ArcLength = %v, want 7", got)
+	}
+	if ArcLength(nil) != 0 || ArcLength(line[:1]) != 0 {
+		t.Error("degenerate arc lengths should be 0")
+	}
+}
+
+func TestResampleUniformSpacing(t *testing.T) {
+	pts := circle(200, 5)
+	rs := Resample(pts, 50)
+	if len(rs) != 50 {
+		t.Fatalf("resampled to %d points, want 50", len(rs))
+	}
+	if rs[0] != pts[0] || dist3(rs[len(rs)-1], pts[len(pts)-1]) > 1e-9 {
+		t.Error("endpoints not preserved")
+	}
+	// Spacing must be near-uniform.
+	want := ArcLength(pts) / 49
+	for i := 1; i < len(rs); i++ {
+		d := dist3(rs[i-1], rs[i])
+		if math.Abs(d-want) > want*0.1 {
+			t.Fatalf("segment %d: spacing %v, want ≈ %v", i, d, want)
+		}
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	if got := Resample(nil, 5); len(got) != 0 {
+		t.Errorf("resampling empty: %v", got)
+	}
+	single := [][3]float64{{1, 2, 3}}
+	got := Resample(single, 4)
+	if len(got) != 4 {
+		t.Fatalf("padded to %d, want 4", len(got))
+	}
+	for _, p := range got {
+		if p != single[0] {
+			t.Fatal("padding should repeat the single point")
+		}
+	}
+	// All-identical points (zero arc length).
+	same := [][3]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
+	got = Resample(same, 3)
+	for _, p := range got {
+		if p != same[0] {
+			t.Fatal("zero-length resample should repeat the point")
+		}
+	}
+}
+
+func TestSimplifyWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		// Wiggly curve.
+		n := 100 + rng.Intn(200)
+		pts := make([][3]float64, n)
+		for i := range pts {
+			x := float64(i) * 0.1
+			pts[i] = [3]float64{x, math.Sin(x) + 0.05*rng.Float64(), 0.3 * math.Cos(x/2)}
+		}
+		tol := 0.05 + rng.Float64()*0.2
+		simp := Simplify(pts, tol)
+		if len(simp) < 2 || len(simp) > len(pts) {
+			t.Fatalf("simplified to %d points from %d", len(simp), len(pts))
+		}
+		if simp[0] != pts[0] || simp[len(simp)-1] != pts[n-1] {
+			t.Fatal("endpoints not preserved")
+		}
+		// Every original point must be within tol of the simplified curve.
+		for _, p := range pts {
+			best := math.Inf(1)
+			for s := 1; s < len(simp); s++ {
+				if d := pointSegmentDist(p, simp[s-1], simp[s]); d < best {
+					best = d
+				}
+			}
+			if best > tol+1e-9 {
+				t.Fatalf("point %v is %v from simplified curve (tol %v)", p, best, tol)
+			}
+		}
+	}
+}
+
+func TestSimplifyReducesPoints(t *testing.T) {
+	// A nearly straight line collapses to its endpoints.
+	pts := make([][3]float64, 500)
+	for i := range pts {
+		pts[i] = [3]float64{float64(i), 1e-6 * float64(i%2), 0}
+	}
+	simp := Simplify(pts, 0.01)
+	if len(simp) != 2 {
+		t.Errorf("straight line simplified to %d points, want 2", len(simp))
+	}
+}
+
+func TestSimplifyShortInputs(t *testing.T) {
+	if got := Simplify(nil, 1); len(got) != 0 {
+		t.Error("nil input")
+	}
+	two := [][3]float64{{0, 0, 0}, {1, 1, 1}}
+	if got := Simplify(two, 1); len(got) != 2 {
+		t.Error("two-point input must be preserved")
+	}
+}
+
+func TestPointSegmentDist(t *testing.T) {
+	a, b := [3]float64{0, 0, 0}, [3]float64{10, 0, 0}
+	if d := pointSegmentDist([3]float64{5, 3, 0}, a, b); math.Abs(d-3) > 1e-12 {
+		t.Errorf("mid distance %v, want 3", d)
+	}
+	if d := pointSegmentDist([3]float64{-4, 3, 0}, a, b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("before-start distance %v, want 5", d)
+	}
+	// Degenerate segment.
+	if d := pointSegmentDist([3]float64{1, 0, 0}, a, a); math.Abs(d-1) > 1e-12 {
+		t.Errorf("point-segment with a==b: %v, want 1", d)
+	}
+}

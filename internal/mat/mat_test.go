@@ -1,0 +1,226 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDet2(t *testing.T) {
+	if got := Det2(1, 2, 3, 4); got != -2 {
+		t.Errorf("Det2 = %v, want -2", got)
+	}
+}
+
+func TestDet3(t *testing.T) {
+	if got := Det3([9]float64{1, 0, 0, 0, 1, 0, 0, 0, 1}); got != 1 {
+		t.Errorf("Det3(I) = %v, want 1", got)
+	}
+	if got := Det3([9]float64{2, 1, 0, 1, 3, 1, 0, 1, 2}); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Det3 = %v, want 8", got)
+	}
+}
+
+func TestSolve2(t *testing.T) {
+	x, y, ok := Solve2(2, 1, 1, 3, 5, 10)
+	if !ok {
+		t.Fatal("Solve2 reported singular")
+	}
+	if math.Abs(2*x+y-5) > 1e-12 || math.Abs(x+3*y-10) > 1e-12 {
+		t.Errorf("Solve2 residual too large: x=%v y=%v", x, y)
+	}
+	if _, _, ok := Solve2(1, 2, 2, 4, 1, 1); ok {
+		t.Error("Solve2 should report singular for rank-1 matrix")
+	}
+}
+
+func TestSolve3RandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var m [9]float64
+		for i := range m {
+			m[i] = rng.NormFloat64()
+		}
+		if math.Abs(Det3(m)) < 1e-3 {
+			continue
+		}
+		want := [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		var b [3]float64
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				b[r] += m[r*3+c] * want[c]
+			}
+		}
+		got, ok := Solve3(m, b)
+		if !ok {
+			t.Fatalf("Solve3 singular on det=%v", Det3(m))
+		}
+		for i := 0; i < 3; i++ {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("Solve3 trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEigen2Known(t *testing.T) {
+	// [[3,0],[0,-2]] has eigenvalues 3 and -2.
+	ev := Eigen2(3, 0, 0, -2)
+	got := []float64{ev[0].Re, ev[1].Re}
+	sort.Float64s(got)
+	if math.Abs(got[0]+2) > 1e-12 || math.Abs(got[1]-3) > 1e-12 {
+		t.Errorf("eigenvalues %v, want [-2 3]", got)
+	}
+	// Rotation-like [[0,-1],[1,0]] has ±i.
+	ev = Eigen2(0, -1, 1, 0)
+	if ev[0].Im == 0 || math.Abs(ev[0].Re) > 1e-12 || math.Abs(math.Abs(ev[0].Im)-1) > 1e-12 {
+		t.Errorf("rotation eigenvalues %v, want ±i", ev)
+	}
+}
+
+// Eigenvalues must satisfy trace and determinant identities.
+func TestEigen2Invariants(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		af, bf, cf, df := float64(a), float64(b), float64(c), float64(d)
+		ev := Eigen2(af, bf, cf, df)
+		sumRe := ev[0].Re + ev[1].Re
+		sumIm := ev[0].Im + ev[1].Im
+		// product of (possibly complex) eigenvalues
+		prodRe := ev[0].Re*ev[1].Re - ev[0].Im*ev[1].Im
+		return math.Abs(sumRe-(af+df)) < 1e-9 &&
+			math.Abs(sumIm) < 1e-9 &&
+			math.Abs(prodRe-Det2(af, bf, cf, df)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenVector2(t *testing.T) {
+	// [[2,1],[0,3]]: eigenvector for λ=2 is (1,0); for λ=3 is (1,1)/√2.
+	v, ok := EigenVector2(2, 1, 0, 3, 2)
+	if !ok {
+		t.Fatal("no eigenvector for λ=2")
+	}
+	checkEigvec2(t, 2, 1, 0, 3, 2, v)
+	v, ok = EigenVector2(2, 1, 0, 3, 3)
+	if !ok {
+		t.Fatal("no eigenvector for λ=3")
+	}
+	checkEigvec2(t, 2, 1, 0, 3, 3, v)
+}
+
+func checkEigvec2(t *testing.T, a, b, c, d, lambda float64, v [2]float64) {
+	t.Helper()
+	rx := a*v[0] + b*v[1] - lambda*v[0]
+	ry := c*v[0] + d*v[1] - lambda*v[1]
+	if math.Abs(rx) > 1e-9 || math.Abs(ry) > 1e-9 {
+		t.Errorf("A v != λ v for λ=%v: residual (%v,%v)", lambda, rx, ry)
+	}
+	if math.Abs(math.Hypot(v[0], v[1])-1) > 1e-9 {
+		t.Errorf("eigenvector not unit: %v", v)
+	}
+}
+
+func TestEigenVector2Identity(t *testing.T) {
+	if _, ok := EigenVector2(1, 0, 0, 1, 1); ok {
+		t.Error("identity matrix should report ok=false (any direction works)")
+	}
+}
+
+func TestEigen3Diagonal(t *testing.T) {
+	ev := Eigen3([9]float64{5, 0, 0, 0, -1, 0, 0, 0, 2})
+	got := []float64{ev[0].Re, ev[1].Re, ev[2].Re}
+	sort.Float64s(got)
+	want := []float64{-1, 2, 5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("eigenvalues %v, want %v", got, want)
+		}
+		if ev[i].Im != 0 {
+			t.Fatalf("diagonal matrix should have real eigenvalues, got %v", ev)
+		}
+	}
+}
+
+func TestEigen3ComplexPair(t *testing.T) {
+	// Block diag(rotation, 2): eigenvalues ±i and 2.
+	m := [9]float64{0, -1, 0, 1, 0, 0, 0, 0, 2}
+	ev := Eigen3(m)
+	nComplex := 0
+	var realEv float64
+	for _, e := range ev {
+		if e.Im != 0 {
+			nComplex++
+			if math.Abs(e.Re) > 1e-9 || math.Abs(math.Abs(e.Im)-1) > 1e-9 {
+				t.Fatalf("complex eigenvalue %v, want ±i", e)
+			}
+		} else {
+			realEv = e.Re
+		}
+	}
+	if nComplex != 2 || math.Abs(realEv-2) > 1e-9 {
+		t.Fatalf("eigenvalues %v, want {2, ±i}", ev)
+	}
+}
+
+// Trace and determinant identities for random 3×3 matrices.
+func TestEigen3Invariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		var m [9]float64
+		for i := range m {
+			m[i] = rng.NormFloat64() * 3
+		}
+		ev := Eigen3(m)
+		sumRe := ev[0].Re + ev[1].Re + ev[2].Re
+		sumIm := ev[0].Im + ev[1].Im + ev[2].Im
+		tr := m[0] + m[4] + m[8]
+		scale := 1 + math.Abs(tr)
+		if math.Abs(sumRe-tr) > 1e-6*scale || math.Abs(sumIm) > 1e-6*scale {
+			t.Fatalf("trial %d: eigen sum %v+%vi, trace %v (m=%v)", trial, sumRe, sumIm, tr, m)
+		}
+		// Product of eigenvalues = det. Compute complex product.
+		pr, pi := 1.0, 0.0
+		for _, e := range ev {
+			pr, pi = pr*e.Re-pi*e.Im, pr*e.Im+pi*e.Re
+		}
+		det := Det3(m)
+		dscale := 1 + math.Abs(det)
+		if math.Abs(pr-det) > 1e-5*dscale || math.Abs(pi) > 1e-5*dscale {
+			t.Fatalf("trial %d: eigen product %v+%vi, det %v", trial, pr, pi, det)
+		}
+	}
+}
+
+func TestEigenVector3(t *testing.T) {
+	m := [9]float64{2, 1, 0, 0, 3, 1, 0, 0, -1}
+	for _, lambda := range []float64{2, 3, -1} {
+		v, ok := EigenVector3(m, lambda)
+		if !ok {
+			t.Fatalf("no eigenvector for λ=%v", lambda)
+		}
+		var r [3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				r[i] += m[i*3+j] * v[j]
+			}
+			r[i] -= lambda * v[i]
+		}
+		if math.Abs(r[0]) > 1e-8 || math.Abs(r[1]) > 1e-8 || math.Abs(r[2]) > 1e-8 {
+			t.Errorf("λ=%v: residual %v for v=%v", lambda, r, v)
+		}
+	}
+}
+
+func TestSolveCubicTripleRoot(t *testing.T) {
+	// (x-2)³ = x³ - 6x² + 12x - 8
+	ev := solveCubic(1, -6, 12, -8)
+	for _, e := range ev {
+		if math.Abs(e.Re-2) > 1e-6 || e.Im != 0 {
+			t.Fatalf("triple root: got %v, want 2,2,2", ev)
+		}
+	}
+}

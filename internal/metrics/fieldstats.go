@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+
+	"tspsz/internal/field"
+)
+
+// Flow-field diagnostics used to sanity-check datasets and to quantify how
+// much physical structure compression disturbs beyond raw point-wise
+// error: central-difference divergence and vorticity (z-component of curl
+// in 2D, magnitude in 3D).
+
+// Divergence computes the central-difference divergence at every interior
+// vertex; boundary vertices carry 0. Unit grid spacing is assumed, matching
+// the mesh substrate.
+func Divergence(f *field.Field) []float64 {
+	nx, ny, nz := f.Grid.Dims()
+	out := make([]float64, f.NumVertices())
+	at := func(comp []float32, i, j, k int) float64 {
+		return float64(comp[f.Grid.VertexIndex(i, j, k)])
+	}
+	kMax := nz
+	if f.Dim() == 2 {
+		kMax = 1
+	}
+	for k := 0; k < kMax; k++ {
+		for j := 1; j < ny-1; j++ {
+			for i := 1; i < nx-1; i++ {
+				d := (at(f.U, i+1, j, k)-at(f.U, i-1, j, k))/2 +
+					(at(f.V, i, j+1, k)-at(f.V, i, j-1, k))/2
+				if f.Dim() == 3 && k >= 1 && k < nz-1 {
+					d += (at(f.W, i, j, k+1) - at(f.W, i, j, k-1)) / 2
+				} else if f.Dim() == 3 {
+					continue // 3D boundary plane: leave 0
+				}
+				out[f.Grid.VertexIndex(i, j, k)] = d
+			}
+		}
+	}
+	return out
+}
+
+// Vorticity computes the central-difference vorticity at interior
+// vertices: ∂v/∂x − ∂u/∂y in 2D; the curl magnitude in 3D.
+func Vorticity(f *field.Field) []float64 {
+	nx, ny, nz := f.Grid.Dims()
+	out := make([]float64, f.NumVertices())
+	at := func(comp []float32, i, j, k int) float64 {
+		return float64(comp[f.Grid.VertexIndex(i, j, k)])
+	}
+	if f.Dim() == 2 {
+		for j := 1; j < ny-1; j++ {
+			for i := 1; i < nx-1; i++ {
+				wz := (at(f.V, i+1, j, 0)-at(f.V, i-1, j, 0))/2 -
+					(at(f.U, i, j+1, 0)-at(f.U, i, j-1, 0))/2
+				out[f.Grid.VertexIndex(i, j, 0)] = wz
+			}
+		}
+		return out
+	}
+	for k := 1; k < nz-1; k++ {
+		for j := 1; j < ny-1; j++ {
+			for i := 1; i < nx-1; i++ {
+				cx := (at(f.W, i, j+1, k)-at(f.W, i, j-1, k))/2 -
+					(at(f.V, i, j, k+1)-at(f.V, i, j, k-1))/2
+				cy := (at(f.U, i, j, k+1)-at(f.U, i, j, k-1))/2 -
+					(at(f.W, i+1, j, k)-at(f.W, i-1, j, k))/2
+				cz := (at(f.V, i+1, j, k)-at(f.V, i-1, j, k))/2 -
+					(at(f.U, i, j+1, k)-at(f.U, i, j-1, k))/2
+				out[f.Grid.VertexIndex(i, j, k)] = math.Sqrt(cx*cx + cy*cy + cz*cz)
+			}
+		}
+	}
+	return out
+}
+
+// RMS returns the root mean square of xs (0 for empty input).
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x * x
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"tspsz/internal/field"
+)
+
+func fill2D(f *field.Field, fn func(x, y float64) (float64, float64)) {
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		u, v := fn(p[0], p[1])
+		f.U[idx] = float32(u)
+		f.V[idx] = float32(v)
+	}
+}
+
+// A radial field V = (x, y) has divergence 2 and zero vorticity.
+func TestDivergenceRadialField(t *testing.T) {
+	f := field.New2D(12, 12)
+	fill2D(f, func(x, y float64) (float64, float64) { return x, y })
+	div := Divergence(f)
+	vor := Vorticity(f)
+	for j := 2; j < 10; j++ {
+		for i := 2; i < 10; i++ {
+			idx := f.Grid.VertexIndex(i, j, 0)
+			if math.Abs(div[idx]-2) > 1e-5 {
+				t.Fatalf("div at (%d,%d) = %v, want 2", i, j, div[idx])
+			}
+			if math.Abs(vor[idx]) > 1e-5 {
+				t.Fatalf("vorticity at (%d,%d) = %v, want 0", i, j, vor[idx])
+			}
+		}
+	}
+}
+
+// A rotation field V = (-y, x) has vorticity 2 and zero divergence.
+func TestVorticityRotationField(t *testing.T) {
+	f := field.New2D(12, 12)
+	fill2D(f, func(x, y float64) (float64, float64) { return -y, x })
+	div := Divergence(f)
+	vor := Vorticity(f)
+	idx := f.Grid.VertexIndex(5, 6, 0)
+	if math.Abs(vor[idx]-2) > 1e-5 {
+		t.Errorf("vorticity = %v, want 2", vor[idx])
+	}
+	if math.Abs(div[idx]) > 1e-5 {
+		t.Errorf("divergence = %v, want 0", div[idx])
+	}
+}
+
+// 3D: V = (-y, x, 1) has curl (0, 0, 2) -> magnitude 2; divergence 0.
+func TestVorticity3D(t *testing.T) {
+	f := field.New3D(8, 8, 8)
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		f.U[idx] = float32(-p[1])
+		f.V[idx] = float32(p[0])
+		f.W[idx] = 1
+	}
+	vor := Vorticity(f)
+	div := Divergence(f)
+	idx := f.Grid.VertexIndex(4, 4, 4)
+	if math.Abs(vor[idx]-2) > 1e-5 {
+		t.Errorf("3D vorticity = %v, want 2", vor[idx])
+	}
+	if math.Abs(div[idx]) > 1e-5 {
+		t.Errorf("3D divergence = %v, want 0", div[idx])
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Error("RMS(nil) != 0")
+	}
+	if got := RMS([]float64{3, 4, 0, 0}); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("RMS = %v, want 2.5", got)
+	}
+}
+
+// Solenoidal generators must stay near divergence-free after sampling.
+func TestGeneratedFieldsNearSolenoidal(t *testing.T) {
+	f := field.New2D(40, 40)
+	fill2D(f, func(x, y float64) (float64, float64) {
+		// Streamfunction ψ = sin(x/5)·sin(y/5): u = ∂ψ/∂y, v = -∂ψ/∂x.
+		return math.Sin(x/5) * math.Cos(y/5) / 5, -math.Cos(x/5) * math.Sin(y/5) / 5
+	})
+	div := Divergence(f)
+	vor := Vorticity(f)
+	if RMS(div) > 0.02*RMS(vor)+1e-9 {
+		t.Errorf("streamfunction flow: div RMS %v not well below vorticity RMS %v", RMS(div), RMS(vor))
+	}
+}

@@ -1,0 +1,50 @@
+// Package metrics implements the evaluation metrics of §VIII-B:
+// compression ratio, bitrate, MSE, and PSNR.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"tspsz/internal/field"
+)
+
+// MSE returns the mean squared error between original and decompressed
+// fields over all components. It panics if shapes differ.
+func MSE(orig, dec *field.Field) float64 {
+	oc, dc := orig.Components(), dec.Components()
+	if len(oc) != len(dc) || orig.NumVertices() != dec.NumVertices() {
+		panic(fmt.Sprintf("metrics: shape mismatch %d/%d comps, %d/%d vertices",
+			len(oc), len(dc), orig.NumVertices(), dec.NumVertices()))
+	}
+	var sum float64
+	n := 0
+	for c := range oc {
+		for i := range oc[c] {
+			d := float64(oc[c][i]) - float64(dc[c][i])
+			sum += d * d
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// PSNR returns 20·log10(range) − 10·log10(MSE), with range the global
+// value range of the original data. Identical fields yield +Inf.
+func PSNR(orig, dec *field.Field) float64 {
+	mse := MSE(orig, dec)
+	lo, hi := orig.Range()
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 20*math.Log10(hi-lo) - 10*math.Log10(mse)
+}
+
+// CR returns the compression ratio size(original)/size(compressed).
+func CR(orig *field.Field, compressedBytes int) float64 {
+	return float64(orig.SizeBytes()) / float64(compressedBytes)
+}
+
+// Bitrate converts a compression ratio on float32 data into bits per value
+// (the x-axis of the paper's rate-distortion plots): 32 / CR.
+func Bitrate(cr float64) float64 { return 32 / cr }

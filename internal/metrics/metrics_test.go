@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"tspsz/internal/field"
+)
+
+func TestMSEAndPSNR(t *testing.T) {
+	a := field.New2D(2, 2)
+	a.U = []float32{0, 1, 2, 3}
+	a.V = []float32{0, 0, 0, 0}
+	b := a.Clone()
+	if got := MSE(a, b); got != 0 {
+		t.Errorf("MSE identical = %v, want 0", got)
+	}
+	if !math.IsInf(PSNR(a, b), 1) {
+		t.Error("PSNR of identical fields should be +Inf")
+	}
+	b.U[0] = 1 // squared error 1 over 8 samples
+	if got, want := MSE(a, b), 1.0/8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MSE = %v, want %v", got, want)
+	}
+	// range = 3 - 0 = 3
+	want := 20*math.Log10(3) - 10*math.Log10(1.0/8)
+	if got := PSNR(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestMSEPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSE(field.New2D(2, 2), field.New2D(3, 3))
+}
+
+func TestCRAndBitrate(t *testing.T) {
+	f := field.New2D(10, 10) // 100 verts × 2 comps × 4 bytes = 800
+	if got := CR(f, 100); got != 8 {
+		t.Errorf("CR = %v, want 8", got)
+	}
+	if got := Bitrate(8); got != 4 {
+		t.Errorf("Bitrate(8) = %v, want 4 bits/value", got)
+	}
+}

@@ -1,0 +1,110 @@
+// Package parallel provides the shared-memory work distribution primitives
+// TspSZ uses in place of OpenMP (§VII): static range splitting for
+// deterministic block decomposition and dynamic chunk scheduling for
+// load-imbalanced loops such as separatrix tracing.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values < 1 become
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForChunks splits [0, n) into at most `workers` contiguous ranges of
+// near-equal size and runs fn(lo, hi) for each on its own goroutine. Ranges
+// are deterministic for a given (n, workers) pair, which the block-parallel
+// compressor relies on.
+func ForChunks(n, workers int, fn func(lo, hi int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n) using `workers` goroutines with
+// dynamic chunked scheduling (chunk size grain). Use for loops whose
+// iterations have highly variable cost, e.g. streamline tracing.
+func For(n, workers, grain int, fn func(i int)) {
+	workers = Workers(workers)
+	if grain < 1 {
+		grain = 1
+	}
+	if workers <= 1 || n <= grain {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Ranges returns the deterministic chunk boundaries ForChunks would use:
+// a slice of [lo, hi) pairs covering [0, n).
+func Ranges(n, workers int) [][2]int {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var out [][2]int
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

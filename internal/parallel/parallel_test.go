@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForChunksCoversRange(t *testing.T) {
+	f := func(nRaw uint8, wRaw uint8) bool {
+		n := int(nRaw % 200)
+		w := int(wRaw%8) + 1
+		seen := make([]atomic.Int32, n)
+		ForChunks(n, w, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForCoversRangeOnce(t *testing.T) {
+	f := func(nRaw uint16, wRaw, gRaw uint8) bool {
+		n := int(nRaw % 5000)
+		w := int(wRaw%8) + 1
+		g := int(gRaw%64) + 1
+		seen := make([]atomic.Int32, n)
+		For(n, w, g, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangesMatchForChunks(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, w := range []int{1, 2, 3, 16} {
+			rs := Ranges(n, w)
+			covered := 0
+			prev := 0
+			for _, r := range rs {
+				if r[0] != prev {
+					t.Fatalf("n=%d w=%d: gap before %v", n, w, r)
+				}
+				covered += r[1] - r[0]
+				prev = r[1]
+			}
+			if covered != n {
+				t.Fatalf("n=%d w=%d: covered %d", n, w, covered)
+			}
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("Workers must return >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Error("Workers(5) != 5")
+	}
+}
+
+func TestZeroN(t *testing.T) {
+	called := false
+	ForChunks(0, 4, func(lo, hi int) { called = true })
+	For(0, 4, 8, func(i int) { called = true })
+	if called {
+		t.Error("callbacks invoked for n=0")
+	}
+}

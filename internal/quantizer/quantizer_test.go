@@ -1,0 +1,135 @@
+package quantizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictDegradation(t *testing.T) {
+	// 3D Lorenzo reproduces exactly any polynomial whose full mixed term
+	// (xyz) vanishes; the 2D Lorenzo used on the leading x-face is exact
+	// when the in-face mixed term (yz) vanishes too.
+	nx, ny, nz := 4, 4, 4
+	vals := make([]float32, nx*ny*nz)
+	f := func(i, j, k int) float64 {
+		x, y, z := float64(i), float64(j), float64(k)
+		return 3 + 2*x - y + 0.5*z + x*y - 0.25*x*z
+	}
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				vals[i+j*nx+k*nx*ny] = float32(f(i, j, k))
+			}
+		}
+	}
+	lo := [3]int{0, 0, 0}
+	pred := Predict(vals, nx, nx*ny, 2, 2, 2, lo)
+	if math.Abs(pred-f(2, 2, 2)) > 1e-4 {
+		t.Errorf("3D Lorenzo on trilinear: pred %v, want %v", pred, f(2, 2, 2))
+	}
+	// On the leading x-face only 2D Lorenzo in (y,z) is available; for a
+	// function bilinear in (y,z) at fixed x it is exact too.
+	pred = Predict(vals, nx, nx*ny, 0, 2, 2, lo)
+	if math.Abs(pred-f(0, 2, 2)) > 1e-4 {
+		t.Errorf("2D Lorenzo on face: pred %v, want %v", pred, f(0, 2, 2))
+	}
+	// Origin: no neighbors at all.
+	if got := Predict(vals, nx, nx*ny, 0, 0, 0, lo); got != 0 {
+		t.Errorf("origin prediction %v, want 0", got)
+	}
+}
+
+func TestPredictRespectsRegionBounds(t *testing.T) {
+	nx := 8
+	vals := make([]float32, nx*nx)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	// lo.x = 4: vertex (4, 3) must not look at x=3.
+	full := Predict(vals, nx, nx*nx, 4, 3, 0, [3]int{0, 0, 0})
+	restricted := Predict(vals, nx, nx*nx, 4, 3, 0, [3]int{4, 0, 0})
+	if full == restricted {
+		t.Error("region restriction had no effect where it must")
+	}
+	want := float64(vals[4+2*nx]) // 1D Lorenzo in y only
+	if restricted != want {
+		t.Errorf("restricted prediction %v, want %v", restricted, want)
+	}
+}
+
+func TestQuantizeRoundTripWithinBound(t *testing.T) {
+	f := func(xRaw, pRaw int32, ebRaw uint8) bool {
+		x := float64(xRaw) / 1e4
+		pred := float64(pRaw) / 1e4
+		eb := (float64(ebRaw) + 1) / 256
+		code, recon, ok := Quantize(x, pred, eb, DefaultRadius)
+		if !ok {
+			// Unpredictable values fall back to verbatim storage; the only
+			// invariant here is that the encoder never claims success while
+			// breaking the bound, checked below.
+			return true
+		}
+		if math.Abs(recon-x) > eb {
+			return false
+		}
+		// Decoder reconstruction must match bit-for-bit.
+		return Reconstruct(pred, eb, code) == recon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeRejectsBadInput(t *testing.T) {
+	if _, _, ok := Quantize(1, 0, 0, DefaultRadius); ok {
+		t.Error("eb=0 must be unpredictable")
+	}
+	if _, _, ok := Quantize(math.NaN(), 0, 1, DefaultRadius); ok {
+		t.Error("NaN must be unpredictable")
+	}
+	if _, _, ok := Quantize(math.Inf(1), 0, 1, DefaultRadius); ok {
+		t.Error("Inf must be unpredictable")
+	}
+	if _, _, ok := Quantize(1e9, 0, 1e-6, DefaultRadius); ok {
+		t.Error("radius overflow must be unpredictable")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	for _, c := range []int32{0, 1, -1, 2, -2, 1 << 20, -(1 << 20), math.MaxInt32 / 2, math.MinInt32 / 2} {
+		if got := Unzigzag(Zigzag(c)); got != c {
+			t.Errorf("zigzag round trip %d -> %d", c, got)
+		}
+	}
+	if Zigzag(0) != 0 || Zigzag(-1) != 1 || Zigzag(1) != 2 {
+		t.Error("zigzag mapping not canonical")
+	}
+}
+
+func TestQuantizeZeroResidual(t *testing.T) {
+	code, recon, ok := Quantize(5.5, 5.5, 0.01, DefaultRadius)
+	if !ok || code != 0 {
+		t.Fatalf("zero residual: code=%d ok=%v", code, ok)
+	}
+	if math.Abs(recon-5.5) > 0.01 {
+		t.Errorf("recon %v too far from 5.5", recon)
+	}
+}
+
+func TestEncoderDecoderAgreeOnRandomStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		x := rng.NormFloat64() * 100
+		pred := x + rng.NormFloat64()
+		eb := math.Abs(rng.NormFloat64())*0.1 + 1e-6
+		code, recon, ok := Quantize(x, pred, eb, DefaultRadius)
+		if !ok {
+			continue
+		}
+		if Reconstruct(pred, eb, code) != recon {
+			t.Fatalf("trial %d: decoder disagrees", trial)
+		}
+	}
+}

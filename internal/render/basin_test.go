@@ -1,0 +1,51 @@
+package render
+
+import (
+	"testing"
+
+	"tspsz/internal/field"
+)
+
+func TestBasinMap(t *testing.T) {
+	f := gyre(12, 10)
+	labels := make([]int, f.NumVertices())
+	for i := range labels {
+		switch {
+		case i%5 == 0:
+			labels[i] = -1
+		case i%2 == 0:
+			labels[i] = 3
+		default:
+			labels[i] = 7
+		}
+	}
+	img, err := BasinMap(f, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 24 || img.Bounds().Dy() != 20 {
+		t.Fatalf("size %v", img.Bounds())
+	}
+	// At least three distinct colors must appear (two basins + unassigned).
+	colors := map[[4]uint8]bool{}
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			c := img.RGBAAt(x, y)
+			colors[[4]uint8{c.R, c.G, c.B, c.A}] = true
+		}
+	}
+	if len(colors) < 3 {
+		t.Errorf("only %d distinct colors", len(colors))
+	}
+}
+
+func TestBasinMapRejectsBadInput(t *testing.T) {
+	f := gyre(8, 8)
+	if _, err := BasinMap(f, make([]int, 3), 1); err == nil {
+		t.Error("label length mismatch accepted")
+	}
+	if _, err := BasinMap(field.New3D(4, 4, 4), make([]int, 64), 1); err == nil {
+		t.Error("3D field accepted")
+	}
+}

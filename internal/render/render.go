@@ -1,0 +1,183 @@
+// Package render rasterizes 2D vector field topology for the qualitative
+// figures of the paper: line integral convolution backgrounds (the context
+// texture of Figs. 5 and 7), magnitude and error heatmaps, skeleton
+// overlays with wrong-separatrix highlighting, and lossless-vertex maps.
+// cmd/topoviz is a thin flag wrapper around this package.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+
+	"tspsz/internal/field"
+)
+
+// Canvas maps continuous grid coordinates onto an RGBA image, with the
+// vertical axis flipped so the grid origin is bottom-left as in the
+// paper's figures.
+type Canvas struct {
+	Img  *image.RGBA
+	Zoom int
+	ny   int
+}
+
+// NewCanvas allocates a canvas for an nx×ny vertex grid at zoom pixels per
+// grid unit.
+func NewCanvas(nx, ny, zoom int) *Canvas {
+	if zoom < 1 {
+		zoom = 1
+	}
+	return &Canvas{Img: image.NewRGBA(image.Rect(0, 0, nx*zoom, ny*zoom)), Zoom: zoom, ny: ny}
+}
+
+// Set paints the pixel covering grid position (x, y); out-of-domain
+// positions are ignored.
+func (c *Canvas) Set(x, y float64, col color.RGBA) {
+	px := int(x * float64(c.Zoom))
+	py := int((float64(c.ny-1) - y) * float64(c.Zoom))
+	if px < 0 || py < 0 || px >= c.Img.Bounds().Dx() || py >= c.Img.Bounds().Dy() {
+		return
+	}
+	c.Img.SetRGBA(px, py, col)
+}
+
+// Dot paints a filled disc of radius r pixels at grid position (x, y).
+func (c *Canvas) Dot(x, y float64, r int, col color.RGBA) {
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				c.Set(x+float64(dx)/float64(c.Zoom), y+float64(dy)/float64(c.Zoom), col)
+			}
+		}
+	}
+}
+
+// Polyline draws the piecewise-linear curve through pts.
+func (c *Canvas) Polyline(pts [][3]float64, col color.RGBA) {
+	for i := 1; i < len(pts); i++ {
+		x0, y0 := pts[i-1][0], pts[i-1][1]
+		x1, y1 := pts[i][0], pts[i][1]
+		n := int(math.Hypot(x1-x0, y1-y0)*float64(c.Zoom)) + 1
+		for s := 0; s <= n; s++ {
+			t := float64(s) / float64(n)
+			c.Set(x0+t*(x1-x0), y0+t*(y1-y0), col)
+		}
+	}
+}
+
+// GridPos converts a pixel to its grid position (the inverse of Set's
+// mapping, at pixel centers).
+func (c *Canvas) GridPos(px, py int) (x, y float64) {
+	x = (float64(px) + 0.5) / float64(c.Zoom)
+	y = float64(c.ny-1) - (float64(py)+0.5)/float64(c.Zoom)
+	return
+}
+
+// Heatmap fills the canvas from a scalar per-pixel function using the
+// given colormap over [lo, hi].
+func (c *Canvas) Heatmap(val func(x, y float64) float64, lo, hi float64, cm Colormap) {
+	b := c.Img.Bounds()
+	for py := 0; py < b.Dy(); py++ {
+		for px := 0; px < b.Dx(); px++ {
+			x, y := c.GridPos(px, py)
+			c.Img.SetRGBA(px, py, cm(normalize(val(x, y), lo, hi)))
+		}
+	}
+}
+
+func normalize(v, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// Colormap maps t ∈ [0, 1] to a color.
+type Colormap func(t float64) color.RGBA
+
+// Viridis-like perceptually ordered map (piecewise-linear approximation).
+func Viridis(t float64) color.RGBA {
+	stops := [][4]float64{
+		{0.0, 68, 1, 84},
+		{0.25, 59, 82, 139},
+		{0.5, 33, 145, 140},
+		{0.75, 94, 201, 98},
+		{1.0, 253, 231, 37},
+	}
+	return lerpStops(stops, t)
+}
+
+// Grayscale maps t to a linear gray ramp (clamped to [0, 1]).
+func Grayscale(t float64) color.RGBA {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	g := uint8(255 * t)
+	return color.RGBA{g, g, g, 255}
+}
+
+// Hot is a black-red-yellow-white map for error magnitudes (Fig. 3).
+func Hot(t float64) color.RGBA {
+	stops := [][4]float64{
+		{0.0, 10, 10, 40},
+		{0.4, 180, 30, 30},
+		{0.75, 255, 170, 30},
+		{1.0, 255, 255, 255},
+	}
+	return lerpStops(stops, t)
+}
+
+func lerpStops(stops [][4]float64, t float64) color.RGBA {
+	if t <= stops[0][0] {
+		return color.RGBA{uint8(stops[0][1]), uint8(stops[0][2]), uint8(stops[0][3]), 255}
+	}
+	for i := 1; i < len(stops); i++ {
+		if t <= stops[i][0] {
+			f := (t - stops[i-1][0]) / (stops[i][0] - stops[i-1][0])
+			l := func(a, b float64) uint8 { return uint8(a + f*(b-a)) }
+			return color.RGBA{
+				l(stops[i-1][1], stops[i][1]),
+				l(stops[i-1][2], stops[i][2]),
+				l(stops[i-1][3], stops[i][3]),
+				255,
+			}
+		}
+	}
+	last := stops[len(stops)-1]
+	return color.RGBA{uint8(last[1]), uint8(last[2]), uint8(last[3]), 255}
+}
+
+// SliceXY extracts the k-th z-plane of a 3D field as a 2D field, so the 2D
+// renderers apply to 3D data (the paper's Fig. 7 shows planar context of
+// Nek5000).
+func SliceXY(f *field.Field, k int) (*field.Field, error) {
+	if f.Dim() != 3 {
+		return nil, fmt.Errorf("render: SliceXY needs a 3D field")
+	}
+	nx, ny, nz := f.Grid.Dims()
+	if k < 0 || k >= nz {
+		return nil, fmt.Errorf("render: slice %d out of range [0,%d)", k, nz)
+	}
+	out := field.New2D(nx, ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			src := f.Grid.VertexIndex(i, j, k)
+			dst := out.Grid.VertexIndex(i, j, 0)
+			out.U[dst] = f.U[src]
+			out.V[dst] = f.V[src]
+		}
+	}
+	return out, nil
+}

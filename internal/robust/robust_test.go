@@ -1,0 +1,139 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetSign2Basic(t *testing.T) {
+	if DetSign2(1, 0, 0, 1) != 1 {
+		t.Error("identity det should be +")
+	}
+	if DetSign2(0, 1, 1, 0) != -1 {
+		t.Error("antidiagonal det should be -")
+	}
+	if DetSign2(1, 2, 2, 4) != 0 {
+		t.Error("rank-1 det should be 0")
+	}
+}
+
+// The adaptive path must agree with exact rational arithmetic always.
+func TestDetSign2MatchesExact(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(d) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) || math.IsInf(d, 0) {
+			return true
+		}
+		return DetSign2(a, b, c, d) == detSign2Exact(a, b, c, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Near-degenerate cases where the float path is uncertain: construct dets
+// that cancel catastrophically.
+func TestDetSign2Cancellation(t *testing.T) {
+	// a·d and b·c equal to the last ulp: build d = b·c/a exactly when
+	// possible by using powers of two.
+	a, b, c := 3.0, 1.5, 2.0
+	d := b * c / a // exact: 1.0
+	if got := DetSign2(a, b, c, d); got != 0 {
+		t.Errorf("exact zero det classified as %d", got)
+	}
+	// One-ulp perturbations must resolve.
+	if got := DetSign2(a, b, c, math.Nextafter(d, 2)); got != 1 {
+		t.Errorf("d+ulp should give +1, got %d", got)
+	}
+	if got := DetSign2(a, b, c, math.Nextafter(d, 0)); got != -1 {
+		t.Errorf("d-ulp should give -1, got %d", got)
+	}
+}
+
+func TestDetSign3MatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 1000; trial++ {
+		var m [9]float64
+		for i := range m {
+			m[i] = rng.NormFloat64()
+		}
+		if trial%3 == 0 {
+			// Force near-singularity: row2 = row0 + row1.
+			for c := 0; c < 3; c++ {
+				m[6+c] = m[c] + m[3+c]
+			}
+		}
+		if DetSign3(m) != detSign3Exact(m) {
+			t.Fatalf("trial %d: adaptive disagrees with exact on %v", trial, m)
+		}
+	}
+}
+
+func TestSoSDetSign2NeverZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		ua, va := rng.NormFloat64(), rng.NormFloat64()
+		ub, vb := ua*2, va*2 // exactly parallel: det == 0
+		if trial%2 == 0 {
+			ub, vb = rng.NormFloat64(), rng.NormFloat64()
+		}
+		s := SoSDetSign2(ua, va, 3, ub, vb, 8)
+		if s == 0 {
+			t.Fatalf("SoS sign returned 0 for (%v,%v),(%v,%v)", ua, va, ub, vb)
+		}
+	}
+}
+
+// Antisymmetry: swapping the two columns (and their indices) must negate
+// the decision, which is what makes face claims consistent across the two
+// adjacent cells.
+func TestSoSDetSign2Antisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		ua, va := rng.NormFloat64(), rng.NormFloat64()
+		var ub, vb float64
+		switch trial % 3 {
+		case 0:
+			ub, vb = rng.NormFloat64(), rng.NormFloat64()
+		case 1:
+			ub, vb = ua*3, va*3 // parallel
+		default:
+			ub, vb = 0, 0 // degenerate partner
+		}
+		a, b := rng.Intn(100), rng.Intn(100)
+		if a == b {
+			b = a + 1
+		}
+		s1 := SoSDetSign2(ua, va, a, ub, vb, b)
+		s2 := SoSDetSign2(ub, vb, b, ua, va, a)
+		if s1 != -s2 {
+			t.Fatalf("trial %d: not antisymmetric: %d vs %d", trial, s1, s2)
+		}
+	}
+}
+
+func TestSoSDetSign2AllZeroFallback(t *testing.T) {
+	if SoSDetSign2(0, 0, 2, 0, 0, 5) != 1 {
+		t.Error("all-zero with a<b should be +1")
+	}
+	if SoSDetSign2(0, 0, 5, 0, 0, 2) != -1 {
+		t.Error("all-zero with a>b should be -1")
+	}
+}
+
+func TestSoSDetSign2AgreesWithExactWhenNonzero(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 1000; trial++ {
+		ua, va := rng.NormFloat64(), rng.NormFloat64()
+		ub, vb := rng.NormFloat64(), rng.NormFloat64()
+		want := DetSign2(ua, ub, va, vb)
+		if want == 0 {
+			continue
+		}
+		if got := SoSDetSign2(ua, va, 1, ub, vb, 2); got != want {
+			t.Fatalf("SoS disagrees with nonzero det: %d vs %d", got, want)
+		}
+	}
+}

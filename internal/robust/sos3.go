@@ -1,0 +1,118 @@
+package robust
+
+// 3D Simulation of Simplicity. The membership determinants of a
+// tetrahedral cell are 3×3 determinants of vector values at three global
+// vertex indices. Components are perturbed as
+//
+//	u_i → u_i + δ^(6i+1),  v_i → v_i + δ^(6i+3),  w_i → w_i + δ^(6i+5)
+//
+// with an infinitesimal δ > 0. When the unperturbed determinant vanishes,
+// the lowest-order δ term decides: the first-order terms are
+// cofactor(entry)·δ^(order(entry)), visited in increasing entry order.
+// If every first-order cofactor at a vanishing determinant is itself zero
+// (a doubly degenerate configuration), the implementation falls back to a
+// lexicographic index comparison — still antisymmetric and globally
+// consistent, though no longer the exact second-order SoS expansion
+// (documented approximation; such configurations require two exact rank
+// deficiencies at once).
+
+// Vec3 is one perturbed column: a vector value and its global vertex index.
+type Vec3 struct {
+	U, V, W float64
+	Idx     int
+}
+
+// SoSDetSign3 returns the never-zero sign of det[colA colB colC] under the
+// SoS perturbation.
+func SoSDetSign3(a, b, c Vec3) int {
+	m := [9]float64{
+		a.U, b.U, c.U,
+		a.V, b.V, c.V,
+		a.W, b.W, c.W,
+	}
+	if s := DetSign3(m); s != 0 {
+		return s
+	}
+	// First-order terms: entry (r, col) has δ-order 6·idx(col)+(2r+1) and
+	// coefficient equal to its signed cofactor.
+	cols := [3]Vec3{a, b, c}
+	type term struct {
+		order int
+		cof   float64
+	}
+	var terms []term
+	for ci := 0; ci < 3; ci++ {
+		for r := 0; r < 3; r++ {
+			cof := cofactor(m, r, ci)
+			terms = append(terms, term{order: 6*cols[ci].Idx + 2*r + 1, cof: cof})
+		}
+	}
+	for i := 1; i < len(terms); i++ {
+		for j := i; j > 0 && terms[j].order < terms[j-1].order; j-- {
+			terms[j], terms[j-1] = terms[j-1], terms[j]
+		}
+	}
+	for _, t := range terms {
+		if s := sign(t.cof); s != 0 {
+			return s
+		}
+	}
+	// Doubly degenerate: lexicographic fallback on (idxA, idxB, idxC) with
+	// permutation parity, so column swaps still negate the result.
+	return lexParity(a.Idx, b.Idx, c.Idx)
+}
+
+func cofactor(m [9]float64, r, c int) float64 {
+	var sub [4]float64
+	k := 0
+	for i := 0; i < 3; i++ {
+		if i == r {
+			continue
+		}
+		for j := 0; j < 3; j++ {
+			if j == c {
+				continue
+			}
+			sub[k] = m[i*3+j]
+			k++
+		}
+	}
+	det := sub[0]*sub[3] - sub[1]*sub[2]
+	if (r+c)%2 == 1 {
+		det = -det
+	}
+	return det
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// lexParity returns +1 when (a, b, c) is an even permutation of its sorted
+// order, -1 when odd. Distinct indices are guaranteed for cell vertices.
+func lexParity(a, b, c int) int {
+	swaps := 0
+	if a > b {
+		a, b = b, a
+		swaps++
+	}
+	if b > c {
+		b, c = c, b
+		swaps++
+	}
+	if a > b {
+		a, b = b, a
+		swaps++
+	}
+	if swaps%2 == 0 {
+		return 1
+	}
+	return -1
+}

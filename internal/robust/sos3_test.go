@@ -1,0 +1,109 @@
+package robust
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVec3(rng *rand.Rand, idx int) Vec3 {
+	return Vec3{U: rng.NormFloat64(), V: rng.NormFloat64(), W: rng.NormFloat64(), Idx: idx}
+}
+
+func TestSoSDetSign3NeverZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		a := randVec3(rng, 2)
+		b := randVec3(rng, 5)
+		var c Vec3
+		switch trial % 3 {
+		case 0:
+			c = randVec3(rng, 9)
+		case 1: // linearly dependent: c = a + b (det == 0 exactly)
+			c = Vec3{U: a.U + b.U, V: a.V + b.V, W: a.W + b.W, Idx: 9}
+		default: // c parallel to a
+			c = Vec3{U: 2 * a.U, V: 2 * a.V, W: 2 * a.W, Idx: 9}
+		}
+		if SoSDetSign3(a, b, c) == 0 {
+			t.Fatalf("trial %d: SoS 3D sign returned 0", trial)
+		}
+	}
+}
+
+// Swapping any two columns must negate the decision, including degenerate
+// configurations: that is what makes face claims consistent between the
+// tetrahedra sharing the face.
+func TestSoSDetSign3Antisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 2000; trial++ {
+		a := randVec3(rng, 1)
+		b := randVec3(rng, 4)
+		var c Vec3
+		switch trial % 4 {
+		case 0:
+			c = randVec3(rng, 7)
+		case 1:
+			c = Vec3{U: a.U + b.U, V: a.V + b.V, W: a.W + b.W, Idx: 7}
+		case 2:
+			c = Vec3{Idx: 7} // zero column
+		default:
+			b = Vec3{U: 3 * a.U, V: 3 * a.V, W: 3 * a.W, Idx: 4}
+			c = randVec3(rng, 7)
+		}
+		s := SoSDetSign3(a, b, c)
+		if SoSDetSign3(b, a, c) != -s {
+			t.Fatalf("trial %d: swap(a,b) not antisymmetric", trial)
+		}
+		if SoSDetSign3(a, c, b) != -s {
+			t.Fatalf("trial %d: swap(b,c) not antisymmetric", trial)
+		}
+		if SoSDetSign3(c, b, a) != -s {
+			t.Fatalf("trial %d: swap(a,c) not antisymmetric", trial)
+		}
+		// Cyclic permutations are even: sign preserved.
+		if SoSDetSign3(b, c, a) != s || SoSDetSign3(c, a, b) != s {
+			t.Fatalf("trial %d: cyclic permutation changed sign", trial)
+		}
+	}
+}
+
+func TestSoSDetSign3AgreesWithExactWhenNonzero(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 1000; trial++ {
+		a := randVec3(rng, 1)
+		b := randVec3(rng, 2)
+		c := randVec3(rng, 3)
+		m := [9]float64{a.U, b.U, c.U, a.V, b.V, c.V, a.W, b.W, c.W}
+		want := DetSign3(m)
+		if want == 0 {
+			continue
+		}
+		if got := SoSDetSign3(a, b, c); got != want {
+			t.Fatalf("trial %d: SoS %d vs exact %d", trial, got, want)
+		}
+	}
+}
+
+func TestLexParity(t *testing.T) {
+	if lexParity(1, 2, 3) != 1 {
+		t.Error("sorted order should be even")
+	}
+	if lexParity(2, 1, 3) != -1 {
+		t.Error("one swap should be odd")
+	}
+	if lexParity(3, 1, 2) != 1 {
+		t.Error("cyclic shift should be even")
+	}
+}
+
+func TestSoSDetSign3AllZeroColumns(t *testing.T) {
+	a := Vec3{Idx: 1}
+	b := Vec3{Idx: 2}
+	c := Vec3{Idx: 3}
+	s := SoSDetSign3(a, b, c)
+	if s == 0 {
+		t.Fatal("degenerate fallback returned 0")
+	}
+	if SoSDetSign3(b, a, c) != -s {
+		t.Fatal("degenerate fallback not antisymmetric")
+	}
+}

@@ -1,0 +1,22 @@
+package segment
+
+import (
+	"tspsz/internal/core"
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/integrate"
+)
+
+// compressForTest runs a TspSZ-i round trip and returns the decompressed
+// field.
+func compressForTest(f *field.Field) (*field.Field, error) {
+	res, err := core.Compress(f, core.Options{
+		Variant: core.TspSZi, Mode: ebound.Absolute, ErrBound: 0.02,
+		Params: integrate.Params{EpsP: 5e-2, MaxSteps: 1000, H: 0.1},
+		Tau:    0.5, Workers: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.Decompress(res.Bytes, 2)
+}

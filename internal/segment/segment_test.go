@@ -1,0 +1,128 @@
+package segment
+
+import (
+	"math"
+	"testing"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/field"
+	"tspsz/internal/integrate"
+)
+
+// twoSinkField has sinks at x≈1/4 and x≈3/4 separated by a vertical
+// separatrix at the middle: u = -(x-a)(x-b)(x-m)-ish via piecewise linear
+// attraction to the nearer sink.
+func twoSinkField() (*field.Field, []critical.Point) {
+	f := field.New2D(33, 17)
+	s1, s2 := 8.3, 24.7
+	mid := (s1 + s2) / 2
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		x, y := p[0], p[1]
+		var u float64
+		if x < mid {
+			u = -(x - s1)
+		} else {
+			u = -(x - s2)
+		}
+		f.U[idx] = float32(u * 0.5)
+		f.V[idx] = float32(-(y - 8.2) * 0.5)
+	}
+	return f, critical.Extract(f)
+}
+
+func TestBasinsSplitAtSeparatrix(t *testing.T) {
+	f, cps := twoSinkField()
+	sinks := []int{}
+	for i, cp := range cps {
+		if cp.Type == critical.Sink {
+			sinks = append(sinks, i)
+		}
+	}
+	if len(sinks) < 2 {
+		t.Fatalf("setup: %d sinks, want 2 (cps=%v)", len(sinks), cps)
+	}
+	par := integrate.Params{EpsP: 5e-2, MaxSteps: 3000, H: 0.1}
+	labels := Basins(f, cps, 1, par, 2)
+	// Vertices well left of the middle go to the left sink; right to right.
+	left := labels[f.Grid.VertexIndex(4, 8, 0)]
+	right := labels[f.Grid.VertexIndex(28, 8, 0)]
+	if left == Unassigned || right == Unassigned {
+		t.Fatalf("interior vertices unassigned: left=%d right=%d", left, right)
+	}
+	if left == right {
+		t.Fatal("both sides attracted to the same sink")
+	}
+	if math.Abs(cps[left].Pos[0]-8.3) > 1 || math.Abs(cps[right].Pos[0]-24.7) > 1 {
+		t.Errorf("labels resolve to wrong sinks: %v, %v", cps[left].Pos, cps[right].Pos)
+	}
+	assigned := 0
+	for _, l := range labels {
+		if l != Unassigned {
+			assigned++
+		}
+	}
+	if frac := float64(assigned) / float64(len(labels)); frac < 0.6 {
+		t.Errorf("only %.0f%% of vertices assigned", 100*frac)
+	}
+}
+
+func TestBasinsDeterministicAcrossWorkers(t *testing.T) {
+	f, cps := twoSinkField()
+	par := integrate.Params{EpsP: 5e-2, MaxSteps: 1000, H: 0.1}
+	a := Basins(f, cps, 1, par, 1)
+	b := Basins(f, cps, 1, par, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("labels differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	if got := Agreement([]int{1, 2, 3}, []int{1, 2, 3}); got != 1 {
+		t.Errorf("identical agreement = %v", got)
+	}
+	if got := Agreement([]int{1, 2, 3, 4}, []int{1, 2, 0, 0}); got != 0.5 {
+		t.Errorf("half agreement = %v", got)
+	}
+	if got := Agreement(nil, nil); got != 1 {
+		t.Errorf("empty agreement = %v", got)
+	}
+}
+
+func TestAgreementPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Agreement([]int{1}, []int{1, 2})
+}
+
+func TestSizes(t *testing.T) {
+	sz := Sizes([]int{0, 0, 1, Unassigned, 1, 1})
+	if sz[0] != 2 || sz[1] != 3 || sz[Unassigned] != 1 {
+		t.Errorf("sizes %v", sz)
+	}
+}
+
+// Basin agreement after TspSZ compression should be near-perfect, since
+// both the absorbing critical points and the dividing separatrices are
+// preserved.
+func TestBasinAgreementSurvivesTspSZ(t *testing.T) {
+	f, cps := twoSinkField()
+	par := integrate.Params{EpsP: 5e-2, MaxSteps: 1000, H: 0.1}
+	orig := Basins(f, cps, 1, par, 2)
+
+	// Use internal/core via a local import cycle-free path: compress with
+	// cpsz directly exercises the same property (critical cells lossless).
+	res, err := compressForTest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := Basins(res, cps, 1, par, 2)
+	if ag := Agreement(orig, dec); ag < 0.95 {
+		t.Errorf("basin agreement %.3f after compression, want >= 0.95", ag)
+	}
+}

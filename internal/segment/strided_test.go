@@ -1,0 +1,52 @@
+package segment
+
+import (
+	"testing"
+
+	"tspsz/internal/integrate"
+)
+
+func TestBasinsStridedSeedsOnlySublattice(t *testing.T) {
+	f, cps := twoSinkField()
+	par := integrate.Params{EpsP: 5e-2, MaxSteps: 500, H: 0.1}
+	labels, seeds := BasinsStrided(f, cps, 1, par, 2, 2)
+	nx, ny, _ := f.Grid.Dims()
+	wantSeeds := ((nx + 1) / 2) * ((ny + 1) / 2)
+	if len(seeds) != wantSeeds {
+		t.Fatalf("%d seeds, want %d", len(seeds), wantSeeds)
+	}
+	seedSet := map[int]bool{}
+	for _, s := range seeds {
+		seedSet[s] = true
+	}
+	for i, l := range labels {
+		if !seedSet[i] && l != Unassigned {
+			t.Fatalf("unseeded vertex %d carries label %d", i, l)
+		}
+	}
+	// Full-stride equals Basins.
+	full := Basins(f, cps, 1, par, 2)
+	strided1, seeds1 := BasinsStrided(f, cps, 1, par, 2, 1)
+	if len(seeds1) != f.NumVertices() {
+		t.Fatalf("stride 1 seeded %d of %d", len(seeds1), f.NumVertices())
+	}
+	for i := range full {
+		if full[i] != strided1[i] {
+			t.Fatalf("stride-1 differs from Basins at %d", i)
+		}
+	}
+}
+
+func TestAgreementAt(t *testing.T) {
+	a := []int{0, 1, 2, 3}
+	b := []int{0, 9, 2, 9}
+	if got := AgreementAt(a, b, []int{0, 2}); got != 1 {
+		t.Errorf("agreement over matching positions = %v", got)
+	}
+	if got := AgreementAt(a, b, []int{1, 3}); got != 0 {
+		t.Errorf("agreement over differing positions = %v", got)
+	}
+	if got := AgreementAt(a, b, nil); got != 1 {
+		t.Errorf("empty position list = %v", got)
+	}
+}

@@ -1,0 +1,40 @@
+package skeleton
+
+import (
+	"testing"
+
+	"tspsz/internal/integrate"
+)
+
+func BenchmarkExtract(b *testing.B) {
+	f := gyreField(64)
+	par := integrate.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(f, par)
+	}
+}
+
+func BenchmarkExtractParallel(b *testing.B) {
+	f := gyreField(64)
+	par := integrate.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractParallel(f, par, 0)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	f := gyreField(48)
+	par := integrate.DefaultParams()
+	orig := Extract(f, par)
+	g := f.Clone()
+	for i := range g.U {
+		g.U[i] += 0.01
+	}
+	dec := ExtractWith(g, orig.CPs, par)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(orig, dec, 1.4142)
+	}
+}

@@ -1,0 +1,228 @@
+// Package skeleton ties critical point extraction and separatrix tracing
+// together into the topological skeleton of a vector field (§III-B), and
+// implements the skeleton comparison metrics of §VIII-B: the number of
+// incorrect separatrices and Fréchet distance statistics.
+package skeleton
+
+import (
+	"math"
+	"sync"
+
+	"tspsz/internal/critical"
+	"tspsz/internal/field"
+	"tspsz/internal/frechet"
+	"tspsz/internal/integrate"
+	"tspsz/internal/parallel"
+)
+
+// Skeleton is the topological skeleton: all critical points plus the
+// separatrices seeded at saddles.
+type Skeleton struct {
+	CPs  []critical.Point
+	Seps []integrate.Trajectory
+}
+
+// NumSaddles reports the number of saddle critical points.
+func (s *Skeleton) NumSaddles() int { return critical.CountSaddles(s.CPs) }
+
+// Extract computes the full topological skeleton of f serially.
+func Extract(f *field.Field, par integrate.Params) *Skeleton {
+	cps := critical.Extract(f)
+	return &Skeleton{CPs: cps, Seps: integrate.TraceSeparatrices(f, cps, par, nil)}
+}
+
+// ExtractWith traces the separatrices of f using an externally supplied
+// critical point set (typically the one extracted from the original data,
+// so that separatrices of original and decompressed fields correspond
+// index-by-index, "traced from the same location" as in Fig. 1).
+func ExtractWith(f *field.Field, cps []critical.Point, par integrate.Params) *Skeleton {
+	return &Skeleton{CPs: cps, Seps: integrate.TraceSeparatrices(f, cps, par, nil)}
+}
+
+// ExtractParallel computes the skeleton with the embarrassingly parallel
+// strategy of §VII: cells are partitioned across workers for critical point
+// extraction and saddles are dynamically scheduled for tracing.
+func ExtractParallel(f *field.Field, par integrate.Params, workers int) *Skeleton {
+	cps := extractCPsParallel(f, workers)
+	return &Skeleton{CPs: cps, Seps: traceParallel(f, cps, par, workers)}
+}
+
+// ExtractWithParallel is ExtractWith with parallel tracing.
+func ExtractWithParallel(f *field.Field, cps []critical.Point, par integrate.Params, workers int) *Skeleton {
+	return &Skeleton{CPs: cps, Seps: traceParallel(f, cps, par, workers)}
+}
+
+// ExtractCPsParallel extracts only the critical points, cells partitioned
+// across workers, in the same deterministic order as critical.Extract.
+func ExtractCPsParallel(f *field.Field, workers int) []critical.Point {
+	return extractCPsParallel(f, workers)
+}
+
+func extractCPsParallel(f *field.Field, workers int) []critical.Point {
+	nc := f.Grid.NumCells()
+	ranges := parallel.Ranges(nc, workers)
+	results := make([][]critical.Point, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			results[i] = critical.ExtractRange(f, lo, hi)
+		}(i, r[0], r[1])
+	}
+	wg.Wait()
+	var out []critical.Point
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+func traceParallel(f *field.Field, cps []critical.Point, par integrate.Params, workers int) []integrate.Trajectory {
+	saddles := make([]int, 0)
+	for i, cp := range cps {
+		if cp.Type == critical.Saddle {
+			saddles = append(saddles, i)
+		}
+	}
+	perSaddle := make([][]integrate.Trajectory, len(saddles))
+	loc := integrate.NewCPLocator(cps) // shared, read-only after construction
+	parallel.For(len(saddles), workers, 1, func(i int) {
+		cp := cps[saddles[i]]
+		seeds, dirs, seedIdx := integrate.SeparatrixSeeds(cp, par.EpsP)
+		for si := range seeds {
+			tr := integrate.Streamline(f, seeds[si], dirs[si], par, loc, nil)
+			tr.Saddle = saddles[i]
+			tr.SeedIdx = seedIdx[si]
+			perSaddle[i] = append(perSaddle[i], tr)
+		}
+	})
+	var out []integrate.Trajectory
+	for _, trs := range perSaddle {
+		out = append(out, trs...)
+	}
+	return out
+}
+
+// CheckTraj implements check_traj from Algorithms 3 and 4: trajectories
+// match when they terminate compatibly (both absorbed within tau of each
+// other's endpoint, or the same non-absorbed termination class) and their
+// discrete Fréchet distance is at most tau.
+func CheckTraj(a, b *integrate.Trajectory, tau float64) bool {
+	aAbs := a.Term == integrate.AbsorbedAtCP
+	bAbs := b.Term == integrate.AbsorbedAtCP
+	if aAbs != bAbs {
+		return false
+	}
+	if aAbs && a.EndCP != b.EndCP {
+		// Ending at a different critical point is a different topological
+		// structure even if the curves stay close.
+		return false
+	}
+	return frechet.WithinTol(a.Points, b.Points, tau)
+}
+
+// Stats summarizes a skeleton comparison (Tables IV–VII).
+type Stats struct {
+	// Total is the number of separatrix pairs compared.
+	Total int
+	// Incorrect is the #IS metric: pairs failing CheckTraj.
+	Incorrect int
+	// MinF/MaxF/MeanF/StdF aggregate the discrete Fréchet distances of
+	// all pairs.
+	MinF, MaxF, MeanF, StdF float64
+}
+
+// Compare evaluates the separatrices of a decompressed skeleton dec against
+// the original orig. Both must have been traced from the same critical
+// point set so that separatrices correspond by index (use ExtractWith for
+// dec). tau is the Fréchet tolerance τ_t.
+func Compare(orig, dec *Skeleton, tau float64) Stats {
+	n := len(orig.Seps)
+	if len(dec.Seps) < n {
+		n = len(dec.Seps)
+	}
+	st := Stats{Total: n, MinF: math.Inf(1)}
+	if n == 0 {
+		st.MinF = 0
+		return st
+	}
+	sum, sumSq := 0.0, 0.0
+	mismatch := len(orig.Seps) != len(dec.Seps)
+	for i := 0; i < n; i++ {
+		a, b := &orig.Seps[i], &dec.Seps[i]
+		d := frechet.Distance(a.Points, b.Points)
+		if !CheckTraj(a, b, tau) {
+			st.Incorrect++
+		}
+		if d < st.MinF {
+			st.MinF = d
+		}
+		if d > st.MaxF {
+			st.MaxF = d
+		}
+		sum += d
+		sumSq += d * d
+	}
+	if mismatch {
+		st.Incorrect += abs(len(orig.Seps) - len(dec.Seps))
+	}
+	st.MeanF = sum / float64(n)
+	variance := sumSq/float64(n) - st.MeanF*st.MeanF
+	if variance > 0 {
+		st.StdF = math.Sqrt(variance)
+	}
+	return st
+}
+
+// CompareParallel is Compare with the per-pair Fréchet computations spread
+// across workers.
+func CompareParallel(orig, dec *Skeleton, tau float64, workers int) Stats {
+	n := len(orig.Seps)
+	if len(dec.Seps) < n {
+		n = len(dec.Seps)
+	}
+	st := Stats{Total: n, MinF: math.Inf(1)}
+	if n == 0 {
+		st.MinF = 0
+		return st
+	}
+	dists := make([]float64, n)
+	bad := make([]bool, n)
+	parallel.For(n, workers, 4, func(i int) {
+		a, b := &orig.Seps[i], &dec.Seps[i]
+		dists[i] = frechet.Distance(a.Points, b.Points)
+		bad[i] = !CheckTraj(a, b, tau)
+	})
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		if bad[i] {
+			st.Incorrect++
+		}
+		d := dists[i]
+		if d < st.MinF {
+			st.MinF = d
+		}
+		if d > st.MaxF {
+			st.MaxF = d
+		}
+		sum += d
+		sumSq += d * d
+	}
+	if len(orig.Seps) != len(dec.Seps) {
+		st.Incorrect += abs(len(orig.Seps) - len(dec.Seps))
+	}
+	st.MeanF = sum / float64(n)
+	variance := sumSq/float64(n) - st.MeanF*st.MeanF
+	if variance > 0 {
+		st.StdF = math.Sqrt(variance)
+	}
+	return st
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,88 @@
+package skeleton
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"tspsz/internal/critical"
+)
+
+// WriteVTK serializes a topological skeleton as legacy-format VTK polydata
+// (ASCII), loadable by ParaView/VisIt for external 3D inspection:
+// separatrices become polylines, critical points become labeled vertices
+// with a per-point scalar encoding the type (0 degenerate, 1 source,
+// 2 sink, 3 saddle).
+func WriteVTK(w io.Writer, sk *Skeleton) error {
+	bw := bufio.NewWriter(w)
+	nPts := len(sk.CPs)
+	for _, s := range sk.Seps {
+		nPts += len(s.Points)
+	}
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, "TspSZ topological skeleton")
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET POLYDATA")
+	fmt.Fprintf(bw, "POINTS %d float\n", nPts)
+	for _, cp := range sk.CPs {
+		fmt.Fprintf(bw, "%g %g %g\n", cp.Pos[0], cp.Pos[1], cp.Pos[2])
+	}
+	for _, s := range sk.Seps {
+		for _, p := range s.Points {
+			fmt.Fprintf(bw, "%g %g %g\n", p[0], p[1], p[2])
+		}
+	}
+
+	// Critical points as VERTICES.
+	if len(sk.CPs) > 0 {
+		fmt.Fprintf(bw, "VERTICES %d %d\n", len(sk.CPs), 2*len(sk.CPs))
+		for i := range sk.CPs {
+			fmt.Fprintf(bw, "1 %d\n", i)
+		}
+	}
+
+	// Separatrices as polylines.
+	if len(sk.Seps) > 0 {
+		total := 0
+		for _, s := range sk.Seps {
+			total += len(s.Points) + 1
+		}
+		fmt.Fprintf(bw, "LINES %d %d\n", len(sk.Seps), total)
+		off := len(sk.CPs)
+		for _, s := range sk.Seps {
+			fmt.Fprintf(bw, "%d", len(s.Points))
+			for i := range s.Points {
+				fmt.Fprintf(bw, " %d", off+i)
+			}
+			fmt.Fprintln(bw)
+			off += len(s.Points)
+		}
+	}
+
+	// Point scalars: critical point type; separatrix samples carry -1.
+	fmt.Fprintf(bw, "POINT_DATA %d\n", nPts)
+	fmt.Fprintln(bw, "SCALARS cp_type int 1")
+	fmt.Fprintln(bw, "LOOKUP_TABLE default")
+	for _, cp := range sk.CPs {
+		fmt.Fprintln(bw, vtkTypeCode(cp.Type))
+	}
+	for _, s := range sk.Seps {
+		for range s.Points {
+			fmt.Fprintln(bw, -1)
+		}
+	}
+	return bw.Flush()
+}
+
+func vtkTypeCode(t critical.Type) int {
+	switch t {
+	case critical.Source:
+		return 1
+	case critical.Sink:
+		return 2
+	case critical.Saddle:
+		return 3
+	default:
+		return 0
+	}
+}

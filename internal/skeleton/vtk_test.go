@@ -1,0 +1,89 @@
+package skeleton
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tspsz/internal/integrate"
+)
+
+func TestWriteVTKStructure(t *testing.T) {
+	f := gyreField(17)
+	sk := Extract(f, integrate.Params{EpsP: 1e-2, MaxSteps: 60, H: 0.05})
+	if len(sk.CPs) == 0 || len(sk.Seps) == 0 {
+		t.Fatal("setup: empty skeleton")
+	}
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, sk); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# vtk DataFile", "DATASET POLYDATA", "POINTS", "VERTICES", "LINES", "POINT_DATA", "SCALARS cp_type"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VTK output missing %q", want)
+		}
+	}
+
+	// Structural validation: declared point count matches emitted points,
+	// and every line index is in range.
+	sc := bufio.NewScanner(&buf)
+	_ = sc
+	lines := strings.Split(out, "\n")
+	nPts := -1
+	for li, l := range lines {
+		if strings.HasPrefix(l, "POINTS ") {
+			fields := strings.Fields(l)
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			nPts = n
+			// The next n lines are coordinates with 3 fields each.
+			for p := 1; p <= n; p++ {
+				if len(strings.Fields(lines[li+p])) != 3 {
+					t.Fatalf("point line %d malformed: %q", p, lines[li+p])
+				}
+			}
+		}
+		if strings.HasPrefix(l, "LINES ") {
+			fields := strings.Fields(l)
+			nLines, _ := strconv.Atoi(fields[1])
+			for p := 1; p <= nLines; p++ {
+				idx := strings.Fields(lines[li+p])
+				cnt, _ := strconv.Atoi(idx[0])
+				if cnt != len(idx)-1 {
+					t.Fatalf("polyline %d count %d != %d indices", p, cnt, len(idx)-1)
+				}
+				for _, s := range idx[1:] {
+					v, _ := strconv.Atoi(s)
+					if v < 0 || v >= nPts {
+						t.Fatalf("polyline %d index %d out of range [0,%d)", p, v, nPts)
+					}
+				}
+			}
+		}
+	}
+	if nPts < 0 {
+		t.Fatal("no POINTS section")
+	}
+	want := len(sk.CPs)
+	for _, s := range sk.Seps {
+		want += len(s.Points)
+	}
+	if nPts != want {
+		t.Fatalf("POINTS %d, want %d", nPts, want)
+	}
+}
+
+func TestWriteVTKEmptySkeleton(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, &Skeleton{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "POINTS 0 float") {
+		t.Error("empty skeleton should declare zero points")
+	}
+}

@@ -1,0 +1,93 @@
+package zfp
+
+// Integer lifting transform: a two-level Haar decomposition along each
+// dimension of the 4-wide block. Each butterfly stores the difference and
+// the floor-midpoint, which inverts exactly in integer arithmetic:
+//
+//	d = a − b; s = b + (d >> 1)   ⇒   b = s − (d >> 1); a = d + b
+//
+// Level 1 pairs (0,1) and (2,3); level 2 pairs the two sums. Layout after
+// the forward pass: [ss, sd, d0, d1] where ss is the block average scale.
+
+// fwd4 transforms 4 samples in place given their stride.
+func fwd4(v []int64, base, stride int) {
+	i0, i1, i2, i3 := base, base+stride, base+2*stride, base+3*stride
+	d0 := v[i0] - v[i1]
+	s0 := v[i1] + (d0 >> 1)
+	d1 := v[i2] - v[i3]
+	s1 := v[i3] + (d1 >> 1)
+	dd := s0 - s1
+	ss := s1 + (dd >> 1)
+	v[i0] = ss
+	v[i1] = dd
+	v[i2] = d0
+	v[i3] = d1
+}
+
+// inv4 inverts fwd4 exactly.
+func inv4(v []int64, base, stride int) {
+	i0, i1, i2, i3 := base, base+stride, base+2*stride, base+3*stride
+	ss, dd, d0, d1 := v[i0], v[i1], v[i2], v[i3]
+	s1 := ss - (dd >> 1)
+	s0 := dd + s1
+	b0 := s0 - (d0 >> 1)
+	a0 := d0 + b0
+	b1 := s1 - (d1 >> 1)
+	a1 := d1 + b1
+	v[i0] = a0
+	v[i1] = b0
+	v[i2] = a1
+	v[i3] = b1
+}
+
+// forwardTransform decorrelates a 4^dim block in place, dimension by
+// dimension.
+func forwardTransform(v []int64, dim int) {
+	// Along x.
+	rows := len(v) / blockEdge
+	for r := 0; r < rows; r++ {
+		fwd4(v, r*blockEdge, 1)
+	}
+	// Along y.
+	planes := 1
+	if dim == 3 {
+		planes = blockEdge
+	}
+	for p := 0; p < planes; p++ {
+		for i := 0; i < blockEdge; i++ {
+			fwd4(v, p*blockEdge*blockEdge+i, blockEdge)
+		}
+	}
+	if dim == 3 {
+		// Along z.
+		for j := 0; j < blockEdge; j++ {
+			for i := 0; i < blockEdge; i++ {
+				fwd4(v, j*blockEdge+i, blockEdge*blockEdge)
+			}
+		}
+	}
+}
+
+// inverseTransform inverts forwardTransform exactly (reverse order).
+func inverseTransform(v []int64, dim int) {
+	if dim == 3 {
+		for j := 0; j < blockEdge; j++ {
+			for i := 0; i < blockEdge; i++ {
+				inv4(v, j*blockEdge+i, blockEdge*blockEdge)
+			}
+		}
+	}
+	planes := 1
+	if dim == 3 {
+		planes = blockEdge
+	}
+	for p := 0; p < planes; p++ {
+		for i := 0; i < blockEdge; i++ {
+			inv4(v, p*blockEdge*blockEdge+i, blockEdge)
+		}
+	}
+	rows := len(v) / blockEdge
+	for r := 0; r < rows; r++ {
+		inv4(v, r*blockEdge, 1)
+	}
+}

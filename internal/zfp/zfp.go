@@ -1,0 +1,398 @@
+// Package zfp implements a ZFP-style transform-based error-bounded lossy
+// compressor, the other major family of scientific compressors the paper
+// reviews in §II ("ZFP is a typical transform-based compressor"): data is
+// processed in 4×4(×4) blocks, aligned to a per-block common exponent,
+// converted to fixed point, decorrelated with an integer lifting transform,
+// and entropy coded.
+//
+// Differences from the reference C implementation, chosen for clarity and
+// provable correctness (documented substitution, DESIGN.md §2): the
+// decorrelation is a two-level Haar lifting (exactly invertible in integer
+// arithmetic) instead of ZFP's near-orthogonal transform, and the embedded
+// bit-plane coder is replaced by per-block low-bit truncation followed by
+// the repository's Huffman+DEFLATE backend. The error bound is enforced
+// *by construction*: each encoder block verifies its own reconstruction
+// and lowers the truncation until the tolerance holds.
+package zfp
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"tspsz/internal/field"
+	"tspsz/internal/huffman"
+)
+
+const (
+	blockEdge = 4
+	// fixedBits is the fixed-point precision within a block: values are
+	// scaled to q = x·2^(fixedBits−e) with e the block's common exponent.
+	fixedBits = 21
+	magic     = "ZFPG"
+)
+
+// Compress encodes every component of f independently under the absolute
+// per-sample tolerance tol.
+func Compress(f *field.Field, tol float64) ([]byte, error) {
+	if !(tol > 0) {
+		return nil, fmt.Errorf("zfp: tolerance must be positive, got %v", tol)
+	}
+	nx, ny, nz := f.Grid.Dims()
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteByte(1) // version
+	buf.WriteByte(byte(f.Dim()))
+	buf.WriteByte(0)
+	buf.WriteByte(0)
+	for _, v := range []uint32{uint32(nx), uint32(ny), uint32(nz)} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	binary.Write(&buf, binary.LittleEndian, tol)
+
+	for _, comp := range f.Components() {
+		syms, side, err := encodeComponent(comp, nx, ny, nz, f.Dim(), tol)
+		if err != nil {
+			return nil, err
+		}
+		packedSyms, err := deflatePack(huffman.Encode(syms))
+		if err != nil {
+			return nil, err
+		}
+		packedSide, err := deflatePack(side)
+		if err != nil {
+			return nil, err
+		}
+		binary.Write(&buf, binary.LittleEndian, uint64(len(packedSyms)))
+		buf.Write(packedSyms)
+		binary.Write(&buf, binary.LittleEndian, uint64(len(packedSide)))
+		buf.Write(packedSide)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress reconstructs a field from a Compress stream.
+func Decompress(data []byte) (*field.Field, error) {
+	if len(data) < 28 || string(data[:4]) != magic {
+		return nil, errors.New("zfp: bad magic")
+	}
+	if data[4] != 1 {
+		return nil, fmt.Errorf("zfp: unsupported version %d", data[4])
+	}
+	dim := int(data[5])
+	off := 8
+	nx := int(binary.LittleEndian.Uint32(data[off:]))
+	ny := int(binary.LittleEndian.Uint32(data[off+4:]))
+	nz := int(binary.LittleEndian.Uint32(data[off+8:]))
+	off += 12 + 8 // skip tol
+	var f *field.Field
+	switch dim {
+	case 2:
+		if nx < 2 || ny < 2 {
+			return nil, fmt.Errorf("zfp: invalid dims %dx%d", nx, ny)
+		}
+		f = field.New2D(nx, ny)
+	case 3:
+		if nx < 2 || ny < 2 || nz < 2 {
+			return nil, fmt.Errorf("zfp: invalid dims %dx%dx%d", nx, ny, nz)
+		}
+		f = field.New3D(nx, ny, nz)
+	default:
+		return nil, fmt.Errorf("zfp: invalid dimension %d", dim)
+	}
+	for _, comp := range f.Components() {
+		if off+8 > len(data) {
+			return nil, errors.New("zfp: truncated symbol section")
+		}
+		n := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		if uint64(off)+n > uint64(len(data)) {
+			return nil, errors.New("zfp: truncated symbol payload")
+		}
+		rawSyms, err := inflateUnpack(data[off : off+int(n)])
+		if err != nil {
+			return nil, err
+		}
+		off += int(n)
+		syms, err := huffman.Decode(rawSyms)
+		if err != nil {
+			return nil, fmt.Errorf("zfp: symbols: %w", err)
+		}
+		if off+8 > len(data) {
+			return nil, errors.New("zfp: truncated side section")
+		}
+		n = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		if uint64(off)+n > uint64(len(data)) {
+			return nil, errors.New("zfp: truncated side payload")
+		}
+		side, err := inflateUnpack(data[off : off+int(n)])
+		if err != nil {
+			return nil, err
+		}
+		off += int(n)
+		if err := decodeComponent(comp, nx, ny, nz, dim, syms, side); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func deflatePack(data []byte) ([]byte, error) {
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func inflateUnpack(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// blockCount returns ceil(n / blockEdge).
+func blockCount(n int) int { return (n + blockEdge - 1) / blockEdge }
+
+// encodeComponent splits the component into blocks and encodes each:
+// symbols carry the zigzagged truncated coefficients, side carries two
+// bytes per block (common exponent + 128, truncation drop).
+func encodeComponent(vals []float32, nx, ny, nz, dim int, tol float64) (syms []uint32, side []byte, err error) {
+	bz := 1
+	if dim == 3 {
+		bz = blockCount(nz)
+	}
+	bx, by := blockCount(nx), blockCount(ny)
+	blockLen := blockEdge * blockEdge
+	if dim == 3 {
+		blockLen *= blockEdge
+	}
+	block := make([]float64, blockLen)
+	coefs := make([]int64, blockLen)
+	recon := make([]float64, blockLen)
+
+	for kb := 0; kb < bz; kb++ {
+		for jb := 0; jb < by; jb++ {
+			for ib := 0; ib < bx; ib++ {
+				gatherBlock(vals, block, nx, ny, nz, dim, ib, jb, kb)
+				e, drop := encodeBlock(block, coefs, recon, dim, tol)
+				side = append(side, byte(e+128), byte(drop))
+				for _, c := range coefs {
+					syms = append(syms, zigzag64(c))
+				}
+			}
+		}
+	}
+	return syms, side, nil
+}
+
+func decodeComponent(vals []float32, nx, ny, nz, dim int, syms []uint32, side []byte) error {
+	bz := 1
+	if dim == 3 {
+		bz = blockCount(nz)
+	}
+	bx, by := blockCount(nx), blockCount(ny)
+	blockLen := blockEdge * blockEdge
+	if dim == 3 {
+		blockLen *= blockEdge
+	}
+	nBlocks := bx * by * bz
+	if len(side) != 2*nBlocks || len(syms) != nBlocks*blockLen {
+		return fmt.Errorf("zfp: stream carries %d blocks/%d syms, want %d/%d",
+			len(side)/2, len(syms), nBlocks, nBlocks*blockLen)
+	}
+	coefs := make([]int64, blockLen)
+	block := make([]float64, blockLen)
+	bi := 0
+	for kb := 0; kb < bz; kb++ {
+		for jb := 0; jb < by; jb++ {
+			for ib := 0; ib < bx; ib++ {
+				e := int(side[2*bi]) - 128
+				drop := int(side[2*bi+1])
+				if drop > 62 {
+					return fmt.Errorf("zfp: invalid drop %d", drop)
+				}
+				for i := 0; i < blockLen; i++ {
+					coefs[i] = unzigzag64(syms[bi*blockLen+i]) << uint(drop)
+				}
+				reconstructBlock(block, coefs, dim, e)
+				scatterBlock(vals, block, nx, ny, nz, dim, ib, jb, kb)
+				bi++
+			}
+		}
+	}
+	return nil
+}
+
+// gatherBlock copies one block, clamping reads to the domain (edge
+// padding) so partial blocks stay smooth.
+func gatherBlock(vals []float32, block []float64, nx, ny, nz, dim, ib, jb, kb int) {
+	ke := 1
+	if dim == 3 {
+		ke = blockEdge
+	}
+	idx := 0
+	for dk := 0; dk < ke; dk++ {
+		k := clampIdx(kb*blockEdge+dk, nz)
+		for dj := 0; dj < blockEdge; dj++ {
+			j := clampIdx(jb*blockEdge+dj, ny)
+			for di := 0; di < blockEdge; di++ {
+				i := clampIdx(ib*blockEdge+di, nx)
+				block[idx] = float64(vals[i+j*nx+k*nx*ny])
+				idx++
+			}
+		}
+	}
+}
+
+func scatterBlock(vals []float32, block []float64, nx, ny, nz, dim, ib, jb, kb int) {
+	ke := 1
+	if dim == 3 {
+		ke = blockEdge
+	}
+	idx := 0
+	for dk := 0; dk < ke; dk++ {
+		k := kb*blockEdge + dk
+		for dj := 0; dj < blockEdge; dj++ {
+			j := jb*blockEdge + dj
+			for di := 0; di < blockEdge; di++ {
+				i := ib*blockEdge + di
+				if i < nx && j < ny && (dim == 2 || k < nz) {
+					vals[i+j*nx+k*nx*ny] = float32(block[idx])
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func clampIdx(i, n int) int {
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// encodeBlock converts a block to fixed point under a common exponent,
+// decorrelates it, and finds the largest truncation whose verified
+// reconstruction error stays within tol. It leaves the truncated
+// coefficients in coefs and returns the exponent and drop.
+func encodeBlock(block []float64, coefs []int64, recon []float64, dim int, tol float64) (e, drop int) {
+	maxAbs := 0.0
+	for _, v := range block {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range coefs {
+			coefs[i] = 0
+		}
+		return 0, 0
+	}
+	e = math.Ilogb(maxAbs) + 1 // 2^e > maxAbs ≥ 2^(e-1)
+	// Clamp to the signed-byte range of the side channel; float32 data
+	// cannot exceed it except via denormals, which any positive tolerance
+	// dominates anyway.
+	if e < -127 {
+		e = -127
+	}
+	if e > 127 {
+		e = 127
+	}
+	scale := math.Ldexp(1, fixedBits-e)
+	raw := make([]int64, len(block))
+	for i, v := range block {
+		raw[i] = int64(math.Round(v * scale))
+	}
+	forwardTransform(raw, dim)
+
+	// Binary search the largest drop that still verifies.
+	lo, hi := 0, fixedBits+1
+	best := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if blockErr(raw, recon, block, dim, e, mid) <= tol {
+			best = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	drop = best
+	for i, c := range raw {
+		coefs[i] = roundShift(c, drop)
+	}
+	return e, drop
+}
+
+// blockErr measures the max reconstruction error for a candidate drop.
+func blockErr(raw []int64, recon, orig []float64, dim, e, drop int) float64 {
+	tmp := make([]int64, len(raw))
+	for i, c := range raw {
+		tmp[i] = roundShift(c, drop) << uint(drop)
+	}
+	reconstructInto(recon, tmp, dim, e)
+	maxE := 0.0
+	for i := range orig {
+		// The decoder stores float32; include that rounding.
+		r := float64(float32(recon[i]))
+		if d := math.Abs(r - orig[i]); d > maxE {
+			maxE = d
+		}
+	}
+	return maxE
+}
+
+// roundShift truncates the low bits with rounding toward nearest.
+func roundShift(v int64, drop int) int64 {
+	if drop == 0 {
+		return v
+	}
+	half := int64(1) << uint(drop-1)
+	if v >= 0 {
+		return (v + half) >> uint(drop)
+	}
+	return -((-v + half) >> uint(drop))
+}
+
+func reconstructBlock(block []float64, coefs []int64, dim, e int) {
+	reconstructInto(block, coefs, dim, e)
+}
+
+func reconstructInto(dst []float64, coefs []int64, dim, e int) {
+	tmp := make([]int64, len(coefs))
+	copy(tmp, coefs)
+	inverseTransform(tmp, dim)
+	inv := math.Ldexp(1, e-fixedBits)
+	for i, q := range tmp {
+		dst[i] = float64(q) * inv
+	}
+}
+
+func zigzag64(v int64) uint32 {
+	u := uint64(v<<1) ^ uint64(v>>63)
+	if u > math.MaxUint32 {
+		// Coefficients are bounded by 2^(fixedBits+d) and cannot reach
+		// this; clamp defensively rather than corrupt.
+		u = math.MaxUint32
+	}
+	return uint32(u)
+}
+
+func unzigzag64(u uint32) int64 {
+	x := uint64(u)
+	return int64(x>>1) ^ -int64(x&1)
+}

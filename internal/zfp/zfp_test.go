@@ -1,0 +1,194 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tspsz/internal/datagen"
+	"tspsz/internal/field"
+)
+
+func TestTransformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{2, 3} {
+		n := blockEdge * blockEdge
+		if dim == 3 {
+			n *= blockEdge
+		}
+		for trial := 0; trial < 500; trial++ {
+			v := make([]int64, n)
+			w := make([]int64, n)
+			for i := range v {
+				v[i] = int64(rng.Intn(1<<22) - 1<<21)
+				w[i] = v[i]
+			}
+			forwardTransform(w, dim)
+			inverseTransform(w, dim)
+			for i := range v {
+				if v[i] != w[i] {
+					t.Fatalf("dim %d trial %d: transform not invertible at %d: %d != %d",
+						dim, trial, i, w[i], v[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTransformDecorrelatesSmoothBlock(t *testing.T) {
+	// A linear ramp should concentrate energy in few coefficients.
+	v := make([]int64, 16)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			v[j*4+i] = int64(1000 * (i + j))
+		}
+	}
+	forwardTransform(v, 2)
+	nonzeroLarge := 0
+	for _, c := range v {
+		if c > 800 || c < -800 {
+			nonzeroLarge++
+		}
+	}
+	if nonzeroLarge > 8 {
+		t.Errorf("smooth block left %d large coefficients", nonzeroLarge)
+	}
+}
+
+func roundTripBound(t *testing.T, f *field.Field, tol float64) *field.Field {
+	t.Helper()
+	data, err := Compress(f, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, comp := range dec.Components() {
+		orig := f.Components()[c]
+		for i := range comp {
+			if d := math.Abs(float64(comp[i]) - float64(orig[i])); d > tol {
+				t.Fatalf("component %d vertex %d: error %v exceeds tol %v", c, i, d, tol)
+			}
+		}
+	}
+	return dec
+}
+
+func TestCompressRespectsBound2D(t *testing.T) {
+	f := datagen.Ocean(70, 54) // deliberately not multiples of 4
+	for _, tol := range []float64{1e-1, 1e-2, 1e-4} {
+		roundTripBound(t, f, tol)
+	}
+}
+
+func TestCompressRespectsBound3D(t *testing.T) {
+	f := datagen.Nek5000(18)
+	roundTripBound(t, f, 1e-2)
+}
+
+func TestCompressesSmoothData(t *testing.T) {
+	f := datagen.CBA(120, 44)
+	data, err := Compress(f, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= f.SizeBytes()/2 {
+		t.Errorf("ZFP-style codec achieved only %d of %d bytes", len(data), f.SizeBytes())
+	}
+}
+
+func TestLooserToleranceCompressesBetter(t *testing.T) {
+	f := datagen.Ocean(96, 64)
+	sizes := []int{}
+	for _, tol := range []float64{1e-4, 1e-3, 1e-2} {
+		data, err := Compress(f, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(data))
+	}
+	if !(sizes[0] > sizes[1] && sizes[1] > sizes[2]) {
+		t.Errorf("sizes not monotone in tolerance: %v", sizes)
+	}
+}
+
+func TestQuickRandomFields(t *testing.T) {
+	cfgCheck := func(seed int64, nxRaw, nyRaw uint8, tolExp uint8) bool {
+		nx := int(nxRaw%30) + 2
+		ny := int(nyRaw%30) + 2
+		tol := math.Ldexp(1, -int(tolExp%16)-2)
+		rng := rand.New(rand.NewSource(seed))
+		f := field.New2D(nx, ny)
+		for i := range f.U {
+			f.U[i] = float32(rng.NormFloat64())
+			f.V[i] = float32(rng.NormFloat64())
+		}
+		data, err := Compress(f, tol)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(data)
+		if err != nil {
+			return false
+		}
+		for c, comp := range dec.Components() {
+			orig := f.Components()[c]
+			for i := range comp {
+				if math.Abs(float64(comp[i])-float64(orig[i])) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(cfgCheck, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	f := datagen.CBA(20, 12)
+	if _, err := Compress(f, 0); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := Decompress([]byte("NOPE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	data, err := Compress(f, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(data[:len(data)/2]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestDecompressNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, rng.Intn(400))
+		rng.Read(data)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on garbage: %v", r)
+				}
+			}()
+			_, _ = Decompress(data)
+		}()
+	}
+}
+
+func BenchmarkCompress2D(b *testing.B) {
+	f := datagen.Ocean(256, 160)
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(f, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

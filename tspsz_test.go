@@ -1,0 +1,101 @@
+package tspsz_test
+
+import (
+	"math"
+	"testing"
+
+	"tspsz"
+	"tspsz/internal/datagen"
+)
+
+func demoField() *tspsz.Field {
+	f := tspsz.NewField2D(48, 48)
+	l := 23.5
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		x, y := math.Pi*p[0]/l, math.Pi*p[1]/l
+		f.U[idx] = float32(-math.Sin(x)*math.Cos(y) - 0.1*math.Cos(x)*math.Sin(y))
+		f.V[idx] = float32(math.Cos(x)*math.Sin(y) - 0.1*math.Sin(x)*math.Cos(y))
+	}
+	return f
+}
+
+// The README quickstart flow must work through the public API alone.
+func TestPublicAPIQuickstart(t *testing.T) {
+	f := demoField()
+	par := tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: 300, H: 0.05}
+	orig := tspsz.ExtractSkeleton(f, par, 0)
+	if len(orig.CPs) == 0 || orig.NumSaddles() == 0 {
+		t.Fatal("demo field has no skeleton")
+	}
+	for _, variant := range []tspsz.Variant{tspsz.TspSZ1, tspsz.TspSZi} {
+		res, err := tspsz.Compress(f, tspsz.Options{
+			Variant: variant, Mode: tspsz.ModeAbsolute, ErrBound: 0.01,
+			Params: par, Tau: 0.5,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		dec, err := tspsz.Decompress(res.Bytes, 0)
+		if err != nil {
+			t.Fatalf("%v decompress: %v", variant, err)
+		}
+		got := tspsz.ExtractSkeletonWith(dec, orig, par, 0)
+		st := tspsz.CompareSkeletons(orig, got, 0.5, 0)
+		if st.Incorrect != 0 {
+			t.Errorf("%v: %d incorrect separatrices", variant, st.Incorrect)
+		}
+		if len(res.Bytes) >= f.SizeBytes() {
+			t.Errorf("%v: no compression", variant)
+		}
+	}
+}
+
+func TestPublicAPICpSZBaseline(t *testing.T) {
+	f := demoField()
+	res, err := tspsz.CompressCP(f, tspsz.ModeRelative, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tspsz.DecompressCP(res.Bytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumVertices() != f.NumVertices() {
+		t.Fatal("shape mismatch")
+	}
+	for i := range dec.U {
+		if dec.U[i] != res.Decompressed.U[i] {
+			t.Fatal("decoder mismatch")
+		}
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	if p := tspsz.DefaultIntegrationParams(); p.EpsP != 1e-3 || p.MaxSteps != 1000 || p.H != 0.05 {
+		t.Errorf("DefaultIntegrationParams = %+v, want Table II defaults", p)
+	}
+}
+
+// Dataset generators must be reachable for downstream users via the
+// examples' import path and produce compressible fields through the public
+// entry points.
+func TestPublicAPIOnGeneratedDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset compression in short mode")
+	}
+	f, err := datagen.ByName("cba", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tspsz.Compress(f, tspsz.Options{
+		Variant: tspsz.TspSZi, Mode: tspsz.ModeAbsolute, ErrBound: 1e-3,
+		Params: tspsz.IntegrationParams{EpsP: 1e-2, MaxSteps: 200, H: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tspsz.Decompress(res.Bytes, 0); err != nil {
+		t.Fatal(err)
+	}
+}
