@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fixture\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runIn executes run() with the working directory set to dir, capturing
+// stdout.
+func runIn(t *testing.T, dir string, args ...string) (int, string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code := run(args, out, out)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+const cleanSrc = `package foo
+
+func Add(a, b int) int { return a + b }
+`
+
+const dirtySrc = `package foo
+
+func Eq(a, b float64) bool { return a == b }
+`
+
+func TestExitZeroOnCleanTree(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": cleanSrc})
+	code, out := runIn(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d on clean tree, output:\n%s", code, out)
+	}
+}
+
+func TestExitNonZeroOnFindings(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": dirtySrc})
+	code, out := runIn(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[floatcmp]") || !strings.Contains(out, "internal/foo/a.go:3") {
+		t.Fatalf("finding not reported:\n%s", out)
+	}
+}
+
+func TestDisableFlagSuppressesCheck(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": dirtySrc})
+	code, out := runIn(t, dir, "-floatcmp=false", "./...")
+	if code != 0 {
+		t.Fatalf("exit %d with check disabled, output:\n%s", code, out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": dirtySrc})
+	code, out := runIn(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var findings []struct {
+		Check string `json:"check"`
+		File  string `json:"file"`
+		Line  int    `json:"line"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0].Check != "floatcmp" || findings[0].Line != 3 {
+		t.Fatalf("unexpected findings: %+v", findings)
+	}
+}
+
+func TestJSONOutputEmptyArrayWhenClean(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": cleanSrc})
+	code, out := runIn(t, dir, "-json", "./...")
+	if code != 0 {
+		t.Fatalf("exit %d on clean tree", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Fatalf("want empty JSON array, got %q", out)
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": cleanSrc})
+	code, out := runIn(t, dir, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"floatcmp", "parallelism", "determinism", "ioerrors", "narrowing"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestExitTwoOnBadPattern(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": cleanSrc})
+	code, _ := runIn(t, dir, "./does-not-exist")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,138 @@
+// Package analysis implements tsplint, the repo-specific static analyzer
+// that enforces TspSZ's numeric-robustness and parallelism invariants.
+// It is built only on the standard library (go/parser, go/ast, go/types,
+// go/importer) and walks every package of the module.
+//
+// Each invariant is a distinct, individually suppressible check:
+//
+//	floatcmp    — no ==/!= (or switch) on floating-point operands outside
+//	              the designated robust-predicate files
+//	parallelism — no go statements, sync.WaitGroup use, or channel
+//	              construction outside internal/parallel
+//	determinism — no time.Now, math/rand, or map-range iteration inside
+//	              the encoder kernels
+//	ioerrors    — no dropped error returns from io.Writer / binary.Write
+//	              calls in the codec format paths
+//	narrowing   — no float32(...) conversions of float64 expressions in
+//	              the error-bound derivation
+//
+// A finding on a specific line can be suppressed with a trailing or
+// immediately preceding comment of the form
+//
+//	//lint:allow <check>[,<check>...] [reason]
+//
+// The reason is free text and should say why the flagged construct is
+// sound; blanket (file- or package-level) suppression is intentionally
+// not supported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"` // module-relative path
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Check is one independently toggleable invariant.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// AllChecks returns the full check set in stable order.
+func AllChecks() []*Check {
+	return []*Check{
+		floatcmpCheck(),
+		parallelismCheck(),
+		determinismCheck(),
+		ioerrorsCheck(),
+		narrowingCheck(),
+	}
+}
+
+// CheckNames returns the names of all checks in stable order.
+func CheckNames() []string {
+	var names []string
+	for _, c := range AllChecks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Options selects which checks run.
+type Options struct {
+	// Enabled maps check name -> on/off. A nil map enables every check;
+	// a missing key defaults to on.
+	Enabled map[string]bool
+}
+
+func (o Options) enabled(name string) bool {
+	if o.Enabled == nil {
+		return true
+	}
+	on, ok := o.Enabled[name]
+	return !ok || on
+}
+
+// Run executes the enabled checks over the loaded packages and returns
+// the surviving (non-suppressed) findings sorted by position.
+func Run(pkgs []*Package, opts Options) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		sup := collectSuppressions(p)
+		for _, c := range AllChecks() {
+			if !opts.enabled(c.Name) {
+				continue
+			}
+			for _, f := range c.Run(p) {
+				if !sup.allows(c.Name, f.File, f.Line) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// finding builds a Finding for a node within a package.
+func (p *Package) finding(check string, n ast.Node, msg string) Finding {
+	pos := p.Fset.Position(n.Pos())
+	return Finding{
+		Check:   check,
+		File:    p.relFile(pos),
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: msg,
+	}
+}
+
+// relFile converts an absolute position filename to a module-relative path.
+func (p *Package) relFile(pos token.Position) string {
+	return p.mod.rel(pos.Filename)
+}

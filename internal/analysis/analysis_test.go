@@ -1,0 +1,524 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a synthetic module in a temp dir. Keys are
+// module-relative paths; a go.mod is added unless the fixture provides one.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runCheck loads the fixture module and runs exactly one check.
+func runCheck(t *testing.T, dir, check string) []Finding {
+	t.Helper()
+	pkgs, err := LoadModule(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			t.Fatalf("fixture %s does not type-check: %v", p.ImportPath, te)
+		}
+	}
+	enabled := map[string]bool{}
+	for _, c := range AllChecks() {
+		enabled[c.Name] = c.Name == check
+	}
+	return Run(pkgs, Options{Enabled: enabled})
+}
+
+// lines extracts "file:line" keys from findings for compact assertions.
+func lines(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.File+":"+itoa(f.Line))
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func expectLines(t *testing.T, got []Finding, want ...string) {
+	t.Helper()
+	gl := lines(got)
+	if len(gl) != len(want) {
+		t.Fatalf("got %d findings %v, want %d %v", len(gl), gl, len(want), want)
+	}
+	for i := range want {
+		if gl[i] != want[i] {
+			t.Errorf("finding %d at %s, want %s", i, gl[i], want[i])
+		}
+	}
+}
+
+func TestFloatcmpPositive(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/foo/a.go": `package foo
+
+func Eq(a, b float64) bool { return a == b }
+
+func Ne(a float32, b int) bool { return a != float32(b) }
+
+func Sw(x float64) int {
+	switch x {
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+func Cx(c complex128) bool { return c == 0 }
+`,
+	})
+	got := runCheck(t, dir, "floatcmp")
+	expectLines(t, got,
+		"internal/foo/a.go:3",
+		"internal/foo/a.go:5",
+		"internal/foo/a.go:8",
+		"internal/foo/a.go:15",
+	)
+}
+
+func TestFloatcmpNegative(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/foo/a.go": `package foo
+
+func Ints(a, b int) bool { return a == b }
+
+func Order(a, b float64) bool { return a < b || a >= b }
+
+func Strs(a, b string) bool { return a != b }
+`,
+	})
+	if got := runCheck(t, dir, "floatcmp"); len(got) != 0 {
+		t.Fatalf("unexpected findings: %v", got)
+	}
+}
+
+func TestFloatcmpAllowlistedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/robust/pred.go": `package robust
+
+func Sign(x float64) int {
+	if x == 0 {
+		return 0
+	}
+	if x > 0 {
+		return 1
+	}
+	return -1
+}
+`,
+		"internal/ebound/sos.go": `package ebound
+
+func Tie(x float64) bool { return x == 0 }
+`,
+		"internal/ebound/other.go": `package ebound
+
+func Bad(x float64) bool { return x == 0 }
+`,
+	})
+	got := runCheck(t, dir, "floatcmp")
+	expectLines(t, got, "internal/ebound/other.go:3")
+}
+
+func TestFloatcmpSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/foo/a.go": `package foo
+
+func Trailing(x float64) bool { return x == 0 } //lint:allow floatcmp exact sentinel
+
+func Preceding(x float64) bool {
+	//lint:allow floatcmp encoder writes literal zero
+	return x == 0
+}
+
+func WrongCheck(x float64) bool { return x == 0 } //lint:allow narrowing
+
+func Multi(x float64) bool { return x != 1 } //lint:allow narrowing,floatcmp both fine here
+`,
+	})
+	got := runCheck(t, dir, "floatcmp")
+	expectLines(t, got, "internal/foo/a.go:10")
+}
+
+func TestParallelismPositive(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/foo/a.go": `package foo
+
+import "sync"
+
+func Spawn(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+	wg.Wait()
+	ch := make(chan int, 4)
+	close(ch)
+}
+`,
+	})
+	got := runCheck(t, dir, "parallelism")
+	// WaitGroup type use, go statement, channel construction.
+	expectLines(t, got,
+		"internal/foo/a.go:6",
+		"internal/foo/a.go:8",
+		"internal/foo/a.go:13",
+	)
+}
+
+func TestParallelismAllowedInDispatcher(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/parallel/p.go": `package parallel
+
+import "sync"
+
+func For(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	close(done)
+}
+`,
+	})
+	if got := runCheck(t, dir, "parallelism"); len(got) != 0 {
+		t.Fatalf("unexpected findings in internal/parallel: %v", got)
+	}
+}
+
+func TestDeterminismPositive(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/cpsz/a.go": `package cpsz
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Jitter() float64 { return rand.Float64() }
+
+func Emit(m map[uint32]int) []uint32 {
+	var out []uint32
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+	})
+	got := runCheck(t, dir, "determinism")
+	// Import, time.Now, map range.
+	expectLines(t, got,
+		"internal/cpsz/a.go:4",
+		"internal/cpsz/a.go:8",
+		"internal/cpsz/a.go:14",
+	)
+}
+
+func TestDeterminismScopedToKernels(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/render/a.go": `package render
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	if got := runCheck(t, dir, "determinism"); len(got) != 0 {
+		t.Fatalf("unexpected findings outside kernel scope: %v", got)
+	}
+}
+
+func TestDeterminismSliceRangeAllowed(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/huffman/a.go": `package huffman
+
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+`,
+	})
+	if got := runCheck(t, dir, "determinism"); len(got) != 0 {
+		t.Fatalf("slice range flagged: %v", got)
+	}
+}
+
+func TestIOErrorsPositive(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/w.go": `package core
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func Emit(w io.Writer, v uint64) {
+	binary.Write(w, binary.LittleEndian, v)
+	_ = binary.Write(w, binary.LittleEndian, v)
+	w.Write([]byte{1})
+	_, _ = w.Write([]byte{2})
+}
+`,
+	})
+	got := runCheck(t, dir, "ioerrors")
+	expectLines(t, got,
+		"internal/core/w.go:9",
+		"internal/core/w.go:10",
+		"internal/core/w.go:11",
+		"internal/core/w.go:12",
+	)
+}
+
+func TestIOErrorsNegative(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/w.go": `package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+)
+
+func Checked(w io.Writer, v uint64) error {
+	if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+		return err
+	}
+	n, err := w.Write([]byte{1})
+	_ = n
+	return err
+}
+
+func Buffers(b *bytes.Buffer, sb *strings.Builder) {
+	b.Write([]byte{1})
+	b.WriteByte(2)
+	sb.Write([]byte{3})
+}
+`,
+		// Same drops outside the codec scope are not this check's business.
+		"internal/render/w.go": `package render
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+func Emit(w io.Writer, v uint64) {
+	binary.Write(w, binary.LittleEndian, v)
+}
+`,
+	})
+	if got := runCheck(t, dir, "ioerrors"); len(got) != 0 {
+		t.Fatalf("unexpected findings: %v", got)
+	}
+}
+
+func TestNarrowingPositive(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/ebound/a.go": `package ebound
+
+func Bound(x float64) float32 { return float32(x) }
+
+func Indirect(x float64) float32 {
+	y := x * 2
+	return float32(y)
+}
+`,
+	})
+	got := runCheck(t, dir, "narrowing")
+	expectLines(t, got,
+		"internal/ebound/a.go:3",
+		"internal/ebound/a.go:7",
+	)
+}
+
+func TestNarrowingNegative(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/ebound/a.go": `package ebound
+
+const third = 1.0 / 3.0
+
+func Widen(x float32) float64 { return float64(x) }
+
+func Constant() float32 { return float32(third) }
+
+func Same(x float32) float32 { return float32(x) }
+`,
+		// float32 storage conversion outside ebound is the field layer's job.
+		"internal/field/a.go": `package field
+
+func Store(x float64) float32 { return float32(x) }
+`,
+	})
+	if got := runCheck(t, dir, "narrowing"); len(got) != 0 {
+		t.Fatalf("unexpected findings: %v", got)
+	}
+}
+
+func TestTestFilesExcluded(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/cpsz/a.go": `package cpsz
+
+func ID(x int) int { return x }
+`,
+		"internal/cpsz/a_test.go": `package cpsz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestID(t *testing.T) {
+	if v := rand.Int(); ID(v) != v {
+		t.Fatal("broken")
+	}
+}
+`,
+	})
+	for _, check := range CheckNames() {
+		if got := runCheck(t, dir, check); len(got) != 0 {
+			t.Fatalf("%s flagged a test file: %v", check, got)
+		}
+	}
+}
+
+func TestRunDisabledChecks(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/foo/a.go": `package foo
+
+func Eq(a, b float64) bool { return a == b }
+`,
+	})
+	pkgs, err := LoadModule(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Run(pkgs, Options{Enabled: map[string]bool{"floatcmp": false}}); len(got) != 0 {
+		t.Fatalf("disabled check still ran: %v", got)
+	}
+	if got := Run(pkgs, Options{}); len(got) != 1 {
+		t.Fatalf("default-enabled run returned %v", got)
+	}
+}
+
+func TestPatternMatching(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/a/a.go": "package a\n",
+		"internal/b/b.go": "package b\n",
+		"cmd/x/main.go":   "package main\n\nfunc main() {}\n",
+	})
+	cases := []struct {
+		patterns []string
+		want     int
+	}{
+		{nil, 3},
+		{[]string{"./..."}, 3},
+		{[]string{"./internal/..."}, 2},
+		{[]string{"./internal/a"}, 1},
+		{[]string{"fixture/internal/a", "fixture/cmd/..."}, 2},
+	}
+	for _, c := range cases {
+		pkgs, err := LoadModule(dir, c.patterns)
+		if err != nil {
+			t.Fatalf("%v: %v", c.patterns, err)
+		}
+		if len(pkgs) != c.want {
+			t.Errorf("%v matched %d packages, want %d", c.patterns, len(pkgs), c.want)
+		}
+	}
+	if _, err := LoadModule(dir, []string{"./nonexistent"}); err == nil {
+		t.Error("expected error for unmatched non-recursive pattern")
+	}
+}
+
+func TestModuleInternalImports(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/base/base.go": `package base
+
+type Mode int
+
+func Eq(a, b float64) bool { return a == b }
+`,
+		"internal/user/user.go": `package user
+
+import "fixture/internal/base"
+
+func Use(m base.Mode, x float64) bool { return x != float64(m) }
+`,
+	})
+	got := runCheck(t, dir, "floatcmp")
+	expectLines(t, got,
+		"internal/base/base.go:5",
+		"internal/user/user.go:5",
+	)
+}
+
+func TestParseAllowDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		want string
+	}{
+		{"//lint:allow floatcmp", "floatcmp"},
+		{"//lint:allow floatcmp exact sentinel", "floatcmp"},
+		{"//lint:allow floatcmp,narrowing reason here", "floatcmp narrowing"},
+		{"// lint:allow floatcmp", ""},
+		{"//lint:allow", ""},
+		{"//lint:disallow floatcmp", ""},
+		{"// regular comment", ""},
+	}
+	for _, c := range cases {
+		got := strings.Join(parseAllowDirective(c.text), " ")
+		if got != c.want {
+			t.Errorf("parseAllowDirective(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}

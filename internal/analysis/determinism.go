@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// kernelDirs are the encoder kernels whose output must be bit-identical
+// across runs and thread counts: anything nondeterministic here changes
+// the archive bytes.
+var kernelDirs = []string{
+	"internal/cpsz",
+	"internal/core",
+	"internal/huffman",
+	"internal/quantizer",
+}
+
+func determinismCheck() *Check {
+	return &Check{
+		Name: "determinism",
+		Doc: `Flags sources of run-to-run nondeterminism inside the encoder
+kernels (internal/cpsz, internal/core, internal/huffman,
+internal/quantizer): time.Now, math/rand imports (non-test files), and
+range statements over maps, whose iteration order is randomized by the
+runtime and therefore must never feed encoder output. Compressed archives
+are required to be bit-identical for identical input regardless of wall
+clock, seed, or worker count; sort map keys before iterating, or annotate
+//lint:allow determinism when the iteration provably cannot affect
+output bytes.`,
+		Run: runDeterminism,
+	}
+}
+
+func runDeterminism(p *Package) []Finding {
+	if !inScope(p, kernelDirs...) {
+		return nil
+	}
+	var out []Finding
+	inspectFiles(p, func(f *ast.File, n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			if path, err := strconv.Unquote(n.Path.Value); err == nil {
+				if path == "math/rand" || path == "math/rand/v2" {
+					out = append(out, p.finding("determinism", n,
+						"math/rand import in an encoder kernel; kernels must be deterministic (tests are exempt)"))
+				}
+			}
+		case *ast.SelectorExpr:
+			if pkgSelector(p.Info, n, "time", "Now") {
+				out = append(out, p.finding("determinism", n,
+					"time.Now in an encoder kernel; archive bytes must not depend on the wall clock"))
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					out = append(out, p.finding("determinism", n,
+						"map iteration order is randomized and must not feed encoder output; iterate over sorted keys, or annotate //lint:allow determinism if order cannot reach the stream"))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path"
+	"strings"
+)
+
+// floatcmpAllowedFiles lists the designated robust-predicate locations that
+// may compare floats exactly: the adaptive/exact predicates themselves and
+// the SoS error-bound derivation built directly on them.
+func floatcmpAllowedFile(relFile string) bool {
+	if strings.HasPrefix(relFile, "internal/robust/") && path.Dir(relFile) == "internal/robust" {
+		return true
+	}
+	return relFile == "internal/ebound/sos.go"
+}
+
+func floatcmpCheck() *Check {
+	return &Check{
+		Name: "floatcmp",
+		Doc: `Flags == and != comparisons (and switch statements) where either
+operand has floating-point or complex type. Near critical points the
+compressor's sign decisions must survive rounding: a raw float equality
+test that holds on one machine or optimization level can fail on another,
+silently changing which cells are considered critical. Use the certified
+predicates in internal/robust (DetSign2/DetSign3/SoS variants) instead.
+Files exempt by design: internal/robust/*.go, internal/ebound/sos.go.
+Comparisons against exact sentinel values (e.g. a zero written by the
+encoder itself) may be annotated //lint:allow floatcmp with a reason.`,
+		Run: runFloatcmp,
+	}
+}
+
+func runFloatcmp(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if floatcmpAllowedFile(p.relFile(p.Fset.Position(f.Pos()))) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isFloat(p.Info.TypeOf(n.X)) || isFloat(p.Info.TypeOf(n.Y)) {
+					out = append(out, p.finding("floatcmp", n,
+						"floating-point equality comparison; use a robust predicate from internal/robust, or annotate //lint:allow floatcmp if comparing an exact sentinel"))
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(p.Info.TypeOf(n.Tag)) {
+					out = append(out, p.finding("floatcmp", n,
+						"switch on a floating-point value compares with ==; use explicit robust sign logic instead"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// codecDirs are the packages forming the compress/decompress format paths,
+// where a silently dropped write error yields a truncated or corrupt
+// archive that only fails (at best) at decompression time.
+var codecDirs = []string{
+	"internal/cpsz",
+	"internal/core",
+	"internal/huffman",
+	"internal/bitmap",
+	"internal/zfp",
+	"internal/field",
+}
+
+func ioerrorsCheck() *Check {
+	return &Check{
+		Name: "ioerrors",
+		Doc: `Flags dropped error returns from codec I/O in the format paths
+(internal/cpsz, internal/core, internal/huffman, internal/bitmap,
+internal/zfp, internal/field): calls to binary.Write / binary.Read whose
+error is discarded (statement position or assigned only to blanks), and
+io.Writer-shaped Write([]byte) (int, error) method calls whose results
+are discarded. bytes.Buffer and strings.Builder receivers are exempt:
+their Write methods are documented to always return a nil error.`,
+		Run: runIOErrors,
+	}
+}
+
+func runIOErrors(p *Package) []Finding {
+	if !inScope(p, codecDirs...) {
+		return nil
+	}
+	var out []Finding
+	inspectFiles(p, func(f *ast.File, n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				p.flagDroppedIO(call, &out)
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					return true
+				}
+			}
+			p.flagDroppedIO(call, &out)
+		}
+		return true
+	})
+	return out
+}
+
+// flagDroppedIO appends a finding if call is a codec I/O call whose error
+// result is being discarded by the caller.
+func (p *Package) flagDroppedIO(call *ast.CallExpr, out *[]Finding) {
+	if pkgSelector(p.Info, call.Fun, "encoding/binary", "Write") ||
+		pkgSelector(p.Info, call.Fun, "encoding/binary", "Read") {
+		*out = append(*out, p.finding("ioerrors",
+			call, "error from binary.Write/binary.Read dropped; a short or failed write corrupts the stream"))
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	if !isWriterWrite(selection.Obj()) {
+		return
+	}
+	if neverFailingWriter(selection.Recv()) {
+		return
+	}
+	*out = append(*out, p.finding("ioerrors",
+		call, "io.Writer Write error dropped; a short or failed write corrupts the stream"))
+}
+
+// isWriterWrite reports whether obj is a method Write([]byte) (int, error),
+// i.e. the io.Writer contract.
+func isWriterWrite(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "Write" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	param, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if b, ok := param.Elem().(*types.Basic); !ok || b.Kind() != types.Byte && b.Kind() != types.Uint8 {
+		return false
+	}
+	res0, ok := sig.Results().At(0).Type().(*types.Basic)
+	if !ok || res0.Kind() != types.Int {
+		return false
+	}
+	named, ok := sig.Results().At(1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// neverFailingWriter reports whether recv is bytes.Buffer or
+// strings.Builder (possibly via pointer), whose Write methods are
+// documented to always return a nil error.
+func neverFailingWriter(recv types.Type) bool {
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	} else if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "bytes" && name == "Buffer") || (pkg == "strings" && name == "Builder")
+}

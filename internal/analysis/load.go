@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+// Test files (*_test.go) are excluded: the invariants target production
+// code, and tests legitimately use goroutines, math/rand, and float
+// comparisons against golden values.
+type Package struct {
+	ImportPath string
+	RelDir     string // module-relative directory, "" for the module root
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+
+	mod *Module
+}
+
+// Module holds the loader state for one Go module.
+type Module struct {
+	Root string // absolute path of the directory containing go.mod
+	Path string // module path from go.mod
+
+	fset    *token.FileSet
+	pkgs    map[string]*Package // keyed by RelDir
+	loading map[string]bool     // import-cycle guard
+	std     types.Importer
+}
+
+// stdImporter lazily constructs the shared stdlib source importer. The
+// source importer type-checks the standard library from $GOROOT/src, so it
+// works without prebuilt export data (removed from Go distributions in
+// 1.20) and adds no dependency beyond the standard library itself.
+var (
+	stdOnce sync.Once
+	stdImp  types.Importer
+)
+
+func stdImporter() types.Importer {
+	stdOnce.Do(func() {
+		stdImp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	return stdImp
+}
+
+// LoadModule loads and type-checks the packages of the module rooted at or
+// above dir that match the given patterns. Patterns follow the go tool's
+// shape: "./..." (everything), "dir/..." (subtree), or a plain directory /
+// import path. With no patterns, "./..." is assumed. Patterns are resolved
+// relative to dir.
+func LoadModule(dir string, patterns []string) ([]*Package, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:    root,
+		Path:    modPath,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		std:     stdImporter(),
+	}
+	dirs, err := m.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	rels, err := m.match(dir, dirs, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, rel := range rels {
+		p, err := m.load(rel)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", filepath.Join(m.Path, rel), err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			mp := parseModulePath(string(data))
+			if mp == "" {
+				return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+			}
+			return d, mp, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found at or above %s", abs)
+		}
+	}
+}
+
+func parseModulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// packageDirs walks the module and returns the module-relative directories
+// holding at least one non-test .go file, sorted.
+func (m *Module) packageDirs() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		// A nested module shadows its subtree.
+		if path != m.Root {
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		names, err := goSourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			out = append(out, m.rel(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// goSourceFiles lists the non-test .go files of dir, sorted.
+func goSourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// rel converts an absolute path inside the module to a module-relative one.
+func (m *Module) rel(path string) string {
+	r, err := filepath.Rel(m.Root, path)
+	if err != nil || r == "." {
+		return ""
+	}
+	return filepath.ToSlash(r)
+}
+
+// match resolves patterns (relative to from) against the known package
+// directories.
+func (m *Module) match(from string, dirs, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	absFrom, err := filepath.Abs(from)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if p, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = p
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		// Accept import paths rooted at the module path as well as
+		// filesystem paths.
+		var base string
+		if pat == m.Path {
+			base = ""
+		} else if rest, ok := strings.CutPrefix(pat, m.Path+"/"); ok {
+			base = rest
+		} else {
+			abs := pat
+			if !filepath.IsAbs(abs) {
+				abs = filepath.Join(absFrom, pat)
+			}
+			base = m.rel(abs)
+		}
+		matched := false
+		for _, d := range dirs {
+			if d == base || (recursive && (base == "" || strings.HasPrefix(d, base+"/"))) {
+				add(d)
+				matched = true
+			}
+		}
+		if !matched && !recursive {
+			return nil, fmt.Errorf("pattern %q matches no packages", pat)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// load parses and type-checks the package in module-relative directory rel,
+// memoized.
+func (m *Module) load(rel string) (*Package, error) {
+	if p, ok := m.pkgs[rel]; ok {
+		return p, nil
+	}
+	if m.loading[rel] {
+		return nil, fmt.Errorf("import cycle through %q", rel)
+	}
+	m.loading[rel] = true
+	defer func() { delete(m.loading, rel) }()
+
+	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
+	names, err := goSourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	importPath := m.Path
+	if rel != "" {
+		importPath = m.Path + "/" + rel
+	}
+	p := &Package{
+		ImportPath: importPath,
+		RelDir:     rel,
+		Dir:        dir,
+		Fset:       m.fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+		mod: m,
+	}
+	conf := types.Config{
+		Importer: (*moduleImporter)(m),
+		Error: func(err error) {
+			p.TypeErrors = append(p.TypeErrors, err)
+		},
+	}
+	// Type errors are collected, not fatal: the syntactic checks and any
+	// type-based check with partial info still run.
+	p.Types, _ = conf.Check(importPath, m.fset, files, p.Info)
+	m.pkgs[rel] = p
+	return p, nil
+}
+
+// moduleImporter resolves module-internal imports by type-checking them
+// from source and delegates everything else to the stdlib source importer.
+type moduleImporter Module
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	m := (*Module)(mi)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == m.Path {
+		p, err := m.load("")
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if rest, ok := strings.CutPrefix(path, m.Path+"/"); ok {
+		p, err := m.load(rest)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}

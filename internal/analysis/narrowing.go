@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// eboundDir is the error-bound derivation package: the bounds it computes
+// are proved over float64 arithmetic, so narrowing intermediate values to
+// float32 silently invalidates them.
+const eboundDir = "internal/ebound"
+
+func narrowingCheck() *Check {
+	return &Check{
+		Name: "narrowing",
+		Doc: `Flags float32(...) conversions of float64 expressions inside
+internal/ebound. The derived per-vertex error bounds (Theorem 1 and the
+SoS variant) are established in double precision; rounding a bound or an
+intermediate through float32 can round it up, which breaks the
+sign-preservation guarantee the whole compressor rests on. Quantizing to
+float32 is only sound at the storage layer (internal/field), after the
+bound has been applied. Annotate //lint:allow narrowing only where the
+narrowed value provably does not feed a bound.`,
+		Run: runNarrowing,
+	}
+}
+
+func runNarrowing(p *Package) []Finding {
+	if !inScope(p, eboundDir) {
+		return nil
+	}
+	var out []Finding
+	inspectFiles(p, func(f *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := p.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		dst, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || dst.Kind() != types.Float32 {
+			return true
+		}
+		argType := p.Info.TypeOf(call.Args[0])
+		if argType == nil || isUntypedConst(argType) {
+			return true
+		}
+		src, ok := argType.Underlying().(*types.Basic)
+		if ok && src.Kind() == types.Float64 {
+			out = append(out, p.finding("narrowing", call,
+				"float32 conversion of a float64 expression in the error-bound derivation; narrowing can round a bound upward and break sign preservation"))
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// suppressions records, per module-relative file and line, the set of check
+// names allowed there by //lint:allow comments.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans every comment of the package for
+//
+//	//lint:allow <check>[,<check>...] [reason]
+//
+// directives. A directive applies to the line it appears on (trailing
+// comment) and to the line immediately after it (preceding comment), which
+// covers both styles without any file-wide escape hatch.
+func collectSuppressions(p *Package) suppressions {
+	sup := make(suppressions)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllowDirective(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				file := p.relFile(pos)
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					byLine := sup[file]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						sup[file] = byLine
+					}
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// parseAllowDirective extracts check names from one comment's text, or nil
+// if it is not a lint:allow directive.
+func parseAllowDirective(text string) []string {
+	body, ok := strings.CutPrefix(text, "//lint:allow")
+	if !ok {
+		// Block comments and spaced forms are not directives: the
+		// conventional Go directive shape is exact.
+		return nil
+	}
+	if body == "" || (body[0] != ' ' && body[0] != '\t') {
+		return nil
+	}
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return nil
+	}
+	// First whitespace-separated field is the comma-separated check list;
+	// everything after is free-text justification.
+	list := strings.Fields(body)[0]
+	var names []string
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+func (s suppressions) allows(check, file string, line int) bool {
+	return s[file][line][check]
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isFloat reports whether t is (or has underlying) floating-point or
+// complex type. Complex equality inherits all the hazards of float
+// equality through its components.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isUntypedConst reports whether t is an untyped constant type.
+func isUntypedConst(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsUntyped != 0
+}
+
+// pkgSelector reports whether e is a selector pkg.Name where pkg resolves
+// to an import of the package with the given path, e.g.
+// pkgSelector(info, e, "time", "Now") for time.Now. It is robust to import
+// renaming because it resolves the identifier through the type info.
+func pkgSelector(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// inspectFiles runs fn over every node of every file in the package.
+func inspectFiles(p *Package, fn func(f *ast.File, n ast.Node) bool) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			return fn(file, n)
+		})
+	}
+}
+
+// inScope reports whether the package's module-relative directory is one of
+// the given directories.
+func inScope(p *Package, dirs ...string) bool {
+	for _, d := range dirs {
+		if p.RelDir == d {
+			return true
+		}
+	}
+	return false
+}
