@@ -6,7 +6,6 @@ package skeleton
 
 import (
 	"math"
-	"sync"
 
 	"tspsz/internal/critical"
 	"tspsz/internal/field"
@@ -62,15 +61,11 @@ func extractCPsParallel(f *field.Field, workers int) []critical.Point {
 	nc := f.Grid.NumCells()
 	ranges := parallel.Ranges(nc, workers)
 	results := make([][]critical.Point, len(ranges))
-	var wg sync.WaitGroup
-	for i, r := range ranges {
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			results[i] = critical.ExtractRange(f, lo, hi)
-		}(i, r[0], r[1])
-	}
-	wg.Wait()
+	// One dispatcher task per deterministic cell range; results are
+	// concatenated in range order, matching critical.Extract exactly.
+	parallel.For(len(ranges), workers, 1, func(i int) {
+		results[i] = critical.ExtractRange(f, ranges[i][0], ranges[i][1])
+	})
 	var out []critical.Point
 	for _, r := range results {
 		out = append(out, r...)
