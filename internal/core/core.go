@@ -72,7 +72,7 @@ func (o *Options) withDefaults() Options {
 	if opts.Params == (integrate.Params{}) {
 		opts.Params = integrate.DefaultParams()
 	}
-	if opts.Tau == 0 {
+	if opts.Tau == 0 { //lint:allow floatcmp zero is the documented "unset option" sentinel, never a computed value
 		opts.Tau = math.Sqrt2
 	}
 	if opts.MaxIterations == 0 {

@@ -116,6 +116,7 @@ func solveCell(f *field.Field, c int) (bc [4]float64, ok bool) {
 			v[i][1] = float64(f.V[vi])
 		}
 		m, M := Barycentric2D(v)
+		//lint:allow floatcmp exact-zero division guard: a near-zero M yields barycentric coords outside [0,1], rejected below
 		if M == 0 {
 			return bc, false
 		}
@@ -134,6 +135,7 @@ func solveCell(f *field.Field, c int) (bc [4]float64, ok bool) {
 		v[i][2] = float64(f.W[vi])
 	}
 	d, M := Barycentric3D(v)
+	//lint:allow floatcmp exact-zero division guard: a near-zero M yields barycentric coords outside [0,1], rejected below
 	if M == 0 {
 		return bc, false
 	}
@@ -233,6 +235,7 @@ func classify(pt *Point, dim int) {
 	}
 	npos, nneg := 0, 0
 	for _, e := range pt.Eigs {
+		//lint:allow floatcmp mat.Eigen sets Im to exactly 0 on the real-root branch; this reads that tag back
 		if e.Im != 0 {
 			pt.Spiral = true
 		}
@@ -283,6 +286,7 @@ func (pt *Point) computeSeeds(dim int) {
 	haveComplex := false
 	var complexSign int
 	for _, e := range pt.Eigs {
+		//lint:allow floatcmp mat.Eigen sets Im to exactly 0 on the real-root branch; this reads that tag back
 		if e.Im != 0 {
 			if e.Im > 0 { // one entry per conjugate pair
 				haveComplex = true

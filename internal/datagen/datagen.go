@@ -141,13 +141,16 @@ func Hurricane(nx, ny, nz int) *field.Field {
 	}
 	modes := make([]mode, nModes)
 	for i := range modes {
-		var k [3]float64
-		k[0] = float64(rng.Intn(9)-4) * 2 * math.Pi / (w + 1)
-		k[1] = float64(rng.Intn(9)-4) * 2 * math.Pi / (d + 1)
-		k[2] = float64(rng.Intn(5)-2) * 2 * math.Pi / (hgt + 1)
-		if k[0] == 0 && k[1] == 0 && k[2] == 0 {
-			k[0] = 2 * math.Pi / (w + 1)
+		// Draw integer wavenumbers so the all-zero mode is rejected in
+		// exact integer arithmetic.
+		ki := [3]int{rng.Intn(9) - 4, rng.Intn(9) - 4, rng.Intn(5) - 2}
+		if ki[0] == 0 && ki[1] == 0 && ki[2] == 0 {
+			ki[0] = 1
 		}
+		var k [3]float64
+		k[0] = float64(ki[0]) * 2 * math.Pi / (w + 1)
+		k[1] = float64(ki[1]) * 2 * math.Pi / (d + 1)
+		k[2] = float64(ki[2]) * 2 * math.Pi / (hgt + 1)
 		var a [3]float64
 		for dd := 0; dd < 3; dd++ {
 			a[dd] = rng.NormFloat64() * 0.4
@@ -209,12 +212,17 @@ func Nek5000(n int) *field.Field {
 	modes := make([]mode, nModes)
 	scale := 2 * math.Pi / float64(n-1)
 	for i := range modes {
+		// Integer wavenumbers: the all-zero mode is rejected exactly.
+		var ki [3]int
+		for d := 0; d < 3; d++ {
+			ki[d] = rng.Intn(13) - 6
+		}
+		if ki[0] == 0 && ki[1] == 0 && ki[2] == 0 {
+			ki[0] = 1
+		}
 		var k [3]float64
 		for d := 0; d < 3; d++ {
-			k[d] = float64(rng.Intn(13)-6) * scale
-		}
-		if k[0] == 0 && k[1] == 0 && k[2] == 0 {
-			k[0] = scale
+			k[d] = float64(ki[d]) * scale
 		}
 		// Random amplitude orthogonal to k (project out the parallel part).
 		var a [3]float64

@@ -47,9 +47,11 @@ func signEB(c float64, coeffs, weights *[3]float64, n int) float64 {
 	for i := 0; i < n; i++ {
 		den += math.Abs(coeffs[i] * weights[i])
 	}
+	//lint:allow floatcmp den is a sum of |a_i·w_i|: exactly zero iff every term is ±0, the perturbation-free case
 	if den == 0 {
 		return math.Inf(1)
 	}
+	//lint:allow floatcmp an exactly-zero C has no strict sign to preserve; any perturbation may flip it, so the bound is 0
 	if c == 0 {
 		return 0
 	}
@@ -70,6 +72,7 @@ func Cell2D(v [3][2]float64, cur int, mode Mode) (eb float64, hasCP bool) {
 	m, M := critical.Barycentric2D(v)
 	// A degenerate cell (M == 0) holds no critical point; eligibility below
 	// treats every k as outside so a sign-preserving bound is still derived.
+	//lint:allow floatcmp exact-zero degeneracy guard before dividing by M; the derived bound itself is sign-safe for any M != 0
 	if M != 0 {
 		inside := true
 		for k := 0; k < 3; k++ {
@@ -85,7 +88,7 @@ func Cell2D(v [3][2]float64, cur int, mode Mode) (eb float64, hasCP bool) {
 	weights := perturbWeights2D(v[cur], mode)
 	best := 0.0
 	for k := 0; k < 3; k++ {
-		if M != 0 {
+		if M != 0 { //lint:allow floatcmp exact-zero division guard, same as above
 			if mu := m[k] / M; mu >= 0 && mu <= 1 {
 				continue
 			}
@@ -136,6 +139,7 @@ func perturbWeights2D(cur [2]float64, mode Mode) [3]float64 {
 // Lemma 1 bound ε = |C| / Σ|A_i| over the three perturbed components.
 func Cell3D(v [4][3]float64, cur int, mode Mode) (eb float64, hasCP bool) {
 	d, M := critical.Barycentric3D(v)
+	//lint:allow floatcmp exact-zero degeneracy guard before dividing by M; the derived bound itself is sign-safe for any M != 0
 	if M != 0 {
 		inside := true
 		for k := 0; k < 4; k++ {
@@ -151,7 +155,7 @@ func Cell3D(v [4][3]float64, cur int, mode Mode) (eb float64, hasCP bool) {
 	weights := perturbWeights3D(v[cur], mode)
 	best := 0.0
 	for k := 0; k < 4; k++ {
-		if M != 0 {
+		if M != 0 { //lint:allow floatcmp exact-zero division guard, same as above
 			if mu := d[k] / M; mu >= 0 && mu <= 1 {
 				continue
 			}

@@ -49,6 +49,7 @@ func TableScorecard(rows []TableRow) []Claim {
 
 	// C3: TspSZ-1 separatrices are exact (zero Fréchet).
 	add("C3", "TspSZ-1 separatrices are bit-exact",
+		//lint:allow floatcmp the lossless variant must reproduce trajectories bit-identically, so the Fréchet max is exactly 0
 		byName["TspSZ-1"].MaxF == 0 && byName["TspSZ-1-abs"].MaxF == 0,
 		fmt.Sprintf("maxF %.3g / %.3g", byName["TspSZ-1"].MaxF, byName["TspSZ-1-abs"].MaxF))
 

@@ -40,6 +40,7 @@ func Resample(pts [][3]float64, n int) [][3]float64 {
 		return out
 	}
 	total := ArcLength(pts)
+	//lint:allow floatcmp a sum of segment norms is exactly zero iff every point coincides; guard before dividing by total
 	if total == 0 {
 		for i := 0; i < n; i++ {
 			out = append(out, pts[0])

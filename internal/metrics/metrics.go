@@ -34,7 +34,7 @@ func MSE(orig, dec *field.Field) float64 {
 func PSNR(orig, dec *field.Field) float64 {
 	mse := MSE(orig, dec)
 	lo, hi := orig.Range()
-	if mse == 0 {
+	if mse == 0 { //lint:allow floatcmp exactly-zero MSE (bit-identical fields) is the documented +Inf PSNR case
 		return math.Inf(1)
 	}
 	return 20*math.Log10(hi-lo) - 10*math.Log10(mse)

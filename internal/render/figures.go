@@ -47,7 +47,7 @@ func Skeleton(f, dec *field.Field, opts SkeletonOptions) (*image.RGBA, error) {
 	if opts.Zoom < 1 {
 		opts.Zoom = 2
 	}
-	if opts.Tau == 0 {
+	if opts.Tau == 0 { //lint:allow floatcmp zero is the documented "unset option" sentinel, never a computed value
 		opts.Tau = math.Sqrt2
 	}
 	nx, ny, _ := f.Grid.Dims()

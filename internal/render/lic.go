@@ -30,7 +30,7 @@ func (o *LICOptions) defaults() {
 	if o.Length <= 0 {
 		o.Length = 12
 	}
-	if o.Contrast == 0 {
+	if o.Contrast == 0 { //lint:allow floatcmp zero is the documented "unset option" sentinel, never a computed value
 		o.Contrast = 2.2
 	}
 }

@@ -296,6 +296,7 @@ func encodeBlock(block []float64, coefs []int64, recon []float64, dim int, tol f
 			maxAbs = a
 		}
 	}
+	//lint:allow floatcmp a max of absolute values is exactly zero iff the block is all ±0, the dedicated all-zero encoding
 	if maxAbs == 0 {
 		for i := range coefs {
 			coefs[i] = 0
