@@ -173,6 +173,7 @@ func Encode(symbols []uint32) []byte {
 		freqMap[s]++
 	}
 	syms := make([]uint32, 0, len(freqMap))
+	//lint:allow determinism iteration only collects the key set; it is sorted on the next line before anything reaches the stream
 	for s := range freqMap {
 		syms = append(syms, s)
 	}
