@@ -50,9 +50,13 @@ func Compress(f *field.Field, tol float64) ([]byte, error) {
 	buf.WriteByte(0)
 	buf.WriteByte(0)
 	for _, v := range []uint32{uint32(nx), uint32(ny), uint32(nz)} {
-		binary.Write(&buf, binary.LittleEndian, v)
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
 	}
-	binary.Write(&buf, binary.LittleEndian, tol)
+	if err := binary.Write(&buf, binary.LittleEndian, tol); err != nil {
+		return nil, err
+	}
 
 	for _, comp := range f.Components() {
 		syms, side, err := encodeComponent(comp, nx, ny, nz, f.Dim(), tol)
@@ -67,9 +71,13 @@ func Compress(f *field.Field, tol float64) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		binary.Write(&buf, binary.LittleEndian, uint64(len(packedSyms)))
+		if err := binary.Write(&buf, binary.LittleEndian, uint64(len(packedSyms))); err != nil {
+			return nil, err
+		}
 		buf.Write(packedSyms)
-		binary.Write(&buf, binary.LittleEndian, uint64(len(packedSide)))
+		if err := binary.Write(&buf, binary.LittleEndian, uint64(len(packedSide))); err != nil {
+			return nil, err
+		}
 		buf.Write(packedSide)
 	}
 	return buf.Bytes(), nil
