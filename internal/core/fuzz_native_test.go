@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"tspsz/internal/ebound"
+)
+
+// FuzzDecompress drives the container decoder with arbitrary bytes: it
+// must return an error or a well-formed field, never panic.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("TSPZ"))
+	fld := gyre2D(12, 10)
+	res, err := Compress(fld, Options{Variant: TspSZi, Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(res.Bytes)
+	for _, cut := range []int{1, 4, len(res.Bytes) / 2, len(res.Bytes) - 1} {
+		if cut >= 0 && cut < len(res.Bytes) {
+			f.Add(res.Bytes[:cut])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fld, err := Decompress(data, 1)
+		if err == nil && fld == nil {
+			t.Fatal("nil field with nil error")
+		}
+	})
+}

@@ -27,6 +27,20 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 	if !hdr.temporal {
 		ref = nil // ignore a stray reference for self-contained streams
 	}
+	// Every vertex consumes at least one error-bound symbol in every
+	// mode and predictor, so a header claiming more vertices than the
+	// stream carries symbols is corrupt. Rejecting here keeps fabricated
+	// dimensions from driving a huge field allocation.
+	nv := uint64(hdr.nx) * uint64(hdr.ny) // both < 2^32: no overflow
+	if hdr.dim == 3 {
+		if nv > uint64(len(ebSyms)) {
+			return nil, fmt.Errorf("cpsz: header dims exceed symbol stream")
+		}
+		nv *= uint64(hdr.nz)
+	}
+	if nv > uint64(len(ebSyms)) {
+		return nil, fmt.Errorf("cpsz: header dims exceed symbol stream")
+	}
 	var f *field.Field
 	if hdr.dim == 2 {
 		if hdr.nx < 2 || hdr.ny < 2 {

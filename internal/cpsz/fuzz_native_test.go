@@ -1,0 +1,42 @@
+package cpsz
+
+import (
+	"testing"
+
+	"tspsz/internal/ebound"
+)
+
+// FuzzDecompressTruncated feeds the decompressor arbitrary mutations of a
+// valid stream AND every reachable byte prefix of it: truncation anywhere
+// in the header, section table, or packed payload must surface as an
+// error — never a panic, hang, or silent success with a nil field.
+func FuzzDecompressTruncated(f *testing.F) {
+	valid, err := Compress(gyre2D(16, 12), Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	stream := valid.Bytes
+	f.Add([]byte{}, uint16(0))
+	f.Add(stream, uint16(len(stream)))
+	for _, cut := range []int{1, 4, 8, 27, 28, len(stream) / 2, len(stream) - 1} {
+		if cut >= 0 && cut < len(stream) {
+			f.Add(stream[:cut], uint16(cut))
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		// Arbitrary (mutated) bytes.
+		if fld, err := Decompress(data, 1); err == nil && fld == nil {
+			t.Fatal("nil field with nil error on mutated input")
+		}
+		// Exact prefix of the known-valid stream, length chosen by the
+		// fuzzer: only the full stream may decode successfully.
+		prefix := stream[:int(n)%(len(stream)+1)]
+		fld, err := Decompress(prefix, 1)
+		if len(prefix) < len(stream) && err == nil {
+			t.Fatalf("truncated stream (%d of %d bytes) decoded without error", len(prefix), len(stream))
+		}
+		if err == nil && fld == nil {
+			t.Fatal("nil field with nil error on full stream")
+		}
+	})
+}

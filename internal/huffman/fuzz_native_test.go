@@ -1,0 +1,39 @@
+package huffman
+
+import (
+	"testing"
+)
+
+// FuzzDecode drives the canonical Huffman decoder with arbitrary bytes.
+// The invariant is memory safety and termination: Decode either returns
+// symbols or an error, and a successful decode must re-encode/decode to
+// the same symbol sequence.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	valid := Encode([]uint32{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 1, 1, 1})
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 1} {
+		if cut >= 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		syms, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(Encode(syms))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded symbols failed: %v", err)
+		}
+		if len(again) != len(syms) {
+			t.Fatalf("round-trip length %d, want %d", len(again), len(syms))
+		}
+		for i := range syms {
+			if again[i] != syms[i] {
+				t.Fatalf("round-trip symbol %d: %d != %d", i, again[i], syms[i])
+			}
+		}
+	})
+}

@@ -273,6 +273,12 @@ func Decode(data []byte) ([]uint32, error) {
 	for l := uint8(1); l <= maxLen; l++ {
 		firstCode[l] = code
 		firstIndex[l] = idx
+		// Kraft validity: the canonical codes of length l must fit in l
+		// bits. An over-subscribed corrupt table would otherwise overflow
+		// into neighbouring lookup-table slots (index out of range).
+		if firstCode[l]+uint64(countAt[l]) > 1<<l {
+			return nil, fmt.Errorf("huffman: over-subscribed code lengths at %d bits", l)
+		}
 		code = (code + uint64(countAt[l])) << 1
 		idx += countAt[l]
 	}

@@ -1,0 +1,53 @@
+package skeleton
+
+import (
+	"testing"
+
+	"tspsz/internal/integrate"
+)
+
+// TestParallelTracingRace exercises the parallel skeleton-tracing path
+// with many workers so `go test -race` can observe the dispatcher's memory
+// accesses: critical point extraction, saddle tracing, and the parallel
+// comparison all run concurrently against shared read-only state.
+// It simultaneously pins down determinism: every worker count must
+// reproduce the serial skeleton exactly, point for point.
+func TestParallelTracingRace(t *testing.T) {
+	f := gyreField(21)
+	par := integrate.DefaultParams()
+	serial := Extract(f, par)
+
+	for _, workers := range []int{2, 3, 8} {
+		sk := ExtractParallel(f, par, workers)
+		if len(sk.CPs) != len(serial.CPs) {
+			t.Fatalf("workers=%d: %d critical points, serial found %d", workers, len(sk.CPs), len(serial.CPs))
+		}
+		for i := range sk.CPs {
+			a, b := &sk.CPs[i], &serial.CPs[i]
+			if a.Cell != b.Cell || a.Pos != b.Pos || a.Type != b.Type || a.Spiral != b.Spiral {
+				t.Fatalf("workers=%d: critical point %d differs: %+v != %+v", workers, i, a, b)
+			}
+		}
+		if len(sk.Seps) != len(serial.Seps) {
+			t.Fatalf("workers=%d: %d separatrices, serial traced %d", workers, len(sk.Seps), len(serial.Seps))
+		}
+		for i := range sk.Seps {
+			a, b := &sk.Seps[i], &serial.Seps[i]
+			if a.Saddle != b.Saddle || a.Term != b.Term || len(a.Points) != len(b.Points) {
+				t.Fatalf("workers=%d: separatrix %d differs (saddle %d/%d, term %v/%v, %d/%d points)",
+					workers, i, a.Saddle, b.Saddle, a.Term, b.Term, len(a.Points), len(b.Points))
+			}
+			for j := range a.Points {
+				if a.Points[j] != b.Points[j] {
+					t.Fatalf("workers=%d: separatrix %d point %d differs", workers, i, j)
+				}
+			}
+		}
+		// The parallel comparison path must agree with itself under
+		// concurrent Fréchet evaluation.
+		st := CompareParallel(serial, sk, 1.0, workers)
+		if st.Incorrect != 0 || st.MaxF != 0 { //lint:allow floatcmp identical trajectories have exactly zero Fréchet distance
+			t.Fatalf("workers=%d: self-comparison reports %d incorrect, maxF %g", workers, st.Incorrect, st.MaxF)
+		}
+	}
+}
