@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench race cover experiments figures clean
+.PHONY: all build vet lint test bench race fuzz-smoke cover experiments figures clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific invariants (robust float comparisons, centralized
+# concurrency, deterministic kernels, checked codec I/O, no lossy
+# narrowing). See `go run ./cmd/tsplint -help` for the check list and the
+# //lint:allow suppression syntax.
+lint:
+	$(GO) run ./cmd/tsplint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/cpsz ./internal/core ./internal/skeleton ./internal/parallel
+	$(GO) test -race ./...
+
+# 10-second native-fuzzing smoke per decoder entry point; each package has
+# exactly one Fuzz target so -fuzz=Fuzz is unambiguous.
+fuzz-smoke:
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/huffman
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/core
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/cpsz
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
