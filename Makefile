@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench race fuzz-smoke cover experiments figures clean
+.PHONY: all build vet lint test bench bench-smoke bench-full race fuzz-smoke cover experiments figures clean
 
 all: build vet lint test
 
@@ -32,7 +32,31 @@ fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/core
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/cpsz
 
+# Perf-trajectory harness: run the key hot-path benchmarks BENCH_COUNT
+# times each and record the mean ns/op, B/op, and allocs/op per benchmark
+# in $(BENCH_JSON). The JSON is committed so later PRs diff their run
+# against this baseline instead of guessing.
+BENCH_JSON ?= BENCH_pr2.json
+BENCH_COUNT ?= 3
+BENCH_TIME ?= 1s
+
 bench:
+	$(GO) test -run='^$$' -bench='^(BenchmarkCompressAbs2D|BenchmarkDecompressAbs2D|BenchmarkSerialize|BenchmarkParse)$$' \
+		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./internal/cpsz | tee bench_raw.txt
+	$(GO) test -run='^$$' -bench='^(BenchmarkEncode|BenchmarkDecode)$$' \
+		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./internal/huffman | tee -a bench_raw.txt
+	$(GO) test -run='^$$' -bench='^BenchmarkFig8Scalability$$' \
+		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee -a bench_raw.txt
+	$(GO) run ./cmd/benchjson -in bench_raw.txt -out $(BENCH_JSON)
+
+# CI smoke: a single iteration of each key benchmark, so the harness and
+# the JSON conversion cannot rot between perf-focused PRs.
+bench-smoke:
+	$(MAKE) bench BENCH_COUNT=1 BENCH_TIME=1x BENCH_JSON=bench_smoke.json
+	rm -f bench_smoke.json bench_raw.txt
+
+# The full sweep over every package (slow; reproduces the paper tables).
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 cover:
@@ -50,4 +74,4 @@ figures:
 	$(GO) run ./cmd/topoviz -mode lic -dataset cba -out fig_lic_cba.png
 
 clean:
-	rm -f cover.out experiments_output.txt fig_*.png
+	rm -f cover.out experiments_output.txt fig_*.png bench_raw.txt bench_smoke.json

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output into the committed
+// perf-trajectory JSON (BENCH_pr*.json): a map from benchmark name to
+// mean ns/op, B/op, and allocs/op across repetitions. Later PRs diff
+// their own run against the committed baseline to show (or disprove)
+// progress on the hot paths.
+//
+// Usage:
+//
+//	go test -bench=... -benchmem -count=3 ./... | benchjson -out BENCH.json
+//	benchjson -in bench_raw.txt -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is the recorded trajectory point for one benchmark.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// benchLine matches e.g.
+// BenchmarkSerialize/workers=4-8  100  1234567 ns/op  99 B/op  3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+// gomaxprocsSuffix is the trailing -N the testing package appends to
+// benchmark names; it is stripped so trajectories compare across hosts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	in := flag.String("in", "", "benchmark log to read (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parseLog(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLog accumulates per-benchmark sums and returns the means.
+func parseLog(r io.Reader) (map[string]Metrics, error) {
+	sums := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		cur := sums[name]
+		cur.NsPerOp += ns
+		cur.BytesPerOp += trailingMetric(m[3], "B/op")
+		cur.AllocsPerOp += trailingMetric(m[3], "allocs/op")
+		cur.Runs++
+		sums[name] = cur
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(sums))
+	//lint:allow determinism key collection only; sorted before use, and this is tooling output, not archive bytes
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]Metrics, len(sums))
+	for _, name := range names {
+		s := sums[name]
+		n := float64(s.Runs)
+		out[name] = Metrics{
+			NsPerOp:     s.NsPerOp / n,
+			BytesPerOp:  s.BytesPerOp / n,
+			AllocsPerOp: s.AllocsPerOp / n,
+			Runs:        s.Runs,
+		}
+	}
+	return out, nil
+}
+
+// trailingMetric extracts "<num> <unit>" from the tail of a benchmark
+// line (-benchmem columns); 0 when the unit is absent.
+func trailingMetric(tail, unit string) float64 {
+	fields := strings.Fields(tail)
+	for i := 1; i < len(fields); i++ {
+		if fields[i] == unit {
+			if v, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

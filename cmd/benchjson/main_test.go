@@ -1,0 +1,52 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: tspsz/internal/cpsz
+BenchmarkSerialize/workers=1-8         	     100	   2000000 ns/op	 200.00 MB/s	  500000 B/op	     120 allocs/op
+BenchmarkSerialize/workers=1-8         	     100	   1000000 ns/op	 400.00 MB/s	  300000 B/op	      80 allocs/op
+BenchmarkSerialize/workers=8-8         	     300	    500000 ns/op	 800.00 MB/s	  600000 B/op	     140 allocs/op
+BenchmarkCompressAbs2D-8               	      50	  30000000 ns/op	  4.37 MB/s	 9000000 B/op	    2000 allocs/op
+PASS
+ok  	tspsz/internal/cpsz	12.3s
+`
+
+func TestParseLogAveragesRepetitions(t *testing.T) {
+	got, err := parseLog(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	w1 := got["BenchmarkSerialize/workers=1"]
+	if w1.Runs != 2 || math.Abs(w1.NsPerOp-1500000) > 1e-9 {
+		t.Fatalf("workers=1 mean wrong: %+v", w1)
+	}
+	if math.Abs(w1.BytesPerOp-400000) > 1e-9 || math.Abs(w1.AllocsPerOp-100) > 1e-9 {
+		t.Fatalf("workers=1 benchmem means wrong: %+v", w1)
+	}
+	w8 := got["BenchmarkSerialize/workers=8"]
+	if w8.Runs != 1 || w8.NsPerOp != 500000 {
+		t.Fatalf("workers=8 wrong: %+v", w8)
+	}
+	if _, ok := got["BenchmarkCompressAbs2D"]; !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+}
+
+func TestParseLogIgnoresNoise(t *testing.T) {
+	got, err := parseLog(strings.NewReader("goos: linux\nPASS\nok  x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %v", got)
+	}
+}

@@ -46,8 +46,18 @@ func compress(f *field.Field, opts Options) (*Result, error) {
 		compressRegion(work, f, boundaries[i], opts, &streams[len(interiors)+i])
 	})
 
-	var ebAll, qAll []uint32
-	var rawAll []byte
+	// The merged stream lengths are known from the per-region streams;
+	// allocate each concatenation once and copy into place instead of
+	// growing through repeated append reallocation.
+	var nEb, nQ, nRaw int
+	for i := range streams {
+		nEb += len(streams[i].ebSyms)
+		nQ += len(streams[i].quantSyms)
+		nRaw += len(streams[i].raw)
+	}
+	ebAll := make([]uint32, 0, nEb)
+	qAll := make([]uint32, 0, nQ)
+	rawAll := make([]byte, 0, nRaw)
 	for i := range streams {
 		ebAll = append(ebAll, streams[i].ebSyms...)
 		qAll = append(qAll, streams[i].quantSyms...)

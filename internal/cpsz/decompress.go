@@ -17,7 +17,7 @@ type regionOffsets struct {
 }
 
 func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error) {
-	hdr, ebSyms, quantSyms, raw, err := parse(data)
+	hdr, ebSyms, quantSyms, raw, err := parse(data, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -7,14 +7,42 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
 	"tspsz/internal/huffman"
+	"tspsz/internal/parallel"
 )
 
 const streamMagic = "CPSZ"
-const formatVersion = 1
+
+// Stream format versions. v1 runs each whole symbol section through one
+// Huffman pass and one DEFLATE stream, serializing the entropy stage; v2
+// shards every section into fixed-extent chunks coded against a shared
+// per-section codebook, so both directions run the entropy stage in
+// parallel (§VII). The writer always emits v2; the reader accepts both.
+const (
+	formatV1      = 1
+	formatV2      = 2
+	formatVersion = formatV2
+)
+
+// chunkSymbols is the entropy-chunk extent of the symbol sections and
+// chunkRawBytes the extent of the verbatim-float section. Chunk counts
+// derive from the section length alone and boundaries from
+// parallel.Ranges over that count, so archives are byte-identical for
+// every worker count.
+const (
+	chunkSymbols  = 1 << 15
+	chunkRawBytes = 1 << 17
+)
+
+// maxDeflateRatio bounds plausible DEFLATE expansion (the format's
+// theoretical maximum is ~1032:1). v1 sections carry no uncompressed size,
+// so inflation is capped at this multiple of the compressed payload;
+// anything larger is a corrupt or adversarial stream, not a valid archive.
+const maxDeflateRatio = 1032
 
 // header mirrors the on-wire stream header.
 type header struct {
@@ -29,52 +57,129 @@ type header struct {
 // temporalFlag marks streams predicted against a previous frame.
 const temporalFlag = 0x80
 
-// serialize assembles the final stream: header, Huffman+DEFLATE packed
-// symbol sections, and a DEFLATE packed raw-float section. This mirrors
-// SZ's Huffman + lossless-backend pipeline.
+// headerBytes is the fixed-width header size shared by v1 and v2.
+const headerBytes = 28
+
+// serialize assembles the final stream: header, chunked Huffman+DEFLATE
+// symbol sections, and a chunked DEFLATE raw-float section. This mirrors
+// SZ's Huffman + lossless-backend pipeline with the entropy stage sharded
+// across opts.Workers.
 func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteString(streamMagic)
-	buf.WriteByte(formatVersion)
-	buf.WriteByte(byte(f.Dim()))
-	buf.WriteByte(byte(opts.Mode))
+	workers := parallel.Workers(opts.Workers)
+	out := make([]byte, 0, headerBytes+len(raw)/2+(len(ebSyms)+len(quantSyms))/4)
+	out = append(out, streamMagic...)
+	out = append(out, formatVersion, byte(f.Dim()), byte(opts.Mode))
 	pb := byte(opts.Predictor)
 	if opts.Reference != nil {
 		pb |= temporalFlag
 	}
-	buf.WriteByte(pb)
+	out = append(out, pb)
 	nx, ny, nz := f.Grid.Dims()
 	for _, v := range []uint32{uint32(nx), uint32(ny), uint32(nz)} {
-		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+		out = binary.LittleEndian.AppendUint32(out, v)
+	}
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(opts.ErrBound))
+	var err error
+	for _, syms := range [][]uint32{ebSyms, quantSyms} {
+		if out, err = appendSymbolSection(out, syms, workers); err != nil {
 			return nil, err
 		}
 	}
-	if err := binary.Write(&buf, binary.LittleEndian, opts.ErrBound); err != nil {
-		return nil, err
+	return appendRawSection(out, raw, workers)
+}
+
+// chunkCount returns how many fixed-extent chunks a section of n units
+// splits into; it depends only on n, never on the worker count.
+func chunkCount(n, extent int) int {
+	c := (n + extent - 1) / extent
+	if c < 1 {
+		c = 1
 	}
-	for _, section := range [][]byte{huffman.Encode(ebSyms), huffman.Encode(quantSyms), raw} {
-		packed, err := deflate(section)
+	return c
+}
+
+// appendSymbolSection writes one v2 symbol section: uvarint symbol count,
+// the shared canonical codebook, a uvarint chunk count, a directory of
+// per-chunk (uncompressed, compressed) byte sizes, then the chunk
+// payloads. Chunks are Huffman-packed and DEFLATEd concurrently; the
+// directory lets the reader inflate and decode them concurrently too.
+func appendSymbolSection(dst []byte, syms []uint32, workers int) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(syms)))
+	if len(syms) == 0 {
+		return dst, nil
+	}
+	table := huffman.BuildTable(syms, workers)
+	dst = table.AppendTable(dst)
+	bounds := parallel.Ranges(len(syms), chunkCount(len(syms), chunkSymbols))
+	usizes := make([]int, len(bounds))
+	packed := make([][]byte, len(bounds))
+	errs := make([]error, len(bounds))
+	parallel.For(len(bounds), workers, 1, func(i int) {
+		bits := getChunkBuf()
+		bits = table.EncodeChunk(bits[:0], syms[bounds[i][0]:bounds[i][1]])
+		usizes[i] = len(bits)
+		packed[i], errs[i] = deflate(bits)
+		putChunkBuf(bits)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if err := binary.Write(&buf, binary.LittleEndian, uint64(len(packed))); err != nil {
-			return nil, err
-		}
-		buf.Write(packed)
 	}
-	return buf.Bytes(), nil
+	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
+	for i := range bounds {
+		dst = binary.AppendUvarint(dst, uint64(usizes[i]))
+		dst = binary.AppendUvarint(dst, uint64(len(packed[i])))
+	}
+	for i := range bounds {
+		dst = append(dst, packed[i]...)
+	}
+	return dst, nil
 }
 
-// parse splits a stream back into its header and sections.
-func parse(data []byte) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
-	if len(data) < 28 {
+// appendRawSection writes the verbatim-float section as concurrently
+// DEFLATEd chunks with the same (uncompressed, compressed) directory as
+// the symbol sections; the uncompressed entries are redundant with the
+// section length but serve as a decode-side cross-check.
+func appendRawSection(dst []byte, raw []byte, workers int) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(raw)))
+	if len(raw) == 0 {
+		return dst, nil
+	}
+	bounds := parallel.Ranges(len(raw), chunkCount(len(raw), chunkRawBytes))
+	packed := make([][]byte, len(bounds))
+	errs := make([]error, len(bounds))
+	parallel.For(len(bounds), workers, 1, func(i int) {
+		packed[i], errs[i] = deflate(raw[bounds[i][0]:bounds[i][1]])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
+	for i := range bounds {
+		dst = binary.AppendUvarint(dst, uint64(bounds[i][1]-bounds[i][0]))
+		dst = binary.AppendUvarint(dst, uint64(len(packed[i])))
+	}
+	for i := range bounds {
+		dst = append(dst, packed[i]...)
+	}
+	return dst, nil
+}
+
+// parse splits a stream back into its header and sections, dispatching on
+// the format version byte.
+func parse(data []byte, workers int) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
+	if len(data) < headerBytes {
 		return hdr, nil, nil, nil, errTruncated
 	}
 	if string(data[:4]) != streamMagic {
 		return hdr, nil, nil, nil, errBadMagic
 	}
-	if data[4] != formatVersion {
-		return hdr, nil, nil, nil, fmt.Errorf("cpsz: unsupported version %d", data[4])
+	version := data[4]
+	if version != formatV1 && version != formatV2 {
+		return hdr, nil, nil, nil, fmt.Errorf("cpsz: unsupported version %d", version)
 	}
 	hdr.dim = int(data[5])
 	hdr.mode = ebound.Mode(data[6])
@@ -93,38 +198,273 @@ func parse(data []byte) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err
 	if hdr.dim != 2 && hdr.dim != 3 {
 		return hdr, nil, nil, nil, fmt.Errorf("cpsz: invalid dimension %d", hdr.dim)
 	}
+	if version == formatV1 {
+		ebSyms, quantSyms, raw, err = parseSectionsV1(data, off)
+	} else {
+		ebSyms, quantSyms, raw, err = parseSectionsV2(data, off, workers)
+	}
+	if err != nil {
+		return hdr, nil, nil, nil, err
+	}
+	return hdr, ebSyms, quantSyms, raw, nil
+}
+
+// parseSectionsV1 reads the legacy layout: three length-prefixed DEFLATE
+// payloads, the first two wrapping whole-section Huffman streams. Kept so
+// pre-v2 archives and the fuzz corpus still decode.
+func parseSectionsV1(data []byte, off int) (ebSyms, quantSyms []uint32, raw []byte, err error) {
 	sections := make([][]byte, 3)
 	for i := range sections {
 		if off+8 > len(data) {
-			return hdr, nil, nil, nil, errTruncated
+			return nil, nil, nil, errTruncated
 		}
 		n := binary.LittleEndian.Uint64(data[off:])
 		off += 8
 		if uint64(off)+n > uint64(len(data)) {
-			return hdr, nil, nil, nil, errTruncated
+			return nil, nil, nil, errTruncated
 		}
 		packed := data[off : off+int(n)]
 		off += int(n)
-		sections[i], err = inflate(packed)
+		// v1 carries no uncompressed sizes; cap the inflation at the
+		// maximum a DEFLATE payload of this size can legitimately
+		// produce, so a corrupt stream cannot drive an unbounded
+		// allocation.
+		sections[i], err = inflateCap(packed, maxDeflateRatio*uint64(len(packed))+64)
 		if err != nil {
-			return hdr, nil, nil, nil, fmt.Errorf("cpsz: section %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("cpsz: section %d: %w", i, err)
 		}
 	}
 	if ebSyms, err = huffman.Decode(sections[0]); err != nil {
-		return hdr, nil, nil, nil, fmt.Errorf("cpsz: eb symbols: %w", err)
+		return nil, nil, nil, fmt.Errorf("cpsz: eb symbols: %w", err)
 	}
 	if quantSyms, err = huffman.Decode(sections[1]); err != nil {
-		return hdr, nil, nil, nil, fmt.Errorf("cpsz: quant symbols: %w", err)
+		return nil, nil, nil, fmt.Errorf("cpsz: quant symbols: %w", err)
 	}
-	return hdr, ebSyms, quantSyms, sections[2], nil
+	return ebSyms, quantSyms, sections[2], nil
 }
 
+// parseSectionsV2 reads the chunked layout, inflating and entropy-decoding
+// the chunks of each section concurrently.
+func parseSectionsV2(data []byte, off, workers int) (ebSyms, quantSyms []uint32, raw []byte, err error) {
+	if ebSyms, off, err = parseSymbolSection(data, off, workers); err != nil {
+		return nil, nil, nil, fmt.Errorf("cpsz: eb symbols: %w", err)
+	}
+	if quantSyms, off, err = parseSymbolSection(data, off, workers); err != nil {
+		return nil, nil, nil, fmt.Errorf("cpsz: quant symbols: %w", err)
+	}
+	if raw, off, err = parseRawSection(data, off, workers); err != nil {
+		return nil, nil, nil, fmt.Errorf("cpsz: raw section: %w", err)
+	}
+	if off != len(data) {
+		return nil, nil, nil, fmt.Errorf("cpsz: %d trailing bytes after final section", len(data)-off)
+	}
+	return ebSyms, quantSyms, raw, nil
+}
+
+// chunkDirectory holds the validated per-chunk extents of one section.
+type chunkDirectory struct {
+	bounds  [][2]int // unit extents (symbols or raw bytes) per chunk
+	usizes  []int    // uncompressed payload bytes per chunk
+	offsets []int    // payload start offsets relative to the payload base
+	total   int      // total payload bytes
+}
+
+// parseChunkDirectory reads and validates a chunk directory at data[off:].
+// n is the section length in units; maxUsize returns the largest plausible
+// uncompressed chunk size for a given unit extent, and minUsize the
+// smallest. Every violation is a hard error: chunk-count lies, extent
+// overflows, and oversize claims are rejected before any allocation
+// proportional to them.
+func parseChunkDirectory(data []byte, off, n int, maxUsize, minUsize func(extent int) int) (chunkDirectory, int, error) {
+	var dir chunkDirectory
+	cc, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return dir, 0, fmt.Errorf("truncated chunk count")
+	}
+	off += sz
+	if cc == 0 || cc > uint64(n) {
+		return dir, 0, fmt.Errorf("invalid chunk count %d for %d units", cc, n)
+	}
+	// Every directory entry takes at least 2 bytes.
+	if cc > uint64(len(data)-off)/2+1 {
+		return dir, 0, fmt.Errorf("chunk count %d exceeds stream capacity", cc)
+	}
+	dir.bounds = parallel.Ranges(n, int(cc))
+	if len(dir.bounds) != int(cc) {
+		return dir, 0, fmt.Errorf("chunk count %d does not partition %d units", cc, n)
+	}
+	dir.usizes = make([]int, cc)
+	dir.offsets = make([]int, cc)
+	for i := range dir.usizes {
+		usize, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return dir, 0, fmt.Errorf("truncated directory entry %d", i)
+		}
+		off += sz
+		csize, sz := binary.Uvarint(data[off:])
+		if sz <= 0 {
+			return dir, 0, fmt.Errorf("truncated directory entry %d", i)
+		}
+		off += sz
+		extent := dir.bounds[i][1] - dir.bounds[i][0]
+		if usize > uint64(maxUsize(extent)) || usize < uint64(minUsize(extent)) {
+			return dir, 0, fmt.Errorf("chunk %d claims %d uncompressed bytes for %d units", i, usize, extent)
+		}
+		if csize > uint64(len(data)-off) {
+			return dir, 0, fmt.Errorf("chunk %d claims %d compressed bytes, %d remain", i, csize, len(data)-off)
+		}
+		// DEFLATE cannot legitimately expand beyond maxDeflateRatio, so an
+		// uncompressed size far above the payload marks a decompression
+		// bomb; rejecting it here bounds every allocation below by what
+		// the stream could actually inflate to.
+		if usize > maxDeflateRatio*csize+64 {
+			return dir, 0, fmt.Errorf("chunk %d claims %d uncompressed bytes from a %d-byte payload", i, usize, csize)
+		}
+		dir.usizes[i] = int(usize)
+		dir.offsets[i] = dir.total
+		dir.total += int(csize)
+		if dir.total > len(data)-off {
+			return dir, 0, fmt.Errorf("chunk payloads exceed stream length")
+		}
+	}
+	return dir, off, nil
+}
+
+// parseSymbolSection reads one v2 symbol section, returning the decoded
+// symbols and the offset past the section.
+func parseSymbolSection(data []byte, off, workers int) ([]uint32, int, error) {
+	count, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("truncated symbol count")
+	}
+	off += sz
+	if count == 0 {
+		return nil, off, nil
+	}
+	// Every symbol takes at least one bit of some chunk; reject counts the
+	// stream cannot back before allocating the output.
+	if count > 8*maxDeflateRatio*uint64(len(data)-off)+64 {
+		return nil, 0, fmt.Errorf("symbol count %d exceeds stream capacity", count)
+	}
+	table, consumed, err := huffman.ParseTable(data[off:], count)
+	if err != nil {
+		return nil, 0, err
+	}
+	off += consumed
+	dir, off, err := parseChunkDirectory(data, off, int(count),
+		// A chunk of n symbols packs between n and n*MaxCodeLen bits.
+		func(extent int) int { return extent*huffman.MaxCodeLen/8 + 8 },
+		func(extent int) int { return (extent + 7) / 8 },
+	)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload := data[off : off+dir.total]
+	out := make([]uint32, count)
+	errs := make([]error, len(dir.bounds))
+	parallel.For(len(dir.bounds), workers, 1, func(i int) {
+		lo, hi := dir.bounds[i][0], dir.bounds[i][1]
+		var end int
+		if i+1 < len(dir.offsets) {
+			end = dir.offsets[i+1]
+		} else {
+			end = dir.total
+		}
+		bits, err := inflateExact(payload[dir.offsets[i]:end], dir.usizes[i], getChunkBuf())
+		if err != nil {
+			errs[i] = fmt.Errorf("chunk %d: %w", i, err)
+			return
+		}
+		if err := table.DecodeChunk(bits, out[lo:hi]); err != nil {
+			errs[i] = fmt.Errorf("chunk %d: %w", i, err)
+		}
+		putChunkBuf(bits)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return out, off + dir.total, nil
+}
+
+// parseRawSection reads the v2 verbatim-float section, inflating chunks
+// concurrently straight into their disjoint extents of the output.
+func parseRawSection(data []byte, off, workers int) ([]byte, int, error) {
+	rawLen, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("truncated length")
+	}
+	off += sz
+	if rawLen == 0 {
+		return nil, off, nil
+	}
+	if rawLen > maxDeflateRatio*uint64(len(data)-off)+64 {
+		return nil, 0, fmt.Errorf("raw length %d exceeds stream capacity", rawLen)
+	}
+	dir, off, err := parseChunkDirectory(data, off, int(rawLen),
+		// Raw chunk extents are byte counts, so the directory entry must
+		// match exactly.
+		func(extent int) int { return extent },
+		func(extent int) int { return extent },
+	)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload := data[off : off+dir.total]
+	raw := make([]byte, rawLen)
+	errs := make([]error, len(dir.bounds))
+	parallel.For(len(dir.bounds), workers, 1, func(i int) {
+		lo, hi := dir.bounds[i][0], dir.bounds[i][1]
+		var end int
+		if i+1 < len(dir.offsets) {
+			end = dir.offsets[i+1]
+		} else {
+			end = dir.total
+		}
+		errs[i] = inflateInto(payload[dir.offsets[i]:end], raw[lo:hi])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, 0, fmt.Errorf("chunk %d: %w", i, err)
+		}
+	}
+	return raw, off + dir.total, nil
+}
+
+// flateWriterPool recycles flate.Writer instances (each owns a ~300 KiB
+// dictionary/window state) across sections and chunks.
+var flateWriterPool sync.Pool
+
+// chunkBufPool recycles the per-chunk Huffman bit buffers used on both the
+// encode and decode sides.
+var chunkBufPool sync.Pool
+
+func getChunkBuf() []byte {
+	if p, ok := chunkBufPool.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, chunkSymbols)
+}
+
+func putChunkBuf(b []byte) {
+	chunkBufPool.Put(&b)
+}
+
+// deflate DEFLATE-compresses data with a pooled writer.
 func deflate(data []byte) ([]byte, error) {
 	var out bytes.Buffer
-	w, err := flate.NewWriter(&out, flate.DefaultCompression)
-	if err != nil {
-		return nil, err
+	w, _ := flateWriterPool.Get().(*flate.Writer)
+	if w == nil {
+		var err error
+		w, err = flate.NewWriter(&out, flate.DefaultCompression)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		w.Reset(&out)
 	}
+	defer flateWriterPool.Put(w)
 	if _, err := w.Write(data); err != nil {
 		return nil, err
 	}
@@ -134,10 +474,47 @@ func deflate(data []byte) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-func inflate(data []byte) ([]byte, error) {
+// inflateCap inflates data, failing if the output exceeds max bytes; the
+// cap turns decompression bombs into errors instead of allocations.
+func inflateCap(data []byte, max uint64) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(data))
 	defer r.Close()
-	return io.ReadAll(r)
+	out, err := io.ReadAll(io.LimitReader(r, int64(max)+1))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(out)) > max {
+		return nil, fmt.Errorf("inflated payload exceeds %d-byte cap", max)
+	}
+	return out, nil
+}
+
+// inflateExact inflates a chunk payload into buf (grown if needed) and
+// requires the output length to match the directory's uncompressed size.
+func inflateExact(data []byte, usize int, buf []byte) ([]byte, error) {
+	if cap(buf) < usize {
+		buf = make([]byte, usize)
+	}
+	buf = buf[:usize]
+	if err := inflateInto(data, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// inflateInto inflates data into exactly dst, rejecting payloads that
+// inflate short or long.
+func inflateInto(data []byte, dst []byte) error {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return fmt.Errorf("chunk inflates short of %d bytes: %w", len(dst), err)
+	}
+	var probe [1]byte
+	if n, _ := r.Read(probe[:]); n != 0 {
+		return fmt.Errorf("chunk inflates past its declared %d bytes", len(dst))
+	}
+	return nil
 }
 
 func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

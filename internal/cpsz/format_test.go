@@ -1,0 +1,336 @@
+package cpsz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strconv"
+	"testing"
+
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/huffman"
+	"tspsz/internal/parallel"
+)
+
+// serializeV1 writes the legacy single-stream layout: whole-section
+// Huffman passes wrapped in length-prefixed DEFLATE payloads. The
+// production writer emits v2 only; this copy exists so cross-version
+// tests and fuzz seeds can mint fresh v1 archives.
+func serializeV1(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(streamMagic)
+	buf.WriteByte(formatV1)
+	buf.WriteByte(byte(f.Dim()))
+	buf.WriteByte(byte(opts.Mode))
+	pb := byte(opts.Predictor)
+	if opts.Reference != nil {
+		pb |= temporalFlag
+	}
+	buf.WriteByte(pb)
+	nx, ny, nz := f.Grid.Dims()
+	for _, v := range []uint32{uint32(nx), uint32(ny), uint32(nz)} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, opts.ErrBound); err != nil {
+		return nil, err
+	}
+	for _, section := range [][]byte{huffman.Encode(ebSyms), huffman.Encode(quantSyms), raw} {
+		packed, err := deflate(section)
+		if err != nil {
+			return nil, err
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, uint64(len(packed))); err != nil {
+			return nil, err
+		}
+		buf.Write(packed)
+	}
+	return buf.Bytes(), nil
+}
+
+// rewriteAsV1 converts a v2 archive into the equivalent v1 archive by
+// re-serializing its parsed sections through the legacy writer.
+func rewriteAsV1(t *testing.T, f *field.Field, opts Options, v2 []byte) []byte {
+	t.Helper()
+	_, ebSyms, quantSyms, raw, err := parse(v2, 1)
+	if err != nil {
+		t.Fatalf("parse v2: %v", err)
+	}
+	v1, err := serializeV1(f, opts, ebSyms, quantSyms, raw)
+	if err != nil {
+		t.Fatalf("serializeV1: %v", err)
+	}
+	return v1
+}
+
+func fieldsEqual(t *testing.T, a, b *field.Field) {
+	t.Helper()
+	if a.Dim() != b.Dim() || a.NumVertices() != b.NumVertices() {
+		t.Fatal("field shapes differ")
+	}
+	for c, comp := range a.Components() {
+		other := b.Components()[c]
+		for i := range comp {
+			if comp[i] != other[i] {
+				t.Fatalf("component %d vertex %d: %v != %v", c, i, comp[i], other[i])
+			}
+		}
+	}
+}
+
+// TestV1CrossVersionDecode guards the compatibility promise: a v1 archive
+// of the same sections must decode to the exact field the v2 archive
+// produces, at every worker count.
+func TestV1CrossVersionDecode(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    *field.Field
+		opts Options
+	}{
+		{"2D-abs", gyre2D(48, 40), Options{Mode: ebound.Absolute, ErrBound: 0.01, Workers: 2}},
+		{"2D-rel", gyre2D(40, 32), Options{Mode: ebound.Relative, ErrBound: 0.05, Workers: 2}},
+		{"3D-abs", turb3D(16), Options{Mode: ebound.Absolute, ErrBound: 0.02, Workers: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Compress(tc.f, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bytes[4] != formatV2 {
+				t.Fatalf("writer emitted version %d, want %d", res.Bytes[4], formatV2)
+			}
+			v1 := rewriteAsV1(t, tc.f, tc.opts, res.Bytes)
+			if v1[4] != formatV1 {
+				t.Fatalf("legacy writer emitted version %d", v1[4])
+			}
+			want, err := Decompress(res.Bytes, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := Decompress(v1, workers)
+				if err != nil {
+					t.Fatalf("v1 decode (workers=%d): %v", workers, err)
+				}
+				fieldsEqual(t, want, got)
+			}
+		})
+	}
+}
+
+// TestV2DeterministicAcrossWorkerCounts pins the headline invariant of the
+// chunked entropy back-end: archive bytes are identical for every worker
+// count, and every worker count decodes every archive identically. The
+// field is large enough that each symbol section spans multiple chunks.
+func TestV2DeterministicAcrossWorkerCounts(t *testing.T) {
+	f := gyre2D(256, 192) // 49152 vertices -> quant section > 2 chunks
+	var ref []byte
+	var want *field.Field
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := Options{Mode: ebound.Absolute, ErrBound: 0.005, Workers: workers}
+		res, err := Compress(f, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(res.Bytes, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, want = res.Bytes, dec
+			continue
+		}
+		if !bytes.Equal(ref, res.Bytes) {
+			t.Fatalf("archive bytes differ between workers=1 and workers=%d", workers)
+		}
+		fieldsEqual(t, want, dec)
+	}
+}
+
+// buildSymbolSection mirrors appendSymbolSection but lets the test tamper
+// with the chunk directory before it is written, to model corrupt or
+// adversarial archives.
+func buildSymbolSection(t testing.TB, syms []uint32, tamper func(cc *uint64, usizes, csizes []uint64)) []byte {
+	t.Helper()
+	table := huffman.BuildTable(syms, 1)
+	bounds := parallel.Ranges(len(syms), chunkCount(len(syms), chunkSymbols))
+	usizes := make([]uint64, len(bounds))
+	csizes := make([]uint64, len(bounds))
+	var payload []byte
+	for i, b := range bounds {
+		bits := table.EncodeChunk(nil, syms[b[0]:b[1]])
+		packed, err := deflate(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		usizes[i] = uint64(len(bits))
+		csizes[i] = uint64(len(packed))
+		payload = append(payload, packed...)
+	}
+	cc := uint64(len(bounds))
+	if tamper != nil {
+		tamper(&cc, usizes, csizes)
+	}
+	out := binary.AppendUvarint(nil, uint64(len(syms)))
+	out = table.AppendTable(out)
+	out = binary.AppendUvarint(out, cc)
+	for i := range usizes {
+		out = binary.AppendUvarint(out, usizes[i])
+		out = binary.AppendUvarint(out, csizes[i])
+	}
+	return append(out, payload...)
+}
+
+func manySyms(n int) []uint32 {
+	syms := make([]uint32, n)
+	for i := range syms {
+		syms[i] = uint32(i*2654435761) % 97 // deterministic, multi-chunk alphabet
+	}
+	return syms
+}
+
+// TestV2ChunkDirectoryLies drives parseSymbolSection with directories that
+// lie about chunk counts and sizes: every lie must surface as an error —
+// never a panic, hang, or silent mis-decode.
+func TestV2ChunkDirectoryLies(t *testing.T) {
+	syms := manySyms(3*chunkSymbols + 1000) // 4 chunks
+	lies := []struct {
+		name   string
+		tamper func(cc *uint64, usizes, csizes []uint64)
+	}{
+		{"chunk-count-zero", func(cc *uint64, _, _ []uint64) { *cc = 0 }},
+		{"chunk-count-low", func(cc *uint64, _, _ []uint64) { *cc = 1 }},
+		{"chunk-count-high", func(cc *uint64, _, _ []uint64) { *cc = 9 }},
+		{"chunk-count-huge", func(cc *uint64, _, _ []uint64) { *cc = 1 << 40 }},
+		{"usize-zero", func(_ *uint64, usizes, _ []uint64) { usizes[0] = 0 }},
+		{"usize-short", func(_ *uint64, usizes, _ []uint64) { usizes[1]-- }},
+		{"usize-long", func(_ *uint64, usizes, _ []uint64) { usizes[1]++ }},
+		{"usize-bomb", func(_ *uint64, usizes, _ []uint64) { usizes[2] = 1 << 40 }},
+		{"csize-overlap", func(_ *uint64, _, csizes []uint64) { csizes[0]++ }}, // chunk 1 starts inside chunk 0
+		{"csize-short", func(_ *uint64, _, csizes []uint64) { csizes[2]-- }},
+		{"csize-huge", func(_ *uint64, _, csizes []uint64) { csizes[3] = 1 << 40 }},
+	}
+	for _, lie := range lies {
+		t.Run(lie.name, func(t *testing.T) {
+			sec := buildSymbolSection(t, syms, lie.tamper)
+			if _, _, err := parseSymbolSection(sec, 0, 2); err == nil {
+				t.Fatal("lying directory parsed without error")
+			}
+		})
+	}
+	// Control: the untampered section round-trips.
+	sec := buildSymbolSection(t, syms, nil)
+	got, off, err := parseSymbolSection(sec, 0, 2)
+	if err != nil {
+		t.Fatalf("untampered section: %v", err)
+	}
+	if off != len(sec) {
+		t.Fatalf("consumed %d of %d bytes", off, len(sec))
+	}
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d, want %d", i, got[i], syms[i])
+		}
+	}
+}
+
+// TestV2TruncatedDirectory cuts a multi-chunk section at every byte
+// boundary inside its directory; every prefix must error.
+func TestV2TruncatedDirectory(t *testing.T) {
+	syms := manySyms(2*chunkSymbols + 10)
+	sec := buildSymbolSection(t, syms, nil)
+	// The directory sits between the codebook and the payload; cutting
+	// anywhere before the payload end must fail.
+	for cut := 0; cut < len(sec); cut += 7 {
+		if _, _, err := parseSymbolSection(sec[:cut], 0, 1); err == nil {
+			t.Fatalf("section truncated to %d of %d bytes parsed", cut, len(sec))
+		}
+	}
+}
+
+// TestV1InflateCapRejectsOversize guards the v1 reader's allocation cap: a
+// section whose DEFLATE payload inflates beyond any size a valid archive
+// could back is rejected instead of materialized.
+func TestV1InflateCapRejectsOversize(t *testing.T) {
+	// A payload of highly compressible bytes inflates ~1000x; with the cap
+	// forced low the reader must reject it rather than allocate.
+	big := make([]byte, 1<<20)
+	packed, err := deflate(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inflateCap(packed, 1<<10); err == nil {
+		t.Fatal("payload inflating past the cap was accepted")
+	}
+	if got, err := inflateCap(packed, 1<<20); err != nil || len(got) != len(big) {
+		t.Fatalf("payload within cap rejected: %v", err)
+	}
+}
+
+// TestV2RejectsTrailingBytes: v2 archives are exact — trailing junk after
+// the final section is corruption, not padding.
+func TestV2RejectsTrailingBytes(t *testing.T) {
+	res, err := Compress(gyre2D(16, 12), Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(append(append([]byte{}, res.Bytes...), 0xAB), 1); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// entropyFixture compresses a field large enough that every section spans
+// many chunks, and returns the pieces serialize/parse operate on.
+func entropyFixture(b *testing.B) (*field.Field, Options, []uint32, []uint32, []byte, []byte) {
+	b.Helper()
+	f := gyre2D(512, 512)
+	opts := Options{Mode: ebound.Absolute, ErrBound: 0.001}
+	res, err := Compress(f, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, ebSyms, quantSyms, raw, err := parse(res.Bytes, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, opts, ebSyms, quantSyms, raw, res.Bytes
+}
+
+// BenchmarkSerialize measures the entropy-coding stage of compression
+// (shared-codebook build, chunked Huffman, chunked DEFLATE) in isolation
+// across worker counts.
+func BenchmarkSerialize(b *testing.B) {
+	f, opts, ebSyms, quantSyms, raw, _ := entropyFixture(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			b.SetBytes(int64(f.SizeBytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := serialize(f, o, ebSyms, quantSyms, raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParse measures the entropy-decoding stage of decompression
+// (chunked inflate + chunked Huffman decode) in isolation across worker
+// counts.
+func BenchmarkParse(b *testing.B) {
+	f, _, _, _, _, stream := entropyFixture(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			b.SetBytes(int64(f.SizeBytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, _, err := parse(stream, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

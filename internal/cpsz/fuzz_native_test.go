@@ -6,12 +6,15 @@ import (
 	"tspsz/internal/ebound"
 )
 
-// FuzzDecompressTruncated feeds the decompressor arbitrary mutations of a
-// valid stream AND every reachable byte prefix of it: truncation anywhere
-// in the header, section table, or packed payload must surface as an
-// error — never a panic, hang, or silent success with a nil field.
+// FuzzDecompressTruncated feeds the decompressor arbitrary mutations of
+// valid v1 and v2 streams AND every reachable byte prefix of them:
+// truncation anywhere in the header, codebook, chunk directory, or packed
+// payload must surface as an error — never a panic, hang, unbounded
+// allocation, or silent success with a nil field.
 func FuzzDecompressTruncated(f *testing.F) {
-	valid, err := Compress(gyre2D(16, 12), Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1})
+	field2d := gyre2D(16, 12)
+	opts := Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1}
+	valid, err := Compress(field2d, opts)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -23,6 +26,24 @@ func FuzzDecompressTruncated(f *testing.F) {
 			f.Add(stream[:cut], uint16(cut))
 		}
 	}
+	// Legacy-layout seed: the v1 reader must stay as robust as the v2 one.
+	_, ebSyms, quantSyms, raw, err := parse(stream, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := serializeV1(field2d, opts, ebSyms, quantSyms, raw)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1, uint16(len(v1)))
+	f.Add(v1[:len(v1)/2], uint16(0))
+	// Regression seed for the unbounded-inflate crasher: a chunk directory
+	// claiming a huge uncompressed size from a tiny payload must be
+	// rejected by the size cap, not materialized by io.ReadAll.
+	bomb := buildSymbolSection(f, manySyms(chunkSymbols+10),
+		func(_ *uint64, usizes, _ []uint64) { usizes[0] = 1 << 40 })
+	f.Add(append(append([]byte{}, stream[:headerBytes]...), bomb...), uint16(0))
+
 	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
 		// Arbitrary (mutated) bytes.
 		if fld, err := Decompress(data, 1); err == nil && fld == nil {

@@ -158,55 +158,19 @@ func (w *bitWriter) flush() {
 }
 
 // Encode Huffman-codes the symbol stream into a self-contained byte slice
-// including the canonical code table.
+// including the canonical code table. The layout is: varint count, the
+// AppendTable codebook (canonical order sorts primarily by length, so
+// symbols are stored as zigzag deltas in (length, symbol) order), then the
+// packed code bits — i.e. a single-chunk stream over a one-shot Table.
 func Encode(symbols []uint32) []byte {
-	// Header: varint count; varint distinct; per distinct symbol:
-	// varint symbol delta (sorted), then packed 6-bit lengths? Keep it
-	// simple and robust: varint symbol, single byte length.
 	var out []byte
 	out = binary.AppendUvarint(out, uint64(len(symbols)))
 	if len(symbols) == 0 {
 		return out
 	}
-	freqMap := make(map[uint32]uint64)
-	for _, s := range symbols {
-		freqMap[s]++
-	}
-	syms := make([]uint32, 0, len(freqMap))
-	//lint:allow determinism iteration only collects the key set; it is sorted on the next line before anything reaches the stream
-	for s := range freqMap {
-		syms = append(syms, s)
-	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-	freqs := make([]uint64, len(syms))
-	for i, s := range syms {
-		freqs[i] = freqMap[s]
-	}
-	lens := codeLengths(syms, freqs)
-	c := buildCanonical(syms, lens)
-
-	out = binary.AppendUvarint(out, uint64(len(c.syms)))
-	prev := uint32(0)
-	for i := range c.syms {
-		// Canonical order sorts primarily by length, so symbol deltas may
-		// be negative; store raw symbols in (length, symbol) order with a
-		// zigzag delta to stay compact for dense alphabets.
-		out = binary.AppendUvarint(out, zigzag(int64(c.syms[i])-int64(prev)))
-		prev = c.syms[i]
-		out = append(out, c.lens[i])
-	}
-
-	lookup := make(map[uint32]int, len(c.syms))
-	for i, s := range c.syms {
-		lookup[s] = i
-	}
-	w := bitWriter{buf: out}
-	for _, s := range symbols {
-		i := lookup[s]
-		w.writeBits(c.code[i], c.lens[i])
-	}
-	w.flush()
-	return w.buf
+	t := BuildTable(symbols, 1)
+	out = t.AppendTable(out)
+	return t.EncodeChunk(out, symbols)
 }
 
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
@@ -222,164 +186,21 @@ func Decode(data []byte) ([]uint32, error) {
 	if count == 0 {
 		return nil, nil
 	}
-	distinct, n := binary.Uvarint(data)
-	if n <= 0 {
-		return nil, fmt.Errorf("huffman: truncated table size")
-	}
-	data = data[n:]
-	if distinct == 0 || distinct > count {
-		return nil, fmt.Errorf("huffman: invalid table size %d for %d symbols", distinct, count)
-	}
-	// Every table entry takes at least 2 bytes and every symbol at least a
-	// fraction of a bit; reject counts a corrupted stream cannot back,
-	// before allocating anything proportional to them.
-	if distinct > uint64(len(data))/2+1 {
-		return nil, fmt.Errorf("huffman: table size %d exceeds stream capacity", distinct)
-	}
+	// Every symbol takes at least a fraction of a bit; reject counts a
+	// corrupted stream cannot back, before allocating anything
+	// proportional to them.
 	if count > 8*uint64(len(data))+64 {
 		return nil, fmt.Errorf("huffman: symbol count %d exceeds stream capacity", count)
 	}
-	syms := make([]uint32, distinct)
-	lens := make([]uint8, distinct)
-	prev := int64(0)
-	maxLen := uint8(0)
-	for i := range syms {
-		d, n := binary.Uvarint(data)
-		if n <= 0 || len(data) < n+1 {
-			return nil, fmt.Errorf("huffman: truncated table entry %d", i)
-		}
-		prev += unzigzag(d)
-		syms[i] = uint32(prev)
-		data = data[n:]
-		lens[i] = data[0]
-		data = data[1:]
-		if lens[i] == 0 || lens[i] > 58 {
-			return nil, fmt.Errorf("huffman: invalid code length %d", lens[i])
-		}
-		if lens[i] > maxLen {
-			maxLen = lens[i]
-		}
+	t, consumed, err := ParseTable(data, count)
+	if err != nil {
+		return nil, err
 	}
-	// Rebuild canonical codes: entries already stored in canonical order.
-	// firstCode[l], firstIndex[l]: canonical decoding tables.
-	firstCode := make([]uint64, maxLen+2)
-	countAt := make([]int, maxLen+2)
-	for _, l := range lens {
-		countAt[l]++
+	out := make([]uint32, count)
+	if err := t.decodeBits(data[consumed:], out); err != nil {
+		return nil, err
 	}
-	var code uint64
-	firstIndex := make([]int, maxLen+2)
-	idx := 0
-	for l := uint8(1); l <= maxLen; l++ {
-		firstCode[l] = code
-		firstIndex[l] = idx
-		// Kraft validity: the canonical codes of length l must fit in l
-		// bits. An over-subscribed corrupt table would otherwise overflow
-		// into neighbouring lookup-table slots (index out of range).
-		if firstCode[l]+uint64(countAt[l]) > 1<<l {
-			return nil, fmt.Errorf("huffman: over-subscribed code lengths at %d bits", l)
-		}
-		code = (code + uint64(countAt[l])) << 1
-		idx += countAt[l]
-	}
-	// Validate monotone lengths (canonical order).
-	for i := 1; i < len(lens); i++ {
-		if lens[i] < lens[i-1] {
-			return nil, fmt.Errorf("huffman: non-canonical table order")
-		}
-	}
-
-	// Primary lookup table: any code of length <= tableBits resolves in a
-	// single peek; longer codes fall back to the canonical per-length walk.
-	const tableBits = 11
-	type tentry struct {
-		sym uint32
-		len uint8
-	}
-	var table []tentry
-	if maxLen >= 1 {
-		tb := int(maxLen)
-		if tb > tableBits {
-			tb = tableBits
-		}
-		table = make([]tentry, 1<<tb)
-		for i := range syms {
-			l := lens[i]
-			if int(l) > tb {
-				continue
-			}
-			// Reconstruct this symbol's canonical code.
-			code := firstCode[l] + uint64(i-firstIndex[l])
-			base := code << (uint(tb) - uint(l))
-			span := uint64(1) << (uint(tb) - uint(l))
-			for e := uint64(0); e < span; e++ {
-				table[base+e] = tentry{sym: syms[i], len: l}
-			}
-		}
-		// Decode with a bit accumulator refilled bytewise.
-		out := make([]uint32, 0, count)
-		var acc uint64
-		var nacc uint // bits available in acc (MSB-aligned in low bits)
-		bitPos := 0
-		total := uint64(len(data)) * 8
-		consumed := uint64(0)
-		for uint64(len(out)) < count {
-			for nacc <= 56 && bitPos < len(data) {
-				acc = acc<<8 | uint64(data[bitPos])
-				bitPos++
-				nacc += 8
-			}
-			if nacc == 0 {
-				return nil, fmt.Errorf("huffman: bitstream exhausted after %d of %d symbols", len(out), count)
-			}
-			// Peek up to tb bits (zero-padded at stream end).
-			var peek uint64
-			if nacc >= uint(tb) {
-				peek = (acc >> (nacc - uint(tb))) & ((1 << uint(tb)) - 1)
-			} else {
-				peek = (acc << (uint(tb) - nacc)) & ((1 << uint(tb)) - 1)
-			}
-			e := table[peek]
-			if e.len != 0 && uint(e.len) <= nacc && consumed+uint64(e.len) <= total {
-				out = append(out, e.sym)
-				nacc -= uint(e.len)
-				consumed += uint64(e.len)
-				continue
-			}
-			// Fallback: canonical walk for long codes, bit by bit.
-			var code uint64
-			var l uint8
-			matched := false
-			for !matched {
-				if nacc == 0 {
-					if bitPos >= len(data) {
-						return nil, fmt.Errorf("huffman: bitstream exhausted after %d of %d symbols", len(out), count)
-					}
-					acc = acc<<8 | uint64(data[bitPos])
-					bitPos++
-					nacc += 8
-				}
-				bit := (acc >> (nacc - 1)) & 1
-				nacc--
-				consumed++
-				code = code<<1 | bit
-				l++
-				if l > maxLen {
-					return nil, fmt.Errorf("huffman: invalid code (length > %d)", maxLen)
-				}
-				if countAt[l] == 0 {
-					continue
-				}
-				offset := code - firstCode[l]
-				if code >= firstCode[l] && offset < uint64(countAt[l]) {
-					out = append(out, syms[firstIndex[l]+int(offset)])
-					matched = true
-				}
-			}
-		}
-		return out, nil
-	}
-	return nil, fmt.Errorf("huffman: empty code table")
+	return out, nil
 }
 
 // MaxCodeLen is a sanity bound on code lengths; streams with more than 2^58

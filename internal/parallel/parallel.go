@@ -88,6 +88,21 @@ func For(n, workers, grain int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ReduceRanges splits [0, n) into the deterministic Ranges(n, parts)
+// boundaries, computes fn(lo, hi) for each concurrently on up to `workers`
+// goroutines, and returns the per-range results in range order. It is the
+// map half of a parallel reduction: callers merge the returned slice
+// serially (e.g. per-worker histogram tables summed into one), which keeps
+// the merged result independent of scheduling.
+func ReduceRanges[T any](n, parts, workers int, fn func(lo, hi int) T) []T {
+	ranges := Ranges(n, parts)
+	out := make([]T, len(ranges))
+	For(len(ranges), workers, 1, func(i int) {
+		out[i] = fn(ranges[i][0], ranges[i][1])
+	})
+	return out
+}
+
 // Ranges returns the deterministic chunk boundaries ForChunks would use:
 // a slice of [lo, hi) pairs covering [0, n).
 func Ranges(n, workers int) [][2]int {
