@@ -14,8 +14,10 @@ vet:
 
 # Repo-specific invariants (robust float comparisons, centralized
 # concurrency, deterministic kernels, checked codec I/O, no lossy
-# narrowing). See `go run ./cmd/tsplint -help` for the check list and the
-# //lint:allow suppression syntax.
+# narrowing, and taint-tracked stream values: no allocation size or slice
+# index from the compressed stream without a dominating bound check). See
+# `go run ./cmd/tsplint -help` for the check list and the //lint:allow
+# suppression syntax.
 lint:
 	$(GO) run ./cmd/tsplint ./...
 

@@ -2,7 +2,9 @@
 // the numeric-robustness and parallelism invariants the Go compiler cannot
 // check: robust float comparisons near critical points, centralized
 // concurrency, deterministic encoder kernels, checked codec I/O errors,
-// and no lossy narrowing in the error-bound derivation.
+// no lossy narrowing in the error-bound derivation, and — via a
+// CFG-based taint analysis — no allocation sizes or slice indices taken
+// from the untrusted compressed stream without a dominating bound check.
 //
 // Usage:
 //
@@ -33,7 +35,8 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("tsplint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	jsonOut := fs.Bool("json", false, "shorthand for -format=json")
+	format := fs.String("format", "text", "output format: text, json, or github (workflow ::error annotations)")
 	listChecks := fs.Bool("list", false, "list available checks and exit")
 	quietTypes := fs.Bool("q", false, "suppress type-check warnings on stderr")
 	enabled := make(map[string]bool)
@@ -81,8 +84,12 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	findings := analysis.Run(pkgs, analysis.Options{Enabled: enabled})
 	if *jsonOut {
+		*format = "json"
+	}
+	findings := analysis.Run(pkgs, analysis.Options{Enabled: enabled})
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -92,18 +99,46 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, "tsplint:", err)
 			return 2
 		}
-	} else {
+	case "github":
+		// GitHub Actions workflow commands: one ::error annotation per
+		// finding, surfaced inline on the PR diff by the runner.
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s\n",
+				ghEscapeProp(f.File), f.Line, f.Col,
+				ghEscapeData(fmt.Sprintf("[%s] %s", f.Check, f.Message)))
+		}
+	case "text":
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
+	default:
+		fmt.Fprintf(stderr, "tsplint: unknown -format %q (want text, json, or github)\n", *format)
+		return 2
 	}
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if *format == "text" {
 			fmt.Fprintf(stdout, "tsplint: %d finding(s)\n", len(findings))
 		}
 		return 1
 	}
 	return 0
+}
+
+// ghEscapeData escapes the message part of a workflow command.
+func ghEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghEscapeProp escapes a workflow-command property value, which
+// additionally reserves ':' and ','.
+func ghEscapeProp(s string) string {
+	s = ghEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 func usage(fs *flag.FlagSet, stderr *os.File) {

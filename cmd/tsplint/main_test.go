@@ -140,3 +140,52 @@ func TestExitTwoOnBadPattern(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestGithubFormat(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": dirtySrc})
+	code, out := runIn(t, dir, "-format=github", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	want := "::error file=internal/foo/a.go,line=3,col="
+	if !strings.HasPrefix(out, want) {
+		t.Fatalf("want workflow command starting %q, got:\n%s", want, out)
+	}
+	if !strings.Contains(out, "::[floatcmp] ") {
+		t.Fatalf("annotation message missing check tag:\n%s", out)
+	}
+	if strings.Contains(out, "finding(s)") {
+		t.Fatalf("github mode must not print the text-mode trailer:\n%s", out)
+	}
+}
+
+func TestGithubFormatCleanTree(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": cleanSrc})
+	code, out := runIn(t, dir, "-format=github", "./...")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("exit %d, output %q; want silent success", code, out)
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	dir := writeFixture(t, map[string]string{"internal/foo/a.go": cleanSrc})
+	code, _ := runIn(t, dir, "-format=sarif", "./...")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 on unknown format", code)
+	}
+}
+
+func TestGithubEscaping(t *testing.T) {
+	for _, tc := range []struct{ in, data, prop string }{
+		{"a%b", "a%25b", "a%25b"},
+		{"a\nb", "a%0Ab", "a%0Ab"},
+		{"a:b,c", "a:b,c", "a%3Ab%2Cc"},
+	} {
+		if got := ghEscapeData(tc.in); got != tc.data {
+			t.Errorf("ghEscapeData(%q) = %q, want %q", tc.in, got, tc.data)
+		}
+		if got := ghEscapeProp(tc.in); got != tc.prop {
+			t.Errorf("ghEscapeProp(%q) = %q, want %q", tc.in, got, tc.prop)
+		}
+	}
+}

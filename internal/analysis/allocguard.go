@@ -1,0 +1,32 @@
+package analysis
+
+// allocguard flags allocations whose size is controlled by the untrusted
+// compressed stream without a dominating bound check. This is the bug
+// class behind two shipped fixes: the unbounded DEFLATE inflate (a
+// 100-byte stream could claim and allocate gigabytes) and the chunk
+// directory lies (fabricated usize/count driving huge buffers). The
+// dataflow engine in taint.go and cfg.go does the work; this file only
+// packages its allocation-sink findings as a check.
+//
+// Sinks: make() sizes and capacities, bytes.Buffer.Grow / slices.Grow,
+// io.ReadAll / io.Copy on a decompressor reader not wrapped in
+// io.LimitReader, and the module's sized field allocators
+// (field.New2D/New3D), whose allocation is proportional to the product
+// of their arguments.
+//
+// The fix is a bound that dominates the allocation: compare the value
+// against a constant or a quantity derived from the actual stream length
+// (every DEFLATE byte inflates to at most ~1032 bytes, every symbol
+// occupies at least a fixed number of stream bytes) and reject the
+// stream before allocating.
+
+func allocguardCheck() *Check {
+	return &Check{
+		Name: "allocguard",
+		Doc: "allocation sizes read from the compressed stream must be bounded " +
+			"by a dominating check before make/Grow/inflate (decompression-bomb defense)",
+		Run: func(p *Package) []Finding {
+			return p.taintFindings().alloc
+		},
+	}
+}

@@ -15,6 +15,16 @@
 //	              calls in the codec format paths
 //	narrowing   — no float32(...) conversions of float64 expressions in
 //	              the error-bound derivation
+//	allocguard  — no allocation (make, Buffer.Grow, LimitReader-less
+//	              inflate, sized field allocators) whose size derives
+//	              from the untrusted stream without a dominating bound
+//	indexguard  — no slice/array index or slice bound that derives from
+//	              the untrusted stream without a dominating range check
+//
+// allocguard and indexguard are dataflow checks: a per-function CFG
+// (cfg.go) plus a forward taint analysis (taint.go) tracks values
+// decoded from the stream to allocation and indexing sinks, treating
+// dominating comparisons against trusted quantities as sanitizers.
 //
 // A finding on a specific line can be suppressed with a trailing or
 // immediately preceding comment of the form
@@ -23,7 +33,9 @@
 //
 // The reason is free text and should say why the flagged construct is
 // sound; blanket (file- or package-level) suppression is intentionally
-// not supported.
+// not supported. A directive naming an unknown check is itself reported
+// (as check "allow") rather than silently accepted, so typos cannot
+// mask real findings.
 package analysis
 
 import (
@@ -61,6 +73,8 @@ func AllChecks() []*Check {
 		determinismCheck(),
 		ioerrorsCheck(),
 		narrowingCheck(),
+		allocguardCheck(),
+		indexguardCheck(),
 	}
 }
 
@@ -93,7 +107,10 @@ func (o Options) enabled(name string) bool {
 func Run(pkgs []*Package, opts Options) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
-		sup := collectSuppressions(p)
+		sup, bad := collectSuppressions(p)
+		// Malformed directives are reported unconditionally: a typoed
+		// check name silently masking findings is worse than any noise.
+		out = append(out, bad...)
 		for _, c := range AllChecks() {
 			if !opts.enabled(c.Name) {
 				continue

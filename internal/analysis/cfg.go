@@ -1,0 +1,361 @@
+package analysis
+
+// cfg.go builds a per-function control-flow graph from the AST, the
+// substrate of the taint analysis in taint.go. The graph is deliberately
+// lightweight (stdlib only — golang.org/x/tools/go/ssa is unavailable to
+// this module): blocks hold straight-line statements and condition
+// expressions in execution order, and edges carry the branch condition
+// (with polarity) or the switch tag/case-value pair that guards them, so
+// the dataflow can refine facts per edge without a separate dominator
+// computation: a check dominates a sink iff every CFG path to the sink
+// passes through a refining edge.
+//
+// Handled control flow: if/else chains, for (init/cond/post), range,
+// switch (tag and tagless) with fallthrough, type switch, select,
+// labeled break/continue, and goto. Short-circuit &&/|| is not expanded
+// into blocks; the edge refinement in taint.go decomposes the condition
+// expression analytically, which is equivalent for condition-only facts.
+// Function literals are not inlined — each is analyzed as its own
+// function.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one straight-line run of statements.
+type cfgBlock struct {
+	// nodes holds simple statements and evaluated condition expressions
+	// in execution order. Entries are either ast.Stmt (assignment, call,
+	// declaration, return, ...) or ast.Expr (an if/for/switch condition
+	// or switch tag evaluated at the end of the block).
+	nodes []ast.Node
+	succs []cfgEdge
+}
+
+// cfgEdge is one control transfer. At most one of cond/tag is set.
+type cfgEdge struct {
+	to *cfgBlock
+	// cond, when non-nil, is the branch condition of the source block;
+	// the edge is taken when it evaluates to !neg.
+	cond ast.Expr
+	neg  bool
+	// tag/vals, when set, mark a switch-case edge: the edge is taken
+	// when tag equals one of vals.
+	tag  ast.Expr
+	vals []ast.Expr
+}
+
+// cfgGraph is the control-flow graph of one function body.
+type cfgGraph struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+// loopFrame is one enclosing breakable construct during construction.
+type loopFrame struct {
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select frames
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+type cfgBuilder struct {
+	g            *cfgGraph
+	cur          *cfgBlock
+	frames       []*loopFrame          // innermost last
+	labelFrames  map[string]*loopFrame // labeled loops/switches
+	labelBlocks  map[string]*cfgBlock  // goto targets
+	gotos        []pendingGoto
+	pendingLabel string    // label awaiting the next loop/switch
+	fallTarget   *cfgBlock // next case body, for fallthrough
+}
+
+// buildCFG constructs the control-flow graph of one function body.
+func buildCFG(body *ast.BlockStmt) *cfgGraph {
+	b := &cfgBuilder{
+		g:           &cfgGraph{},
+		labelFrames: make(map[string]*loopFrame),
+		labelBlocks: make(map[string]*cfgBlock),
+	}
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	b.stmt(body)
+	for _, pg := range b.gotos {
+		if tgt := b.labelBlocks[pg.label]; tgt != nil {
+			pg.from.succs = append(pg.from.succs, cfgEdge{to: tgt})
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// jump adds an unconditional edge from the current block and continues in
+// to.
+func (b *cfgBuilder) jump(to *cfgBlock) {
+	b.cur.succs = append(b.cur.succs, cfgEdge{to: to})
+	b.cur = to
+}
+
+// terminate ends the current path (return, break, ...): subsequent
+// statements land in a fresh unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+// takeLabel consumes the label pending for the next loop/switch.
+func (b *cfgBuilder) takeLabel(f *loopFrame) {
+	if b.pendingLabel != "" {
+		b.labelFrames[b.pendingLabel] = f
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, s2 := range s.List {
+			b.stmt(s2)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		after := b.newBlock()
+		elseEntry := after
+		if s.Else != nil {
+			elseEntry = b.newBlock()
+		}
+		condBlk.succs = append(condBlk.succs,
+			cfgEdge{to: thenBlk, cond: s.Cond},
+			cfgEdge{to: elseEntry, cond: s.Cond, neg: true})
+		b.cur = thenBlk
+		b.stmt(s.Body)
+		b.jumpIfLive(after)
+		if s.Else != nil {
+			b.cur = elseEntry
+			b.stmt(s.Else)
+			b.jumpIfLive(after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		head := b.newBlock()
+		b.jump(head)
+		body := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			head.succs = append(head.succs,
+				cfgEdge{to: body, cond: s.Cond},
+				cfgEdge{to: after, cond: s.Cond, neg: true})
+		} else {
+			head.succs = append(head.succs, cfgEdge{to: body})
+		}
+		contTo := head
+		if s.Post != nil {
+			post := b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			post.succs = append(post.succs, cfgEdge{to: head})
+			contTo = post
+		}
+		frame := &loopFrame{breakTo: after, continueTo: contTo}
+		b.takeLabel(frame)
+		b.frames = append(b.frames, frame)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jumpIfLive(contTo)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.jump(head)
+		head.nodes = append(head.nodes, s) // transfer taints key/value vars
+		body := b.newBlock()
+		after := b.newBlock()
+		head.succs = append(head.succs, cfgEdge{to: body}, cfgEdge{to: after})
+		frame := &loopFrame{breakTo: after, continueTo: head}
+		b.takeLabel(frame)
+		b.frames = append(b.frames, frame)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jumpIfLive(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.buildSwitch(s.Body, func(condBlk, caseBlk *cfgBlock, cc *ast.CaseClause) {
+			if cc.List == nil { // default
+				condBlk.succs = append(condBlk.succs, cfgEdge{to: caseBlk})
+				return
+			}
+			if s.Tag != nil {
+				condBlk.succs = append(condBlk.succs,
+					cfgEdge{to: caseBlk, tag: s.Tag, vals: cc.List})
+				return
+			}
+			// Tagless switch: each case expression is a boolean condition.
+			for _, e := range cc.List {
+				condBlk.succs = append(condBlk.succs, cfgEdge{to: caseBlk, cond: e})
+			}
+		})
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s) // transfer taints the per-clause implicit objects
+		b.buildSwitch(s.Body, func(condBlk, caseBlk *cfgBlock, _ *ast.CaseClause) {
+			condBlk.succs = append(condBlk.succs, cfgEdge{to: caseBlk})
+		})
+	case *ast.SelectStmt:
+		condBlk := b.cur
+		after := b.newBlock()
+		frame := &loopFrame{breakTo: after}
+		b.takeLabel(frame)
+		b.frames = append(b.frames, frame)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			condBlk.succs = append(condBlk.succs, cfgEdge{to: blk})
+			b.cur = blk
+			if cc.Comm != nil {
+				b.emit(cc.Comm)
+			}
+			for _, s2 := range cc.Body {
+				b.stmt(s2)
+			}
+			b.jumpIfLive(after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.LabeledStmt:
+		lbl := b.newBlock()
+		b.jump(lbl)
+		b.labelBlocks[s.Label.Name] = lbl
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(s.Label, false); f != nil {
+				b.cur.succs = append(b.cur.succs, cfgEdge{to: f.breakTo})
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if f := b.findFrame(s.Label, true); f != nil {
+				b.cur.succs = append(b.cur.succs, cfgEdge{to: f.continueTo})
+			}
+			b.terminate()
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.cur.succs = append(b.cur.succs, cfgEdge{to: b.fallTarget})
+			}
+			b.terminate()
+		}
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.terminate()
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// AssignStmt, DeclStmt, ExprStmt, IncDecStmt, SendStmt,
+		// DeferStmt, GoStmt: straight-line.
+		b.emit(s)
+	}
+}
+
+// buildSwitch shares the clause scaffolding of value and type switches:
+// addEdge wires the dispatch edge from the condition block to one clause.
+func (b *cfgBuilder) buildSwitch(body *ast.BlockStmt, addEdge func(condBlk, caseBlk *cfgBlock, cc *ast.CaseClause)) {
+	condBlk := b.cur
+	after := b.newBlock()
+	frame := &loopFrame{breakTo: after}
+	b.takeLabel(frame)
+	b.frames = append(b.frames, frame)
+
+	clauses := body.List
+	caseBlks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		caseBlks[i] = b.newBlock()
+		if cc.List == nil {
+			hasDefault = true
+		}
+		addEdge(condBlk, caseBlks[i], cc)
+	}
+	if !hasDefault {
+		condBlk.succs = append(condBlk.succs, cfgEdge{to: after})
+	}
+	savedFall := b.fallTarget
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.fallTarget = nil
+		if i+1 < len(clauses) {
+			b.fallTarget = caseBlks[i+1]
+		}
+		b.cur = caseBlks[i]
+		for _, s2 := range cc.Body {
+			b.stmt(s2)
+		}
+		b.jumpIfLive(after)
+	}
+	b.fallTarget = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// jumpIfLive adds an edge to `to` unless the current block already ended
+// (it is an unreachable continuation created by terminate with no content
+// and no predecessors — adding the edge is harmless either way, so this
+// simply always links; unreachable blocks carry no dataflow state).
+func (b *cfgBuilder) jumpIfLive(to *cfgBlock) {
+	b.cur.succs = append(b.cur.succs, cfgEdge{to: to})
+}
+
+// findFrame resolves a break (wantContinue=false) or continue
+// (wantContinue=true) target, honoring an optional label.
+func (b *cfgBuilder) findFrame(label *ast.Ident, wantContinue bool) *loopFrame {
+	if label != nil {
+		f := b.labelFrames[label.Name]
+		if f != nil && wantContinue && f.continueTo == nil {
+			return nil
+		}
+		return f
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if !wantContinue || f.continueTo != nil {
+			return f
+		}
+	}
+	return nil
+}

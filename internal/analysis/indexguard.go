@@ -1,0 +1,26 @@
+package analysis
+
+// indexguard flags slice/array/string indexing and slicing whose index or
+// bound is controlled by the untrusted compressed stream without a
+// dominating range check — the shape of the Huffman over-subscribed-table
+// out-of-bounds panic fixed in PR 1, where code lengths read from the
+// stream indexed the per-length count table before the Kraft inequality
+// was enforced. The dataflow engine in taint.go and cfg.go does the
+// work; this file only packages its index-sink findings as a check.
+//
+// Maps are exempt (no out-of-range access exists); generic type
+// instantiations are recognized and skipped. The fix is a range check
+// that dominates the access: validate the decoded value against the
+// indexed container's real length (or a constant capacity) on every path
+// to the access.
+
+func indexguardCheck() *Check {
+	return &Check{
+		Name: "indexguard",
+		Doc: "slice/array indices and slice bounds read from the compressed " +
+			"stream must be range-checked on every path before use",
+		Run: func(p *Package) []Finding {
+			return p.taintFindings().index
+		},
+	}
+}

@@ -10,8 +10,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+
+	"tspsz/internal/parallel"
 )
 
 // Package is one loaded, type-checked package of the module under analysis.
@@ -29,6 +32,23 @@ type Package struct {
 	TypeErrors []error
 
 	mod *Module
+
+	// Shared result of the taint engine (taint.go), computed on first
+	// demand by either allocguard or indexguard.
+	taintOnce sync.Once
+	taintRes  *taintResults
+}
+
+// pkgSlot is the per-package loader cell. Slots for the whole dependency
+// closure are created up front, so the waves of parallel type-checking
+// only ever write their own slot and read slots completed in an earlier
+// wave — no lock is needed beyond the barrier between waves.
+type pkgSlot struct {
+	rel     string
+	imports []string // module-relative deps among known package dirs
+	level   int      // 0 for leaves; max(dep levels)+1 otherwise
+	pkg     *Package
+	err     error
 }
 
 // Module holds the loader state for one Go module.
@@ -36,10 +56,10 @@ type Module struct {
 	Root string // absolute path of the directory containing go.mod
 	Path string // module path from go.mod
 
-	fset    *token.FileSet
-	pkgs    map[string]*Package // keyed by RelDir
-	loading map[string]bool     // import-cycle guard
-	std     types.Importer
+	fset  *token.FileSet
+	slots map[string]*pkgSlot // keyed by RelDir; fixed before type-checking
+	std   types.Importer
+	stdMu sync.Mutex // the stdlib source importer is not safe for concurrent use
 }
 
 // stdImporter lazily constructs the shared stdlib source importer. The
@@ -63,18 +83,23 @@ func stdImporter() types.Importer {
 // shape: "./..." (everything), "dir/..." (subtree), or a plain directory /
 // import path. With no patterns, "./..." is assumed. Patterns are resolved
 // relative to dir.
+//
+// Independent packages are type-checked in parallel: the loader first
+// discovers the module-internal import graph syntactically (imports-only
+// parses), rejects cycles, then parses and type-checks the packages level
+// by level in topological order, so every import resolves to a package
+// completed in an earlier wave.
 func LoadModule(dir string, patterns []string) ([]*Package, error) {
 	root, modPath, err := findModule(dir)
 	if err != nil {
 		return nil, err
 	}
 	m := &Module{
-		Root:    root,
-		Path:    modPath,
-		fset:    token.NewFileSet(),
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
-		std:     stdImporter(),
+		Root:  root,
+		Path:  modPath,
+		fset:  token.NewFileSet(),
+		slots: make(map[string]*pkgSlot),
+		std:   stdImporter(),
 	}
 	dirs, err := m.packageDirs()
 	if err != nil {
@@ -84,13 +109,12 @@ func LoadModule(dir string, patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
-	for _, rel := range rels {
-		p, err := m.load(rel)
-		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", filepath.Join(m.Path, rel), err)
-		}
-		out = append(out, p)
+	if err := m.loadAll(rels, dirs); err != nil {
+		return nil, err
+	}
+	out := make([]*Package, len(rels))
+	for i, rel := range rels {
+		out[i] = m.slots[rel].pkg
 	}
 	return out, nil
 }
@@ -253,41 +277,228 @@ func (m *Module) match(from string, dirs, patterns []string) ([]string, error) {
 	return out, nil
 }
 
-// load parses and type-checks the package in module-relative directory rel,
-// memoized.
-func (m *Module) load(rel string) (*Package, error) {
-	if p, ok := m.pkgs[rel]; ok {
-		return p, nil
+// loadAll populates m.slots for the dependency closure of rels and
+// type-checks every package, parallelizing across independent packages.
+func (m *Module) loadAll(rels, dirs []string) error {
+	known := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		known[d] = true
 	}
-	if m.loading[rel] {
-		return nil, fmt.Errorf("import cycle through %q", rel)
-	}
-	m.loading[rel] = true
-	defer func() { delete(m.loading, rel) }()
 
+	// Phase 1 — syntactic dependency discovery. Imports-only parses are
+	// cheap; syntax errors here are ignored and resurface in the full
+	// parse below.
+	dfset := token.NewFileSet() // throwaway positions; token.FileSet is concurrency-safe
+	frontier := append([]string(nil), rels...)
+	sort.Strings(frontier)
+	for len(frontier) > 0 {
+		deps := make([][]string, len(frontier))
+		batch := frontier
+		parallel.For(len(batch), 0, 1, func(i int) {
+			deps[i] = m.scanImports(batch[i], dfset, known)
+		})
+		frontier = frontier[:0]
+		for i, rel := range batch {
+			m.slots[rel] = &pkgSlot{rel: rel, imports: deps[i]}
+		}
+		for i := range batch {
+			for _, dep := range deps[i] {
+				if _, ok := m.slots[dep]; !ok && !containsStr(frontier, dep) {
+					frontier = append(frontier, dep)
+				}
+			}
+		}
+		sort.Strings(frontier)
+	}
+
+	// Phase 2 — cycle guard. Go forbids import cycles, so hitting one
+	// means the tree cannot type-check meaningfully; fail loudly and
+	// deterministically instead of wedging the wave scheduler.
+	if cyc := findImportCycle(m.slots); cyc != "" {
+		return fmt.Errorf("import cycle through %q", cyc)
+	}
+
+	// Phase 3 — topological levels: level(p) = 1 + max level of its
+	// module-internal imports. All packages of one level are mutually
+	// independent and type-check concurrently; the barrier between waves
+	// (inside parallel.For) gives each wave a happens-before edge on the
+	// slots it reads.
+	var level func(s *pkgSlot) int
+	level = func(s *pkgSlot) int {
+		if s.level > 0 {
+			return s.level
+		}
+		lv := 1
+		for _, dep := range s.imports {
+			if d := m.slots[dep]; d != nil {
+				if dl := level(d) + 1; dl > lv {
+					lv = dl
+				}
+			}
+		}
+		s.level = lv
+		return lv
+	}
+	maxLevel := 0
+	for _, s := range m.slots {
+		if lv := level(s); lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	waves := make([][]*pkgSlot, maxLevel+1)
+	for _, s := range m.slots {
+		waves[s.level] = append(waves[s.level], s)
+	}
+
+	// Phase 4 — parse and type-check, wave by wave.
+	for _, wave := range waves {
+		sort.Slice(wave, func(i, j int) bool { return wave[i].rel < wave[j].rel })
+		parallel.For(len(wave), 0, 1, func(i int) {
+			m.loadSlot(wave[i])
+		})
+	}
+
+	// Surface the first failure in deterministic order. Type errors stay
+	// soft (collected per package); only parse and filesystem failures
+	// land here.
+	ordered := make([]string, 0, len(m.slots))
+	for rel := range m.slots {
+		ordered = append(ordered, rel)
+	}
+	sort.Strings(ordered)
+	for _, rel := range ordered {
+		if s := m.slots[rel]; s.err != nil {
+			ip := m.Path
+			if rel != "" {
+				ip = m.Path + "/" + rel
+			}
+			return fmt.Errorf("loading %s: %w", ip, s.err)
+		}
+	}
+	return nil
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// scanImports parses only the import clauses of the package in rel and
+// returns its module-internal dependencies among known package dirs.
+func (m *Module) scanImports(rel string, dfset *token.FileSet, known map[string]bool) []string {
 	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
 	names, err := goSourceFiles(dir)
 	if err != nil {
-		return nil, err
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, n := range names {
+		f, err := parser.ParseFile(dfset, filepath.Join(dir, n), nil, parser.ImportsOnly)
+		if err != nil || f == nil {
+			continue
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			var dep string
+			if p == m.Path {
+				dep = ""
+			} else if rest, ok := strings.CutPrefix(p, m.Path+"/"); ok {
+				dep = rest
+			} else {
+				continue
+			}
+			if dep != rel && known[dep] {
+				set[dep] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findImportCycle returns a member of some module-internal import cycle,
+// or "" if the graph is acyclic. Iteration order is sorted for a
+// deterministic error message.
+func findImportCycle(slots map[string]*pkgSlot) string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(slots))
+	var visit func(rel string) string
+	visit = func(rel string) string {
+		color[rel] = gray
+		for _, dep := range slots[rel].imports {
+			switch color[dep] {
+			case gray:
+				return dep
+			case white:
+				if c := visit(dep); c != "" {
+					return c
+				}
+			}
+		}
+		color[rel] = black
+		return ""
+	}
+	ordered := make([]string, 0, len(slots))
+	for rel := range slots {
+		ordered = append(ordered, rel)
+	}
+	sort.Strings(ordered)
+	for _, rel := range ordered {
+		if color[rel] == white {
+			if c := visit(rel); c != "" {
+				return c
+			}
+		}
+	}
+	return ""
+}
+
+// loadSlot parses and type-checks one package. It runs concurrently with
+// other slots of the same wave: it writes only its own slot, reads only
+// slots of earlier waves (through moduleImporter), and serializes stdlib
+// imports behind m.stdMu.
+func (m *Module) loadSlot(s *pkgSlot) {
+	dir := filepath.Join(m.Root, filepath.FromSlash(s.rel))
+	names, err := goSourceFiles(dir)
+	if err != nil {
+		s.err = err
+		return
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("no Go source files in %s", dir)
+		s.err = fmt.Errorf("no Go source files in %s", dir)
+		return
 	}
 	var files []*ast.File
 	for _, n := range names {
 		f, err := parser.ParseFile(m.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			s.err = err
+			return
 		}
 		files = append(files, f)
 	}
 	importPath := m.Path
-	if rel != "" {
-		importPath = m.Path + "/" + rel
+	if s.rel != "" {
+		importPath = m.Path + "/" + s.rel
 	}
 	p := &Package{
 		ImportPath: importPath,
-		RelDir:     rel,
+		RelDir:     s.rel,
 		Dir:        dir,
 		Fset:       m.fset,
 		Files:      files,
@@ -309,12 +520,12 @@ func (m *Module) load(rel string) (*Package, error) {
 	// Type errors are collected, not fatal: the syntactic checks and any
 	// type-based check with partial info still run.
 	p.Types, _ = conf.Check(importPath, m.fset, files, p.Info)
-	m.pkgs[rel] = p
-	return p, nil
+	s.pkg = p
 }
 
-// moduleImporter resolves module-internal imports by type-checking them
-// from source and delegates everything else to the stdlib source importer.
+// moduleImporter resolves module-internal imports from the slots completed
+// in earlier waves and delegates everything else to the stdlib source
+// importer (serialized: it is not safe for concurrent use).
 type moduleImporter Module
 
 func (mi *moduleImporter) Import(path string) (*types.Package, error) {
@@ -322,19 +533,21 @@ func (mi *moduleImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	var rel string
+	isModule := false
 	if path == m.Path {
-		p, err := m.load("")
-		if err != nil {
-			return nil, err
-		}
-		return p.Types, nil
+		rel, isModule = "", true
+	} else if rest, ok := strings.CutPrefix(path, m.Path+"/"); ok {
+		rel, isModule = rest, true
 	}
-	if rest, ok := strings.CutPrefix(path, m.Path+"/"); ok {
-		p, err := m.load(rest)
-		if err != nil {
-			return nil, err
+	if isModule {
+		s := m.slots[rel]
+		if s == nil || s.pkg == nil {
+			return nil, fmt.Errorf("package %q not loaded", path)
 		}
-		return p.Types, nil
+		return s.pkg.Types, nil
 	}
+	m.stdMu.Lock()
+	defer m.stdMu.Unlock()
 	return m.std.Import(path)
 }

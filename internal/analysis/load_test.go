@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestImportCycleRejected: the wave scheduler depends on an acyclic
+// module-internal import graph, so a cycle must fail loudly (Go itself
+// rejects such trees) instead of wedging or deadlocking.
+func TestImportCycleRejected(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/a/a.go": `package a
+
+import "fixture/internal/b"
+
+var X = b.Y
+`,
+		"internal/b/b.go": `package b
+
+import "fixture/internal/a"
+
+var Y = a.X
+`,
+	})
+	_, err := LoadModule(dir, []string{"./..."})
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Fatalf("LoadModule error = %v, want import cycle", err)
+	}
+}
+
+// TestParallelLoadDeterministic: loading the same module twice yields the
+// same packages in the same order with identical type-check health, so
+// the parallel waves cannot leak scheduling nondeterminism into results.
+func TestParallelLoadDeterministic(t *testing.T) {
+	files := map[string]string{
+		"internal/base/base.go": `package base
+
+func Mix(a, b int) int { return a*31 + b }
+`,
+		"internal/mid/mid.go": `package mid
+
+import "fixture/internal/base"
+
+func Twice(x int) int { return base.Mix(x, x) }
+`,
+		"internal/top/top.go": `package top
+
+import (
+	"fixture/internal/base"
+	"fixture/internal/mid"
+)
+
+func All(x int) int { return base.Mix(mid.Twice(x), 1) }
+`,
+		"leaf.go": `package main
+
+import "fixture/internal/top"
+
+func main() { _ = top.All(3) }
+`,
+	}
+	dir := writeModule(t, files)
+	var prev []string
+	for round := 0; round < 3; round++ {
+		pkgs, err := LoadModule(dir, []string{"./..."})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		var got []string
+		for _, p := range pkgs {
+			if len(p.TypeErrors) > 0 {
+				t.Fatalf("round %d: %s has type errors: %v", round, p.ImportPath, p.TypeErrors)
+			}
+			got = append(got, p.ImportPath)
+		}
+		if prev != nil && strings.Join(prev, " ") != strings.Join(got, " ") {
+			t.Fatalf("round %d order %v differs from %v", round, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestLoadClosureOfPattern: a narrow pattern still type-checks its
+// module-internal dependencies (loaded as part of the closure, not
+// returned).
+func TestLoadClosureOfPattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/base/base.go": `package base
+
+const K = 7
+`,
+		"internal/use/use.go": `package use
+
+import "fixture/internal/base"
+
+func F() int { return base.K }
+`,
+	})
+	pkgs, err := LoadModule(dir, []string{"./internal/use"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "fixture/internal/use" {
+		t.Fatalf("got %d packages, want exactly fixture/internal/use", len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkgs[0].TypeErrors)
+	}
+}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -15,8 +17,17 @@ type suppressions map[string]map[int]map[string]bool
 // directives. A directive applies to the line it appears on (trailing
 // comment) and to the line immediately after it (preceding comment), which
 // covers both styles without any file-wide escape hatch.
-func collectSuppressions(p *Package) suppressions {
+//
+// Directives naming a check that does not exist are returned as findings
+// (check "allow") instead of being recorded: a typo in a suppression must
+// surface as an error, not silently stop suppressing.
+func collectSuppressions(p *Package) (suppressions, []Finding) {
+	known := make(map[string]bool)
+	for _, name := range CheckNames() {
+		known[name] = true
+	}
 	sup := make(suppressions)
+	var bad []Finding
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -26,6 +37,18 @@ func collectSuppressions(p *Package) suppressions {
 				}
 				pos := p.Fset.Position(c.Pos())
 				file := p.relFile(pos)
+				for _, n := range names {
+					if !known[n] {
+						bad = append(bad, Finding{
+							Check: "allow",
+							File:  file,
+							Line:  pos.Line,
+							Col:   pos.Column,
+							Message: fmt.Sprintf("//lint:allow names unknown check %q (known: %s)",
+								n, strings.Join(CheckNames(), ", ")),
+						})
+					}
+				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					byLine := sup[file]
 					if byLine == nil {
@@ -38,13 +61,24 @@ func collectSuppressions(p *Package) suppressions {
 						byLine[line] = set
 					}
 					for _, n := range names {
-						set[n] = true
+						if known[n] {
+							set[n] = true
+						}
 					}
 				}
 			}
 		}
 	}
-	return sup
+	sort.Slice(bad, func(i, j int) bool {
+		if bad[i].File != bad[j].File {
+			return bad[i].File < bad[j].File
+		}
+		if bad[i].Line != bad[j].Line {
+			return bad[i].Line < bad[j].Line
+		}
+		return bad[i].Message < bad[j].Message
+	})
+	return sup, bad
 }
 
 // parseAllowDirective extracts check names from one comment's text, or nil

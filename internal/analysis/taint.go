@@ -1,0 +1,1032 @@
+package analysis
+
+// taint.go runs a forward may-taint dataflow over the CFG of cfg.go and
+// powers the allocguard and indexguard checks. The model:
+//
+// Sources — values an attacker controls through the compressed stream:
+// results of binary.Uvarint/Varint/ReadUvarint/ReadVarint, the
+// binary.LittleEndian/BigEndian Uint16/32/64 accessors (matched by
+// package+name, so ByteOrder interface calls count too), ReadByte
+// methods, and the buffers filled by binary.Read, io.ReadFull,
+// io.ReadAtLeast, or any io.Reader-shaped Read method. flate/gzip/zlib
+// NewReader results carry a distinct "unbounded decompressor" bit that
+// io.LimitReader strips.
+//
+// Taint bits — taintVal (the scalar itself is untrusted), taintElem (the
+// contents of a slice/array/struct the variable refers to are untrusted;
+// indexing such a value yields taintVal), taintReader (reading the value
+// to EOF allocates attacker-controlled amounts).
+//
+// Sanitizers — a comparison that upper-bounds the tainted side by an
+// untrusted-free expression removes taintVal on the guarded edge:
+// `if n > limit { return }` cleans n below, as does `n <= limit`,
+// equality pinning (`n == 8`, `switch n { case 4: }`), and the min
+// builtin with an untainted argument. The bounded side may be a sum or
+// product of refs (`off+n <= len(data)` cleans both off and n); other
+// operators do not distribute a bound, so refs under them stay tainted.
+// Short-circuit &&/|| conditions are decomposed analytically: the true
+// edge of `a && b` refines by both, the false edge of `a || b` refines
+// by the negation of both.
+//
+// Known intra-procedural limits, documented in DESIGN.md §7: calls to
+// module functions launder taint (results are treated trusted, so a
+// helper that both reads and allocates must be guarded inside itself);
+// parameters are trusted (callers are expected to validate before
+// passing); struct fields are tracked one level deep (x.f, not x.f.g);
+// aliasing through pointers stored in other structures is invisible.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type taintBits uint8
+
+const (
+	taintVal    taintBits = 1 << iota // the value itself is untrusted
+	taintElem                         // elements/fields it refers to are untrusted
+	taintReader                       // unbounded decompressor reader
+)
+
+// taintRef names one tracked location: a variable, or one field of a
+// (possibly pointer-to-) struct variable.
+type taintRef struct {
+	obj   types.Object
+	field types.Object // nil for the variable itself
+}
+
+type taintState map[taintRef]taintBits
+
+func cloneState(s taintState) taintState {
+	out := make(taintState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// taintResults caches the shared engine output on a Package so allocguard
+// and indexguard pay for one dataflow run between them.
+type taintResults struct {
+	alloc []Finding
+	index []Finding
+}
+
+func (p *Package) taintFindings() *taintResults {
+	p.taintOnce.Do(func() {
+		tr := &taintResults{}
+		inspectFiles(p, func(_ *ast.File, n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					runTaint(p, fn.Body, tr)
+				}
+			case *ast.FuncLit:
+				runTaint(p, fn.Body, tr)
+			}
+			return true
+		})
+		p.taintRes = tr
+	})
+	return p.taintRes
+}
+
+// taintEngine analyzes one function body.
+type taintEngine struct {
+	p  *Package
+	tr *taintResults
+}
+
+func runTaint(p *Package, body *ast.BlockStmt, tr *taintResults) {
+	e := &taintEngine{p: p, tr: tr}
+	g := buildCFG(body)
+
+	// Fixpoint: in[b] grows monotonically (union join); edge refinement
+	// only removes facts relative to the predecessor's out state, so the
+	// whole transfer is monotone and terminates.
+	in := map[*cfgBlock]taintState{g.entry: {}}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := cloneState(in[b])
+		for _, n := range b.nodes {
+			e.apply(out, n)
+		}
+		for _, edge := range b.succs {
+			s := e.refineEdge(out, edge)
+			if e.joinInto(in, edge.to, s) {
+				work = append(work, edge.to)
+			}
+		}
+	}
+
+	// Sink pass with the settled states. Blocks absent from `in` are
+	// unreachable and carry no obligations.
+	for _, b := range g.blocks {
+		st, ok := in[b]
+		if !ok {
+			continue
+		}
+		st = cloneState(st)
+		for _, n := range b.nodes {
+			e.scanSinks(st, n)
+			e.apply(st, n)
+		}
+	}
+}
+
+func (e *taintEngine) joinInto(in map[*cfgBlock]taintState, b *cfgBlock, s taintState) bool {
+	cur, ok := in[b]
+	if !ok {
+		in[b] = cloneState(s)
+		return true
+	}
+	changed := false
+	for k, v := range s {
+		if cur[k]|v != cur[k] {
+			cur[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ---------------------------------------------------------------------------
+// Transfer function
+
+// nodeExprs lists the expressions a CFG node evaluates, without
+// descending into sub-statements (range/type-switch bodies live in their
+// own blocks).
+func nodeExprs(n ast.Node) []ast.Expr {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, n.Rhs...), n.Lhs...)
+	case *ast.ExprStmt:
+		return []ast.Expr{n.X}
+	case *ast.IncDecStmt:
+		return []ast.Expr{n.X}
+	case *ast.SendStmt:
+		return []ast.Expr{n.Chan, n.Value}
+	case *ast.DeferStmt:
+		return []ast.Expr{n.Call}
+	case *ast.GoStmt:
+		return []ast.Expr{n.Call}
+	case *ast.ReturnStmt:
+		return n.Results
+	case *ast.DeclStmt:
+		var out []ast.Expr
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+		return out
+	case *ast.RangeStmt:
+		out := []ast.Expr{n.X}
+		if n.Key != nil {
+			out = append(out, n.Key)
+		}
+		if n.Value != nil {
+			out = append(out, n.Value)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		if x := typeSwitchScrutinee(n); x != nil {
+			return []ast.Expr{x}
+		}
+		return nil
+	case ast.Expr:
+		return []ast.Expr{n}
+	}
+	return nil
+}
+
+func typeSwitchScrutinee(s *ast.TypeSwitchStmt) ast.Expr {
+	var ta *ast.TypeAssertExpr
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		ta, _ = a.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			ta, _ = a.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if ta == nil {
+		return nil
+	}
+	return ta.X
+}
+
+// apply mutates state with the effects of one CFG node.
+func (e *taintEngine) apply(state taintState, n ast.Node) {
+	// Call side effects (binary.Read filling a buffer, copy, ...) fire
+	// for every expression the node evaluates.
+	for _, x := range nodeExprs(n) {
+		e.applyCallEffects(state, x)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		e.applyAssign(state, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var bits taintBits
+					if i < len(vs.Values) {
+						bits = e.evalExpr(state, vs.Values[i])
+					} else if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						bits = e.callResultBits(state, vs.Values[0], i)
+					}
+					e.assignTo(state, name, bits)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		xb := e.evalExpr(state, n.X)
+		var keyBits, valBits taintBits
+		if xb&taintElem != 0 {
+			valBits = taintVal
+			if t := e.p.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					keyBits = taintVal
+				}
+			}
+		}
+		if n.Key != nil {
+			e.assignTo(state, n.Key, keyBits)
+		}
+		if n.Value != nil {
+			e.assignTo(state, n.Value, valBits)
+		}
+	case *ast.TypeSwitchStmt:
+		x := typeSwitchScrutinee(n)
+		if x == nil {
+			return
+		}
+		bits := e.evalExpr(state, x)
+		if bits == 0 {
+			return
+		}
+		for _, c := range n.Body.List {
+			if obj := e.p.Info.Implicits[c]; obj != nil {
+				state[taintRef{obj: obj}] |= bits
+			}
+		}
+	}
+}
+
+func (e *taintEngine) applyAssign(state taintState, n *ast.AssignStmt) {
+	// Multi-result forms: x, y := f() / m[k] / v.(T).
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		for i, lhs := range n.Lhs {
+			e.assignTo(state, lhs, e.callResultBits(state, n.Rhs[0], i))
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		bits := e.evalExpr(state, n.Rhs[i])
+		if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+			bits |= e.evalExpr(state, lhs) // compound: x += tainted
+		}
+		// Struct literal assignment seeds field refs: t := &T{f: v}.
+		if ref, ok := e.resolveRef(lhs); ok && ref.field == nil {
+			if lit := compositeLitOf(n.Rhs[i]); lit != nil {
+				e.assignCompositeFields(state, ref, lit)
+			}
+		}
+		e.assignTo(state, lhs, bits)
+	}
+}
+
+func compositeLitOf(x ast.Expr) *ast.CompositeLit {
+	x = unparen(x)
+	if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		x = unparen(u.X)
+	}
+	lit, _ := x.(*ast.CompositeLit)
+	return lit
+}
+
+func (e *taintEngine) assignCompositeFields(state taintState, base taintRef, lit *ast.CompositeLit) {
+	t := e.p.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fobj := e.p.Info.Uses[key]
+		if fobj == nil {
+			continue
+		}
+		bits := e.evalExpr(state, kv.Value)
+		ref := taintRef{obj: base.obj, field: fobj}
+		if bits == 0 {
+			delete(state, ref)
+		} else {
+			state[ref] = bits
+		}
+	}
+}
+
+// callResultBits returns the taint of result i of a multi-value RHS.
+func (e *taintEngine) callResultBits(state taintState, rhs ast.Expr, i int) taintBits {
+	switch x := unparen(rhs).(type) {
+	case *ast.CallExpr:
+		bits := e.callBits(state, x)
+		if i < len(bits) {
+			return bits[i]
+		}
+		return 0
+	case *ast.IndexExpr: // v, ok := m[k]
+		if i == 0 {
+			return e.evalExpr(state, x)
+		}
+	case *ast.TypeAssertExpr: // v, ok := x.(T)
+		if i == 0 {
+			return e.evalExpr(state, x.X)
+		}
+	case *ast.UnaryExpr: // v, ok := <-ch
+		if x.Op == token.ARROW && i == 0 {
+			return e.evalExpr(state, x.X)
+		}
+	}
+	return 0
+}
+
+// assignTo writes bits into the location named by lhs.
+func (e *taintEngine) assignTo(state taintState, lhs ast.Expr, bits taintBits) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := e.objectOf(lhs)
+		if obj == nil {
+			return
+		}
+		ref := taintRef{obj: obj}
+		if bits == 0 {
+			delete(state, ref)
+		} else {
+			state[ref] = bits
+		}
+	case *ast.SelectorExpr:
+		if ref, ok := e.resolveRef(lhs); ok {
+			if bits == 0 {
+				delete(state, ref)
+			} else {
+				state[ref] = bits
+			}
+		}
+	case *ast.IndexExpr:
+		// a[i] = tainted: the container's contents become untrusted
+		// (weak update — other elements keep their state).
+		if bits&taintVal != 0 {
+			if ref, ok := e.resolveRef(lhs.X); ok {
+				state[ref] |= taintElem
+			}
+		}
+	case *ast.StarExpr:
+		if bits != 0 {
+			if ref, ok := e.resolveRef(lhs.X); ok {
+				state[ref] |= bits // weak: *p aliases
+			}
+		}
+	}
+}
+
+func (e *taintEngine) objectOf(id *ast.Ident) types.Object {
+	if o := e.p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return e.p.Info.Uses[id]
+}
+
+// objectOfExpr resolves the object an ident or selector expression
+// denotes; nil for anything else.
+func (e *taintEngine) objectOfExpr(x ast.Expr) types.Object {
+	switch x := unparen(x).(type) {
+	case *ast.Ident:
+		return e.objectOf(x)
+	case *ast.SelectorExpr:
+		return e.p.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// resolveRef maps an expression to a tracked location: an identifier, or
+// ident.field (through any number of pointer indirections in the type,
+// one selector deep).
+func (e *taintEngine) resolveRef(x ast.Expr) (taintRef, bool) {
+	switch x := unparen(x).(type) {
+	case *ast.Ident:
+		obj := e.objectOf(x)
+		if _, ok := obj.(*types.Var); ok {
+			return taintRef{obj: obj}, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := unparen(x.X).(*ast.Ident)
+		if !ok {
+			return taintRef{}, false
+		}
+		bobj := e.objectOf(base)
+		if _, ok := bobj.(*types.Var); !ok {
+			return taintRef{}, false
+		}
+		fobj := e.p.Info.Uses[x.Sel]
+		if _, ok := fobj.(*types.Var); !ok {
+			return taintRef{}, false
+		}
+		return taintRef{obj: bobj, field: fobj}, true
+	case *ast.StarExpr:
+		return e.resolveRef(x.X)
+	}
+	return taintRef{}, false
+}
+
+func unparen(x ast.Expr) ast.Expr {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = p.X
+	}
+}
+
+// evalExpr computes the taint of an expression under state.
+func (e *taintEngine) evalExpr(state taintState, x ast.Expr) taintBits {
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return e.evalExpr(state, x.X)
+	case *ast.Ident:
+		if ref, ok := e.resolveRef(x); ok {
+			return state[ref]
+		}
+	case *ast.SelectorExpr:
+		if ref, ok := e.resolveRef(x); ok {
+			return state[ref]
+		}
+		// Unresolvable base (call().f, a.b.c): pass the base's bits
+		// through so elem taint survives one more level.
+		return e.evalExpr(state, x.X)
+	case *ast.IndexExpr:
+		if e.p.Info.Types[x.X].IsType() { // generic instantiation
+			return 0
+		}
+		if e.evalExpr(state, x.X)&taintElem != 0 {
+			return taintVal
+		}
+	case *ast.SliceExpr:
+		return e.evalExpr(state, x.X) // slicing preserves contents
+	case *ast.StarExpr:
+		return e.evalExpr(state, x.X)
+	case *ast.UnaryExpr:
+		return e.evalExpr(state, x.X) // &x, -x, ^x, <-ch
+	case *ast.BinaryExpr:
+		return (e.evalExpr(state, x.X) | e.evalExpr(state, x.Y)) & taintVal
+	case *ast.TypeAssertExpr:
+		return e.evalExpr(state, x.X)
+	case *ast.CallExpr:
+		bits := e.callBits(state, x)
+		if len(bits) > 0 {
+			return bits[0]
+		}
+	case *ast.CompositeLit:
+		var agg taintBits
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			agg |= e.evalExpr(state, elt)
+		}
+		if agg&(taintVal|taintElem) != 0 {
+			return taintElem
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Calls: sources, sanitizing builtins, and buffer-filling effects
+
+// calleeOf resolves the *types.Func a call invokes (package function or
+// method, including interface methods); nil for builtins, func values,
+// and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func calleePkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// callBits returns the per-result taint of a call expression.
+func (e *taintEngine) callBits(state taintState, call *ast.CallExpr) []taintBits {
+	// Conversions pass taint through: uint64(n).
+	if tv, ok := e.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []taintBits{e.evalExpr(state, call.Args[0])}
+		}
+		return nil
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := e.p.Info.Uses[id].(*types.Builtin); ok {
+			return e.builtinBits(state, bi.Name(), call)
+		}
+	}
+	fn := calleeOf(e.p.Info, call)
+	pkg, name := calleePkgPath(fn), ""
+	if fn != nil {
+		name = fn.Name()
+	}
+	switch {
+	case pkg == "encoding/binary":
+		switch name {
+		case "Uvarint", "Varint", "ReadUvarint", "ReadVarint":
+			// The value is attacker-chosen; the byte count is bounded
+			// by the encoding (≤ 10) and the buffer, so it stays clean.
+			return []taintBits{taintVal, 0}
+		case "Uint16", "Uint32", "Uint64":
+			// littleEndian/bigEndian methods and the ByteOrder
+			// interface both land here.
+			return []taintBits{taintVal}
+		}
+	case pkg == "compress/flate" && (name == "NewReader" || name == "NewReaderDict"):
+		return []taintBits{taintReader}
+	case (pkg == "compress/gzip" || pkg == "compress/zlib") && name == "NewReader":
+		return []taintBits{taintReader, 0}
+	}
+	if fn != nil && fn.Type() != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			switch name {
+			case "ReadByte":
+				if sig.Params().Len() == 0 {
+					return []taintBits{taintVal, 0}
+				}
+			case "ReadBytes", "ReadString": // bufio.Reader
+				if sig.Params().Len() == 1 {
+					return []taintBits{taintElem, 0}
+				}
+			}
+		}
+	}
+	// Everything else — including io.LimitReader and module-internal
+	// helpers — returns trusted results (intra-procedural limit).
+	return nil
+}
+
+func (e *taintEngine) builtinBits(state taintState, name string, call *ast.CallExpr) []taintBits {
+	switch name {
+	case "len", "cap", "make", "new":
+		return nil
+	case "append":
+		var bits taintBits
+		if len(call.Args) > 0 {
+			bits = e.evalExpr(state, call.Args[0]) & taintElem
+		}
+		for _, a := range call.Args[1:] {
+			ab := e.evalExpr(state, a)
+			if call.Ellipsis != token.NoPos && a == call.Args[len(call.Args)-1] {
+				bits |= ab & taintElem
+			} else if ab&taintVal != 0 {
+				bits |= taintElem
+			}
+		}
+		return []taintBits{bits}
+	case "min":
+		// min(tainted, trusted) is bounded above by the trusted value.
+		for _, a := range call.Args {
+			if e.evalExpr(state, a)&taintVal == 0 {
+				return nil
+			}
+		}
+		return []taintBits{taintVal}
+	case "max":
+		var bits taintBits
+		for _, a := range call.Args {
+			bits |= e.evalExpr(state, a) & taintVal
+		}
+		return []taintBits{bits}
+	}
+	return nil
+}
+
+// applyCallEffects walks an expression tree (skipping nested function
+// literals) and applies buffer-filling side effects of calls.
+func (e *taintEngine) applyCallEffects(state taintState, x ast.Expr) {
+	ast.Inspect(x, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if bi, ok := e.p.Info.Uses[id].(*types.Builtin); ok {
+				if bi.Name() == "copy" && len(call.Args) == 2 {
+					if e.evalExpr(state, call.Args[1])&taintElem != 0 {
+						if ref, ok := e.resolveRef(call.Args[0]); ok {
+							state[ref] |= taintElem
+						}
+					}
+				}
+				return true
+			}
+		}
+		fn := calleeOf(e.p.Info, call)
+		if fn == nil {
+			return true
+		}
+		pkg, name := calleePkgPath(fn), fn.Name()
+		switch {
+		case pkg == "encoding/binary" && name == "Read" && len(call.Args) == 3:
+			e.taintPointee(state, call.Args[2])
+		case pkg == "io" && (name == "ReadFull" || name == "ReadAtLeast") && len(call.Args) >= 2:
+			e.taintBuffer(state, call.Args[1])
+		default:
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				name == "Read" && isReaderReadSig(sig) && len(call.Args) == 1 {
+				e.taintBuffer(state, call.Args[0])
+			}
+		}
+		return true
+	})
+}
+
+// isReaderReadSig reports whether sig is Read([]byte) (int, error).
+func isReaderReadSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	st, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	bt, ok := st.Elem().Underlying().(*types.Basic)
+	if !ok || bt.Kind() != types.Byte {
+		return false
+	}
+	return types.Identical(sig.Results().At(0).Type(), types.Typ[types.Int])
+}
+
+// taintPointee marks the target of binary.Read's data argument: &x makes
+// x untrusted — scalars get taintVal, slices/arrays taintElem, and
+// structs get each field tainted individually (so a later bound check on
+// hdr.N sanitizes exactly that field); a plain slice argument gets elem
+// taint.
+func (e *taintEngine) taintPointee(state taintState, arg ast.Expr) {
+	arg = unparen(arg)
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		tgt := unparen(u.X)
+		if ix, ok := tgt.(*ast.IndexExpr); ok {
+			if ref, ok := e.resolveRef(ix.X); ok {
+				state[ref] |= taintElem
+			}
+			return
+		}
+		if ref, ok := e.resolveRef(tgt); ok {
+			t := e.p.Info.TypeOf(tgt)
+			if t != nil {
+				if st, ok := t.Underlying().(*types.Struct); ok {
+					e.taintStructFields(state, ref, st)
+					return
+				}
+			}
+			if isAggregate(t) {
+				state[ref] |= taintElem
+			} else {
+				state[ref] |= taintVal
+			}
+		}
+		return
+	}
+	if ref, ok := e.resolveRef(arg); ok {
+		state[ref] |= taintElem
+	}
+}
+
+// taintStructFields taints every field of a struct variable, one level
+// deep. The field objects of a struct type are canonical, so the refs
+// match what resolveRef produces for hdr.N selector reads.
+func (e *taintEngine) taintStructFields(state taintState, base taintRef, st *types.Struct) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		bits := taintBits(taintVal)
+		if isAggregate(f.Type()) {
+			bits = taintElem
+		}
+		state[taintRef{obj: base.obj, field: f}] |= bits
+	}
+}
+
+func (e *taintEngine) taintBuffer(state taintState, arg ast.Expr) {
+	if ref, ok := e.resolveRef(arg); ok {
+		state[ref] |= taintElem
+	}
+	if sl, ok := unparen(arg).(*ast.SliceExpr); ok {
+		if ref, ok := e.resolveRef(sl.X); ok {
+			state[ref] |= taintElem
+		}
+	}
+}
+
+func isAggregate(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Edge refinement (sanitizers)
+
+// refineEdge returns the state that holds after taking edge — the
+// predecessor's out state with every ref sanitized by the edge's guard.
+// The input is never mutated.
+func (e *taintEngine) refineEdge(out taintState, edge cfgEdge) taintState {
+	st := out
+	if edge.cond != nil {
+		st = e.refineCond(st, edge.cond, edge.neg)
+	}
+	if edge.tag != nil {
+		// switch tag { case c1, c2: } pins tag to a case value; if every
+		// value is trusted, tag is trusted inside the clause.
+		trusted := true
+		for _, v := range edge.vals {
+			if e.evalExpr(st, v)&taintVal != 0 {
+				trusted = false
+				break
+			}
+		}
+		if trusted {
+			st = e.sanitizeExpr(st, edge.tag)
+		}
+	}
+	return st
+}
+
+func (e *taintEngine) refineCond(st taintState, cond ast.Expr, neg bool) taintState {
+	switch cond := unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if cond.Op == token.NOT {
+			return e.refineCond(st, cond.X, !neg)
+		}
+	case *ast.BinaryExpr:
+		switch cond.Op {
+		case token.LAND:
+			if !neg { // (a && b) true: both hold
+				return e.refineCond(e.refineCond(st, cond.X, false), cond.Y, false)
+			}
+		case token.LOR:
+			if neg { // (a || b) false: both negations hold
+				return e.refineCond(e.refineCond(st, cond.X, true), cond.Y, true)
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			op := cond.Op
+			if neg {
+				op = negateCmp(op)
+			}
+			switch op {
+			case token.LSS, token.LEQ: // X bounded above by Y
+				if e.evalExpr(st, cond.Y)&taintVal == 0 {
+					return e.sanitizeExpr(st, cond.X)
+				}
+			case token.GTR, token.GEQ: // Y bounded above by X
+				if e.evalExpr(st, cond.X)&taintVal == 0 {
+					return e.sanitizeExpr(st, cond.Y)
+				}
+			case token.EQL: // pinned to the other side
+				if e.evalExpr(st, cond.Y)&taintVal == 0 {
+					st = e.sanitizeExpr(st, cond.X)
+				}
+				if e.evalExpr(st, cond.X)&taintVal == 0 {
+					st = e.sanitizeExpr(st, cond.Y)
+				}
+				return st
+			}
+		}
+	}
+	return st
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+// sanitizeExpr removes taintVal from every ref reachable through the
+// monotone operators +, * and conversions in x: if off+n <= limit with a
+// trusted limit, both off and n are bounded above (values in this domain
+// are sizes and offsets, never negative). Refs under other operators
+// (-, /, <<) keep their taint — a bound on the whole expression does not
+// bound them individually.
+func (e *taintEngine) sanitizeExpr(st taintState, x ast.Expr) taintState {
+	refs := make([]taintRef, 0, 2)
+	var collect func(ast.Expr)
+	collect = func(x ast.Expr) {
+		switch x := unparen(x).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+			if ref, ok := e.resolveRef(x); ok {
+				refs = append(refs, ref)
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD || x.Op == token.MUL {
+				collect(x.X)
+				collect(x.Y)
+			}
+		case *ast.CallExpr:
+			if tv, ok := e.p.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				collect(x.Args[0])
+			}
+		}
+	}
+	collect(x)
+	out := st
+	copied := false
+	for _, ref := range refs {
+		bits, ok := out[ref]
+		if !ok || bits&taintVal == 0 {
+			continue
+		}
+		if !copied {
+			out = cloneState(out)
+			copied = true
+		}
+		if bits &= ^taintVal; bits == 0 {
+			delete(out, ref)
+		} else {
+			out[ref] = bits
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+
+func (e *taintEngine) scanSinks(state taintState, n ast.Node) {
+	for _, x := range nodeExprs(n) {
+		ast.Inspect(x, func(sub ast.Node) bool {
+			if _, ok := sub.(*ast.FuncLit); ok {
+				return false
+			}
+			switch sub := sub.(type) {
+			case *ast.CallExpr:
+				e.scanCallSink(state, sub)
+			case *ast.IndexExpr:
+				e.scanIndexSink(state, sub)
+			case *ast.SliceExpr:
+				for _, b := range []ast.Expr{sub.Low, sub.High, sub.Max} {
+					if b != nil && e.evalExpr(state, b)&taintVal != 0 {
+						e.report(&e.tr.index, "indexguard", b,
+							"slice bound derives from an untrusted stream value with no dominating range check")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (e *taintEngine) scanCallSink(state taintState, call *ast.CallExpr) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := e.p.Info.Uses[id].(*types.Builtin); ok {
+			if bi.Name() == "make" {
+				for _, a := range call.Args[1:] {
+					if e.evalExpr(state, a)&taintVal != 0 {
+						e.report(&e.tr.alloc, "allocguard", call,
+							"make size derives from an untrusted stream value with no dominating bound check")
+					}
+				}
+			}
+			return
+		}
+	}
+	fn := calleeOf(e.p.Info, call)
+	if fn == nil {
+		return
+	}
+	pkg, name := calleePkgPath(fn), fn.Name()
+	switch {
+	case pkg == "io" && name == "ReadAll" && len(call.Args) == 1:
+		if e.evalExpr(state, call.Args[0])&taintReader != 0 {
+			e.report(&e.tr.alloc, "allocguard", call,
+				"io.ReadAll on a decompressor reader with no io.LimitReader cap: a small stream can inflate without bound")
+		}
+	case pkg == "io" && (name == "Copy" || name == "CopyBuffer"):
+		if len(call.Args) >= 2 && e.evalExpr(state, call.Args[1])&taintReader != 0 {
+			e.report(&e.tr.alloc, "allocguard", call,
+				"io."+name+" from a decompressor reader with no io.LimitReader cap: a small stream can inflate without bound")
+		}
+	case pkg == "bytes" && name == "Grow" && len(call.Args) == 1:
+		if e.evalExpr(state, call.Args[0])&taintVal != 0 {
+			e.report(&e.tr.alloc, "allocguard", call,
+				"Buffer.Grow size derives from an untrusted stream value with no dominating bound check")
+		}
+	case pkg == "slices" && name == "Grow" && len(call.Args) == 2:
+		if e.evalExpr(state, call.Args[1])&taintVal != 0 {
+			e.report(&e.tr.alloc, "allocguard", call,
+				"slices.Grow size derives from an untrusted stream value with no dominating bound check")
+		}
+	case strings.HasSuffix(pkg, "internal/field") && (name == "New2D" || name == "New3D"):
+		// Module-internal sized allocators: allocation ∝ product of dims.
+		for _, a := range call.Args {
+			if e.evalExpr(state, a)&taintVal != 0 {
+				e.report(&e.tr.alloc, "allocguard", call,
+					"field."+name+" dimension derives from an untrusted stream value with no dominating bound check")
+				break
+			}
+		}
+	}
+}
+
+func (e *taintEngine) scanIndexSink(state taintState, ix *ast.IndexExpr) {
+	t := e.p.Info.TypeOf(ix.X)
+	if t == nil {
+		return
+	}
+	if _, isType := e.objectOfExpr(ix.X).(*types.TypeName); isType {
+		return // generic instantiation: Pair[int]
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	case *types.Basic:
+		if u.Info()&types.IsString == 0 {
+			return
+		}
+	case *types.Pointer:
+		if _, ok := u.Elem().Underlying().(*types.Array); !ok {
+			return
+		}
+	default:
+		return // maps and type params cannot go out of range
+	}
+	if e.evalExpr(state, ix.Index)&taintVal != 0 {
+		e.report(&e.tr.index, "indexguard", ix,
+			"index derives from an untrusted stream value with no dominating range check")
+	}
+}
+
+func (e *taintEngine) report(dst *[]Finding, check string, n ast.Node, msg string) {
+	f := e.p.finding(check, n, msg)
+	// The sink pass visits each block once, but dedup defensively so a
+	// node reachable through two expr lists cannot double-report.
+	for _, prev := range *dst {
+		if prev.File == f.File && prev.Line == f.Line && prev.Col == f.Col && prev.Message == f.Message {
+			return
+		}
+	}
+	*dst = append(*dst, f)
+}

@@ -1,0 +1,355 @@
+package analysis
+
+import "testing"
+
+// TestAllocguardUnboundedInflate re-seeds the PR 2 decompression-bomb bug:
+// io.ReadAll on a flate reader lets a ~100-byte stream allocate gigabytes.
+// The io.LimitReader variant is the shipped fix shape and must stay clean.
+func TestAllocguardUnboundedInflate(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/inflate.go": `package dec
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+func Inflate(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+func InflateCapped(data []byte) ([]byte, error) {
+	capacity := uint64(len(data))*1032 + 64
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(io.LimitReader(r, int64(capacity)+1))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(out)) > capacity {
+		return nil, fmt.Errorf("dec: stream inflates beyond plausible ratio")
+	}
+	return out, nil
+}
+`,
+	})
+	expectLines(t, runCheck(t, dir, "allocguard"), "internal/dec/inflate.go:13")
+}
+
+// TestIndexguardHuffmanLens re-seeds the PR 1 over-subscribed-table bug:
+// code lengths read from the stream index the per-length count table
+// before any range check. The guarded variant mirrors the shipped fix.
+func TestIndexguardHuffmanLens(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/lens.go": `package dec
+
+import (
+	"fmt"
+	"io"
+)
+
+const maxCodeLen = 58
+
+func CountLens(r io.Reader, n int) ([]int, error) {
+	lens := make([]byte, n)
+	if _, err := io.ReadFull(r, lens); err != nil {
+		return nil, err
+	}
+	countAt := make([]int, maxCodeLen+1)
+	for _, l := range lens {
+		countAt[l]++
+	}
+	return countAt, nil
+}
+
+func CountLensChecked(r io.Reader, n int) ([]int, error) {
+	lens := make([]byte, n)
+	if _, err := io.ReadFull(r, lens); err != nil {
+		return nil, err
+	}
+	countAt := make([]int, maxCodeLen+1)
+	for _, l := range lens {
+		if int(l) > maxCodeLen {
+			return nil, fmt.Errorf("dec: code length %d out of range", l)
+		}
+		countAt[l]++
+	}
+	return countAt, nil
+}
+`,
+	})
+	expectLines(t, runCheck(t, dir, "indexguard"), "internal/dec/lens.go:17")
+}
+
+// TestAllocguardMakeFromStream: a count decoded with the binary package
+// must be bounded before it sizes an allocation.
+func TestAllocguardMakeFromStream(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/count.go": `package dec
+
+import "encoding/binary"
+
+func Alloc(data []byte) []uint32 {
+	n := binary.LittleEndian.Uint64(data)
+	return make([]uint32, n)
+}
+
+func AllocChecked(data []byte) []uint32 {
+	n := binary.LittleEndian.Uint64(data)
+	if n > uint64(len(data))/4 {
+		return nil
+	}
+	return make([]uint32, n)
+}
+
+func AllocUvarint(data []byte) []byte {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil
+	}
+	return make([]byte, n)
+}
+`,
+	})
+	expectLines(t, runCheck(t, dir, "allocguard"),
+		"internal/dec/count.go:7", "internal/dec/count.go:23")
+}
+
+// TestTaintSanitizerShapes: every guard idiom the decoders rely on must
+// count as a dominating bound, and a guard on only one path must not.
+func TestTaintSanitizerShapes(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/guards.go": `package dec
+
+import "encoding/binary"
+
+func SumBound(data []byte, off int) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	if off+n > len(data) {
+		return nil
+	}
+	return data[off : off+n]
+}
+
+func EqPin(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint16(data))
+	if n != 8 {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func SwitchPin(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint16(data))
+	switch n {
+	case 4, 8:
+		return make([]byte, n)
+	}
+	return nil
+}
+
+func MinBound(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	return make([]byte, min(n, len(data)))
+}
+
+func OrChain(data []byte) []byte {
+	nx := binary.LittleEndian.Uint32(data)
+	ny := binary.LittleEndian.Uint32(data[4:])
+	if nx > 1<<10 || ny > 1<<10 {
+		return nil
+	}
+	return make([]byte, nx*ny)
+}
+
+func AndGuard(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	if n >= 0 && n <= len(data) {
+		return make([]byte, n)
+	}
+	return nil
+}
+
+func OnePathOnly(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	if len(data) > 8 {
+		if n > len(data) {
+			return nil
+		}
+	}
+	return make([]byte, n)
+}
+
+func SubtractionNoBound(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	k := len(data)
+	if k-n > 0 {
+		return make([]byte, n)
+	}
+	return nil
+}
+`,
+	})
+	// Only the one-path and subtraction cases survive: a bound under
+	// subtraction does not bound n itself.
+	expectLines(t, runCheck(t, dir, "allocguard"),
+		"internal/dec/guards.go:59", "internal/dec/guards.go:66")
+}
+
+// TestTaintStructFields: fields filled by binary.Read are untrusted
+// individually, and a bound on one field sanitizes exactly that field.
+func TestTaintStructFields(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/hdr.go": `package dec
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+type header struct {
+	Count uint32
+	Extra uint32
+}
+
+func ReadHeader(r io.Reader) ([]byte, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	return make([]byte, h.Count), nil
+}
+
+func ReadHeaderChecked(r io.Reader) ([]byte, error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return nil, err
+	}
+	if h.Count > 1<<20 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return make([]byte, h.Count), nil
+}
+`,
+	})
+	expectLines(t, runCheck(t, dir, "allocguard"), "internal/dec/hdr.go:18")
+}
+
+// TestIndexguardSliceBound: slice bounds from the stream need the same
+// dominating checks as indices.
+func TestIndexguardSliceBound(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/bounds.go": `package dec
+
+import "encoding/binary"
+
+func Payload(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	return data[4 : 4+n]
+}
+
+func PayloadChecked(data []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(data))
+	if 4+n > len(data) || n < 0 {
+		return nil
+	}
+	return data[4 : 4+n]
+}
+`,
+	})
+	// The unchecked slice reports both tainted bound expressions? No —
+	// only High contains n; Low is the constant 4.
+	expectLines(t, runCheck(t, dir, "indexguard"), "internal/dec/bounds.go:7")
+}
+
+// TestAllocguardSizedAllocator: the module's own field constructors
+// allocate proportionally to their arguments and count as sinks.
+func TestAllocguardSizedAllocator(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/field/field.go": `package field
+
+type Field struct{ U []float32 }
+
+func New2D(nx, ny int) *Field { return &Field{U: make([]float32, nx*ny)} }
+`,
+		"internal/dec/dims.go": `package dec
+
+import (
+	"encoding/binary"
+
+	"fixture/internal/field"
+)
+
+func Decode(data []byte) *field.Field {
+	nx := int(binary.LittleEndian.Uint32(data))
+	ny := int(binary.LittleEndian.Uint32(data[4:]))
+	return field.New2D(nx, ny)
+}
+
+func DecodeChecked(data []byte) *field.Field {
+	nx := int(binary.LittleEndian.Uint32(data))
+	ny := int(binary.LittleEndian.Uint32(data[4:]))
+	if nx < 2 || ny < 2 || nx > 1<<20 || ny > 1<<20 {
+		return nil
+	}
+	return field.New2D(nx, ny)
+}
+`,
+	})
+	expectLines(t, runCheck(t, dir, "allocguard"), "internal/dec/dims.go:12")
+}
+
+// TestTaintThroughLoop: taint must survive loop-carried assignments
+// (fixpoint), and a Read inside a loop taints uses after the loop.
+func TestTaintThroughLoop(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/loop.go": `package dec
+
+import "encoding/binary"
+
+func Accumulate(data []byte) []byte {
+	total := 0
+	for off := 0; off+4 <= len(data); off += 4 {
+		total += int(binary.LittleEndian.Uint32(data[off:]))
+	}
+	return make([]byte, total)
+}
+
+func Reslice(data []byte) int {
+	sum := 0
+	for len(data) >= 4 {
+		n := int(binary.LittleEndian.Uint16(data))
+		data = data[:n]
+		sum += len(data)
+	}
+	return sum
+}
+`,
+	})
+	got := runCheck(t, dir, "allocguard")
+	expectLines(t, got, "internal/dec/loop.go:10")
+	expectLines(t, runCheck(t, dir, "indexguard"), "internal/dec/loop.go:17")
+}
+
+// TestTaintSuppression: dataflow findings honor //lint:allow like every
+// other check.
+func TestTaintSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/sup.go": `package dec
+
+import "encoding/binary"
+
+func Alloc(data []byte) []byte {
+	n := binary.LittleEndian.Uint16(data)
+	// The count is a uint16: at most 64 KiB, a harmless allocation.
+	//lint:allow allocguard n <= 65535 bounds the allocation to 64 KiB
+	return make([]byte, n)
+}
+`,
+	})
+	expectLines(t, runCheck(t, dir, "allocguard")) // none survive
+}

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 
@@ -61,12 +62,22 @@ func Gzip(data []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Gunzip decompresses a Gzip stream.
+// Gunzip decompresses a Gzip stream. gzip wraps DEFLATE, whose worst-case
+// expansion is ~1032:1, so the read is capped at that ratio: a hostile
+// stream cannot allocate without bound, and no valid stream is affected.
 func Gunzip(data []byte) ([]byte, error) {
 	r, err := gzip.NewReader(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	return io.ReadAll(r)
+	capacity := 1032*uint64(len(data)) + 64
+	out, err := io.ReadAll(io.LimitReader(r, int64(capacity)+1))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(out)) > capacity {
+		return nil, errors.New("baseline: gzip stream inflates beyond plausible ratio")
+	}
+	return out, nil
 }

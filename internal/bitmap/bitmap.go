@@ -78,6 +78,12 @@ func (b *Bitmap) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("bitmap: truncated header (%d bytes)", len(data))
 	}
 	n := int(binary.LittleEndian.Uint64(data))
+	if n < 0 {
+		// A bit count with the top bit set wraps negative on 64-bit int;
+		// (n+63)/64 would then be ≤ 0 and a crafted 8-byte payload could
+		// pass the size check below with a nonsense n.
+		return fmt.Errorf("bitmap: invalid bit count %d", n)
+	}
 	nw := (n + 63) / 64
 	if len(data) != 8+8*nw {
 		return fmt.Errorf("bitmap: payload size %d does not match %d bits", len(data)-8, n)

@@ -1,6 +1,7 @@
 package bitmap
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -117,5 +118,17 @@ func TestUnmarshalRejectsBadSizes(t *testing.T) {
 	good, _ := New(70).MarshalBinary()
 	if err := b.UnmarshalBinary(good[:len(good)-1]); err == nil {
 		t.Error("expected error for truncated payload")
+	}
+}
+
+func TestUnmarshalRejectsNegativeBitCount(t *testing.T) {
+	// A length with the top bit set wraps to a negative int; (n+63)/64 is
+	// then 0, so an 8-byte payload used to pass the size check and leave
+	// the bitmap with a negative length.
+	var b Bitmap
+	data := make([]byte, 8)
+	binary.LittleEndian.PutUint64(data, ^uint64(0)) // n = -1 as int64
+	if err := b.UnmarshalBinary(data); err == nil {
+		t.Error("expected error for negative bit count")
 	}
 }

@@ -101,13 +101,22 @@ func (p *patchSet) marshal(ncomp int) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
+// maxPatchInflateRatio is DEFLATE's worst-case expansion (~1032:1);
+// a patch section claiming more is fabricated, and capping the inflate
+// keeps it from allocating without bound.
+const maxPatchInflateRatio = 1032
+
 func unmarshalPatch(packed []byte, ncomp int) (patchSet, error) {
 	var p patchSet
+	capacity := maxPatchInflateRatio*uint64(len(packed)) + 64
 	r := flate.NewReader(bytes.NewReader(packed))
-	body, err := io.ReadAll(r)
+	body, err := io.ReadAll(io.LimitReader(r, int64(capacity)+1))
 	r.Close()
 	if err != nil {
 		return p, fmt.Errorf("core: patch inflate: %w", err)
+	}
+	if uint64(len(body)) > capacity {
+		return p, errors.New("core: patch inflates beyond plausible ratio")
 	}
 	count, n := binary.Uvarint(body)
 	if n <= 0 {

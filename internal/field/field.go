@@ -150,7 +150,17 @@ func (f *Field) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadFrom deserializes a field written by WriteTo.
+// maxAxis caps each header axis. 2^21 samples per axis is far beyond any
+// dataset in the paper and keeps a fabricated header from sizing a giant
+// allocation before the stream proves it carries the bytes.
+const maxAxis = 1 << 21
+
+// ReadFrom deserializes a field written by WriteTo. The header is
+// untrusted input: each axis is validated before any size computation
+// (the old path let a 20-byte header claim arbitrary dimensions, driving
+// an enormous allocation — or a panic for axes below the grid minimum),
+// and component data is read in bounded chunks so committed memory grows
+// only as fast as the stream actually delivers samples.
 func ReadFrom(r io.Reader) (*Field, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -167,19 +177,53 @@ func ReadFrom(r io.Reader) (*Field, error) {
 		}
 	}
 	dim, nx, ny, nz := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
-	var f *Field
+	ncomp := 2
 	switch dim {
 	case 2:
-		f = New2D(nx, ny)
+		nz = 1 // a 2D header cannot smuggle a third axis into the product
 	case 3:
-		f = New3D(nx, ny, nz)
+		ncomp = 3
+		if nz < 2 || nz > maxAxis {
+			return nil, fmt.Errorf("field: implausible dims %dx%dx%d", nx, ny, nz)
+		}
 	default:
 		return nil, fmt.Errorf("field: unsupported dimension %d", dim)
 	}
-	for _, comp := range f.Components() {
-		if err := binary.Read(br, binary.LittleEndian, comp); err != nil {
-			return nil, fmt.Errorf("field: reading component: %w", err)
+	if nx < 2 || nx > maxAxis || ny < 2 || ny > maxAxis {
+		return nil, fmt.Errorf("field: implausible dims %dx%dx%d", nx, ny, nz)
+	}
+	nv := nx * ny * nz // axes ≤ 2^21, so the product fits in int64
+	comps := make([][]float32, ncomp)
+	for c := range comps {
+		vals, err := readComponent(br, nv)
+		if err != nil {
+			return nil, err
 		}
+		comps[c] = vals
+	}
+	f := &Field{U: comps[0], V: comps[1]}
+	if dim == 2 {
+		f.Grid = grid.New2D(nx, ny)
+	} else {
+		f.Grid = grid.New3D(nx, ny, nz)
+		f.W = comps[2]
 	}
 	return f, nil
+}
+
+// readComponent reads n little-endian float32 samples in bounded chunks,
+// growing the result as bytes arrive, so n may come from an untrusted
+// (axis-validated) header without pre-committing the full allocation.
+func readComponent(br *bufio.Reader, n int) ([]float32, error) {
+	const chunk = 1 << 18 // 1 MiB of float32 samples per read
+	tmp := make([]float32, min(chunk, n))
+	out := make([]float32, 0, min(chunk, n))
+	for len(out) < n {
+		t := tmp[:min(chunk, n-len(out))]
+		if err := binary.Read(br, binary.LittleEndian, t); err != nil {
+			return nil, fmt.Errorf("field: reading component: %w", err)
+		}
+		out = append(out, t...)
+	}
+	return out, nil
 }

@@ -2,6 +2,7 @@ package field
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -179,5 +180,32 @@ func TestReadFromRejectsTruncated(t *testing.T) {
 	}
 	if _, err := ReadFrom(bytes.NewReader(buf.Bytes()[:buf.Len()-5])); err == nil {
 		t.Fatal("expected error for truncated stream")
+	}
+}
+
+// forgeHeader builds a TSPF header with the given dims and an optional
+// payload tail, bypassing WriteTo's validity.
+func forgeHeader(dim, nx, ny, nz uint32, tail int) []byte {
+	buf := []byte(fileMagic)
+	for _, h := range []uint32{dim, nx, ny, nz} {
+		buf = binary.LittleEndian.AppendUint32(buf, h)
+	}
+	return append(buf, make([]byte, tail)...)
+}
+
+func TestReadFromRejectsFabricatedDims(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		hdr  []byte
+	}{
+		{"2D nx beyond axis cap", forgeHeader(2, 1<<30, 4, 0, 0)},
+		{"3D nz beyond axis cap", forgeHeader(3, 4, 4, 1<<30, 0)},
+		{"2D degenerate axis", forgeHeader(2, 1, 4, 0, 0)}, // used to panic in New2D
+		{"bad dimensionality", forgeHeader(7, 4, 4, 4, 0)},
+		{"unbacked vertex claim", forgeHeader(2, 1<<20, 1<<20, 0, 64)},
+	} {
+		if _, err := ReadFrom(bytes.NewReader(tc.hdr)); err == nil {
+			t.Errorf("%s: fabricated header accepted", tc.name)
+		}
 	}
 }

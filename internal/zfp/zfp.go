@@ -34,6 +34,13 @@ const (
 	// scaled to q = x·2^(fixedBits−e) with e the block's common exponent.
 	fixedBits = 21
 	magic     = "ZFPG"
+	// maxAxis caps each header axis before the vertex-count check; far
+	// beyond any real dataset, small enough that three axes multiplied
+	// cannot overflow uint64.
+	maxAxis = 1 << 21
+	// maxInflateRatio is DEFLATE's worst-case expansion (~1032:1 for a
+	// run of zeros); anything claiming more is a fabricated stream.
+	maxInflateRatio = 1032
 )
 
 // Compress encodes every component of f independently under the absolute
@@ -97,20 +104,32 @@ func Decompress(data []byte) (*field.Field, error) {
 	ny := int(binary.LittleEndian.Uint32(data[off+4:]))
 	nz := int(binary.LittleEndian.Uint32(data[off+8:]))
 	off += 12 + 8 // skip tol
-	var f *field.Field
-	switch dim {
-	case 2:
-		if nx < 2 || ny < 2 {
-			return nil, fmt.Errorf("zfp: invalid dims %dx%d", nx, ny)
-		}
-		f = field.New2D(nx, ny)
-	case 3:
-		if nx < 2 || ny < 2 || nz < 2 {
-			return nil, fmt.Errorf("zfp: invalid dims %dx%dx%d", nx, ny, nz)
-		}
-		f = field.New3D(nx, ny, nz)
-	default:
+	if dim != 2 && dim != 3 {
 		return nil, fmt.Errorf("zfp: invalid dimension %d", dim)
+	}
+	if dim == 2 {
+		nz = 1 // a 2D header cannot smuggle a third axis into the product
+	}
+	if nx < 2 || ny < 2 || (dim == 3 && nz < 2) {
+		return nil, fmt.Errorf("zfp: invalid dims %dx%dx%d", nx, ny, nz)
+	}
+	// The dims come straight from the stream: bound each axis, then bound
+	// the vertex count by what the stream could possibly encode (every
+	// vertex costs at least one Huffman bit, and DEFLATE expands at most
+	// maxInflateRatio:1), so a fabricated header cannot drive a huge
+	// field allocation.
+	if nx > maxAxis || ny > maxAxis || nz > maxAxis {
+		return nil, fmt.Errorf("zfp: implausible dims %dx%dx%d", nx, ny, nz)
+	}
+	nv := uint64(nx) * uint64(ny) * uint64(nz) // axes ≤ 2^21: no overflow
+	if nv > 8*maxInflateRatio*uint64(len(data))+64 {
+		return nil, fmt.Errorf("zfp: dims %dx%dx%d exceed stream capacity", nx, ny, nz)
+	}
+	var f *field.Field
+	if dim == 2 {
+		f = field.New2D(nx, ny)
+	} else {
+		f = field.New3D(nx, ny, nz)
 	}
 	for _, comp := range f.Components() {
 		if off+8 > len(data) {
@@ -166,9 +185,20 @@ func deflatePack(data []byte) ([]byte, error) {
 }
 
 func inflateUnpack(data []byte) ([]byte, error) {
+	// DEFLATE cannot expand beyond ~maxInflateRatio:1, so a valid payload
+	// is bounded by its packed size; cap the read so a crafted section
+	// cannot allocate without bound.
+	capacity := maxInflateRatio*uint64(len(data)) + 64
 	r := flate.NewReader(bytes.NewReader(data))
 	defer r.Close()
-	return io.ReadAll(r)
+	out, err := io.ReadAll(io.LimitReader(r, int64(capacity)+1))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(out)) > capacity {
+		return nil, errors.New("zfp: section inflates beyond plausible ratio")
+	}
+	return out, nil
 }
 
 // blockCount returns ceil(n / blockEdge).

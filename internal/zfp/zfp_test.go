@@ -1,6 +1,7 @@
 package zfp
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -189,6 +190,28 @@ func BenchmarkCompress2D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Compress(f, 1e-3); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecompressRejectsFabricatedDims(t *testing.T) {
+	f := datagen.CBA(20, 12)
+	stream, err := Compress(f, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header layout: magic(4) version(1) dim(1) pad(2) nx(4) ny(4) nz(4).
+	for _, tc := range []struct {
+		name string
+		nx   uint32
+	}{
+		{"beyond axis cap", 1 << 30},
+		{"beyond stream capacity", 1 << 20},
+	} {
+		forged := append([]byte(nil), stream...)
+		binary.LittleEndian.PutUint32(forged[8:], tc.nx)
+		if _, err := Decompress(forged); err == nil {
+			t.Errorf("%s: forged nx=%d accepted", tc.name, tc.nx)
 		}
 	}
 }
