@@ -297,7 +297,10 @@ func (m *Module) loadAll(rels, dirs []string) error {
 		parallel.For(len(batch), 0, 1, func(i int) {
 			deps[i] = m.scanImports(batch[i], dfset, known)
 		})
-		frontier = frontier[:0]
+		// A fresh slice, not frontier[:0]: batch aliases the old backing
+		// array, and appends below must not scribble over it while the
+		// loops that follow still read batch.
+		frontier = nil
 		for i, rel := range batch {
 			m.slots[rel] = &pkgSlot{rel: rel, imports: deps[i]}
 		}

@@ -192,7 +192,15 @@ func ReadFrom(r io.Reader) (*Field, error) {
 	if nx < 2 || nx > maxAxis || ny < 2 || ny > maxAxis {
 		return nil, fmt.Errorf("field: implausible dims %dx%dx%d", nx, ny, nz)
 	}
-	nv := nx * ny * nz // axes ≤ 2^21, so the product fits in int64
+	// Each axis is ≤ 2^21, so the three-axis product is ≤ 2^63 — which
+	// fits uint64 but not int: at the all-max boundary it wraps negative
+	// and make would panic. Compute in uint64 and reject anything that
+	// cannot index a slice.
+	nv64 := uint64(nx) * uint64(ny) * uint64(nz)
+	if nv64 > math.MaxInt {
+		return nil, fmt.Errorf("field: implausible dims %dx%dx%d", nx, ny, nz)
+	}
+	nv := int(nv64)
 	comps := make([][]float32, ncomp)
 	for c := range comps {
 		vals, err := readComponent(br, nv)

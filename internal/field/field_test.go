@@ -203,6 +203,9 @@ func TestReadFromRejectsFabricatedDims(t *testing.T) {
 		{"2D degenerate axis", forgeHeader(2, 1, 4, 0, 0)}, // used to panic in New2D
 		{"bad dimensionality", forgeHeader(7, 4, 4, 4, 0)},
 		{"unbacked vertex claim", forgeHeader(2, 1<<20, 1<<20, 0, 64)},
+		// Every axis at the cap: each check passes but the product is
+		// 2^63, which wraps a signed int — this used to panic in make.
+		{"all-max axes product overflow", forgeHeader(3, 1<<21, 1<<21, 1<<21, 0)},
 	} {
 		if _, err := ReadFrom(bytes.NewReader(tc.hdr)); err == nil {
 			t.Errorf("%s: fabricated header accepted", tc.name)

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"tspsz/internal/field"
+	"tspsz/internal/grid"
 	"tspsz/internal/huffman"
 )
 
@@ -113,25 +114,26 @@ func Decompress(data []byte) (*field.Field, error) {
 	if nx < 2 || ny < 2 || (dim == 3 && nz < 2) {
 		return nil, fmt.Errorf("zfp: invalid dims %dx%dx%d", nx, ny, nz)
 	}
-	// The dims come straight from the stream: bound each axis, then bound
-	// the vertex count by what the stream could possibly encode (every
-	// vertex costs at least one Huffman bit, and DEFLATE expands at most
-	// maxInflateRatio:1), so a fabricated header cannot drive a huge
-	// field allocation.
+	// The dims come straight from the stream: bound each axis, then
+	// fast-reject vertex counts the stream could not possibly encode
+	// (every vertex costs at least one Huffman bit, and DEFLATE expands
+	// at most maxInflateRatio:1). The division form cannot overflow. This
+	// is only a cheap screen — the component allocations below happen
+	// after each section's payload has actually inflated and decoded, so
+	// committed memory tracks delivered bytes, not header claims.
 	if nx > maxAxis || ny > maxAxis || nz > maxAxis {
 		return nil, fmt.Errorf("zfp: implausible dims %dx%dx%d", nx, ny, nz)
 	}
 	nv := uint64(nx) * uint64(ny) * uint64(nz) // axes ≤ 2^21: no overflow
-	if nv > 8*maxInflateRatio*uint64(len(data))+64 {
+	if nv/(8*maxInflateRatio) > uint64(len(data)) {
 		return nil, fmt.Errorf("zfp: dims %dx%dx%d exceed stream capacity", nx, ny, nz)
 	}
-	var f *field.Field
-	if dim == 2 {
-		f = field.New2D(nx, ny)
-	} else {
-		f = field.New3D(nx, ny, nz)
+	ncomp := 2
+	if dim == 3 {
+		ncomp = 3
 	}
-	for _, comp := range f.Components() {
+	comps := make([][]float32, 0, ncomp)
+	for c := 0; c < ncomp; c++ {
 		if off+8 > len(data) {
 			return nil, errors.New("zfp: truncated symbol section")
 		}
@@ -162,9 +164,18 @@ func Decompress(data []byte) (*field.Field, error) {
 			return nil, err
 		}
 		off += int(n)
-		if err := decodeComponent(comp, nx, ny, nz, dim, syms, side); err != nil {
+		vals, err := decodeComponent(int(nv), nx, ny, nz, dim, syms, side)
+		if err != nil {
 			return nil, err
 		}
+		comps = append(comps, vals)
+	}
+	f := &field.Field{U: comps[0], V: comps[1]}
+	if dim == 2 {
+		f.Grid = grid.New2D(nx, ny)
+	} else {
+		f.Grid = grid.New3D(nx, ny, nz)
+		f.W = comps[2]
 	}
 	return f, nil
 }
@@ -236,7 +247,10 @@ func encodeComponent(vals []float32, nx, ny, nz, dim int, tol float64) (syms []u
 	return syms, side, nil
 }
 
-func decodeComponent(vals []float32, nx, ny, nz, dim int, syms []uint32, side []byte) error {
+// decodeComponent validates the decoded sections against the block geometry
+// and only then allocates the component, so the field-sized allocation is
+// always backed by an equal volume of symbols the stream really delivered.
+func decodeComponent(nv, nx, ny, nz, dim int, syms []uint32, side []byte) ([]float32, error) {
 	bz := 1
 	if dim == 3 {
 		bz = blockCount(nz)
@@ -248,9 +262,10 @@ func decodeComponent(vals []float32, nx, ny, nz, dim int, syms []uint32, side []
 	}
 	nBlocks := bx * by * bz
 	if len(side) != 2*nBlocks || len(syms) != nBlocks*blockLen {
-		return fmt.Errorf("zfp: stream carries %d blocks/%d syms, want %d/%d",
+		return nil, fmt.Errorf("zfp: stream carries %d blocks/%d syms, want %d/%d",
 			len(side)/2, len(syms), nBlocks, nBlocks*blockLen)
 	}
+	vals := make([]float32, nv)
 	coefs := make([]int64, blockLen)
 	block := make([]float64, blockLen)
 	bi := 0
@@ -260,7 +275,7 @@ func decodeComponent(vals []float32, nx, ny, nz, dim int, syms []uint32, side []
 				e := int(side[2*bi]) - 128
 				drop := int(side[2*bi+1])
 				if drop > 62 {
-					return fmt.Errorf("zfp: invalid drop %d", drop)
+					return nil, fmt.Errorf("zfp: invalid drop %d", drop)
 				}
 				for i := 0; i < blockLen; i++ {
 					coefs[i] = unzigzag64(syms[bi*blockLen+i]) << uint(drop)
@@ -271,7 +286,7 @@ func decodeComponent(vals []float32, nx, ny, nz, dim int, syms []uint32, side []
 			}
 		}
 	}
-	return nil
+	return vals, nil
 }
 
 // gatherBlock copies one block, clamping reads to the domain (edge

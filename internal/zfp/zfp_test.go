@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -213,5 +214,31 @@ func TestDecompressRejectsFabricatedDims(t *testing.T) {
 		if _, err := Decompress(forged); err == nil {
 			t.Errorf("%s: forged nx=%d accepted", tc.name, tc.nx)
 		}
+	}
+}
+
+func TestDecompressDefersFieldAllocation(t *testing.T) {
+	// A forged header can claim dims that pass the stream-capacity screen
+	// (the zero padding makes ~8.4M vertices look encodable), but the
+	// decoder must not commit the ~100 MB field before the sections
+	// actually inflate and decode — it used to allocate all components
+	// up front, straight off the header.
+	buf := []byte(magic)
+	buf = append(buf, 1, 3, 0, 0)
+	for _, v := range []uint32{2048, 2048, 2} {
+		buf = binary.LittleEndian.AppendUint32(buf, v)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(1e-3))
+	buf = append(buf, make([]byte, 10240)...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := Decompress(buf); err == nil {
+		t.Fatal("forged stream accepted")
+	}
+	runtime.ReadMemStats(&after)
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 16<<20 {
+		t.Fatalf("decoder allocated %d bytes before validating a forged header's payload", delta)
 	}
 }
