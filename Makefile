@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench bench-smoke bench-full race fuzz-smoke cover experiments figures clean
+.PHONY: all build vet lint test bench bench-smoke bench-full race fuzz-smoke fault-sweep cover experiments figures clean
 
 all: build vet lint test
 
@@ -27,12 +27,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# 10-second native-fuzzing smoke per decoder entry point; each package has
-# exactly one Fuzz target so -fuzz=Fuzz is unambiguous.
+# 10-second native-fuzzing smoke per decoder entry point. Crashing inputs
+# land in <pkg>/testdata/fuzz/<Target>/ — CI uploads them as artifacts.
 fuzz-smoke:
-	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/huffman
-	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/core
-	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/cpsz
+	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=10s -run='^$$' ./internal/huffman
+	$(GO) test -fuzz='^FuzzDecompress$$' -fuzztime=10s -run='^$$' ./internal/core
+	$(GO) test -fuzz='^FuzzDecompressSequence$$' -fuzztime=10s -run='^$$' ./internal/core
+	$(GO) test -fuzz='^FuzzDecompressTruncated$$' -fuzztime=10s -run='^$$' ./internal/cpsz
+
+# Byte-level fault-injection sweeps under the race detector: every byte
+# flipped, every offset truncated, seeded random corruption — decoded with
+# parallel workers through both the cpSZ layer and the public API. -short
+# strides the byte sweep for CI; run without it for the exhaustive pass.
+fault-sweep:
+	$(GO) test -race -short -run='^TestFaultSweep$$' ./internal/cpsz
+	$(GO) test -race -short -run='^(TestFaultSweepPublicAPI|TestReadFieldFaultyReader)$$' .
 
 # Perf-trajectory harness: run the key hot-path benchmarks BENCH_COUNT
 # times each and record the mean ns/op, B/op, and allocs/op per benchmark

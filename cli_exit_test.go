@@ -1,0 +1,88 @@
+package tspsz_test
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tspsz"
+	"tspsz/internal/faultinject"
+)
+
+// exitCodeOf runs the binary and returns its exit code plus combined output.
+func exitCodeOf(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// The CLI must map the stream-failure taxonomy to distinct exit codes, so
+// batch pipelines over thousands of archives can branch on $? alone:
+// 0 ok, 2 usage, 3 truncated, 4 corrupt, 5 version, 6 header.
+func TestCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exit codes in short mode")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "tspsz")
+
+	f := demoField()
+	res, err := tspsz.Compress(f, tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := res.Bytes
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	valid := write("valid.tsz", stream)
+	truncated := write("truncated.tsz", faultinject.Truncate(stream, len(stream)/2))
+	corrupt := write("corrupt.tsz", faultinject.FlipBit(stream, len(stream)/2, 0))
+	futureVersion := write("future.tsz", faultinject.ZeroRange(stream, 4, 5)) // version byte -> 0
+	badMagic := write("bad-magic.tsz", append([]byte("NOPE"), stream[4:]...))
+	outPath := filepath.Join(dir, "out.tspf")
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no subcommand", nil, 2},
+		{"unknown subcommand", []string{"frobnicate"}, 2},
+		{"verify ok", []string{"verify", "-in", valid}, 0},
+		{"decompress ok", []string{"decompress", "-in", valid, "-out", outPath}, 0},
+		{"missing flag", []string{"verify"}, 1},
+		{"verify truncated", []string{"verify", "-in", truncated}, 3},
+		{"decompress truncated", []string{"decompress", "-in", truncated, "-out", outPath}, 3},
+		{"verify corrupt", []string{"verify", "-in", corrupt}, 4},
+		{"decompress corrupt", []string{"decompress", "-in", corrupt, "-out", outPath}, 4},
+		{"verify version", []string{"verify", "-in", futureVersion}, 5},
+		{"decompress version", []string{"decompress", "-in", futureVersion, "-out", outPath}, 5},
+		{"verify header", []string{"verify", "-in", badMagic}, 6},
+		{"decompress header", []string{"decompress", "-in", badMagic, "-out", outPath}, 6},
+	}
+	for _, tc := range cases {
+		got, out := exitCodeOf(t, bin, tc.args...)
+		if got != tc.want {
+			t.Errorf("%s: exit code %d, want %d\n%s", tc.name, got, tc.want, out)
+		}
+	}
+
+	if _, out := exitCodeOf(t, bin, "verify", "-in", valid); !strings.Contains(out, "all checksums OK") {
+		t.Errorf("verify output: %s", out)
+	}
+}

@@ -7,11 +7,18 @@
 //	tspsz gen        -dataset ocean -scale 0.1 -out ocean.tspf
 //	tspsz compress   -in ocean.tspf -out ocean.tsz -variant i -mode abs -eb 5e-2
 //	tspsz decompress -in ocean.tsz -out ocean.dec.tspf
+//	tspsz verify     -in ocean.tsz
 //	tspsz inspect    -in ocean.tspf
 //	tspsz compare    -orig ocean.tspf -dec ocean.dec.tspf -tau 1.4142
+//
+// Exit codes distinguish stream-failure classes so batch pipelines can
+// branch without parsing stderr: 0 success, 1 generic failure, 2 usage,
+// 3 truncated stream, 4 corrupt stream, 5 unsupported version, 6 invalid
+// header, 7 contained decoder panic.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,52 +32,115 @@ import (
 	"tspsz/internal/skeleton"
 )
 
+// Process exit codes for the stream-failure taxonomy.
+const (
+	exitUsage     = 2
+	exitTruncated = 3
+	exitCorrupt   = 4
+	exitVersion   = 5
+	exitHeader    = 6
+	exitPanic     = 7
+)
+
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+// realMain returns rather than exits so every command's deferred cleanup
+// (file closes, flushes) runs before the process dies.
+func realMain(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "gen":
-		err = cmdGen(os.Args[2:])
+		err = cmdGen(args[1:])
 	case "compress":
-		err = cmdCompress(os.Args[2:])
+		err = cmdCompress(args[1:])
 	case "decompress":
-		err = cmdDecompress(os.Args[2:])
+		err = cmdDecompress(args[1:])
+	case "verify":
+		err = cmdVerify(args[1:])
 	case "inspect":
-		err = cmdInspect(os.Args[2:])
+		err = cmdInspect(args[1:])
 	case "compare":
-		err = cmdCompare(os.Args[2:])
+		err = cmdCompare(args[1:])
 	case "export":
-		err = cmdExport(os.Args[2:])
+		err = cmdExport(args[1:])
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(args[1:])
 	case "compress-seq":
-		err = cmdCompressSeq(os.Args[2:])
+		err = cmdCompressSeq(args[1:])
 	case "decompress-seq":
-		err = cmdDecompressSeq(os.Args[2:])
+		err = cmdDecompressSeq(args[1:])
 	default:
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tspsz:", err)
-		os.Exit(1)
+		return exitCode(err)
 	}
+	return 0
+}
+
+// exitCode maps the error taxonomy to distinct process exit codes. A
+// contained worker panic is checked first: it is also ErrCorrupt, but a
+// panic means a decoder bug worth telling apart from plain bad bytes.
+func exitCode(err error) int {
+	var pc interface{ PanicValue() any }
+	switch {
+	case errors.As(err, &pc):
+		return exitPanic
+	case errors.Is(err, tspsz.ErrTruncated):
+		return exitTruncated
+	case errors.Is(err, tspsz.ErrCorrupt):
+		return exitCorrupt
+	case errors.Is(err, tspsz.ErrVersion):
+		return exitVersion
+	case errors.Is(err, tspsz.ErrHeader):
+		return exitHeader
+	}
+	return 1
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: tspsz <gen|compress|decompress|inspect|compare> [flags]
+	fmt.Fprintln(os.Stderr, `usage: tspsz <gen|compress|decompress|verify|inspect|compare> [flags]
   gen        generate a synthetic dataset (cba, ocean, hurricane, nek5000)
   compress   compress a .tspf field into a .tsz stream
   decompress reconstruct a .tspf field from a .tsz stream
+  verify     checksum-scan a .tsz/.tsq stream without decoding it
   inspect    print a field's topological skeleton summary
   compare    compare skeletons of two fields (original vs decompressed)
   export     write a field's topological skeleton as legacy VTK polydata
   stats      print value range, divergence, and vorticity diagnostics
   compress-seq   compress a time series of .tspf frames with temporal prediction
-  decompress-seq reconstruct every frame of a .tsq sequence stream`)
+  decompress-seq reconstruct every frame of a .tsq sequence stream
+exit codes: 0 ok, 1 error, 2 usage, 3 truncated, 4 corrupt, 5 version, 6 header, 7 decoder panic`)
+}
+
+// cmdVerify checks every integrity layer of a compressed stream — header
+// CRC32C, per-chunk checksums, archive trailer — without inflating or
+// decoding payloads, so damaged archives surface at I/O speed.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "input .tsz or .tsq path (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("verify: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := tspsz.Verify(data); err != nil {
+		return fmt.Errorf("verify %s: %w", *in, err)
+	}
+	fmt.Printf("%s: %d bytes, all checksums OK in %v\n", *in, len(data), time.Since(t0).Round(time.Microsecond))
+	return nil
 }
 
 func cmdGen(args []string) error {

@@ -20,6 +20,9 @@
 //	              from the untrusted stream without a dominating bound
 //	indexguard  — no slice/array index or slice bound that derives from
 //	              the untrusted stream without a dominating range check
+//	panicguard  — no bare parallel.For/ForChunks/ReduceRanges in the
+//	              decode-path packages; workers must dispatch through the
+//	              panic-containing *Err variants
 //
 // allocguard and indexguard are dataflow checks: a per-function CFG
 // (cfg.go) plus a forward taint analysis (taint.go) tracks values
@@ -75,6 +78,7 @@ func AllChecks() []*Check {
 		narrowingCheck(),
 		allocguardCheck(),
 		indexguardCheck(),
+		panicguardCheck(),
 	}
 }
 

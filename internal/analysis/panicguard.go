@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// decodePathDirs are the packages whose code runs while parsing untrusted
+// archive bytes. A panic inside a bare dispatcher worker (parallel.For and
+// friends) crosses the goroutine boundary and kills the whole process, so
+// these packages must dispatch through the panic-containing *Err variants,
+// which convert a worker panic into an error the entry-point Guard can
+// classify.
+var decodePathDirs = []string{
+	"internal/core",
+	"internal/cpsz",
+	"internal/zfp",
+	"internal/huffman",
+	"internal/field",
+}
+
+// bareDispatch maps each panic-unsafe dispatcher entry point to its
+// containing replacement.
+var bareDispatch = map[string]string{
+	"For":          "ForErr",
+	"ForChunks":    "ForChunksErr",
+	"ReduceRanges": "ReduceRangesErr",
+}
+
+func panicguardCheck() *Check {
+	return &Check{
+		Name: "panicguard",
+		Doc: `Flags calls to the bare parallel dispatchers (parallel.For,
+parallel.ForChunks, parallel.ReduceRanges) inside the decode-path packages
+(internal/core, cpsz, zfp, huffman, field). Decoders run on untrusted
+bytes: a panic inside a bare dispatcher's worker goroutine cannot be
+recovered by the decode entry point and takes down the whole process. The
+*Err variants recover worker panics into errors, which streamerr.Guard
+then classifies as ErrCorrupt, so tspsz.Decompress can never crash its
+caller. Compression-side code in these packages is held to the same rule:
+it shares the dispatcher call sites with decode paths, and a contained
+panic with a stack beats a crash there too.`,
+		Run: runPanicguard,
+	}
+}
+
+func runPanicguard(p *Package) []Finding {
+	if !inScope(p, decodePathDirs...) {
+		return nil
+	}
+	var out []Finding
+	inspectFiles(p, func(f *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := dispatcherSelector(p.Info, call.Fun)
+		if !ok {
+			return true
+		}
+		if repl, bare := bareDispatch[name]; bare {
+			out = append(out, p.finding("panicguard", call,
+				"parallel."+name+" in a decode-path package; use parallel."+repl+
+					" so a worker panic is contained instead of killing the process"))
+		}
+		return true
+	})
+	return out
+}
+
+// dispatcherSelector reports whether e is a selector parallel.Name where
+// parallel resolves to an import of the internal/parallel package (of any
+// module), returning the selected name.
+func dispatcherSelector(info *types.Info, e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	path := pn.Imported().Path()
+	if path != "internal/parallel" && !strings.HasSuffix(path, "/internal/parallel") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import "testing"
+
+// parallelFixture is a minimal dispatcher package shared by the panicguard
+// fixtures; the check resolves it through the import, not by name, so it
+// lives at internal/parallel like the real one.
+const parallelFixture = `package parallel
+
+func For(n, workers, grain int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func ForErr(n, workers, grain int, fn func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ReduceRanges(n, workers int, fn func(lo, hi int)) { fn(0, n) }
+
+func ReduceRangesErr(n, workers int, fn func(lo, hi int) error) error { return fn(0, n) }
+`
+
+func TestPanicguardPositive(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/parallel/p.go": parallelFixture,
+		"internal/cpsz/a.go": `package cpsz
+
+import "fixture/internal/parallel"
+
+func Decode(n int) error {
+	parallel.For(n, 0, 1, func(i int) {})
+	return parallel.ForErr(n, 0, 1, func(i int) error { return nil })
+}
+
+func Histogram(n int) {
+	parallel.ReduceRanges(n, 0, func(lo, hi int) {})
+}
+`,
+	})
+	got := runCheck(t, dir, "panicguard")
+	// The bare For and ReduceRanges; the ForErr call is the fix, not a finding.
+	expectLines(t, got,
+		"internal/cpsz/a.go:6",
+		"internal/cpsz/a.go:11",
+	)
+}
+
+func TestPanicguardScopedToDecodePaths(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/parallel/p.go": parallelFixture,
+		// skeleton extraction runs on in-memory fields the caller built, not
+		// on untrusted archive bytes — bare dispatch is fine there.
+		"internal/skeleton/s.go": `package skeleton
+
+import "fixture/internal/parallel"
+
+func Extract(n int) {
+	parallel.For(n, 0, 1, func(i int) {})
+}
+`,
+	})
+	if got := runCheck(t, dir, "panicguard"); len(got) != 0 {
+		t.Fatalf("unexpected findings outside decode paths: %v", got)
+	}
+}
+
+func TestPanicguardSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/parallel/p.go": parallelFixture,
+		"internal/huffman/h.go": `package huffman
+
+import "fixture/internal/parallel"
+
+func Build(n int) {
+	parallel.For(n, 0, 1, func(i int) {}) //lint:allow panicguard closure cannot panic: indexes a slice it sized
+}
+`,
+	})
+	if got := runCheck(t, dir, "panicguard"); len(got) != 0 {
+		t.Fatalf("suppressed finding still reported: %v", got)
+	}
+}

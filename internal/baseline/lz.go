@@ -82,7 +82,12 @@ func LZ(data []byte) []byte {
 	out = append(out, lzMagic...)
 	out = binary.AppendUvarint(out, uint64(len(data)))
 	for _, section := range [][]uint32{litLens, matchLens, dists, litSyms} {
-		enc := huffman.Encode(section)
+		// The sections are generated locally just above, so an encode
+		// failure is an internal invariant violation, not an input error.
+		enc, err := huffman.Encode(section)
+		if err != nil {
+			panic(err)
+		}
 		out = binary.AppendUvarint(out, uint64(len(enc)))
 		out = append(out, enc...)
 	}

@@ -5,27 +5,50 @@ import (
 	"compress/flate"
 	"encoding/binary"
 	"errors"
-	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sort"
 
 	"tspsz/internal/bitmap"
 	"tspsz/internal/field"
+	"tspsz/internal/streamerr"
 )
 
 // The TspSZ container wraps the cpSZ stream with a variant tag and the
 // TspSZ-i correction patch (compressed₂ in Algorithm 3):
 //
 //	magic "TSPZ" | version u8 | variant u8 | ncomp u8 | pad u8
+//	[v3: u32 CRC32C of the 8 header bytes]
 //	u64 patchLen | DEFLATE(patch) | u64 innerLen | inner cpSZ stream
+//	[v3: u64 totalLen | u32 CRC32C of all preceding bytes]
 //
 // The patch body is: u64 count | varint index deltas | per-component
 // float32 values (count × ncomp × 4 bytes, little endian).
+//
+// Container version 3 seals the header with a CRC32C and appends a
+// whole-container trailer, mirroring the inner cpSZ stream's v3 integrity
+// layer; version 2 was never emitted at this layer — the number is skipped
+// so the container and stream generations stay aligned. The v1 reader is
+// preserved.
 const containerMagic = "TSPZ"
-const containerVersion = 1
+const (
+	containerV1      = 1
+	containerV3      = 3
+	containerVersion = containerV3
+)
 
-var errBadContainer = errors.New("core: bad magic, not a TspSZ container")
+// containerHeaderBytes is the fixed header shared by every version; v3
+// follows it with containerCRCBytes of CRC32C and ends with a
+// containerTrailerBytes trailer (u64 length + u32 CRC32C).
+const (
+	containerHeaderBytes  = 8
+	containerCRCBytes     = 4
+	containerTrailerBytes = 12
+)
+
+// crcTable selects the Castagnoli polynomial (hardware CRC path).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // patchSet is the correction set V of Algorithm 3: vertex indices restored
 // to their original values, with those values.
@@ -56,12 +79,12 @@ func buildPatch(orig *field.Field, patched *bitmap.Bitmap) patchSet {
 func (p *patchSet) apply(f *field.Field) error {
 	comps := f.Components()
 	if len(p.values) != len(comps) {
-		return fmt.Errorf("core: patch has %d components, field has %d", len(p.values), len(comps))
+		return streamerr.Corrupt("patch", "patch has %d components, field has %d", len(p.values), len(comps))
 	}
 	n := f.NumVertices()
 	for ei, idx := range p.indices {
 		if idx < 0 || idx >= n {
-			return fmt.Errorf("core: patch index %d out of range [0,%d)", idx, n)
+			return streamerr.Corrupt("patch", "patch index %d out of range [0,%d)", idx, n)
 		}
 		for c, vals := range comps {
 			vals[idx] = p.values[c][ei]
@@ -113,34 +136,34 @@ func unmarshalPatch(packed []byte, ncomp int) (patchSet, error) {
 	body, err := io.ReadAll(io.LimitReader(r, int64(capacity)+1))
 	r.Close()
 	if err != nil {
-		return p, fmt.Errorf("core: patch inflate: %w", err)
+		return p, streamerr.Wrap(streamerr.ErrCorrupt, "patch", err)
 	}
 	if uint64(len(body)) > capacity {
-		return p, errors.New("core: patch inflates beyond plausible ratio")
+		return p, streamerr.Corrupt("patch", "patch inflates beyond plausible ratio")
 	}
 	count, n := binary.Uvarint(body)
 	if n <= 0 {
-		return p, errors.New("core: truncated patch count")
+		return p, streamerr.Truncated("patch", "patch count cut off")
 	}
 	body = body[n:]
 	// Each entry takes at least 1 index byte plus 4 value bytes per
 	// component; reject counts the body cannot back before allocating.
 	if count > uint64(len(body)) {
-		return p, fmt.Errorf("core: patch count %d exceeds body size %d", count, len(body))
+		return p, streamerr.Corrupt("patch", "patch count %d exceeds body size %d", count, len(body))
 	}
 	p.indices = make([]int, count)
 	prev := uint64(0)
 	for i := range p.indices {
 		d, n := binary.Uvarint(body)
 		if n <= 0 {
-			return p, errors.New("core: truncated patch index")
+			return p, streamerr.Truncated("patch", "patch index cut off")
 		}
 		prev += d
 		p.indices[i] = int(prev)
 		body = body[n:]
 	}
 	if len(body) != int(count)*ncomp*4 {
-		return p, fmt.Errorf("core: patch values: %d bytes, want %d", len(body), int(count)*ncomp*4)
+		return p, streamerr.Corrupt("patch", "patch values: %d bytes, want %d", len(body), int(count)*ncomp*4)
 	}
 	p.values = make([][]float32, ncomp)
 	for c := 0; c < ncomp; c++ {
@@ -154,64 +177,111 @@ func unmarshalPatch(packed []byte, ncomp int) (patchSet, error) {
 }
 
 func buildContainer(variant Variant, patch patchSet, inner []byte, ncomp int) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteString(containerMagic)
-	buf.WriteByte(containerVersion)
-	buf.WriteByte(byte(variant))
-	buf.WriteByte(byte(ncomp))
-	buf.WriteByte(0)
+	out := make([]byte, 0, containerHeaderBytes+containerCRCBytes+len(inner)+containerTrailerBytes)
+	out = append(out, containerMagic...)
+	out = append(out, containerVersion, byte(variant), byte(ncomp), 0)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out[:containerHeaderBytes], crcTable))
 	packed, err := patch.marshal(ncomp)
 	if err != nil {
 		return nil, err
 	}
-	if err := binary.Write(&buf, binary.LittleEndian, uint64(len(packed))); err != nil {
-		return nil, err
-	}
-	buf.Write(packed)
-	if err := binary.Write(&buf, binary.LittleEndian, uint64(len(inner))); err != nil {
-		return nil, err
-	}
-	buf.Write(inner)
-	return buf.Bytes(), nil
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(packed)))
+	out = append(out, packed...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(inner)))
+	out = append(out, inner...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(out)))
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable)), nil
 }
 
-func parseContainer(data []byte) (Variant, patchSet, []byte, error) {
-	var p patchSet
-	if len(data) < 8 {
-		return 0, p, nil, errBadContainer
+// parseContainerHeader validates the fixed container header (and, for v3,
+// the header CRC and whole-container trailer), returning the variant and
+// component count, the offset of the patch-length field, and the offset
+// one past the inner stream's last possible byte.
+func parseContainerHeader(data []byte) (variant Variant, ncomp, off, end int, err error) {
+	if len(data) >= 4 && string(data[:4]) != containerMagic {
+		return 0, 0, 0, 0, streamerr.Header("container", "bad magic, not a TspSZ container")
 	}
-	if string(data[:4]) != containerMagic {
-		return 0, p, nil, errBadContainer
+	if len(data) < containerHeaderBytes {
+		return 0, 0, 0, 0, streamerr.Truncated("container", "%d of %d header bytes", len(data), containerHeaderBytes)
 	}
-	if data[4] != containerVersion {
-		return 0, p, nil, fmt.Errorf("core: unsupported container version %d", data[4])
+	version := data[4]
+	if version != containerV1 && version != containerV3 {
+		return 0, 0, 0, 0, streamerr.Version("container", version)
 	}
-	variant := Variant(data[5])
-	ncomp := int(data[6])
+	off, end = containerHeaderBytes, len(data)
+	if version == containerV3 {
+		if len(data) < containerHeaderBytes+containerCRCBytes+containerTrailerBytes {
+			return 0, 0, 0, 0, streamerr.Truncated("container", "%d bytes, v3 needs at least %d",
+				len(data), containerHeaderBytes+containerCRCBytes+containerTrailerBytes)
+		}
+		stored := binary.LittleEndian.Uint32(data[containerHeaderBytes:])
+		if got := crc32.Checksum(data[:containerHeaderBytes], crcTable); got != stored {
+			return 0, 0, 0, 0, streamerr.Corrupt("container", "header CRC32C %08x, stored %08x", got, stored)
+		}
+		off = containerHeaderBytes + containerCRCBytes
+		plen := binary.LittleEndian.Uint64(data[len(data)-containerTrailerBytes:])
+		if plen != uint64(len(data)-containerTrailerBytes) {
+			if plen > uint64(len(data)-containerTrailerBytes) {
+				return 0, 0, 0, 0, streamerr.Truncated("container trailer", "trailer declares %d payload bytes, container carries %d",
+					plen, len(data)-containerTrailerBytes)
+			}
+			return 0, 0, 0, 0, streamerr.Corrupt("container trailer", "trailer declares %d payload bytes, container carries %d",
+				plen, len(data)-containerTrailerBytes)
+		}
+		storedCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if got := crc32.Checksum(data[:len(data)-4], crcTable); got != storedCRC {
+			return 0, 0, 0, 0, streamerr.Corrupt("container trailer", "container CRC32C %08x, stored %08x", got, storedCRC)
+		}
+		end = len(data) - containerTrailerBytes
+	}
+	variant = Variant(data[5])
+	ncomp = int(data[6])
 	if ncomp != 2 && ncomp != 3 {
-		return 0, p, nil, fmt.Errorf("core: invalid component count %d", ncomp)
+		return 0, 0, 0, 0, streamerr.Header("container", "invalid component count %d", ncomp)
 	}
-	off := 8
+	return variant, ncomp, off, end, nil
+}
+
+// containerSections validates the header/trailer layers and slices out the
+// still-packed patch and inner cpSZ stream without decoding either.
+func containerSections(data []byte) (variant Variant, ncomp int, packed, inner []byte, err error) {
+	variant, ncomp, off, end, err := parseContainerHeader(data)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	data = data[:end]
 	if off+8 > len(data) {
-		return 0, p, nil, errors.New("core: truncated container")
+		return 0, 0, nil, nil, streamerr.Truncated("container", "patch length cut off").WithOffset(int64(off))
 	}
 	plen := binary.LittleEndian.Uint64(data[off:])
 	off += 8
-	if uint64(off)+plen > uint64(len(data)) {
-		return 0, p, nil, errors.New("core: truncated patch section")
+	if plen > uint64(len(data)-off) {
+		return 0, 0, nil, nil, streamerr.Truncated("patch", "patch claims %d bytes, %d remain", plen, len(data)-off).WithOffset(int64(off))
 	}
-	patch, err := unmarshalPatch(data[off:off+int(plen)], ncomp)
-	if err != nil {
-		return 0, p, nil, err
-	}
+	packed = data[off : off+int(plen)]
 	off += int(plen)
 	if off+8 > len(data) {
-		return 0, p, nil, errors.New("core: truncated inner length")
+		return 0, 0, nil, nil, streamerr.Truncated("container", "inner length cut off").WithOffset(int64(off))
 	}
 	ilen := binary.LittleEndian.Uint64(data[off:])
 	off += 8
-	if uint64(off)+ilen > uint64(len(data)) {
-		return 0, p, nil, errors.New("core: truncated inner stream")
+	if ilen > uint64(len(data)-off) {
+		return 0, 0, nil, nil, streamerr.Truncated("inner stream", "inner stream claims %d bytes, %d remain", ilen, len(data)-off).WithOffset(int64(off))
 	}
-	return variant, patch, data[off : off+int(ilen)], nil
+	if data[4] >= containerV3 && off+int(ilen) != len(data) {
+		return 0, 0, nil, nil, streamerr.Corrupt("container", "%d trailing bytes after inner stream", len(data)-off-int(ilen))
+	}
+	return variant, ncomp, packed, data[off : off+int(ilen)], nil
+}
+
+func parseContainer(data []byte) (Variant, patchSet, []byte, error) {
+	variant, ncomp, packed, inner, err := containerSections(data)
+	if err != nil {
+		return 0, patchSet{}, nil, err
+	}
+	patch, err := unmarshalPatch(packed, ncomp)
+	if err != nil {
+		return 0, patchSet{}, nil, err
+	}
+	return variant, patch, inner, nil
 }

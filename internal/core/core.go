@@ -28,6 +28,7 @@ import (
 	"tspsz/internal/integrate"
 	"tspsz/internal/parallel"
 	"tspsz/internal/skeleton"
+	"tspsz/internal/streamerr"
 )
 
 // Variant selects the separatrix preservation algorithm.
@@ -129,7 +130,8 @@ func Decompress(data []byte, workers int) (*field.Field, error) {
 	return decompressRef(data, workers, nil)
 }
 
-func decompressRef(data []byte, workers int, ref *field.Field) (*field.Field, error) {
+func decompressRef(data []byte, workers int, ref *field.Field) (f *field.Field, err error) {
+	defer streamerr.Guard("container", &err)
 	variant, patch, inner, err := parseContainer(data)
 	if err != nil {
 		return nil, err
@@ -162,11 +164,14 @@ func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	// any RK4 stage interpolates from (lines 12-22).
 	saddles := saddleIndices(cps)
 	perSaddle := make([][]int, len(saddles))
-	parallel.For(len(saddles), o.Workers, 1, func(i int) {
+	if err := parallel.ForErr(len(saddles), o.Workers, 1, func(i int) error {
 		var verts []int
 		integrate.TraceSeparatricesOf(f, cps, saddles[i], o.Params, &verts)
 		perSaddle[i] = verts
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for _, verts := range perSaddle {
 		for _, v := range verts {
 			marks.Set(v)
@@ -216,8 +221,14 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	// incremental: a trajectory that touches no vertex patched in the
 	// current round samples exactly the same data, so its previous trace
 	// is provably still valid and it is skipped.
-	td := traceAll(f, cps, saddles, o.Params, o.Workers)
-	tdp, involved := traceAllWithInvolved(dec, cps, saddles, o.Params, o.Workers)
+	td, err := traceAll(f, cps, saddles, o.Params, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	tdp, involved, err := traceAllWithInvolved(dec, cps, saddles, o.Params, o.Workers)
+	if err != nil {
+		return nil, err
+	}
 	correct := make([]bool, len(td))
 	queue := make([]int, 0)
 	for i := range td {
@@ -243,15 +254,20 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 			// Last resort: patch everything the original separatrices
 			// touch, which provably reproduces them (same argument as
 			// TspSZ-I), then do a final verification round.
-			forceExact(f, dec, cps, saddles, o, log)
+			if err := forceExact(f, dec, cps, saddles, o, log); err != nil {
+				return nil, err
+			}
 		} else {
 			// Speculative parallel correction (§VII): each wrong
 			// trajectory is fixed against the shared decompressed data;
 			// patch writes are idempotent (they restore originals), and
 			// the subsequent global verification catches interactions.
-			parallel.For(len(queue), o.Workers, 1, func(qi int) {
+			if err := parallel.ForErr(len(queue), o.Workers, 1, func(qi int) error {
 				fixTraj(f, dec, cps, loc, &td[queue[qi]], o, log)
-			})
+				return nil
+			}); err != nil {
+				return nil, err
+			}
 		}
 		// Re-verify (lines 36-49), incrementally: only trajectories whose
 		// sample set intersects this round's patches can have changed.
@@ -259,16 +275,19 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 		for _, idx := range log.round {
 			roundSet.Set(idx)
 		}
-		parallel.For(len(td), o.Workers, 4, func(i int) {
+		if err := parallel.ForErr(len(td), o.Workers, 4, func(i int) error {
 			if correct[i] && !touchesAny(involved[i], roundSet) {
-				return
+				return nil
 			}
 			var verts []int
 			tr := integrate.Retrace(dec, cps, loc, &td[i], o.Params, &verts)
 			tdp[i] = tr
 			involved[i] = dedupe(verts)
 			correct[i] = skeleton.CheckTraj(&td[i], &tdp[i], o.Tau)
-		})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 		queue = queue[:0]
 		for i := range td {
 			if !correct[i] {
@@ -358,14 +377,15 @@ func fixTraj(orig, dec *field.Field, cps []critical.Point, loc *integrate.CPLoca
 
 // forceExact patches every vertex involved in any original separatrix,
 // the TspSZ-I guarantee applied as a fallback.
-func forceExact(orig, dec *field.Field, cps []critical.Point, saddles []int, o Options, log *patchLog) {
-	parallel.For(len(saddles), o.Workers, 1, func(i int) {
+func forceExact(orig, dec *field.Field, cps []critical.Point, saddles []int, o Options, log *patchLog) error {
+	return parallel.ForErr(len(saddles), o.Workers, 1, func(i int) error {
 		var verts []int
 		integrate.TraceSeparatricesOf(orig, cps, saddles[i], o.Params, &verts)
 		log.traceLocked(func() {
 			integrate.TraceSeparatricesOf(dec, cps, saddles[i], o.Params, &verts)
 		})
 		log.apply(orig, dec, verts)
+		return nil
 	})
 }
 
@@ -413,14 +433,14 @@ func (l *patchLog) apply(orig, dec *field.Field, verts []int) {
 
 // traceAllWithInvolved is traceAll plus per-trajectory deduplicated
 // involved-vertex sets.
-func traceAllWithInvolved(f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) ([]integrate.Trajectory, [][]int32) {
+func traceAllWithInvolved(f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) ([]integrate.Trajectory, [][]int32, error) {
 	perSaddle := make([][]integrate.Trajectory, len(saddles))
 	perInv := make([][][]int32, len(saddles))
 	loc := integrate.NewCPLocator(cps) // read-only after construction
-	parallel.For(len(saddles), workers, 1, func(i int) {
+	if err := parallel.ForErr(len(saddles), workers, 1, func(i int) error {
 		cp := cps[saddles[i]]
 		if cp.Type != critical.Saddle {
-			return
+			return nil
 		}
 		seeds, dirs, seedIdx := integrate.SeparatrixSeeds(cp, par.EpsP)
 		for si := range seeds {
@@ -431,14 +451,17 @@ func traceAllWithInvolved(f *field.Field, cps []critical.Point, saddles []int, p
 			perSaddle[i] = append(perSaddle[i], tr)
 			perInv[i] = append(perInv[i], dedupe(verts))
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
 	var out []integrate.Trajectory
 	var inv [][]int32
 	for i := range perSaddle {
 		out = append(out, perSaddle[i]...)
 		inv = append(inv, perInv[i]...)
 	}
-	return out, inv
+	return out, inv, nil
 }
 
 // dedupe sorts and uniquifies a vertex list into a compact int32 slice.
@@ -504,13 +527,13 @@ func numSeps(dim, saddles int) int {
 	return 6 * saddles
 }
 
-func traceAll(f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) []integrate.Trajectory {
+func traceAll(f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) ([]integrate.Trajectory, error) {
 	perSaddle := make([][]integrate.Trajectory, len(saddles))
 	loc := integrate.NewCPLocator(cps) // shared, read-only
-	parallel.For(len(saddles), workers, 1, func(i int) {
+	if err := parallel.ForErr(len(saddles), workers, 1, func(i int) error {
 		cp := cps[saddles[i]]
 		if cp.Type != critical.Saddle {
-			return
+			return nil
 		}
 		seeds, dirs, seedIdx := integrate.SeparatrixSeeds(cp, par.EpsP)
 		for si := range seeds {
@@ -519,10 +542,13 @@ func traceAll(f *field.Field, cps []critical.Point, saddles []int, par integrate
 			tr.SeedIdx = seedIdx[si]
 			perSaddle[i] = append(perSaddle[i], tr)
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var out []integrate.Trajectory
 	for _, trs := range perSaddle {
 		out = append(out, trs...)
 	}
-	return out
+	return out, nil
 }

@@ -1,13 +1,28 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"testing"
 
 	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/streamerr"
 )
 
-// FuzzDecompress drives the container decoder with arbitrary bytes: it
-// must return an error or a well-formed field, never panic.
+// streamErrTyped reports whether err carries one of the four streamerr
+// failure classes.
+func streamErrTyped(err error) bool {
+	return errors.Is(err, streamerr.ErrTruncated) || errors.Is(err, streamerr.ErrCorrupt) ||
+		errors.Is(err, streamerr.ErrVersion) || errors.Is(err, streamerr.ErrHeader)
+}
+
+// FuzzDecompress drives the container decoder with arbitrary bytes: it must
+// return a streamerr-typed error or a well-formed field, never panic. Seeds
+// cover a valid v3 container, its truncations, and checksum-tamper variants
+// (flipped header CRC, flipped byte mid-payload, trailer lying about the
+// payload length) so the corpus starts on both sides of every integrity
+// check.
 func FuzzDecompress(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("TSPZ"))
@@ -16,16 +31,69 @@ func FuzzDecompress(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(res.Bytes)
-	for _, cut := range []int{1, 4, len(res.Bytes) / 2, len(res.Bytes) - 1} {
-		if cut >= 0 && cut < len(res.Bytes) {
-			f.Add(res.Bytes[:cut])
+	stream := res.Bytes
+	f.Add(stream)
+	for _, cut := range []int{1, 4, 8, 11, 12, len(stream) / 2, len(stream) - 12, len(stream) - 1} {
+		if cut >= 0 && cut < len(stream) {
+			f.Add(stream[:cut])
 		}
 	}
+	headerCRCFlip := append([]byte{}, stream...)
+	headerCRCFlip[containerHeaderBytes] ^= 0x01
+	f.Add(headerCRCFlip)
+	payloadFlip := append([]byte{}, stream...)
+	payloadFlip[len(payloadFlip)/2] ^= 0x80
+	f.Add(payloadFlip)
+	lyingTrailer := append([]byte{}, stream...)
+	binary.LittleEndian.PutUint64(lyingTrailer[len(lyingTrailer)-containerTrailerBytes:], 1<<40)
+	f.Add(lyingTrailer)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fld, err := Decompress(data, 1)
 		if err == nil && fld == nil {
 			t.Fatal("nil field with nil error")
+		}
+		if err != nil && !streamErrTyped(err) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		if verr := Verify(data); verr != nil && !streamErrTyped(verr) {
+			t.Fatalf("untyped verify error: %v", verr)
+		}
+	})
+}
+
+// FuzzDecompressSequence gives the frame-walking TSPQ decoder the same
+// contract, with seeds for a valid two-frame sequence, cut frame
+// boundaries, and an implausible frame count.
+func FuzzDecompressSequence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("TSPQ"))
+	fld := gyre2D(12, 10)
+	seq, err := CompressSequence([]*field.Field{fld, fld}, Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	stream := seq.Bytes
+	f.Add(stream)
+	for _, cut := range []int{5, 9, 17, 9 + 8 + seq.FrameSizes[0], len(stream) - 1} {
+		if cut >= 0 && cut < len(stream) {
+			f.Add(stream[:cut])
+		}
+	}
+	hugeCount := append([]byte{}, stream...)
+	binary.LittleEndian.PutUint32(hugeCount[5:], 1<<30)
+	f.Add(hugeCount)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := DecompressSequence(data, 1)
+		if err == nil && frames == nil {
+			t.Fatal("nil frames with nil error")
+		}
+		if err != nil && !streamErrTyped(err) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		if verr := Verify(data); verr != nil && !streamErrTyped(verr) {
+			t.Fatalf("untyped verify error: %v", verr)
 		}
 	})
 }

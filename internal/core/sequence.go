@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"tspsz/internal/field"
+	"tspsz/internal/streamerr"
 )
 
 const seqMagic = "TSPQ"
@@ -80,38 +81,61 @@ func CompressSequence(frames []*field.Field, opts Options) (*SeqResult, error) {
 
 // DecompressSequence reconstructs every frame of a CompressSequence
 // container, in order.
-func DecompressSequence(data []byte, workers int) ([]*field.Field, error) {
-	if len(data) < 9 || string(data[:4]) != seqMagic {
-		return nil, errors.New("core: bad magic, not a TspSZ sequence container")
+func DecompressSequence(data []byte, workers int) (frames []*field.Field, err error) {
+	defer streamerr.Guard("sequence", &err)
+	n, off, err := parseSequenceHeader(data)
+	if err != nil {
+		return nil, err
 	}
-	if data[4] != seqVersion {
-		return nil, fmt.Errorf("core: unsupported sequence version %d", data[4])
-	}
-	n := int(binary.LittleEndian.Uint32(data[5:]))
-	// Every frame carries an 8-byte length prefix, bounding the plausible
-	// frame count well below the container size.
-	if n < 0 || n > len(data)/8+1 {
-		return nil, fmt.Errorf("core: implausible frame count %d", n)
-	}
-	off := 9
-	frames := make([]*field.Field, 0, n)
+	frames = make([]*field.Field, 0, n)
 	var ref *field.Field
 	for fi := 0; fi < n; fi++ {
-		if off+8 > len(data) {
-			return nil, fmt.Errorf("core: truncated sequence at frame %d", fi)
+		fr, next, err := sequenceFrame(data, off, fi)
+		if err != nil {
+			return nil, err
 		}
-		l := binary.LittleEndian.Uint64(data[off:])
-		off += 8
-		if uint64(off)+l > uint64(len(data)) {
-			return nil, fmt.Errorf("core: truncated frame %d payload", fi)
-		}
-		dec, err := decompressRef(data[off:off+int(l)], workers, ref)
+		dec, err := decompressRef(fr, workers, ref)
 		if err != nil {
 			return nil, fmt.Errorf("core: frame %d: %w", fi, err)
 		}
-		off += int(l)
+		off = next
 		frames = append(frames, dec)
 		ref = dec
 	}
 	return frames, nil
+}
+
+// parseSequenceHeader validates the TSPQ header and returns the frame count
+// and the offset of the first frame's length prefix.
+func parseSequenceHeader(data []byte) (n, off int, err error) {
+	if len(data) >= 4 && string(data[:4]) != seqMagic {
+		return 0, 0, streamerr.Header("sequence", "bad magic, not a TspSZ sequence container")
+	}
+	if len(data) < 9 {
+		return 0, 0, streamerr.Truncated("sequence", "%d of 9 header bytes", len(data))
+	}
+	if data[4] != seqVersion {
+		return 0, 0, streamerr.Version("sequence", data[4])
+	}
+	n = int(binary.LittleEndian.Uint32(data[5:]))
+	// Every frame carries an 8-byte length prefix, bounding the plausible
+	// frame count well below the container size.
+	if n < 0 || n > len(data)/8+1 {
+		return 0, 0, streamerr.Corrupt("sequence", "implausible frame count %d", n)
+	}
+	return n, 9, nil
+}
+
+// sequenceFrame slices frame fi's container out of the sequence stream,
+// returning it and the offset of the next frame.
+func sequenceFrame(data []byte, off, fi int) ([]byte, int, error) {
+	if off+8 > len(data) {
+		return nil, 0, streamerr.Truncated("sequence", "frame length cut off").WithChunk(fi).WithOffset(int64(off))
+	}
+	l := binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	if l > uint64(len(data)-off) {
+		return nil, 0, streamerr.Truncated("sequence", "frame claims %d bytes, %d remain", l, len(data)-off).WithChunk(fi).WithOffset(int64(off))
+	}
+	return data[off : off+int(l)], off + int(l), nil
 }

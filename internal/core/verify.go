@@ -1,0 +1,44 @@
+package core
+
+import (
+	"tspsz/internal/cpsz"
+	"tspsz/internal/streamerr"
+)
+
+// Verify checks every integrity layer of a TspSZ container — header CRC,
+// whole-container trailer, section framing, and the inner cpSZ stream's
+// per-chunk checksums — without inflating or decoding any payload. A TSPQ
+// sequence container is verified frame by frame. Pre-v3 streams carry no
+// checksums and report streamerr.ErrVersion.
+func Verify(data []byte) (err error) {
+	defer streamerr.Guard("container", &err)
+	if len(data) >= 4 && string(data[:4]) == seqMagic {
+		n, off, err := parseSequenceHeader(data)
+		if err != nil {
+			return err
+		}
+		for fi := 0; fi < n; fi++ {
+			fr, next, err := sequenceFrame(data, off, fi)
+			if err != nil {
+				return err
+			}
+			if err := verifyContainer(fr); err != nil {
+				return streamerr.Wrap(streamerr.ErrCorrupt, "sequence", err).WithChunk(fi)
+			}
+			off = next
+		}
+		return nil
+	}
+	return verifyContainer(data)
+}
+
+func verifyContainer(data []byte) error {
+	if len(data) >= 5 && string(data[:4]) == containerMagic && data[4] < containerV3 {
+		return streamerr.Version("container", data[4])
+	}
+	_, _, _, inner, err := containerSections(data)
+	if err != nil {
+		return err
+	}
+	return cpsz.Verify(inner)
+}

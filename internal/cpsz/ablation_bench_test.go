@@ -109,7 +109,11 @@ func BenchmarkAblationHuffman(b *testing.B) {
 	b.Run("huffman+deflate", func(b *testing.B) {
 		var size int
 		for i := 0; i < b.N; i++ {
-			size = deflateOnly(huffman.Encode(quant))
+			enc, err := huffman.Encode(quant)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = deflateOnly(enc)
 		}
 		b.ReportMetric(float64(size), "bytes")
 	})

@@ -36,15 +36,21 @@ func compress(f *field.Field, opts Options) (*Result, error) {
 	// boundary-plane vertices, which still hold original values; no other
 	// interior is reachable through any adjacent cell, so there are no
 	// races and the result is schedule independent.
-	parallel.For(len(interiors), opts.Workers, 1, func(i int) {
+	if err := parallel.ForErr(len(interiors), opts.Workers, 1, func(i int) error {
 		compressRegion(work, f, interiors[i], opts, &streams[i])
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	// Stage 2: boundary planes. Their adjacent cells reach only finalized
 	// interiors, and distinct planes share no cells, so planes are
 	// mutually independent.
-	parallel.For(len(boundaries), opts.Workers, 1, func(i int) {
+	if err := parallel.ForErr(len(boundaries), opts.Workers, 1, func(i int) error {
 		compressRegion(work, f, boundaries[i], opts, &streams[len(interiors)+i])
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	// The merged stream lengths are known from the per-region streams;
 	// allocate each concatenation once and copy into place instead of

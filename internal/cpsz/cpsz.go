@@ -20,6 +20,7 @@ import (
 	"tspsz/internal/bitmap"
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
+	"tspsz/internal/streamerr"
 )
 
 // Options configures compression.
@@ -82,11 +83,10 @@ const (
 	relExactSym    = 0
 )
 
-var (
-	errBadMagic   = errors.New("cpsz: bad magic, not a cpSZ stream")
-	errTruncated  = errors.New("cpsz: truncated stream")
-	errBadSymbols = errors.New("cpsz: corrupt symbol stream")
-)
+// errBadSymbols marks a symbol stream whose content contradicts the header
+// it arrived with: symbols past the valid alphabet, streams that run out
+// mid-region, or leftover symbols after the last vertex.
+var errBadSymbols error = streamerr.Corrupt("symbol stream", "symbol stream inconsistent with header")
 
 // Compress encodes f under opts. The input field is not modified.
 func Compress(f *field.Field, opts Options) (*Result, error) {
@@ -120,15 +120,18 @@ func Compress(f *field.Field, opts Options) (*Result, error) {
 // Decompress reconstructs a field from a self-contained stream produced by
 // Compress. workers bounds reconstruction parallelism (values < 1 mean
 // GOMAXPROCS). Streams written with a temporal Reference must use
-// DecompressRef instead.
-func Decompress(data []byte, workers int) (*field.Field, error) {
+// DecompressRef instead. Failures are streamerr-typed and a panic anywhere
+// in the decode path is contained and returned as an error.
+func Decompress(data []byte, workers int) (f *field.Field, err error) {
+	defer streamerr.Guard("cpsz", &err)
 	return decompress(data, workers, nil)
 }
 
 // DecompressRef reconstructs a temporally predicted stream against the
 // same reference frame the encoder used (the previous decompressed frame
 // of the sequence).
-func DecompressRef(data []byte, workers int, ref *field.Field) (*field.Field, error) {
+func DecompressRef(data []byte, workers int, ref *field.Field) (f *field.Field, err error) {
+	defer streamerr.Guard("cpsz", &err)
 	if ref == nil {
 		return nil, errors.New("cpsz: DecompressRef requires a reference frame")
 	}

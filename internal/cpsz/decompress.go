@@ -2,13 +2,13 @@ package cpsz
 
 import (
 	"encoding/binary"
-	"fmt"
 	"math"
 
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
 	"tspsz/internal/parallel"
 	"tspsz/internal/quantizer"
+	"tspsz/internal/streamerr"
 )
 
 // regionOffsets locates a region's slice of each decoded stream.
@@ -22,7 +22,7 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 		return nil, err
 	}
 	if hdr.temporal && ref == nil {
-		return nil, fmt.Errorf("cpsz: stream is temporally predicted; use DecompressRef")
+		return nil, streamerr.Header("cpsz header", "stream is temporally predicted; use DecompressRef")
 	}
 	if !hdr.temporal {
 		ref = nil // ignore a stray reference for self-contained streams
@@ -34,27 +34,27 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 	nv := uint64(hdr.nx) * uint64(hdr.ny) // both < 2^32: no overflow
 	if hdr.dim == 3 {
 		if nv > uint64(len(ebSyms)) {
-			return nil, fmt.Errorf("cpsz: header dims exceed symbol stream")
+			return nil, streamerr.Corrupt("cpsz header", "header dims exceed symbol stream")
 		}
 		nv *= uint64(hdr.nz)
 	}
 	if nv > uint64(len(ebSyms)) {
-		return nil, fmt.Errorf("cpsz: header dims exceed symbol stream")
+		return nil, streamerr.Corrupt("cpsz header", "header dims exceed symbol stream")
 	}
 	var f *field.Field
 	if hdr.dim == 2 {
 		if hdr.nx < 2 || hdr.ny < 2 {
-			return nil, fmt.Errorf("cpsz: invalid 2D dims %dx%d", hdr.nx, hdr.ny)
+			return nil, streamerr.Header("cpsz header", "invalid 2D dims %dx%d", hdr.nx, hdr.ny)
 		}
 		f = field.New2D(hdr.nx, hdr.ny)
 	} else {
 		if hdr.nx < 2 || hdr.ny < 2 || hdr.nz < 2 {
-			return nil, fmt.Errorf("cpsz: invalid 3D dims %dx%dx%d", hdr.nx, hdr.ny, hdr.nz)
+			return nil, streamerr.Header("cpsz header", "invalid 3D dims %dx%dx%d", hdr.nx, hdr.ny, hdr.nz)
 		}
 		f = field.New3D(hdr.nx, hdr.ny, hdr.nz)
 	}
 	if ref != nil && (ref.Dim() != f.Dim() || ref.NumVertices() != f.NumVertices()) {
-		return nil, fmt.Errorf("cpsz: reference shape differs from stream")
+		return nil, streamerr.Header("cpsz header", "reference shape differs from stream")
 	}
 	if hdr.predictor == PredictorInterpolation {
 		if err := reconstructInterp(f, hdr, ebSyms, quantSyms, raw); err != nil {
@@ -126,15 +126,13 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 		return nil, errBadSymbols
 	}
 
-	// Parallel reconstruction: regions are prediction-independent.
-	errs := make([]error, len(regions))
-	parallel.For(len(regions), workers, 1, func(ri int) {
-		errs[ri] = reconstructRegion(f, ref, regions[ri], hdr, ebSyms, quantSyms, raw, offsets[ri])
-	})
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
-		}
+	// Parallel reconstruction: regions are prediction-independent. The Err
+	// variant contains worker panics, so a reconstruction bug driven by
+	// hostile symbols surfaces as an error instead of killing the process.
+	if err := parallel.ForErr(len(regions), workers, 1, func(ri int) error {
+		return reconstructRegion(f, ref, regions[ri], hdr, ebSyms, quantSyms, raw, offsets[ri])
+	}); err != nil {
+		return nil, err
 	}
 	return f, nil
 }

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
-	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sync"
@@ -13,6 +13,7 @@ import (
 	"tspsz/internal/field"
 	"tspsz/internal/huffman"
 	"tspsz/internal/parallel"
+	"tspsz/internal/streamerr"
 )
 
 const streamMagic = "CPSZ"
@@ -21,12 +22,22 @@ const streamMagic = "CPSZ"
 // Huffman pass and one DEFLATE stream, serializing the entropy stage; v2
 // shards every section into fixed-extent chunks coded against a shared
 // per-section codebook, so both directions run the entropy stage in
-// parallel (§VII). The writer always emits v2; the reader accepts both.
+// parallel (§VII); v3 keeps the v2 layout and makes it tamper-evident: a
+// CRC32C over the fixed header, a per-chunk CRC32C column in the chunk
+// directory (verified inside the parallel chunk-inflate workers, so
+// integrity costs no extra pass), and a whole-stream trailer carrying the
+// payload length plus a CRC32C over everything before it. The writer
+// always emits v3; the reader accepts all three.
 const (
 	formatV1      = 1
 	formatV2      = 2
-	formatVersion = formatV2
+	formatV3      = 3
+	formatVersion = formatV3
 )
+
+// crcTable selects the Castagnoli polynomial, for which hash/crc32 uses
+// the hardware CRC instructions on amd64 and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // chunkSymbols is the entropy-chunk extent of the symbol sections and
 // chunkRawBytes the extent of the verbatim-float section. Chunk counts
@@ -57,16 +68,25 @@ type header struct {
 // temporalFlag marks streams predicted against a previous frame.
 const temporalFlag = 0x80
 
-// headerBytes is the fixed-width header size shared by v1 and v2.
-const headerBytes = 28
+// headerBytes is the fixed-width header size shared by every version;
+// v3 appends headerCRCBytes of CRC32C over it. trailerBytes is the v3
+// whole-stream trailer: a little-endian u64 payload length (everything
+// before the trailer) followed by the CRC32C of those bytes.
+const (
+	headerBytes    = 28
+	headerCRCBytes = 4
+	headerBytesV3  = headerBytes + headerCRCBytes
+	trailerBytes   = 12
+)
 
-// serialize assembles the final stream: header, chunked Huffman+DEFLATE
-// symbol sections, and a chunked DEFLATE raw-float section. This mirrors
+// serialize assembles the final stream: CRC-sealed header, chunked
+// Huffman+DEFLATE symbol sections with per-chunk checksums, a chunked
+// DEFLATE raw-float section, and the whole-stream trailer. This mirrors
 // SZ's Huffman + lossless-backend pipeline with the entropy stage sharded
 // across opts.Workers.
 func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
 	workers := parallel.Workers(opts.Workers)
-	out := make([]byte, 0, headerBytes+len(raw)/2+(len(ebSyms)+len(quantSyms))/4)
+	out := make([]byte, 0, headerBytesV3+len(raw)/2+(len(ebSyms)+len(quantSyms))/4)
 	out = append(out, streamMagic...)
 	out = append(out, formatVersion, byte(f.Dim()), byte(opts.Mode))
 	pb := byte(opts.Predictor)
@@ -79,13 +99,25 @@ func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []b
 		out = binary.LittleEndian.AppendUint32(out, v)
 	}
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(opts.ErrBound))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out[:headerBytes], crcTable))
 	var err error
 	for _, syms := range [][]uint32{ebSyms, quantSyms} {
 		if out, err = appendSymbolSection(out, syms, workers); err != nil {
 			return nil, err
 		}
 	}
-	return appendRawSection(out, raw, workers)
+	if out, err = appendRawSection(out, raw, workers); err != nil {
+		return nil, err
+	}
+	return appendTrailer(out), nil
+}
+
+// appendTrailer seals the stream: u64 length of everything before the
+// trailer, then the CRC32C of all preceding bytes (payload + length field,
+// so a tampered length field fails the checksum too).
+func appendTrailer(out []byte) []byte {
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(out)))
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable))
 }
 
 // chunkCount returns how many fixed-extent chunks a section of n units
@@ -98,38 +130,47 @@ func chunkCount(n, extent int) int {
 	return c
 }
 
-// appendSymbolSection writes one v2 symbol section: uvarint symbol count,
+// appendSymbolSection writes one v3 symbol section: uvarint symbol count,
 // the shared canonical codebook, a uvarint chunk count, a directory of
-// per-chunk (uncompressed, compressed) byte sizes, then the chunk
-// payloads. Chunks are Huffman-packed and DEFLATEd concurrently; the
-// directory lets the reader inflate and decode them concurrently too.
+// per-chunk (uncompressed size, compressed size, payload CRC32C) entries,
+// then the chunk payloads. Chunks are Huffman-packed, DEFLATEd, and
+// checksummed concurrently; the directory lets the reader verify, inflate,
+// and decode them concurrently too.
 func appendSymbolSection(dst []byte, syms []uint32, workers int) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(syms)))
 	if len(syms) == 0 {
 		return dst, nil
 	}
-	table := huffman.BuildTable(syms, workers)
+	table, err := huffman.BuildTable(syms, workers)
+	if err != nil {
+		return nil, err
+	}
 	dst = table.AppendTable(dst)
 	bounds := parallel.Ranges(len(syms), chunkCount(len(syms), chunkSymbols))
 	usizes := make([]int, len(bounds))
 	packed := make([][]byte, len(bounds))
-	errs := make([]error, len(bounds))
-	parallel.For(len(bounds), workers, 1, func(i int) {
+	crcs := make([]uint32, len(bounds))
+	err = parallel.ForErr(len(bounds), workers, 1, func(i int) error {
 		bits := getChunkBuf()
 		bits = table.EncodeChunk(bits[:0], syms[bounds[i][0]:bounds[i][1]])
 		usizes[i] = len(bits)
-		packed[i], errs[i] = deflate(bits)
+		var err error
+		packed[i], err = deflate(bits)
 		putChunkBuf(bits)
-	})
-	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
+		crcs[i] = crc32.Checksum(packed[i], crcTable)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
 	for i := range bounds {
 		dst = binary.AppendUvarint(dst, uint64(usizes[i]))
 		dst = binary.AppendUvarint(dst, uint64(len(packed[i])))
+		dst = binary.LittleEndian.AppendUint32(dst, crcs[i])
 	}
 	for i := range bounds {
 		dst = append(dst, packed[i]...)
@@ -138,9 +179,9 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int) ([]byte, error)
 }
 
 // appendRawSection writes the verbatim-float section as concurrently
-// DEFLATEd chunks with the same (uncompressed, compressed) directory as
-// the symbol sections; the uncompressed entries are redundant with the
-// section length but serve as a decode-side cross-check.
+// DEFLATEd and checksummed chunks with the same directory layout as the
+// symbol sections; the uncompressed entries are redundant with the section
+// length but serve as a decode-side cross-check.
 func appendRawSection(dst []byte, raw []byte, workers int) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(raw)))
 	if len(raw) == 0 {
@@ -148,19 +189,24 @@ func appendRawSection(dst []byte, raw []byte, workers int) ([]byte, error) {
 	}
 	bounds := parallel.Ranges(len(raw), chunkCount(len(raw), chunkRawBytes))
 	packed := make([][]byte, len(bounds))
-	errs := make([]error, len(bounds))
-	parallel.For(len(bounds), workers, 1, func(i int) {
-		packed[i], errs[i] = deflate(raw[bounds[i][0]:bounds[i][1]])
-	})
-	for _, err := range errs {
+	crcs := make([]uint32, len(bounds))
+	err := parallel.ForErr(len(bounds), workers, 1, func(i int) error {
+		var err error
+		packed[i], err = deflate(raw[bounds[i][0]:bounds[i][1]])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		crcs[i] = crc32.Checksum(packed[i], crcTable)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
 	for i := range bounds {
 		dst = binary.AppendUvarint(dst, uint64(bounds[i][1]-bounds[i][0]))
 		dst = binary.AppendUvarint(dst, uint64(len(packed[i])))
+		dst = binary.LittleEndian.AppendUint32(dst, crcs[i])
 	}
 	for i := range bounds {
 		dst = append(dst, packed[i]...)
@@ -169,39 +215,19 @@ func appendRawSection(dst []byte, raw []byte, workers int) ([]byte, error) {
 }
 
 // parse splits a stream back into its header and sections, dispatching on
-// the format version byte.
+// the format version byte. For v3 streams the header CRC and whole-stream
+// trailer are verified up front and the per-chunk checksums inside the
+// parallel section readers.
 func parse(data []byte, workers int) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
-	if len(data) < headerBytes {
-		return hdr, nil, nil, nil, errTruncated
-	}
-	if string(data[:4]) != streamMagic {
-		return hdr, nil, nil, nil, errBadMagic
+	hdr, off, end, err := parseHeader(data)
+	if err != nil {
+		return hdr, nil, nil, nil, err
 	}
 	version := data[4]
-	if version != formatV1 && version != formatV2 {
-		return hdr, nil, nil, nil, fmt.Errorf("cpsz: unsupported version %d", version)
-	}
-	hdr.dim = int(data[5])
-	hdr.mode = ebound.Mode(data[6])
-	hdr.temporal = data[7]&temporalFlag != 0
-	hdr.predictor = Predictor(data[7] &^ temporalFlag)
-	if hdr.predictor != PredictorLorenzo && hdr.predictor != PredictorInterpolation {
-		return hdr, nil, nil, nil, fmt.Errorf("cpsz: unknown predictor %d", hdr.predictor)
-	}
-	off := 8
-	hdr.nx = int(binary.LittleEndian.Uint32(data[off:]))
-	hdr.ny = int(binary.LittleEndian.Uint32(data[off+4:]))
-	hdr.nz = int(binary.LittleEndian.Uint32(data[off+8:]))
-	off += 12
-	hdr.errBound = float64frombits(binary.LittleEndian.Uint64(data[off:]))
-	off += 8
-	if hdr.dim != 2 && hdr.dim != 3 {
-		return hdr, nil, nil, nil, fmt.Errorf("cpsz: invalid dimension %d", hdr.dim)
-	}
 	if version == formatV1 {
 		ebSyms, quantSyms, raw, err = parseSectionsV1(data, off)
 	} else {
-		ebSyms, quantSyms, raw, err = parseSectionsV2(data, off, workers)
+		ebSyms, quantSyms, raw, err = parseSectionsV2(data[:end], off, workers, version >= formatV3)
 	}
 	if err != nil {
 		return hdr, nil, nil, nil, err
@@ -209,19 +235,86 @@ func parse(data []byte, workers int) (hdr header, ebSyms, quantSyms []uint32, ra
 	return hdr, ebSyms, quantSyms, raw, nil
 }
 
+// parseHeader validates the fixed header (and, for v3, the header CRC and
+// the whole-stream trailer), returning the decoded header, the offset of
+// the first section, and the offset one past the last section byte.
+func parseHeader(data []byte) (hdr header, off, end int, err error) {
+	if len(data) < headerBytes {
+		return hdr, 0, 0, streamerr.Truncated("cpsz header", "%d of %d fixed-header bytes", len(data), headerBytes)
+	}
+	if string(data[:4]) != streamMagic {
+		return hdr, 0, 0, streamerr.Header("cpsz header", "bad magic, not a cpSZ stream")
+	}
+	version := data[4]
+	if version < formatV1 || version > formatV3 {
+		return hdr, 0, 0, streamerr.Version("cpsz header", version)
+	}
+	end = len(data)
+	off = headerBytes
+	if version >= formatV3 {
+		if len(data) < headerBytesV3+trailerBytes {
+			return hdr, 0, 0, streamerr.Truncated("cpsz header", "%d bytes, v3 needs at least %d", len(data), headerBytesV3+trailerBytes)
+		}
+		stored := binary.LittleEndian.Uint32(data[headerBytes:])
+		if got := crc32.Checksum(data[:headerBytes], crcTable); got != stored {
+			return hdr, 0, 0, streamerr.Corrupt("cpsz header", "header CRC32C %08x, stored %08x", got, stored)
+		}
+		off = headerBytesV3
+		end, err = verifyTrailer(data)
+		if err != nil {
+			return hdr, 0, 0, err
+		}
+	}
+	hdr.dim = int(data[5])
+	hdr.mode = ebound.Mode(data[6])
+	hdr.temporal = data[7]&temporalFlag != 0
+	hdr.predictor = Predictor(data[7] &^ temporalFlag)
+	if hdr.predictor != PredictorLorenzo && hdr.predictor != PredictorInterpolation {
+		return hdr, 0, 0, streamerr.Header("cpsz header", "unknown predictor %d", hdr.predictor)
+	}
+	hdr.nx = int(binary.LittleEndian.Uint32(data[8:]))
+	hdr.ny = int(binary.LittleEndian.Uint32(data[12:]))
+	hdr.nz = int(binary.LittleEndian.Uint32(data[16:]))
+	hdr.errBound = float64frombits(binary.LittleEndian.Uint64(data[20:]))
+	if hdr.dim != 2 && hdr.dim != 3 {
+		return hdr, 0, 0, streamerr.Header("cpsz header", "invalid dimension %d", hdr.dim)
+	}
+	return hdr, off, end, nil
+}
+
+// verifyTrailer checks the v3 whole-stream trailer and returns the offset
+// of the trailer (one past the last section byte). The declared payload
+// length must match the stream exactly — a lying trailer is corruption,
+// a missing one truncation.
+func verifyTrailer(data []byte) (int, error) {
+	plen := binary.LittleEndian.Uint64(data[len(data)-trailerBytes:])
+	if plen != uint64(len(data)-trailerBytes) {
+		if plen > uint64(len(data)-trailerBytes) {
+			return 0, streamerr.Truncated("cpsz trailer", "trailer declares %d payload bytes, stream carries %d", plen, len(data)-trailerBytes)
+		}
+		return 0, streamerr.Corrupt("cpsz trailer", "trailer declares %d payload bytes, stream carries %d", plen, len(data)-trailerBytes)
+	}
+	stored := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(data[:len(data)-4], crcTable); got != stored {
+		return 0, streamerr.Corrupt("cpsz trailer", "stream CRC32C %08x, stored %08x", got, stored)
+	}
+	return len(data) - trailerBytes, nil
+}
+
 // parseSectionsV1 reads the legacy layout: three length-prefixed DEFLATE
 // payloads, the first two wrapping whole-section Huffman streams. Kept so
 // pre-v2 archives and the fuzz corpus still decode.
 func parseSectionsV1(data []byte, off int) (ebSyms, quantSyms []uint32, raw []byte, err error) {
 	sections := make([][]byte, 3)
+	names := [3]string{"eb-symbols", "quant-symbols", "raw"}
 	for i := range sections {
 		if off+8 > len(data) {
-			return nil, nil, nil, errTruncated
+			return nil, nil, nil, streamerr.Truncated(names[i], "section length cut off").WithOffset(int64(off))
 		}
 		n := binary.LittleEndian.Uint64(data[off:])
 		off += 8
 		if uint64(off)+n > uint64(len(data)) {
-			return nil, nil, nil, errTruncated
+			return nil, nil, nil, streamerr.Truncated(names[i], "section claims %d bytes, %d remain", n, len(data)-off).WithOffset(int64(off))
 		}
 		packed := data[off : off+int(n)]
 		off += int(n)
@@ -231,32 +324,34 @@ func parseSectionsV1(data []byte, off int) (ebSyms, quantSyms []uint32, raw []by
 		// allocation.
 		sections[i], err = inflateCap(packed, maxDeflateRatio*uint64(len(packed))+64)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("cpsz: section %d: %w", i, err)
+			return nil, nil, nil, streamerr.Wrap(streamerr.ErrCorrupt, names[i], err)
 		}
 	}
 	if ebSyms, err = huffman.Decode(sections[0]); err != nil {
-		return nil, nil, nil, fmt.Errorf("cpsz: eb symbols: %w", err)
+		return nil, nil, nil, streamerr.Wrap(streamerr.ErrCorrupt, "eb-symbols", err)
 	}
 	if quantSyms, err = huffman.Decode(sections[1]); err != nil {
-		return nil, nil, nil, fmt.Errorf("cpsz: quant symbols: %w", err)
+		return nil, nil, nil, streamerr.Wrap(streamerr.ErrCorrupt, "quant-symbols", err)
 	}
 	return ebSyms, quantSyms, sections[2], nil
 }
 
-// parseSectionsV2 reads the chunked layout, inflating and entropy-decoding
-// the chunks of each section concurrently.
-func parseSectionsV2(data []byte, off, workers int) (ebSyms, quantSyms []uint32, raw []byte, err error) {
-	if ebSyms, off, err = parseSymbolSection(data, off, workers); err != nil {
-		return nil, nil, nil, fmt.Errorf("cpsz: eb symbols: %w", err)
+// parseSectionsV2 reads the chunked layout shared by v2 and v3, inflating
+// and entropy-decoding the chunks of each section concurrently. withCRC
+// selects the v3 directory layout, whose per-chunk checksums the workers
+// verify before inflating.
+func parseSectionsV2(data []byte, off, workers int, withCRC bool) (ebSyms, quantSyms []uint32, raw []byte, err error) {
+	if ebSyms, off, err = parseSymbolSection(data, off, workers, withCRC, "eb-symbols"); err != nil {
+		return nil, nil, nil, err
 	}
-	if quantSyms, off, err = parseSymbolSection(data, off, workers); err != nil {
-		return nil, nil, nil, fmt.Errorf("cpsz: quant symbols: %w", err)
+	if quantSyms, off, err = parseSymbolSection(data, off, workers, withCRC, "quant-symbols"); err != nil {
+		return nil, nil, nil, err
 	}
-	if raw, off, err = parseRawSection(data, off, workers); err != nil {
-		return nil, nil, nil, fmt.Errorf("cpsz: raw section: %w", err)
+	if raw, off, err = parseRawSection(data, off, workers, withCRC); err != nil {
+		return nil, nil, nil, err
 	}
 	if off != len(data) {
-		return nil, nil, nil, fmt.Errorf("cpsz: %d trailing bytes after final section", len(data)-off)
+		return nil, nil, nil, streamerr.Corrupt("cpsz stream", "%d trailing bytes after final section", len(data)-off).WithOffset(int64(off))
 	}
 	return ebSyms, quantSyms, raw, nil
 }
@@ -265,8 +360,19 @@ func parseSectionsV2(data []byte, off, workers int) (ebSyms, quantSyms []uint32,
 type chunkDirectory struct {
 	bounds  [][2]int // unit extents (symbols or raw bytes) per chunk
 	usizes  []int    // uncompressed payload bytes per chunk
+	crcs    []uint32 // CRC32C per compressed payload (v3 only, else nil)
 	offsets []int    // payload start offsets relative to the payload base
 	total   int      // total payload bytes
+}
+
+// payloadAt returns chunk i's compressed payload within the section
+// payload base.
+func (d *chunkDirectory) payloadAt(payload []byte, i int) []byte {
+	end := d.total
+	if i+1 < len(d.offsets) {
+		end = d.offsets[i+1]
+	}
+	return payload[d.offsets[i]:end]
 }
 
 // parseChunkDirectory reads and validates a chunk directory at data[off:].
@@ -274,68 +380,96 @@ type chunkDirectory struct {
 // uncompressed chunk size for a given unit extent, and minUsize the
 // smallest. Every violation is a hard error: chunk-count lies, extent
 // overflows, and oversize claims are rejected before any allocation
-// proportional to them.
-func parseChunkDirectory(data []byte, off, n int, maxUsize, minUsize func(extent int) int) (chunkDirectory, int, error) {
+// proportional to them. withCRC selects the v3 entry layout carrying a
+// CRC32C of each compressed payload.
+func parseChunkDirectory(data []byte, off, n int, withCRC bool, section string, maxUsize, minUsize func(extent int) int) (chunkDirectory, int, error) {
 	var dir chunkDirectory
 	cc, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
-		return dir, 0, fmt.Errorf("truncated chunk count")
+		return dir, 0, streamerr.Truncated(section, "chunk count cut off").WithOffset(int64(off))
 	}
 	off += sz
 	if cc == 0 || cc > uint64(n) {
-		return dir, 0, fmt.Errorf("invalid chunk count %d for %d units", cc, n)
+		return dir, 0, streamerr.Corrupt(section, "invalid chunk count %d for %d units", cc, n)
 	}
-	// Every directory entry takes at least 2 bytes.
-	if cc > uint64(len(data)-off)/2+1 {
-		return dir, 0, fmt.Errorf("chunk count %d exceeds stream capacity", cc)
+	// Every directory entry takes at least 2 bytes (plus the CRC column).
+	entryMin := uint64(2)
+	if withCRC {
+		entryMin += 4
+	}
+	if cc > uint64(len(data)-off)/entryMin+1 {
+		return dir, 0, streamerr.Corrupt(section, "chunk count %d exceeds stream capacity", cc)
 	}
 	dir.bounds = parallel.Ranges(n, int(cc))
 	if len(dir.bounds) != int(cc) {
-		return dir, 0, fmt.Errorf("chunk count %d does not partition %d units", cc, n)
+		return dir, 0, streamerr.Corrupt(section, "chunk count %d does not partition %d units", cc, n)
 	}
 	dir.usizes = make([]int, cc)
 	dir.offsets = make([]int, cc)
+	if withCRC {
+		dir.crcs = make([]uint32, cc)
+	}
 	for i := range dir.usizes {
 		usize, sz := binary.Uvarint(data[off:])
 		if sz <= 0 {
-			return dir, 0, fmt.Errorf("truncated directory entry %d", i)
+			return dir, 0, streamerr.Truncated(section, "directory entry cut off").WithChunk(i).WithOffset(int64(off))
 		}
 		off += sz
 		csize, sz := binary.Uvarint(data[off:])
 		if sz <= 0 {
-			return dir, 0, fmt.Errorf("truncated directory entry %d", i)
+			return dir, 0, streamerr.Truncated(section, "directory entry cut off").WithChunk(i).WithOffset(int64(off))
 		}
 		off += sz
+		if withCRC {
+			if off+4 > len(data) {
+				return dir, 0, streamerr.Truncated(section, "directory CRC cut off").WithChunk(i).WithOffset(int64(off))
+			}
+			dir.crcs[i] = binary.LittleEndian.Uint32(data[off:])
+			off += 4
+		}
 		extent := dir.bounds[i][1] - dir.bounds[i][0]
 		if usize > uint64(maxUsize(extent)) || usize < uint64(minUsize(extent)) {
-			return dir, 0, fmt.Errorf("chunk %d claims %d uncompressed bytes for %d units", i, usize, extent)
+			return dir, 0, streamerr.Corrupt(section, "chunk claims %d uncompressed bytes for %d units", usize, extent).WithChunk(i)
 		}
 		if csize > uint64(len(data)-off) {
-			return dir, 0, fmt.Errorf("chunk %d claims %d compressed bytes, %d remain", i, csize, len(data)-off)
+			return dir, 0, streamerr.Truncated(section, "chunk claims %d compressed bytes, %d remain", csize, len(data)-off).WithChunk(i)
 		}
 		// DEFLATE cannot legitimately expand beyond maxDeflateRatio, so an
 		// uncompressed size far above the payload marks a decompression
 		// bomb; rejecting it here bounds every allocation below by what
 		// the stream could actually inflate to.
 		if usize > maxDeflateRatio*csize+64 {
-			return dir, 0, fmt.Errorf("chunk %d claims %d uncompressed bytes from a %d-byte payload", i, usize, csize)
+			return dir, 0, streamerr.Corrupt(section, "chunk claims %d uncompressed bytes from a %d-byte payload", usize, csize).WithChunk(i)
 		}
 		dir.usizes[i] = int(usize)
 		dir.offsets[i] = dir.total
 		dir.total += int(csize)
 		if dir.total > len(data)-off {
-			return dir, 0, fmt.Errorf("chunk payloads exceed stream length")
+			return dir, 0, streamerr.Truncated(section, "chunk payloads exceed stream length").WithChunk(i)
 		}
 	}
 	return dir, off, nil
 }
 
-// parseSymbolSection reads one v2 symbol section, returning the decoded
-// symbols and the offset past the section.
-func parseSymbolSection(data []byte, off, workers int) ([]uint32, int, error) {
+// verifyChunk checks a v3 per-chunk checksum; it runs inside the parallel
+// section workers so integrity verification costs no extra pass over the
+// stream.
+func (d *chunkDirectory) verifyChunk(payload []byte, i int, section string) error {
+	if d.crcs == nil {
+		return nil
+	}
+	if got := crc32.Checksum(d.payloadAt(payload, i), crcTable); got != d.crcs[i] {
+		return streamerr.Corrupt(section, "chunk CRC32C %08x, directory says %08x", got, d.crcs[i]).WithChunk(i)
+	}
+	return nil
+}
+
+// parseSymbolSection reads one chunked symbol section, returning the
+// decoded symbols and the offset past the section.
+func parseSymbolSection(data []byte, off, workers int, withCRC bool, section string) ([]uint32, int, error) {
 	count, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
-		return nil, 0, fmt.Errorf("truncated symbol count")
+		return nil, 0, streamerr.Truncated(section, "symbol count cut off").WithOffset(int64(off))
 	}
 	off += sz
 	if count == 0 {
@@ -344,14 +478,14 @@ func parseSymbolSection(data []byte, off, workers int) ([]uint32, int, error) {
 	// Every symbol takes at least one bit of some chunk; reject counts the
 	// stream cannot back before allocating the output.
 	if count > 8*maxDeflateRatio*uint64(len(data)-off)+64 {
-		return nil, 0, fmt.Errorf("symbol count %d exceeds stream capacity", count)
+		return nil, 0, streamerr.Corrupt(section, "symbol count %d exceeds stream capacity", count)
 	}
 	table, consumed, err := huffman.ParseTable(data[off:], count)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, streamerr.Wrap(streamerr.ErrCorrupt, section, err)
 	}
 	off += consumed
-	dir, off, err := parseChunkDirectory(data, off, int(count),
+	dir, off, err := parseChunkDirectory(data, off, int(count), withCRC, section,
 		// A chunk of n symbols packs between n and n*MaxCodeLen bits.
 		func(extent int) int { return extent*huffman.MaxCodeLen/8 + 8 },
 		func(extent int) int { return (extent + 7) / 8 },
@@ -361,48 +495,43 @@ func parseSymbolSection(data []byte, off, workers int) ([]uint32, int, error) {
 	}
 	payload := data[off : off+dir.total]
 	out := make([]uint32, count)
-	errs := make([]error, len(dir.bounds))
-	parallel.For(len(dir.bounds), workers, 1, func(i int) {
-		lo, hi := dir.bounds[i][0], dir.bounds[i][1]
-		var end int
-		if i+1 < len(dir.offsets) {
-			end = dir.offsets[i+1]
-		} else {
-			end = dir.total
+	err = parallel.ForErr(len(dir.bounds), workers, 1, func(i int) error {
+		if err := dir.verifyChunk(payload, i, section); err != nil {
+			return err
 		}
-		bits, err := inflateExact(payload[dir.offsets[i]:end], dir.usizes[i], getChunkBuf())
+		lo, hi := dir.bounds[i][0], dir.bounds[i][1]
+		bits, err := inflateExact(dir.payloadAt(payload, i), dir.usizes[i], getChunkBuf())
 		if err != nil {
-			errs[i] = fmt.Errorf("chunk %d: %w", i, err)
-			return
+			return streamerr.Wrap(streamerr.ErrCorrupt, section, err).WithChunk(i)
 		}
 		if err := table.DecodeChunk(bits, out[lo:hi]); err != nil {
-			errs[i] = fmt.Errorf("chunk %d: %w", i, err)
+			return streamerr.Wrap(streamerr.ErrCorrupt, section, err).WithChunk(i)
 		}
 		putChunkBuf(bits)
+		return nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, 0, err
-		}
+	if err != nil {
+		return nil, 0, err
 	}
 	return out, off + dir.total, nil
 }
 
-// parseRawSection reads the v2 verbatim-float section, inflating chunks
+// parseRawSection reads the verbatim-float section, inflating chunks
 // concurrently straight into their disjoint extents of the output.
-func parseRawSection(data []byte, off, workers int) ([]byte, int, error) {
+func parseRawSection(data []byte, off, workers int, withCRC bool) ([]byte, int, error) {
+	const section = "raw"
 	rawLen, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
-		return nil, 0, fmt.Errorf("truncated length")
+		return nil, 0, streamerr.Truncated(section, "section length cut off").WithOffset(int64(off))
 	}
 	off += sz
 	if rawLen == 0 {
 		return nil, off, nil
 	}
 	if rawLen > maxDeflateRatio*uint64(len(data)-off)+64 {
-		return nil, 0, fmt.Errorf("raw length %d exceeds stream capacity", rawLen)
+		return nil, 0, streamerr.Corrupt(section, "raw length %d exceeds stream capacity", rawLen)
 	}
-	dir, off, err := parseChunkDirectory(data, off, int(rawLen),
+	dir, off, err := parseChunkDirectory(data, off, int(rawLen), withCRC, section,
 		// Raw chunk extents are byte counts, so the directory entry must
 		// match exactly.
 		func(extent int) int { return extent },
@@ -413,23 +542,116 @@ func parseRawSection(data []byte, off, workers int) ([]byte, int, error) {
 	}
 	payload := data[off : off+dir.total]
 	raw := make([]byte, rawLen)
-	errs := make([]error, len(dir.bounds))
-	parallel.For(len(dir.bounds), workers, 1, func(i int) {
+	err = parallel.ForErr(len(dir.bounds), workers, 1, func(i int) error {
+		if err := dir.verifyChunk(payload, i, section); err != nil {
+			return err
+		}
 		lo, hi := dir.bounds[i][0], dir.bounds[i][1]
-		var end int
-		if i+1 < len(dir.offsets) {
-			end = dir.offsets[i+1]
-		} else {
-			end = dir.total
+		if err := inflateInto(dir.payloadAt(payload, i), raw[lo:hi]); err != nil {
+			return streamerr.Wrap(streamerr.ErrCorrupt, section, err).WithChunk(i)
 		}
-		errs[i] = inflateInto(payload[dir.offsets[i]:end], raw[lo:hi])
+		return nil
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, 0, fmt.Errorf("chunk %d: %w", i, err)
-		}
+	if err != nil {
+		return nil, 0, err
 	}
 	return raw, off + dir.total, nil
+}
+
+// Verify checksum-scans a stream without decoding it: the header CRC, the
+// whole-stream trailer, and every per-chunk checksum are verified, but no
+// chunk is inflated and no symbol decoded, so scanning costs a small
+// fraction of a full decompression. Streams older than v3 carry no
+// checksums and are reported as ErrVersion.
+func Verify(data []byte) (err error) {
+	defer streamerr.Guard("cpsz", &err)
+	hdr, off, end, err := parseHeader(data)
+	if err != nil {
+		return err
+	}
+	if data[4] < formatV3 {
+		return streamerr.Version("cpsz", data[4]).WithOffset(4)
+	}
+	_ = hdr
+	data = data[:end]
+	for _, section := range []string{"eb-symbols", "quant-symbols"} {
+		if off, err = scanSymbolSection(data, off, section); err != nil {
+			return err
+		}
+	}
+	if off, err = scanRawSection(data, off); err != nil {
+		return err
+	}
+	if off != len(data) {
+		return streamerr.Corrupt("cpsz stream", "%d trailing bytes after final section", len(data)-off).WithOffset(int64(off))
+	}
+	return nil
+}
+
+// scanSymbolSection walks one symbol section verifying chunk checksums
+// without inflating or decoding.
+func scanSymbolSection(data []byte, off int, section string) (int, error) {
+	count, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return 0, streamerr.Truncated(section, "symbol count cut off").WithOffset(int64(off))
+	}
+	off += sz
+	if count == 0 {
+		return off, nil
+	}
+	if count > 8*maxDeflateRatio*uint64(len(data)-off)+64 {
+		return 0, streamerr.Corrupt(section, "symbol count %d exceeds stream capacity", count)
+	}
+	_, consumed, err := huffman.ParseTable(data[off:], count)
+	if err != nil {
+		return 0, streamerr.Wrap(streamerr.ErrCorrupt, section, err)
+	}
+	off += consumed
+	dir, off, err := parseChunkDirectory(data, off, int(count), true, section,
+		func(extent int) int { return extent*huffman.MaxCodeLen/8 + 8 },
+		func(extent int) int { return (extent + 7) / 8 },
+	)
+	if err != nil {
+		return 0, err
+	}
+	if err := scanChunks(&dir, data[off:off+dir.total], section); err != nil {
+		return 0, err
+	}
+	return off + dir.total, nil
+}
+
+// scanRawSection walks the raw section verifying chunk checksums without
+// inflating.
+func scanRawSection(data []byte, off int) (int, error) {
+	const section = "raw"
+	rawLen, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return 0, streamerr.Truncated(section, "section length cut off").WithOffset(int64(off))
+	}
+	off += sz
+	if rawLen == 0 {
+		return off, nil
+	}
+	if rawLen > maxDeflateRatio*uint64(len(data)-off)+64 {
+		return 0, streamerr.Corrupt(section, "raw length %d exceeds stream capacity", rawLen)
+	}
+	dir, off, err := parseChunkDirectory(data, off, int(rawLen), true, section,
+		func(extent int) int { return extent },
+		func(extent int) int { return extent },
+	)
+	if err != nil {
+		return 0, err
+	}
+	if err := scanChunks(&dir, data[off:off+dir.total], section); err != nil {
+		return 0, err
+	}
+	return off + dir.total, nil
+}
+
+func scanChunks(dir *chunkDirectory, payload []byte, section string) error {
+	return parallel.ForErr(len(dir.bounds), 0, 1, func(i int) error {
+		return dir.verifyChunk(payload, i, section)
+	})
 }
 
 // flateWriterPool recycles flate.Writer instances (each owns a ~300 KiB
@@ -484,7 +706,7 @@ func inflateCap(data []byte, max uint64) ([]byte, error) {
 		return nil, err
 	}
 	if uint64(len(out)) > max {
-		return nil, fmt.Errorf("inflated payload exceeds %d-byte cap", max)
+		return nil, streamerr.Corrupt("inflate", "payload exceeds %d-byte cap", max)
 	}
 	return out, nil
 }
@@ -508,11 +730,11 @@ func inflateInto(data []byte, dst []byte) error {
 	r := flate.NewReader(bytes.NewReader(data))
 	defer r.Close()
 	if _, err := io.ReadFull(r, dst); err != nil {
-		return fmt.Errorf("chunk inflates short of %d bytes: %w", len(dst), err)
+		return streamerr.Corrupt("inflate", "chunk inflates short of %d bytes: %v", len(dst), err)
 	}
 	var probe [1]byte
 	if n, _ := r.Read(probe[:]); n != 0 {
-		return fmt.Errorf("chunk inflates past its declared %d bytes", len(dst))
+		return streamerr.Corrupt("inflate", "chunk inflates past its declared %d bytes", len(dst))
 	}
 	return nil
 }

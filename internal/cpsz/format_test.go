@@ -3,6 +3,8 @@ package cpsz
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"strconv"
 	"testing"
 
@@ -10,58 +12,115 @@ import (
 	"tspsz/internal/field"
 	"tspsz/internal/huffman"
 	"tspsz/internal/parallel"
+	"tspsz/internal/streamerr"
 )
 
-// serializeV1 writes the legacy single-stream layout: whole-section
-// Huffman passes wrapped in length-prefixed DEFLATE payloads. The
-// production writer emits v2 only; this copy exists so cross-version
-// tests and fuzz seeds can mint fresh v1 archives.
-func serializeV1(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteString(streamMagic)
-	buf.WriteByte(formatV1)
-	buf.WriteByte(byte(f.Dim()))
-	buf.WriteByte(byte(opts.Mode))
+// appendLegacyHeader writes the 28-byte fixed header shared by v1 and v2
+// (no CRC seal) with the given version byte.
+func appendLegacyHeader(dst []byte, version byte, f *field.Field, opts Options) []byte {
+	dst = append(dst, streamMagic...)
+	dst = append(dst, version, byte(f.Dim()), byte(opts.Mode))
 	pb := byte(opts.Predictor)
 	if opts.Reference != nil {
 		pb |= temporalFlag
 	}
-	buf.WriteByte(pb)
+	dst = append(dst, pb)
 	nx, ny, nz := f.Grid.Dims()
 	for _, v := range []uint32{uint32(nx), uint32(ny), uint32(nz)} {
-		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
-			return nil, err
-		}
+		dst = binary.LittleEndian.AppendUint32(dst, v)
 	}
-	if err := binary.Write(&buf, binary.LittleEndian, opts.ErrBound); err != nil {
+	var eb bytes.Buffer
+	_ = binary.Write(&eb, binary.LittleEndian, opts.ErrBound)
+	return append(dst, eb.Bytes()...)
+}
+
+// serializeV1 writes the legacy single-stream layout: whole-section
+// Huffman passes wrapped in length-prefixed DEFLATE payloads. The
+// production writer emits v3 only; this copy exists so cross-version
+// tests and fuzz seeds can mint fresh v1 archives.
+func serializeV1(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
+	out := appendLegacyHeader(nil, formatV1, f, opts)
+	encEb, err := huffman.Encode(ebSyms)
+	if err != nil {
 		return nil, err
 	}
-	for _, section := range [][]byte{huffman.Encode(ebSyms), huffman.Encode(quantSyms), raw} {
+	encQuant, err := huffman.Encode(quantSyms)
+	if err != nil {
+		return nil, err
+	}
+	for _, section := range [][]byte{encEb, encQuant, raw} {
 		packed, err := deflate(section)
 		if err != nil {
 			return nil, err
 		}
-		if err := binary.Write(&buf, binary.LittleEndian, uint64(len(packed))); err != nil {
-			return nil, err
-		}
-		buf.Write(packed)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(packed)))
+		out = append(out, packed...)
 	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
-// rewriteAsV1 converts a v2 archive into the equivalent v1 archive by
-// re-serializing its parsed sections through the legacy writer.
-func rewriteAsV1(t *testing.T, f *field.Field, opts Options, v2 []byte) []byte {
+// serializeV2 writes the chunked layout without integrity metadata: the
+// 28-byte unsealed header, CRC-less chunk directories, and no trailer —
+// exactly what the PR-2 writer emitted. It exists so cross-version tests
+// and fuzz seeds can mint fresh v2 archives.
+func serializeV2(t testing.TB, f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) []byte {
 	t.Helper()
-	_, ebSyms, quantSyms, raw, err := parse(v2, 1)
+	out := appendLegacyHeader(nil, formatV2, f, opts)
+	for _, syms := range [][]uint32{ebSyms, quantSyms} {
+		out = binary.AppendUvarint(out, uint64(len(syms)))
+		if len(syms) == 0 {
+			continue
+		}
+		sec := buildSymbolSection(t, syms, false, nil)
+		// buildSymbolSection repeats the symbol count; skip it.
+		_, n := binary.Uvarint(sec)
+		out = append(out, sec[n:]...)
+	}
+	out = binary.AppendUvarint(out, uint64(len(raw)))
+	if len(raw) > 0 {
+		bounds := parallel.Ranges(len(raw), chunkCount(len(raw), chunkRawBytes))
+		var payload []byte
+		var dir []byte
+		for _, b := range bounds {
+			packed, err := deflate(raw[b[0]:b[1]])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir = binary.AppendUvarint(dir, uint64(b[1]-b[0]))
+			dir = binary.AppendUvarint(dir, uint64(len(packed)))
+			payload = append(payload, packed...)
+		}
+		out = binary.AppendUvarint(out, uint64(len(bounds)))
+		out = append(out, dir...)
+		out = append(out, payload...)
+	}
+	return out
+}
+
+// rewriteAsV1 converts a current-format archive into the equivalent v1
+// archive by re-serializing its parsed sections through the legacy writer.
+func rewriteAsV1(t *testing.T, f *field.Field, opts Options, cur []byte) []byte {
+	t.Helper()
+	_, ebSyms, quantSyms, raw, err := parse(cur, 1)
 	if err != nil {
-		t.Fatalf("parse v2: %v", err)
+		t.Fatalf("parse: %v", err)
 	}
 	v1, err := serializeV1(f, opts, ebSyms, quantSyms, raw)
 	if err != nil {
 		t.Fatalf("serializeV1: %v", err)
 	}
 	return v1
+}
+
+// rewriteAsV2 converts a current-format archive into the equivalent v2
+// archive through the CRC-less legacy chunked writer.
+func rewriteAsV2(t *testing.T, f *field.Field, opts Options, cur []byte) []byte {
+	t.Helper()
+	_, ebSyms, quantSyms, raw, err := parse(cur, 1)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return serializeV2(t, f, opts, ebSyms, quantSyms, raw)
 }
 
 func fieldsEqual(t *testing.T, a, b *field.Field) {
@@ -79,10 +138,10 @@ func fieldsEqual(t *testing.T, a, b *field.Field) {
 	}
 }
 
-// TestV1CrossVersionDecode guards the compatibility promise: a v1 archive
-// of the same sections must decode to the exact field the v2 archive
-// produces, at every worker count.
-func TestV1CrossVersionDecode(t *testing.T) {
+// TestCrossVersionDecode guards the compatibility promise: v1 and v2
+// archives of the same sections must decode to the exact field the v3
+// archive produces, at every worker count.
+func TestCrossVersionDecode(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		f    *field.Field
@@ -97,23 +156,29 @@ func TestV1CrossVersionDecode(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if res.Bytes[4] != formatV2 {
-				t.Fatalf("writer emitted version %d, want %d", res.Bytes[4], formatV2)
+			if res.Bytes[4] != formatV3 {
+				t.Fatalf("writer emitted version %d, want %d", res.Bytes[4], formatV3)
 			}
 			v1 := rewriteAsV1(t, tc.f, tc.opts, res.Bytes)
 			if v1[4] != formatV1 {
 				t.Fatalf("legacy writer emitted version %d", v1[4])
+			}
+			v2 := rewriteAsV2(t, tc.f, tc.opts, res.Bytes)
+			if v2[4] != formatV2 {
+				t.Fatalf("legacy chunked writer emitted version %d", v2[4])
 			}
 			want, err := Decompress(res.Bytes, 2)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 4} {
-				got, err := Decompress(v1, workers)
-				if err != nil {
-					t.Fatalf("v1 decode (workers=%d): %v", workers, err)
+				for name, legacy := range map[string][]byte{"v1": v1, "v2": v2} {
+					got, err := Decompress(legacy, workers)
+					if err != nil {
+						t.Fatalf("%s decode (workers=%d): %v", name, workers, err)
+					}
+					fieldsEqual(t, want, got)
 				}
-				fieldsEqual(t, want, got)
 			}
 		})
 	}
@@ -150,13 +215,18 @@ func TestV2DeterministicAcrossWorkerCounts(t *testing.T) {
 
 // buildSymbolSection mirrors appendSymbolSection but lets the test tamper
 // with the chunk directory before it is written, to model corrupt or
-// adversarial archives.
-func buildSymbolSection(t testing.TB, syms []uint32, tamper func(cc *uint64, usizes, csizes []uint64)) []byte {
+// adversarial archives. withCRC selects the v3 directory layout; the crcs
+// slice passed to tamper is ignored otherwise.
+func buildSymbolSection(t testing.TB, syms []uint32, withCRC bool, tamper func(cc *uint64, usizes, csizes []uint64, crcs []uint32)) []byte {
 	t.Helper()
-	table := huffman.BuildTable(syms, 1)
+	table, err := huffman.BuildTable(syms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	bounds := parallel.Ranges(len(syms), chunkCount(len(syms), chunkSymbols))
 	usizes := make([]uint64, len(bounds))
 	csizes := make([]uint64, len(bounds))
+	crcs := make([]uint32, len(bounds))
 	var payload []byte
 	for i, b := range bounds {
 		bits := table.EncodeChunk(nil, syms[b[0]:b[1]])
@@ -166,11 +236,12 @@ func buildSymbolSection(t testing.TB, syms []uint32, tamper func(cc *uint64, usi
 		}
 		usizes[i] = uint64(len(bits))
 		csizes[i] = uint64(len(packed))
+		crcs[i] = crc32.Checksum(packed, crcTable)
 		payload = append(payload, packed...)
 	}
 	cc := uint64(len(bounds))
 	if tamper != nil {
-		tamper(&cc, usizes, csizes)
+		tamper(&cc, usizes, csizes, crcs)
 	}
 	out := binary.AppendUvarint(nil, uint64(len(syms)))
 	out = table.AppendTable(out)
@@ -178,6 +249,9 @@ func buildSymbolSection(t testing.TB, syms []uint32, tamper func(cc *uint64, usi
 	for i := range usizes {
 		out = binary.AppendUvarint(out, usizes[i])
 		out = binary.AppendUvarint(out, csizes[i])
+		if withCRC {
+			out = binary.LittleEndian.AppendUint32(out, crcs[i])
+		}
 	}
 	return append(out, payload...)
 }
@@ -190,61 +264,80 @@ func manySyms(n int) []uint32 {
 	return syms
 }
 
-// TestV2ChunkDirectoryLies drives parseSymbolSection with directories that
-// lie about chunk counts and sizes: every lie must surface as an error —
-// never a panic, hang, or silent mis-decode.
-func TestV2ChunkDirectoryLies(t *testing.T) {
+// TestChunkDirectoryLies drives parseSymbolSection with directories that
+// lie about chunk counts and sizes: every lie must surface as a
+// streamerr-typed error — never a panic, hang, or silent mis-decode. Both
+// the v2 (CRC-less) and v3 directory layouts are exercised.
+func TestChunkDirectoryLies(t *testing.T) {
 	syms := manySyms(3*chunkSymbols + 1000) // 4 chunks
 	lies := []struct {
 		name   string
-		tamper func(cc *uint64, usizes, csizes []uint64)
+		v3only bool
+		tamper func(cc *uint64, usizes, csizes []uint64, crcs []uint32)
 	}{
-		{"chunk-count-zero", func(cc *uint64, _, _ []uint64) { *cc = 0 }},
-		{"chunk-count-low", func(cc *uint64, _, _ []uint64) { *cc = 1 }},
-		{"chunk-count-high", func(cc *uint64, _, _ []uint64) { *cc = 9 }},
-		{"chunk-count-huge", func(cc *uint64, _, _ []uint64) { *cc = 1 << 40 }},
-		{"usize-zero", func(_ *uint64, usizes, _ []uint64) { usizes[0] = 0 }},
-		{"usize-short", func(_ *uint64, usizes, _ []uint64) { usizes[1]-- }},
-		{"usize-long", func(_ *uint64, usizes, _ []uint64) { usizes[1]++ }},
-		{"usize-bomb", func(_ *uint64, usizes, _ []uint64) { usizes[2] = 1 << 40 }},
-		{"csize-overlap", func(_ *uint64, _, csizes []uint64) { csizes[0]++ }}, // chunk 1 starts inside chunk 0
-		{"csize-short", func(_ *uint64, _, csizes []uint64) { csizes[2]-- }},
-		{"csize-huge", func(_ *uint64, _, csizes []uint64) { csizes[3] = 1 << 40 }},
+		{"chunk-count-zero", false, func(cc *uint64, _, _ []uint64, _ []uint32) { *cc = 0 }},
+		{"chunk-count-low", false, func(cc *uint64, _, _ []uint64, _ []uint32) { *cc = 1 }},
+		{"chunk-count-high", false, func(cc *uint64, _, _ []uint64, _ []uint32) { *cc = 9 }},
+		{"chunk-count-huge", false, func(cc *uint64, _, _ []uint64, _ []uint32) { *cc = 1 << 40 }},
+		{"usize-zero", false, func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[0] = 0 }},
+		{"usize-short", false, func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[1]-- }},
+		{"usize-long", false, func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[1]++ }},
+		{"usize-bomb", false, func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[2] = 1 << 40 }},
+		{"csize-overlap", false, func(_ *uint64, _, csizes []uint64, _ []uint32) { csizes[0]++ }}, // chunk 1 starts inside chunk 0
+		{"csize-short", false, func(_ *uint64, _, csizes []uint64, _ []uint32) { csizes[2]-- }},
+		{"csize-huge", false, func(_ *uint64, _, csizes []uint64, _ []uint32) { csizes[3] = 1 << 40 }},
+		{"crc-flip", true, func(_ *uint64, _, _ []uint64, crcs []uint32) { crcs[1] ^= 1 }},
+		{"crc-zero", true, func(_ *uint64, _, _ []uint64, crcs []uint32) { crcs[3] = 0 }},
 	}
-	for _, lie := range lies {
-		t.Run(lie.name, func(t *testing.T) {
-			sec := buildSymbolSection(t, syms, lie.tamper)
-			if _, _, err := parseSymbolSection(sec, 0, 2); err == nil {
-				t.Fatal("lying directory parsed without error")
+	for _, withCRC := range []bool{false, true} {
+		layout := "v2"
+		if withCRC {
+			layout = "v3"
+		}
+		for _, lie := range lies {
+			if lie.v3only && !withCRC {
+				continue
 			}
-		})
-	}
-	// Control: the untampered section round-trips.
-	sec := buildSymbolSection(t, syms, nil)
-	got, off, err := parseSymbolSection(sec, 0, 2)
-	if err != nil {
-		t.Fatalf("untampered section: %v", err)
-	}
-	if off != len(sec) {
-		t.Fatalf("consumed %d of %d bytes", off, len(sec))
-	}
-	for i := range syms {
-		if got[i] != syms[i] {
-			t.Fatalf("symbol %d: got %d, want %d", i, got[i], syms[i])
+			t.Run(layout+"/"+lie.name, func(t *testing.T) {
+				sec := buildSymbolSection(t, syms, withCRC, lie.tamper)
+				_, _, err := parseSymbolSection(sec, 0, 2, withCRC, "test")
+				if err == nil {
+					t.Fatal("lying directory parsed without error")
+				}
+				if !errors.Is(err, streamerr.ErrCorrupt) && !errors.Is(err, streamerr.ErrTruncated) {
+					t.Fatalf("lie surfaced as untyped error: %v", err)
+				}
+			})
+		}
+		// Control: the untampered section round-trips.
+		sec := buildSymbolSection(t, syms, withCRC, nil)
+		got, off, err := parseSymbolSection(sec, 0, 2, withCRC, "test")
+		if err != nil {
+			t.Fatalf("%s untampered section: %v", layout, err)
+		}
+		if off != len(sec) {
+			t.Fatalf("consumed %d of %d bytes", off, len(sec))
+		}
+		for i := range syms {
+			if got[i] != syms[i] {
+				t.Fatalf("symbol %d: got %d, want %d", i, got[i], syms[i])
+			}
 		}
 	}
 }
 
-// TestV2TruncatedDirectory cuts a multi-chunk section at every byte
+// TestTruncatedDirectory cuts a multi-chunk section at every byte
 // boundary inside its directory; every prefix must error.
-func TestV2TruncatedDirectory(t *testing.T) {
+func TestTruncatedDirectory(t *testing.T) {
 	syms := manySyms(2*chunkSymbols + 10)
-	sec := buildSymbolSection(t, syms, nil)
-	// The directory sits between the codebook and the payload; cutting
-	// anywhere before the payload end must fail.
-	for cut := 0; cut < len(sec); cut += 7 {
-		if _, _, err := parseSymbolSection(sec[:cut], 0, 1); err == nil {
-			t.Fatalf("section truncated to %d of %d bytes parsed", cut, len(sec))
+	for _, withCRC := range []bool{false, true} {
+		sec := buildSymbolSection(t, syms, withCRC, nil)
+		// The directory sits between the codebook and the payload; cutting
+		// anywhere before the payload end must fail.
+		for cut := 0; cut < len(sec); cut += 7 {
+			if _, _, err := parseSymbolSection(sec[:cut], 0, 1, withCRC, "test"); err == nil {
+				t.Fatalf("section truncated to %d of %d bytes parsed (withCRC=%v)", cut, len(sec), withCRC)
+			}
 		}
 	}
 }
@@ -277,6 +370,88 @@ func TestV2RejectsTrailingBytes(t *testing.T) {
 	}
 	if _, err := Decompress(append(append([]byte{}, res.Bytes...), 0xAB), 1); err == nil {
 		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestV3HeaderCRC: any damage to the fixed header or its stored CRC is
+// reported as corruption, not decoded on faith.
+func TestV3HeaderCRC(t *testing.T) {
+	res, err := Compress(gyre2D(24, 20), Options{Mode: ebound.Absolute, ErrBound: 0.01, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, flip := range []int{5, 6, 7, 8, 20, headerBytes, headerBytes + 3} {
+		bad := append([]byte{}, res.Bytes...)
+		bad[flip] ^= 0x10
+		_, err := Decompress(bad, 1)
+		if err == nil {
+			t.Fatalf("header byte %d flipped, decode succeeded", flip)
+		}
+		// Flipping the version byte surfaces as ErrVersion; everything else
+		// under the seal must be ErrCorrupt.
+		if !errors.Is(err, streamerr.ErrCorrupt) && !errors.Is(err, streamerr.ErrVersion) {
+			t.Fatalf("header byte %d: untyped error %v", flip, err)
+		}
+	}
+}
+
+// TestV3TrailerLies: the trailer's declared payload length and stream CRC
+// are both load-bearing.
+func TestV3TrailerLies(t *testing.T) {
+	res, err := Compress(gyre2D(24, 20), Options{Mode: ebound.Absolute, ErrBound: 0.01, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plenOff := len(res.Bytes) - trailerBytes
+
+	over := append([]byte{}, res.Bytes...)
+	binary.LittleEndian.PutUint64(over[plenOff:], uint64(plenOff+1))
+	if _, err := Decompress(over, 1); !errors.Is(err, streamerr.ErrTruncated) {
+		t.Fatalf("over-declaring trailer: got %v, want ErrTruncated", err)
+	}
+
+	under := append([]byte{}, res.Bytes...)
+	binary.LittleEndian.PutUint64(under[plenOff:], uint64(plenOff-1))
+	if _, err := Decompress(under, 1); !errors.Is(err, streamerr.ErrCorrupt) {
+		t.Fatalf("under-declaring trailer: got %v, want ErrCorrupt", err)
+	}
+
+	badCRC := append([]byte{}, res.Bytes...)
+	badCRC[len(badCRC)-1] ^= 0xFF
+	if _, err := Decompress(badCRC, 1); !errors.Is(err, streamerr.ErrCorrupt) {
+		t.Fatalf("flipped stream CRC: got %v, want ErrCorrupt", err)
+	}
+
+	if _, err := Decompress(res.Bytes[:len(res.Bytes)-5], 1); !errors.Is(err, streamerr.ErrTruncated) && !errors.Is(err, streamerr.ErrCorrupt) {
+		t.Fatalf("missing trailer bytes: untyped error %v", err)
+	}
+}
+
+// TestVerify: the checksum scan accepts intact v3 archives, pinpoints
+// payload damage without decoding, and reports pre-v3 archives (which
+// carry no checksums) as ErrVersion.
+func TestVerify(t *testing.T) {
+	f := gyre2D(64, 48)
+	opts := Options{Mode: ebound.Absolute, ErrBound: 0.01, Workers: 2}
+	res, err := Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res.Bytes); err != nil {
+		t.Fatalf("intact archive failed verification: %v", err)
+	}
+	// Flip one payload byte past the header: either a chunk CRC or the
+	// stream CRC must catch it.
+	bad := append([]byte{}, res.Bytes...)
+	bad[len(bad)/2] ^= 0x40
+	if err := Verify(bad); !errors.Is(err, streamerr.ErrCorrupt) {
+		t.Fatalf("flipped payload byte: got %v, want ErrCorrupt", err)
+	}
+	if err := Verify(rewriteAsV2(t, f, opts, res.Bytes)); !errors.Is(err, streamerr.ErrVersion) {
+		t.Fatalf("v2 archive: got %v, want ErrVersion", err)
+	}
+	if err := Verify(nil); !errors.Is(err, streamerr.ErrTruncated) {
+		t.Fatalf("empty input: got %v, want ErrTruncated", err)
 	}
 }
 

@@ -1,16 +1,26 @@
 package cpsz
 
 import (
+	"encoding/binary"
+	"errors"
 	"testing"
 
 	"tspsz/internal/ebound"
+	"tspsz/internal/streamerr"
 )
 
+// streamErrTyped reports whether err carries one of the four streamerr
+// failure classes.
+func streamErrTyped(err error) bool {
+	return errors.Is(err, streamerr.ErrTruncated) || errors.Is(err, streamerr.ErrCorrupt) ||
+		errors.Is(err, streamerr.ErrVersion) || errors.Is(err, streamerr.ErrHeader)
+}
+
 // FuzzDecompressTruncated feeds the decompressor arbitrary mutations of
-// valid v1 and v2 streams AND every reachable byte prefix of them:
-// truncation anywhere in the header, codebook, chunk directory, or packed
-// payload must surface as an error — never a panic, hang, unbounded
-// allocation, or silent success with a nil field.
+// valid v1, v2, and v3 streams AND every reachable byte prefix of them:
+// truncation anywhere in the header, codebook, chunk directory, packed
+// payload, or trailer must surface as a streamerr-typed error — never a
+// panic, hang, unbounded allocation, or silent success with a nil field.
 func FuzzDecompressTruncated(f *testing.F) {
 	field2d := gyre2D(16, 12)
 	opts := Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1}
@@ -21,12 +31,13 @@ func FuzzDecompressTruncated(f *testing.F) {
 	stream := valid.Bytes
 	f.Add([]byte{}, uint16(0))
 	f.Add(stream, uint16(len(stream)))
-	for _, cut := range []int{1, 4, 8, 27, 28, len(stream) / 2, len(stream) - 1} {
+	for _, cut := range []int{1, 4, 8, 27, 28, 31, 32, len(stream) / 2, len(stream) - trailerBytes, len(stream) - 1} {
 		if cut >= 0 && cut < len(stream) {
 			f.Add(stream[:cut], uint16(cut))
 		}
 	}
-	// Legacy-layout seed: the v1 reader must stay as robust as the v2 one.
+	// Legacy-layout seeds: the v1 and v2 readers must stay as robust as the
+	// v3 one.
 	_, ebSyms, quantSyms, raw, err := parse(stream, 1)
 	if err != nil {
 		f.Fatal(err)
@@ -37,22 +48,41 @@ func FuzzDecompressTruncated(f *testing.F) {
 	}
 	f.Add(v1, uint16(len(v1)))
 	f.Add(v1[:len(v1)/2], uint16(0))
+	v2 := serializeV2(f, field2d, opts, ebSyms, quantSyms, raw)
+	f.Add(v2, uint16(len(v2)))
+	f.Add(v2[:len(v2)/2], uint16(0))
 	// Regression seed for the unbounded-inflate crasher: a chunk directory
 	// claiming a huge uncompressed size from a tiny payload must be
 	// rejected by the size cap, not materialized by io.ReadAll.
-	bomb := buildSymbolSection(f, manySyms(chunkSymbols+10),
-		func(_ *uint64, usizes, _ []uint64) { usizes[0] = 1 << 40 })
+	bomb := buildSymbolSection(f, manySyms(chunkSymbols+10), false,
+		func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[0] = 1 << 40 })
 	f.Add(append(append([]byte{}, stream[:headerBytes]...), bomb...), uint16(0))
+	// Checksum-tamper regression seeds: a flipped per-chunk CRC in the v3
+	// directory, and a trailer lying about the payload length.
+	crcFlip := append([]byte{}, stream...)
+	crcFlip[headerBytesV3+10] ^= 0x01
+	f.Add(crcFlip, uint16(0))
+	lyingTrailer := append([]byte{}, stream...)
+	binary.LittleEndian.PutUint64(lyingTrailer[len(lyingTrailer)-trailerBytes:], 1<<40)
+	f.Add(lyingTrailer, uint16(0))
 
 	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
-		// Arbitrary (mutated) bytes.
-		if fld, err := Decompress(data, 1); err == nil && fld == nil {
+		// Arbitrary (mutated) bytes: decode must fail typed or succeed.
+		fld, err := Decompress(data, 1)
+		if err == nil && fld == nil {
 			t.Fatal("nil field with nil error on mutated input")
+		}
+		if err != nil && !streamErrTyped(err) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// The checksum scan obeys the same contract.
+		if err := Verify(data); err != nil && !streamErrTyped(err) {
+			t.Fatalf("untyped verify error: %v", err)
 		}
 		// Exact prefix of the known-valid stream, length chosen by the
 		// fuzzer: only the full stream may decode successfully.
 		prefix := stream[:int(n)%(len(stream)+1)]
-		fld, err := Decompress(prefix, 1)
+		fld, err = Decompress(prefix, 1)
 		if len(prefix) < len(stream) && err == nil {
 			t.Fatalf("truncated stream (%d of %d bytes) decoded without error", len(prefix), len(stream))
 		}

@@ -1,0 +1,149 @@
+// Package faultinject provides deterministic byte-level stream mutators and
+// misbehaving io.Readers for crash-proofing tests. Every mutator copies its
+// input — the original archive is never aliased — and every random choice
+// flows from an explicit seed, so a failing mutation reproduces from the
+// test log alone.
+package faultinject
+
+import (
+	"io"
+)
+
+// FlipBit returns a copy of data with bit (0-7, LSB first) of byte i
+// flipped. Out-of-range positions return an unmodified copy.
+func FlipBit(data []byte, i int, bit uint) []byte {
+	out := append([]byte(nil), data...)
+	if i >= 0 && i < len(out) && bit < 8 {
+		out[i] ^= 1 << bit
+	}
+	return out
+}
+
+// Truncate returns a copy of the first n bytes; n is clamped to [0,len].
+func Truncate(data []byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	return append([]byte(nil), data[:n]...)
+}
+
+// ZeroRange returns a copy with bytes [i,j) cleared; the range is clamped
+// to the data.
+func ZeroRange(data []byte, i, j int) []byte {
+	out := append([]byte(nil), data...)
+	i, j = clampRange(i, j, len(out))
+	for k := i; k < j; k++ {
+		out[k] = 0
+	}
+	return out
+}
+
+// DuplicateRange returns data with a second copy of bytes [i,j) inserted
+// right after j — the classic "retransmitted block" corruption, which
+// shifts every later section without touching any individual byte.
+func DuplicateRange(data []byte, i, j int) []byte {
+	i, j = clampRange(i, j, len(data))
+	out := make([]byte, 0, len(data)+(j-i))
+	out = append(out, data[:j]...)
+	out = append(out, data[i:j]...)
+	return append(out, data[j:]...)
+}
+
+func clampRange(i, j, n int) (int, int) {
+	if i < 0 {
+		i = 0
+	}
+	if j > n {
+		j = n
+	}
+	if j < i {
+		j = i
+	}
+	return i, j
+}
+
+// Rand is a seeded splitmix64 generator: tiny, deterministic, and free of
+// any global state, so concurrent sweep shards never interleave draws.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator; equal seeds yield equal mutation sequences.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Next returns the next 64 pseudo-random bits.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0,n); n must be positive.
+func (r *Rand) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Mutate applies one seeded random mutation — bit flip, truncation, zeroed
+// range, or duplicated range — and returns the mutant.
+func (r *Rand) Mutate(data []byte) []byte {
+	if len(data) == 0 {
+		return []byte{}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return FlipBit(data, r.Intn(len(data)), uint(r.Intn(8)))
+	case 1:
+		return Truncate(data, r.Intn(len(data)))
+	case 2:
+		i := r.Intn(len(data))
+		return ZeroRange(data, i, i+1+r.Intn(16))
+	default:
+		i := r.Intn(len(data))
+		return DuplicateRange(data, i, i+1+r.Intn(16))
+	}
+}
+
+// ErrReader yields the first n bytes of data, then the given error instead
+// of io.EOF — an input file whose backing device fails mid-read.
+func ErrReader(data []byte, n int, err error) io.Reader {
+	if n > len(data) {
+		n = len(data)
+	}
+	return &errReader{data: data[:n], err: err}
+}
+
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// ShortReader wraps r so every Read delivers at most k bytes, exercising
+// partial-read handling in code that forgets io.ReadFull.
+func ShortReader(r io.Reader, k int) io.Reader {
+	if k < 1 {
+		k = 1
+	}
+	return &shortReader{r: r, k: k}
+}
+
+type shortReader struct {
+	r io.Reader
+	k int
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) > s.k {
+		p = p[:s.k]
+	}
+	return s.r.Read(p)
+}

@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestMutatorsCopyInput(t *testing.T) {
+	orig := []byte{1, 2, 3, 4, 5}
+	ref := append([]byte(nil), orig...)
+	FlipBit(orig, 2, 3)
+	Truncate(orig, 2)
+	ZeroRange(orig, 1, 4)
+	DuplicateRange(orig, 1, 3)
+	r := NewRand(7)
+	for i := 0; i < 50; i++ {
+		r.Mutate(orig)
+	}
+	if !bytes.Equal(orig, ref) {
+		t.Fatalf("a mutator wrote through to its input: %v", orig)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	got := FlipBit([]byte{0, 0}, 1, 3)
+	if got[0] != 0 || got[1] != 8 {
+		t.Fatalf("FlipBit = %v, want [0 8]", got)
+	}
+	if got := FlipBit([]byte{5}, 9, 0); got[0] != 5 {
+		t.Fatal("out-of-range flip modified data")
+	}
+}
+
+func TestTruncateClamps(t *testing.T) {
+	if got := Truncate([]byte{1, 2}, 99); len(got) != 2 {
+		t.Fatalf("over-long truncate kept %d bytes", len(got))
+	}
+	if got := Truncate([]byte{1, 2}, -1); len(got) != 0 {
+		t.Fatalf("negative truncate kept %d bytes", len(got))
+	}
+}
+
+func TestZeroAndDuplicateRange(t *testing.T) {
+	if got := ZeroRange([]byte{1, 2, 3, 4}, 1, 3); !bytes.Equal(got, []byte{1, 0, 0, 4}) {
+		t.Fatalf("ZeroRange = %v", got)
+	}
+	if got := DuplicateRange([]byte{1, 2, 3, 4}, 1, 3); !bytes.Equal(got, []byte{1, 2, 3, 2, 3, 4}) {
+		t.Fatalf("DuplicateRange = %v", got)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if !bytes.Equal(a.Mutate(data), b.Mutate(data)) {
+			t.Fatalf("draw %d diverged for equal seeds", i)
+		}
+	}
+}
+
+func TestErrReader(t *testing.T) {
+	boom := errors.New("boom")
+	got, err := io.ReadAll(ErrReader([]byte{1, 2, 3, 4}, 2, boom))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("read %v before failing, want [1 2]", got)
+	}
+}
+
+func TestShortReader(t *testing.T) {
+	r := ShortReader(bytes.NewReader(make([]byte, 10)), 3)
+	buf := make([]byte, 8)
+	n, err := r.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("Read = (%d, %v), want (3, nil)", n, err)
+	}
+	if got, _ := io.ReadAll(r); len(got) != 7 {
+		t.Fatalf("remaining read %d bytes, want 7", len(got))
+	}
+}

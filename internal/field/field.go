@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"tspsz/internal/grid"
+	"tspsz/internal/streamerr"
 )
 
 // Field is a 2D or 3D vector field sampled at the vertices of a regular
@@ -165,15 +166,15 @@ func ReadFrom(r io.Reader) (*Field, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("field: reading magic: %w", err)
+		return nil, readErr("field magic", err)
 	}
 	if string(magic) != fileMagic {
-		return nil, errors.New("field: bad magic, not a TSPF file")
+		return nil, streamerr.Header("field", "bad magic, not a TSPF file")
 	}
 	var hdr [4]uint32
 	for i := range hdr {
 		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("field: reading header: %w", err)
+			return nil, readErr("field header", err)
 		}
 	}
 	dim, nx, ny, nz := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
@@ -184,13 +185,13 @@ func ReadFrom(r io.Reader) (*Field, error) {
 	case 3:
 		ncomp = 3
 		if nz < 2 || nz > maxAxis {
-			return nil, fmt.Errorf("field: implausible dims %dx%dx%d", nx, ny, nz)
+			return nil, streamerr.Header("field", "implausible dims %dx%dx%d", nx, ny, nz)
 		}
 	default:
-		return nil, fmt.Errorf("field: unsupported dimension %d", dim)
+		return nil, streamerr.Header("field", "unsupported dimension %d", dim)
 	}
 	if nx < 2 || nx > maxAxis || ny < 2 || ny > maxAxis {
-		return nil, fmt.Errorf("field: implausible dims %dx%dx%d", nx, ny, nz)
+		return nil, streamerr.Header("field", "implausible dims %dx%dx%d", nx, ny, nz)
 	}
 	// Each axis is ≤ 2^21, so the three-axis product is ≤ 2^63 — which
 	// fits uint64 but not int: at the all-max boundary it wraps negative
@@ -198,7 +199,7 @@ func ReadFrom(r io.Reader) (*Field, error) {
 	// cannot index a slice.
 	nv64 := uint64(nx) * uint64(ny) * uint64(nz)
 	if nv64 > math.MaxInt {
-		return nil, fmt.Errorf("field: implausible dims %dx%dx%d", nx, ny, nz)
+		return nil, streamerr.Header("field", "implausible dims %dx%dx%d", nx, ny, nz)
 	}
 	nv := int(nv64)
 	comps := make([][]float32, ncomp)
@@ -229,9 +230,19 @@ func readComponent(br *bufio.Reader, n int) ([]float32, error) {
 	for len(out) < n {
 		t := tmp[:min(chunk, n-len(out))]
 		if err := binary.Read(br, binary.LittleEndian, t); err != nil {
-			return nil, fmt.Errorf("field: reading component: %w", err)
+			return nil, readErr("field component", err)
 		}
 		out = append(out, t...)
 	}
 	return out, nil
+}
+
+// readErr classifies a read failure: hitting end of stream mid-section
+// means the file is truncated; any other error is a genuine I/O failure
+// and is passed through untyped.
+func readErr(section string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return streamerr.Wrap(streamerr.ErrTruncated, section, err)
+	}
+	return fmt.Errorf("field: reading %s: %w", section, err)
 }

@@ -11,7 +11,10 @@ import (
 func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0})
-	valid := Encode([]uint32{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 1, 1, 1})
+	valid, err := Encode([]uint32{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 1, 1, 1})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(valid)
 	for _, cut := range []int{1, len(valid) / 2, len(valid) - 1} {
 		if cut >= 0 && cut < len(valid) {
@@ -23,7 +26,11 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		again, err := Decode(Encode(syms))
+		enc, err := Encode(syms)
+		if err != nil {
+			t.Fatalf("re-encode of decoded symbols failed: %v", err)
+		}
+		again, err := Decode(enc)
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded symbols failed: %v", err)
 		}

@@ -34,7 +34,10 @@ func TestDecodeBitflippedStreams(t *testing.T) {
 	for i := range syms {
 		syms[i] = uint32(rng.Intn(50))
 	}
-	data := Encode(syms)
+	data, err := Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for pos := 0; pos < len(data); pos++ {
 		mut := append([]byte(nil), data...)
 		mut[pos] ^= 0xA5

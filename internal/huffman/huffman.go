@@ -162,15 +162,18 @@ func (w *bitWriter) flush() {
 // AppendTable codebook (canonical order sorts primarily by length, so
 // symbols are stored as zigzag deltas in (length, symbol) order), then the
 // packed code bits — i.e. a single-chunk stream over a one-shot Table.
-func Encode(symbols []uint32) []byte {
+func Encode(symbols []uint32) ([]byte, error) {
 	var out []byte
 	out = binary.AppendUvarint(out, uint64(len(symbols)))
 	if len(symbols) == 0 {
-		return out
+		return out, nil
 	}
-	t := BuildTable(symbols, 1)
+	t, err := BuildTable(symbols, 1)
+	if err != nil {
+		return nil, err
+	}
 	out = t.AppendTable(out)
-	return t.EncodeChunk(out, symbols)
+	return t.EncodeChunk(out, symbols), nil
 }
 
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }

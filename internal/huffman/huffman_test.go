@@ -9,7 +9,10 @@ import (
 
 func roundTrip(t *testing.T, symbols []uint32) {
 	t.Helper()
-	data := Encode(symbols)
+	data, err := Encode(symbols)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
 	got, err := Decode(data)
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
@@ -51,7 +54,7 @@ func TestSkewedDistribution(t *testing.T) {
 	}
 	roundTrip(t, s)
 	// Compression sanity: skewed stream must shrink well below 4 bytes/symbol.
-	if enc := Encode(s); len(enc) > len(s)*2 {
+	if enc, err := Encode(s); err != nil || len(enc) > len(s)*2 {
 		t.Errorf("encoded %d symbols into %d bytes; expected entropy gain", len(s), len(enc))
 	}
 }
@@ -65,7 +68,10 @@ func TestQuickRoundTrip(t *testing.T) {
 		for i := range s {
 			s[i] = uint32(rng.Intn(int(mod)))
 		}
-		data := Encode(s)
+		data, err := Encode(s)
+		if err != nil {
+			return false
+		}
 		got, err := Decode(data)
 		if err != nil {
 			return false
@@ -87,7 +93,10 @@ func TestQuickRoundTrip(t *testing.T) {
 
 func TestDecodeRejectsTruncated(t *testing.T) {
 	s := []uint32{1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4}
-	data := Encode(s)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for cut := 1; cut < len(data); cut += 3 {
 		if got, err := Decode(data[:len(data)-cut]); err == nil && len(got) == len(s) {
 			eq := true
@@ -119,8 +128,11 @@ func TestDeterministic(t *testing.T) {
 	for i := range s {
 		s[i] = uint32(rng.Intn(40))
 	}
-	a := Encode(s)
-	b := Encode(s)
+	a, errA := Encode(s)
+	b, errB := Encode(s)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if !bytes.Equal(a, b) {
 		t.Error("Encode is not deterministic")
 	}
@@ -135,7 +147,9 @@ func BenchmarkEncode(b *testing.B) {
 	b.SetBytes(int64(4 * len(s)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Encode(s)
+		if _, err := Encode(s); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -145,7 +159,10 @@ func BenchmarkDecode(b *testing.B) {
 	for i := range s {
 		s[i] = uint32(rng.Intn(64))
 	}
-	data := Encode(s)
+	data, err := Encode(s)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.SetBytes(int64(4 * len(s)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -65,16 +65,17 @@ type partialHist struct {
 // concurrently and merged once. The merged totals are sums, so the
 // resulting table — and every byte encoded against it — is independent of
 // the worker count. A nil-alphabet table (len(symbols) == 0) is valid and
-// encodes only empty chunks.
-func BuildTable(symbols []uint32, workers int) *Table {
+// encodes only empty chunks. A panic in the reduction workers is contained
+// and returned as an error rather than crashing the process.
+func BuildTable(symbols []uint32, workers int) (*Table, error) {
 	if len(symbols) == 0 {
-		return &Table{}
+		return &Table{}, nil
 	}
 	parts := parallel.Workers(workers)
 	if len(symbols) < histogramParts {
 		parts = 1
 	}
-	partial := parallel.ReduceRanges(len(symbols), parts, workers, func(lo, hi int) partialHist {
+	partial, err := parallel.ReduceRangesErr(len(symbols), parts, workers, func(lo, hi int) (partialHist, error) {
 		seg := symbols[lo:hi]
 		// Size the count array to the largest dense symbol actually present
 		// so sparse alphabets (relative mode tops out near 400) do not pay
@@ -96,8 +97,11 @@ func BuildTable(symbols []uint32, workers int) *Table {
 				h.rest[s]++
 			}
 		}
-		return h
+		return h, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	merged := partial[0]
 	for _, h := range partial[1:] {
 		if len(h.dense) > len(merged.dense) {
@@ -154,7 +158,7 @@ func BuildTable(symbols []uint32, workers int) *Table {
 			t.dense[s] = int32(i)
 		}
 	}
-	return t
+	return t, nil
 }
 
 // AppendTable appends the wire form of the codebook to dst: a uvarint

@@ -21,9 +21,18 @@ func skewedSymbols(n int, seed int64) []uint32 {
 	return s
 }
 
+func mustBuild(t testing.TB, syms []uint32, workers int) *Table {
+	t.Helper()
+	table, err := BuildTable(syms, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return table
+}
+
 func TestTableChunkedRoundTrip(t *testing.T) {
 	syms := skewedSymbols(50000, 11)
-	table := BuildTable(syms, 4)
+	table := mustBuild(t, syms, 4)
 	wire := table.AppendTable(nil)
 	parsed, consumed, err := ParseTable(wire, uint64(len(syms)))
 	if err != nil {
@@ -59,9 +68,9 @@ func TestTableChunkedRoundTrip(t *testing.T) {
 // table (and therefore the same wire bytes) for every worker count.
 func TestBuildTableWorkerIndependent(t *testing.T) {
 	syms := skewedSymbols(1<<16, 3)
-	ref := BuildTable(syms, 1).AppendTable(nil)
+	ref := mustBuild(t, syms, 1).AppendTable(nil)
 	for _, workers := range []int{2, 3, 4, 8, 13} {
-		got := BuildTable(syms, workers).AppendTable(nil)
+		got := mustBuild(t, syms, workers).AppendTable(nil)
 		if !bytes.Equal(ref, got) {
 			t.Fatalf("table bytes differ between workers=1 and workers=%d", workers)
 		}
@@ -70,7 +79,7 @@ func TestBuildTableWorkerIndependent(t *testing.T) {
 
 func TestDecodeChunkRejectsBadCounts(t *testing.T) {
 	syms := skewedSymbols(1000, 7)
-	table := BuildTable(syms, 1)
+	table := mustBuild(t, syms, 1)
 	chunk := table.EncodeChunk(nil, syms)
 	parsed, _, err := ParseTable(table.AppendTable(nil), uint64(len(syms)))
 	if err != nil {
@@ -89,7 +98,7 @@ func TestDecodeChunkRejectsBadCounts(t *testing.T) {
 
 func TestDecodeChunkTruncatedPayload(t *testing.T) {
 	syms := skewedSymbols(5000, 9)
-	table := BuildTable(syms, 2)
+	table := mustBuild(t, syms, 2)
 	chunk := table.EncodeChunk(nil, syms)
 	parsed, _, err := ParseTable(table.AppendTable(nil), uint64(len(syms)))
 	if err != nil {
@@ -104,10 +113,10 @@ func TestDecodeChunkTruncatedPayload(t *testing.T) {
 }
 
 func TestBuildTableEmptyAndSingle(t *testing.T) {
-	if got := BuildTable(nil, 4).Len(); got != 0 {
+	if got := mustBuild(t, nil, 4).Len(); got != 0 {
 		t.Fatalf("empty table has %d symbols", got)
 	}
-	table := BuildTable([]uint32{42, 42, 42}, 4)
+	table := mustBuild(t, []uint32{42, 42, 42}, 4)
 	chunk := table.EncodeChunk(nil, []uint32{42, 42, 42})
 	parsed, _, err := ParseTable(table.AppendTable(nil), 3)
 	if err != nil {

@@ -1,0 +1,170 @@
+// Package streamerr defines the typed error taxonomy every decoder in the
+// repository reports through. Archives reaching a decoder are untrusted
+// input: a production service decoding streams from millions of users needs
+// to tell apart "the stream ended early" (retryable transfer fault), "the
+// stream is damaged" (integrity fault, includes the section/chunk/offset of
+// the first violation), "the stream is from a different format generation"
+// (compatibility fault), and "the stream never was an archive" (caller
+// fault). Callers branch on the four sentinels with errors.Is; the *Error
+// type carries the location detail for diagnostics via errors.As.
+//
+// The sentinels are re-exported from the root tspsz package, and cmd/tspsz
+// maps them to distinct process exit codes.
+package streamerr
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// The four failure classes of untrusted-stream decoding.
+var (
+	// ErrTruncated marks a stream that ends before a section, directory
+	// entry, or payload it declares; retrying with the complete stream may
+	// succeed.
+	ErrTruncated = errors.New("truncated stream")
+	// ErrCorrupt marks a stream whose content contradicts itself: failed
+	// checksums, impossible directory entries, symbol streams that decode
+	// past their bounds, or a panic contained while decoding.
+	ErrCorrupt = errors.New("corrupt stream")
+	// ErrVersion marks a structurally sound stream written by a format
+	// generation this build does not support.
+	ErrVersion = errors.New("unsupported stream version")
+	// ErrHeader marks input that is not an archive at all, or whose fixed
+	// header carries invalid field parameters (magic, dimension, mode).
+	ErrHeader = errors.New("invalid stream header")
+)
+
+// Error is the concrete error every constructor in this package returns:
+// one failure class plus the location of the first violation. Chunk and
+// Offset are -1 when the fault is not chunk- or offset-scoped.
+type Error struct {
+	Kind    error  // one of the four sentinels
+	Section string // e.g. "container", "eb-symbols", "chunk directory"
+	Chunk   int    // chunk index within the section, -1 if not chunk-scoped
+	Offset  int64  // byte offset within the stream, -1 if unknown
+	msg     string // human-readable detail
+	cause   error  // wrapped cause, may be nil
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	s := e.Section + ": " + e.Kind.Error()
+	if e.Chunk >= 0 {
+		s += fmt.Sprintf(" (chunk %d)", e.Chunk)
+	}
+	if e.Offset >= 0 {
+		s += fmt.Sprintf(" (offset %d)", e.Offset)
+	}
+	if e.msg != "" {
+		s += ": " + e.msg
+	}
+	if e.cause != nil {
+		s += ": " + e.cause.Error()
+	}
+	return s
+}
+
+// Unwrap exposes both the failure-class sentinel and the wrapped cause, so
+// errors.Is matches the sentinel and errors.As reaches the cause.
+func (e *Error) Unwrap() []error {
+	if e.cause != nil {
+		return []error{e.Kind, e.cause}
+	}
+	return []error{e.Kind}
+}
+
+// WithChunk returns a copy of e scoped to chunk index i.
+func (e *Error) WithChunk(i int) *Error {
+	c := *e
+	c.Chunk = i
+	return &c
+}
+
+// WithOffset returns a copy of e scoped to stream byte offset off.
+func (e *Error) WithOffset(off int64) *Error {
+	c := *e
+	c.Offset = off
+	return &c
+}
+
+func newError(kind error, section, format string, args ...any) *Error {
+	return &Error{Kind: kind, Section: section, Chunk: -1, Offset: -1, msg: fmt.Sprintf(format, args...)}
+}
+
+// Truncated reports that section ends before the bytes it declares.
+func Truncated(section, format string, args ...any) *Error {
+	return newError(ErrTruncated, section, format, args...)
+}
+
+// Corrupt reports self-contradicting content in section.
+func Corrupt(section, format string, args ...any) *Error {
+	return newError(ErrCorrupt, section, format, args...)
+}
+
+// Version reports an unsupported format generation.
+func Version(section string, got uint8) *Error {
+	return newError(ErrVersion, section, "version %d", got)
+}
+
+// Header reports input that is not a valid archive header.
+func Header(section, format string, args ...any) *Error {
+	return newError(ErrHeader, section, format, args...)
+}
+
+// Wrap attaches a failure class and section to an underlying non-nil
+// cause. A cause that already carries a *Error keeps its original
+// classification — the innermost decoder saw the violation first and knows
+// it best.
+func Wrap(kind error, section string, cause error) *Error {
+	var se *Error
+	if errors.As(cause, &se) {
+		kind = se.Kind
+	}
+	return &Error{Kind: kind, Section: section, Chunk: -1, Offset: -1, cause: cause}
+}
+
+// Guard makes a decode entry point crash-proof: deferred at the top of a
+// public Decompress/Verify function it converts a panic on the calling
+// goroutine into an ErrCorrupt-typed error carrying the panic value and
+// stack, and it re-classifies a *parallel.PanicError propagated up from a
+// worker (which a deferred recover cannot see) the same way. A decoder
+// that panics on untrusted bytes has been driven outside its parsing
+// invariants, which is corruption by definition — but the panic detail is
+// preserved so the underlying bug stays visible and fixable.
+//
+//	func Decompress(data []byte) (f *Field, err error) {
+//		defer streamerr.Guard("mycodec", &err)
+//		...
+func Guard(section string, errp *error) {
+	if v := recover(); v != nil {
+		*errp = &Error{
+			Kind: ErrCorrupt, Section: section, Chunk: -1, Offset: -1,
+			msg:   "panic during decode",
+			cause: fmt.Errorf("panic: %v\n%s", v, debug.Stack()),
+		}
+		return
+	}
+	if *errp == nil {
+		return
+	}
+	if isPanicError(*errp) && !errors.Is(*errp, ErrCorrupt) {
+		*errp = &Error{
+			Kind: ErrCorrupt, Section: section, Chunk: -1, Offset: -1,
+			msg: "worker panic during decode", cause: *errp,
+		}
+	}
+}
+
+// panicCarrier matches parallel.PanicError without importing the parallel
+// package (which must stay import-free so it can be used anywhere).
+type panicCarrier interface {
+	error
+	PanicValue() any
+}
+
+func isPanicError(err error) bool {
+	var pc panicCarrier
+	return errors.As(err, &pc)
+}

@@ -1,0 +1,108 @@
+package streamerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	cases := []struct {
+		err  error
+		kind error
+	}{
+		{Truncated("dir", "cut at %d", 7), ErrTruncated},
+		{Corrupt("chunk", "bad CRC"), ErrCorrupt},
+		{Version("header", 9), ErrVersion},
+		{Header("magic", "not an archive"), ErrHeader},
+	}
+	for _, tc := range cases {
+		if !errors.Is(tc.err, tc.kind) {
+			t.Errorf("%v does not match its own kind", tc.err)
+		}
+		for _, other := range []error{ErrTruncated, ErrCorrupt, ErrVersion, ErrHeader} {
+			if other != tc.kind && errors.Is(tc.err, other) {
+				t.Errorf("%v also matches %v", tc.err, other)
+			}
+		}
+	}
+}
+
+func TestWithChunkAndOffsetCopy(t *testing.T) {
+	base := Corrupt("payload", "bad byte")
+	scoped := base.WithChunk(3).WithOffset(128)
+	if base.Chunk != -1 || base.Offset != -1 {
+		t.Fatal("WithChunk/WithOffset mutated the original")
+	}
+	if scoped.Chunk != 3 || scoped.Offset != 128 {
+		t.Fatalf("scoped = chunk %d offset %d", scoped.Chunk, scoped.Offset)
+	}
+	msg := scoped.Error()
+	if !strings.Contains(msg, "chunk 3") || !strings.Contains(msg, "offset 128") {
+		t.Fatalf("message lacks location: %q", msg)
+	}
+}
+
+func TestWrapKeepsInnerClassification(t *testing.T) {
+	inner := Truncated("inner section", "short")
+	outer := Wrap(ErrCorrupt, "outer", fmt.Errorf("context: %w", inner))
+	if !errors.Is(outer, ErrTruncated) {
+		t.Fatal("wrap lost the inner Truncated class")
+	}
+	if errors.Is(outer, ErrCorrupt) {
+		t.Fatal("wrap overrode the inner classification with the fallback kind")
+	}
+	plain := Wrap(ErrCorrupt, "outer", errors.New("flate: bad data"))
+	if !errors.Is(plain, ErrCorrupt) {
+		t.Fatal("wrap of an untyped cause did not apply the fallback kind")
+	}
+}
+
+func TestGuardContainsPanics(t *testing.T) {
+	decode := func() (err error) {
+		defer Guard("codec", &err)
+		panic("index out of range")
+	}
+	err := decode()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("panic classified as %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "index out of range") {
+		t.Fatalf("panic value lost: %q", err.Error())
+	}
+}
+
+type fakePanicError struct{ v any }
+
+func (e *fakePanicError) Error() string   { return "worker panic" }
+func (e *fakePanicError) PanicValue() any { return e.v }
+
+func TestGuardReclassifiesWorkerPanics(t *testing.T) {
+	decode := func() (err error) {
+		defer Guard("codec", &err)
+		return &fakePanicError{v: "boom"}
+	}
+	err := decode()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("worker panic classified as %v, want ErrCorrupt", err)
+	}
+	var pc interface{ PanicValue() any }
+	if !errors.As(err, &pc) {
+		t.Fatal("the panic carrier is no longer reachable via errors.As")
+	}
+	clean := func() (err error) {
+		defer Guard("codec", &err)
+		return nil
+	}
+	if err := clean(); err != nil {
+		t.Fatalf("Guard fabricated an error: %v", err)
+	}
+	typed := func() (err error) {
+		defer Guard("codec", &err)
+		return Truncated("inner", "short")
+	}
+	if err := typed(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Guard rewrote an already-typed error: %v", err)
+	}
+}

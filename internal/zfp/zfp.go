@@ -19,7 +19,6 @@ import (
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -27,6 +26,8 @@ import (
 	"tspsz/internal/field"
 	"tspsz/internal/grid"
 	"tspsz/internal/huffman"
+	"tspsz/internal/parallel"
+	"tspsz/internal/streamerr"
 )
 
 const (
@@ -71,7 +72,11 @@ func Compress(f *field.Field, tol float64) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		packedSyms, err := deflatePack(huffman.Encode(syms))
+		encSyms, err := huffman.Encode(syms)
+		if err != nil {
+			return nil, err
+		}
+		packedSyms, err := deflatePack(encSyms)
 		if err != nil {
 			return nil, err
 		}
@@ -91,13 +96,19 @@ func Compress(f *field.Field, tol float64) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decompress reconstructs a field from a Compress stream.
-func Decompress(data []byte) (*field.Field, error) {
-	if len(data) < 28 || string(data[:4]) != magic {
-		return nil, errors.New("zfp: bad magic")
+// Decompress reconstructs a field from a Compress stream. Failures are
+// streamerr-typed, a panic anywhere in the decode is contained and
+// returned as an error, and the per-component sections decode in parallel.
+func Decompress(data []byte) (f *field.Field, err error) {
+	defer streamerr.Guard("zfp", &err)
+	if len(data) >= 4 && string(data[:4]) != magic {
+		return nil, streamerr.Header("zfp header", "bad magic, not a zfp stream")
+	}
+	if len(data) < 28 {
+		return nil, streamerr.Truncated("zfp header", "%d of 28 header bytes", len(data))
 	}
 	if data[4] != 1 {
-		return nil, fmt.Errorf("zfp: unsupported version %d", data[4])
+		return nil, streamerr.Version("zfp header", data[4])
 	}
 	dim := int(data[5])
 	off := 8
@@ -106,13 +117,13 @@ func Decompress(data []byte) (*field.Field, error) {
 	nz := int(binary.LittleEndian.Uint32(data[off+8:]))
 	off += 12 + 8 // skip tol
 	if dim != 2 && dim != 3 {
-		return nil, fmt.Errorf("zfp: invalid dimension %d", dim)
+		return nil, streamerr.Header("zfp header", "invalid dimension %d", dim)
 	}
 	if dim == 2 {
 		nz = 1 // a 2D header cannot smuggle a third axis into the product
 	}
 	if nx < 2 || ny < 2 || (dim == 3 && nz < 2) {
-		return nil, fmt.Errorf("zfp: invalid dims %dx%dx%d", nx, ny, nz)
+		return nil, streamerr.Header("zfp header", "invalid dims %dx%dx%d", nx, ny, nz)
 	}
 	// The dims come straight from the stream: bound each axis, then
 	// fast-reject vertex counts the stream could not possibly encode
@@ -122,55 +133,66 @@ func Decompress(data []byte) (*field.Field, error) {
 	// after each section's payload has actually inflated and decoded, so
 	// committed memory tracks delivered bytes, not header claims.
 	if nx > maxAxis || ny > maxAxis || nz > maxAxis {
-		return nil, fmt.Errorf("zfp: implausible dims %dx%dx%d", nx, ny, nz)
+		return nil, streamerr.Header("zfp header", "implausible dims %dx%dx%d", nx, ny, nz)
 	}
 	nv := uint64(nx) * uint64(ny) * uint64(nz) // axes ≤ 2^21: no overflow
 	if nv/(8*maxInflateRatio) > uint64(len(data)) {
-		return nil, fmt.Errorf("zfp: dims %dx%dx%d exceed stream capacity", nx, ny, nz)
+		return nil, streamerr.Corrupt("zfp header", "dims %dx%dx%d exceed stream capacity", nx, ny, nz)
 	}
 	ncomp := 2
 	if dim == 3 {
 		ncomp = 3
 	}
-	comps := make([][]float32, 0, ncomp)
+	// Serial scan: slice out each component's two length-prefixed payloads.
+	// Consumption is determined by the prefixes alone, so the scan is cheap
+	// and unlocks parallel inflate+decode below.
+	type sections struct{ syms, side []byte }
+	secs := make([]sections, ncomp)
 	for c := 0; c < ncomp; c++ {
-		if off+8 > len(data) {
-			return nil, errors.New("zfp: truncated symbol section")
+		for s, name := range []string{"zfp symbols", "zfp side"} {
+			if off+8 > len(data) {
+				return nil, streamerr.Truncated(name, "section length cut off").WithChunk(c).WithOffset(int64(off))
+			}
+			n := binary.LittleEndian.Uint64(data[off:])
+			off += 8
+			if n > uint64(len(data)-off) {
+				return nil, streamerr.Truncated(name, "section claims %d bytes, %d remain", n, len(data)-off).WithChunk(c).WithOffset(int64(off))
+			}
+			if s == 0 {
+				secs[c].syms = data[off : off+int(n)]
+			} else {
+				secs[c].side = data[off : off+int(n)]
+			}
+			off += int(n)
 		}
-		n := binary.LittleEndian.Uint64(data[off:])
-		off += 8
-		if uint64(off)+n > uint64(len(data)) {
-			return nil, errors.New("zfp: truncated symbol payload")
-		}
-		rawSyms, err := inflateUnpack(data[off : off+int(n)])
+	}
+	if off != len(data) {
+		return nil, streamerr.Corrupt("zfp stream", "%d trailing bytes after final component", len(data)-off).WithOffset(int64(off))
+	}
+	comps := make([][]float32, ncomp)
+	if err := parallel.ForErr(ncomp, 0, 1, func(c int) error {
+		rawSyms, err := inflateUnpack(secs[c].syms)
 		if err != nil {
-			return nil, err
+			return streamerr.Wrap(streamerr.ErrCorrupt, "zfp symbols", err).WithChunk(c)
 		}
-		off += int(n)
 		syms, err := huffman.Decode(rawSyms)
 		if err != nil {
-			return nil, fmt.Errorf("zfp: symbols: %w", err)
+			return streamerr.Wrap(streamerr.ErrCorrupt, "zfp symbols", err).WithChunk(c)
 		}
-		if off+8 > len(data) {
-			return nil, errors.New("zfp: truncated side section")
-		}
-		n = binary.LittleEndian.Uint64(data[off:])
-		off += 8
-		if uint64(off)+n > uint64(len(data)) {
-			return nil, errors.New("zfp: truncated side payload")
-		}
-		side, err := inflateUnpack(data[off : off+int(n)])
+		side, err := inflateUnpack(secs[c].side)
 		if err != nil {
-			return nil, err
+			return streamerr.Wrap(streamerr.ErrCorrupt, "zfp side", err).WithChunk(c)
 		}
-		off += int(n)
 		vals, err := decodeComponent(int(nv), nx, ny, nz, dim, syms, side)
 		if err != nil {
-			return nil, err
+			return streamerr.Wrap(streamerr.ErrCorrupt, "zfp component", err).WithChunk(c)
 		}
-		comps = append(comps, vals)
+		comps[c] = vals
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	f := &field.Field{U: comps[0], V: comps[1]}
+	f = &field.Field{U: comps[0], V: comps[1]}
 	if dim == 2 {
 		f.Grid = grid.New2D(nx, ny)
 	} else {
@@ -207,7 +229,7 @@ func inflateUnpack(data []byte) ([]byte, error) {
 		return nil, err
 	}
 	if uint64(len(out)) > capacity {
-		return nil, errors.New("zfp: section inflates beyond plausible ratio")
+		return nil, streamerr.Corrupt("zfp inflate", "section inflates beyond plausible ratio")
 	}
 	return out, nil
 }

@@ -39,7 +39,41 @@ import (
 	"tspsz/internal/field"
 	"tspsz/internal/integrate"
 	"tspsz/internal/skeleton"
+	"tspsz/internal/streamerr"
 )
+
+// Decode failure taxonomy. Every error a decode entry point (Decompress,
+// DecompressCP, DecompressSequence, Verify, ReadField) returns for a
+// malformed stream matches exactly one of these sentinels under errors.Is;
+// I/O failures from the underlying reader pass through unwrapped.
+var (
+	// ErrTruncated: the stream ends before a section it declares.
+	ErrTruncated = streamerr.ErrTruncated
+	// ErrCorrupt: a checksum mismatch or internally inconsistent section.
+	ErrCorrupt = streamerr.ErrCorrupt
+	// ErrVersion: a version this build does not read (or, for Verify, one
+	// predating checksums).
+	ErrVersion = streamerr.ErrVersion
+	// ErrHeader: a malformed fixed header (bad magic, implausible dims).
+	ErrHeader = streamerr.ErrHeader
+)
+
+// StreamError is the concrete error type carrying the failing section name
+// and, where known, the chunk index and byte offset. Use errors.As to
+// recover it and errors.Is against the Err* sentinels to classify.
+type StreamError = streamerr.Error
+
+// Verify checks every integrity layer of a Compress, CompressCP, or
+// CompressSequence stream — header CRC32C, per-chunk checksums, and the
+// whole-archive trailer — without inflating or decoding any payload. It
+// reads the whole stream once at I/O speed, so it is far cheaper than a
+// full decode. Streams from versions predating checksums return ErrVersion.
+func Verify(data []byte) error {
+	if len(data) >= 4 && string(data[:4]) == "CPSZ" {
+		return cpsz.Verify(data)
+	}
+	return core.Verify(data)
+}
 
 // Field is a 2D/3D vector field sampled on a regular grid; U, V (and W in
 // 3D) are row-major float32 component slices.
