@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench bench-smoke bench-full race fuzz-smoke fault-sweep cover experiments figures clean
+.PHONY: all build vet lint test bench bench-smoke bench-full race fuzz-smoke fault-sweep profile-smoke cover experiments figures clean
 
 all: build vet lint test
 
@@ -42,6 +42,30 @@ fuzz-smoke:
 fault-sweep:
 	$(GO) test -race -short -run='^TestFaultSweep$$' ./internal/cpsz
 	$(GO) test -race -short -run='^(TestFaultSweepPublicAPI|TestReadFieldFaultyReader)$$' .
+
+# Observability smoke: run a small compress + decompress through the real
+# CLI with -stats and -cpuprofile, then assert the stats JSON parses (jq),
+# names every expected pipeline stage, and that the byte-partition counters
+# sum exactly to the archive size. CI uploads the JSON as an artifact.
+PROFILE_SMOKE_STAGES = cp-extract trace predict-quantize histogram entropy-encode correction container
+profile-smoke:
+	$(GO) run ./cmd/tspsz gen -dataset cba -scale 1 -out profile_smoke.tspf
+	$(GO) run ./cmd/tspsz compress -in profile_smoke.tspf -out profile_smoke.tsz -variant i -eb 5e-4 \
+		-stats=profile_smoke_stats.json -cpuprofile=profile_smoke.pprof
+	$(GO) run ./cmd/tspsz decompress -in profile_smoke.tsz -out profile_smoke_dec.tspf \
+		-stats=profile_smoke_decode_stats.json
+	for s in $(PROFILE_SMOKE_STAGES); do \
+		jq -e --arg s $$s '[.spans[].stage] | index($$s) != null' profile_smoke_stats.json >/dev/null \
+			|| { echo "profile-smoke: stage $$s missing from stats JSON" >&2; exit 1; }; \
+	done
+	jq -e '.counters | (.bytes_stream_header + .bytes_section_eb + .bytes_section_quant + .bytes_section_raw + .bytes_stream_trailer + .bytes_container) == .bytes_out' \
+		profile_smoke_stats.json >/dev/null \
+		|| { echo "profile-smoke: byte partition does not sum to bytes_out" >&2; exit 1; }
+	jq -e '[.spans[].stage] | (index("entropy-decode") != null) and (index("reconstruct") != null)' \
+		profile_smoke_decode_stats.json >/dev/null \
+		|| { echo "profile-smoke: decode stages missing from stats JSON" >&2; exit 1; }
+	test -s profile_smoke.pprof
+	@echo "profile-smoke: OK"
 
 # Perf-trajectory harness: run the key hot-path benchmarks BENCH_COUNT
 # times each and record the mean ns/op, B/op, and allocs/op per benchmark
@@ -85,4 +109,4 @@ figures:
 	$(GO) run ./cmd/topoviz -mode lic -dataset cba -out fig_lic_cba.png
 
 clean:
-	rm -f cover.out experiments_output.txt fig_*.png bench_raw.txt bench_smoke.json
+	rm -f cover.out experiments_output.txt fig_*.png bench_raw.txt bench_smoke.json profile_smoke*

@@ -25,21 +25,23 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "table", "experiment: table|rate-distortion|scalability|params|errmap|lossless-map|segmentation|ablation|sequence|all")
+	exp := flag.String("exp", "table", "experiment: table|rate-distortion|scalability|params|errmap|lossless-map|segmentation|ablation|sequence|stages|all")
 	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 	dataset := flag.String("dataset", "", "dataset: cba|ocean|hurricane|nek5000 (empty = all for table/all)")
 	scale := flag.Float64("scale", experiments.DefaultScale, "fraction of full Table III resolution")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	maxWorkers := flag.Int("max-workers", 128, "largest worker count in the scalability ladder")
+	statsJSON := flag.String("stats", "", "write the per-stage observability breakdowns of every processed dataset as JSON to this path (sits alongside the BENCH_*.json perf trajectories)")
 	flag.Parse()
 
-	if err := run(*exp, *dataset, *scale, *workers, *maxWorkers, *csvDir); err != nil {
+	if err := run(*exp, *dataset, *scale, *workers, *maxWorkers, *csvDir, *statsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "tspbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, dataset string, scale float64, workers, maxWorkers int, csvDir string) error {
+func run(exp, dataset string, scale float64, workers, maxWorkers int, csvDir, statsJSON string) error {
+	var breakdowns []experiments.StageBreakdown
 	writeCSV := func(name string, fn func(w *os.File) error) error {
 		if csvDir == "" {
 			return nil
@@ -159,6 +161,14 @@ func run(exp, dataset string, scale float64, workers, maxWorkers int, csvDir str
 			}); err != nil {
 				return err
 			}
+		case "stages":
+			rows, err := experiments.RunStageBreakdown(cfg, workers)
+			if err != nil {
+				return err
+			}
+			experiments.PrintStageBreakdown(os.Stdout,
+				fmt.Sprintf("Observability — pipeline stage breakdown on %s", name), rows)
+			breakdowns = append(breakdowns, rows...)
 		case "segmentation":
 			rows, err := experiments.RunSegmentation(cfg, workers)
 			if err != nil {
@@ -180,7 +190,12 @@ func run(exp, dataset string, scale float64, workers, maxWorkers int, csvDir str
 
 	kinds := []string{exp}
 	if exp == "all" {
-		kinds = []string{"table", "rate-distortion", "scalability", "params", "errmap", "lossless-map", "segmentation", "ablation"}
+		kinds = []string{"table", "rate-distortion", "scalability", "params", "errmap", "lossless-map", "segmentation", "ablation", "stages"}
+	}
+	// -stats wants breakdowns even when the chosen experiment is not
+	// "stages": append a stages pass over the same datasets.
+	if statsJSON != "" && exp != "all" && exp != "stages" {
+		kinds = append(kinds, "stages")
 	}
 	for _, kind := range kinds {
 		names := datasets
@@ -189,7 +204,7 @@ func run(exp, dataset string, scale float64, workers, maxWorkers int, csvDir str
 			switch kind {
 			case "scalability":
 				names = []string{"hurricane", "nek5000"} // 3D only (Fig. 8)
-			case "params", "errmap", "lossless-map", "segmentation", "ablation", "sequence":
+			case "params", "errmap", "lossless-map", "segmentation", "ablation", "sequence", "stages":
 				names = []string{"ocean"}
 			}
 		}
@@ -198,6 +213,20 @@ func run(exp, dataset string, scale float64, workers, maxWorkers int, csvDir str
 				return fmt.Errorf("%s/%s: %w", kind, name, err)
 			}
 		}
+	}
+	if statsJSON != "" {
+		f, err := os.Create(statsJSON)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteStageBreakdownJSON(f, breakdowns); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote stage breakdowns to %s\n", statsJSON)
 	}
 	return nil
 }

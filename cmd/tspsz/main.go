@@ -24,6 +24,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"tspsz"
@@ -192,6 +193,100 @@ func cmdGen(args []string) error {
 	return nil
 }
 
+// statsFlag implements -stats[=path.json]: bare -stats prints the
+// observability snapshot as JSON to stdout, -stats=path.json writes it to a
+// file. IsBoolFlag lets the flag package accept the value-less form.
+type statsFlag struct {
+	enabled bool
+	path    string
+}
+
+func (s *statsFlag) String() string {
+	switch {
+	case !s.enabled:
+		return ""
+	case s.path == "":
+		return "true"
+	}
+	return s.path
+}
+
+func (s *statsFlag) Set(v string) error {
+	switch v {
+	case "false":
+		*s = statsFlag{}
+	case "", "true":
+		*s = statsFlag{enabled: true}
+	default:
+		*s = statsFlag{enabled: true, path: v}
+	}
+	return nil
+}
+
+func (s *statsFlag) IsBoolFlag() bool { return true }
+
+// obsFlags registers the shared observability flags on a command's FlagSet.
+func obsFlags(fs *flag.FlagSet) (stats *statsFlag, cpuprofile *string) {
+	stats = &statsFlag{}
+	fs.Var(stats, "stats", "emit per-stage observability JSON; -stats prints to stdout, -stats=path.json writes a file")
+	cpuprofile = fs.String("cpuprofile", "", "write a CPU profile here; samples carry per-stage pprof labels")
+	return stats, cpuprofile
+}
+
+// beginObs starts an observability session when -stats or -cpuprofile asks
+// for one: it attaches the returned collector to the process-global
+// dispatch hook and starts CPU profiling. The finish func stops profiling
+// and emits the stats JSON; call it once after the command's work succeeds.
+// When neither flag is set the collector is nil and finish is a no-op, so
+// the command runs fully uninstrumented.
+func beginObs(stats *statsFlag, cpuprofile string) (*tspsz.Collector, func() error, error) {
+	if !stats.enabled && cpuprofile == "" {
+		return nil, func() error { return nil }, nil
+	}
+	col := tspsz.NewCollector()
+	unhook := tspsz.ObserveDispatches(col)
+	var prof *os.File
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			unhook()
+			return nil, nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			unhook()
+			return nil, nil, err
+		}
+		prof = f
+	}
+	finish := func() error {
+		unhook()
+		if prof != nil {
+			pprof.StopCPUProfile()
+			if err := prof.Close(); err != nil {
+				return err
+			}
+		}
+		if !stats.enabled {
+			return nil
+		}
+		snap := col.Snapshot()
+		if stats.path == "" {
+			return snap.WriteJSON(os.Stdout)
+		}
+		w, err := os.Create(stats.path)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(w); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	}
+	return col, finish, nil
+}
+
 func readField(path string) (*tspsz.Field, error) {
 	r, err := os.Open(path)
 	if err != nil {
@@ -213,6 +308,7 @@ func cmdCompress(args []string) error {
 	steps := fs.Int("t", 1000, "maximal RK4 steps")
 	h := fs.Float64("h", 0.05, "RK4 step size")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compress: -in and -out are required")
@@ -221,11 +317,16 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	col, finishObs, err := beginObs(stats, *cpuprofile)
+	if err != nil {
+		return err
+	}
 	opts := tspsz.Options{
-		ErrBound: *eb,
-		Tau:      *tau,
-		Params:   tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h},
-		Workers:  *workers,
+		ErrBound:  *eb,
+		Tau:       *tau,
+		Params:    tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h},
+		Workers:   *workers,
+		Collector: col,
 	}
 	switch *variant {
 	case "1":
@@ -262,7 +363,7 @@ func cmdCompress(args []string) error {
 			res.Stats.InitiallyIncorrect, res.Stats.Iterations)
 	}
 	fmt.Println()
-	return nil
+	return finishObs()
 }
 
 func cmdDecompress(args []string) error {
@@ -270,6 +371,7 @@ func cmdDecompress(args []string) error {
 	in := fs.String("in", "", "input .tsz path (required)")
 	out := fs.String("out", "", "output .tspf path (required)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress: -in and -out are required")
@@ -278,8 +380,12 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	col, finishObs, err := beginObs(stats, *cpuprofile)
+	if err != nil {
+		return err
+	}
 	t0 := time.Now()
-	f, err := tspsz.Decompress(data, *workers)
+	f, err := tspsz.DecompressObserved(data, *workers, col)
 	if err != nil {
 		return err
 	}
@@ -293,7 +399,7 @@ func cmdDecompress(args []string) error {
 		return err
 	}
 	fmt.Printf("decompressed %d vertices in %v -> %s\n", f.NumVertices(), elapsed.Round(time.Millisecond), *out)
-	return nil
+	return finishObs()
 }
 
 func cmdInspect(args []string) error {
@@ -360,6 +466,7 @@ func cmdCompressSeq(args []string) error {
 	steps := fs.Int("t", 1000, "maximal RK4 steps")
 	h := fs.Float64("h", 0.05, "RK4 step size")
 	workers := fs.Int("workers", 0, "worker goroutines")
+	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *out == "" || fs.NArg() == 0 {
 		return fmt.Errorf("compress-seq: -out and at least one input frame are required")
@@ -372,8 +479,12 @@ func cmdCompressSeq(args []string) error {
 		}
 		frames = append(frames, f)
 	}
+	col, finishObs, err := beginObs(stats, *cpuprofile)
+	if err != nil {
+		return err
+	}
 	opts := tspsz.Options{
-		ErrBound: *eb, Tau: *tau, Workers: *workers,
+		ErrBound: *eb, Tau: *tau, Workers: *workers, Collector: col,
 		Params: tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h},
 	}
 	if *variant == "1" {
@@ -401,7 +512,7 @@ func cmdCompressSeq(args []string) error {
 	fmt.Printf("%d frames: %d -> %d bytes (CR %.2f) in %v\n",
 		len(frames), raw, len(res.Bytes), float64(raw)/float64(len(res.Bytes)),
 		time.Since(t0).Round(time.Millisecond))
-	return nil
+	return finishObs()
 }
 
 func cmdDecompressSeq(args []string) error {
@@ -409,6 +520,7 @@ func cmdDecompressSeq(args []string) error {
 	in := fs.String("in", "", "input .tsq path (required)")
 	prefix := fs.String("outprefix", "", "output prefix; frames land at <prefix>NNN.tspf (required)")
 	workers := fs.Int("workers", 0, "worker goroutines")
+	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *prefix == "" {
 		return fmt.Errorf("decompress-seq: -in and -outprefix are required")
@@ -417,7 +529,11 @@ func cmdDecompressSeq(args []string) error {
 	if err != nil {
 		return err
 	}
-	frames, err := tspsz.DecompressSequence(data, *workers)
+	col, finishObs, err := beginObs(stats, *cpuprofile)
+	if err != nil {
+		return err
+	}
+	frames, err := tspsz.DecompressSequenceObserved(data, *workers, col)
 	if err != nil {
 		return err
 	}
@@ -434,7 +550,7 @@ func cmdDecompressSeq(args []string) error {
 		w.Close()
 	}
 	fmt.Printf("decompressed %d frames to %sNNN.tspf\n", len(frames), *prefix)
-	return nil
+	return finishObs()
 }
 
 func cmdExport(args []string) error {

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// statsFlag must accept bare -stats (flag passes "true"), an explicit path,
+// and the boolean negation the flag package can synthesize.
+func TestStatsFlagParsing(t *testing.T) {
+	var s statsFlag
+	if err := s.Set("true"); err != nil || !s.enabled || s.path != "" {
+		t.Fatalf("Set(true) -> %+v, err %v", s, err)
+	}
+	if err := s.Set("out.json"); err != nil || !s.enabled || s.path != "out.json" {
+		t.Fatalf("Set(out.json) -> %+v, err %v", s, err)
+	}
+	if s.String() != "out.json" {
+		t.Fatalf("String() = %q", s.String())
+	}
+	if err := s.Set("false"); err != nil || s.enabled {
+		t.Fatalf("Set(false) -> %+v, err %v", s, err)
+	}
+	if !s.IsBoolFlag() {
+		t.Fatal("IsBoolFlag must be true for the value-less form")
+	}
+}
+
+// End-to-end CLI pass over the observability surface: -stats=path.json and
+// -cpuprofile on compress and decompress must succeed, the stats JSON must
+// parse and name every pipeline stage that ran, the byte-partition counters
+// must sum to the archive size, and instrumentation must not change a
+// single archive byte.
+func TestCompressDecompressStats(t *testing.T) {
+	dir := t.TempDir()
+	fieldPath := filepath.Join(dir, "f.tspf")
+	if code := realMain([]string{"gen", "-dataset", "cba", "-scale", "1", "-out", fieldPath}); code != 0 {
+		t.Fatalf("gen exited %d", code)
+	}
+
+	plainPath := filepath.Join(dir, "plain.tsz")
+	args := []string{"compress", "-in", fieldPath, "-out", plainPath, "-variant", "i", "-eb", "5e-4"}
+	if code := realMain(args); code != 0 {
+		t.Fatalf("compress exited %d", code)
+	}
+
+	obsPath := filepath.Join(dir, "obs.tsz")
+	statsPath := filepath.Join(dir, "stats.json")
+	profPath := filepath.Join(dir, "cpu.pprof")
+	args = []string{"compress", "-in", fieldPath, "-out", obsPath, "-variant", "i", "-eb", "5e-4",
+		"-stats=" + statsPath, "-cpuprofile", profPath}
+	if code := realMain(args); code != 0 {
+		t.Fatalf("instrumented compress exited %d", code)
+	}
+
+	plain, err := os.ReadFile(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := os.ReadFile(obsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, observed) {
+		t.Fatalf("instrumented archive differs from plain one (%d vs %d bytes)", len(observed), len(plain))
+	}
+
+	snap := readSnapshot(t, statsPath)
+	for _, stage := range []string{"cp-extract", "trace", "predict-quantize", "histogram", "entropy-encode", "correction", "container"} {
+		if !snap.has(stage) {
+			t.Errorf("compress stats missing stage %q (has %v)", stage, snap.stageNames())
+		}
+	}
+	partition := []string{"bytes_stream_header", "bytes_section_eb", "bytes_section_quant",
+		"bytes_section_raw", "bytes_stream_trailer", "bytes_container"}
+	var sum int64
+	for _, ctr := range partition {
+		sum += snap.Counters[ctr]
+	}
+	if sum != int64(len(observed)) {
+		t.Errorf("byte partition sums to %d, archive is %d bytes", sum, len(observed))
+	}
+	if snap.Counters["parallel_dispatches"] == 0 {
+		t.Error("dispatch hook recorded no parallel dispatches")
+	}
+	if fi, err := os.Stat(profPath); err != nil || fi.Size() == 0 {
+		t.Errorf("CPU profile missing or empty: %v", err)
+	}
+
+	decPath := filepath.Join(dir, "dec.tspf")
+	decStatsPath := filepath.Join(dir, "dec_stats.json")
+	args = []string{"decompress", "-in", obsPath, "-out", decPath, "-stats=" + decStatsPath}
+	if code := realMain(args); code != 0 {
+		t.Fatalf("instrumented decompress exited %d", code)
+	}
+	dsnap := readSnapshot(t, decStatsPath)
+	for _, stage := range []string{"entropy-decode", "reconstruct"} {
+		if !dsnap.has(stage) {
+			t.Errorf("decompress stats missing stage %q (has %v)", stage, dsnap.stageNames())
+		}
+	}
+}
+
+type snapshotDoc struct {
+	Spans []struct {
+		Stage string `json:"stage"`
+	} `json:"spans"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+func (s *snapshotDoc) has(stage string) bool {
+	for _, sp := range s.Spans {
+		if sp.Stage == stage {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *snapshotDoc) stageNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sp := range s.Spans {
+		if !seen[sp.Stage] {
+			seen[sp.Stage] = true
+			out = append(out, sp.Stage)
+		}
+	}
+	return out
+}
+
+func readSnapshot(t *testing.T, path string) *snapshotDoc {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshotDoc
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("stats JSON at %s does not parse: %v", path, err)
+	}
+	return &snap
+}

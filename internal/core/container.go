@@ -12,6 +12,7 @@ import (
 
 	"tspsz/internal/bitmap"
 	"tspsz/internal/field"
+	"tspsz/internal/obs"
 	"tspsz/internal/streamerr"
 )
 
@@ -176,21 +177,46 @@ func unmarshalPatch(packed []byte, ncomp int) (patchSet, error) {
 	return p, nil
 }
 
-func buildContainer(variant Variant, patch patchSet, inner []byte, ncomp int) ([]byte, error) {
+// buildContainer assembles the container and also reports the packed patch
+// size, which the observability layer exposes as its own counter.
+func buildContainer(variant Variant, patch patchSet, inner []byte, ncomp int) ([]byte, int, error) {
 	out := make([]byte, 0, containerHeaderBytes+containerCRCBytes+len(inner)+containerTrailerBytes)
 	out = append(out, containerMagic...)
 	out = append(out, containerVersion, byte(variant), byte(ncomp), 0)
 	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out[:containerHeaderBytes], crcTable))
 	packed, err := patch.marshal(ncomp)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(packed)))
 	out = append(out, packed...)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(inner)))
 	out = append(out, inner...)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(out)))
-	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable)), nil
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, crcTable)), len(packed), nil
+}
+
+// sealContainer runs buildContainer under a container stage span and charges
+// the framing overhead (everything beyond the inner cpSZ stream) plus the
+// packed patch to the byte counters, preserving the partition invariant
+// that the section counters sum to bytes_out.
+func sealContainer(c *obs.Collector, variant Variant, patch patchSet, inner []byte, ncomp int) ([]byte, error) {
+	var container []byte
+	var patchBytes int
+	if err := c.Do(obs.StageContainer, 1, int64(len(patch.indices)), func() error {
+		var err error
+		container, patchBytes, err = buildContainer(variant, patch, inner, ncomp)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if c != nil {
+		c.Add(obs.CtrBytesPatch, int64(patchBytes))
+		overhead := int64(len(container) - len(inner))
+		c.Add(obs.CtrBytesContainer, overhead)
+		c.Add(obs.CtrBytesOut, overhead)
+	}
+	return container, nil
 }
 
 // parseContainerHeader validates the fixed container header (and, for v3,

@@ -26,6 +26,7 @@ import (
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
 	"tspsz/internal/integrate"
+	"tspsz/internal/obs"
 	"tspsz/internal/parallel"
 	"tspsz/internal/skeleton"
 	"tspsz/internal/streamerr"
@@ -66,6 +67,10 @@ type Options struct {
 	// MaxIterations caps TspSZ-i's outer correction loop; 0 means the
 	// default of 64 (the paper observes < 10 in practice).
 	MaxIterations int
+	// Collector optionally gathers per-stage spans and counters for the
+	// whole pipeline (see internal/obs). Nil disables instrumentation at
+	// zero cost; attaching a collector never changes the archive.
+	Collector *obs.Collector
 }
 
 func (o *Options) withDefaults() Options {
@@ -97,6 +102,9 @@ type Stats struct {
 	InitiallyIncorrect int
 	// PatchedVertices is the size of the TspSZ-i correction set V.
 	PatchedVertices int
+	// Obs is the observability snapshot when Options.Collector was set,
+	// nil otherwise.
+	Obs *obs.Snapshot
 }
 
 // Result is the outcome of Compress.
@@ -118,19 +126,37 @@ func Compress(f *field.Field, opts Options) (*Result, error) {
 	if !(o.ErrBound > 0) {
 		return nil, fmt.Errorf("core: error bound must be positive, got %v", o.ErrBound)
 	}
+	var res *Result
+	var err error
 	if o.Variant == TspSZ1 {
-		return compress1(f, o, nil)
+		res, err = compress1(f, o, nil)
+	} else {
+		res, err = compressI(f, o, nil)
 	}
-	return compressI(f, o, nil)
+	if err != nil {
+		return nil, err
+	}
+	if o.Collector != nil {
+		res.Stats.Obs = o.Collector.Snapshot()
+	}
+	return res, nil
 }
 
 // Decompress reconstructs a field from a TspSZ container. Containers from
 // CompressSequence must be decoded with DecompressSequence.
 func Decompress(data []byte, workers int) (*field.Field, error) {
-	return decompressRef(data, workers, nil)
+	return decompressRef(data, workers, nil, nil)
 }
 
-func decompressRef(data []byte, workers int, ref *field.Field) (f *field.Field, err error) {
+// DecompressObserved is Decompress with an optional obs.Collector gathering
+// entropy-decode, reconstruction, and patch-apply spans. A nil collector
+// makes it identical to Decompress; the reconstruction is byte-identical
+// either way.
+func DecompressObserved(data []byte, workers int, c *obs.Collector) (*field.Field, error) {
+	return decompressRef(data, workers, nil, c)
+}
+
+func decompressRef(data []byte, workers int, ref *field.Field, c *obs.Collector) (f *field.Field, err error) {
 	defer streamerr.Guard("container", &err)
 	variant, patch, inner, err := parseContainer(data)
 	if err != nil {
@@ -138,17 +164,20 @@ func decompressRef(data []byte, workers int, ref *field.Field) (f *field.Field, 
 	}
 	var dec *field.Field
 	if ref != nil {
-		dec, err = cpsz.DecompressRef(inner, workers, ref)
+		dec, err = cpsz.DecompressRefObserved(inner, workers, ref, c)
 	} else {
-		dec, err = cpsz.Decompress(inner, workers)
+		dec, err = cpsz.DecompressObserved(inner, workers, c)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if variant == TspSZi && len(patch.indices) > 0 {
-		if err := patch.apply(dec); err != nil {
+		if err := c.Do(obs.StagePatchApply, 1, int64(len(patch.indices)), func() error {
+			return patch.apply(dec)
+		}); err != nil {
 			return nil, err
 		}
+		c.Add(obs.CtrPatchedVertices, int64(len(patch.indices)))
 	}
 	return dec, nil
 }
@@ -156,7 +185,15 @@ func decompressRef(data []byte, workers int, ref *field.Field) (f *field.Field, 
 // compress1 is Algorithm 2: selective lossless encoding with a single
 // pass; ref enables temporal prediction for sequence frames.
 func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
-	cps := extractCPs(f, o.Workers)
+	c := o.Collector
+	workers := parallel.Workers(o.Workers)
+	var cps []critical.Point
+	if err := c.Do(obs.StageCPExtract, workers, int64(f.NumVertices()), func() error {
+		cps = extractCPs(f, o.Workers)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	marks := bitmap.New(f.NumVertices())
 	markCPCells(f, cps, marks)
 
@@ -164,11 +201,13 @@ func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	// any RK4 stage interpolates from (lines 12-22).
 	saddles := saddleIndices(cps)
 	perSaddle := make([][]int, len(saddles))
-	if err := parallel.ForErr(len(saddles), o.Workers, 1, func(i int) error {
-		var verts []int
-		integrate.TraceSeparatricesOf(f, cps, saddles[i], o.Params, &verts)
-		perSaddle[i] = verts
-		return nil
+	if err := c.Do(obs.StageTrace, workers, int64(len(saddles)), func() error {
+		return parallel.ForErr(len(saddles), o.Workers, 1, func(i int) error {
+			var verts []int
+			integrate.TraceSeparatricesOf(f, cps, saddles[i], o.Params, &verts)
+			perSaddle[i] = verts
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -180,12 +219,12 @@ func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 
 	res, err := cpsz.Compress(f, cpsz.Options{
 		Mode: o.Mode, ErrBound: o.ErrBound, Lossless: marks, Workers: o.Workers,
-		Reference: ref,
+		Reference: ref, Collector: c,
 	})
 	if err != nil {
 		return nil, err
 	}
-	container, err := buildContainer(TspSZ1, patchSet{}, res.Bytes, len(f.Components()))
+	container, err := sealContainer(c, TspSZ1, patchSet{}, res.Bytes, len(f.Components()))
 	if err != nil {
 		return nil, err
 	}
@@ -205,11 +244,20 @@ func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 // compressI is Algorithm 3 with the per-trajectory correction of
 // Algorithm 4; ref enables temporal prediction for sequence frames.
 func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
-	cps := extractCPs(f, o.Workers)
+	c := o.Collector
+	workers := parallel.Workers(o.Workers)
+	var cps []critical.Point
+	if err := c.Do(obs.StageCPExtract, workers, int64(f.NumVertices()), func() error {
+		cps = extractCPs(f, o.Workers)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	saddles := saddleIndices(cps)
 
 	res, err := cpsz.Compress(f, cpsz.Options{
 		Mode: o.Mode, ErrBound: o.ErrBound, Workers: o.Workers, Reference: ref,
+		Collector: c,
 	})
 	if err != nil {
 		return nil, err
@@ -221,12 +269,16 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	// incremental: a trajectory that touches no vertex patched in the
 	// current round samples exactly the same data, so its previous trace
 	// is provably still valid and it is skipped.
-	td, err := traceAll(f, cps, saddles, o.Params, o.Workers)
-	if err != nil {
-		return nil, err
-	}
-	tdp, involved, err := traceAllWithInvolved(dec, cps, saddles, o.Params, o.Workers)
-	if err != nil {
+	var td, tdp []integrate.Trajectory
+	var involved [][]int32
+	if err := c.Do(obs.StageTrace, workers, int64(len(saddles)), func() error {
+		var err error
+		if td, err = traceAll(f, cps, saddles, o.Params, o.Workers); err != nil {
+			return err
+		}
+		tdp, involved, err = traceAllWithInvolved(dec, cps, saddles, o.Params, o.Workers)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	correct := make([]bool, len(td))
@@ -247,63 +299,74 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	log := &patchLog{patched: bitmap.New(f.NumVertices())}
 	loc := integrate.NewCPLocator(cps)
 	iter := 0
-	for len(queue) > 0 {
-		iter++
-		log.round = log.round[:0]
-		if iter > o.MaxIterations {
-			// Last resort: patch everything the original separatrices
-			// touch, which provably reproduces them (same argument as
-			// TspSZ-I), then do a final verification round.
-			if err := forceExact(f, dec, cps, saddles, o, log); err != nil {
-				return nil, err
+	// The correction span is recorded even when the skeleton verified on
+	// the first try (zero iterations), so TspSZ-i stage breakdowns always
+	// name the stage.
+	if err := c.Do(obs.StageCorrection, workers, int64(len(queue)), func() error {
+		for len(queue) > 0 {
+			iter++
+			c.Add(obs.CtrCorrectionIters, 1)
+			c.Add(obs.CtrCorrectionTraj, int64(len(queue)))
+			log.round = log.round[:0]
+			if iter > o.MaxIterations {
+				// Last resort: patch everything the original separatrices
+				// touch, which provably reproduces them (same argument as
+				// TspSZ-I), then do a final verification round.
+				if err := forceExact(f, dec, cps, saddles, o, log); err != nil {
+					return err
+				}
+			} else {
+				// Speculative parallel correction (§VII): each wrong
+				// trajectory is fixed against the shared decompressed data;
+				// patch writes are idempotent (they restore originals), and
+				// the subsequent global verification catches interactions.
+				if err := parallel.ForErr(len(queue), o.Workers, 1, func(qi int) error {
+					fixTraj(f, dec, cps, loc, &td[queue[qi]], o, log)
+					return nil
+				}); err != nil {
+					return err
+				}
 			}
-		} else {
-			// Speculative parallel correction (§VII): each wrong
-			// trajectory is fixed against the shared decompressed data;
-			// patch writes are idempotent (they restore originals), and
-			// the subsequent global verification catches interactions.
-			if err := parallel.ForErr(len(queue), o.Workers, 1, func(qi int) error {
-				fixTraj(f, dec, cps, loc, &td[queue[qi]], o, log)
+			// Re-verify (lines 36-49), incrementally: only trajectories whose
+			// sample set intersects this round's patches can have changed.
+			roundSet := bitmap.New(f.NumVertices())
+			for _, idx := range log.round {
+				roundSet.Set(idx)
+			}
+			if err := parallel.ForErr(len(td), o.Workers, 4, func(i int) error {
+				if correct[i] && !touchesAny(involved[i], roundSet) {
+					return nil
+				}
+				var verts []int
+				tr := integrate.Retrace(dec, cps, loc, &td[i], o.Params, &verts)
+				tdp[i] = tr
+				involved[i] = dedupe(verts)
+				correct[i] = skeleton.CheckTraj(&td[i], &tdp[i], o.Tau)
 				return nil
 			}); err != nil {
-				return nil, err
+				return err
+			}
+			queue = queue[:0]
+			for i := range td {
+				if !correct[i] {
+					queue = append(queue, i)
+				}
+			}
+			if iter > o.MaxIterations && len(queue) > 0 {
+				return fmt.Errorf("core: TspSZ-i failed to converge after force-exact fallback (%d wrong)", len(queue))
 			}
 		}
-		// Re-verify (lines 36-49), incrementally: only trajectories whose
-		// sample set intersects this round's patches can have changed.
-		roundSet := bitmap.New(f.NumVertices())
-		for _, idx := range log.round {
-			roundSet.Set(idx)
-		}
-		if err := parallel.ForErr(len(td), o.Workers, 4, func(i int) error {
-			if correct[i] && !touchesAny(involved[i], roundSet) {
-				return nil
-			}
-			var verts []int
-			tr := integrate.Retrace(dec, cps, loc, &td[i], o.Params, &verts)
-			tdp[i] = tr
-			involved[i] = dedupe(verts)
-			correct[i] = skeleton.CheckTraj(&td[i], &tdp[i], o.Tau)
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-		queue = queue[:0]
-		for i := range td {
-			if !correct[i] {
-				queue = append(queue, i)
-			}
-		}
-		if iter > o.MaxIterations && len(queue) > 0 {
-			return nil, fmt.Errorf("core: TspSZ-i failed to converge after force-exact fallback (%d wrong)", len(queue))
-		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	stats.Iterations = iter
 
 	patched := log.patched
 	patch := buildPatch(f, patched)
 	stats.PatchedVertices = len(patch.indices)
-	container, err := buildContainer(TspSZi, patch, res.Bytes, len(f.Components()))
+	c.Add(obs.CtrPatchedVertices, int64(len(patch.indices)))
+	container, err := sealContainer(c, TspSZi, patch, res.Bytes, len(f.Components()))
 	if err != nil {
 		return nil, err
 	}

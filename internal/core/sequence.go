@@ -14,6 +14,8 @@ import (
 	"fmt"
 
 	"tspsz/internal/field"
+	"tspsz/internal/obs"
+	"tspsz/internal/parallel"
 	"tspsz/internal/streamerr"
 )
 
@@ -28,6 +30,10 @@ type SeqResult struct {
 	FrameSizes []int
 	// Stats carries the per-frame compression statistics.
 	Stats []Stats
+	// Obs is the whole-sequence observability snapshot when
+	// Options.Collector was set, nil otherwise. Per-frame work appears as
+	// "frame" spans wrapping the inner pipeline stages.
+	Obs *obs.Snapshot
 }
 
 // CompressSequence encodes a time series of fields of identical shape,
@@ -54,17 +60,20 @@ func CompressSequence(frames []*field.Field, opts Options) (*SeqResult, error) {
 	binary.LittleEndian.PutUint32(nf[:], uint32(len(frames)))
 	buf.Write(nf[:])
 
+	c := o.Collector
 	out := &SeqResult{}
 	var ref *field.Field
 	for fi, f := range frames {
 		var res *Result
-		var err error
-		if o.Variant == TspSZ1 {
-			res, err = compress1(f, o, ref)
-		} else {
-			res, err = compressI(f, o, ref)
-		}
-		if err != nil {
+		if err := c.Do(obs.StageFrame, parallel.Workers(o.Workers), int64(f.NumVertices()), func() error {
+			var err error
+			if o.Variant == TspSZ1 {
+				res, err = compress1(f, o, ref)
+			} else {
+				res, err = compressI(f, o, ref)
+			}
+			return err
+		}); err != nil {
 			return nil, fmt.Errorf("core: frame %d: %w", fi, err)
 		}
 		var l [8]byte
@@ -76,12 +85,30 @@ func CompressSequence(frames []*field.Field, opts Options) (*SeqResult, error) {
 		ref = res.Decompressed
 	}
 	out.Bytes = buf.Bytes()
+	if c != nil {
+		// Sequence framing: the TSPQ header plus one length prefix per
+		// frame, charged to the container counter so the byte partition
+		// still sums to the archive size for sequence archives.
+		framing := int64(len(out.Bytes))
+		for _, sz := range out.FrameSizes {
+			framing -= int64(sz)
+		}
+		c.Add(obs.CtrBytesContainer, framing)
+		c.Add(obs.CtrBytesOut, framing)
+		out.Obs = c.Snapshot()
+	}
 	return out, nil
 }
 
 // DecompressSequence reconstructs every frame of a CompressSequence
 // container, in order.
 func DecompressSequence(data []byte, workers int) (frames []*field.Field, err error) {
+	return DecompressSequenceObserved(data, workers, nil)
+}
+
+// DecompressSequenceObserved is DecompressSequence with an optional
+// obs.Collector; each frame decode is wrapped in a "frame" span.
+func DecompressSequenceObserved(data []byte, workers int, c *obs.Collector) (frames []*field.Field, err error) {
 	defer streamerr.Guard("sequence", &err)
 	n, off, err := parseSequenceHeader(data)
 	if err != nil {
@@ -94,8 +121,12 @@ func DecompressSequence(data []byte, workers int) (frames []*field.Field, err er
 		if err != nil {
 			return nil, err
 		}
-		dec, err := decompressRef(fr, workers, ref)
-		if err != nil {
+		var dec *field.Field
+		if err := c.Do(obs.StageFrame, parallel.Workers(workers), int64(len(fr)), func() error {
+			var err error
+			dec, err = decompressRef(fr, workers, ref, c)
+			return err
+		}); err != nil {
 			return nil, fmt.Errorf("core: frame %d: %w", fi, err)
 		}
 		off = next

@@ -6,6 +6,7 @@ import (
 	"tspsz/internal/bitmap"
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
+	"tspsz/internal/obs"
 	"tspsz/internal/parallel"
 	"tspsz/internal/quantizer"
 )
@@ -26,28 +27,31 @@ func (rs *regionStreams) rawFloat(v float32) {
 }
 
 func compress(f *field.Field, opts Options) (*Result, error) {
+	c := opts.Collector
 	work := f.Clone()
 	interiors, boundaries := partition(f.Grid)
 	nRegions := len(interiors) + len(boundaries)
 	streams := make([]regionStreams, nRegions)
 	lossless := bitmap.New(f.NumVertices())
 
-	// Stage 1: slab interiors in parallel. Bound derivation may read
-	// boundary-plane vertices, which still hold original values; no other
-	// interior is reachable through any adjacent cell, so there are no
-	// races and the result is schedule independent.
-	if err := parallel.ForErr(len(interiors), opts.Workers, 1, func(i int) error {
-		compressRegion(work, f, interiors[i], opts, &streams[i])
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	// Stage 2: boundary planes. Their adjacent cells reach only finalized
-	// interiors, and distinct planes share no cells, so planes are
-	// mutually independent.
-	if err := parallel.ForErr(len(boundaries), opts.Workers, 1, func(i int) error {
-		compressRegion(work, f, boundaries[i], opts, &streams[len(interiors)+i])
-		return nil
+	if err := c.Do(obs.StagePredictQuant, parallel.Workers(opts.Workers), int64(f.NumVertices()), func() error {
+		// Stage 1: slab interiors in parallel. Bound derivation may read
+		// boundary-plane vertices, which still hold original values; no
+		// other interior is reachable through any adjacent cell, so there
+		// are no races and the result is schedule independent.
+		if err := parallel.ForErr(len(interiors), opts.Workers, 1, func(i int) error {
+			compressRegion(work, f, interiors[i], opts, &streams[i])
+			return nil
+		}); err != nil {
+			return err
+		}
+		// Stage 2: boundary planes. Their adjacent cells reach only
+		// finalized interiors, and distinct planes share no cells, so
+		// planes are mutually independent.
+		return parallel.ForErr(len(boundaries), opts.Workers, 1, func(i int) error {
+			compressRegion(work, f, boundaries[i], opts, &streams[len(interiors)+i])
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -72,8 +76,15 @@ func compress(f *field.Field, opts Options) (*Result, error) {
 			lossless.Set(idx)
 		}
 	}
-	bytes, err := serialize(f, opts, ebAll, qAll, rawAll)
-	if err != nil {
+	if c != nil {
+		c.Add(obs.CtrLosslessVertices, int64(lossless.Count()))
+	}
+	var bytes []byte
+	if err := c.Do(obs.StageEntropyEncode, parallel.Workers(opts.Workers), int64(len(ebAll)+len(qAll)), func() error {
+		var err error
+		bytes, err = serialize(f, opts, ebAll, qAll, rawAll)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Result{Bytes: bytes, Decompressed: work, LosslessVertices: lossless}, nil

@@ -20,6 +20,7 @@ import (
 	"tspsz/internal/bitmap"
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
+	"tspsz/internal/obs"
 	"tspsz/internal/streamerr"
 )
 
@@ -51,6 +52,10 @@ type Options struct {
 	// Predictor selects Lorenzo (default, region parallel) or the
 	// SZ3-style level-wise interpolation predictor (serial).
 	Predictor Predictor
+	// Collector optionally gathers per-stage spans and counters (see
+	// internal/obs). Nil disables instrumentation at zero cost; attaching a
+	// collector never changes the output stream.
+	Collector *obs.Collector
 	// Reference enables temporal prediction for time-varying sequences:
 	// every vertex is predicted by its value in this (already
 	// decompressed) previous frame instead of spatial neighbors. The
@@ -111,6 +116,7 @@ func Compress(f *field.Field, opts Options) (*Result, error) {
 			return nil, errors.New("cpsz: reference shape differs from input")
 		}
 	}
+	opts.Collector.Add(obs.CtrBytesIn, int64(f.SizeBytes()))
 	if opts.Predictor == PredictorInterpolation {
 		return compressInterp(f, opts)
 	}
@@ -123,19 +129,32 @@ func Compress(f *field.Field, opts Options) (*Result, error) {
 // DecompressRef instead. Failures are streamerr-typed and a panic anywhere
 // in the decode path is contained and returned as an error.
 func Decompress(data []byte, workers int) (f *field.Field, err error) {
+	return DecompressObserved(data, workers, nil)
+}
+
+// DecompressObserved is Decompress with an optional obs.Collector gathering
+// entropy-decode and reconstruction spans plus chunk counters. A nil
+// collector makes it identical to Decompress; the reconstruction is
+// byte-identical either way.
+func DecompressObserved(data []byte, workers int, c *obs.Collector) (f *field.Field, err error) {
 	defer streamerr.Guard("cpsz", &err)
-	return decompress(data, workers, nil)
+	return decompress(data, workers, nil, c)
 }
 
 // DecompressRef reconstructs a temporally predicted stream against the
 // same reference frame the encoder used (the previous decompressed frame
 // of the sequence).
 func DecompressRef(data []byte, workers int, ref *field.Field) (f *field.Field, err error) {
+	return DecompressRefObserved(data, workers, ref, nil)
+}
+
+// DecompressRefObserved is DecompressRef with an optional obs.Collector.
+func DecompressRefObserved(data []byte, workers int, ref *field.Field, c *obs.Collector) (f *field.Field, err error) {
 	defer streamerr.Guard("cpsz", &err)
 	if ref == nil {
 		return nil, errors.New("cpsz: DecompressRef requires a reference frame")
 	}
-	return decompress(data, workers, ref)
+	return decompress(data, workers, ref, c)
 }
 
 // absSymbol quantizes a derived bound into the absolute-mode exponent

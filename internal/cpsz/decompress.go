@@ -6,6 +6,7 @@ import (
 
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
+	"tspsz/internal/obs"
 	"tspsz/internal/parallel"
 	"tspsz/internal/quantizer"
 	"tspsz/internal/streamerr"
@@ -16,9 +17,15 @@ type regionOffsets struct {
 	eb, quant, raw int
 }
 
-func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error) {
-	hdr, ebSyms, quantSyms, raw, err := parse(data, workers)
-	if err != nil {
+func decompress(data []byte, workers int, ref *field.Field, c *obs.Collector) (*field.Field, error) {
+	var hdr header
+	var ebSyms, quantSyms []uint32
+	var raw []byte
+	if err := c.Do(obs.StageEntropyDecode, parallel.Workers(workers), int64(len(data)), func() error {
+		var err error
+		hdr, ebSyms, quantSyms, raw, err = parse(data, workers, c)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	if hdr.temporal && ref == nil {
@@ -57,11 +64,25 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 		return nil, streamerr.Header("cpsz header", "reference shape differs from stream")
 	}
 	if hdr.predictor == PredictorInterpolation {
-		if err := reconstructInterp(f, hdr, ebSyms, quantSyms, raw); err != nil {
+		if err := c.Do(obs.StageReconstruct, 1, int64(f.NumVertices()), func() error {
+			return reconstructInterp(f, hdr, ebSyms, quantSyms, raw)
+		}); err != nil {
 			return nil, err
 		}
 		return f, nil
 	}
+	if err := c.Do(obs.StageReconstruct, parallel.Workers(workers), int64(f.NumVertices()), func() error {
+		return reconstructLorenzo(f, ref, hdr, ebSyms, quantSyms, raw, workers)
+	}); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// reconstructLorenzo replays the region-parallel Lorenzo encoder: a serial
+// offset scan over the symbol streams followed by prediction-independent
+// per-region reconstruction.
+func reconstructLorenzo(f, ref *field.Field, hdr header, ebSyms, quantSyms []uint32, raw []byte, workers int) error {
 	interiors, boundaries := partition(f.Grid)
 	regions := append(append([]region{}, interiors...), boundaries...)
 
@@ -77,7 +98,7 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 		for v := 0; v < nv; v++ {
 			if hdr.mode == ebound.Absolute {
 				if cur.eb >= len(ebSyms) {
-					return nil, errBadSymbols
+					return errBadSymbols
 				}
 				sym := ebSyms[cur.eb]
 				cur.eb++
@@ -86,11 +107,11 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 					continue
 				}
 				if sym > absLosslessSym {
-					return nil, errBadSymbols
+					return errBadSymbols
 				}
 				for c := 0; c < nComps; c++ {
 					if cur.quant >= len(quantSyms) {
-						return nil, errBadSymbols
+						return errBadSymbols
 					}
 					if quantSyms[cur.quant] == quantizer.UnpredictableSym {
 						cur.raw += 4
@@ -101,7 +122,7 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 			}
 			for c := 0; c < nComps; c++ {
 				if cur.eb >= len(ebSyms) {
-					return nil, errBadSymbols
+					return errBadSymbols
 				}
 				sym := ebSyms[cur.eb]
 				cur.eb++
@@ -110,10 +131,10 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 					continue
 				}
 				if sym > relBias+relExpCap+1 {
-					return nil, errBadSymbols
+					return errBadSymbols
 				}
 				if cur.quant >= len(quantSyms) {
-					return nil, errBadSymbols
+					return errBadSymbols
 				}
 				if quantSyms[cur.quant] == quantizer.UnpredictableSym {
 					cur.raw += 4
@@ -123,18 +144,15 @@ func decompress(data []byte, workers int, ref *field.Field) (*field.Field, error
 		}
 	}
 	if cur.eb != len(ebSyms) || cur.quant != len(quantSyms) || cur.raw != len(raw) {
-		return nil, errBadSymbols
+		return errBadSymbols
 	}
 
 	// Parallel reconstruction: regions are prediction-independent. The Err
 	// variant contains worker panics, so a reconstruction bug driven by
 	// hostile symbols surfaces as an error instead of killing the process.
-	if err := parallel.ForErr(len(regions), workers, 1, func(ri int) error {
+	return parallel.ForErr(len(regions), workers, 1, func(ri int) error {
 		return reconstructRegion(f, ref, regions[ri], hdr, ebSyms, quantSyms, raw, offsets[ri])
-	}); err != nil {
-		return nil, err
-	}
-	return f, nil
+	})
 }
 
 // reconstructRegion replays one region's vertices in row-major order,

@@ -25,7 +25,7 @@ func TestFaultSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	v3 := res.Bytes
-	_, ebSyms, quantSyms, raw, err := parse(v3, 1)
+	_, ebSyms, quantSyms, raw, err := parse(v3, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
 	"tspsz/internal/huffman"
+	"tspsz/internal/obs"
 	"tspsz/internal/parallel"
 	"tspsz/internal/streamerr"
 )
@@ -85,6 +86,7 @@ const (
 // SZ's Huffman + lossless-backend pipeline with the entropy stage sharded
 // across opts.Workers.
 func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
+	c := opts.Collector
 	workers := parallel.Workers(opts.Workers)
 	out := make([]byte, 0, headerBytesV3+len(raw)/2+(len(ebSyms)+len(quantSyms))/4)
 	out = append(out, streamMagic...)
@@ -100,16 +102,28 @@ func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []b
 	}
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(opts.ErrBound))
 	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out[:headerBytes], crcTable))
+	c.Add(obs.CtrBytesStreamHeader, int64(len(out)))
 	var err error
-	for _, syms := range [][]uint32{ebSyms, quantSyms} {
-		if out, err = appendSymbolSection(out, syms, workers); err != nil {
+	for si, syms := range [][]uint32{ebSyms, quantSyms} {
+		mark := len(out)
+		if out, err = appendSymbolSection(out, syms, workers, c); err != nil {
 			return nil, err
 		}
+		ctr := obs.CtrBytesSectionEb
+		if si == 1 {
+			ctr = obs.CtrBytesSectionQuant
+		}
+		c.Add(ctr, int64(len(out)-mark))
 	}
-	if out, err = appendRawSection(out, raw, workers); err != nil {
+	mark := len(out)
+	if out, err = appendRawSection(out, raw, workers, c); err != nil {
 		return nil, err
 	}
-	return appendTrailer(out), nil
+	c.Add(obs.CtrBytesSectionRaw, int64(len(out)-mark))
+	out = appendTrailer(out)
+	c.Add(obs.CtrBytesStreamTrailer, trailerBytes)
+	c.Add(obs.CtrBytesOut, int64(len(out)))
+	return out, nil
 }
 
 // appendTrailer seals the stream: u64 length of everything before the
@@ -136,13 +150,17 @@ func chunkCount(n, extent int) int {
 // then the chunk payloads. Chunks are Huffman-packed, DEFLATEd, and
 // checksummed concurrently; the directory lets the reader verify, inflate,
 // and decode them concurrently too.
-func appendSymbolSection(dst []byte, syms []uint32, workers int) ([]byte, error) {
+func appendSymbolSection(dst []byte, syms []uint32, workers int, c *obs.Collector) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(syms)))
 	if len(syms) == 0 {
 		return dst, nil
 	}
-	table, err := huffman.BuildTable(syms, workers)
-	if err != nil {
+	var table *huffman.Table
+	if err := c.Do(obs.StageHistogram, workers, int64(len(syms)), func() error {
+		var err error
+		table, err = huffman.BuildTable(syms, workers)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	dst = table.AppendTable(dst)
@@ -150,7 +168,7 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int) ([]byte, error)
 	usizes := make([]int, len(bounds))
 	packed := make([][]byte, len(bounds))
 	crcs := make([]uint32, len(bounds))
-	err = parallel.ForErr(len(bounds), workers, 1, func(i int) error {
+	err := parallel.ForErr(len(bounds), workers, 1, func(i int) error {
 		bits := getChunkBuf()
 		bits = table.EncodeChunk(bits[:0], syms[bounds[i][0]:bounds[i][1]])
 		usizes[i] = len(bits)
@@ -166,6 +184,7 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
+	c.Add(obs.CtrChunksEncoded, int64(len(bounds)))
 	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
 	for i := range bounds {
 		dst = binary.AppendUvarint(dst, uint64(usizes[i]))
@@ -182,7 +201,7 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int) ([]byte, error)
 // DEFLATEd and checksummed chunks with the same directory layout as the
 // symbol sections; the uncompressed entries are redundant with the section
 // length but serve as a decode-side cross-check.
-func appendRawSection(dst []byte, raw []byte, workers int) ([]byte, error) {
+func appendRawSection(dst []byte, raw []byte, workers int, c *obs.Collector) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(raw)))
 	if len(raw) == 0 {
 		return dst, nil
@@ -202,6 +221,7 @@ func appendRawSection(dst []byte, raw []byte, workers int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Add(obs.CtrChunksEncoded, int64(len(bounds)))
 	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
 	for i := range bounds {
 		dst = binary.AppendUvarint(dst, uint64(bounds[i][1]-bounds[i][0]))
@@ -218,7 +238,7 @@ func appendRawSection(dst []byte, raw []byte, workers int) ([]byte, error) {
 // the format version byte. For v3 streams the header CRC and whole-stream
 // trailer are verified up front and the per-chunk checksums inside the
 // parallel section readers.
-func parse(data []byte, workers int) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
+func parse(data []byte, workers int, c *obs.Collector) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
 	hdr, off, end, err := parseHeader(data)
 	if err != nil {
 		return hdr, nil, nil, nil, err
@@ -227,7 +247,7 @@ func parse(data []byte, workers int) (hdr header, ebSyms, quantSyms []uint32, ra
 	if version == formatV1 {
 		ebSyms, quantSyms, raw, err = parseSectionsV1(data, off)
 	} else {
-		ebSyms, quantSyms, raw, err = parseSectionsV2(data[:end], off, workers, version >= formatV3)
+		ebSyms, quantSyms, raw, err = parseSectionsV2(data[:end], off, workers, version >= formatV3, c)
 	}
 	if err != nil {
 		return hdr, nil, nil, nil, err
@@ -340,14 +360,14 @@ func parseSectionsV1(data []byte, off int) (ebSyms, quantSyms []uint32, raw []by
 // and entropy-decoding the chunks of each section concurrently. withCRC
 // selects the v3 directory layout, whose per-chunk checksums the workers
 // verify before inflating.
-func parseSectionsV2(data []byte, off, workers int, withCRC bool) (ebSyms, quantSyms []uint32, raw []byte, err error) {
-	if ebSyms, off, err = parseSymbolSection(data, off, workers, withCRC, "eb-symbols"); err != nil {
+func parseSectionsV2(data []byte, off, workers int, withCRC bool, c *obs.Collector) (ebSyms, quantSyms []uint32, raw []byte, err error) {
+	if ebSyms, off, err = parseSymbolSection(data, off, workers, withCRC, "eb-symbols", c); err != nil {
 		return nil, nil, nil, err
 	}
-	if quantSyms, off, err = parseSymbolSection(data, off, workers, withCRC, "quant-symbols"); err != nil {
+	if quantSyms, off, err = parseSymbolSection(data, off, workers, withCRC, "quant-symbols", c); err != nil {
 		return nil, nil, nil, err
 	}
-	if raw, off, err = parseRawSection(data, off, workers, withCRC); err != nil {
+	if raw, off, err = parseRawSection(data, off, workers, withCRC, c); err != nil {
 		return nil, nil, nil, err
 	}
 	if off != len(data) {
@@ -466,7 +486,7 @@ func (d *chunkDirectory) verifyChunk(payload []byte, i int, section string) erro
 
 // parseSymbolSection reads one chunked symbol section, returning the
 // decoded symbols and the offset past the section.
-func parseSymbolSection(data []byte, off, workers int, withCRC bool, section string) ([]uint32, int, error) {
+func parseSymbolSection(data []byte, off, workers int, withCRC bool, section string, c *obs.Collector) ([]uint32, int, error) {
 	count, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
 		return nil, 0, streamerr.Truncated(section, "symbol count cut off").WithOffset(int64(off))
@@ -513,12 +533,13 @@ func parseSymbolSection(data []byte, off, workers int, withCRC bool, section str
 	if err != nil {
 		return nil, 0, err
 	}
+	c.Add(obs.CtrChunksDecoded, int64(len(dir.bounds)))
 	return out, off + dir.total, nil
 }
 
 // parseRawSection reads the verbatim-float section, inflating chunks
 // concurrently straight into their disjoint extents of the output.
-func parseRawSection(data []byte, off, workers int, withCRC bool) ([]byte, int, error) {
+func parseRawSection(data []byte, off, workers int, withCRC bool, c *obs.Collector) ([]byte, int, error) {
 	const section = "raw"
 	rawLen, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
@@ -555,6 +576,7 @@ func parseRawSection(data []byte, off, workers int, withCRC bool) ([]byte, int, 
 	if err != nil {
 		return nil, 0, err
 	}
+	c.Add(obs.CtrChunksDecoded, int64(len(dir.bounds)))
 	return raw, off + dir.total, nil
 }
 

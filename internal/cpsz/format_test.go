@@ -101,7 +101,7 @@ func serializeV2(t testing.TB, f *field.Field, opts Options, ebSyms, quantSyms [
 // archive by re-serializing its parsed sections through the legacy writer.
 func rewriteAsV1(t *testing.T, f *field.Field, opts Options, cur []byte) []byte {
 	t.Helper()
-	_, ebSyms, quantSyms, raw, err := parse(cur, 1)
+	_, ebSyms, quantSyms, raw, err := parse(cur, 1, nil)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -116,7 +116,7 @@ func rewriteAsV1(t *testing.T, f *field.Field, opts Options, cur []byte) []byte 
 // archive through the CRC-less legacy chunked writer.
 func rewriteAsV2(t *testing.T, f *field.Field, opts Options, cur []byte) []byte {
 	t.Helper()
-	_, ebSyms, quantSyms, raw, err := parse(cur, 1)
+	_, ebSyms, quantSyms, raw, err := parse(cur, 1, nil)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -300,7 +300,7 @@ func TestChunkDirectoryLies(t *testing.T) {
 			}
 			t.Run(layout+"/"+lie.name, func(t *testing.T) {
 				sec := buildSymbolSection(t, syms, withCRC, lie.tamper)
-				_, _, err := parseSymbolSection(sec, 0, 2, withCRC, "test")
+				_, _, err := parseSymbolSection(sec, 0, 2, withCRC, "test", nil)
 				if err == nil {
 					t.Fatal("lying directory parsed without error")
 				}
@@ -311,7 +311,7 @@ func TestChunkDirectoryLies(t *testing.T) {
 		}
 		// Control: the untampered section round-trips.
 		sec := buildSymbolSection(t, syms, withCRC, nil)
-		got, off, err := parseSymbolSection(sec, 0, 2, withCRC, "test")
+		got, off, err := parseSymbolSection(sec, 0, 2, withCRC, "test", nil)
 		if err != nil {
 			t.Fatalf("%s untampered section: %v", layout, err)
 		}
@@ -335,7 +335,7 @@ func TestTruncatedDirectory(t *testing.T) {
 		// The directory sits between the codebook and the payload; cutting
 		// anywhere before the payload end must fail.
 		for cut := 0; cut < len(sec); cut += 7 {
-			if _, _, err := parseSymbolSection(sec[:cut], 0, 1, withCRC, "test"); err == nil {
+			if _, _, err := parseSymbolSection(sec[:cut], 0, 1, withCRC, "test", nil); err == nil {
 				t.Fatalf("section truncated to %d of %d bytes parsed (withCRC=%v)", cut, len(sec), withCRC)
 			}
 		}
@@ -465,7 +465,7 @@ func entropyFixture(b *testing.B) (*field.Field, Options, []uint32, []uint32, []
 	if err != nil {
 		b.Fatal(err)
 	}
-	_, ebSyms, quantSyms, raw, err := parse(res.Bytes, 0)
+	_, ebSyms, quantSyms, raw, err := parse(res.Bytes, 0, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -502,7 +502,7 @@ func BenchmarkParse(b *testing.B) {
 			b.SetBytes(int64(f.SizeBytes()))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, _, _, err := parse(stream, workers); err != nil {
+				if _, _, _, _, err := parse(stream, workers, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -38,7 +38,7 @@ func FuzzDecompressTruncated(f *testing.F) {
 	}
 	// Legacy-layout seeds: the v1 and v2 readers must stay as robust as the
 	// v3 one.
-	_, ebSyms, quantSyms, raw, err := parse(stream, 1)
+	_, ebSyms, quantSyms, raw, err := parse(stream, 1, nil)
 	if err != nil {
 		f.Fatal(err)
 	}

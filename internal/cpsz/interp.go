@@ -15,6 +15,8 @@ import (
 	"tspsz/internal/bitmap"
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
+	"tspsz/internal/obs"
+	"tspsz/internal/parallel"
 	"tspsz/internal/quantizer"
 )
 
@@ -104,6 +106,7 @@ func interpPredict(vals []float32, nx, ny, nz, i, j, k, axis, stride int) float6
 // semantics to the Lorenzo path, different visit order and predictor, one
 // region.
 func compressInterp(f *field.Field, opts Options) (*Result, error) {
+	col := opts.Collector
 	work := f.Clone()
 	lossless := bitmap.New(f.NumVertices())
 	var out regionStreams
@@ -112,90 +115,107 @@ func compressInterp(f *field.Field, opts Options) (*Result, error) {
 	workComps := work.Components()
 	radius := int32(quantizer.DefaultRadius)
 
-	interpVisit(nx, ny, nz, func(i, j, k, axis, stride int) {
-		idx := i + j*nx + k*nx*ny
-		forced := opts.Lossless != nil && opts.Lossless.Get(idx)
-		storeLossless := forced
-		var derived float64
-		if !storeLossless {
-			switch {
-			case opts.Plain:
-				derived = math.Inf(1)
-			case opts.SoS:
-				derived = ebound.VertexBoundSoS(work, idx, opts.Mode)
-			default:
-				if eb, hasCP := ebound.VertexBound(work, idx, opts.Mode); hasCP {
-					storeLossless = true
-				} else {
-					derived = eb
-				}
-			}
-		}
-		quantize := func(c int, aeb float64) {
-			pred := interpPredict(workComps[c], nx, ny, nz, i, j, k, axis, stride)
-			code, recon, ok := quantizer.Quantize(float64(comps[c][idx]), pred, aeb, radius)
-			if !ok {
-				out.quantSyms = append(out.quantSyms, quantizer.UnpredictableSym)
-				out.rawFloat(comps[c][idx])
-				workComps[c][idx] = comps[c][idx]
-				return
-			}
-			out.quantSyms = append(out.quantSyms, quantizer.Zigzag(code))
-			workComps[c][idx] = float32(recon)
-		}
-		if opts.Mode == ebound.Absolute {
+	quantizePass := func() {
+		interpVisit(nx, ny, nz, func(i, j, k, axis, stride int) {
+			idx := i + j*nx + k*nx*ny
+			forced := opts.Lossless != nil && opts.Lossless.Get(idx)
+			storeLossless := forced
+			var derived float64
 			if !storeLossless {
-				target := math.Min(opts.ErrBound, derived)
-				sym, aeb := absSymbol(opts.ErrBound, target)
-				if sym == absLosslessSym {
-					storeLossless = true
-				} else {
-					out.ebSyms = append(out.ebSyms, sym)
-					for c := range comps {
-						quantize(c, aeb)
+				switch {
+				case opts.Plain:
+					derived = math.Inf(1)
+				case opts.SoS:
+					derived = ebound.VertexBoundSoS(work, idx, opts.Mode)
+				default:
+					if eb, hasCP := ebound.VertexBound(work, idx, opts.Mode); hasCP {
+						storeLossless = true
+					} else {
+						derived = eb
 					}
 				}
 			}
+			quantize := func(c int, aeb float64) {
+				pred := interpPredict(workComps[c], nx, ny, nz, i, j, k, axis, stride)
+				code, recon, ok := quantizer.Quantize(float64(comps[c][idx]), pred, aeb, radius)
+				if !ok {
+					out.quantSyms = append(out.quantSyms, quantizer.UnpredictableSym)
+					out.rawFloat(comps[c][idx])
+					workComps[c][idx] = comps[c][idx]
+					return
+				}
+				out.quantSyms = append(out.quantSyms, quantizer.Zigzag(code))
+				workComps[c][idx] = float32(recon)
+			}
+			if opts.Mode == ebound.Absolute {
+				if !storeLossless {
+					target := math.Min(opts.ErrBound, derived)
+					sym, aeb := absSymbol(opts.ErrBound, target)
+					if sym == absLosslessSym {
+						storeLossless = true
+					} else {
+						out.ebSyms = append(out.ebSyms, sym)
+						for c := range comps {
+							quantize(c, aeb)
+						}
+					}
+				}
+				if storeLossless {
+					out.ebSyms = append(out.ebSyms, absLosslessSym)
+					for c := range comps {
+						out.rawFloat(comps[c][idx])
+						workComps[c][idx] = comps[c][idx]
+					}
+					lossless.Set(idx)
+				}
+				return
+			}
 			if storeLossless {
-				out.ebSyms = append(out.ebSyms, absLosslessSym)
 				for c := range comps {
+					out.ebSyms = append(out.ebSyms, relExactSym)
 					out.rawFloat(comps[c][idx])
 					workComps[c][idx] = comps[c][idx]
 				}
 				lossless.Set(idx)
+				return
 			}
-			return
-		}
-		if storeLossless {
+			xi := math.Min(opts.ErrBound, derived)
+			allExact := true
 			for c := range comps {
-				out.ebSyms = append(out.ebSyms, relExactSym)
-				out.rawFloat(comps[c][idx])
-				workComps[c][idx] = comps[c][idx]
+				target := xi * math.Abs(float64(comps[c][idx]))
+				sym, aeb := relSymbol(target)
+				out.ebSyms = append(out.ebSyms, sym)
+				if sym == relExactSym {
+					out.rawFloat(comps[c][idx])
+					workComps[c][idx] = comps[c][idx]
+					continue
+				}
+				allExact = false
+				quantize(c, aeb)
 			}
-			lossless.Set(idx)
-			return
-		}
-		xi := math.Min(opts.ErrBound, derived)
-		allExact := true
-		for c := range comps {
-			target := xi * math.Abs(float64(comps[c][idx]))
-			sym, aeb := relSymbol(target)
-			out.ebSyms = append(out.ebSyms, sym)
-			if sym == relExactSym {
-				out.rawFloat(comps[c][idx])
-				workComps[c][idx] = comps[c][idx]
-				continue
+			if allExact {
+				lossless.Set(idx)
 			}
-			allExact = false
-			quantize(c, aeb)
-		}
-		if allExact {
-			lossless.Set(idx)
-		}
-	})
+		})
+	}
+	// The interpolation predictor is serial by construction (each level
+	// depends on the previous), so its span always reports one worker.
+	if err := col.Do(obs.StagePredictQuant, 1, int64(f.NumVertices()), func() error {
+		quantizePass()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if col != nil {
+		col.Add(obs.CtrLosslessVertices, int64(lossless.Count()))
+	}
 
-	bytes, err := serialize(f, opts, out.ebSyms, out.quantSyms, out.raw)
-	if err != nil {
+	var bytes []byte
+	if err := col.Do(obs.StageEntropyEncode, parallel.Workers(opts.Workers), int64(len(out.ebSyms)+len(out.quantSyms)), func() error {
+		var err error
+		bytes, err = serialize(f, opts, out.ebSyms, out.quantSyms, out.raw)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	return &Result{Bytes: bytes, Decompressed: work, LosslessVertices: lossless}, nil

@@ -1,0 +1,107 @@
+package experiments
+
+// Stage breakdowns: one observed compress + decompress per variant, so
+// tspbench can report where pipeline time and archive bytes go on the
+// standard datasets — the observability companion to the BENCH_*.json
+// perf-trajectory files.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tspsz/internal/core"
+	"tspsz/internal/ebound"
+	"tspsz/internal/obs"
+	"tspsz/internal/parallel"
+)
+
+// StageBreakdown is one observed run: the compression and decompression
+// snapshots for a dataset/variant pair under absolute error control.
+type StageBreakdown struct {
+	Dataset    string        `json:"dataset"`
+	Variant    string        `json:"variant"`
+	Bytes      int           `json:"bytes"`
+	Compress   *obs.Snapshot `json:"compress"`
+	Decompress *obs.Snapshot `json:"decompress"`
+}
+
+// RunStageBreakdown compresses and decompresses the configured dataset with
+// both variants under an attached obs.Collector (dispatch hook included)
+// and returns the per-stage snapshots. It must not run concurrently with
+// other observed work: the dispatch hook is process-global.
+func RunStageBreakdown(cfg DataConfig, workers int) ([]StageBreakdown, error) {
+	f, err := cfg.Generate()
+	if err != nil {
+		return nil, err
+	}
+	var out []StageBreakdown
+	for _, variant := range []core.Variant{core.TspSZ1, core.TspSZi} {
+		cc := obs.New()
+		parallel.SetHook(cc.Dispatch)
+		res, err := core.Compress(f, core.Options{
+			Variant: variant, Mode: ebound.Absolute, ErrBound: cfg.EpsAbs,
+			Params: cfg.Params, Tau: cfg.Tau, Workers: workers, Collector: cc,
+		})
+		if err != nil {
+			parallel.SetHook(nil)
+			return nil, fmt.Errorf("%v compress: %w", variant, err)
+		}
+		dc := obs.New()
+		parallel.SetHook(dc.Dispatch)
+		if _, err := core.DecompressObserved(res.Bytes, workers, dc); err != nil {
+			parallel.SetHook(nil)
+			return nil, fmt.Errorf("%v decompress: %w", variant, err)
+		}
+		parallel.SetHook(nil)
+		out = append(out, StageBreakdown{
+			Dataset:    cfg.Name,
+			Variant:    variant.String(),
+			Bytes:      len(res.Bytes),
+			Compress:   res.Stats.Obs,
+			Decompress: dc.Snapshot(),
+		})
+	}
+	return out, nil
+}
+
+// PrintStageBreakdown renders per-stage wall time and the byte partition.
+func PrintStageBreakdown(w io.Writer, title string, rows []StageBreakdown) {
+	fmt.Fprintf(w, "%s\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s (%d bytes)\n", r.Variant, r.Bytes)
+		for _, side := range []struct {
+			name string
+			snap *obs.Snapshot
+		}{{"compress", r.Compress}, {"decompress", r.Decompress}} {
+			if side.snap == nil {
+				continue
+			}
+			totals := make(map[string]int64)
+			for _, sp := range side.snap.Spans {
+				totals[sp.Stage] += sp.DurationNs
+			}
+			fmt.Fprintf(w, "  %s:", side.name)
+			for _, stage := range side.snap.Stages() {
+				fmt.Fprintf(w, " %s=%.1fms", stage, float64(totals[stage])/1e6)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "  bytes: header=%d eb=%d quant=%d raw=%d trailer=%d container=%d (patch=%d)\n",
+			r.Compress.Counters["bytes_stream_header"],
+			r.Compress.Counters["bytes_section_eb"],
+			r.Compress.Counters["bytes_section_quant"],
+			r.Compress.Counters["bytes_section_raw"],
+			r.Compress.Counters["bytes_stream_trailer"],
+			r.Compress.Counters["bytes_container"],
+			r.Compress.Counters["bytes_patch"])
+	}
+}
+
+// WriteStageBreakdownJSON appends rows to the JSON document tspbench emits
+// alongside the BENCH_*.json perf trajectories.
+func WriteStageBreakdownJSON(w io.Writer, rows []StageBreakdown) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunStageBreakdown(t *testing.T) {
+	cfg, err := Config("cba", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunStageBreakdown(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want one per variant", len(rows))
+	}
+	for _, r := range rows {
+		if r.Compress == nil || r.Decompress == nil {
+			t.Fatalf("%s: missing snapshot(s)", r.Variant)
+		}
+		if got := r.Compress.SectionSum(); got != int64(r.Bytes) {
+			t.Errorf("%s: byte partition sums to %d, archive is %d bytes", r.Variant, got, r.Bytes)
+		}
+		for _, stage := range []string{"cp-extract", "predict-quantize", "entropy-encode"} {
+			if !r.Compress.HasStage(stage) {
+				t.Errorf("%s: compress snapshot missing %q", r.Variant, stage)
+			}
+		}
+		if !r.Decompress.HasStage("entropy-decode") {
+			t.Errorf("%s: decompress snapshot missing entropy-decode", r.Variant)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteStageBreakdownJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var round []StageBreakdown
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("breakdown JSON does not parse: %v", err)
+	}
+	var text strings.Builder
+	PrintStageBreakdown(&text, "test", rows)
+	if !strings.Contains(text.String(), "TspSZ-i") {
+		t.Fatalf("printed breakdown missing variant row:\n%s", text.String())
+	}
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"tspsz/internal/field"
+)
+
+// constant2D returns a 2×2 field with every component sample set to v.
+func constant2D(v float32) *field.Field {
+	f := field.New2D(2, 2)
+	for _, comp := range f.Components() {
+		for i := range comp {
+			comp[i] = v
+		}
+	}
+	return f
+}
+
+// Degenerate inputs must produce the documented explicit semantics, never
+// NaN or an accidental ±Inf from log(0) or x/0.
+func TestDegenerateMetrics(t *testing.T) {
+	// Grid constructors refuse < 2×2, so the zero-sample degenerate is a
+	// field whose component slices were never allocated: MSE used to
+	// return 0/0 = NaN for it.
+	empty := &field.Field{Grid: field.New2D(2, 2).Grid}
+	constant := constant2D(7)
+	perturbed := constant2D(7)
+	perturbed.U[0] = 7.5 // squared error 0.25 over 8 samples
+
+	cases := []struct {
+		name       string
+		orig, dec  *field.Field
+		wantMSE    float64
+		wantPSNR   float64 // NaN means "assert finite" instead
+		wantPosInf bool
+	}{
+		{
+			name: "empty field",
+			orig: empty, dec: empty,
+			wantMSE: 0, wantPosInf: true,
+		},
+		{
+			name: "identical constant fields",
+			orig: constant, dec: constant.Clone(),
+			wantMSE: 0, wantPosInf: true,
+		},
+		{
+			// Constant original with real error: range is 0, so the
+			// unit-range convention applies and PSNR = -10·log10(MSE).
+			name: "constant field with error",
+			orig: constant, dec: perturbed,
+			wantMSE:  0.25 / 8,
+			wantPSNR: -10 * math.Log10(0.25/8),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mse := MSE(tc.orig, tc.dec)
+			if math.IsNaN(mse) {
+				t.Fatalf("MSE = NaN, want %v", tc.wantMSE)
+			}
+			if math.Abs(mse-tc.wantMSE) > 1e-12 {
+				t.Fatalf("MSE = %v, want %v", mse, tc.wantMSE)
+			}
+			psnr := PSNR(tc.orig, tc.dec)
+			if tc.wantPosInf {
+				if !math.IsInf(psnr, 1) {
+					t.Fatalf("PSNR = %v, want +Inf", psnr)
+				}
+				return
+			}
+			if math.IsNaN(psnr) || math.IsInf(psnr, 0) {
+				t.Fatalf("PSNR = %v, want a finite value", psnr)
+			}
+			if math.Abs(psnr-tc.wantPSNR) > 1e-9 {
+				t.Fatalf("PSNR = %v, want %v", psnr, tc.wantPSNR)
+			}
+		})
+	}
+}
+
+func TestCRDegenerate(t *testing.T) {
+	f := field.New2D(10, 10) // 800 raw bytes
+	cases := []struct {
+		name       string
+		compressed int
+		want       float64
+	}{
+		{"normal", 100, 8},
+		{"zero compressed size", 0, 0},
+		{"negative compressed size", -4, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CR(f, tc.compressed)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("CR = %v, want finite", got)
+			}
+			if got != tc.want {
+				t.Fatalf("CR(%d) = %v, want %v", tc.compressed, got, tc.want)
+			}
+		})
+	}
+	if got := CR(&field.Field{Grid: f.Grid}, 0); got != 0 {
+		t.Fatalf("CR(empty, 0) = %v, want 0", got)
+	}
+}
+
+func TestBitrateDegenerate(t *testing.T) {
+	if got := Bitrate(0); got != 0 {
+		t.Fatalf("Bitrate(0) = %v, want 0 (undefined sentinel)", got)
+	}
+	if got := Bitrate(-2); got != 0 {
+		t.Fatalf("Bitrate(-2) = %v, want 0", got)
+	}
+	if got := Bitrate(math.NaN()); got != 0 {
+		t.Fatalf("Bitrate(NaN) = %v, want 0", got)
+	}
+	if got := Bitrate(16); got != 2 {
+		t.Fatalf("Bitrate(16) = %v, want 2", got)
+	}
+}

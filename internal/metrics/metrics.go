@@ -10,7 +10,8 @@ import (
 )
 
 // MSE returns the mean squared error between original and decompressed
-// fields over all components. It panics if shapes differ.
+// fields over all components. It panics if shapes differ. A zero-vertex
+// field has no error by definition: MSE is 0, not 0/0 = NaN.
 func MSE(orig, dec *field.Field) float64 {
 	oc, dc := orig.Components(), dec.Components()
 	if len(oc) != len(dc) || orig.NumVertices() != dec.NumVertices() {
@@ -26,25 +27,49 @@ func MSE(orig, dec *field.Field) float64 {
 			n++
 		}
 	}
+	if n == 0 {
+		return 0
+	}
 	return sum / float64(n)
 }
 
 // PSNR returns 20·log10(range) − 10·log10(MSE), with range the global
-// value range of the original data. Identical fields yield +Inf.
+// value range of the original data. Degenerate inputs are pinned to
+// explicit semantics instead of log-of-zero artifacts: identical fields
+// (MSE exactly 0) yield +Inf, and a constant original field — whose value
+// range is 0, which would otherwise drive the result to −Inf/NaN
+// regardless of the actual error — falls back to the unit-range
+// convention (range = 1.0), making PSNR a pure −10·log10(MSE) there.
 func PSNR(orig, dec *field.Field) float64 {
 	mse := MSE(orig, dec)
-	lo, hi := orig.Range()
 	if mse == 0 { //lint:allow floatcmp exactly-zero MSE (bit-identical fields) is the documented +Inf PSNR case
 		return math.Inf(1)
 	}
-	return 20*math.Log10(hi-lo) - 10*math.Log10(mse)
+	lo, hi := orig.Range()
+	rng := hi - lo
+	if !(rng > 0) {
+		rng = 1 // constant (or empty) field: unit-range convention
+	}
+	return 20*math.Log10(rng) - 10*math.Log10(mse)
 }
 
-// CR returns the compression ratio size(original)/size(compressed).
+// CR returns the compression ratio size(original)/size(compressed), or 0 —
+// an explicit "undefined" sentinel, never ±Inf/NaN — when compressedBytes
+// is not positive.
 func CR(orig *field.Field, compressedBytes int) float64 {
+	if compressedBytes <= 0 {
+		return 0
+	}
 	return float64(orig.SizeBytes()) / float64(compressedBytes)
 }
 
 // Bitrate converts a compression ratio on float32 data into bits per value
-// (the x-axis of the paper's rate-distortion plots): 32 / CR.
-func Bitrate(cr float64) float64 { return 32 / cr }
+// (the x-axis of the paper's rate-distortion plots): 32 / CR. A
+// non-positive ratio (CR's "undefined" sentinel included) yields 0 rather
+// than ±Inf, mirroring CR's convention.
+func Bitrate(cr float64) float64 {
+	if !(cr > 0) {
+		return 0
+	}
+	return 32 / cr
+}

@@ -78,10 +78,16 @@ func ForChunksErr(n, workers int, fn func(lo, hi int) error) error {
 		workers = n
 	}
 	if workers <= 1 {
+		if done := beginDispatch("ForChunksErr", n, 1); done != nil {
+			defer done()
+		}
 		if n > 0 {
 			return callRange(fn, 0, n)
 		}
 		return nil
+	}
+	if done := beginDispatch("ForChunksErr", n, workers); done != nil {
+		defer done()
 	}
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -111,19 +117,29 @@ func ForChunksErr(n, workers int, fn func(lo, hi int) error) error {
 // recovered into *PanicError, the first failure stops workers from
 // claiming further chunks (in-flight chunks drain), all goroutines are
 // joined before returning, and the failure with the smallest iteration
-// index among those that ran is returned.
+// index among those that ran is returned. Like For, the pool is capped at
+// ceil(n/grain) so small loops never over-spawn.
 func ForErr(n, workers, grain int, fn func(i int) error) error {
 	workers = Workers(workers)
 	if grain < 1 {
 		grain = 1
 	}
+	if max := (n + grain - 1) / grain; workers > max {
+		workers = max
+	}
 	if workers <= 1 || n <= grain {
+		if done := beginDispatch("ForErr", n, 1); done != nil {
+			defer done()
+		}
 		for i := 0; i < n; i++ {
 			if err := call(fn, i); err != nil {
 				return err
 			}
 		}
 		return nil
+	}
+	if done := beginDispatch("ForErr", n, workers); done != nil {
+		defer done()
 	}
 	var next atomic.Int64
 	var fe firstErr

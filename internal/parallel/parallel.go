@@ -29,10 +29,16 @@ func ForChunks(n, workers int, fn func(lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		if done := beginDispatch("ForChunks", n, 1); done != nil {
+			defer done()
+		}
 		if n > 0 {
 			fn(0, n)
 		}
 		return
+	}
+	if done := beginDispatch("ForChunks", n, workers); done != nil {
+		defer done()
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -50,19 +56,30 @@ func ForChunks(n, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// For runs fn(i) for every i in [0, n) using `workers` goroutines with
-// dynamic chunked scheduling (chunk size grain). Use for loops whose
-// iterations have highly variable cost, e.g. streamline tracing.
+// For runs fn(i) for every i in [0, n) using up to `workers` goroutines
+// with dynamic chunked scheduling (chunk size grain). Use for loops whose
+// iterations have highly variable cost, e.g. streamline tracing. The pool
+// is capped at ceil(n/grain) — the number of chunks there are to claim —
+// so a small loop never launches workers that could only spin and exit.
 func For(n, workers, grain int, fn func(i int)) {
 	workers = Workers(workers)
 	if grain < 1 {
 		grain = 1
 	}
+	if max := (n + grain - 1) / grain; workers > max {
+		workers = max
+	}
 	if workers <= 1 || n <= grain {
+		if done := beginDispatch("For", n, 1); done != nil {
+			defer done()
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
+	}
+	if done := beginDispatch("For", n, workers); done != nil {
+		defer done()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup

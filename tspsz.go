@@ -38,6 +38,8 @@ import (
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
 	"tspsz/internal/integrate"
+	"tspsz/internal/obs"
+	"tspsz/internal/parallel"
 	"tspsz/internal/skeleton"
 	"tspsz/internal/streamerr"
 )
@@ -130,12 +132,47 @@ type Result = core.Result
 // Stats carries the counters Compress collects.
 type Stats = core.Stats
 
+// Collector gathers per-stage spans (with pprof "stage" labels) and atomic
+// counters across a compression or decompression. Attach one via
+// Options.Collector or the *Observed entry points; a nil Collector is valid
+// everywhere and costs nothing. Instrumentation never perturbs output:
+// archives are byte-identical with a collector attached or not.
+type Collector = obs.Collector
+
+// ObsSnapshot is a stable, JSON-serializable document of everything a
+// Collector gathered: stage spans plus named counters (see
+// Snapshot.WriteJSON and DESIGN.md §9 for the schema).
+type ObsSnapshot = obs.Snapshot
+
+// NewCollector returns a Collector whose span timestamps are monotonic
+// offsets from this call.
+func NewCollector() *Collector { return obs.New() }
+
+// ObserveDispatches installs c as the process-global observer of
+// internal worker-pool dispatches (loop count, pool size, busy time),
+// feeding the parallel_* counters. It returns an uninstall func. Intended
+// for profiling sessions where one observed operation runs at a time.
+func ObserveDispatches(c *Collector) (uninstall func()) {
+	if c == nil {
+		return func() {}
+	}
+	parallel.SetHook(c.Dispatch)
+	return func() { parallel.SetHook(nil) }
+}
+
 // Compress encodes f while preserving its topological skeleton.
 func Compress(f *Field, opts Options) (*Result, error) { return core.Compress(f, opts) }
 
 // Decompress reconstructs a field from a stream produced by Compress.
 // workers bounds parallelism; values < 1 mean GOMAXPROCS.
 func Decompress(data []byte, workers int) (*Field, error) { return core.Decompress(data, workers) }
+
+// DecompressObserved is Decompress with per-stage instrumentation recorded
+// into c. A nil c makes it identical to Decompress; the reconstruction is
+// identical either way.
+func DecompressObserved(data []byte, workers int, c *Collector) (*Field, error) {
+	return core.DecompressObserved(data, workers, c)
+}
 
 // SeqResult is the outcome of CompressSequence.
 type SeqResult = core.SeqResult
@@ -151,6 +188,13 @@ func CompressSequence(frames []*Field, opts Options) (*SeqResult, error) {
 // DecompressSequence reconstructs all frames of a CompressSequence stream.
 func DecompressSequence(data []byte, workers int) ([]*Field, error) {
 	return core.DecompressSequence(data, workers)
+}
+
+// DecompressSequenceObserved is DecompressSequence with per-stage
+// instrumentation recorded into c; each frame decode appears as a "frame"
+// span. A nil c makes it identical to DecompressSequence.
+func DecompressSequenceObserved(data []byte, workers int, c *Collector) ([]*Field, error) {
+	return core.DecompressSequenceObserved(data, workers, c)
 }
 
 // CPResult is the outcome of CompressCP.
