@@ -2,9 +2,14 @@
 // the numeric-robustness and parallelism invariants the Go compiler cannot
 // check: robust float comparisons near critical points, centralized
 // concurrency, deterministic encoder kernels, checked codec I/O errors,
-// no lossy narrowing in the error-bound derivation, and — via a
-// CFG-based taint analysis — no allocation sizes or slice indices taken
-// from the untrusted compressed stream without a dominating bound check.
+// no lossy narrowing in the error-bound derivation, no allocation sizes
+// or slice indices taken from the untrusted compressed stream without a
+// dominating bound check (an interprocedural taint analysis: per-function
+// summaries over a module-wide call graph carry taint through calls,
+// returns, and method dispatch, and report parameter-attributed findings
+// at the call site), and no writes to captured state inside parallel
+// worker closures unless they are provably disjoint across workers
+// (raceguard).
 //
 // Usage:
 //

@@ -23,11 +23,20 @@
 //	panicguard  — no bare parallel.For/ForChunks/ReduceRanges in the
 //	              decode-path packages; workers must dispatch through the
 //	              panic-containing *Err variants
+//	raceguard   — no write to captured state inside a parallel worker
+//	              closure unless it is provably disjoint across workers
+//	              (index derived from the worker's range parameters, or a
+//	              worker-private view/allocation)
 //
 // allocguard and indexguard are dataflow checks: a per-function CFG
 // (cfg.go) plus a forward taint analysis (taint.go) tracks values
 // decoded from the stream to allocation and indexing sinks, treating
 // dominating comparisons against trusted quantities as sanitizers.
+// Since PR6 the taint engine is interprocedural: a module-wide call
+// graph (callgraph.go) and per-function taint summaries (summary.go),
+// computed to a fixpoint over strongly connected components, let taint
+// flow through calls, returns, and method dispatch on concrete types,
+// and let in-callee validation sanitize caller-side values.
 //
 // A finding on a specific line can be suppressed with a trailing or
 // immediately preceding comment of the form
@@ -79,6 +88,7 @@ func AllChecks() []*Check {
 		allocguardCheck(),
 		indexguardCheck(),
 		panicguardCheck(),
+		raceguardCheck(),
 	}
 }
 
@@ -136,7 +146,13 @@ func Run(pkgs []*Package, opts Options) []Finding {
 		if out[i].Col != out[j].Col {
 			return out[i].Col < out[j].Col
 		}
-		return out[i].Check < out[j].Check
+		if out[i].Check != out[j].Check {
+			return out[i].Check < out[j].Check
+		}
+		// Full tiebreak keeps text and -json output byte-identical run
+		// to run even when one position carries two findings of one
+		// check (e.g. two summary-attributed sinks at one call site).
+		return out[i].Message < out[j].Message
 	})
 	return out
 }

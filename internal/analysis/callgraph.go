@@ -1,0 +1,224 @@
+package analysis
+
+// callgraph.go builds the module-wide call graph that turns the
+// per-function taint analysis of taint.go into an interprocedural one.
+// Nodes are the function and method declarations of every loaded package
+// (pointer identity on *types.Func works across packages because the
+// loader shares one *types.Package per import path); edges are direct
+// calls resolved through the type info, which covers package functions
+// and method dispatch on concrete types. Interface method calls and
+// calls through function values have no static callee and stay unknown —
+// their results are treated trusted, exactly the pre-interprocedural
+// behavior.
+//
+// Strongly connected components (Tarjan) give the evaluation order for
+// the summary fixpoint in summary.go: Tarjan emits an SCC only after
+// every SCC it calls into has been emitted, so summaries of callees are
+// final (or, within one SCC, converging) when a caller is summarized.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// funcNode is one declared function or method of the module.
+type funcNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	// params lists the taint-relevant inputs: the receiver first (when
+	// the declaration is a method), then the declared parameters.
+	params   []*types.Var
+	variadic bool
+
+	calls []*funcNode // deduplicated direct module-internal callees
+
+	sum *funcSummary // nil until summary.go computes it
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+}
+
+// name returns a diagnostic-friendly identifier such as
+// "huffman.ParseTable" or "cpsz.(*reader).readChunk".
+func (n *funcNode) name() string {
+	base := n.fn.Name()
+	if n.pkg.Types != nil {
+		base = n.pkg.Types.Name() + "." + base
+	}
+	if recv := n.recvType(); recv != "" {
+		if n.pkg.Types != nil {
+			return n.pkg.Types.Name() + ".(" + recv + ")." + n.fn.Name()
+		}
+		return "(" + recv + ")." + n.fn.Name()
+	}
+	return base
+}
+
+func (n *funcNode) recvType() string {
+	sig, ok := n.fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return p.Name() })
+}
+
+// buildCallGraph collects every FuncDecl with a body across pkgs and
+// resolves its direct module-internal call edges. The returned slice is
+// in deterministic source order (file name, then offset), which keeps
+// the summary fixpoint — and therefore any diagnostics derived from it —
+// independent of map iteration and loader wave order.
+func buildCallGraph(pkgs []*Package) (map[*types.Func]*funcNode, []*funcNode) {
+	byFunc := make(map[*types.Func]*funcNode)
+	var nodes []*funcNode
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{fn: fn, decl: fd, pkg: p}
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					if sig.Recv() != nil {
+						node.params = append(node.params, sig.Recv())
+					}
+					for i := 0; i < sig.Params().Len(); i++ {
+						node.params = append(node.params, sig.Params().At(i))
+					}
+					node.variadic = sig.Variadic()
+				}
+				byFunc[fn] = node
+				nodes = append(nodes, node)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		pi := nodes[i].pkg.Fset.Position(nodes[i].decl.Pos())
+		pj := nodes[j].pkg.Fset.Position(nodes[j].decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+
+	for _, node := range nodes {
+		seen := make(map[*funcNode]bool)
+		// Nested function literals are analyzed as their own functions
+		// (with their own engine runs), so calls inside them do not feed
+		// the enclosing declaration's summary and are skipped here.
+		inspectSkippingFuncLits(node.decl.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeOf(node.pkg.Info, call)
+			if callee == nil {
+				return
+			}
+			if target := byFunc[callee]; target != nil && !seen[target] {
+				seen[target] = true
+				node.calls = append(node.calls, target)
+			}
+		})
+	}
+	return byFunc, nodes
+}
+
+// inspectSkippingFuncLits walks n without descending into nested
+// function literals.
+func inspectSkippingFuncLits(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		fn(n)
+		return true
+	})
+}
+
+// sccOrder returns the strongly connected components of the call graph
+// in reverse topological order of the condensation: every component a
+// function calls into appears before the component containing the
+// function. Within a component, nodes keep their deterministic source
+// order.
+func sccOrder(nodes []*funcNode) [][]*funcNode {
+	for _, n := range nodes {
+		n.index, n.lowlink, n.onStack = 0, 0, false
+	}
+	var (
+		counter int
+		stack   []*funcNode
+		out     [][]*funcNode
+	)
+	// Iterative Tarjan: the recursion depth would otherwise scale with
+	// the longest call chain in the module.
+	type frame struct {
+		node *funcNode
+		next int
+	}
+	for _, root := range nodes {
+		if root.index != 0 {
+			continue
+		}
+		frames := []frame{{node: root}}
+		counter++
+		root.index, root.lowlink = counter, counter
+		root.onStack = true
+		stack = append(stack, root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(f.node.calls) {
+				callee := f.node.calls[f.next]
+				f.next++
+				switch {
+				case callee.index == 0:
+					counter++
+					callee.index, callee.lowlink = counter, counter
+					callee.onStack = true
+					stack = append(stack, callee)
+					frames = append(frames, frame{node: callee})
+				case callee.onStack:
+					if callee.index < f.node.lowlink {
+						f.node.lowlink = callee.index
+					}
+				}
+				continue
+			}
+			n := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if n.lowlink < parent.lowlink {
+					parent.lowlink = n.lowlink
+				}
+			}
+			if n.lowlink == n.index {
+				var comp []*funcNode
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					m.onStack = false
+					comp = append(comp, m)
+					if m == n {
+						break
+					}
+				}
+				// Restore deterministic source order within the component.
+				sort.Slice(comp, func(i, j int) bool { return comp[i].index < comp[j].index })
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}

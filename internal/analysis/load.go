@@ -60,6 +60,11 @@ type Module struct {
 	slots map[string]*pkgSlot // keyed by RelDir; fixed before type-checking
 	std   types.Importer
 	stdMu sync.Mutex // the stdlib source importer is not safe for concurrent use
+
+	// Interprocedural context (callgraph.go + summary.go), built once on
+	// first demand over the full loaded closure.
+	ipOnce sync.Once
+	ip     *interCtx
 }
 
 // stdImporter lazily constructs the shared stdlib source importer. The

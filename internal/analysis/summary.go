@@ -1,0 +1,510 @@
+package analysis
+
+// summary.go computes per-function taint summaries over the call graph
+// of callgraph.go, giving the dataflow engine of taint.go an
+// interprocedural view: taint survives calls, returns, and method
+// dispatch on concrete types instead of being laundered at every
+// function boundary.
+//
+// A summary answers four questions about a declared function:
+//
+//   - base: which results are tainted when every argument is clean —
+//     i.e. the function is itself a source (readCount(r) returning a
+//     stream-decoded value, a helper returning a flate.NewReader).
+//   - params[i].effects: if argument i arrives tainted (value, element,
+//     or unbounded-reader taint, chosen by the parameter's type), which
+//     results become tainted and whether the argument reaches an
+//     allocation or indexing sink inside the callee without a dominating
+//     bound — in which case the *call site* owns the obligation and is
+//     reported by allocguard/indexguard.
+//   - fills: which reference-typed parameters (and which fields, one
+//     level deep through pointer receivers) the callee writes untrusted
+//     stream data into — the binary.Read/io.ReadFull shape, so
+//     readInto(r, buf) taints the caller's buf.
+//   - params[i].validates: whether a nil error return proves the
+//     parameter was bounded on that path — the validateDims(nx, ny)
+//     idiom. Callers checking `if err := f(n); err != nil { return }`
+//     get n sanitized on the surviving edge.
+//
+// Summaries are computed by running the engine once per scenario: a base
+// run with clean parameters, then one run per (parameter, seed-bit).
+// Sinks that fire in a parameter scenario but not in the base run are
+// attributed to that parameter. Summaries of callees are consulted
+// during each run, so attribution is transitive: if f forwards its
+// parameter to g and g allocates unguarded, f's parameter is a sink too.
+//
+// Evaluation order is reverse-topological over SCCs of the call graph;
+// within an SCC (mutual recursion) the scenario runs iterate to a
+// fixpoint. All facts except `validates` grow monotonically, so the
+// iteration terminates; `validates` is non-monotone (more taint can
+// un-validate) and is therefore computed in a final pass per SCC, after
+// the taint facts have converged, with same-SCC callees conservatively
+// treated as non-validating.
+//
+// Known limits, documented in DESIGN.md §7: calls through interfaces and
+// function values stay unknown (results trusted), field sensitivity is
+// one level deep, value-struct parameters do not propagate field writes
+// back to callers, and the validator heuristic trusts that non-nil-
+// literal error returns are in fact non-nil (the `return err` inside an
+// `err != nil` branch idiom).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// interCtx is the module-wide interprocedural context shared by every
+// per-package taint run.
+type interCtx struct {
+	funcs map[*types.Func]*funcNode
+	nodes []*funcNode
+
+	cfgs map[*funcNode]*cfgGraph
+}
+
+// interContext builds (once) the call graph and function summaries over
+// every package the loader has materialized — the full dependency
+// closure, not just the matched patterns, so helpers in dependency
+// packages carry summaries too.
+func (m *Module) interContext() *interCtx {
+	m.ipOnce.Do(func() {
+		rels := make([]string, 0, len(m.slots))
+		for rel := range m.slots {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		var pkgs []*Package
+		for _, rel := range rels {
+			if s := m.slots[rel]; s != nil && s.pkg != nil {
+				pkgs = append(pkgs, s.pkg)
+			}
+		}
+		m.ip = newInterContext(pkgs)
+	})
+	return m.ip
+}
+
+func newInterContext(pkgs []*Package) *interCtx {
+	ip := &interCtx{cfgs: make(map[*funcNode]*cfgGraph)}
+	ip.funcs, ip.nodes = buildCallGraph(pkgs)
+	computeSummaries(ip)
+	return ip
+}
+
+// nodeFor resolves a callee to its module funcNode, nil when the callee
+// is unknown or external.
+func (ip *interCtx) nodeFor(fn *types.Func) *funcNode {
+	if ip == nil || fn == nil {
+		return nil
+	}
+	return ip.funcs[fn]
+}
+
+func (ip *interCtx) cfgOf(n *funcNode) *cfgGraph {
+	g := ip.cfgs[n]
+	if g == nil {
+		g = buildCFG(n.decl.Body)
+		ip.cfgs[n] = g
+	}
+	return g
+}
+
+// ---------------------------------------------------------------------------
+// Summary representation
+
+// fillEffect records that the callee writes untrusted data into a
+// parameter: the caller's argument gains bits after the call.
+type fillEffect struct {
+	param int
+	field types.Object // nil: the argument's pointee/elements as a whole
+	bits  taintBits
+}
+
+// paramEffect is the consequence of one taint bit arriving on one
+// parameter.
+type paramEffect struct {
+	seed    taintBits   // the single bit seeded in the scenario run
+	results []taintBits // per-result taint under that scenario
+	alloc   bool        // the bit reaches an allocation sink unguarded
+	index   bool        // the bit reaches an index/slice-bound sink unguarded
+}
+
+type paramSummary struct {
+	effects   []paramEffect
+	validates bool // nil error return implies this parameter was bounded
+}
+
+type funcSummary struct {
+	base   []taintBits // per-result taint with all parameters clean
+	fills  []fillEffect
+	params []paramSummary
+}
+
+func bitsEqual(a, b []taintBits) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *funcSummary) equal(o *funcSummary) bool {
+	if o == nil {
+		return false
+	}
+	if !bitsEqual(s.base, o.base) || len(s.fills) != len(o.fills) || len(s.params) != len(o.params) {
+		return false
+	}
+	for i := range s.fills {
+		if s.fills[i] != o.fills[i] {
+			return false
+		}
+	}
+	for i := range s.params {
+		a, b := s.params[i], o.params[i]
+		if a.validates != b.validates || len(a.effects) != len(b.effects) {
+			return false
+		}
+		for j := range a.effects {
+			ea, eb := a.effects[j], b.effects[j]
+			if ea.seed != eb.seed || ea.alloc != eb.alloc || ea.index != eb.index || !bitsEqual(ea.results, eb.results) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// seedBitsFor chooses which taint bits are worth testing on a parameter
+// of the given type: scalars carry value taint, aggregates element
+// taint, and io.Reader-shaped interfaces the unbounded-decompressor bit
+// (so a helper that io.ReadAlls its reader argument flags call sites
+// that hand it a raw flate reader).
+func seedBitsFor(t types.Type) []taintBits {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&(types.IsInteger|types.IsFloat|types.IsComplex|types.IsString) != 0 {
+			return []taintBits{taintVal}
+		}
+	case *types.Slice, *types.Array, *types.Map, *types.Struct:
+		return []taintBits{taintElem}
+	case *types.Pointer:
+		if isAggregate(u.Elem()) {
+			return []taintBits{taintElem}
+		}
+		return []taintBits{taintVal}
+	case *types.Interface:
+		if hasReaderReadMethod(t) {
+			return []taintBits{taintReader}
+		}
+	}
+	return nil
+}
+
+// seedStateFor builds the scenario entry state for one parameter. For
+// (pointers to) structs the element taint is materialized as per-field
+// refs, so a bound check inside the callee (`if d.n > max`) sanitizes
+// exactly that field; the engine's field aggregation keeps the variable
+// reading as elem-tainted when passed on whole.
+func seedStateFor(pv *types.Var, seed taintBits) taintState {
+	st := taintState{}
+	if seed == taintElem {
+		if stru, ok := structTypeOf(pv.Type()); ok {
+			ref := taintRef{obj: pv}
+			for i := 0; i < stru.NumFields(); i++ {
+				f := stru.Field(i)
+				bits := taintBits(taintVal)
+				if isAggregate(f.Type()) {
+					bits = taintElem
+				}
+				st[taintRef{obj: ref.obj, field: f}] = bits
+			}
+			if len(st) > 0 {
+				return st
+			}
+		}
+	}
+	st[taintRef{obj: pv}] = seed
+	return st
+}
+
+// hasReaderReadMethod reports whether t's method set contains
+// Read([]byte) (int, error).
+func hasReaderReadMethod(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Read")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && isReaderReadSig(sig)
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint driver
+
+func computeSummaries(ip *interCtx) {
+	for _, comp := range sccOrder(ip.nodes) {
+		// Taint facts are monotone: each re-summarization can only add
+		// result bits and sink flags, so iteration height is bounded by
+		// the total number of facts; the cap is a defensive backstop.
+		for round := 0; round < 2+4*len(comp); round++ {
+			changed := false
+			for _, n := range comp {
+				ns := summarize(n, ip)
+				if n.sum == nil || !ns.equal(n.sum) {
+					n.sum = ns
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		for _, n := range comp {
+			computeValidates(n, ip)
+		}
+	}
+}
+
+type sinkHit struct {
+	check string
+	pos   token.Pos
+}
+
+// scenarioRun executes one engine pass over node's body with the given
+// seed state, recording sink hits and per-result taint at returns. The
+// returned union state aggregates every settled block-out state and
+// feeds the fill extraction.
+func scenarioRun(node *funcNode, ip *interCtx, seed taintState) (hits map[sinkHit]bool, results []taintBits, union taintState) {
+	nres := 0
+	sig, _ := node.fn.Type().(*types.Signature)
+	if sig != nil {
+		nres = sig.Results().Len()
+	}
+	hits = make(map[sinkHit]bool)
+	results = make([]taintBits, nres)
+	namedRes := namedResultVars(node)
+	var e *taintEngine
+	e = &taintEngine{
+		p:         node.pkg,
+		ip:        ip,
+		validBind: make(map[types.Object][]taintRef),
+		emit: func(check string, n ast.Node, msg string) {
+			hits[sinkHit{check, n.Pos()}] = true
+		},
+		onReturn: func(st taintState, ret *ast.ReturnStmt) {
+			collectReturnBits(e, st, ret, namedRes, results)
+		},
+	}
+	union = e.runCFG(ip.cfgOf(node), seed)
+	return hits, results, union
+}
+
+// namedResultVars returns the declared named result objects, index-
+// aligned with the signature results, or nil when results are unnamed.
+func namedResultVars(node *funcNode) []types.Object {
+	ft := node.decl.Type
+	if ft.Results == nil {
+		return nil
+	}
+	var out []types.Object
+	named := false
+	for _, f := range ft.Results.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, id := range f.Names {
+			named = true
+			out = append(out, node.pkg.Info.Defs[id])
+		}
+	}
+	if !named {
+		return nil
+	}
+	return out
+}
+
+// collectReturnBits joins the taint of one return statement's results
+// into the per-result accumulator.
+func collectReturnBits(e *taintEngine, st taintState, ret *ast.ReturnStmt, namedRes []types.Object, results []taintBits) {
+	switch {
+	case len(ret.Results) == len(results):
+		for i, x := range ret.Results {
+			results[i] |= e.evalExpr(st, x)
+		}
+	case len(ret.Results) == 0 && namedRes != nil && len(namedRes) == len(results):
+		for i, obj := range namedRes {
+			if obj != nil {
+				results[i] |= st[taintRef{obj: obj}]
+			}
+		}
+	case len(ret.Results) == 1 && len(results) > 1:
+		// return f(): pass each result of the inner call through.
+		for i := range results {
+			results[i] |= e.callResultBits(st, ret.Results[0], i)
+		}
+	}
+}
+
+// summarize computes one function's summary under the current (possibly
+// still converging) summaries of its callees.
+func summarize(node *funcNode, ip *interCtx) *funcSummary {
+	sum := &funcSummary{params: make([]paramSummary, len(node.params))}
+	if prev := node.sum; prev != nil {
+		// Keep validates from the dedicated pass across re-summarization
+		// (relevant only if a later SCC round re-enters; harmless otherwise).
+		for i := range sum.params {
+			sum.params[i].validates = prev.params[i].validates
+		}
+	}
+
+	baseHits, baseRes, union := scenarioRun(node, ip, nil)
+	sum.base = baseRes
+	sum.fills = extractFills(node, union)
+
+	for i, pv := range node.params {
+		for _, seed := range seedBitsFor(pv.Type()) {
+			hits, res, _ := scenarioRun(node, ip, seedStateFor(pv, seed))
+			eff := paramEffect{seed: seed, results: res}
+			for h := range hits {
+				if baseHits[h] {
+					continue
+				}
+				switch h.check {
+				case "allocguard":
+					eff.alloc = true
+				case "indexguard":
+					eff.index = true
+				}
+			}
+			if eff.alloc || eff.index || !bitsEqual(res, baseRes) {
+				sum.params[i].effects = append(sum.params[i].effects, eff)
+			}
+		}
+	}
+	return sum
+}
+
+// extractFills finds parameters whose pointee/elements the callee
+// taints. Only reference-shaped parameters qualify: writes through a
+// value struct or a rebound scalar stay local to the callee.
+func extractFills(node *funcNode, union taintState) []fillEffect {
+	paramIdx := make(map[types.Object]int, len(node.params))
+	for i, pv := range node.params {
+		paramIdx[pv] = i
+	}
+	var fills []fillEffect
+	for ref, bits := range union {
+		i, ok := paramIdx[ref.obj]
+		if !ok || bits == 0 {
+			continue
+		}
+		pt := node.params[i].Type()
+		if ref.field != nil {
+			// Field writes propagate to the caller only through a pointer.
+			if _, ok := pt.Underlying().(*types.Pointer); ok {
+				fills = append(fills, fillEffect{param: i, field: ref.field, bits: bits})
+			}
+			continue
+		}
+		switch pt.Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map:
+			fills = append(fills, fillEffect{param: i, field: nil, bits: bits})
+		}
+	}
+	sort.Slice(fills, func(a, b int) bool {
+		fa, fb := fills[a], fills[b]
+		if fa.param != fb.param {
+			return fa.param < fb.param
+		}
+		pa, pb := token.NoPos, token.NoPos
+		if fa.field != nil {
+			pa = fa.field.Pos()
+		}
+		if fb.field != nil {
+			pb = fb.field.Pos()
+		}
+		return pa < pb
+	})
+	return fills
+}
+
+// computeValidates fills in the validator flags of node.sum: parameter i
+// validates when the function's last error result, returned as a nil
+// literal (or via a naked return), proves on every such path that the
+// parameter's value taint was removed by a dominating bound — and at
+// least one such success return exists.
+func computeValidates(node *funcNode, ip *interCtx) {
+	if node.sum == nil {
+		return
+	}
+	sig, _ := node.fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	errIdx := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return
+	}
+	nres := sig.Results().Len()
+	namedRes := namedResultVars(node)
+	for i, pv := range node.params {
+		seeds := seedBitsFor(pv.Type())
+		if len(seeds) != 1 || seeds[0] != taintVal {
+			continue
+		}
+		ref := taintRef{obj: pv}
+		sawNil, dirty := false, false
+		var e *taintEngine
+		e = &taintEngine{
+			p:         node.pkg,
+			ip:        ip,
+			validBind: make(map[types.Object][]taintRef),
+			emit:      func(string, ast.Node, string) {},
+			onReturn: func(st taintState, ret *ast.ReturnStmt) {
+				switch {
+				case len(ret.Results) == nres:
+					if e.isNilExpr(ret.Results[errIdx]) {
+						sawNil = true
+						if st[ref]&taintVal != 0 {
+							dirty = true
+						}
+					}
+				case len(ret.Results) == 0 && namedRes != nil:
+					// Naked return: the named error may be its nil zero
+					// value, so this counts as a potential success path.
+					sawNil = true
+					if st[ref]&taintVal != 0 {
+						dirty = true
+					}
+				default:
+					// return f(): the error's provenance is opaque.
+					dirty = true
+				}
+			},
+		}
+		e.runCFG(ip.cfgOf(node), taintState{ref: taintVal})
+		node.sum.params[i].validates = sawNil && !dirty
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -115,3 +115,39 @@ func Mixed(data []byte) []byte {
 		t.Fatalf("got %v, want exactly the unknown-name report", got)
 	}
 }
+
+// TestSuppressUnknownCheckListsAllNames: the unknown-name diagnostic must
+// enumerate every valid check name (including raceguard, added in PR 6),
+// so the fix for a typoed directive is always on screen.
+func TestSuppressUnknownCheckListsAllNames(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/names.go": `package dec
+
+import "encoding/binary"
+
+func Oops(data []byte) []byte {
+	n := binary.LittleEndian.Uint16(data)
+	//lint:allow raceguardd typo
+	return make([]byte, n)
+}
+`,
+	})
+	got := runCheck(t, dir, "allocguard")
+	var msg string
+	for _, f := range got {
+		if f.Check == "allow" {
+			msg = f.Message
+		}
+	}
+	if msg == "" {
+		t.Fatalf("no allow finding in %v", got)
+	}
+	for _, name := range CheckNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("diagnostic %q does not list check %q", msg, name)
+		}
+	}
+	if len(CheckNames()) != 9 || CheckNames()[8] != "raceguard" {
+		t.Errorf("CheckNames() = %v, want 9 names ending in raceguard", CheckNames())
+	}
+}

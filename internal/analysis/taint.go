@@ -28,14 +28,25 @@ package analysis
 // edge of `a && b` refines by both, the false edge of `a || b` refines
 // by the negation of both.
 //
-// Known intra-procedural limits, documented in DESIGN.md §7: calls to
-// module functions launder taint (results are treated trusted, so a
-// helper that both reads and allocates must be guarded inside itself);
-// parameters are trusted (callers are expected to validate before
-// passing); struct fields are tracked one level deep (x.f, not x.f.g);
-// aliasing through pointers stored in other structures is invisible.
+// Since PR6 the engine is interprocedural: calls to module functions
+// consult the per-function summaries of summary.go (computed to a
+// fixpoint over call-graph SCCs by callgraph.go), so a helper that
+// returns a stream-decoded value is a source at its call sites, a
+// tainted argument reaching an unguarded allocation inside a callee is
+// reported at the call site, binary.Read-style helpers fill their
+// caller's buffers, and `if err := validate(n); err != nil` sanitizes n
+// on the nil edge. Within one function the engine still runs with clean
+// parameters — obligations attached to parameters belong to callers.
+//
+// Remaining limits, documented in DESIGN.md §7: calls through
+// interfaces and function values stay unknown (results trusted); struct
+// fields are tracked one level deep (x.f, not x.f.g); sinks inside
+// nested closures do not attribute to the enclosing function's
+// parameters; aliasing through pointers stored in other structures is
+// invisible.
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -76,15 +87,16 @@ type taintResults struct {
 
 func (p *Package) taintFindings() *taintResults {
 	p.taintOnce.Do(func() {
+		ip := p.mod.interContext()
 		tr := &taintResults{}
 		inspectFiles(p, func(_ *ast.File, n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					runTaint(p, fn.Body, tr)
+					runTaint(p, ip, fn.Body, tr)
 				}
 			case *ast.FuncLit:
-				runTaint(p, fn.Body, tr)
+				runTaint(p, ip, fn.Body, tr)
 			}
 			return true
 		})
@@ -93,20 +105,52 @@ func (p *Package) taintFindings() *taintResults {
 	return p.taintRes
 }
 
-// taintEngine analyzes one function body.
+// taintEngine analyzes one function body. The same engine serves two
+// masters: the normal per-package runs that produce findings, and the
+// scenario runs of summary.go, which differ only in the seed state and
+// in what the emit/onReturn hooks record.
 type taintEngine struct {
 	p  *Package
-	tr *taintResults
+	ip *interCtx
+
+	// emit receives every sink hit ("allocguard" or "indexguard").
+	emit func(check string, n ast.Node, msg string)
+	// onReturn, when set, observes the settled state at each return.
+	onReturn func(st taintState, ret *ast.ReturnStmt)
+	// validBind maps an error variable to the argument refs a validator
+	// call vouched for: `err := checkDims(nx, ny)` binds err -> {nx, ny}
+	// when checkDims' summary says a nil error proves the bound.
+	validBind map[types.Object][]taintRef
 }
 
-func runTaint(p *Package, body *ast.BlockStmt, tr *taintResults) {
-	e := &taintEngine{p: p, tr: tr}
-	g := buildCFG(body)
+func runTaint(p *Package, ip *interCtx, body *ast.BlockStmt, tr *taintResults) {
+	e := &taintEngine{p: p, ip: ip, validBind: make(map[types.Object][]taintRef)}
+	e.emit = func(check string, n ast.Node, msg string) {
+		dst := &tr.alloc
+		if check == "indexguard" {
+			dst = &tr.index
+		}
+		f := p.finding(check, n, msg)
+		// The sink pass visits each block once, but dedup defensively so a
+		// node reachable through two expr lists cannot double-report.
+		for _, prev := range *dst {
+			if prev.File == f.File && prev.Line == f.Line && prev.Col == f.Col && prev.Message == f.Message {
+				return
+			}
+		}
+		*dst = append(*dst, f)
+	}
+	e.runCFG(buildCFG(body), nil)
+}
 
+// runCFG drives the dataflow over g starting from seed (nil for a clean
+// entry state) and returns the union of every settled block-out state,
+// which summary.go mines for parameter fills.
+func (e *taintEngine) runCFG(g *cfgGraph, seed taintState) taintState {
 	// Fixpoint: in[b] grows monotonically (union join); edge refinement
 	// only removes facts relative to the predecessor's out state, so the
 	// whole transfer is monotone and terminates.
-	in := map[*cfgBlock]taintState{g.entry: {}}
+	in := map[*cfgBlock]taintState{g.entry: cloneState(seed)}
 	work := []*cfgBlock{g.entry}
 	for len(work) > 0 {
 		b := work[len(work)-1]
@@ -125,6 +169,7 @@ func runTaint(p *Package, body *ast.BlockStmt, tr *taintResults) {
 
 	// Sink pass with the settled states. Blocks absent from `in` are
 	// unreachable and carry no obligations.
+	union := taintState{}
 	for _, b := range g.blocks {
 		st, ok := in[b]
 		if !ok {
@@ -132,10 +177,17 @@ func runTaint(p *Package, body *ast.BlockStmt, tr *taintResults) {
 		}
 		st = cloneState(st)
 		for _, n := range b.nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok && e.onReturn != nil {
+				e.onReturn(st, ret)
+			}
 			e.scanSinks(st, n)
 			e.apply(st, n)
 		}
+		for k, v := range st {
+			union[k] |= v
+		}
 	}
+	return union
 }
 
 func (e *taintEngine) joinInto(in map[*cfgBlock]taintState, b *cfgBlock, s taintState) bool {
@@ -290,6 +342,9 @@ func (e *taintEngine) applyAssign(state taintState, n *ast.AssignStmt) {
 		for i, lhs := range n.Lhs {
 			e.assignTo(state, lhs, e.callResultBits(state, n.Rhs[0], i))
 		}
+		if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+			e.bindValidator(state, n.Lhs, call)
+		}
 		return
 	}
 	for i, lhs := range n.Lhs {
@@ -307,6 +362,9 @@ func (e *taintEngine) applyAssign(state taintState, n *ast.AssignStmt) {
 			}
 		}
 		e.assignTo(state, lhs, bits)
+		if call, ok := unparen(n.Rhs[i]).(*ast.CallExpr); ok {
+			e.bindValidator(state, []ast.Expr{lhs}, call)
+		}
 	}
 }
 
@@ -386,6 +444,8 @@ func (e *taintEngine) assignTo(state taintState, lhs ast.Expr, bits taintBits) {
 		if obj == nil {
 			return
 		}
+		// Reassignment invalidates any validator vouching for this var.
+		delete(e.validBind, obj)
 		ref := taintRef{obj: obj}
 		if bits == 0 {
 			delete(state, ref)
@@ -466,6 +526,18 @@ func (e *taintEngine) resolveRef(x ast.Expr) (taintRef, bool) {
 	return taintRef{}, false
 }
 
+// hasTaintedField reports whether any tracked field ref of obj carries
+// taint, so a struct read as a whole still counts as elem-tainted when
+// only per-field refs are materialized.
+func (e *taintEngine) hasTaintedField(state taintState, obj types.Object) bool {
+	for ref, bits := range state {
+		if ref.obj == obj && ref.field != nil && bits != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func unparen(x ast.Expr) ast.Expr {
 	for {
 		p, ok := x.(*ast.ParenExpr)
@@ -483,11 +555,30 @@ func (e *taintEngine) evalExpr(state taintState, x ast.Expr) taintBits {
 		return e.evalExpr(state, x.X)
 	case *ast.Ident:
 		if ref, ok := e.resolveRef(x); ok {
-			return state[ref]
+			b := state[ref]
+			// A struct variable whose taint lives in per-field refs still
+			// carries its contents when passed around whole.
+			if b&taintElem == 0 && e.hasTaintedField(state, ref.obj) {
+				b |= taintElem
+			}
+			return b
 		}
 	case *ast.SelectorExpr:
 		if ref, ok := e.resolveRef(x); ok {
-			return state[ref]
+			if b := state[ref]; b != 0 {
+				return b
+			}
+			// Field of an elem-tainted base (v := helper(); v.n): inherit
+			// by field shape. Keyed on the base ref's own bits — not the
+			// aggregated view — so sanitizing one field does not resurrect
+			// its taint through the siblings.
+			if bref, ok := e.resolveRef(x.X); ok && state[bref]&taintElem != 0 {
+				if isAggregate(e.p.Info.TypeOf(x)) {
+					return taintElem
+				}
+				return taintVal
+			}
+			return 0
 		}
 		// Unresolvable base (call().f, a.b.c): pass the base's bits
 		// through so elem taint survives one more level.
@@ -604,9 +695,250 @@ func (e *taintEngine) callBits(state taintState, call *ast.CallExpr) []taintBits
 			}
 		}
 	}
-	// Everything else — including io.LimitReader and module-internal
-	// helpers — returns trusted results (intra-procedural limit).
+	// Module-internal helpers: consult the interprocedural summary so a
+	// readCount(r)-style source taints its result at the call site.
+	if node := e.ip.nodeFor(fn); node != nil && node.sum != nil {
+		return e.summaryCallBits(state, call, node)
+	}
+	// Everything else — io.LimitReader, externals, interface methods,
+	// func values — returns trusted results.
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural summaries at call sites
+
+// callArgsFor aligns a call's argument expressions with node.params
+// (receiver first). A nil entry means the parameter has no single
+// argument expression; for a spread variadic tail the collected
+// expressions come back separately.
+func (e *taintEngine) callArgsFor(call *ast.CallExpr, node *funcNode) (args []ast.Expr, tail []ast.Expr, ok bool) {
+	sig, _ := node.fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil, nil, false
+	}
+	if sig.Recv() != nil {
+		sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+		if !isSel {
+			return nil, nil, false // method expression: T.M(recv, ...)
+		}
+		args = append(args, sel.X)
+	}
+	nfixed := len(node.params) - len(args)
+	if node.variadic {
+		nfixed--
+	}
+	if nfixed < 0 || len(call.Args) < nfixed {
+		return nil, nil, false // g(f()) multi-value forwarding, or malformed
+	}
+	for i := 0; i < nfixed; i++ {
+		args = append(args, call.Args[i])
+	}
+	if node.variadic {
+		rest := call.Args[nfixed:]
+		if call.Ellipsis != token.NoPos && len(rest) == 1 {
+			args = append(args, rest[0])
+		} else {
+			args = append(args, nil)
+			tail = rest
+		}
+	}
+	return args, tail, true
+}
+
+// summaryArgBits evaluates the taint arriving on parameter i. A spread
+// variadic tail folds its elements: a tainted scalar element makes the
+// implicit slice elem-tainted.
+func (e *taintEngine) summaryArgBits(state taintState, args, tail []ast.Expr, i int) taintBits {
+	if i < len(args) && args[i] != nil {
+		return e.evalExpr(state, args[i])
+	}
+	var out taintBits
+	for _, a := range tail {
+		b := e.evalExpr(state, a)
+		out |= b & (taintElem | taintReader)
+		if b&taintVal != 0 {
+			out |= taintElem
+		}
+	}
+	return out
+}
+
+// summaryCallBits computes per-result taint of a call to a summarized
+// module function: the callee's own source bits plus the effect of every
+// tainted argument.
+func (e *taintEngine) summaryCallBits(state taintState, call *ast.CallExpr, node *funcNode) []taintBits {
+	out := append([]taintBits(nil), node.sum.base...)
+	args, tail, ok := e.callArgsFor(call, node)
+	if !ok {
+		return out
+	}
+	for i := range node.params {
+		effects := node.sum.params[i].effects
+		if len(effects) == 0 {
+			continue
+		}
+		ab := e.summaryArgBits(state, args, tail, i)
+		if ab == 0 {
+			continue
+		}
+		for _, eff := range effects {
+			if ab&eff.seed == 0 {
+				continue
+			}
+			for r, b := range eff.results {
+				if r < len(out) {
+					out[r] |= b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applySummaryFills taints the caller-side locations a callee writes
+// untrusted data into (the readInto(r, buf) / binary.Read-via-helper
+// shape).
+func (e *taintEngine) applySummaryFills(state taintState, call *ast.CallExpr, fn *types.Func) {
+	node := e.ip.nodeFor(fn)
+	if node == nil || node.sum == nil || len(node.sum.fills) == 0 {
+		return
+	}
+	args, _, ok := e.callArgsFor(call, node)
+	if !ok {
+		return
+	}
+	for _, fill := range node.sum.fills {
+		if fill.param >= len(args) || args[fill.param] == nil {
+			continue
+		}
+		x := unparen(args[fill.param])
+		if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			x = u.X // &hdr passed to a *T parameter: the fill lands on hdr
+		}
+		ref, ok := e.resolveRef(x)
+		if !ok {
+			continue
+		}
+		if fill.field != nil {
+			if ref.field != nil {
+				continue // would be two selectors deep: out of model
+			}
+			ref = taintRef{obj: ref.obj, field: fill.field}
+		}
+		state[ref] |= fill.bits
+	}
+}
+
+// scanSummarySinks reports, at the call site, arguments whose taint
+// reaches an allocation or indexing sink inside the callee without a
+// dominating bound — the obligation the caller failed to discharge.
+func (e *taintEngine) scanSummarySinks(state taintState, call *ast.CallExpr, fn *types.Func) {
+	node := e.ip.nodeFor(fn)
+	if node == nil || node.sum == nil {
+		return
+	}
+	args, tail, ok := e.callArgsFor(call, node)
+	if !ok {
+		return
+	}
+	for i := range node.params {
+		effects := node.sum.params[i].effects
+		if len(effects) == 0 {
+			continue
+		}
+		ab := e.summaryArgBits(state, args, tail, i)
+		if ab == 0 {
+			continue
+		}
+		at := ast.Node(call)
+		if i < len(args) && args[i] != nil {
+			at = args[i]
+		}
+		pname := e.paramDisplayName(node, i)
+		for _, eff := range effects {
+			if ab&eff.seed == 0 {
+				continue
+			}
+			if eff.alloc {
+				if eff.seed == taintReader {
+					e.emit("allocguard", at, fmt.Sprintf(
+						"unbounded decompressor reader passed to %s (%s), which reads it with no io.LimitReader cap", node.name(), pname))
+				} else {
+					e.emit("allocguard", at, fmt.Sprintf(
+						"untrusted stream value passed to %s (%s), which sizes an allocation with no dominating bound check", node.name(), pname))
+				}
+			}
+			if eff.index {
+				e.emit("indexguard", at, fmt.Sprintf(
+					"untrusted stream value passed to %s (%s), which indexes memory with no dominating range check", node.name(), pname))
+			}
+		}
+	}
+}
+
+func (e *taintEngine) paramDisplayName(node *funcNode, i int) string {
+	sig, _ := node.fn.Type().(*types.Signature)
+	kind := "param"
+	if sig != nil && sig.Recv() != nil && i == 0 {
+		kind = "receiver"
+	}
+	if name := node.params[i].Name(); name != "" && name != "_" {
+		return kind + " " + name
+	}
+	return fmt.Sprintf("%s #%d", kind, i)
+}
+
+// bindValidator records, at `err := f(n)` sites, which tainted argument
+// refs a later `err == nil` test vouches for.
+func (e *taintEngine) bindValidator(state taintState, lhs []ast.Expr, call *ast.CallExpr) {
+	node := e.ip.nodeFor(calleeOf(e.p.Info, call))
+	if node == nil || node.sum == nil {
+		return
+	}
+	sig, _ := node.fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	errIdx := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 || errIdx >= len(lhs) {
+		return
+	}
+	id, ok := unparen(lhs[errIdx]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := e.objectOf(id)
+	if obj == nil {
+		return
+	}
+	if refs := e.validatedArgRefs(state, call, node); len(refs) > 0 {
+		e.validBind[obj] = refs
+	}
+}
+
+// validatedArgRefs resolves the currently tainted argument refs that the
+// callee's validator parameters vouch for.
+func (e *taintEngine) validatedArgRefs(state taintState, call *ast.CallExpr, node *funcNode) []taintRef {
+	args, _, ok := e.callArgsFor(call, node)
+	if !ok {
+		return nil
+	}
+	var refs []taintRef
+	for i := range node.params {
+		if !node.sum.params[i].validates || i >= len(args) || args[i] == nil {
+			continue
+		}
+		if ref, ok := e.resolveRef(args[i]); ok && state[ref]&taintVal != 0 {
+			refs = append(refs, ref)
+		}
+	}
+	return refs
 }
 
 func (e *taintEngine) builtinBits(state taintState, name string, call *ast.CallExpr) []taintBits {
@@ -683,6 +1015,7 @@ func (e *taintEngine) applyCallEffects(state taintState, x ast.Expr) {
 				name == "Read" && isReaderReadSig(sig) && len(call.Args) == 1 {
 				e.taintBuffer(state, call.Args[0])
 			}
+			e.applySummaryFills(state, call, fn)
 		}
 		return true
 	})
@@ -835,6 +1168,7 @@ func (e *taintEngine) refineCond(st taintState, cond ast.Expr, neg bool) taintSt
 					return e.sanitizeExpr(st, cond.Y)
 				}
 			case token.EQL: // pinned to the other side
+				st = e.sanitizeValidated(st, cond.X, cond.Y)
 				if e.evalExpr(st, cond.Y)&taintVal == 0 {
 					st = e.sanitizeExpr(st, cond.X)
 				}
@@ -846,6 +1180,56 @@ func (e *taintEngine) refineCond(st taintState, cond ast.Expr, neg bool) taintSt
 		}
 	}
 	return st
+}
+
+// sanitizeValidated handles the nil edge of `err == nil` (and the
+// inline `f(n) == nil` form): refs a validator summary vouches for lose
+// their value taint.
+func (e *taintEngine) sanitizeValidated(st taintState, x, y ast.Expr) taintState {
+	var other ast.Expr
+	switch {
+	case e.isNilExpr(y):
+		other = x
+	case e.isNilExpr(x):
+		other = y
+	default:
+		return st
+	}
+	var refs []taintRef
+	switch o := unparen(other).(type) {
+	case *ast.Ident:
+		if obj := e.objectOf(o); obj != nil {
+			refs = e.validBind[obj]
+		}
+	case *ast.CallExpr:
+		if node := e.ip.nodeFor(calleeOf(e.p.Info, o)); node != nil && node.sum != nil {
+			refs = e.validatedArgRefs(st, o, node)
+		}
+	}
+	out := st
+	copied := false
+	for _, ref := range refs {
+		bits, ok := out[ref]
+		if !ok || bits&taintVal == 0 {
+			continue
+		}
+		if !copied {
+			out = cloneState(out)
+			copied = true
+		}
+		if bits &= ^taintVal; bits == 0 {
+			delete(out, ref)
+		} else {
+			out[ref] = bits
+		}
+	}
+	return out
+}
+
+// isNilExpr reports whether x is the predeclared nil.
+func (e *taintEngine) isNilExpr(x ast.Expr) bool {
+	tv, ok := e.p.Info.Types[x]
+	return ok && tv.IsNil()
 }
 
 func negateCmp(op token.Token) token.Token {
@@ -897,6 +1281,28 @@ func (e *taintEngine) sanitizeExpr(st taintState, x ast.Expr) taintState {
 	copied := false
 	for _, ref := range refs {
 		bits, ok := out[ref]
+		if !ok && ref.field != nil {
+			// Field of an elem-tainted base (v := helper(); if v.n > max):
+			// materialize the per-field view so this check sanitizes
+			// exactly one field while the siblings stay tainted. The base
+			// keeps reading as elem-tainted through field aggregation.
+			base := taintRef{obj: ref.obj}
+			if out[base]&taintElem != 0 {
+				if stru, isStruct := structTypeOf(ref.obj.Type()); isStruct {
+					if !copied {
+						out = cloneState(out)
+						copied = true
+					}
+					e.taintStructFields(out, base, stru)
+					if b := out[base] &^ taintElem; b == 0 {
+						delete(out, base)
+					} else {
+						out[base] = b
+					}
+					bits, ok = out[ref], true
+				}
+			}
+		}
 		if !ok || bits&taintVal == 0 {
 			continue
 		}
@@ -911,6 +1317,18 @@ func (e *taintEngine) sanitizeExpr(st taintState, x ast.Expr) taintState {
 		}
 	}
 	return out
+}
+
+// structTypeOf dereferences to the underlying struct type, if any.
+func structTypeOf(t types.Type) (*types.Struct, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, ok := t.Underlying().(*types.Struct)
+	return s, ok
 }
 
 // ---------------------------------------------------------------------------
@@ -930,7 +1348,7 @@ func (e *taintEngine) scanSinks(state taintState, n ast.Node) {
 			case *ast.SliceExpr:
 				for _, b := range []ast.Expr{sub.Low, sub.High, sub.Max} {
 					if b != nil && e.evalExpr(state, b)&taintVal != 0 {
-						e.report(&e.tr.index, "indexguard", b,
+						e.emit("indexguard", b,
 							"slice bound derives from an untrusted stream value with no dominating range check")
 					}
 				}
@@ -946,7 +1364,7 @@ func (e *taintEngine) scanCallSink(state taintState, call *ast.CallExpr) {
 			if bi.Name() == "make" {
 				for _, a := range call.Args[1:] {
 					if e.evalExpr(state, a)&taintVal != 0 {
-						e.report(&e.tr.alloc, "allocguard", call,
+						e.emit("allocguard", call,
 							"make size derives from an untrusted stream value with no dominating bound check")
 					}
 				}
@@ -962,33 +1380,35 @@ func (e *taintEngine) scanCallSink(state taintState, call *ast.CallExpr) {
 	switch {
 	case pkg == "io" && name == "ReadAll" && len(call.Args) == 1:
 		if e.evalExpr(state, call.Args[0])&taintReader != 0 {
-			e.report(&e.tr.alloc, "allocguard", call,
+			e.emit("allocguard", call,
 				"io.ReadAll on a decompressor reader with no io.LimitReader cap: a small stream can inflate without bound")
 		}
 	case pkg == "io" && (name == "Copy" || name == "CopyBuffer"):
 		if len(call.Args) >= 2 && e.evalExpr(state, call.Args[1])&taintReader != 0 {
-			e.report(&e.tr.alloc, "allocguard", call,
+			e.emit("allocguard", call,
 				"io."+name+" from a decompressor reader with no io.LimitReader cap: a small stream can inflate without bound")
 		}
 	case pkg == "bytes" && name == "Grow" && len(call.Args) == 1:
 		if e.evalExpr(state, call.Args[0])&taintVal != 0 {
-			e.report(&e.tr.alloc, "allocguard", call,
+			e.emit("allocguard", call,
 				"Buffer.Grow size derives from an untrusted stream value with no dominating bound check")
 		}
 	case pkg == "slices" && name == "Grow" && len(call.Args) == 2:
 		if e.evalExpr(state, call.Args[1])&taintVal != 0 {
-			e.report(&e.tr.alloc, "allocguard", call,
+			e.emit("allocguard", call,
 				"slices.Grow size derives from an untrusted stream value with no dominating bound check")
 		}
 	case strings.HasSuffix(pkg, "internal/field") && (name == "New2D" || name == "New3D"):
 		// Module-internal sized allocators: allocation ∝ product of dims.
 		for _, a := range call.Args {
 			if e.evalExpr(state, a)&taintVal != 0 {
-				e.report(&e.tr.alloc, "allocguard", call,
+				e.emit("allocguard", call,
 					"field."+name+" dimension derives from an untrusted stream value with no dominating bound check")
 				break
 			}
 		}
+	default:
+		e.scanSummarySinks(state, call, fn)
 	}
 }
 
@@ -1014,19 +1434,7 @@ func (e *taintEngine) scanIndexSink(state taintState, ix *ast.IndexExpr) {
 		return // maps and type params cannot go out of range
 	}
 	if e.evalExpr(state, ix.Index)&taintVal != 0 {
-		e.report(&e.tr.index, "indexguard", ix,
+		e.emit("indexguard", ix,
 			"index derives from an untrusted stream value with no dominating range check")
 	}
-}
-
-func (e *taintEngine) report(dst *[]Finding, check string, n ast.Node, msg string) {
-	f := e.p.finding(check, n, msg)
-	// The sink pass visits each block once, but dedup defensively so a
-	// node reachable through two expr lists cannot double-report.
-	for _, prev := range *dst {
-		if prev.File == f.File && prev.Line == f.Line && prev.Col == f.Col && prev.Message == f.Message {
-			return
-		}
-	}
-	*dst = append(*dst, f)
 }

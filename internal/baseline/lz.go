@@ -47,7 +47,9 @@ func LZ(data []byte) []byte {
 	}
 	for pos+lzMinMatch <= len(data) {
 		h := lzHash(data, pos)
+		//lint:allow indexguard lzHash shifts down to lzHashBits bits, so h < lzTableSize == len(head) by construction
 		cand := int(head[h])
+		//lint:allow indexguard same structural bound: lzHash output is lzHashBits wide
 		head[h] = int32(pos)
 		if cand >= 0 && pos-cand < lzWindow &&
 			binary.LittleEndian.Uint32(data[cand:]) == binary.LittleEndian.Uint32(data[pos:]) {
@@ -59,6 +61,7 @@ func LZ(data []byte) []byte {
 			// Insert a few hash entries inside the match for future hits.
 			end := pos + l
 			for p := pos + 1; p < end-lzMinMatch && p < pos+16; p++ {
+				//lint:allow indexguard lzHash output is lzHashBits wide, within len(head)
 				head[lzHash(data, p)] = int32(p)
 			}
 			pos = end

@@ -487,6 +487,11 @@ func (d *chunkDirectory) verifyChunk(payload []byte, i int, section string) erro
 // parseSymbolSection reads one chunked symbol section, returning the
 // decoded symbols and the offset past the section.
 func parseSymbolSection(data []byte, off, workers int, withCRC bool, section string, c *obs.Collector) ([]uint32, int, error) {
+	// The cursor is maintained by validated returns up the call chain, but
+	// it indexes the stream below, so enforce the bound locally.
+	if off < 0 || off > len(data) {
+		return nil, 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
+	}
 	count, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
 		return nil, 0, streamerr.Truncated(section, "symbol count cut off").WithOffset(int64(off))
@@ -512,6 +517,11 @@ func parseSymbolSection(data []byte, off, workers int, withCRC bool, section str
 	)
 	if err != nil {
 		return nil, 0, err
+	}
+	// parseChunkDirectory keeps dir.total within the remaining stream;
+	// re-validate here because the slice below depends on it.
+	if dir.total > len(data)-off {
+		return nil, 0, streamerr.Truncated(section, "chunk payloads exceed stream length").WithOffset(int64(off))
 	}
 	payload := data[off : off+dir.total]
 	out := make([]uint32, count)
@@ -541,6 +551,9 @@ func parseSymbolSection(data []byte, off, workers int, withCRC bool, section str
 // concurrently straight into their disjoint extents of the output.
 func parseRawSection(data []byte, off, workers int, withCRC bool, c *obs.Collector) ([]byte, int, error) {
 	const section = "raw"
+	if off < 0 || off > len(data) {
+		return nil, 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
+	}
 	rawLen, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
 		return nil, 0, streamerr.Truncated(section, "section length cut off").WithOffset(int64(off))
@@ -560,6 +573,9 @@ func parseRawSection(data []byte, off, workers int, withCRC bool, c *obs.Collect
 	)
 	if err != nil {
 		return nil, 0, err
+	}
+	if dir.total > len(data)-off {
+		return nil, 0, streamerr.Truncated(section, "chunk payloads exceed stream length").WithOffset(int64(off))
 	}
 	payload := data[off : off+dir.total]
 	raw := make([]byte, rawLen)
@@ -613,6 +629,9 @@ func Verify(data []byte) (err error) {
 // scanSymbolSection walks one symbol section verifying chunk checksums
 // without inflating or decoding.
 func scanSymbolSection(data []byte, off int, section string) (int, error) {
+	if off < 0 || off > len(data) {
+		return 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
+	}
 	count, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
 		return 0, streamerr.Truncated(section, "symbol count cut off").WithOffset(int64(off))
@@ -636,6 +655,9 @@ func scanSymbolSection(data []byte, off int, section string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if dir.total > len(data)-off {
+		return 0, streamerr.Truncated(section, "chunk payloads exceed stream length").WithOffset(int64(off))
+	}
 	if err := scanChunks(&dir, data[off:off+dir.total], section); err != nil {
 		return 0, err
 	}
@@ -646,6 +668,9 @@ func scanSymbolSection(data []byte, off int, section string) (int, error) {
 // inflating.
 func scanRawSection(data []byte, off int) (int, error) {
 	const section = "raw"
+	if off < 0 || off > len(data) {
+		return 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
+	}
 	rawLen, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
 		return 0, streamerr.Truncated(section, "section length cut off").WithOffset(int64(off))
@@ -663,6 +688,9 @@ func scanRawSection(data []byte, off int) (int, error) {
 	)
 	if err != nil {
 		return 0, err
+	}
+	if dir.total > len(data)-off {
+		return 0, streamerr.Truncated(section, "chunk payloads exceed stream length").WithOffset(int64(off))
 	}
 	if err := scanChunks(&dir, data[off:off+dir.total], section); err != nil {
 		return 0, err

@@ -1,0 +1,35 @@
+package cpsz
+
+import (
+	"errors"
+	"testing"
+
+	"tspsz/internal/streamerr"
+)
+
+// TestSectionParsersRejectBadOffset pins the entry guards added in PR 6:
+// every section parser and scanner validates its cursor against the
+// stream before indexing, so an offset corrupted anywhere up the call
+// chain becomes a typed error, not a panic.
+func TestSectionParsersRejectBadOffset(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	for _, off := range []int{-1, len(data) + 1, 1 << 30} {
+		if _, _, err := parseSymbolSection(data, off, 1, false, "test", nil); !errors.Is(err, streamerr.ErrCorrupt) {
+			t.Errorf("parseSymbolSection(off=%d): got %v, want ErrCorrupt", off, err)
+		}
+		if _, _, err := parseRawSection(data, off, 1, false, nil); !errors.Is(err, streamerr.ErrCorrupt) {
+			t.Errorf("parseRawSection(off=%d): got %v, want ErrCorrupt", off, err)
+		}
+		if _, err := scanSymbolSection(data, off, "test"); !errors.Is(err, streamerr.ErrCorrupt) {
+			t.Errorf("scanSymbolSection(off=%d): got %v, want ErrCorrupt", off, err)
+		}
+		if _, err := scanRawSection(data, off); !errors.Is(err, streamerr.ErrCorrupt) {
+			t.Errorf("scanRawSection(off=%d): got %v, want ErrCorrupt", off, err)
+		}
+	}
+	// A valid offset still parses: the guard is a boundary, not a
+	// behavior change (empty symbol section = count 0).
+	if _, off, err := parseSymbolSection([]byte{0}, 0, 1, false, "test", nil); err != nil || off != 1 {
+		t.Errorf("parseSymbolSection on empty section: off=%d err=%v", off, err)
+	}
+}

@@ -1,0 +1,65 @@
+package huffman
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the defensive guards that finishDecoder and decodeBits
+// apply to their own table state. The interprocedural lint pass (PR 6)
+// showed that both functions trusted invariants maintained in other
+// functions (ParseTable's length validation, Kraft validity); the guards
+// make each function safe against any caller, and these tests construct
+// the inconsistent tables no well-behaved caller produces.
+
+func expectErr(t *testing.T, err error, substr string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("expected error containing %q, got %v", substr, err)
+	}
+}
+
+func TestFinishDecoderRejectsMaxLenAboveLimit(t *testing.T) {
+	tb := &Table{syms: []uint32{1, 2}, lens: []uint8{1, 1}, maxLen: MaxCodeLen + 1}
+	expectErr(t, tb.finishDecoder(), "invalid max code length")
+}
+
+func TestFinishDecoderRejectsLenAboveDeclaredMax(t *testing.T) {
+	tb := &Table{syms: []uint32{1, 2}, lens: []uint8{1, 5}, maxLen: 1}
+	expectErr(t, tb.finishDecoder(), "exceeds declared max")
+}
+
+func TestFinishDecoderRejectsOversubscribedLengths(t *testing.T) {
+	// Three 1-bit codes cannot exist: the Kraft sum exceeds 1.
+	tb := &Table{syms: []uint32{1, 2, 3}, lens: []uint8{1, 1, 1}, maxLen: 1}
+	expectErr(t, tb.finishDecoder(), "over-subscribed")
+}
+
+func TestDecodeBitsRejectsTruncatedDtable(t *testing.T) {
+	tb := &Table{syms: []uint32{1, 2}, lens: []uint8{1, 1}, maxLen: 1}
+	if err := tb.finishDecoder(); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the dtable/tb invariant the way a hypothetical buggy caller
+	// could: the peek mask now exceeds the table.
+	tb.dtable = tb.dtable[:1]
+	out := make([]uint32, 1)
+	expectErr(t, tb.DecodeChunk([]byte{0xff}, out), "inconsistent decoder table")
+}
+
+func TestDecodeBitsRejectsInconsistentCanonicalIndex(t *testing.T) {
+	// Two 12-bit codes: deeper than the primary table (tb caps at 11),
+	// so every symbol resolves through the canonical walk.
+	tb := &Table{syms: []uint32{7, 9}, lens: []uint8{12, 12}, maxLen: 12}
+	if err := tb.finishDecoder(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the per-length index base so the walk computes an index
+	// outside syms.
+	tb.firstIndex[12] = 99
+	out := make([]uint32, 1)
+	expectErr(t, tb.DecodeChunk([]byte{0x00, 0x00}, out), "inconsistent canonical index")
+}

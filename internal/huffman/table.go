@@ -260,9 +260,21 @@ func ParseTable(data []byte, count uint64) (*Table, int, error) {
 // the canonical per-length tables plus the primary lookup table.
 func (t *Table) finishDecoder() error {
 	maxLen := t.maxLen
+	// ParseTable rejects lengths above MaxCodeLen before setting maxLen,
+	// but finishDecoder sizes allocations from it, so enforce the bound
+	// locally rather than trusting every (future) caller.
+	if maxLen > MaxCodeLen {
+		return fmt.Errorf("huffman: invalid max code length %d", maxLen)
+	}
 	t.firstCode = make([]uint64, maxLen+2)
 	t.countAt = make([]int, maxLen+2)
 	for _, l := range t.lens {
+		// The per-length arrays are sized by maxLen, so a length above it
+		// (a lens/maxLen mismatch no caller should produce) must fail
+		// here rather than index out of range.
+		if l > maxLen {
+			return fmt.Errorf("huffman: code length %d exceeds declared max %d", l, maxLen)
+		}
 		t.countAt[l]++
 	}
 	var code uint64
@@ -300,6 +312,13 @@ func (t *Table) finishDecoder() error {
 		code := t.firstCode[l] + uint64(i-t.firstIndex[l])
 		base := code << (uint(t.tb) - uint(l))
 		span := uint64(1) << (uint(t.tb) - uint(l))
+		// The Kraft check above guarantees the expansion fits; re-check
+		// against the actual table so a corrupt length distribution that
+		// slips past it becomes a clean error, not an out-of-range write
+		// (the PR1 over-subscribed-table class).
+		if base+span > uint64(len(t.dtable)) {
+			return fmt.Errorf("huffman: code expansion overflows lookup table at length %d", l)
+		}
 		for e := uint64(0); e < span; e++ {
 			t.dtable[base+e] = tentry{sym: t.syms[i], len: l}
 		}
@@ -351,6 +370,13 @@ func (t *Table) decodeBits(data []byte, out []uint32) error {
 		} else {
 			peek = (acc << (uint(tb) - nacc)) & ((1 << uint(tb)) - 1)
 		}
+		// The mask bounds peek below 1<<tb and finishDecoder sizes dtable
+		// to exactly 1<<tb entries; enforce the invariant locally so a
+		// table with inconsistent decoder state fails cleanly instead of
+		// reading out of range.
+		if peek >= uint64(len(t.dtable)) {
+			return fmt.Errorf("huffman: inconsistent decoder table (peek %d, %d slots)", peek, len(t.dtable))
+		}
 		e := t.dtable[peek]
 		if e.len != 0 && uint(e.len) <= nacc && consumed+uint64(e.len) <= total {
 			out[n] = e.sym
@@ -384,7 +410,14 @@ func (t *Table) decodeBits(data []byte, out []uint32) error {
 			}
 			offset := code - t.firstCode[l]
 			if code >= t.firstCode[l] && offset < uint64(t.countAt[l]) {
-				out[n] = t.syms[t.firstIndex[l]+int(offset)]
+				// Kraft validity (finishDecoder) guarantees the canonical
+				// index fits; bound it locally so a table whose per-length
+				// counts disagree with syms fails cleanly.
+				idx := t.firstIndex[l] + int(offset)
+				if idx < 0 || idx >= len(t.syms) {
+					return fmt.Errorf("huffman: inconsistent canonical index %d for %d symbols", idx, len(t.syms))
+				}
+				out[n] = t.syms[idx]
 				matched = true
 			}
 		}
