@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench bench-smoke bench-full race fuzz-smoke fault-sweep profile-smoke cover experiments figures clean
+.PHONY: all build vet lint test bench bench-smoke bench-diff bench-full race fuzz-smoke fault-sweep profile-smoke cover experiments figures clean
 
 all: build vet lint test
 
@@ -31,6 +31,7 @@ race:
 # land in <pkg>/testdata/fuzz/<Target>/ — CI uploads them as artifacts.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=10s -run='^$$' ./internal/huffman
+	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=10s -run='^$$' ./internal/flatedec
 	$(GO) test -fuzz='^FuzzDecompress$$' -fuzztime=10s -run='^$$' ./internal/core
 	$(GO) test -fuzz='^FuzzDecompressSequence$$' -fuzztime=10s -run='^$$' ./internal/core
 	$(GO) test -fuzz='^FuzzDecompressTruncated$$' -fuzztime=10s -run='^$$' ./internal/cpsz
@@ -74,6 +75,7 @@ profile-smoke:
 BENCH_JSON ?= BENCH_pr2.json
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 1s
+BENCH_BASELINE ?= BENCH_pr6.json
 
 bench:
 	$(GO) test -run='^$$' -bench='^(BenchmarkCompressAbs2D|BenchmarkDecompressAbs2D|BenchmarkSerialize|BenchmarkParse)$$' \
@@ -89,6 +91,18 @@ bench:
 bench-smoke:
 	$(MAKE) bench BENCH_COUNT=1 BENCH_TIME=1x BENCH_JSON=bench_smoke.json
 	rm -f bench_smoke.json bench_raw.txt
+
+# Regression gate: rerun the trajectory benchmarks and diff against the
+# committed baseline. Fails when a hot-path benchmark (Parse, Serialize,
+# Encode, Decode) regresses ns/op by more than 20% or allocs/op at all.
+# Benchmark noise varies across hosts, so CI runs this non-blocking; run
+# it locally before committing a new BENCH_pr*.json.
+bench-diff:
+	$(GO) test -run='^$$' -bench='^(BenchmarkSerialize|BenchmarkParse)$$' \
+		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./internal/cpsz | tee bench_raw.txt
+	$(GO) test -run='^$$' -bench='^(BenchmarkEncode|BenchmarkDecode)$$' \
+		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./internal/huffman | tee -a bench_raw.txt
+	$(GO) run ./cmd/benchjson -in bench_raw.txt -baseline $(BENCH_BASELINE)
 
 # The full sweep over every package (slow; reproduces the paper tables).
 bench-full:

@@ -8,6 +8,12 @@
 //
 //	go test -bench=... -benchmem -count=3 ./... | benchjson -out BENCH.json
 //	benchjson -in bench_raw.txt -out BENCH.json
+//	benchjson -in bench_raw.txt -baseline BENCH_pr6.json -out BENCH.json
+//
+// With -baseline the run is also diffed against the committed trajectory
+// point: every common benchmark gets a delta line, and benchmarks matching
+// -gate fail the run (exit 1) when ns/op regresses by more than -max-slower
+// percent or allocs/op regresses at all.
 package main
 
 import (
@@ -42,6 +48,10 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 func main() {
 	in := flag.String("in", "", "benchmark log to read (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout)")
+	baseline := flag.String("baseline", "", "committed BENCH_pr*.json to diff (and gate) against")
+	maxSlower := flag.Float64("max-slower", 20, "gated benchmarks may regress ns/op by at most this percent")
+	gate := flag.String("gate", `^Benchmark(Parse|Serialize|Encode|Decode)`,
+		"regexp of benchmarks whose regressions fail the run")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -69,11 +79,84 @@ func main() {
 		if _, err := os.Stdout.Write(blob); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fatal(err)
 	}
+	if *baseline != "" {
+		gateRE, err := regexp.Compile(*gate)
+		if err != nil {
+			fatal(fmt.Errorf("bad -gate: %w", err))
+		}
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if !diff(os.Stdout, base, results, gateRE, *maxSlower/100) {
+			os.Exit(1)
+		}
+	}
+}
+
+func loadBaseline(path string) (map[string]Metrics, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base map[string]Metrics
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return base, nil
+}
+
+// diff prints a delta line for every benchmark present in both maps and
+// reports whether all gated benchmarks are within budget: ns/op within
+// maxSlower (a ratio, e.g. 0.2 = 20% slower) and allocs/op not above the
+// baseline. Benchmarks absent from either side are listed but never gate —
+// a renamed benchmark should not masquerade as a perf win.
+func diff(w io.Writer, base, cur map[string]Metrics, gate *regexp.Regexp, maxSlower float64) bool {
+	names := make([]string, 0, len(cur))
+	//lint:allow determinism key collection only; sorted before use, and this is tooling output, not archive bytes
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		c := cur[name]
+		b, inBase := base[name]
+		if !inBase {
+			fmt.Fprintf(w, "%-48s new benchmark (no baseline)\n", name)
+			continue
+		}
+		dns := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		fmt.Fprintf(w, "%-48s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %6.0f -> %6.0f\n",
+			name, b.NsPerOp, c.NsPerOp, dns, b.AllocsPerOp, c.AllocsPerOp)
+		if !gate.MatchString(name) {
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*(1+maxSlower) {
+			fmt.Fprintf(w, "FAIL %s: ns/op regressed %.1f%% (budget %.0f%%)\n", name, dns, maxSlower*100)
+			ok = false
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fmt.Fprintf(w, "FAIL %s: allocs/op regressed %.0f -> %.0f (budget: none)\n",
+				name, b.AllocsPerOp, c.AllocsPerOp)
+			ok = false
+		}
+	}
+	var dropped []string
+	//lint:allow determinism key collection only; sorted before use, and this is tooling output, not archive bytes
+	for name := range base {
+		if _, inCur := cur[name]; !inCur {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(w, "%-48s dropped (in baseline, not in run)\n", name)
+	}
+	return ok
 }
 
 // parseLog accumulates per-benchmark sums and returns the means.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"math"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -48,5 +49,47 @@ func TestParseLogIgnoresNoise(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("noise parsed as benchmarks: %v", got)
+	}
+}
+
+func TestDiffGatesRegressions(t *testing.T) {
+	base := map[string]Metrics{
+		"BenchmarkParse/workers=1":     {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkSerialize/workers=1": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkCompressAbs2D":       {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkGone":                {NsPerOp: 1, AllocsPerOp: 1},
+	}
+	gate := regexp.MustCompile(`^Benchmark(Parse|Serialize|Encode|Decode)`)
+
+	// Within budget: 10% slower, fewer allocs; ungated benchmark may
+	// regress arbitrarily; new and dropped benchmarks never gate.
+	okCur := map[string]Metrics{
+		"BenchmarkParse/workers=1":     {NsPerOp: 1100, AllocsPerOp: 50},
+		"BenchmarkSerialize/workers=1": {NsPerOp: 900, AllocsPerOp: 100},
+		"BenchmarkCompressAbs2D":       {NsPerOp: 9000, AllocsPerOp: 9000},
+		"BenchmarkNew":                 {NsPerOp: 5, AllocsPerOp: 5},
+	}
+	var buf strings.Builder
+	if !diff(&buf, base, okCur, gate, 0.20) {
+		t.Fatalf("within-budget diff failed:\n%s", buf.String())
+	}
+	for _, want := range []string{"new benchmark", "dropped"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("diff output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// ns/op over budget on a gated benchmark fails.
+	slow := map[string]Metrics{"BenchmarkParse/workers=1": {NsPerOp: 1300, AllocsPerOp: 100}}
+	buf.Reset()
+	if diff(&buf, base, slow, gate, 0.20) {
+		t.Fatal("25% ns/op regression passed a 20% budget")
+	}
+
+	// Any allocs/op increase on a gated benchmark fails, even when faster.
+	leaky := map[string]Metrics{"BenchmarkSerialize/workers=1": {NsPerOp: 500, AllocsPerOp: 101}}
+	buf.Reset()
+	if diff(&buf, base, leaky, gate, 0.20) {
+		t.Fatal("allocs/op regression passed")
 	}
 }

@@ -1,0 +1,69 @@
+package analysis
+
+import "testing"
+
+// TestAllocguardPooledArena pins the contract the cpsz scratch arena
+// relies on: a sync.Pool-backed scratch whose buf method allocates from
+// its size argument is a real alloc sink when sized straight from the
+// stream, but a dominating directory validation (the checkChunkEntry
+// shape: a callee returning non-nil error out of range, used on the
+// err == nil path) sanitizes the size — so pooled paths need no blanket
+// suppressions, and moving an allocation behind a pool cannot silently
+// disable the guard either.
+func TestAllocguardPooledArena(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/dec/arena.go": `package dec
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+)
+
+const maxChunkPayload = 1 << 20
+
+type scratch struct {
+	bits []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) buf(n int) []byte {
+	if cap(s.bits) < n {
+		s.bits = make([]byte, n)
+	}
+	s.bits = s.bits[:n]
+	return s.bits
+}
+
+func checkChunkEntry(usize uint64) error {
+	if usize > maxChunkPayload {
+		return errors.New("dec: chunk claims too many bytes")
+	}
+	return nil
+}
+
+// Parse sizes the pooled arena from a validated directory entry.
+func Parse(data []byte) int {
+	usize := binary.LittleEndian.Uint64(data)
+	if err := checkChunkEntry(usize); err != nil {
+		return 0
+	}
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	b := s.buf(int(usize))
+	return copy(b, data)
+}
+
+// ParseWild sizes the arena straight from the stream.
+func ParseWild(data []byte) int {
+	usize := binary.LittleEndian.Uint64(data)
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	b := s.buf(int(usize))
+	return copy(b, data)
+}
+`,
+	})
+	expectLines(t, runCheck(t, dir, "allocguard"), "internal/dec/arena.go:49")
+}

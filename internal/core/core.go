@@ -67,6 +67,12 @@ type Options struct {
 	// MaxIterations caps TspSZ-i's outer correction loop; 0 means the
 	// default of 64 (the paper observes < 10 in practice).
 	MaxIterations int
+	// RobustCP decides critical-point membership with the fixed-point
+	// Simulation-of-Simplicity predicates (cpSZ-sos) instead of the
+	// numerical test: degenerate points on shared cell faces are claimed
+	// by exactly one cell. On generic data the two paths extract the same
+	// skeleton; the option exists for fields with exact ties.
+	RobustCP bool
 	// Collector optionally gathers per-stage spans and counters for the
 	// whole pipeline (see internal/obs). Nil disables instrumentation at
 	// zero cost; attaching a collector never changes the archive.
@@ -189,7 +195,7 @@ func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	workers := parallel.Workers(o.Workers)
 	var cps []critical.Point
 	if err := c.Do(obs.StageCPExtract, workers, int64(f.NumVertices()), func() error {
-		cps = extractCPs(f, o.Workers)
+		cps = extractCPs(f, &o)
 		return nil
 	}); err != nil {
 		return nil, err
@@ -248,7 +254,7 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	workers := parallel.Workers(o.Workers)
 	var cps []critical.Point
 	if err := c.Do(obs.StageCPExtract, workers, int64(f.NumVertices()), func() error {
-		cps = extractCPs(f, o.Workers)
+		cps = extractCPs(f, &o)
 		return nil
 	}); err != nil {
 		return nil, err
@@ -560,8 +566,11 @@ func dist(a, b [3]float64) float64 {
 	return math.Sqrt(dx*dx + dy*dy + dz*dz)
 }
 
-func extractCPs(f *field.Field, workers int) []critical.Point {
-	return skeleton.ExtractCPsParallel(f, workers)
+func extractCPs(f *field.Field, o *Options) []critical.Point {
+	if o.RobustCP {
+		return skeleton.ExtractCPsParallelRobust(f, o.Workers)
+	}
+	return skeleton.ExtractCPsParallel(f, o.Workers)
 }
 
 func markCPCells(f *field.Field, cps []critical.Point, marks *bitmap.Bitmap) {

@@ -260,3 +260,32 @@ func TestPatchRejectsOutOfRange(t *testing.T) {
 		t.Error("out-of-range patch accepted")
 	}
 }
+
+// TestRobustCPOption: with fixed-point SoS membership the compressor must
+// still preserve the skeleton, and on generic (tie-free) data it must
+// produce the exact same archive as the numerical path — the option only
+// changes behavior at exact degeneracies.
+func TestRobustCPOption(t *testing.T) {
+	f := gyre2D(48, 40)
+	base := Options{Variant: TspSZ1, Mode: ebound.Absolute, ErrBound: 0.01,
+		Params: testParams(), Workers: 2}
+	robustOpts := base
+	robustOpts.RobustCP = true
+
+	plain, err := Compress(f, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := Compress(f, robustOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain.Bytes) != string(robust.Bytes) {
+		t.Fatal("RobustCP changed the archive on generic data")
+	}
+	dec, err := Decompress(robust.Bytes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSkeletonPreserved(t, f, dec, base.Params, math.Sqrt2, true)
+}

@@ -7,7 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"sync"
+	"math/bits"
 
 	"tspsz/internal/ebound"
 	"tspsz/internal/field"
@@ -27,13 +27,41 @@ const streamMagic = "CPSZ"
 // CRC32C over the fixed header, a per-chunk CRC32C column in the chunk
 // directory (verified inside the parallel chunk-inflate workers, so
 // integrity costs no extra pass), and a whole-stream trailer carrying the
-// payload length plus a CRC32C over everything before it. The writer
-// always emits v3; the reader accepts all three.
+// payload length plus a CRC32C over everything before it. v4 adds a
+// per-chunk mode byte to the directory: a chunk whose symbol range fits k
+// bits, and for which Huffman coding would gain less than ~5% over raw
+// k-bit packing, is stored bit-packed (mode 1) instead of
+// Huffman+DEFLATE (mode 0), turning its decode into a branch-light
+// fixed-width loop; raw-section chunks that DEFLATE would expand are
+// stored verbatim (mode 1) rather than inflated on decode. Within mode 0,
+// v4 deflates the entropy-coded bits only when that actually shrinks them
+// — usize == csize marks a chunk whose payload is the bitstream itself —
+// so the common decode path touches no flate state at all. The writer
+// always emits v4; the reader accepts all four.
 const (
 	formatV1      = 1
 	formatV2      = 2
 	formatV3      = 3
-	formatVersion = formatV3
+	formatV4      = 4
+	formatVersion = formatV4
+)
+
+// Per-chunk modes of the v4 directory. Symbol sections: Huffman+DEFLATE or
+// fixed-width bit packing. Raw section: DEFLATE or stored verbatim. The
+// zero mode is in each case the pre-v4 behaviour, so pre-v4 directories
+// (which carry no mode byte) read as all-zero modes.
+const (
+	symChunkHuffman = 0
+	symChunkPacked  = 1
+	rawChunkDeflate = 0
+	rawChunkStored  = 1
+	maxChunkMode    = 1
+)
+
+// Directory kinds select per-mode entry validation in parseChunkDirectory.
+const (
+	kindSymbols = iota
+	kindRaw
 )
 
 // crcTable selects the Castagnoli polynomial, for which hash/crc32 uses
@@ -42,13 +70,19 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // chunkSymbols is the entropy-chunk extent of the symbol sections and
 // chunkRawBytes the extent of the verbatim-float section. Chunk counts
-// derive from the section length alone and boundaries from
-// parallel.Ranges over that count, so archives are byte-identical for
-// every worker count.
+// derive from the section length alone and boundaries from the same
+// n-into-cc partition as parallel.Ranges, so archives are byte-identical
+// for every worker count.
 const (
 	chunkSymbols  = 1 << 15
 	chunkRawBytes = 1 << 17
 )
+
+// entropyWorkerBytes is the minimum per-worker payload (in uncompressed
+// unit bytes: 4 per symbol, 1 per raw byte) an entropy-stage shard must
+// carry; parallel.SizedWorkers clamps the pool below that, so tiny
+// sections never spawn more flate streams than they have work for.
+const entropyWorkerBytes = 64 << 10
 
 // maxDeflateRatio bounds plausible DEFLATE expansion (the format's
 // theoretical maximum is ~1032:1). v1 sections carry no uncompressed size,
@@ -70,7 +104,7 @@ type header struct {
 const temporalFlag = 0x80
 
 // headerBytes is the fixed-width header size shared by every version;
-// v3 appends headerCRCBytes of CRC32C over it. trailerBytes is the v3
+// v3+ appends headerCRCBytes of CRC32C over it. trailerBytes is the
 // whole-stream trailer: a little-endian u64 payload length (everything
 // before the trailer) followed by the CRC32C of those bytes.
 const (
@@ -81,10 +115,10 @@ const (
 )
 
 // serialize assembles the final stream: CRC-sealed header, chunked
-// Huffman+DEFLATE symbol sections with per-chunk checksums, a chunked
-// DEFLATE raw-float section, and the whole-stream trailer. This mirrors
-// SZ's Huffman + lossless-backend pipeline with the entropy stage sharded
-// across opts.Workers.
+// mode-tagged symbol sections with per-chunk checksums, a chunked raw-float
+// section, and the whole-stream trailer. This mirrors SZ's Huffman +
+// lossless-backend pipeline with the entropy stage sharded across
+// opts.Workers.
 func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
 	c := opts.Collector
 	workers := parallel.Workers(opts.Workers)
@@ -144,12 +178,31 @@ func chunkCount(n, extent int) int {
 	return c
 }
 
-// appendSymbolSection writes one v3 symbol section: uvarint symbol count,
+// chunkBound returns chunk i's unit extent under the same n-into-cc
+// partition parallel.Ranges produces (cc <= n, so no range is empty).
+func chunkBound(n, cc, i int) (lo, hi int) {
+	return i * n / cc, (i + 1) * n / cc
+}
+
+// encChunk is one encoded chunk awaiting the serialize merge: its payload
+// (a chunkBufPool buffer whose ownership transfers to the merge), the
+// uncompressed size and mode for the directory entry, the payload CRC32C,
+// and the extent offset the merge assigns.
+type encChunk struct {
+	payload []byte
+	usize   int
+	mode    byte
+	crc     uint32
+	off     int
+}
+
+// appendSymbolSection writes one v4 symbol section: uvarint symbol count,
 // the shared canonical codebook, a uvarint chunk count, a directory of
-// per-chunk (uncompressed size, compressed size, payload CRC32C) entries,
-// then the chunk payloads. Chunks are Huffman-packed, DEFLATEd, and
-// checksummed concurrently; the directory lets the reader verify, inflate,
-// and decode them concurrently too.
+// per-chunk (uncompressed size, compressed size, mode, payload CRC32C)
+// entries, then the chunk payloads. Chunks are encoded and checksummed
+// concurrently; per chunk the encoder picks Huffman+DEFLATE or fixed-width
+// bit packing, a decision that depends only on the chunk contents and the
+// shared table, so archives stay byte-identical at any worker count.
 func appendSymbolSection(dst []byte, syms []uint32, workers int, c *obs.Collector) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(syms)))
 	if len(syms) == 0 {
@@ -164,78 +217,141 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int, c *obs.Collecto
 		return nil, err
 	}
 	dst = table.AppendTable(dst)
-	bounds := parallel.Ranges(len(syms), chunkCount(len(syms), chunkSymbols))
-	usizes := make([]int, len(bounds))
-	packed := make([][]byte, len(bounds))
-	crcs := make([]uint32, len(bounds))
-	err := parallel.ForErr(len(bounds), workers, 1, func(i int) error {
-		bits := getChunkBuf()
-		bits = table.EncodeChunk(bits[:0], syms[bounds[i][0]:bounds[i][1]])
-		usizes[i] = len(bits)
-		var err error
-		packed[i], err = deflate(bits)
-		putChunkBuf(bits)
-		if err != nil {
-			return err
+	n := len(syms)
+	cc := chunkCount(n, chunkSymbols)
+	workers = parallel.SizedWorkers(workers, cc, 4*int64(n), entropyWorkerBytes)
+	outs := make([]encChunk, cc)
+	err := parallel.ForErr(cc, workers, 1, func(i int) error {
+		lo, hi := chunkBound(n, cc, i)
+		chunk := syms[lo:hi]
+		slo, shi, hbits := table.ChunkBits(chunk)
+		k := uint8(bits.Len32(shi - slo))
+		payload := getChunkBuf()
+		e := encChunk{mode: symChunkHuffman}
+		// Huffman must beat raw k-bit packing by more than ~5% of the
+		// packed size to earn its codebook walk on decode; otherwise the
+		// chunk goes bit-packed. k == 0 (constant chunks) always packs.
+		if packedBits := uint64(k) * uint64(hi-lo); 20*hbits >= 19*packedBits {
+			payload = binary.AppendUvarint(payload, uint64(slo))
+			payload = append(payload, k)
+			payload = huffman.AppendPacked(payload, chunk, slo, k)
+			e.mode = symChunkPacked
+			e.usize = len(payload)
+		} else {
+			s := getScratch()
+			s.bits = table.EncodeChunk(s.bits[:0], chunk)
+			var err error
+			payload, err = s.deflate(payload, s.bits)
+			e.usize = len(s.bits)
+			if err == nil && len(payload) >= len(s.bits) {
+				// Entropy-coded bits are near-incompressible, so DEFLATE
+				// usually breaks even or expands; store the bits verbatim.
+				// usize == csize marks the stored form for the reader, which
+				// then skips inflate entirely on the hot path.
+				payload = append(payload[:0], s.bits...)
+			}
+			putScratch(s)
+			if err != nil {
+				putChunkBuf(payload)
+				return err
+			}
 		}
-		crcs[i] = crc32.Checksum(packed[i], crcTable)
+		e.payload = payload
+		e.crc = crc32.Checksum(payload, crcTable)
+		outs[i] = e
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Add(obs.CtrChunksEncoded, int64(len(bounds)))
-	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
-	for i := range bounds {
-		dst = binary.AppendUvarint(dst, uint64(usizes[i]))
-		dst = binary.AppendUvarint(dst, uint64(len(packed[i])))
-		dst = binary.LittleEndian.AppendUint32(dst, crcs[i])
-	}
-	for i := range bounds {
-		dst = append(dst, packed[i]...)
-	}
-	return dst, nil
+	c.Add(obs.CtrChunksEncoded, int64(cc))
+	return mergeChunks(dst, outs, workers), nil
 }
 
-// appendRawSection writes the verbatim-float section as concurrently
-// DEFLATEd and checksummed chunks with the same directory layout as the
-// symbol sections; the uncompressed entries are redundant with the section
-// length but serve as a decode-side cross-check.
+// appendRawSection writes the verbatim-float section with the same
+// directory layout as the symbol sections; chunks that DEFLATE cannot
+// shrink are stored verbatim (mode 1) so decode is a straight copy.
 func appendRawSection(dst []byte, raw []byte, workers int, c *obs.Collector) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(raw)))
 	if len(raw) == 0 {
 		return dst, nil
 	}
-	bounds := parallel.Ranges(len(raw), chunkCount(len(raw), chunkRawBytes))
-	packed := make([][]byte, len(bounds))
-	crcs := make([]uint32, len(bounds))
-	err := parallel.ForErr(len(bounds), workers, 1, func(i int) error {
-		var err error
-		packed[i], err = deflate(raw[bounds[i][0]:bounds[i][1]])
+	n := len(raw)
+	cc := chunkCount(n, chunkRawBytes)
+	workers = parallel.SizedWorkers(workers, cc, int64(n), entropyWorkerBytes)
+	outs := make([]encChunk, cc)
+	err := parallel.ForErr(cc, workers, 1, func(i int) error {
+		lo, hi := chunkBound(n, cc, i)
+		chunk := raw[lo:hi]
+		payload := getChunkBuf()
+		s := getScratch()
+		payload, err := s.deflate(payload, chunk)
+		putScratch(s)
 		if err != nil {
+			putChunkBuf(payload)
 			return err
 		}
-		crcs[i] = crc32.Checksum(packed[i], crcTable)
+		e := encChunk{usize: len(chunk), mode: rawChunkDeflate}
+		if len(payload) >= len(chunk) {
+			// DEFLATE expanded (or broke even): store the bytes verbatim.
+			payload = append(payload[:0], chunk...)
+			e.mode = rawChunkStored
+		}
+		e.payload = payload
+		e.crc = crc32.Checksum(payload, crcTable)
+		outs[i] = e
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.Add(obs.CtrChunksEncoded, int64(len(bounds)))
-	dst = binary.AppendUvarint(dst, uint64(len(bounds)))
-	for i := range bounds {
-		dst = binary.AppendUvarint(dst, uint64(bounds[i][1]-bounds[i][0]))
-		dst = binary.AppendUvarint(dst, uint64(len(packed[i])))
-		dst = binary.LittleEndian.AppendUint32(dst, crcs[i])
+	c.Add(obs.CtrChunksEncoded, int64(cc))
+	return mergeChunks(dst, outs, workers), nil
+}
+
+// mergeChunks appends the uvarint chunk count and the v4 directory to dst,
+// then copies every chunk payload into its pre-computed disjoint extent of
+// a single grown region — concurrently, since the extents are a prefix-sum
+// partition — instead of appending payloads one by one. Payload buffers
+// return to the pool once copied.
+func mergeChunks(dst []byte, outs []encChunk, workers int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(outs)))
+	total := 0
+	for i := range outs {
+		outs[i].off = total
+		total += len(outs[i].payload)
+		dst = binary.AppendUvarint(dst, uint64(outs[i].usize))
+		dst = binary.AppendUvarint(dst, uint64(len(outs[i].payload)))
+		dst = append(dst, outs[i].mode)
+		dst = binary.LittleEndian.AppendUint32(dst, outs[i].crc)
 	}
-	for i := range bounds {
-		dst = append(dst, packed[i]...)
+	dst = growBytes(dst, total)
+	payload := dst[len(dst)-total:]
+	_ = parallel.ForErr(len(outs), workers, 1, func(i int) error {
+		copy(payload[outs[i].off:outs[i].off+len(outs[i].payload)], outs[i].payload)
+		return nil
+	})
+	for i := range outs {
+		putChunkBuf(outs[i].payload)
+		outs[i].payload = nil
 	}
-	return dst, nil
+	return dst
+}
+
+// growBytes extends b by n bytes (contents of the extension unspecified;
+// the caller overwrites every byte) without the intermediate zeroed slice
+// an append(b, make([]byte, n)...) would allocate.
+func growBytes(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[: len(b)+n : cap(b)]
+	}
+	grown := make([]byte, len(b)+n, max(2*cap(b), len(b)+n))
+	copy(grown, b)
+	return grown[:len(b)+n]
 }
 
 // parse splits a stream back into its header and sections, dispatching on
-// the format version byte. For v3 streams the header CRC and whole-stream
+// the format version byte. For v3+ streams the header CRC and whole-stream
 // trailer are verified up front and the per-chunk checksums inside the
 // parallel section readers.
 func parse(data []byte, workers int, c *obs.Collector) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
@@ -247,7 +363,7 @@ func parse(data []byte, workers int, c *obs.Collector) (hdr header, ebSyms, quan
 	if version == formatV1 {
 		ebSyms, quantSyms, raw, err = parseSectionsV1(data, off)
 	} else {
-		ebSyms, quantSyms, raw, err = parseSectionsV2(data[:end], off, workers, version >= formatV3, c)
+		ebSyms, quantSyms, raw, err = parseSectionsV2(data[:end], off, workers, version, c)
 	}
 	if err != nil {
 		return hdr, nil, nil, nil, err
@@ -255,7 +371,7 @@ func parse(data []byte, workers int, c *obs.Collector) (hdr header, ebSyms, quan
 	return hdr, ebSyms, quantSyms, raw, nil
 }
 
-// parseHeader validates the fixed header (and, for v3, the header CRC and
+// parseHeader validates the fixed header (and, for v3+, the header CRC and
 // the whole-stream trailer), returning the decoded header, the offset of
 // the first section, and the offset one past the last section byte.
 func parseHeader(data []byte) (hdr header, off, end int, err error) {
@@ -266,14 +382,14 @@ func parseHeader(data []byte) (hdr header, off, end int, err error) {
 		return hdr, 0, 0, streamerr.Header("cpsz header", "bad magic, not a cpSZ stream")
 	}
 	version := data[4]
-	if version < formatV1 || version > formatV3 {
+	if version < formatV1 || version > formatV4 {
 		return hdr, 0, 0, streamerr.Version("cpsz header", version)
 	}
 	end = len(data)
 	off = headerBytes
 	if version >= formatV3 {
 		if len(data) < headerBytesV3+trailerBytes {
-			return hdr, 0, 0, streamerr.Truncated("cpsz header", "%d bytes, v3 needs at least %d", len(data), headerBytesV3+trailerBytes)
+			return hdr, 0, 0, streamerr.Truncated("cpsz header", "%d bytes, v%d needs at least %d", len(data), version, headerBytesV3+trailerBytes)
 		}
 		stored := binary.LittleEndian.Uint32(data[headerBytes:])
 		if got := crc32.Checksum(data[:headerBytes], crcTable); got != stored {
@@ -302,7 +418,7 @@ func parseHeader(data []byte) (hdr header, off, end int, err error) {
 	return hdr, off, end, nil
 }
 
-// verifyTrailer checks the v3 whole-stream trailer and returns the offset
+// verifyTrailer checks the whole-stream trailer and returns the offset
 // of the trailer (one past the last section byte). The declared payload
 // length must match the stream exactly — a lying trailer is corruption,
 // a missing one truncation.
@@ -356,18 +472,18 @@ func parseSectionsV1(data []byte, off int) (ebSyms, quantSyms []uint32, raw []by
 	return ebSyms, quantSyms, sections[2], nil
 }
 
-// parseSectionsV2 reads the chunked layout shared by v2 and v3, inflating
-// and entropy-decoding the chunks of each section concurrently. withCRC
-// selects the v3 directory layout, whose per-chunk checksums the workers
-// verify before inflating.
-func parseSectionsV2(data []byte, off, workers int, withCRC bool, c *obs.Collector) (ebSyms, quantSyms []uint32, raw []byte, err error) {
-	if ebSyms, off, err = parseSymbolSection(data, off, workers, withCRC, "eb-symbols", c); err != nil {
+// parseSectionsV2 reads the chunked layout shared by v2 through v4,
+// inflating and entropy-decoding the chunks of each section concurrently.
+// The version selects the directory layout: v3 adds the per-chunk CRC32C
+// column, v4 the per-chunk mode byte.
+func parseSectionsV2(data []byte, off, workers int, version byte, c *obs.Collector) (ebSyms, quantSyms []uint32, raw []byte, err error) {
+	if ebSyms, off, err = parseSymbolSection(data, off, workers, version, "eb-symbols", c); err != nil {
 		return nil, nil, nil, err
 	}
-	if quantSyms, off, err = parseSymbolSection(data, off, workers, withCRC, "quant-symbols", c); err != nil {
+	if quantSyms, off, err = parseSymbolSection(data, off, workers, version, "quant-symbols", c); err != nil {
 		return nil, nil, nil, err
 	}
-	if raw, off, err = parseRawSection(data, off, workers, withCRC, c); err != nil {
+	if raw, off, err = parseRawSection(data, off, workers, version, c); err != nil {
 		return nil, nil, nil, err
 	}
 	if off != len(data) {
@@ -376,13 +492,27 @@ func parseSectionsV2(data []byte, off, workers int, withCRC bool, c *obs.Collect
 	return ebSyms, quantSyms, raw, nil
 }
 
-// chunkDirectory holds the validated per-chunk extents of one section.
+// chunkDirectory holds the validated per-chunk extents of one section. The
+// unit bounds of chunk i derive from (n, cc) alone via chunkBound, so the
+// directory allocates nothing per chunk beyond its arena-backed arrays.
 type chunkDirectory struct {
-	bounds  [][2]int // unit extents (symbols or raw bytes) per chunk
-	usizes  []int    // uncompressed payload bytes per chunk
-	crcs    []uint32 // CRC32C per compressed payload (v3 only, else nil)
+	n, cc   int      // section units and chunk count
+	usizes  []int    // uncompressed payload bytes per chunk (arena-backed)
 	offsets []int    // payload start offsets relative to the payload base
+	crcs    []uint32 // CRC32C per compressed payload (v3+ only, else nil)
+	modes   []byte   // per-chunk mode (v4 only, else nil = all mode 0)
 	total   int      // total payload bytes
+}
+
+// bound returns chunk i's unit extent.
+func (d *chunkDirectory) bound(i int) (lo, hi int) { return chunkBound(d.n, d.cc, i) }
+
+// mode returns chunk i's mode tag; pre-v4 directories are all mode 0.
+func (d *chunkDirectory) mode(i int) byte {
+	if d.modes == nil {
+		return 0
+	}
+	return d.modes[i]
 }
 
 // payloadAt returns chunk i's compressed payload within the section
@@ -395,14 +525,18 @@ func (d *chunkDirectory) payloadAt(payload []byte, i int) []byte {
 	return payload[d.offsets[i]:end]
 }
 
-// parseChunkDirectory reads and validates a chunk directory at data[off:].
-// n is the section length in units; maxUsize returns the largest plausible
-// uncompressed chunk size for a given unit extent, and minUsize the
-// smallest. Every violation is a hard error: chunk-count lies, extent
-// overflows, and oversize claims are rejected before any allocation
-// proportional to them. withCRC selects the v3 entry layout carrying a
-// CRC32C of each compressed payload.
-func parseChunkDirectory(data []byte, off, n int, withCRC bool, section string, maxUsize, minUsize func(extent int) int) (chunkDirectory, int, error) {
+// parseChunkDirectory reads and validates a chunk directory at data[off:]
+// into arrays borrowed from s's arena (the caller keeps s checked out for
+// the directory's lifetime). n is the section length in units; kind
+// selects the per-mode entry validation. Every violation is a hard error:
+// chunk-count lies, extent overflows, oversize claims, and unknown or
+// inconsistent mode tags are rejected before any allocation proportional
+// to them. The walk is two passes in effect: this single serial scan
+// computes the offset prefix-sums, and the per-chunk work (CRC, inflate,
+// decode) then runs in parallel against the finished offsets.
+func parseChunkDirectory(s *scratch, data []byte, off, n int, version byte, kind int, section string) (chunkDirectory, int, error) {
+	withCRC := version >= formatV3
+	withMode := version >= formatV4
 	var dir chunkDirectory
 	cc, sz := binary.Uvarint(data[off:])
 	if sz <= 0 {
@@ -412,24 +546,28 @@ func parseChunkDirectory(data []byte, off, n int, withCRC bool, section string, 
 	if cc == 0 || cc > uint64(n) {
 		return dir, 0, streamerr.Corrupt(section, "invalid chunk count %d for %d units", cc, n)
 	}
-	// Every directory entry takes at least 2 bytes (plus the CRC column).
+	// Every directory entry takes at least 2 bytes (plus the CRC column and
+	// the mode byte).
 	entryMin := uint64(2)
 	if withCRC {
 		entryMin += 4
 	}
+	if withMode {
+		entryMin++
+	}
 	if cc > uint64(len(data)-off)/entryMin+1 {
 		return dir, 0, streamerr.Corrupt(section, "chunk count %d exceeds stream capacity", cc)
 	}
-	dir.bounds = parallel.Ranges(n, int(cc))
-	if len(dir.bounds) != int(cc) {
-		return dir, 0, streamerr.Corrupt(section, "chunk count %d does not partition %d units", cc, n)
-	}
-	dir.usizes = make([]int, cc)
-	dir.offsets = make([]int, cc)
+	dir.n, dir.cc = n, int(cc)
+	usizes, offsets, crcs, modes := s.dirArrays(int(cc))
+	dir.usizes, dir.offsets = usizes, offsets
 	if withCRC {
-		dir.crcs = make([]uint32, cc)
+		dir.crcs = crcs
 	}
-	for i := range dir.usizes {
+	if withMode {
+		dir.modes = modes
+	}
+	for i := 0; i < int(cc); i++ {
 		usize, sz := binary.Uvarint(data[off:])
 		if sz <= 0 {
 			return dir, 0, streamerr.Truncated(section, "directory entry cut off").WithChunk(i).WithOffset(int64(off))
@@ -440,29 +578,35 @@ func parseChunkDirectory(data []byte, off, n int, withCRC bool, section string, 
 			return dir, 0, streamerr.Truncated(section, "directory entry cut off").WithChunk(i).WithOffset(int64(off))
 		}
 		off += sz
+		mode := byte(0)
+		if withMode {
+			if off >= len(data) {
+				return dir, 0, streamerr.Truncated(section, "directory mode cut off").WithChunk(i).WithOffset(int64(off))
+			}
+			mode = data[off]
+			off++
+			if mode > maxChunkMode {
+				return dir, 0, streamerr.Corrupt(section, "unknown chunk mode %d", mode).WithChunk(i)
+			}
+			modes[i] = mode
+		}
 		if withCRC {
 			if off+4 > len(data) {
 				return dir, 0, streamerr.Truncated(section, "directory CRC cut off").WithChunk(i).WithOffset(int64(off))
 			}
-			dir.crcs[i] = binary.LittleEndian.Uint32(data[off:])
+			crcs[i] = binary.LittleEndian.Uint32(data[off:])
 			off += 4
 		}
-		extent := dir.bounds[i][1] - dir.bounds[i][0]
-		if usize > uint64(maxUsize(extent)) || usize < uint64(minUsize(extent)) {
-			return dir, 0, streamerr.Corrupt(section, "chunk claims %d uncompressed bytes for %d units", usize, extent).WithChunk(i)
+		lo, hi := dir.bound(i)
+		extent := hi - lo
+		if err := checkChunkEntry(kind, mode, extent, usize, csize, section, i); err != nil {
+			return dir, 0, err
 		}
 		if csize > uint64(len(data)-off) {
 			return dir, 0, streamerr.Truncated(section, "chunk claims %d compressed bytes, %d remain", csize, len(data)-off).WithChunk(i)
 		}
-		// DEFLATE cannot legitimately expand beyond maxDeflateRatio, so an
-		// uncompressed size far above the payload marks a decompression
-		// bomb; rejecting it here bounds every allocation below by what
-		// the stream could actually inflate to.
-		if usize > maxDeflateRatio*csize+64 {
-			return dir, 0, streamerr.Corrupt(section, "chunk claims %d uncompressed bytes from a %d-byte payload", usize, csize).WithChunk(i)
-		}
-		dir.usizes[i] = int(usize)
-		dir.offsets[i] = dir.total
+		usizes[i] = int(usize)
+		offsets[i] = dir.total
 		dir.total += int(csize)
 		if dir.total > len(data)-off {
 			return dir, 0, streamerr.Truncated(section, "chunk payloads exceed stream length").WithChunk(i)
@@ -471,7 +615,50 @@ func parseChunkDirectory(data []byte, off, n int, withCRC bool, section string, 
 	return dir, off, nil
 }
 
-// verifyChunk checks a v3 per-chunk checksum; it runs inside the parallel
+// checkChunkEntry validates one directory entry's (usize, csize) claim
+// against its extent, per section kind and chunk mode.
+func checkChunkEntry(kind int, mode byte, extent int, usize, csize uint64, section string, i int) error {
+	switch {
+	case kind == kindSymbols && mode == symChunkHuffman:
+		// A chunk of extent symbols packs between extent and
+		// extent*MaxCodeLen bits.
+		if usize > uint64(extent*huffman.MaxCodeLen/8+8) || usize < uint64((extent+7)/8) {
+			return streamerr.Corrupt(section, "chunk claims %d uncompressed bytes for %d units", usize, extent).WithChunk(i)
+		}
+		// DEFLATE cannot legitimately expand beyond maxDeflateRatio, so an
+		// uncompressed size far above the payload marks a decompression
+		// bomb; rejecting it here bounds every allocation below by what
+		// the stream could actually inflate to.
+		if usize > maxDeflateRatio*csize+64 {
+			return streamerr.Corrupt(section, "chunk claims %d uncompressed bytes from a %d-byte payload", usize, csize).WithChunk(i)
+		}
+	case kind == kindSymbols && mode == symChunkPacked:
+		// Bit-packed payloads are stored uncompressed: base uvarint (1-5
+		// bytes) + width byte + at most 32 bits per symbol.
+		if usize != csize {
+			return streamerr.Corrupt(section, "packed chunk sizes disagree (%d uncompressed, %d stored)", usize, csize).WithChunk(i)
+		}
+		if usize < 2 || usize > uint64(4*extent+6) {
+			return streamerr.Corrupt(section, "packed chunk claims %d bytes for %d units", usize, extent).WithChunk(i)
+		}
+	case kind == kindRaw && mode == rawChunkDeflate:
+		// Raw chunk extents are byte counts, so the entry must match
+		// exactly.
+		if usize != uint64(extent) {
+			return streamerr.Corrupt(section, "chunk claims %d uncompressed bytes for %d units", usize, extent).WithChunk(i)
+		}
+		if usize > maxDeflateRatio*csize+64 {
+			return streamerr.Corrupt(section, "chunk claims %d uncompressed bytes from a %d-byte payload", usize, csize).WithChunk(i)
+		}
+	case kind == kindRaw && mode == rawChunkStored:
+		if usize != uint64(extent) || csize != uint64(extent) {
+			return streamerr.Corrupt(section, "stored chunk sizes (%d, %d) disagree with %d-byte extent", usize, csize, extent).WithChunk(i)
+		}
+	}
+	return nil
+}
+
+// verifyChunk checks a v3+ per-chunk checksum; it runs inside the parallel
 // section workers so integrity verification costs no extra pass over the
 // stream.
 func (d *chunkDirectory) verifyChunk(payload []byte, i int, section string) error {
@@ -484,9 +671,26 @@ func (d *chunkDirectory) verifyChunk(payload []byte, i int, section string) erro
 	return nil
 }
 
+// decodePackedChunk decodes one bit-packed symbol chunk payload (uvarint
+// base, width byte, packed fields) into out.
+func decodePackedChunk(pl []byte, out []uint32, section string, i int) error {
+	base, n := binary.Uvarint(pl)
+	if n <= 0 || n >= len(pl) {
+		return streamerr.Corrupt(section, "packed chunk header cut off").WithChunk(i)
+	}
+	if base > math.MaxUint32 {
+		return streamerr.Corrupt(section, "packed chunk base %d exceeds symbol range", base).WithChunk(i)
+	}
+	k := pl[n]
+	if err := huffman.UnpackChunk(pl[n+1:], uint32(base), k, out); err != nil {
+		return streamerr.Wrap(streamerr.ErrCorrupt, section, err).WithChunk(i)
+	}
+	return nil
+}
+
 // parseSymbolSection reads one chunked symbol section, returning the
 // decoded symbols and the offset past the section.
-func parseSymbolSection(data []byte, off, workers int, withCRC bool, section string, c *obs.Collector) ([]uint32, int, error) {
+func parseSymbolSection(data []byte, off, workers int, version byte, section string, c *obs.Collector) ([]uint32, int, error) {
 	// The cursor is maintained by validated returns up the call chain, but
 	// it indexes the stream below, so enforce the bound locally.
 	if off < 0 || off > len(data) {
@@ -510,11 +714,9 @@ func parseSymbolSection(data []byte, off, workers int, withCRC bool, section str
 		return nil, 0, streamerr.Wrap(streamerr.ErrCorrupt, section, err)
 	}
 	off += consumed
-	dir, off, err := parseChunkDirectory(data, off, int(count), withCRC, section,
-		// A chunk of n symbols packs between n and n*MaxCodeLen bits.
-		func(extent int) int { return extent*huffman.MaxCodeLen/8 + 8 },
-		func(extent int) int { return (extent + 7) / 8 },
-	)
+	s := getScratch()
+	defer putScratch(s)
+	dir, off, err := parseChunkDirectory(s, data, off, int(count), version, kindSymbols, section)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -525,31 +727,46 @@ func parseSymbolSection(data []byte, off, workers int, withCRC bool, section str
 	}
 	payload := data[off : off+dir.total]
 	out := make([]uint32, count)
-	err = parallel.ForErr(len(dir.bounds), workers, 1, func(i int) error {
+	workers = parallel.SizedWorkers(workers, dir.cc, 4*int64(count), entropyWorkerBytes)
+	err = parallel.ForErr(dir.cc, workers, 1, func(i int) error {
 		if err := dir.verifyChunk(payload, i, section); err != nil {
 			return err
 		}
-		lo, hi := dir.bounds[i][0], dir.bounds[i][1]
-		bits, err := inflateExact(dir.payloadAt(payload, i), dir.usizes[i], getChunkBuf())
+		lo, hi := dir.bound(i)
+		pl := dir.payloadAt(payload, i)
+		if dir.mode(i) == symChunkPacked {
+			return decodePackedChunk(pl, out[lo:hi], section, i)
+		}
+		ws := getScratch()
+		var err error
+		bits := pl
+		if version < formatV4 || len(pl) != dir.usizes[i] {
+			// Pre-v4 Huffman chunks are always deflated; v4 writers deflate
+			// only when it shrinks the bits, so usize == csize means the
+			// payload is the entropy-coded bitstream itself.
+			bits = ws.buf(dir.usizes[i])
+			err = ws.inflateInto(pl, bits)
+		}
+		if err == nil {
+			err = table.DecodeChunk(bits, out[lo:hi])
+		}
+		putScratch(ws)
 		if err != nil {
 			return streamerr.Wrap(streamerr.ErrCorrupt, section, err).WithChunk(i)
 		}
-		if err := table.DecodeChunk(bits, out[lo:hi]); err != nil {
-			return streamerr.Wrap(streamerr.ErrCorrupt, section, err).WithChunk(i)
-		}
-		putChunkBuf(bits)
 		return nil
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	c.Add(obs.CtrChunksDecoded, int64(len(dir.bounds)))
+	c.Add(obs.CtrChunksDecoded, int64(dir.cc))
 	return out, off + dir.total, nil
 }
 
-// parseRawSection reads the verbatim-float section, inflating chunks
-// concurrently straight into their disjoint extents of the output.
-func parseRawSection(data []byte, off, workers int, withCRC bool, c *obs.Collector) ([]byte, int, error) {
+// parseRawSection reads the verbatim-float section, inflating (or, for
+// stored chunks, copying) chunks concurrently straight into their disjoint
+// extents of the output.
+func parseRawSection(data []byte, off, workers int, version byte, c *obs.Collector) ([]byte, int, error) {
 	const section = "raw"
 	if off < 0 || off > len(data) {
 		return nil, 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
@@ -565,12 +782,9 @@ func parseRawSection(data []byte, off, workers int, withCRC bool, c *obs.Collect
 	if rawLen > maxDeflateRatio*uint64(len(data)-off)+64 {
 		return nil, 0, streamerr.Corrupt(section, "raw length %d exceeds stream capacity", rawLen)
 	}
-	dir, off, err := parseChunkDirectory(data, off, int(rawLen), withCRC, section,
-		// Raw chunk extents are byte counts, so the directory entry must
-		// match exactly.
-		func(extent int) int { return extent },
-		func(extent int) int { return extent },
-	)
+	s := getScratch()
+	defer putScratch(s)
+	dir, off, err := parseChunkDirectory(s, data, off, int(rawLen), version, kindRaw, section)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -579,12 +793,23 @@ func parseRawSection(data []byte, off, workers int, withCRC bool, c *obs.Collect
 	}
 	payload := data[off : off+dir.total]
 	raw := make([]byte, rawLen)
-	err = parallel.ForErr(len(dir.bounds), workers, 1, func(i int) error {
+	workers = parallel.SizedWorkers(workers, dir.cc, int64(rawLen), entropyWorkerBytes)
+	err = parallel.ForErr(dir.cc, workers, 1, func(i int) error {
 		if err := dir.verifyChunk(payload, i, section); err != nil {
 			return err
 		}
-		lo, hi := dir.bounds[i][0], dir.bounds[i][1]
-		if err := inflateInto(dir.payloadAt(payload, i), raw[lo:hi]); err != nil {
+		lo, hi := dir.bound(i)
+		pl := dir.payloadAt(payload, i)
+		if dir.mode(i) == rawChunkStored {
+			// checkChunkEntry pinned csize == extent, so this is a
+			// straight copy.
+			copy(raw[lo:hi], pl)
+			return nil
+		}
+		ws := getScratch()
+		err := ws.inflateInto(pl, raw[lo:hi])
+		putScratch(ws)
+		if err != nil {
 			return streamerr.Wrap(streamerr.ErrCorrupt, section, err).WithChunk(i)
 		}
 		return nil
@@ -592,7 +817,7 @@ func parseRawSection(data []byte, off, workers int, withCRC bool, c *obs.Collect
 	if err != nil {
 		return nil, 0, err
 	}
-	c.Add(obs.CtrChunksDecoded, int64(len(dir.bounds)))
+	c.Add(obs.CtrChunksDecoded, int64(dir.cc))
 	return raw, off + dir.total, nil
 }
 
@@ -611,13 +836,14 @@ func Verify(data []byte) (err error) {
 		return streamerr.Version("cpsz", data[4]).WithOffset(4)
 	}
 	_ = hdr
+	version := data[4]
 	data = data[:end]
 	for _, section := range []string{"eb-symbols", "quant-symbols"} {
-		if off, err = scanSymbolSection(data, off, section); err != nil {
+		if off, err = scanSymbolSection(data, off, version, section); err != nil {
 			return err
 		}
 	}
-	if off, err = scanRawSection(data, off); err != nil {
+	if off, err = scanRawSection(data, off, version); err != nil {
 		return err
 	}
 	if off != len(data) {
@@ -628,7 +854,7 @@ func Verify(data []byte) (err error) {
 
 // scanSymbolSection walks one symbol section verifying chunk checksums
 // without inflating or decoding.
-func scanSymbolSection(data []byte, off int, section string) (int, error) {
+func scanSymbolSection(data []byte, off int, version byte, section string) (int, error) {
 	if off < 0 || off > len(data) {
 		return 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
 	}
@@ -648,10 +874,9 @@ func scanSymbolSection(data []byte, off int, section string) (int, error) {
 		return 0, streamerr.Wrap(streamerr.ErrCorrupt, section, err)
 	}
 	off += consumed
-	dir, off, err := parseChunkDirectory(data, off, int(count), true, section,
-		func(extent int) int { return extent*huffman.MaxCodeLen/8 + 8 },
-		func(extent int) int { return (extent + 7) / 8 },
-	)
+	s := getScratch()
+	defer putScratch(s)
+	dir, off, err := parseChunkDirectory(s, data, off, int(count), version, kindSymbols, section)
 	if err != nil {
 		return 0, err
 	}
@@ -666,7 +891,7 @@ func scanSymbolSection(data []byte, off int, section string) (int, error) {
 
 // scanRawSection walks the raw section verifying chunk checksums without
 // inflating.
-func scanRawSection(data []byte, off int) (int, error) {
+func scanRawSection(data []byte, off int, version byte) (int, error) {
 	const section = "raw"
 	if off < 0 || off > len(data) {
 		return 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
@@ -682,10 +907,9 @@ func scanRawSection(data []byte, off int) (int, error) {
 	if rawLen > maxDeflateRatio*uint64(len(data)-off)+64 {
 		return 0, streamerr.Corrupt(section, "raw length %d exceeds stream capacity", rawLen)
 	}
-	dir, off, err := parseChunkDirectory(data, off, int(rawLen), true, section,
-		func(extent int) int { return extent },
-		func(extent int) int { return extent },
-	)
+	s := getScratch()
+	defer putScratch(s)
+	dir, off, err := parseChunkDirectory(s, data, off, int(rawLen), version, kindRaw, section)
 	if err != nil {
 		return 0, err
 	}
@@ -699,55 +923,23 @@ func scanRawSection(data []byte, off int) (int, error) {
 }
 
 func scanChunks(dir *chunkDirectory, payload []byte, section string) error {
-	return parallel.ForErr(len(dir.bounds), 0, 1, func(i int) error {
+	return parallel.ForErr(dir.cc, 0, 1, func(i int) error {
 		return dir.verifyChunk(payload, i, section)
 	})
 }
 
-// flateWriterPool recycles flate.Writer instances (each owns a ~300 KiB
-// dictionary/window state) across sections and chunks.
-var flateWriterPool sync.Pool
-
-// chunkBufPool recycles the per-chunk Huffman bit buffers used on both the
-// encode and decode sides.
-var chunkBufPool sync.Pool
-
-func getChunkBuf() []byte {
-	if p, ok := chunkBufPool.Get().(*[]byte); ok {
-		return (*p)[:0]
-	}
-	return make([]byte, 0, chunkSymbols)
-}
-
-func putChunkBuf(b []byte) {
-	chunkBufPool.Put(&b)
-}
-
-// deflate DEFLATE-compresses data with a pooled writer.
+// deflate DEFLATE-compresses data into a fresh slice. Legacy test writers
+// and one-shot callers use it; the hot path deflates through its scratch.
 func deflate(data []byte) ([]byte, error) {
-	var out bytes.Buffer
-	w, _ := flateWriterPool.Get().(*flate.Writer)
-	if w == nil {
-		var err error
-		w, err = flate.NewWriter(&out, flate.DefaultCompression)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		w.Reset(&out)
-	}
-	defer flateWriterPool.Put(w)
-	if _, err := w.Write(data); err != nil {
-		return nil, err
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	return out.Bytes(), nil
+	s := getScratch()
+	out, err := s.deflate(nil, data)
+	putScratch(s)
+	return out, err
 }
 
 // inflateCap inflates data, failing if the output exceeds max bytes; the
-// cap turns decompression bombs into errors instead of allocations.
+// cap turns decompression bombs into errors instead of allocations. Only
+// the v1 path, which carries no uncompressed sizes, needs it.
 func inflateCap(data []byte, max uint64) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(data))
 	defer r.Close()
@@ -759,34 +951,6 @@ func inflateCap(data []byte, max uint64) ([]byte, error) {
 		return nil, streamerr.Corrupt("inflate", "payload exceeds %d-byte cap", max)
 	}
 	return out, nil
-}
-
-// inflateExact inflates a chunk payload into buf (grown if needed) and
-// requires the output length to match the directory's uncompressed size.
-func inflateExact(data []byte, usize int, buf []byte) ([]byte, error) {
-	if cap(buf) < usize {
-		buf = make([]byte, usize)
-	}
-	buf = buf[:usize]
-	if err := inflateInto(data, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
-}
-
-// inflateInto inflates data into exactly dst, rejecting payloads that
-// inflate short or long.
-func inflateInto(data []byte, dst []byte) error {
-	r := flate.NewReader(bytes.NewReader(data))
-	defer r.Close()
-	if _, err := io.ReadFull(r, dst); err != nil {
-		return streamerr.Corrupt("inflate", "chunk inflates short of %d bytes: %v", len(dst), err)
-	}
-	var probe [1]byte
-	if n, _ := r.Read(probe[:]); n != 0 {
-		return streamerr.Corrupt("inflate", "chunk inflates past its declared %d bytes", len(dst))
-	}
-	return nil
 }
 
 func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -36,7 +36,7 @@ func appendLegacyHeader(dst []byte, version byte, f *field.Field, opts Options) 
 
 // serializeV1 writes the legacy single-stream layout: whole-section
 // Huffman passes wrapped in length-prefixed DEFLATE payloads. The
-// production writer emits v3 only; this copy exists so cross-version
+// production writer emits v4 only; this copy exists so cross-version
 // tests and fuzz seeds can mint fresh v1 archives.
 func serializeV1(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
 	out := appendLegacyHeader(nil, formatV1, f, opts)
@@ -65,13 +65,31 @@ func serializeV1(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw [
 // and fuzz seeds can mint fresh v2 archives.
 func serializeV2(t testing.TB, f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) []byte {
 	t.Helper()
-	out := appendLegacyHeader(nil, formatV2, f, opts)
+	return appendLegacySections(t, appendLegacyHeader(nil, formatV2, f, opts), formatV2, ebSyms, quantSyms, raw)
+}
+
+// serializeV3 writes the CRC-sealed chunked layout without mode tags —
+// exactly what the PR-4 writer emitted — so cross-version tests and fuzz
+// seeds can mint fresh v3 archives.
+func serializeV3(t testing.TB, f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) []byte {
+	t.Helper()
+	out := appendLegacyHeader(nil, formatV3, f, opts)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out[:headerBytes], crcTable))
+	out = appendLegacySections(t, out, formatV3, ebSyms, quantSyms, raw)
+	return appendTrailer(out)
+}
+
+// appendLegacySections writes the three chunked sections in the v2 or v3
+// directory layout (CRC column for v3, never a mode byte).
+func appendLegacySections(t testing.TB, out []byte, version byte, ebSyms, quantSyms []uint32, raw []byte) []byte {
+	t.Helper()
+	withCRC := version >= formatV3
 	for _, syms := range [][]uint32{ebSyms, quantSyms} {
 		out = binary.AppendUvarint(out, uint64(len(syms)))
 		if len(syms) == 0 {
 			continue
 		}
-		sec := buildSymbolSection(t, syms, false, nil)
+		sec := buildSymbolSection(t, syms, version, nil)
 		// buildSymbolSection repeats the symbol count; skip it.
 		_, n := binary.Uvarint(sec)
 		out = append(out, sec[n:]...)
@@ -88,6 +106,9 @@ func serializeV2(t testing.TB, f *field.Field, opts Options, ebSyms, quantSyms [
 			}
 			dir = binary.AppendUvarint(dir, uint64(b[1]-b[0]))
 			dir = binary.AppendUvarint(dir, uint64(len(packed)))
+			if withCRC {
+				dir = binary.LittleEndian.AppendUint32(dir, crc32.Checksum(packed, crcTable))
+			}
 			payload = append(payload, packed...)
 		}
 		out = binary.AppendUvarint(out, uint64(len(bounds)))
@@ -123,6 +144,17 @@ func rewriteAsV2(t *testing.T, f *field.Field, opts Options, cur []byte) []byte 
 	return serializeV2(t, f, opts, ebSyms, quantSyms, raw)
 }
 
+// rewriteAsV3 converts a current-format archive into the equivalent v3
+// archive through the CRC-sealed, mode-less legacy chunked writer.
+func rewriteAsV3(t *testing.T, f *field.Field, opts Options, cur []byte) []byte {
+	t.Helper()
+	_, ebSyms, quantSyms, raw, err := parse(cur, 1, nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return serializeV3(t, f, opts, ebSyms, quantSyms, raw)
+}
+
 func fieldsEqual(t *testing.T, a, b *field.Field) {
 	t.Helper()
 	if a.Dim() != b.Dim() || a.NumVertices() != b.NumVertices() {
@@ -138,8 +170,8 @@ func fieldsEqual(t *testing.T, a, b *field.Field) {
 	}
 }
 
-// TestCrossVersionDecode guards the compatibility promise: v1 and v2
-// archives of the same sections must decode to the exact field the v3
+// TestCrossVersionDecode guards the compatibility promise: v1, v2, and v3
+// archives of the same sections must decode to the exact field the v4
 // archive produces, at every worker count.
 func TestCrossVersionDecode(t *testing.T) {
 	for _, tc := range []struct {
@@ -156,8 +188,8 @@ func TestCrossVersionDecode(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if res.Bytes[4] != formatV3 {
-				t.Fatalf("writer emitted version %d, want %d", res.Bytes[4], formatV3)
+			if res.Bytes[4] != formatVersion {
+				t.Fatalf("writer emitted version %d, want %d", res.Bytes[4], formatVersion)
 			}
 			v1 := rewriteAsV1(t, tc.f, tc.opts, res.Bytes)
 			if v1[4] != formatV1 {
@@ -167,12 +199,16 @@ func TestCrossVersionDecode(t *testing.T) {
 			if v2[4] != formatV2 {
 				t.Fatalf("legacy chunked writer emitted version %d", v2[4])
 			}
+			v3 := rewriteAsV3(t, tc.f, tc.opts, res.Bytes)
+			if v3[4] != formatV3 {
+				t.Fatalf("legacy sealed writer emitted version %d", v3[4])
+			}
 			want, err := Decompress(res.Bytes, 2)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 4} {
-				for name, legacy := range map[string][]byte{"v1": v1, "v2": v2} {
+				for name, legacy := range map[string][]byte{"v1": v1, "v2": v2, "v3": v3} {
 					got, err := Decompress(legacy, workers)
 					if err != nil {
 						t.Fatalf("%s decode (workers=%d): %v", name, workers, err)
@@ -184,11 +220,12 @@ func TestCrossVersionDecode(t *testing.T) {
 	}
 }
 
-// TestV2DeterministicAcrossWorkerCounts pins the headline invariant of the
-// chunked entropy back-end: archive bytes are identical for every worker
-// count, and every worker count decodes every archive identically. The
-// field is large enough that each symbol section spans multiple chunks.
-func TestV2DeterministicAcrossWorkerCounts(t *testing.T) {
+// TestV4DeterministicAcrossWorkerCounts pins the headline invariant of the
+// chunked entropy back-end: archive bytes — including every per-chunk mode
+// decision — are identical for every worker count, and every worker count
+// decodes every archive identically. The field is large enough that each
+// symbol section spans multiple chunks.
+func TestV4DeterministicAcrossWorkerCounts(t *testing.T) {
 	f := gyre2D(256, 192) // 49152 vertices -> quant section > 2 chunks
 	var ref []byte
 	var want *field.Field
@@ -197,6 +234,9 @@ func TestV2DeterministicAcrossWorkerCounts(t *testing.T) {
 		res, err := Compress(f, opts)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if res.Bytes[4] != formatV4 {
+			t.Fatalf("writer emitted version %d, want %d", res.Bytes[4], formatV4)
 		}
 		dec, err := Decompress(res.Bytes, workers)
 		if err != nil {
@@ -215,9 +255,11 @@ func TestV2DeterministicAcrossWorkerCounts(t *testing.T) {
 
 // buildSymbolSection mirrors appendSymbolSection but lets the test tamper
 // with the chunk directory before it is written, to model corrupt or
-// adversarial archives. withCRC selects the v3 directory layout; the crcs
-// slice passed to tamper is ignored otherwise.
-func buildSymbolSection(t testing.TB, syms []uint32, withCRC bool, tamper func(cc *uint64, usizes, csizes []uint64, crcs []uint32)) []byte {
+// adversarial archives. The version byte selects the directory layout: the
+// CRC column appears for v3+, the mode column for v4. Every chunk is
+// written in Huffman mode; the modes slice passed to tamper (ignored
+// pre-v4) lets a lie claim otherwise.
+func buildSymbolSection(t testing.TB, syms []uint32, version byte, tamper func(cc *uint64, usizes, csizes []uint64, crcs []uint32, modes []byte)) []byte {
 	t.Helper()
 	table, err := huffman.BuildTable(syms, 1)
 	if err != nil {
@@ -227,6 +269,7 @@ func buildSymbolSection(t testing.TB, syms []uint32, withCRC bool, tamper func(c
 	usizes := make([]uint64, len(bounds))
 	csizes := make([]uint64, len(bounds))
 	crcs := make([]uint32, len(bounds))
+	modes := make([]byte, len(bounds))
 	var payload []byte
 	for i, b := range bounds {
 		bits := table.EncodeChunk(nil, syms[b[0]:b[1]])
@@ -241,7 +284,7 @@ func buildSymbolSection(t testing.TB, syms []uint32, withCRC bool, tamper func(c
 	}
 	cc := uint64(len(bounds))
 	if tamper != nil {
-		tamper(&cc, usizes, csizes, crcs)
+		tamper(&cc, usizes, csizes, crcs, modes)
 	}
 	out := binary.AppendUvarint(nil, uint64(len(syms)))
 	out = table.AppendTable(out)
@@ -249,7 +292,10 @@ func buildSymbolSection(t testing.TB, syms []uint32, withCRC bool, tamper func(c
 	for i := range usizes {
 		out = binary.AppendUvarint(out, usizes[i])
 		out = binary.AppendUvarint(out, csizes[i])
-		if withCRC {
+		if version >= formatV4 {
+			out = append(out, modes[i])
+		}
+		if version >= formatV3 {
 			out = binary.LittleEndian.AppendUint32(out, crcs[i])
 		}
 	}
@@ -265,42 +311,42 @@ func manySyms(n int) []uint32 {
 }
 
 // TestChunkDirectoryLies drives parseSymbolSection with directories that
-// lie about chunk counts and sizes: every lie must surface as a
-// streamerr-typed error — never a panic, hang, or silent mis-decode. Both
-// the v2 (CRC-less) and v3 directory layouts are exercised.
+// lie about chunk counts, sizes, and modes: every lie must surface as a
+// streamerr-typed error — never a panic, hang, or silent mis-decode. The
+// v2 (CRC-less), v3 (CRC), and v4 (CRC + mode) directory layouts are all
+// exercised.
 func TestChunkDirectoryLies(t *testing.T) {
 	syms := manySyms(3*chunkSymbols + 1000) // 4 chunks
 	lies := []struct {
-		name   string
-		v3only bool
-		tamper func(cc *uint64, usizes, csizes []uint64, crcs []uint32)
+		name       string
+		minVersion byte
+		tamper     func(cc *uint64, usizes, csizes []uint64, crcs []uint32, modes []byte)
 	}{
-		{"chunk-count-zero", false, func(cc *uint64, _, _ []uint64, _ []uint32) { *cc = 0 }},
-		{"chunk-count-low", false, func(cc *uint64, _, _ []uint64, _ []uint32) { *cc = 1 }},
-		{"chunk-count-high", false, func(cc *uint64, _, _ []uint64, _ []uint32) { *cc = 9 }},
-		{"chunk-count-huge", false, func(cc *uint64, _, _ []uint64, _ []uint32) { *cc = 1 << 40 }},
-		{"usize-zero", false, func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[0] = 0 }},
-		{"usize-short", false, func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[1]-- }},
-		{"usize-long", false, func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[1]++ }},
-		{"usize-bomb", false, func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[2] = 1 << 40 }},
-		{"csize-overlap", false, func(_ *uint64, _, csizes []uint64, _ []uint32) { csizes[0]++ }}, // chunk 1 starts inside chunk 0
-		{"csize-short", false, func(_ *uint64, _, csizes []uint64, _ []uint32) { csizes[2]-- }},
-		{"csize-huge", false, func(_ *uint64, _, csizes []uint64, _ []uint32) { csizes[3] = 1 << 40 }},
-		{"crc-flip", true, func(_ *uint64, _, _ []uint64, crcs []uint32) { crcs[1] ^= 1 }},
-		{"crc-zero", true, func(_ *uint64, _, _ []uint64, crcs []uint32) { crcs[3] = 0 }},
+		{"chunk-count-zero", formatV2, func(cc *uint64, _, _ []uint64, _ []uint32, _ []byte) { *cc = 0 }},
+		{"chunk-count-low", formatV2, func(cc *uint64, _, _ []uint64, _ []uint32, _ []byte) { *cc = 1 }},
+		{"chunk-count-high", formatV2, func(cc *uint64, _, _ []uint64, _ []uint32, _ []byte) { *cc = 9 }},
+		{"chunk-count-huge", formatV2, func(cc *uint64, _, _ []uint64, _ []uint32, _ []byte) { *cc = 1 << 40 }},
+		{"usize-zero", formatV2, func(_ *uint64, usizes, _ []uint64, _ []uint32, _ []byte) { usizes[0] = 0 }},
+		{"usize-short", formatV2, func(_ *uint64, usizes, _ []uint64, _ []uint32, _ []byte) { usizes[1]-- }},
+		{"usize-long", formatV2, func(_ *uint64, usizes, _ []uint64, _ []uint32, _ []byte) { usizes[1]++ }},
+		{"usize-bomb", formatV2, func(_ *uint64, usizes, _ []uint64, _ []uint32, _ []byte) { usizes[2] = 1 << 40 }},
+		{"csize-overlap", formatV2, func(_ *uint64, _, csizes []uint64, _ []uint32, _ []byte) { csizes[0]++ }}, // chunk 1 starts inside chunk 0
+		{"csize-short", formatV2, func(_ *uint64, _, csizes []uint64, _ []uint32, _ []byte) { csizes[2]-- }},
+		{"csize-huge", formatV2, func(_ *uint64, _, csizes []uint64, _ []uint32, _ []byte) { csizes[3] = 1 << 40 }},
+		{"crc-flip", formatV3, func(_ *uint64, _, _ []uint64, crcs []uint32, _ []byte) { crcs[1] ^= 1 }},
+		{"crc-zero", formatV3, func(_ *uint64, _, _ []uint64, crcs []uint32, _ []byte) { crcs[3] = 0 }},
+		{"mode-unknown", formatV4, func(_ *uint64, _, _ []uint64, _ []uint32, modes []byte) { modes[1] = maxChunkMode + 1 }},
+		{"mode-flip-to-packed", formatV4, func(_ *uint64, _, _ []uint64, _ []uint32, modes []byte) { modes[0] = symChunkPacked }},
 	}
-	for _, withCRC := range []bool{false, true} {
-		layout := "v2"
-		if withCRC {
-			layout = "v3"
-		}
+	for _, version := range []byte{formatV2, formatV3, formatV4} {
+		layout := "v" + strconv.Itoa(int(version))
 		for _, lie := range lies {
-			if lie.v3only && !withCRC {
+			if lie.minVersion > version {
 				continue
 			}
 			t.Run(layout+"/"+lie.name, func(t *testing.T) {
-				sec := buildSymbolSection(t, syms, withCRC, lie.tamper)
-				_, _, err := parseSymbolSection(sec, 0, 2, withCRC, "test", nil)
+				sec := buildSymbolSection(t, syms, version, lie.tamper)
+				_, _, err := parseSymbolSection(sec, 0, 2, version, "test", nil)
 				if err == nil {
 					t.Fatal("lying directory parsed without error")
 				}
@@ -310,8 +356,8 @@ func TestChunkDirectoryLies(t *testing.T) {
 			})
 		}
 		// Control: the untampered section round-trips.
-		sec := buildSymbolSection(t, syms, withCRC, nil)
-		got, off, err := parseSymbolSection(sec, 0, 2, withCRC, "test", nil)
+		sec := buildSymbolSection(t, syms, version, nil)
+		got, off, err := parseSymbolSection(sec, 0, 2, version, "test", nil)
 		if err != nil {
 			t.Fatalf("%s untampered section: %v", layout, err)
 		}
@@ -330,13 +376,13 @@ func TestChunkDirectoryLies(t *testing.T) {
 // boundary inside its directory; every prefix must error.
 func TestTruncatedDirectory(t *testing.T) {
 	syms := manySyms(2*chunkSymbols + 10)
-	for _, withCRC := range []bool{false, true} {
-		sec := buildSymbolSection(t, syms, withCRC, nil)
+	for _, version := range []byte{formatV2, formatV3, formatV4} {
+		sec := buildSymbolSection(t, syms, version, nil)
 		// The directory sits between the codebook and the payload; cutting
 		// anywhere before the payload end must fail.
 		for cut := 0; cut < len(sec); cut += 7 {
-			if _, _, err := parseSymbolSection(sec[:cut], 0, 1, withCRC, "test", nil); err == nil {
-				t.Fatalf("section truncated to %d of %d bytes parsed (withCRC=%v)", cut, len(sec), withCRC)
+			if _, _, err := parseSymbolSection(sec[:cut], 0, 1, version, "test", nil); err == nil {
+				t.Fatalf("section truncated to %d of %d bytes parsed (v%d)", cut, len(sec), version)
 			}
 		}
 	}
@@ -450,8 +496,172 @@ func TestVerify(t *testing.T) {
 	if err := Verify(rewriteAsV2(t, f, opts, res.Bytes)); !errors.Is(err, streamerr.ErrVersion) {
 		t.Fatalf("v2 archive: got %v, want ErrVersion", err)
 	}
+	// v3 archives carry checksums but no mode column; the scan must still
+	// accept them.
+	if err := Verify(rewriteAsV3(t, f, opts, res.Bytes)); err != nil {
+		t.Fatalf("intact v3 archive failed verification: %v", err)
+	}
 	if err := Verify(nil); !errors.Is(err, streamerr.ErrTruncated) {
 		t.Fatalf("empty input: got %v, want ErrTruncated", err)
+	}
+}
+
+// TestV4ChunkModes pins the writer's per-chunk mode decision and both
+// decode paths: a near-uniform alphabet (where Huffman cannot beat raw
+// k-bit fields by the required margin) goes bit-packed, a skewed wide-range
+// alphabet stays Huffman, incompressible raw bytes are stored verbatim, and
+// compressible raw bytes stay DEFLATE — and every one of them round-trips.
+func TestV4ChunkModes(t *testing.T) {
+	readModes := func(t *testing.T, sec []byte, count int, kind int) []byte {
+		t.Helper()
+		off := 0
+		n, sz := binary.Uvarint(sec)
+		if sz <= 0 || int(n) != count {
+			t.Fatalf("section count %d (consumed %d), want %d", n, sz, count)
+		}
+		off += sz
+		if kind == kindSymbols {
+			_, consumed, err := huffman.ParseTable(sec[off:], n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off += consumed
+		}
+		s := getScratch()
+		defer putScratch(s)
+		dir, _, err := parseChunkDirectory(s, sec, off, count, formatV4, kind, "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte{}, dir.modes...)
+	}
+
+	// Near-uniform 64-symbol alphabet: Huffman ~6 bits/symbol vs k=6
+	// packing — inside the 5% margin, so chunks pack.
+	uniform := make([]uint32, chunkSymbols+1000)
+	for i := range uniform {
+		uniform[i] = uint32(i % 64)
+	}
+	// Skewed alphabet with one wide outlier per 64 symbols: Huffman ~1
+	// bit/symbol against k=20 packing, so chunks stay Huffman.
+	skewed := make([]uint32, chunkSymbols+1000)
+	for i := range skewed {
+		if i%64 == 0 {
+			skewed[i] = 1 << 19
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		syms []uint32
+		mode byte
+	}{
+		{"packed", uniform, symChunkPacked},
+		{"huffman", skewed, symChunkHuffman},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sec, err := appendSymbolSection(nil, tc.syms, 2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, m := range readModes(t, sec, len(tc.syms), kindSymbols) {
+				if m != tc.mode {
+					t.Fatalf("chunk %d wrote mode %d, want %d", i, m, tc.mode)
+				}
+			}
+			got, off, err := parseSymbolSection(sec, 0, 2, formatV4, "test", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off != len(sec) {
+				t.Fatalf("consumed %d of %d bytes", off, len(sec))
+			}
+			for i := range tc.syms {
+				if got[i] != tc.syms[i] {
+					t.Fatalf("symbol %d: got %d, want %d", i, got[i], tc.syms[i])
+				}
+			}
+		})
+	}
+
+	// Raw bytes: an incompressible pattern forces stored mode, zeros stay
+	// DEFLATE.
+	noise := make([]byte, chunkRawBytes/4)
+	seed := uint32(0x9E3779B9)
+	for i := range noise {
+		seed = seed*1664525 + 1013904223
+		noise[i] = byte(seed >> 24)
+	}
+	for _, tc := range []struct {
+		name string
+		raw  []byte
+		mode byte
+	}{
+		{"stored", noise, rawChunkStored},
+		{"deflate", make([]byte, chunkRawBytes/4), rawChunkDeflate},
+	} {
+		t.Run("raw-"+tc.name, func(t *testing.T) {
+			sec, err := appendRawSection(nil, tc.raw, 2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, m := range readModes(t, sec, len(tc.raw), kindRaw) {
+				if m != tc.mode {
+					t.Fatalf("chunk %d wrote mode %d, want %d", i, m, tc.mode)
+				}
+			}
+			got, off, err := parseRawSection(sec, 0, 2, formatV4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off != len(sec) {
+				t.Fatalf("consumed %d of %d bytes", off, len(sec))
+			}
+			if !bytes.Equal(got, tc.raw) {
+				t.Fatal("raw section did not round-trip")
+			}
+		})
+	}
+}
+
+// TestPackedChunkLies drives decodePackedChunk with adversarial payloads:
+// every malformed header or mis-sized body must surface as ErrCorrupt,
+// never a panic or silent mis-decode. These payloads pass any CRC check by
+// construction (the CRC would be computed over the lying bytes), so the
+// structural validation is the only defense.
+func TestPackedChunkLies(t *testing.T) {
+	out := make([]uint32, 8)
+	hdr := func(base uint64, k byte) []byte {
+		return append(binary.AppendUvarint(nil, base), k)
+	}
+	for _, tc := range []struct {
+		name string
+		pl   []byte
+	}{
+		{"empty", nil},
+		{"cut-base-uvarint", []byte{0x80}},
+		{"missing-width", binary.AppendUvarint(nil, 3)},
+		{"width-over-32", append(hdr(0, 33), make([]byte, 33)...)},
+		{"base-overflow", hdr(1<<33, 0)},
+		{"k0-trailing-byte", append(hdr(5, 0), 0xFF)},
+		{"payload-short", append(hdr(0, 8), 1, 2, 3)},
+		{"payload-long", append(hdr(0, 8), make([]byte, 9)...)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := decodePackedChunk(tc.pl, out, "test", 0); !errors.Is(err, streamerr.ErrCorrupt) {
+				t.Fatalf("got %v, want ErrCorrupt", err)
+			}
+		})
+	}
+	// Control: a well-formed payload decodes to base+field.
+	want := []uint32{7, 8, 9, 10, 14, 13, 12, 11}
+	pl := huffman.AppendPacked(hdr(7, 3), want, 7, 3)
+	if err := decodePackedChunk(pl, out, "test", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("symbol %d: got %d, want %d", i, out[i], want[i])
+		}
 	}
 }
 

@@ -17,7 +17,7 @@ func streamErrTyped(err error) bool {
 }
 
 // FuzzDecompressTruncated feeds the decompressor arbitrary mutations of
-// valid v1, v2, and v3 streams AND every reachable byte prefix of them:
+// valid v1 through v4 streams AND every reachable byte prefix of them:
 // truncation anywhere in the header, codebook, chunk directory, packed
 // payload, or trailer must surface as a streamerr-typed error — never a
 // panic, hang, unbounded allocation, or silent success with a nil field.
@@ -36,8 +36,8 @@ func FuzzDecompressTruncated(f *testing.F) {
 			f.Add(stream[:cut], uint16(cut))
 		}
 	}
-	// Legacy-layout seeds: the v1 and v2 readers must stay as robust as the
-	// v3 one.
+	// Legacy-layout seeds: the v1, v2, and v3 readers must stay as robust
+	// as the v4 one.
 	_, ebSyms, quantSyms, raw, err := parse(stream, 1, nil)
 	if err != nil {
 		f.Fatal(err)
@@ -51,12 +51,29 @@ func FuzzDecompressTruncated(f *testing.F) {
 	v2 := serializeV2(f, field2d, opts, ebSyms, quantSyms, raw)
 	f.Add(v2, uint16(len(v2)))
 	f.Add(v2[:len(v2)/2], uint16(0))
+	v3 := serializeV3(f, field2d, opts, ebSyms, quantSyms, raw)
+	f.Add(v3, uint16(len(v3)))
+	f.Add(v3[:len(v3)/2], uint16(0))
 	// Regression seed for the unbounded-inflate crasher: a chunk directory
 	// claiming a huge uncompressed size from a tiny payload must be
 	// rejected by the size cap, not materialized by io.ReadAll.
-	bomb := buildSymbolSection(f, manySyms(chunkSymbols+10), false,
-		func(_ *uint64, usizes, _ []uint64, _ []uint32) { usizes[0] = 1 << 40 })
+	bomb := buildSymbolSection(f, manySyms(chunkSymbols+10), formatV2,
+		func(_ *uint64, usizes, _ []uint64, _ []uint32, _ []byte) { usizes[0] = 1 << 40 })
 	f.Add(append(append([]byte{}, stream[:headerBytes]...), bomb...), uint16(0))
+	// v4 bit-packed seeds: a section whose chunks all take the packed fast
+	// path, and a directory whose mode column lies about it.
+	uniform := make([]uint32, chunkSymbols+100)
+	for i := range uniform {
+		uniform[i] = uint32(i % 64)
+	}
+	packedSec, err := appendSymbolSection(nil, uniform, 1, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(append([]byte{}, stream[:headerBytesV3]...), packedSec...), uint16(0))
+	modeLie := buildSymbolSection(f, manySyms(chunkSymbols+10), formatV4,
+		func(_ *uint64, _, _ []uint64, _ []uint32, modes []byte) { modes[0] = symChunkPacked })
+	f.Add(append(append([]byte{}, stream[:headerBytesV3]...), modeLie...), uint16(0))
 	// Checksum-tamper regression seeds: a flipped per-chunk CRC in the v3
 	// directory, and a trailer lying about the payload length.
 	crcFlip := append([]byte{}, stream...)

@@ -1,0 +1,116 @@
+package critical
+
+import (
+	"math"
+
+	"tspsz/internal/field"
+	"tspsz/internal/robust"
+)
+
+// FixedField is a vector field quantized to integers with a shared
+// power-of-two scale, the representation cpSZ-sos runs its robust
+// critical-point test on. Quantizing once up front makes every membership
+// decision exact integer arithmetic — no per-cell error certificates and
+// no rational fallback — and the struct is read-only after construction,
+// so extraction workers share it freely.
+type FixedField struct {
+	U, V, W []int64 // W nil in 2D
+	Scale   float64
+}
+
+// NewFixedField quantizes f with the largest power-of-two scale that keeps
+// every component inside the fixed predicates' magnitude bound.
+func NewFixedField(f *field.Field) *FixedField {
+	maxAbs := 0.0
+	for _, comp := range f.Components() {
+		for _, v := range comp {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	scale := robust.FixedScale(maxAbs)
+	quant := func(src []float32) []int64 {
+		out := make([]int64, len(src))
+		for i, v := range src {
+			out[i] = robust.ToFixed(float64(v), scale)
+		}
+		return out
+	}
+	fx := &FixedField{U: quant(f.U), V: quant(f.V), Scale: scale}
+	if f.W != nil {
+		fx.W = quant(f.W)
+	}
+	return fx
+}
+
+// CellHasCP reports SoS critical-point membership for the cell with global
+// vertex indices vs, decided by the fixed-point predicates.
+func (fx *FixedField) CellHasCP(vs []int) bool {
+	if fx.W == nil {
+		return fx.cellHasCP2D(vs)
+	}
+	return fx.cellHasCP3D(vs)
+}
+
+func (fx *FixedField) cellHasCP2D(vs []int) bool {
+	s0 := robust.SoSDetSign2Fixed(fx.U[vs[1]], fx.V[vs[1]], vs[1], fx.U[vs[2]], fx.V[vs[2]], vs[2])
+	s1 := robust.SoSDetSign2Fixed(fx.U[vs[2]], fx.V[vs[2]], vs[2], fx.U[vs[0]], fx.V[vs[0]], vs[0])
+	s2 := robust.SoSDetSign2Fixed(fx.U[vs[0]], fx.V[vs[0]], vs[0], fx.U[vs[1]], fx.V[vs[1]], vs[1])
+	return s0 == s1 && s1 == s2
+}
+
+func (fx *FixedField) cellHasCP3D(vs []int) bool {
+	col := func(slot int) robust.Vec3Fixed {
+		vi := vs[slot]
+		return robust.Vec3Fixed{U: fx.U[vi], V: fx.V[vi], W: fx.W[vi], Idx: vi}
+	}
+	var ref int
+	for k := 0; k < 4; k++ {
+		var cols [3]robust.Vec3Fixed
+		ci := 0
+		for s := 0; s < 4; s++ {
+			if s == k {
+				continue
+			}
+			cols[ci] = col(s)
+			ci++
+		}
+		s := robust.SoSDetSign3Fixed(cols[0], cols[1], cols[2])
+		if k%2 == 0 {
+			s = -s // the (−1)^(k+1) factor
+		}
+		if k == 0 {
+			ref = s
+			continue
+		}
+		if s != ref {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractSoSFixedRange extracts critical points of cells [lo, hi) with
+// membership decided by the fixed-point SoS predicates; position and
+// classification reuse the numerical solver exactly like the float SoS
+// extractors. fx must be NewFixedField(f).
+func ExtractSoSFixedRange(f *field.Field, fx *FixedField, lo, hi int) []Point {
+	var pts []Point
+	var vbuf [4]int
+	dim := f.Dim()
+	for c := lo; c < hi; c++ {
+		vs := f.Grid.CellVertices(c, vbuf[:0])
+		if !fx.CellHasCP(vs) {
+			continue
+		}
+		pts = append(pts, memberPoint(f, c, dim))
+	}
+	return pts
+}
+
+// ExtractSoSFixed extracts the critical points of a 2D or 3D field under
+// fixed-point Simulation of Simplicity.
+func ExtractSoSFixed(f *field.Field) []Point {
+	return ExtractSoSFixedRange(f, NewFixedField(f), 0, f.Grid.NumCells())
+}

@@ -1,0 +1,103 @@
+package critical
+
+import (
+	"testing"
+
+	"tspsz/internal/datagen"
+	"tspsz/internal/field"
+)
+
+// samePoints asserts two extractions found the same cells with the same
+// classifications, in the same deterministic order.
+func samePoints(t *testing.T, name string, want, got []Point) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d critical points", name, len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Cell != got[i].Cell {
+			t.Fatalf("%s point %d: cell %d vs %d", name, i, want[i].Cell, got[i].Cell)
+		}
+		if want[i].Type != got[i].Type {
+			t.Fatalf("%s point %d (cell %d): type %v vs %v", name, i, want[i].Cell, want[i].Type, got[i].Type)
+		}
+	}
+}
+
+// TestFixedSoSMatchesFloatSoSOnDatagen is the exhaustive equivalence run:
+// on every datagen suite, every cell's fixed-point SoS membership decision
+// must agree with the float SoS path — same cells, same classifications.
+func TestFixedSoSMatchesFloatSoSOnDatagen(t *testing.T) {
+	for _, name := range datagen.Names() {
+		t.Run(name, func(t *testing.T) {
+			f, err := datagen.ByName(name, 0.125)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var float []Point
+			if f.Dim() == 2 {
+				float = ExtractSoS2D(f)
+			} else {
+				float = ExtractSoS3D(f)
+			}
+			fixed := ExtractSoSFixed(f)
+			samePoints(t, name, float, fixed)
+			if len(fixed) == 0 {
+				t.Fatalf("%s: no critical points extracted — vacuous equivalence", name)
+			}
+			// Membership must also agree cell by cell, not just on the
+			// members: sweep every cell through both predicates.
+			fx := NewFixedField(f)
+			nc := f.Grid.NumCells()
+			var vbuf [4]int
+			for c := 0; c < nc; c++ {
+				vs := f.Grid.CellVertices(c, vbuf[:0])
+				var fl bool
+				if f.Dim() == 2 {
+					fl = cellHasCPSoS(f, vs)
+				} else {
+					fl = cellHasCPSoS3D(f, vs)
+				}
+				if fi := fx.CellHasCP(vs); fi != fl {
+					t.Fatalf("%s cell %d: fixed membership %v, float %v", name, c, fi, fl)
+				}
+			}
+		})
+	}
+}
+
+// A critical point exactly on the diagonal shared by two triangles is
+// claimed by exactly one cell under fixed-point SoS, matching the float
+// SoS behavior (and unlike the numerical extractor, which reports both).
+func TestFixedSoSDeduplicatesFaceCP(t *testing.T) {
+	f := field.New2D(9, 9)
+	fill2D(f, func(x, y float64) (float64, float64) { return x - 4.25, y - 4.25 })
+	float := ExtractSoS2D(f)
+	fixed := ExtractSoSFixed(f)
+	samePoints(t, "face-degenerate", float, fixed)
+	if len(fixed) != 1 {
+		t.Fatalf("fixed SoS found %d critical points, want exactly 1", len(fixed))
+	}
+	if fixed[0].Type != Source {
+		t.Errorf("fixed SoS cp type %v, want source", fixed[0].Type)
+	}
+}
+
+// Quantization must be exact for power-of-two data (float32 in, power-of-
+// two scale): the FixedField round-trips values bit-for-bit.
+func TestFixedFieldExactForDyadicData(t *testing.T) {
+	f := field.New2D(4, 4)
+	for i := range f.U {
+		f.U[i] = float32(i) - 7.5  // dyadic values
+		f.V[i] = float32(i)*0.25 - 1
+	}
+	fx := NewFixedField(f)
+	for i := range f.U {
+		if got, want := float64(fx.U[i])/fx.Scale, float64(f.U[i]); got != want {
+			t.Fatalf("U[%d]: quantized %v, want %v (scale %v)", i, got, want, fx.Scale)
+		}
+		if got, want := float64(fx.V[i])/fx.Scale, float64(f.V[i]); got != want {
+			t.Fatalf("V[%d]: quantized %v, want %v (scale %v)", i, got, want, fx.Scale)
+		}
+	}
+}

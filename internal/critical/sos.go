@@ -25,34 +25,39 @@ func ExtractSoS2D(f *field.Field) []Point {
 		if !cellHasCPSoS(f, vs) {
 			continue
 		}
-		// Reuse the numerical solver for position/classification; SoS only
-		// decides membership. For face-degenerate points the numerical μ
-		// may sit exactly on the boundary, which is fine for positions.
-		if pt, ok := ExtractCell(f, c); ok {
-			pts = append(pts, pt)
-			continue
-		}
-		// Membership held under SoS but the numerical test rejected it
-		// (boundary rounding): synthesize the point at the cell centroid
-		// of the numerical solution clamped into the cell.
-		var pbuf [4][3]float64
-		ps := f.Grid.CellVerticesPositions(c, pbuf[:0])
-		var pos [3]float64
-		for _, p := range ps {
-			for d := 0; d < 3; d++ {
-				pos[d] += p[d] / float64(len(ps))
-			}
-		}
-		pt := Point{Cell: c, Pos: pos}
-		if J, ok := CellJacobian(f, c); ok {
-			pt.Jacobian = J
-			classify(&pt, 2)
-		} else {
-			pt.Type = Degenerate
-		}
-		pts = append(pts, pt)
+		pts = append(pts, memberPoint(f, c, 2))
 	}
 	return pts
+}
+
+// memberPoint recovers position and classification for a cell whose SoS
+// membership already holds — the numerical solver when it converges, else
+// the cell centroid. For face-degenerate points the numerical μ may sit
+// exactly on the boundary, which is fine for positions; membership is the
+// SoS predicate's decision alone. Shared by the float- and fixed-point SoS
+// extractors.
+func memberPoint(f *field.Field, c, dim int) Point {
+	if pt, ok := ExtractCell(f, c); ok {
+		return pt
+	}
+	// Membership held under SoS but the numerical test rejected it
+	// (boundary rounding): synthesize the point at the cell centroid.
+	var pbuf [4][3]float64
+	ps := f.Grid.CellVerticesPositions(c, pbuf[:0])
+	var pos [3]float64
+	for _, p := range ps {
+		for d := 0; d < 3; d++ {
+			pos[d] += p[d] / float64(len(ps))
+		}
+	}
+	pt := Point{Cell: c, Pos: pos}
+	if J, ok := CellJacobian(f, c); ok {
+		pt.Jacobian = J
+		classify(&pt, dim)
+	} else {
+		pt.Type = Degenerate
+	}
+	return pt
 }
 
 // cellHasCPSoS evaluates the three SoS determinant signs of Eq. 2.

@@ -21,26 +21,7 @@ func ExtractSoS3D(f *field.Field) []Point {
 		if !cellHasCPSoS3D(f, vs) {
 			continue
 		}
-		if pt, ok := ExtractCell(f, c); ok {
-			pts = append(pts, pt)
-			continue
-		}
-		var pbuf [4][3]float64
-		ps := f.Grid.CellVerticesPositions(c, pbuf[:0])
-		var pos [3]float64
-		for _, p := range ps {
-			for d := 0; d < 3; d++ {
-				pos[d] += p[d] / float64(len(ps))
-			}
-		}
-		pt := Point{Cell: c, Pos: pos}
-		if J, ok := CellJacobian(f, c); ok {
-			pt.Jacobian = J
-			classify(&pt, 3)
-		} else {
-			pt.Type = Degenerate
-		}
-		pts = append(pts, pt)
+		pts = append(pts, memberPoint(f, c, 3))
 	}
 	return pts
 }

@@ -1,0 +1,471 @@
+// Package flatedec is a minimal DEFLATE (RFC 1951) decoder for the
+// entropy-path chunk decode. Unlike compress/flate it decodes into a
+// caller-provided buffer of exactly the declared uncompressed size — the
+// chunk directory always knows usize, so no sliding window is kept and LZ
+// back-references copy directly from the output — and all table state
+// lives inside the reusable Decoder, so a warm decoder performs zero
+// allocations per stream. compress/flate rebuilds its two-level decode
+// tables on the heap for every dynamic block even through Resetter.Reset,
+// which put several hundred small allocations on every Parse call; this
+// decoder exists to take that off the hot path. The encode side still
+// uses compress/flate — the formats are identical on the wire.
+package flatedec
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// Sentinel errors. They carry no per-stream detail so the hot path
+// allocates nothing on failure; callers wrap them with stream context.
+var (
+	ErrCorrupt   = errors.New("flatedec: corrupt deflate stream")
+	ErrTruncated = errors.New("flatedec: truncated deflate stream")
+	ErrTooLong   = errors.New("flatedec: stream inflates past the declared size")
+	ErrTooShort  = errors.New("flatedec: stream inflates short of the declared size")
+)
+
+const (
+	maxCodeBits = 15 // longest Huffman code DEFLATE permits
+	rootBits    = 10 // direct-lookup span of the root table
+	numLitSyms  = 288
+	numDistSyms = 32
+	numCLenSyms = 19
+)
+
+// huffCode is one canonical Huffman code: a direct root table for codes
+// of at most rootBits bits, and the count/first/offs canonical arrays for
+// the bit-serial fallback on longer codes. Everything is fixed-size so a
+// rebuild touches no heap.
+type huffCode struct {
+	root  [1 << rootBits]uint16 // sym<<4 | len; 0 means no code this short
+	count [maxCodeBits + 1]uint16
+	first [maxCodeBits + 1]uint16 // first canonical code value per length
+	offs  [maxCodeBits + 1]uint16 // index into syms per length
+	syms  [numLitSyms]uint16      // symbols in canonical (length, symbol) order
+	empty bool
+}
+
+// build constructs the code from per-symbol lengths (0 = absent). It
+// accepts complete codes, the empty code (valid until used — DEFLATE
+// allows an empty distance tree), and the degenerate single-symbol,
+// single-bit code that zlib-family encoders emit; anything else is
+// corrupt. Callers guarantee every length is at most maxCodeBits.
+func (h *huffCode) build(lengths []uint8) error {
+	for i := range h.count {
+		h.count[i] = 0
+	}
+	total := 0
+	for _, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		h.count[l]++
+		total++
+	}
+	h.empty = total == 0
+	if h.empty {
+		return nil
+	}
+	left := 1
+	for l := 1; l <= maxCodeBits; l++ {
+		left <<= 1
+		left -= int(h.count[l])
+		if left < 0 {
+			return ErrCorrupt // over-subscribed
+		}
+	}
+	if left > 0 && !(total == 1 && h.count[1] == 1) {
+		return ErrCorrupt // incomplete, and not the degenerate tree
+	}
+	code, idx := 0, 0
+	for l := 1; l <= maxCodeBits; l++ {
+		code <<= 1
+		h.first[l] = uint16(code)
+		h.offs[l] = uint16(idx)
+		code += int(h.count[l])
+		idx += int(h.count[l])
+	}
+	var next [maxCodeBits + 1]uint16
+	copy(next[:], h.offs[:])
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		h.syms[next[l]] = uint16(sym)
+		next[l]++
+	}
+	for i := range h.root {
+		h.root[i] = 0
+	}
+	// Second canonical walk assigns each symbol its code value and spreads
+	// the short ones over the root table: DEFLATE transmits code bits
+	// most-significant first inside the LSB-first stream, so the table is
+	// indexed by the bit-reversed code padded with every suffix.
+	var nc [maxCodeBits + 1]uint16
+	copy(nc[:], h.first[:])
+	for sym, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		c := nc[l]
+		nc[l]++
+		if int(l) > rootBits {
+			continue
+		}
+		rev := bits.Reverse16(c) >> (16 - l)
+		e := uint16(sym)<<4 | uint16(l)
+		for j := int(rev); j < 1<<rootBits; j += 1 << l {
+			h.root[j] = e
+		}
+	}
+	return nil
+}
+
+// Decoder inflates DEFLATE streams. The zero value is ready to use; a
+// Decoder may be reused indefinitely (that is the point — its tables and
+// length scratch are rebuilt in place) but is not safe for concurrent
+// use. It retains no reference to dst or src after Decode returns.
+type Decoder struct {
+	src  []byte
+	pos  int
+	bits uint64
+	n    uint
+
+	dst  []byte
+	opos int
+
+	lit, dist, clen     huffCode
+	fixedLit, fixedDist huffCode
+	fixedReady          bool
+	lens                [numLitSyms + numDistSyms]uint8
+}
+
+// Decode inflates src into exactly dst. Streams that inflate past
+// len(dst) fail with ErrTooLong, streams that end short of it with
+// ErrTooShort; bytes after the final block are ignored, as with
+// compress/flate.
+func (d *Decoder) Decode(dst, src []byte) error {
+	d.src, d.pos, d.bits, d.n = src, 0, 0, 0
+	d.dst, d.opos = dst, 0
+	err := d.decode()
+	d.src, d.dst = nil, nil
+	return err
+}
+
+func (d *Decoder) decode() error {
+	for {
+		final, err := d.getBits(1)
+		if err != nil {
+			return err
+		}
+		typ, err := d.getBits(2)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case 0:
+			err = d.storedBlock()
+		case 1:
+			d.initFixed()
+			err = d.lzBlock(&d.fixedLit, &d.fixedDist)
+		case 2:
+			err = d.dynamicBlock()
+		default:
+			err = ErrCorrupt
+		}
+		if err != nil {
+			return err
+		}
+		if final == 1 {
+			break
+		}
+	}
+	if d.opos != len(d.dst) {
+		return ErrTooShort
+	}
+	return nil
+}
+
+func (d *Decoder) refill() {
+	for d.n <= 56 && d.pos < len(d.src) {
+		d.bits |= uint64(d.src[d.pos]) << d.n
+		d.pos++
+		d.n += 8
+	}
+}
+
+// getBits returns the next k (at most 16) stream bits, LSB first.
+func (d *Decoder) getBits(k uint) (uint32, error) {
+	if d.n < k {
+		d.refill()
+		if d.n < k {
+			return 0, ErrTruncated
+		}
+	}
+	v := uint32(d.bits) & (1<<k - 1)
+	d.bits >>= k
+	d.n -= k
+	return v, nil
+}
+
+// decodeSym reads one Huffman symbol: a root-table hit consumes its
+// length at once; longer codes fall back to the canonical bit-serial
+// walk (at most maxCodeBits steps, so corrupt input cannot loop).
+func (d *Decoder) decodeSym(h *huffCode) (int, error) {
+	if h.empty {
+		return 0, ErrCorrupt
+	}
+	if d.n < rootBits {
+		d.refill()
+	}
+	if e := h.root[d.bits&(1<<rootBits-1)]; e != 0 {
+		l := uint(e & 15)
+		if l > d.n {
+			return 0, ErrTruncated
+		}
+		d.bits >>= l
+		d.n -= l
+		return int(e >> 4), nil
+	}
+	code := 0
+	for l := 1; l <= maxCodeBits; l++ {
+		if d.n == 0 {
+			d.refill()
+			if d.n == 0 {
+				return 0, ErrTruncated
+			}
+		}
+		code = code<<1 | int(d.bits&1)
+		d.bits >>= 1
+		d.n--
+		if diff := code - int(h.first[l]); diff >= 0 && diff < int(h.count[l]) {
+			return int(h.syms[int(h.offs[l])+diff]), nil
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// storedBlock copies a type-0 block straight from src; the bit buffer
+// holds only whole bytes after alignment, so the block's source offset is
+// recovered from the read position.
+func (d *Decoder) storedBlock() error {
+	drop := d.n & 7
+	d.bits >>= drop
+	d.n -= drop
+	ln, err := d.getBits(16)
+	if err != nil {
+		return err
+	}
+	nln, err := d.getBits(16)
+	if err != nil {
+		return err
+	}
+	if ln != ^nln&0xffff {
+		return ErrCorrupt
+	}
+	start := d.pos - int(d.n>>3)
+	end := start + int(ln)
+	if end > len(d.src) {
+		return ErrTruncated
+	}
+	if d.opos+int(ln) > len(d.dst) {
+		return ErrTooLong
+	}
+	copy(d.dst[d.opos:], d.src[start:end])
+	d.opos += int(ln)
+	d.pos = end
+	d.bits, d.n = 0, 0
+	return nil
+}
+
+func (d *Decoder) initFixed() {
+	if d.fixedReady {
+		return
+	}
+	var lit [numLitSyms]uint8
+	for i := range lit {
+		switch {
+		case i < 144:
+			lit[i] = 8
+		case i < 256:
+			lit[i] = 9
+		case i < 280:
+			lit[i] = 7
+		default:
+			lit[i] = 8
+		}
+	}
+	var dst [numDistSyms]uint8
+	for i := range dst {
+		dst[i] = 5
+	}
+	// The fixed codes are complete by construction; build cannot fail.
+	_ = d.fixedLit.build(lit[:])
+	_ = d.fixedDist.build(dst[:])
+	d.fixedReady = true
+}
+
+// codeLengthOrder is the transmission order of the code-length code
+// lengths (RFC 1951 §3.2.7).
+var codeLengthOrder = [numCLenSyms]uint8{
+	16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+}
+
+func (d *Decoder) dynamicBlock() error {
+	v, err := d.getBits(5)
+	if err != nil {
+		return err
+	}
+	hlit := int(v) + 257
+	if hlit > 286 {
+		return ErrCorrupt
+	}
+	if v, err = d.getBits(5); err != nil {
+		return err
+	}
+	hdist := int(v) + 1
+	if hdist > 30 {
+		return ErrCorrupt
+	}
+	if v, err = d.getBits(4); err != nil {
+		return err
+	}
+	hclen := int(v) + 4
+	var clens [numCLenSyms]uint8
+	for i := 0; i < hclen; i++ {
+		if v, err = d.getBits(3); err != nil {
+			return err
+		}
+		clens[codeLengthOrder[i]] = uint8(v)
+	}
+	if err := d.clen.build(clens[:]); err != nil {
+		return err
+	}
+	// Literal/length and distance lengths form one run-length-coded
+	// sequence; repeats may cross the boundary between the two codes.
+	n := hlit + hdist
+	for i := 0; i < n; {
+		sym, err := d.decodeSym(&d.clen)
+		if err != nil {
+			return err
+		}
+		if sym < 16 {
+			d.lens[i] = uint8(sym)
+			i++
+			continue
+		}
+		var rep int
+		var fill uint8
+		switch sym {
+		case 16:
+			if i == 0 {
+				return ErrCorrupt // nothing to repeat
+			}
+			if v, err = d.getBits(2); err != nil {
+				return err
+			}
+			rep, fill = 3+int(v), d.lens[i-1]
+		case 17:
+			if v, err = d.getBits(3); err != nil {
+				return err
+			}
+			rep = 3 + int(v)
+		default: // 18; the code-length alphabet has no symbol above it
+			if v, err = d.getBits(7); err != nil {
+				return err
+			}
+			rep = 11 + int(v)
+		}
+		if i+rep > n {
+			return ErrCorrupt
+		}
+		for ; rep > 0; rep-- {
+			d.lens[i] = fill
+			i++
+		}
+	}
+	if err := d.lit.build(d.lens[:hlit]); err != nil {
+		return err
+	}
+	if err := d.dist.build(d.lens[hlit : hlit+hdist]); err != nil {
+		return err
+	}
+	return d.lzBlock(&d.lit, &d.dist)
+}
+
+// Length and distance code expansions (RFC 1951 §3.2.5).
+var (
+	lenBase = [29]uint16{
+		3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+		35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+	}
+	lenExtra = [29]uint8{
+		0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+		3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+	}
+	distBase = [30]uint16{
+		1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+		257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+	}
+	distExtra = [30]uint8{
+		0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+		7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+	}
+)
+
+// lzBlock decodes one Huffman-coded block. Back-references copy from the
+// already-written output, which holds the entire history — no window.
+func (d *Decoder) lzBlock(lit, dist *huffCode) error {
+	for {
+		sym, err := d.decodeSym(lit)
+		if err != nil {
+			return err
+		}
+		if sym < 256 {
+			if d.opos >= len(d.dst) {
+				return ErrTooLong
+			}
+			d.dst[d.opos] = byte(sym)
+			d.opos++
+			continue
+		}
+		if sym == 256 {
+			return nil
+		}
+		li := sym - 257
+		if li >= len(lenBase) {
+			return ErrCorrupt // 286/287 exist in the fixed code but are invalid
+		}
+		v, err := d.getBits(uint(lenExtra[li]))
+		if err != nil {
+			return err
+		}
+		length := int(lenBase[li]) + int(v)
+		ds, err := d.decodeSym(dist)
+		if err != nil {
+			return err
+		}
+		if ds >= len(distBase) {
+			return ErrCorrupt
+		}
+		if v, err = d.getBits(uint(distExtra[ds])); err != nil {
+			return err
+		}
+		distance := int(distBase[ds]) + int(v)
+		if distance > d.opos {
+			return ErrCorrupt // reaches before the start of output
+		}
+		if d.opos+length > len(d.dst) {
+			return ErrTooLong
+		}
+		if distance >= length {
+			copy(d.dst[d.opos:d.opos+length], d.dst[d.opos-distance:])
+		} else {
+			for i := 0; i < length; i++ {
+				d.dst[d.opos+i] = d.dst[d.opos+i-distance]
+			}
+		}
+		d.opos += length
+	}
+}

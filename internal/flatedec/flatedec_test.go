@@ -1,0 +1,209 @@
+package flatedec
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// stdDeflate compresses data with the stock encoder at the given level.
+func stdDeflate(t testing.TB, data []byte, level int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// corpus returns inputs spanning the block types the stock encoder emits:
+// empty, tiny, incompressible (stored blocks), runs (deep LZ matches),
+// text-like, and entropy-coded-bit soup like the cpsz chunk payloads.
+func corpus() map[string][]byte {
+	rng := rand.New(rand.NewSource(1))
+	random := make([]byte, 300000)
+	rng.Read(random)
+	runs := make([]byte, 200000)
+	for i := range runs {
+		runs[i] = byte(i / 1000)
+	}
+	text := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog — ἐν ἀρχῇ ἦν ὁ λόγος. "), 2000)
+	skew := make([]byte, 250000)
+	for i := range skew {
+		if rng.Intn(10) == 0 {
+			skew[i] = byte(rng.Intn(256))
+		}
+	}
+	return map[string][]byte{
+		"empty":  nil,
+		"one":    {42},
+		"random": random,
+		"runs":   runs,
+		"text":   text,
+		"skew":   skew,
+	}
+}
+
+func TestDecodeMatchesStdlib(t *testing.T) {
+	var d Decoder
+	for name, data := range corpus() {
+		for _, level := range []int{flate.HuffmanOnly, flate.NoCompression, flate.BestSpeed, flate.DefaultCompression, flate.BestCompression} {
+			comp := stdDeflate(t, data, level)
+			dst := make([]byte, len(data))
+			if err := d.Decode(dst, comp); err != nil {
+				t.Fatalf("%s level %d: %v", name, level, err)
+			}
+			if !bytes.Equal(dst, data) {
+				t.Fatalf("%s level %d: decoded bytes differ", name, level)
+			}
+		}
+	}
+}
+
+func TestDecodeExactSizeContract(t *testing.T) {
+	var d Decoder
+	data := []byte("0123456789abcdef0123456789abcdef")
+	comp := stdDeflate(t, data, flate.DefaultCompression)
+	if err := d.Decode(make([]byte, len(data)-1), comp); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("short dst: got %v, want ErrTooLong", err)
+	}
+	if err := d.Decode(make([]byte, len(data)+1), comp); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("long dst: got %v, want ErrTooShort", err)
+	}
+	// Trailing garbage after the final block is ignored, as with
+	// compress/flate.
+	if err := d.Decode(make([]byte, len(data)), append(append([]byte{}, comp...), 0xde, 0xad)); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
+
+// TestDecodeTruncated feeds every prefix of valid streams; each must fail
+// cleanly (the final block never completes), never panic or hang.
+func TestDecodeTruncated(t *testing.T) {
+	var d Decoder
+	for name, data := range corpus() {
+		if len(data) == 0 {
+			continue
+		}
+		comp := stdDeflate(t, data, flate.DefaultCompression)
+		dst := make([]byte, len(data))
+		step := 1 + len(comp)/512
+		for n := 0; n < len(comp); n += step {
+			if err := d.Decode(dst, comp[:n]); err == nil {
+				t.Fatalf("%s: %d-byte prefix of %d decoded cleanly", name, n, len(comp))
+			}
+		}
+	}
+}
+
+// TestDecodeCorrupt flips bytes across valid streams and checks the
+// decoder against the stock one: it must never panic, and whenever both
+// decoders accept the mutated stream they must agree on the bytes.
+func TestDecodeCorrupt(t *testing.T) {
+	var d Decoder
+	data := corpus()["skew"]
+	comp := stdDeflate(t, data, flate.DefaultCompression)
+	mut := make([]byte, len(comp))
+	dst := make([]byte, len(data))
+	for pos := 0; pos < len(comp); pos += 1 + len(comp)/997 {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			copy(mut, comp)
+			mut[pos] ^= flip
+			gotErr := d.Decode(dst, mut)
+			ref, refErr := io.ReadAll(io.LimitReader(flate.NewReader(bytes.NewReader(mut)), int64(len(data))))
+			if gotErr == nil {
+				if refErr != nil || len(ref) != len(data) {
+					t.Fatalf("pos %d flip %#x: flatedec accepted a stream stdlib rejects", pos, flip)
+				}
+				if !bytes.Equal(dst, ref) {
+					t.Fatalf("pos %d flip %#x: decoders disagree on mutated stream", pos, flip)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeDegenerateCodes covers the zlib-compatibility corner: a
+// dynamic block with a single-symbol distance code, which the spec calls
+// incomplete but every encoder emits.
+func TestDecodeDegenerateCodes(t *testing.T) {
+	// A run long enough to force matches but only one distance in use.
+	data := bytes.Repeat([]byte{7}, 4096)
+	var d Decoder
+	for _, level := range []int{flate.BestSpeed, flate.BestCompression} {
+		comp := stdDeflate(t, data, level)
+		dst := make([]byte, len(data))
+		if err := d.Decode(dst, comp); err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if !bytes.Equal(dst, data) {
+			t.Fatalf("level %d: decoded bytes differ", level)
+		}
+	}
+}
+
+// TestDecodeZeroAllocs is the reason this package exists: a warm decoder
+// must not touch the heap, whatever block types the stream mixes.
+func TestDecodeZeroAllocs(t *testing.T) {
+	var d Decoder
+	c := corpus()
+	streams := [][]byte{
+		stdDeflate(t, c["skew"], flate.DefaultCompression),
+		stdDeflate(t, c["random"], flate.DefaultCompression), // stored blocks
+		stdDeflate(t, c["runs"], flate.BestCompression),
+	}
+	sizes := []int{len(c["skew"]), len(c["random"]), len(c["runs"])}
+	dst := make([]byte, 300000)
+	// Warm up (builds the fixed tables once).
+	for i, s := range streams {
+		if err := d.Decode(dst[:sizes[i]], s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i, s := range streams {
+			if err := d.Decode(dst[:sizes[i]], s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Decode allocates %.0f times per run, want 0", allocs)
+	}
+}
+
+// FuzzDecode is differential: whatever bytes arrive, the decoder must not
+// panic, and on streams the stock decoder accepts at the same size both
+// must produce identical output.
+func FuzzDecode(f *testing.F) {
+	c := corpus()
+	f.Add(stdDeflate(f, c["skew"][:4096], flate.DefaultCompression), uint16(4096))
+	f.Add(stdDeflate(f, c["random"][:2048], flate.DefaultCompression), uint16(2048))
+	f.Add(stdDeflate(f, c["runs"][:8192], flate.BestCompression), uint16(8192))
+	f.Add(stdDeflate(f, nil, flate.DefaultCompression), uint16(0))
+	f.Add([]byte{0x01, 0x02, 0x00, 0xfd, 0xff, 0xaa, 0xbb}, uint16(2))
+	var d Decoder
+	f.Fuzz(func(t *testing.T, stream []byte, size uint16) {
+		dst := make([]byte, int(size))
+		if err := d.Decode(dst, stream); err != nil {
+			return
+		}
+		ref, err := io.ReadAll(io.LimitReader(flate.NewReader(bytes.NewReader(stream)), int64(size)+1))
+		if err != nil || len(ref) != int(size) {
+			t.Fatalf("flatedec accepted a %d-byte stream stdlib rejects at size %d", len(stream), size)
+		}
+		if !bytes.Equal(dst, ref) {
+			t.Fatal("decoders disagree on fuzzed stream")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package huffman
+
+import "fmt"
+
+// Fixed-width bit packing: the v4 fast path for chunks whose symbol range
+// fits k bits and whose Huffman coding would gain less than ~5% over raw
+// packing. Both directions are branch-light memory-bandwidth loops — no
+// codebook walk, no DEFLATE — which is what makes low-entropy quantizer
+// output decode at memcpy-like speed.
+
+// MaxPackBits bounds the per-symbol field width: symbols are uint32, so a
+// range never needs more than 32 bits.
+const MaxPackBits = 32
+
+// PackedLen returns the payload byte length of count symbols packed at k
+// bits each.
+func PackedLen(count int, k uint8) int {
+	return (count*int(k) + 7) / 8
+}
+
+// AppendPacked appends (s - base) for each symbol as a k-bit MSB-first
+// field and returns the extended slice, zero-padding the final byte like
+// EncodeChunk. The caller guarantees base <= s and s-base < 1<<k for every
+// symbol; k == 0 appends nothing (a constant chunk is fully described by
+// its base).
+func AppendPacked(dst []byte, symbols []uint32, base uint32, k uint8) []byte {
+	if k == 0 {
+		return dst
+	}
+	w := bitWriter{buf: dst}
+	for _, s := range symbols {
+		w.writeBits(uint64(s-base), k)
+	}
+	w.flush()
+	return w.buf
+}
+
+// UnpackChunk decodes exactly len(out) symbols from a payload written by
+// AppendPacked. The payload length must match PackedLen exactly, so a
+// corrupt directory cannot drive reads past the chunk.
+func UnpackChunk(data []byte, base uint32, k uint8, out []uint32) error {
+	if k > MaxPackBits {
+		return fmt.Errorf("huffman: packed width %d exceeds %d bits", k, MaxPackBits)
+	}
+	if k == 0 {
+		for i := range out {
+			out[i] = base
+		}
+		if len(data) != 0 {
+			return fmt.Errorf("huffman: %d trailing bytes after zero-width chunk", len(data))
+		}
+		return nil
+	}
+	if want := PackedLen(len(out), k); len(data) != want {
+		return fmt.Errorf("huffman: packed chunk is %d bytes, want %d", len(data), want)
+	}
+	kk := uint(k)
+	mask := uint64(1)<<kk - 1
+	var acc uint64
+	var nacc uint
+	pos := 0
+	for i := range out {
+		for nacc < kk {
+			acc = acc<<8 | uint64(data[pos])
+			pos++
+			nacc += 8
+		}
+		nacc -= kk
+		out[i] = base + uint32(acc>>nacc&mask)
+	}
+	return nil
+}
+
+// ChunkBits reports, for one chunk of a section coded against t, the
+// minimum and maximum symbol value and the exact number of bits
+// EncodeChunk would emit. The encoder compares that against the fixed-width
+// alternative to pick the per-chunk mode; the decision depends only on the
+// chunk contents and the shared table, never on the worker count, so
+// archives stay byte-identical for any parallelism. Symbols absent from
+// the codebook panic, matching the EncodeChunk contract.
+func (t *Table) ChunkBits(symbols []uint32) (lo, hi uint32, bits uint64) {
+	if len(symbols) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = symbols[0], symbols[0]
+	dense := t.dense
+	for _, s := range symbols {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+		var i int
+		if int64(s) < int64(len(dense)) {
+			i = int(dense[s])
+			if i < 0 {
+				panic(fmt.Sprintf("huffman: symbol %d not in codebook", s))
+			}
+		} else {
+			var ok bool
+			i, ok = t.lookup[s]
+			if !ok {
+				panic(fmt.Sprintf("huffman: symbol %d not in codebook", s))
+			}
+		}
+		bits += uint64(t.lens[i])
+	}
+	return lo, hi, bits
+}

@@ -1,0 +1,30 @@
+package parallel
+
+// SizedWorkers clamps a requested worker count for a sharded stage by the
+// actual amount of work: never more workers than tasks, and never more than
+// the payload can keep busy at minBytesPerWorker each. Oversharding a tiny
+// section spawns more goroutines (and, on the entropy path, more DEFLATE
+// streams) than there is work to amortize them — the BenchmarkSerialize
+// workers=8 regression — so call sites size their pool from the section
+// they are about to shard rather than from the global worker budget.
+// minBytesPerWorker <= 0 disables the size clamp. The result is always at
+// least 1 and never exceeds Workers(workers).
+func SizedWorkers(workers, tasks int, payloadBytes, minBytesPerWorker int64) int {
+	w := Workers(workers)
+	if w > tasks {
+		w = tasks
+	}
+	if minBytesPerWorker > 0 {
+		byBytes := int(payloadBytes / minBytesPerWorker)
+		if payloadBytes%minBytesPerWorker != 0 {
+			byBytes++
+		}
+		if w > byBytes {
+			w = byBytes
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,214 @@
+package robust
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Fixed-point Simulation of Simplicity, after cpSZ-sos: vector components
+// are quantized to integers with a shared power-of-two scale, so every
+// determinant sign is decided by exact integer arithmetic — no float fast
+// path, no error-bound certificate, no big.Rat fallback. 2D determinants
+// of quantized values fit int64 outright; 3D triple products are
+// accumulated in 128 bits via math/bits.
+//
+// fixedMagBits bounds quantized magnitudes: |ToFixed(v)| < 2^29 whenever
+// |v| ≤ the maxAbs given to FixedScale. Then 2D products stay below 2^58,
+// 2×2 cofactors below 2^59, and 3D triple products below 2^88 — all
+// comfortably inside their accumulators.
+const fixedMagBits = 29
+
+// FixedScale returns the largest power-of-two scale s such that
+// maxAbs·s < 2^29. Quantizing with a power of two keeps float32 inputs
+// near the magnitude ceiling exactly representable. maxAbs ≤ 0 returns 1.
+func FixedScale(maxAbs float64) float64 {
+	if !(maxAbs > 0) {
+		return 1
+	}
+	_, e := math.Frexp(maxAbs) // maxAbs = f·2^e, f ∈ [0.5, 1)
+	return math.Ldexp(1, fixedMagBits-e)
+}
+
+// ToFixed quantizes v with the shared scale, truncating toward zero the
+// way cpSZ's convert_to_fixed_point does.
+func ToFixed(v, scale float64) int64 {
+	return int64(v * scale)
+}
+
+// SoSDetSign2Fixed is SoSDetSign2 over quantized values: the sign of
+//
+//	| u_a  u_b |
+//	| v_a  v_b |
+//
+// under the perturbation u_i → u_i + δ^(4i+1), v_i → v_i + δ^(4i+3),
+// decided entirely in int64 (inputs bounded by FixedScale keep the
+// cross products below 2^58).
+func SoSDetSign2Fixed(ua, va int64, a int, ub, vb int64, b int) int {
+	if det := ua*vb - ub*va; det != 0 {
+		if det > 0 {
+			return 1
+		}
+		return -1
+	}
+	// Lowest-order δ term with a nonzero coefficient decides, exactly as
+	// in the float path — but the coefficients here are integers, so
+	// "nonzero" needs no certificate.
+	type term struct {
+		order int
+		coef  int64
+		sign  int
+	}
+	terms := [4]term{
+		{4*a + 1, vb, 1},
+		{4*a + 3, ub, -1},
+		{4*b + 1, va, -1},
+		{4*b + 3, ua, 1},
+	}
+	for i := 1; i < len(terms); i++ {
+		for j := i; j > 0 && terms[j].order < terms[j-1].order; j-- {
+			terms[j], terms[j-1] = terms[j-1], terms[j]
+		}
+	}
+	for _, t := range terms {
+		if t.coef > 0 {
+			return t.sign
+		}
+		if t.coef < 0 {
+			return -t.sign
+		}
+	}
+	if a < b {
+		return 1
+	}
+	return -1
+}
+
+// Vec3Fixed is one quantized column of a 3D membership determinant: a
+// vector value and its global vertex index.
+type Vec3Fixed struct {
+	U, V, W int64
+	Idx     int
+}
+
+// SoSDetSign3Fixed is SoSDetSign3 over quantized values: never zero,
+// decided by exact integer arithmetic. The unperturbed determinant is
+// accumulated in 128 bits; the first-order δ coefficients are 2×2
+// cofactors that fit int64.
+func SoSDetSign3Fixed(a, b, c Vec3Fixed) int {
+	m := [9]int64{
+		a.U, b.U, c.U,
+		a.V, b.V, c.V,
+		a.W, b.W, c.W,
+	}
+	t0 := m[4]*m[8] - m[5]*m[7]
+	t1 := m[3]*m[8] - m[5]*m[6]
+	t2 := m[3]*m[7] - m[4]*m[6]
+	det := mul128(m[0], t0).add(mul128(m[1], t1).neg()).add(mul128(m[2], t2))
+	if s := det.sign(); s != 0 {
+		return s
+	}
+	// First-order terms: entry (r, col) has δ-order 6·idx(col)+2r+1 and
+	// coefficient equal to its signed cofactor.
+	cols := [3]Vec3Fixed{a, b, c}
+	type term struct {
+		order int
+		cof   int64
+	}
+	var terms [9]term
+	k := 0
+	for ci := 0; ci < 3; ci++ {
+		for r := 0; r < 3; r++ {
+			terms[k] = term{order: 6*cols[ci].Idx + 2*r + 1, cof: cofactorFixed(m, r, ci)}
+			k++
+		}
+	}
+	for i := 1; i < len(terms); i++ {
+		for j := i; j > 0 && terms[j].order < terms[j-1].order; j-- {
+			terms[j], terms[j-1] = terms[j-1], terms[j]
+		}
+	}
+	for _, t := range terms {
+		if t.cof > 0 {
+			return 1
+		}
+		if t.cof < 0 {
+			return -1
+		}
+	}
+	// Doubly degenerate: same lexicographic-parity fallback as the float
+	// path, so the two predicates agree wherever both apply.
+	return lexParity(a.Idx, b.Idx, c.Idx)
+}
+
+func cofactorFixed(m [9]int64, r, c int) int64 {
+	var sub [4]int64
+	k := 0
+	for i := 0; i < 3; i++ {
+		if i == r {
+			continue
+		}
+		for j := 0; j < 3; j++ {
+			if j == c {
+				continue
+			}
+			sub[k] = m[i*3+j]
+			k++
+		}
+	}
+	det := sub[0]*sub[3] - sub[1]*sub[2]
+	if (r+c)%2 == 1 {
+		det = -det
+	}
+	return det
+}
+
+// int128 is a signed 128-bit accumulator (two's complement).
+type int128 struct {
+	hi int64
+	lo uint64
+}
+
+// mul128 returns the full 128-bit product of two int64 values whose
+// magnitudes stay below 2^63 (guaranteed by the fixedMagBits bound).
+func mul128(a, b int64) int128 {
+	neg := false
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+		neg = !neg
+	}
+	if b < 0 {
+		ub = uint64(-b)
+		neg = !neg
+	}
+	hi, lo := bits.Mul64(ua, ub)
+	x := int128{hi: int64(hi), lo: lo}
+	if neg {
+		return x.neg()
+	}
+	return x
+}
+
+func (x int128) neg() int128 {
+	lo := -x.lo
+	hi := ^x.hi
+	if lo == 0 {
+		hi++
+	}
+	return int128{hi: hi, lo: lo}
+}
+
+func (x int128) add(y int128) int128 {
+	lo, carry := bits.Add64(x.lo, y.lo, 0)
+	return int128{hi: x.hi + y.hi + int64(carry), lo: lo}
+}
+
+func (x int128) sign() int {
+	if x.hi < 0 {
+		return -1
+	}
+	if x.hi > 0 || x.lo != 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,151 @@
+package robust
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// The fixed-point predicates must agree with the float SoS predicates on
+// every input both evaluate exactly — small integers, including the
+// degenerate configurations (zero dets, zero cofactors, duplicate values)
+// SoS exists to break.
+func TestSoSDetSign2FixedMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := []int64{-3, -2, -1, 0, 1, 2, 3}
+	for iter := 0; iter < 20000; iter++ {
+		ua := vals[rng.Intn(len(vals))]
+		va := vals[rng.Intn(len(vals))]
+		ub := vals[rng.Intn(len(vals))]
+		vb := vals[rng.Intn(len(vals))]
+		a := rng.Intn(16)
+		b := rng.Intn(16)
+		if a == b {
+			b = a + 1
+		}
+		got := SoSDetSign2Fixed(ua, va, a, ub, vb, b)
+		want := SoSDetSign2(float64(ua), float64(va), a, float64(ub), float64(vb), b)
+		if got != want {
+			t.Fatalf("SoSDetSign2Fixed(%d,%d,%d, %d,%d,%d) = %d, float path says %d",
+				ua, va, a, ub, vb, b, got, want)
+		}
+		if got == 0 {
+			t.Fatal("SoS sign must never be zero")
+		}
+		// Antisymmetry: swapping columns negates.
+		if SoSDetSign2Fixed(ub, vb, b, ua, va, a) != -got {
+			t.Fatalf("column swap did not negate for (%d,%d,%d | %d,%d,%d)", ua, va, a, ub, vb, b)
+		}
+	}
+}
+
+func TestSoSDetSign3FixedMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	vals := []int64{-2, -1, 0, 1, 2}
+	col := func(idx int) (Vec3Fixed, Vec3) {
+		u := vals[rng.Intn(len(vals))]
+		v := vals[rng.Intn(len(vals))]
+		w := vals[rng.Intn(len(vals))]
+		return Vec3Fixed{U: u, V: v, W: w, Idx: idx},
+			Vec3{U: float64(u), V: float64(v), W: float64(w), Idx: idx}
+	}
+	for iter := 0; iter < 20000; iter++ {
+		ia := rng.Intn(20)
+		ib := ia + 1 + rng.Intn(3)
+		ic := ib + 1 + rng.Intn(3)
+		fa, ga := col(ia)
+		fb, gb := col(ib)
+		fc, gc := col(ic)
+		got := SoSDetSign3Fixed(fa, fb, fc)
+		want := SoSDetSign3(ga, gb, gc)
+		if got != want {
+			t.Fatalf("SoSDetSign3Fixed(%+v, %+v, %+v) = %d, float path says %d", fa, fb, fc, got, want)
+		}
+		if got == 0 {
+			t.Fatal("SoS sign must never be zero")
+		}
+		if SoSDetSign3Fixed(fb, fa, fc) != -got {
+			t.Fatalf("column swap did not negate for (%+v, %+v, %+v)", fa, fb, fc)
+		}
+	}
+}
+
+// Large-magnitude 3D determinants exercise the 128-bit accumulator; the
+// sign must match an arbitrary-precision evaluation.
+func TestSoSDetSign3FixedWideMagnitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	lim := int64(1) << fixedMagBits
+	for iter := 0; iter < 5000; iter++ {
+		var m [9]int64
+		for i := range m {
+			m[i] = rng.Int63n(2*lim) - lim
+		}
+		a := Vec3Fixed{U: m[0], V: m[3], W: m[6], Idx: 0}
+		b := Vec3Fixed{U: m[1], V: m[4], W: m[7], Idx: 1}
+		c := Vec3Fixed{U: m[2], V: m[5], W: m[8], Idx: 2}
+		got := SoSDetSign3Fixed(a, b, c)
+		want := detSign3Big(m)
+		if want == 0 {
+			continue // SoS breaks the tie; big.Int has no opinion
+		}
+		if got != want {
+			t.Fatalf("det sign of %v: fixed %d, exact %d", m, got, want)
+		}
+	}
+}
+
+func detSign3Big(m [9]int64) int {
+	bi := func(v int64) *big.Int { return big.NewInt(v) }
+	mul := func(a, b *big.Int) *big.Int { return new(big.Int).Mul(a, b) }
+	sub := func(a, b *big.Int) *big.Int { return new(big.Int).Sub(a, b) }
+	t0 := sub(mul(bi(m[4]), bi(m[8])), mul(bi(m[5]), bi(m[7])))
+	t1 := sub(mul(bi(m[3]), bi(m[8])), mul(bi(m[5]), bi(m[6])))
+	t2 := sub(mul(bi(m[3]), bi(m[7])), mul(bi(m[4]), bi(m[6])))
+	det := mul(bi(m[0]), t0)
+	det.Sub(det, mul(bi(m[1]), t1))
+	det.Add(det, mul(bi(m[2]), t2))
+	return det.Sign()
+}
+
+// int128 arithmetic against big.Int over sign and carry boundaries.
+func TestInt128Arithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	cases := []int64{0, 1, -1, 1 << 30, -(1 << 30), (1 << 62) - 1, -(1 << 62)}
+	for iter := 0; iter < 10000; iter++ {
+		var a, b, c, d int64
+		if iter < len(cases)*len(cases) {
+			a, b = cases[iter%len(cases)], cases[(iter/len(cases))%len(cases)]
+			c, d = cases[(iter+1)%len(cases)], cases[(iter+3)%len(cases)]
+		} else {
+			a, b = rng.Int63()-rng.Int63(), rng.Int63()-rng.Int63()
+			c, d = rng.Int63()-rng.Int63(), rng.Int63()-rng.Int63()
+		}
+		got := mul128(a, b).add(mul128(c, d))
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		want.Add(want, new(big.Int).Mul(big.NewInt(c), big.NewInt(d)))
+		if got.sign() != want.Sign() {
+			t.Fatalf("sign(%d*%d + %d*%d): int128 %d, big %d", a, b, c, d, got.sign(), want.Sign())
+		}
+	}
+}
+
+// FixedScale must produce a power of two with the documented magnitude
+// bound, and quantization with it must keep every value in range.
+func TestFixedScale(t *testing.T) {
+	for _, maxAbs := range []float64{1e-30, 0.001, 0.5, 1, 3.7, 1024, 1e9, 1e30} {
+		s := FixedScale(maxAbs)
+		if f, e := math.Frexp(s); f != 0.5 {
+			t.Fatalf("FixedScale(%g) = %g (frexp %g, %d): not a power of two", maxAbs, s, f, e)
+		}
+		if q := ToFixed(maxAbs, s); q < 0 || q >= 1<<fixedMagBits {
+			t.Fatalf("FixedScale(%g): quantized max %d outside [0, 2^%d)", maxAbs, q, fixedMagBits)
+		}
+		if q := ToFixed(maxAbs/2, s); q < 1<<(fixedMagBits-2) {
+			t.Fatalf("FixedScale(%g) wastes range: mid-value quantizes to %d", maxAbs, q)
+		}
+	}
+	if FixedScale(0) != 1 || FixedScale(-1) != 1 {
+		t.Fatal("degenerate maxAbs must map to scale 1")
+	}
+}

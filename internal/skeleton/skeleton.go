@@ -57,14 +57,32 @@ func ExtractCPsParallel(f *field.Field, workers int) []critical.Point {
 	return extractCPsParallel(f, workers)
 }
 
+// ExtractCPsParallelRobust is ExtractCPsParallel with cell membership
+// decided by the fixed-point Simulation-of-Simplicity predicates: the
+// field is quantized once, then the read-only FixedField is shared by all
+// extraction workers. Results are deterministic and worker-count
+// independent, like the numerical path.
+func ExtractCPsParallelRobust(f *field.Field, workers int) []critical.Point {
+	fx := critical.NewFixedField(f)
+	return gatherCPs(f, workers, func(lo, hi int) []critical.Point {
+		return critical.ExtractSoSFixedRange(f, fx, lo, hi)
+	})
+}
+
 func extractCPsParallel(f *field.Field, workers int) []critical.Point {
+	return gatherCPs(f, workers, func(lo, hi int) []critical.Point {
+		return critical.ExtractRange(f, lo, hi)
+	})
+}
+
+func gatherCPs(f *field.Field, workers int, extract func(lo, hi int) []critical.Point) []critical.Point {
 	nc := f.Grid.NumCells()
 	ranges := parallel.Ranges(nc, workers)
 	results := make([][]critical.Point, len(ranges))
 	// One dispatcher task per deterministic cell range; results are
 	// concatenated in range order, matching critical.Extract exactly.
 	parallel.For(len(ranges), workers, 1, func(i int) {
-		results[i] = critical.ExtractRange(f, ranges[i][0], ranges[i][1])
+		results[i] = extract(ranges[i][0], ranges[i][1])
 	})
 	var out []critical.Point
 	for _, r := range results {
