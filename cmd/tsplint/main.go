@@ -7,9 +7,12 @@
 // dominating bound check (an interprocedural taint analysis: per-function
 // summaries over a module-wide call graph carry taint through calls,
 // returns, and method dispatch, and report parameter-attributed findings
-// at the call site), and no writes to captured state inside parallel
+// at the call site), no writes to captured state inside parallel
 // worker closures unless they are provably disjoint across workers
-// (raceguard).
+// (raceguard), pooled buffers released exactly once on every path and
+// never used or escaping after release (poolguard), and closeable
+// resources — files, tickers, CPU profiles — released on all paths, with
+// no goroutines whose only exit is a bare channel operation (leakguard).
 //
 // Usage:
 //

@@ -27,6 +27,13 @@
 //	              closure unless it is provably disjoint across workers
 //	              (index derived from the worker's range parameters, or a
 //	              worker-private view/allocation)
+//	poolguard   — every sync.Pool / arena acquisition is released exactly
+//	              once on every exit path, never used after release, and
+//	              never escapes except by transfer to a callee whose
+//	              summary releases or re-pools it
+//	leakguard   — goroutines whose only exit is a naked channel operation
+//	              with no close/cancel path, and io.Closer / time.Ticker /
+//	              pprof acquisitions lacking release on all paths
 //
 // allocguard and indexguard are dataflow checks: a per-function CFG
 // (cfg.go) plus a forward taint analysis (taint.go) tracks values
@@ -37,6 +44,13 @@
 // computed to a fixpoint over strongly connected components, let taint
 // flow through calls, returns, and method dispatch on concrete types,
 // and let in-callee validation sanitize caller-side values.
+//
+// poolguard and leakguard are built on a second dataflow engine
+// (lifetime.go): a path-sensitive resource-lifetime must-analysis over
+// the same CFG, fed by per-function acquire/release/alias effect
+// summaries (resource.go) computed in the same SCC fixpoint, so
+// ownership can transfer through calls (a callee that puts a buffer back
+// in its pool discharges the caller's obligation).
 //
 // A finding on a specific line can be suppressed with a trailing or
 // immediately preceding comment of the form
@@ -89,6 +103,8 @@ func AllChecks() []*Check {
 		indexguardCheck(),
 		panicguardCheck(),
 		raceguardCheck(),
+		poolguardCheck(),
+		leakguardCheck(),
 	}
 }
 

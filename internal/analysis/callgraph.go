@@ -36,6 +36,7 @@ type funcNode struct {
 	calls []*funcNode // deduplicated direct module-internal callees
 
 	sum *funcSummary // nil until summary.go computes it
+	res *resEffect   // nil until summary.go computes it (resource.go)
 
 	// Tarjan bookkeeping.
 	index, lowlink int

@@ -1,0 +1,170 @@
+package analysis
+
+// leakguard watches the resources a long-running daemon leaks one at a
+// time: file handles, tickers, pprof profiles, network connections, and
+// goroutines parked forever on a channel nobody will ever service.
+//
+// The Closer half reuses the lifetime engine (lifetime.go) with the
+// lenient ownership policy: storing a handle into a struct, container,
+// or global transfers ownership (someone else closes it), and a handle
+// referenced inside a nested closure is assumed closed there (the
+// begin/finish callback idiom). What remains — a handle acquired and
+// then simply forgotten on some path — is a leak.
+//
+// The goroutine half is purely structural: for each `go func() {...}()`
+// literal, collect the bare blocking channel operations (sends, and
+// receives outside multi-case/default selects and range-over-channel
+// loops, which are the cancellation-aware idioms), then ask the CFG
+// whether any path from entry reaches an exit without crossing one. If
+// every exit is gated on a bare channel operation, the goroutine blocks
+// forever the moment its peer stops listening.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+func leakguardCheck() *Check {
+	return &Check{
+		Name: "leakguard",
+		Doc: `Flags resource leaks a long-running process dies by: io.Closer /
+time.Ticker / pprof-profile / net.Conn acquisitions with a path to
+function exit that neither releases them nor hands them off, and
+goroutines whose every exit path blocks on a bare channel send/receive
+with no select-with-done, default, or range-over-channel escape.`,
+		Run: func(p *Package) []Finding {
+			out := runLifetime(p, &lifeSpec{check: "leakguard", classes: classCloser, lenient: true})
+			out = append(out, goroutineFindings(p)...)
+			return out
+		},
+	}
+}
+
+// goroutineFindings checks every goroutine launched with a function
+// literal for the blocked-forever shape.
+func goroutineFindings(p *Package) []Finding {
+	var out []Finding
+	inspectFiles(p, func(_ *ast.File, n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if f := goroutineBlockFinding(p, lit); f != nil {
+			out = append(out, *f)
+		}
+		return true
+	})
+	return out
+}
+
+// goroutineBlockFinding reports a finding when every entry→exit path of
+// the literal's CFG crosses a bare blocking channel operation.
+func goroutineBlockFinding(p *Package, lit *ast.FuncLit) *Finding {
+	// Selects with a default case or two or more comm cases are the
+	// cancellation idiom: their comm operations are exempt. A
+	// single-case select without default is just a dressed-up blocking
+	// op and stays flagged.
+	type posRange struct{ lo, hi token.Pos }
+	var exempt []posRange
+	inspectSkippingFuncLits(lit.Body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		comms, hasDefault := 0, false
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				comms++
+			}
+		}
+		if !hasDefault && comms < 2 {
+			return
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				exempt = append(exempt, posRange{cc.Comm.Pos(), cc.Comm.End()})
+			}
+		}
+	})
+	inExempt := func(pos token.Pos) bool {
+		for _, r := range exempt {
+			if pos >= r.lo && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Bare blocking operations: channel sends and receives. A receive
+	// via `for range ch` never appears here (no ARROW inside the range
+	// header), which is exactly right: range exits when the channel is
+	// closed.
+	var ops []ast.Node
+	inspectSkippingFuncLits(lit.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !inExempt(n.Pos()) {
+				ops = append(ops, n)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inExempt(n.Pos()) {
+				ops = append(ops, n)
+			}
+		}
+	})
+	if len(ops) == 0 {
+		return nil
+	}
+
+	g := buildCFG(lit.Body)
+	blocked := make(map[*cfgBlock]bool)
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			for _, op := range ops {
+				if op.Pos() >= n.Pos() && op.Pos() < n.End() {
+					blocked[b] = true
+				}
+			}
+		}
+	}
+
+	// DFS from entry through unblocked blocks: reaching any exit block
+	// proves a path that never parks on a bare channel operation.
+	seen := make(map[*cfgBlock]bool)
+	stack := []*cfgBlock{g.entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] || blocked[b] {
+			continue
+		}
+		seen[b] = true
+		if len(b.succs) == 0 {
+			return nil // exit reachable without blocking
+		}
+		for _, e := range b.succs {
+			stack = append(stack, e.to)
+		}
+	}
+
+	first := ops[0]
+	for _, op := range ops[1:] {
+		if op.Pos() < first.Pos() {
+			first = op
+		}
+	}
+	f := p.finding("leakguard",
+		first,
+		"goroutine can only exit through a bare channel operation: every path blocks here with no select-with-done, default, or close-driven range to bail out")
+	return &f
+}

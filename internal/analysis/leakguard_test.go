@@ -1,0 +1,245 @@
+package analysis
+
+import "testing"
+
+func TestLeakguardCloserLeakOnErrorPath(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/svc/io.go": `package svc
+
+import "os"
+
+func Bad(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 8)
+	n, err := f.Read(buf)
+	if err != nil {
+		return 0, err
+	}
+	return n, f.Close()
+}
+`,
+	})
+	got := runCheck(t, dir, "leakguard")
+	expectLines(t, got, "internal/svc/io.go:6")
+}
+
+func TestLeakguardCloserClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/svc/io.go": `package svc
+
+import "os"
+
+func Good(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func Transfer(path string) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type holder struct{ f *os.File }
+
+func Stash(h *holder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+`,
+	})
+	got := runCheck(t, dir, "leakguard")
+	expectLines(t, got)
+}
+
+func TestLeakguardTicker(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/svc/tick.go": `package svc
+
+import "time"
+
+func Poll(d time.Duration, done chan struct{}, work func()) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			work()
+		case <-done:
+			return
+		}
+	}
+}
+
+func Drip(d time.Duration) <-chan time.Time {
+	t := time.NewTicker(d)
+	return t.C
+}
+`,
+	})
+	got := runCheck(t, dir, "leakguard")
+	expectLines(t, got, "internal/svc/tick.go:19")
+}
+
+func TestLeakguardPprof(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/svc/prof.go": `package svc
+
+import (
+	"os"
+	"runtime/pprof"
+)
+
+func ProfiledRun(path string, work func()) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+	defer pprof.StopCPUProfile()
+	work()
+	return nil
+}
+
+func LeakyProfile(f *os.File, work func()) {
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return
+	}
+	work()
+}
+`,
+	})
+	got := runCheck(t, dir, "leakguard")
+	expectLines(t, got, "internal/svc/prof.go:23")
+}
+
+// TestLeakguardFinishClosure is the begin/finish idiom from cmd/tspsz's
+// observability setup: the acquired file and the running profile are
+// released by a returned closure, which the lenient policy credits.
+func TestLeakguardFinishClosure(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/svc/begin.go": `package svc
+
+import (
+	"os"
+	"runtime/pprof"
+)
+
+func Begin(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	finish := func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+	return finish, nil
+}
+`,
+	})
+	got := runCheck(t, dir, "leakguard")
+	expectLines(t, got)
+}
+
+func TestLeakguardGoroutines(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/svc/go.go": `package svc
+
+import "sync"
+
+func BlockedSend(ch chan int, compute func() int) {
+	go func() {
+		ch <- compute()
+	}()
+}
+
+func RecvLoop(ch chan int, sink func(int)) {
+	go func() {
+		for {
+			sink(<-ch)
+		}
+	}()
+}
+
+func SelectDone(ch chan int, done chan struct{}, sink func(int)) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				sink(v)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+func RangeClose(ch chan int, sink func(int)) {
+	go func() {
+		for v := range ch {
+			sink(v)
+		}
+	}()
+}
+
+func EarlyExit(ch chan int, ready bool) {
+	go func() {
+		if !ready {
+			return
+		}
+		ch <- 1
+	}()
+}
+
+func NoChannels(wg *sync.WaitGroup, work func()) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+`,
+	})
+	got := runCheck(t, dir, "leakguard")
+	expectLines(t, got, "internal/svc/go.go:7", "internal/svc/go.go:14")
+}
+
+func TestLeakguardSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/svc/tick.go": `package svc
+
+import "time"
+
+func Drip(d time.Duration) <-chan time.Time {
+	t := time.NewTicker(d) //lint:allow leakguard caller keeps ticking for process lifetime
+	return t.C
+}
+`,
+	})
+	got := runCheck(t, dir, "leakguard")
+	expectLines(t, got)
+}

@@ -1,0 +1,1150 @@
+package analysis
+
+// lifetime.go is the path-sensitive resource-lifetime engine shared by
+// the poolguard and leakguard checks. It runs a forward must-analysis
+// over the per-function CFG of cfg.go: every acquisition site
+// (sync.Pool.Get, a summarized acquirer like getScratch, os.Open, ...)
+// becomes a tracked resource, and the dataflow proves that on every exit
+// path the resource is released exactly once, never used after release,
+// and never escapes except by transferring ownership to a callee whose
+// resource effect (resource.go) is known to release it.
+//
+// State is a pair (bind, status): bind maps variables to the set of
+// resources they may alias (a bitset — at most 64 acquisition sites per
+// function body, far above anything real); status tracks each resource's
+// lifecycle bits per path. The join is pointwise union, so after a
+// branch merge a resource can be simultaneously live (one path) and
+// released (the other) — exactly the information the exit check and the
+// use-after-release check need.
+//
+// Aliasing is deliberately narrow, tuned to the arena idioms of
+// internal/cpsz (the dst-first append-threading convention):
+//
+//   - a call result aliases a resource only when (a) the callee's first
+//     parameter is a slice and the first argument carries the resource
+//     (append, binary.AppendUvarint, scratch.deflate(dst, ...)), or
+//     (b) the callee is a module method whose summary says its results
+//     alias its receiver (scratch.buf, scratch.dirArrays) and the
+//     receiver carries the resource;
+//   - field reads, indexing, slicing, dereference, and address-of
+//     propagate the base's resources.
+//
+// Acquisitions paired with an error (f, err := os.Create(p)) or a
+// comma-ok (s, ok := pool.Get().(*T)) record the guard object; the edge
+// refinement kills the resource on the err != nil / !ok branch, so the
+// ubiquitous early-error-return idiom carries no false obligation.
+//
+// Known limits (DESIGN.md §7): a put on the success path after fallible
+// code is accepted even though a panic would skip it — deferred releases
+// are the panic-safe form and are credited; resources captured by a
+// nested closure's *reads* are not tracked through the closure; an
+// acquisition whose result is immediately discarded is not tracked.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Resource status bits. Unborn (never acquired on this path, or killed
+// by an error guard) is the zero value.
+const (
+	rLive      uint8 = 1 << iota // acquired; release still owed on this path
+	rReleased                    // released on this path
+	rDeferred                    // release scheduled via defer; value still usable
+	rDone                        // ownership transferred (return, releasing callee, deposit)
+	rConfirmed                   // survived its own err/ok guard; later guard reuse no longer kills
+)
+
+// lifeRes is one acquisition site within the analyzed body.
+type lifeRes struct {
+	id      int
+	call    *ast.CallExpr
+	class   resClass
+	what    string // diagnostic name of the acquiring call
+	release string // expected release, for diagnostics
+	anon    bool   // ambient resource with no bound value (pprof profile)
+	typ     types.Type
+	guard   types.Object // paired err/ok object; the failing edge kills the resource
+	guardOK bool         // guard is a comma-ok bool (kill on false) not an error (kill on non-nil)
+
+	aliases  map[types.Object]bool // every variable that ever carried this resource
+	reported bool                  // at most one leak/escape finding per site
+}
+
+type lifeState struct {
+	bind   map[types.Object]uint64
+	status []uint8
+}
+
+func newLifeState() *lifeState {
+	return &lifeState{bind: make(map[types.Object]uint64)}
+}
+
+func (s *lifeState) clone(nres int) *lifeState {
+	out := &lifeState{
+		bind:   make(map[types.Object]uint64, len(s.bind)),
+		status: make([]uint8, nres),
+	}
+	for k, v := range s.bind {
+		out.bind[k] = v
+	}
+	copy(out.status, s.status)
+	return out
+}
+
+// joinLife unions src into in[b], growing status as needed; reports change.
+func joinLife(in map[*cfgBlock]*lifeState, b *cfgBlock, src *lifeState, nres int) bool {
+	cur, ok := in[b]
+	if !ok {
+		in[b] = src.clone(nres)
+		return true
+	}
+	changed := false
+	for k, v := range src.bind {
+		if cur.bind[k]|v != cur.bind[k] {
+			cur.bind[k] |= v
+			changed = true
+		}
+	}
+	for len(cur.status) < len(src.status) {
+		cur.status = append(cur.status, 0)
+	}
+	for i, v := range src.status {
+		if cur.status[i]|v != cur.status[i] {
+			cur.status[i] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// lifeSpec parameterizes the engine per check.
+type lifeSpec struct {
+	check   string
+	classes resClass
+	// lenient is the leakguard policy: storing a resource anywhere
+	// (container, field, global) transfers ownership, re-acquiring over a
+	// parked resource is fine, and a resource referenced inside a nested
+	// closure is assumed released there. poolguard keeps all three strict
+	// and uses deposit obligations instead.
+	lenient bool
+}
+
+// capKind classifies where an object lives relative to the analyzed body.
+type capKind int
+
+const (
+	capLocal    capKind = iota // declared inside the body
+	capParam                   // parameter/receiver of the analyzed function
+	capCaptured                // declared in the enclosing function (closure capture)
+	capGlobal                  // package-level
+)
+
+type lifeEngine struct {
+	p    *Package
+	ip   *interCtx
+	spec *lifeSpec
+
+	fnNode    ast.Node // *ast.FuncDecl or *ast.FuncLit being analyzed
+	body      *ast.BlockStmt
+	enclosing *ast.FuncDecl // top-level decl containing a FuncLit body, else nil
+
+	emit      func(n ast.Node, format string, args ...any)
+	onDeposit func(r *lifeRes, capt types.Object, site ast.Node)
+
+	// ownRes is the analyzed FuncDecl's own resource summary (nil for
+	// FuncLits): when the summary says result i is an acquisition,
+	// returning the resource at that position transfers the obligation
+	// to every caller regardless of the static type of the expression
+	// (getChunkBuf returns (*p)[:0], a view by type but the owner by
+	// contract).
+	ownRes *resEffect
+
+	res    []*lifeRes
+	byCall map[*ast.CallExpr]*lifeRes
+
+	litRefs        map[types.Object]bool // objects referenced inside nested FuncLits
+	anonLitRelease bool                  // a nested FuncLit performs the ambient release
+}
+
+func (e *lifeEngine) objOf(id *ast.Ident) types.Object {
+	if o := e.p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return e.p.Info.Uses[id]
+}
+
+func (e *lifeEngine) capKindOf(obj types.Object) capKind {
+	if obj == nil {
+		return capGlobal
+	}
+	if e.p.Types != nil && obj.Parent() == e.p.Types.Scope() {
+		return capGlobal
+	}
+	pos := obj.Pos()
+	var sigStart, sigEnd, start, end token.Pos
+	switch fn := e.fnNode.(type) {
+	case *ast.FuncDecl:
+		sigStart, sigEnd = fn.Pos(), fn.Body.Pos()
+		start, end = fn.Body.Pos(), fn.Body.End()
+	case *ast.FuncLit:
+		sigStart, sigEnd = fn.Pos(), fn.Body.Pos()
+		start, end = fn.Body.Pos(), fn.Body.End()
+	}
+	switch {
+	case pos >= start && pos < end:
+		return capLocal
+	case pos >= sigStart && pos < sigEnd:
+		return capParam
+	case e.enclosing != nil && pos >= e.enclosing.Pos() && pos < e.enclosing.End():
+		return capCaptured
+	}
+	return capGlobal
+}
+
+// run drives the fixpoint and then replays the settled states emitting
+// findings.
+func (e *lifeEngine) run() {
+	e.byCall = make(map[*ast.CallExpr]*lifeRes)
+	e.collectLitFacts()
+
+	g := buildCFG(e.body)
+	in := map[*cfgBlock]*lifeState{g.entry: newLifeState()}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[b].clone(len(e.res))
+		for _, n := range b.nodes {
+			e.apply(out, n, false)
+		}
+		for _, edge := range b.succs {
+			s := e.refineEdge(out, edge)
+			if joinLife(in, edge.to, s, len(e.res)) {
+				work = append(work, edge.to)
+			}
+		}
+	}
+
+	for _, b := range g.blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable: no obligations
+		}
+		st = st.clone(len(e.res))
+		var last ast.Node
+		for _, n := range b.nodes {
+			e.apply(st, n, true)
+			last = n
+		}
+		if len(b.succs) == 0 {
+			if _, isRet := last.(*ast.ReturnStmt); !isRet {
+				e.checkExit(st, nil, true)
+			}
+		}
+	}
+}
+
+// collectLitFacts precomputes, for the lenient policy, which objects are
+// referenced inside nested function literals of this body and whether
+// any nested literal performs the ambient (pprof) release.
+func (e *lifeEngine) collectLitFacts() {
+	e.litRefs = make(map[types.Object]bool)
+	ast.Inspect(e.body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.Ident:
+				if obj := e.objOf(m); obj != nil {
+					e.litRefs[obj] = true
+				}
+			case *ast.CallExpr:
+				if _, ambient := releaseTargets(e.p.Info, e.ip, m); ambient&e.spec.classes != 0 {
+					e.anonLitRelease = true
+				}
+			}
+			return true
+		})
+		return false // inner lits were covered by the nested Inspect
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Transfer function
+
+func (e *lifeEngine) apply(st *lifeState, n ast.Node, report bool) {
+	if report {
+		e.scanUses(st, n)
+	}
+	e.applyReleases(st, n, report)
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		// Ambient acquire with a discarded error: pprof.StartCPUProfile(f).
+		if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+			if acq := e.acquireAt(call, -1); acq != nil {
+				e.acquireRes(st, call, acq, nil, report)
+			}
+		}
+	case *ast.AssignStmt:
+		e.applyAssign(st, n, report)
+	case *ast.DeclStmt:
+		e.applyDecl(st, n, report)
+	case *ast.DeferStmt:
+		e.applyDefer(st, n, report)
+	case *ast.GoStmt:
+		e.applyGo(st, n, report)
+	case *ast.SendStmt:
+		e.applyEscape(st, e.aliasBits(st, n.Value), n, "sent over a channel", report)
+	case *ast.RangeStmt:
+		bits := e.aliasBits(st, n.X)
+		if id, ok := unparen(n.Key).(*ast.Ident); ok && n.Key != nil {
+			e.bindIdent(st, id, 0)
+		}
+		if id, ok := unparen(n.Value).(*ast.Ident); ok && n.Value != nil {
+			e.bindIdent(st, id, bits)
+		}
+	case *ast.ReturnStmt:
+		e.applyReturn(st, n, report)
+	}
+}
+
+// scanUses flags reads of a resource that was released on some path.
+// Identifiers inside release-call arguments and plain assignment targets
+// are exempt (the release itself, and a rebind).
+func (e *lifeEngine) scanUses(st *lifeState, n ast.Node) {
+	skip := make(map[*ast.Ident]bool)
+	mark := func(x ast.Expr) {
+		if x == nil {
+			return
+		}
+		ast.Inspect(x, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				skip[id] = true
+			}
+			return true
+		})
+	}
+	for _, x := range nodeExprs(n) {
+		inspectSkippingFuncLits(x, func(m ast.Node) {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			targets, _ := releaseTargets(e.p.Info, e.ip, call)
+			for _, tgt := range targets {
+				if tgt.classes&e.spec.classes != 0 {
+					mark(tgt.expr)
+				}
+			}
+		})
+	}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+	}
+	for _, x := range nodeExprs(n) {
+		inspectSkippingFuncLits(x, func(m ast.Node) {
+			id, ok := m.(*ast.Ident)
+			if !ok || skip[id] {
+				return
+			}
+			obj := e.objOf(id)
+			if obj == nil {
+				return
+			}
+			for _, r := range e.resIn(st.bind[obj]) {
+				if st.status[r.id]&rReleased != 0 {
+					e.emit(id, "%s from %s (line %d) used after %s",
+						id.Name, r.what, e.line(r.call), r.release)
+					// Quiet further uses on this path.
+					st.status[r.id] &^= rReleased
+					st.status[r.id] |= rDone
+				}
+			}
+		})
+	}
+}
+
+// applyReleases processes every release call the node evaluates.
+func (e *lifeEngine) applyReleases(st *lifeState, n ast.Node, report bool) {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return // applyDefer / applyGo give these their own semantics
+	}
+	for _, x := range nodeExprs(n) {
+		inspectSkippingFuncLits(x, func(m ast.Node) {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			e.release(st, call, false, report)
+		})
+	}
+}
+
+// release applies one releasing call (deferred or immediate).
+func (e *lifeEngine) release(st *lifeState, call *ast.CallExpr, deferred bool, report bool) {
+	targets, ambient := releaseTargets(e.p.Info, e.ip, call)
+	newBit := uint8(rReleased)
+	verb := "released"
+	if deferred {
+		newBit = rDeferred
+		verb = "scheduled for release"
+	}
+	for _, tgt := range targets {
+		cls := tgt.classes & e.spec.classes
+		if cls == 0 {
+			continue
+		}
+		for _, r := range e.resIn(e.aliasBits(st, tgt.expr)) {
+			if r.class&cls == 0 {
+				continue
+			}
+			if st.status[r.id]&(rReleased|rDeferred) != 0 {
+				if report {
+					e.emit(call, "value from %s (line %d) is %s twice",
+						r.what, e.line(r.call), verb)
+				}
+			}
+			st.status[r.id] = newBit
+		}
+	}
+	if ambient&e.spec.classes != 0 {
+		for _, r := range e.res {
+			if r.anon && st.status[r.id]&rLive != 0 {
+				st.status[r.id] = newBit
+			}
+		}
+	}
+}
+
+func (e *lifeEngine) applyDefer(st *lifeState, n *ast.DeferStmt, report bool) {
+	if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+		// defer func() { putScratch(s) }(): credit releases of captured
+		// variables performed anywhere in the deferred closure.
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				e.release(st, call, true, report)
+			}
+			return true
+		})
+		return
+	}
+	e.release(st, n.Call, true, report)
+}
+
+func (e *lifeEngine) applyGo(st *lifeState, n *ast.GoStmt, report bool) {
+	node, args := calleeArgs(e.p.Info, e.ip, n.Call)
+	for _, a := range n.Call.Args {
+		bits := e.aliasBits(st, a)
+		if bits == 0 {
+			continue
+		}
+		releasedByCallee := false
+		if node != nil && node.res != nil {
+			for _, ap := range args {
+				if ap.expr == a && node.res.releases[ap.param]&e.spec.classes != 0 {
+					releasedByCallee = true
+				}
+			}
+		}
+		if releasedByCallee || e.spec.lenient {
+			e.markDone(st, bits)
+			continue
+		}
+		e.applyEscape(st, bits, n, "handed to a goroutine whose callee does not release it", report)
+	}
+}
+
+func (e *lifeEngine) applyEscape(st *lifeState, bits uint64, site ast.Node, how string, report bool) {
+	if bits == 0 {
+		return
+	}
+	if e.spec.lenient {
+		e.markDone(st, bits)
+		return
+	}
+	for _, r := range e.resIn(bits) {
+		if st.status[r.id]&(rLive|rDeferred) == 0 {
+			continue
+		}
+		if report && !r.reported {
+			r.reported = true
+			e.emit(site, "%s from %s (line %d) escapes: %s", r.what, r.what, e.line(r.call), how)
+		}
+		st.status[r.id] = rDone
+	}
+}
+
+func (e *lifeEngine) markDone(st *lifeState, bits uint64) {
+	for _, r := range e.resIn(bits) {
+		if st.status[r.id]&rLive != 0 {
+			st.status[r.id] = rDone
+		}
+	}
+}
+
+func (e *lifeEngine) applyDecl(st *lifeState, n *ast.DeclStmt, report bool) {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			var bits uint64
+			if i < len(vs.Values) {
+				bits = e.rhsBits(st, vs.Values[i], name, nil, report)
+			}
+			e.bindIdent(st, name, bits)
+		}
+	}
+}
+
+func (e *lifeEngine) applyAssign(st *lifeState, n *ast.AssignStmt, report bool) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		return // compound ops never move resource ownership
+	}
+	// Multi-value RHS: x, y := f() / v.(T) / m[k] / <-ch.
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		e.applyMultiAssign(st, n, report)
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		bits := e.rhsBits(st, n.Rhs[i], lhs, nil, report)
+		e.bindLhs(st, lhs, bits, n, report)
+	}
+}
+
+// rhsBits evaluates one single-value RHS, creating a resource when it is
+// an acquisition. lhs (the binding target) supplies the acquired static
+// type; guardLhs, when non-nil, is the error object paired with the
+// acquire (multi-assign handles its own guards).
+func (e *lifeEngine) rhsBits(st *lifeState, rhs ast.Expr, lhs ast.Expr, guard types.Object, report bool) uint64 {
+	x := unparen(rhs)
+	if ta, ok := x.(*ast.TypeAssertExpr); ok {
+		if call, ok := unparen(ta.X).(*ast.CallExpr); ok {
+			if acq := e.acquireAt(call, 0); acq != nil {
+				r := e.acquireRes(st, call, acq, e.p.Info.TypeOf(ta.Type), report)
+				r.guard = guard
+				return e.resBit(r)
+			}
+		}
+	}
+	if call, ok := x.(*ast.CallExpr); ok {
+		if acq := e.acquireAt(call, 0); acq != nil && !acq.anon {
+			var t types.Type
+			if lhs != nil {
+				t = e.p.Info.TypeOf(lhs)
+			}
+			if t == nil {
+				t = e.p.Info.TypeOf(call)
+			}
+			r := e.acquireRes(st, call, acq, t, report)
+			r.guard = guard
+			return e.resBit(r)
+		}
+		if acq := e.acquireAt(call, -1); acq != nil {
+			// Ambient acquire (pprof.StartCPUProfile): the bound value is
+			// its error, which doubles as the guard.
+			r := e.acquireRes(st, call, acq, nil, report)
+			if lhs != nil {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					if obj := e.objOf(id); obj != nil && isErrorType(obj.Type()) {
+						r.guard = obj
+					}
+				}
+			}
+			return 0
+		}
+	}
+	return e.aliasBits(st, rhs)
+}
+
+func (e *lifeEngine) applyMultiAssign(st *lifeState, n *ast.AssignStmt, report bool) {
+	rhs := unparen(n.Rhs[0])
+	// Comma-ok type assertion over an acquire: s, ok := pool.Get().(*T).
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		if call, ok2 := unparen(ta.X).(*ast.CallExpr); ok2 {
+			if acq := e.acquireAt(call, 0); acq != nil {
+				r := e.acquireRes(st, call, acq, e.p.Info.TypeOf(ta.Type), report)
+				if len(n.Lhs) == 2 {
+					if id, ok := unparen(n.Lhs[1]).(*ast.Ident); ok {
+						if obj := e.objOf(id); obj != nil {
+							r.guard, r.guardOK = obj, true
+						}
+					}
+				}
+				e.bindLhs(st, n.Lhs[0], e.resBit(r), n, report)
+				return
+			}
+		}
+		for i, lhs := range n.Lhs {
+			bits := uint64(0)
+			if i == 0 {
+				bits = e.aliasBits(st, ta.X)
+			}
+			e.bindLhs(st, lhs, bits, n, report)
+		}
+		return
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		// v, ok := m[k] and v, ok := <-ch: the container's resources (if
+		// any) flow to v.
+		bits := e.aliasBits(st, rhs)
+		for i, lhs := range n.Lhs {
+			if i > 0 {
+				bits = 0
+			}
+			e.bindLhs(st, lhs, bits, n, report)
+		}
+		return
+	}
+	// f, err := acquire(...): find the acquiring result and the error guard.
+	acqIdx, acq := -1, (*resAcq)(nil)
+	for i := range n.Lhs {
+		if a := e.acquireAt(call, i); a != nil && !a.anon {
+			acqIdx, acq = i, a
+			break
+		}
+	}
+	if acq != nil {
+		r := e.acquireRes(st, call, acq, e.p.Info.TypeOf(n.Lhs[acqIdx]), report)
+		for i, lhs := range n.Lhs {
+			if i == acqIdx {
+				continue
+			}
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				if obj := e.objOf(id); obj != nil && isErrorType(obj.Type()) {
+					r.guard = obj
+				}
+			}
+		}
+		for i, lhs := range n.Lhs {
+			bits := uint64(0)
+			if i == acqIdx {
+				bits = e.resBit(r)
+			}
+			e.bindLhs(st, lhs, bits, n, report)
+		}
+		return
+	}
+	bits := e.callAliasBits(st, call)
+	for _, lhs := range n.Lhs {
+		lb := uint64(0)
+		if isRefShaped(e.p.Info.TypeOf(lhs)) {
+			lb = bits
+		}
+		e.bindLhs(st, lhs, lb, n, report)
+	}
+}
+
+// bindLhs routes an assignment's resource bits to the target location.
+func (e *lifeEngine) bindLhs(st *lifeState, lhs ast.Expr, bits uint64, site ast.Node, report bool) {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := e.objOf(lhs)
+		if obj == nil {
+			return
+		}
+		switch e.capKindOf(obj) {
+		case capLocal, capParam:
+			// Parameters are local copies in Go; rebinding one never
+			// leaks anything to the caller.
+			e.bindIdent(st, lhs, bits)
+		case capCaptured:
+			if bits == 0 {
+				e.bindIdent(st, lhs, bits)
+				return
+			}
+			if e.spec.lenient {
+				e.markDone(st, bits)
+				return
+			}
+			for _, r := range e.resIn(bits) {
+				if st.status[r.id]&rLive == 0 {
+					continue
+				}
+				st.status[r.id] = rDone
+				if report && e.onDeposit != nil {
+					e.onDeposit(r, obj, site)
+				}
+			}
+		case capGlobal:
+			e.applyEscape(st, bits, site, fmt.Sprintf("stored into package-level %s", lhs.Name), report)
+		}
+	case *ast.SelectorExpr:
+		e.bindThrough(st, rootObj(e.p.Info, lhs.X), bits, site, "a struct field", report)
+	case *ast.IndexExpr:
+		e.bindThrough(st, rootObj(e.p.Info, lhs.X), bits, site, "a container element", report)
+	case *ast.StarExpr:
+		e.bindThrough(st, rootObj(e.p.Info, lhs.X), bits, site, "pointed-to memory", report)
+	}
+}
+
+func (e *lifeEngine) bindIdent(st *lifeState, id *ast.Ident, bits uint64) {
+	if id.Name == "_" {
+		return
+	}
+	obj := e.objOf(id)
+	if obj == nil {
+		return
+	}
+	if bits == 0 {
+		delete(st.bind, obj)
+	} else {
+		st.bind[obj] = bits
+		for _, r := range e.resIn(bits) {
+			r.aliases[obj] = true
+		}
+	}
+}
+
+// bindThrough handles stores through a base object: a local carrier
+// keeps tracking the resource; a captured container is a cross-goroutine
+// deposit (poolguard) or a transfer (leakguard); parameter-reachable and
+// package-level stores escape.
+func (e *lifeEngine) bindThrough(st *lifeState, base types.Object, bits uint64, site ast.Node, into string, report bool) {
+	if bits == 0 || base == nil {
+		return
+	}
+	switch e.capKindOf(base) {
+	case capLocal:
+		if e.spec.lenient {
+			// Lenient policy: parking a handle in any container or field
+			// is a hand-off — the container's consumer closes it (the
+			// files[i] = fh; ...; range files { fh.Close() } idiom defeats
+			// a must-analysis, since a loop release can't be proven to
+			// cover every element).
+			e.markDone(st, bits)
+			return
+		}
+		st.bind[base] |= bits
+		for _, r := range e.resIn(bits) {
+			r.aliases[base] = true
+		}
+	case capCaptured:
+		if e.spec.lenient {
+			e.markDone(st, bits)
+			return
+		}
+		for _, r := range e.resIn(bits) {
+			if st.status[r.id]&rLive == 0 {
+				continue
+			}
+			st.status[r.id] = rDone
+			if report && e.onDeposit != nil {
+				e.onDeposit(r, base, site)
+			}
+		}
+	case capParam:
+		e.applyEscape(st, bits, site, fmt.Sprintf("stored into caller-visible memory through %s", base.Name()), report)
+	case capGlobal:
+		e.applyEscape(st, bits, site, fmt.Sprintf("stored into package-level %s", base.Name()), report)
+	}
+}
+
+func (e *lifeEngine) applyReturn(st *lifeState, n *ast.ReturnStmt, report bool) {
+	for i, x := range n.Results {
+		bits := e.aliasBits(st, x)
+		for _, r := range e.resIn(bits) {
+			switch {
+			case st.status[r.id]&rReleased != 0:
+				if report && !r.reported {
+					r.reported = true
+					e.emit(x, "value aliasing %s (line %d) returned after %s", r.what, e.line(r.call), r.release)
+				}
+			case st.status[r.id]&rDeferred != 0:
+				if report && !r.reported {
+					r.reported = true
+					e.emit(x, "value aliasing %s (line %d) returned while its %s is deferred — it escapes the release", r.what, e.line(r.call), r.release)
+				}
+			case st.status[r.id]&rLive != 0:
+				summaryTransfer := e.ownRes != nil &&
+					i < len(e.ownRes.acquires) && e.ownRes.acquires[i]&r.class != 0
+				if summaryTransfer || (r.typ != nil && typesIdenticalSafe(e.p.Info.TypeOf(x), r.typ)) {
+					// Returning the resource itself transfers ownership to
+					// the caller (the acquire summary makes it responsible).
+					st.status[r.id] = rDone
+				}
+				// A view returned while the root stays live leaves the
+				// obligation in place; checkExit below reports the leak.
+			}
+		}
+	}
+	e.checkExit(st, n, report)
+}
+
+// checkExit reports resources still live (not deferred, transferred, or
+// released) when control leaves the function.
+func (e *lifeEngine) checkExit(st *lifeState, at ast.Node, report bool) {
+	if !report {
+		return
+	}
+	for _, r := range e.res {
+		if r.id >= len(st.status) || st.status[r.id]&rLive == 0 {
+			continue
+		}
+		if st.status[r.id]&(rDeferred|rDone) != 0 {
+			continue
+		}
+		if e.spec.lenient && e.exemptByClosure(r) {
+			continue
+		}
+		if r.reported {
+			continue
+		}
+		r.reported = true
+		where := "function exit"
+		if at != nil {
+			where = fmt.Sprintf("the return at line %d", e.line(at))
+		}
+		e.emit(r.call, "%s is not released on every path: %s misses its %s", r.what, where, r.release)
+	}
+}
+
+// exemptByClosure implements the lenient discharge: a closer referenced
+// inside a nested closure (the beginObs finish-func shape), or an
+// ambient profile stopped inside one.
+func (e *lifeEngine) exemptByClosure(r *lifeRes) bool {
+	if r.anon && e.anonLitRelease {
+		return true
+	}
+	for obj := range r.aliases {
+		if e.litRefs[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Acquisition
+
+// resAcq is one classified acquisition shape at a call site.
+type resAcq struct {
+	class   resClass
+	what    string
+	release string
+	anon    bool
+}
+
+// acquireAt classifies call as an acquisition at result index i (or the
+// ambient pseudo-result -1), filtered by the spec's classes.
+func (e *lifeEngine) acquireAt(call *ast.CallExpr, i int) *resAcq {
+	if e.spec.classes&classPool != 0 && i == 0 && isPoolMethod(e.p.Info, call, "Get") {
+		return &resAcq{class: classPool, what: "(*sync.Pool).Get", release: "Put"}
+	}
+	if e.spec.classes&classCloser != 0 {
+		if ca := closerAcquireOf(e.p.Info, call); ca != nil && ca.result == i {
+			return &resAcq{class: classCloser, what: ca.what, release: ca.release, anon: ca.result < 0}
+		}
+	}
+	if i < 0 {
+		return nil
+	}
+	if node := e.ip.nodeFor(calleeOf(e.p.Info, call)); node != nil && node.res != nil {
+		if i < len(node.res.acquires) {
+			if cls := node.res.acquires[i] & e.spec.classes; cls != 0 {
+				release := "release"
+				if cls&classPool != 0 {
+					release = "return to its pool"
+				} else if cls&classCloser != 0 {
+					release = "Close"
+				}
+				return &resAcq{class: cls, what: node.fn.Name() + "()", release: release}
+			}
+		}
+	}
+	return nil
+}
+
+// acquireRes creates (or revisits) the resource for an acquiring call.
+// Re-acquiring while a previous acquisition from the same site is still
+// live is a loop leak under the strict policy.
+func (e *lifeEngine) acquireRes(st *lifeState, call *ast.CallExpr, acq *resAcq, t types.Type, report bool) *lifeRes {
+	r := e.byCall[call]
+	if r == nil {
+		r = &lifeRes{
+			id:      len(e.res),
+			call:    call,
+			class:   acq.class,
+			what:    acq.what,
+			release: acq.release,
+			anon:    acq.anon,
+			typ:     t,
+			aliases: make(map[types.Object]bool),
+		}
+		e.res = append(e.res, r)
+		e.byCall[call] = r
+	}
+	for len(st.status) < len(e.res) {
+		st.status = append(st.status, 0)
+	}
+	if report && !e.spec.lenient && st.status[r.id]&rLive != 0 && !r.reported {
+		r.reported = true
+		e.emit(call, "%s re-acquired while a previous acquisition from this site is still unreleased (loop leak)", r.what)
+	}
+	st.status[r.id] = rLive
+	return r
+}
+
+func (e *lifeEngine) resBit(r *lifeRes) uint64 {
+	if r.id >= 64 {
+		return 0 // beyond the bitset: untracked, never misreported
+	}
+	return 1 << uint(r.id)
+}
+
+func (e *lifeEngine) resIn(bits uint64) []*lifeRes {
+	if bits == 0 {
+		return nil
+	}
+	var out []*lifeRes
+	for _, r := range e.res {
+		if r.id < 64 && bits&(1<<uint(r.id)) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Alias evaluation
+
+// aliasBits computes which resources an expression's value may alias.
+func (e *lifeEngine) aliasBits(st *lifeState, x ast.Expr) uint64 {
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return e.aliasBits(st, x.X)
+	case *ast.Ident:
+		if obj := e.objOf(x); obj != nil {
+			return st.bind[obj]
+		}
+	case *ast.SelectorExpr:
+		// Field reads propagate the base variable's resources: s.bits
+		// aliases the scratch arena, outs[i].payload the deposited buffer.
+		if obj := rootObj(e.p.Info, x); obj != nil {
+			return st.bind[obj]
+		}
+	case *ast.IndexExpr:
+		return e.aliasBits(st, x.X)
+	case *ast.SliceExpr:
+		return e.aliasBits(st, x.X)
+	case *ast.StarExpr:
+		return e.aliasBits(st, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return 0
+		}
+		return e.aliasBits(st, x.X)
+	case *ast.TypeAssertExpr:
+		return e.aliasBits(st, x.X)
+	case *ast.CallExpr:
+		return e.callAliasBits(st, x)
+	case *ast.CompositeLit:
+		var agg uint64
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			agg |= e.aliasBits(st, elt)
+		}
+		return agg
+	}
+	return 0
+}
+
+// callAliasBits implements the dst-first aliasing convention: a call
+// result aliases a resource only through a slice-typed first argument
+// (append threading) or through a module method summarized as returning
+// receiver views.
+func (e *lifeEngine) callAliasBits(st *lifeState, call *ast.CallExpr) uint64 {
+	if tv, ok := e.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return e.aliasBits(st, call.Args[0]) // conversion: []byte(x)
+		}
+		return 0
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := e.p.Info.Uses[id].(*types.Builtin); ok {
+			if bi.Name() == "append" && len(call.Args) > 0 {
+				return e.aliasBits(st, call.Args[0])
+			}
+			return 0
+		}
+	}
+	if !hasRefResult(e.p.Info.TypeOf(call)) {
+		return 0
+	}
+	sig, _ := e.p.Info.TypeOf(call.Fun).(*types.Signature)
+	if sig != nil && sig.Params().Len() > 0 && len(call.Args) > 0 {
+		if _, ok := sig.Params().At(0).Type().Underlying().(*types.Slice); ok {
+			return e.aliasBits(st, call.Args[0])
+		}
+	}
+	if node := e.ip.nodeFor(calleeOf(e.p.Info, call)); node != nil && node.res != nil && node.res.recvAlias {
+		// recvAlias means the callee's results are views of its first
+		// input — the receiver for methods (the selector's base: the
+		// expression type drops the receiver, so consult the declared
+		// signature), the first argument otherwise.
+		if fsig, ok := node.fn.Type().(*types.Signature); ok && fsig.Recv() != nil {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return e.aliasBits(st, sel.X)
+			}
+			return 0
+		}
+		if len(call.Args) > 0 {
+			return e.aliasBits(st, call.Args[0])
+		}
+	}
+	return 0
+}
+
+// hasRefResult reports whether any call result is slice- or pointer-shaped.
+func hasRefResult(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isRefShaped(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isRefShaped(t)
+}
+
+func typesIdenticalSafe(a, b types.Type) bool {
+	return a != nil && b != nil && types.Identical(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Edge refinement: error guards kill unrealized acquisitions
+
+func (e *lifeEngine) refineEdge(out *lifeState, edge cfgEdge) *lifeState {
+	if edge.cond == nil {
+		return out
+	}
+	return e.refineLifeCond(out, edge.cond, edge.neg)
+}
+
+func (e *lifeEngine) refineLifeCond(st *lifeState, cond ast.Expr, neg bool) *lifeState {
+	switch c := unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return e.refineLifeCond(st, c.X, !neg)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case c.Op == token.LAND && !neg:
+			return e.refineLifeCond(e.refineLifeCond(st, c.X, false), c.Y, false)
+		case c.Op == token.LOR && neg:
+			return e.refineLifeCond(e.refineLifeCond(st, c.X, true), c.Y, true)
+		case c.Op == token.NEQ || c.Op == token.EQL:
+			var idExpr ast.Expr
+			switch {
+			case isNilIdent(c.Y):
+				idExpr = c.X
+			case isNilIdent(c.X):
+				idExpr = c.Y
+			default:
+				return st
+			}
+			id, ok := unparen(idExpr).(*ast.Ident)
+			if !ok {
+				return st
+			}
+			obj := e.objOf(id)
+			if obj == nil {
+				return st
+			}
+			// The edge where the error is non-nil kills err-guarded
+			// acquisitions: nothing was acquired on the failure path. The
+			// nil edge instead confirms the acquisition, so later reuse of
+			// the same err variable (n, err := f.Read(...)) cannot
+			// retroactively un-acquire the handle.
+			nonNil := (c.Op == token.NEQ) != neg
+			if nonNil {
+				return e.killGuarded(st, obj, false)
+			}
+			return e.confirmGuarded(st, obj, false)
+		}
+	case *ast.Ident:
+		// Bare bool condition: the false edge of a comma-ok guard kills,
+		// the true edge confirms.
+		if obj := e.objOf(c); obj != nil {
+			if neg {
+				return e.killGuarded(st, obj, true)
+			}
+			return e.confirmGuarded(st, obj, true)
+		}
+	}
+	return st
+}
+
+func (e *lifeEngine) killGuarded(st *lifeState, obj types.Object, okGuard bool) *lifeState {
+	var kill []*lifeRes
+	for _, r := range e.res {
+		if r.guard == obj && r.guardOK == okGuard && r.id < len(st.status) &&
+			st.status[r.id] != 0 && st.status[r.id]&rConfirmed == 0 {
+			kill = append(kill, r)
+		}
+	}
+	if len(kill) == 0 {
+		return st
+	}
+	out := st.clone(len(e.res))
+	for _, r := range kill {
+		out.status[r.id] = 0
+	}
+	return out
+}
+
+func (e *lifeEngine) confirmGuarded(st *lifeState, obj types.Object, okGuard bool) *lifeState {
+	var hit []*lifeRes
+	for _, r := range e.res {
+		if r.guard == obj && r.guardOK == okGuard && r.id < len(st.status) &&
+			st.status[r.id]&rLive != 0 && st.status[r.id]&rConfirmed == 0 {
+			hit = append(hit, r)
+		}
+	}
+	if len(hit) == 0 {
+		return st
+	}
+	out := st.clone(len(e.res))
+	for _, r := range hit {
+		out.status[r.id] |= rConfirmed
+	}
+	return out
+}
+
+// isNilIdent reports whether x is the predeclared nil identifier.
+func isNilIdent(x ast.Expr) bool {
+	id, ok := unparen(x).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func (e *lifeEngine) line(n ast.Node) int {
+	return e.p.Fset.Position(n.Pos()).Line
+}

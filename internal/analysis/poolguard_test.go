@@ -1,0 +1,293 @@
+package analysis
+
+import "testing"
+
+// poolFixture is the arena prelude shared by the poolguard fixtures: a
+// pooled []byte with the getChunkBuf/putChunkBuf shape from
+// internal/cpsz, so the interprocedural summaries classify getBuf as an
+// acquirer and putBuf as a releaser.
+const poolFixture = `package pool
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf() []byte {
+	if p, ok := bufPool.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 64)
+}
+
+func putBuf(b []byte) {
+	bufPool.Put(&b)
+}
+`
+
+func TestPoolguardUseAfterPut(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/arena.go": poolFixture,
+		"internal/pool/use.go": `package pool
+
+func Encode(data []byte) int {
+	b := getBuf()
+	b = append(b, data...)
+	putBuf(b)
+	return len(b)
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got, "internal/pool/use.go:7")
+}
+
+func TestPoolguardDoublePut(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/arena.go": poolFixture,
+		"internal/pool/use.go": `package pool
+
+func Twice(data []byte) {
+	b := getBuf()
+	b = append(b, data...)
+	putBuf(b)
+	putBuf(b)
+}
+
+func DeferTwice() {
+	b := getBuf()
+	defer putBuf(b)
+	putBuf(b)
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got, "internal/pool/use.go:7", "internal/pool/use.go:13")
+}
+
+func TestPoolguardLeakOnEarlyReturn(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/arena.go": poolFixture,
+		"internal/pool/use.go": `package pool
+
+func Leaky(data []byte) []byte {
+	b := getBuf()
+	if len(data) > 1024 {
+		return nil
+	}
+	b = append(b, data...)
+	putBuf(b)
+	return nil
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got, "internal/pool/use.go:4")
+}
+
+func TestPoolguardEscapes(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/arena.go": poolFixture,
+		"internal/pool/use.go": `package pool
+
+var global []byte
+
+func StoreGlobal() {
+	global = getBuf()
+}
+
+func Send(ch chan []byte) {
+	b := getBuf()
+	ch <- b
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got, "internal/pool/use.go:6", "internal/pool/use.go:11")
+}
+
+// TestPoolguardViewEscapesDeferredRelease reproduces the cross-call
+// pooled-slice escape: an arena view produced by an accessor method
+// (summarized as receiver-aliasing) is returned while the arena itself
+// is scheduled for re-pooling by a defer — the caller would read memory
+// the pool may hand to another goroutine.
+func TestPoolguardViewEscapesDeferredRelease(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/scratch.go": `package pool
+
+import "sync"
+
+type scratch struct{ bits []byte }
+
+var sPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch {
+	if s, ok := sPool.Get().(*scratch); ok {
+		return s
+	}
+	return &scratch{}
+}
+
+func putScratch(s *scratch) { sPool.Put(s) }
+
+func (s *scratch) view(n int) []byte {
+	if cap(s.bits) < n {
+		s.bits = make([]byte, n)
+	}
+	return s.bits[:n]
+}
+
+func Header() []byte {
+	s := getScratch()
+	defer putScratch(s)
+	return s.view(8)
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got, "internal/pool/scratch.go:28")
+}
+
+// TestPoolguardHandoff is the cpsz chunk-payload pattern: workers
+// deposit pooled buffers into a captured per-worker slice and a merge
+// callee (summarized as releasing its parameter) re-pools every slot —
+// that must pass. The same deposit with no reachable merge must not.
+func TestPoolguardHandoff(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/arena.go": poolFixture,
+		"internal/pool/handoff.go": `package pool
+
+type entry struct {
+	payload []byte
+	n       int
+}
+
+func dispatch(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+func Handoff(data [][]byte) []byte {
+	outs := make([]entry, len(data))
+	dispatch(len(data), func(i int) {
+		b := getBuf()
+		b = append(b, data[i]...)
+		outs[i] = entry{payload: b, n: len(b)}
+	})
+	return merge(outs)
+}
+
+func merge(outs []entry) []byte {
+	var dst []byte
+	for i := range outs {
+		dst = append(dst, outs[i].payload...)
+		putBuf(outs[i].payload)
+	}
+	return dst
+}
+`,
+		"internal/pool/leakoff.go": `package pool
+
+type entry2 struct {
+	payload []byte
+}
+
+func HandoffLeak(data [][]byte) int {
+	outs := make([]entry2, len(data))
+	dispatch(len(data), func(i int) {
+		b := getBuf()
+		outs[i] = entry2{payload: b}
+	})
+	return len(outs)
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got, "internal/pool/leakoff.go:11")
+}
+
+func TestPoolguardReacquireInLoop(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/arena.go": poolFixture,
+		"internal/pool/use.go": `package pool
+
+func Churn(n int) {
+	for i := 0; i < n; i++ {
+		b := getBuf()
+		if i == 0 {
+			continue
+		}
+		putBuf(b)
+	}
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got, "internal/pool/use.go:5")
+}
+
+// TestPoolguardCleanPatterns collects the idioms that must never fire:
+// put-before-error-check with dst-first append threading, ownership
+// transfer by returning the acquired value, and release-in-loop of
+// per-iteration acquisitions.
+func TestPoolguardCleanPatterns(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/arena.go": poolFixture,
+		"internal/pool/use.go": `package pool
+
+func compress(dst, src []byte) ([]byte, error) {
+	return append(dst[:0], src...), nil
+}
+
+func Roundtrip(data []byte) ([]byte, error) {
+	b := getBuf()
+	b = append(b, data...)
+	out, err := compress(nil, b)
+	putBuf(b)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func Produce(data []byte) []byte {
+	b := getBuf()
+	b = append(b, data...)
+	return b
+}
+
+func PerChunk(chunks [][]byte) int {
+	total := 0
+	for _, c := range chunks {
+		b := getBuf()
+		b = append(b, c...)
+		total += len(b)
+		putBuf(b)
+	}
+	return total
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got)
+}
+
+func TestPoolguardSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/pool/arena.go": poolFixture,
+		"internal/pool/use.go": `package pool
+
+func Pinned(keep func([]byte)) {
+	b := getBuf() //lint:allow poolguard keep re-pools it out of band
+	keep(b)
+}
+
+func Unpinned(keep func([]byte)) {
+	b := getBuf()
+	keep(b)
+}
+`,
+	})
+	got := runCheck(t, dir, "poolguard")
+	expectLines(t, got, "internal/pool/use.go:9")
+}

@@ -273,6 +273,7 @@ func computeSummaries(ip *interCtx) {
 		for _, n := range comp {
 			computeValidates(n, ip)
 		}
+		computeResEffects(comp, ip)
 	}
 }
 

@@ -147,7 +147,7 @@ func Oops(data []byte) []byte {
 			t.Errorf("diagnostic %q does not list check %q", msg, name)
 		}
 	}
-	if len(CheckNames()) != 9 || CheckNames()[8] != "raceguard" {
-		t.Errorf("CheckNames() = %v, want 9 names ending in raceguard", CheckNames())
+	if len(CheckNames()) != 11 || CheckNames()[10] != "leakguard" {
+		t.Errorf("CheckNames() = %v, want 11 names ending in leakguard", CheckNames())
 	}
 }

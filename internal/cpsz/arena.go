@@ -17,13 +17,16 @@ import (
 // decode tables per dynamic block even through Resetter.Reset), and the
 // directory walk borrows its offset/size arrays from the same arena.
 //
-// Ownership rules (see DESIGN.md §3): a scratch is owned by exactly one
-// goroutine between getScratch and putScratch; every slice it hands out
-// (buf, dir arrays, deflate output) aliases its arena and must not be
-// retained after the put. The only buffers that outlive a worker iteration
-// are the per-chunk payload buffers from chunkBufPool, whose ownership
-// transfers from the encode worker to the serialize merge and back to the
-// pool once the payload is copied into its extent.
+// Ownership rules (see DESIGN.md §3, verified mechanically by tsplint's
+// poolguard): a scratch is owned by exactly one goroutine between
+// getScratch and putScratch, released exactly once on every exit path,
+// and never touched after the put; every slice it hands out (buf, dir
+// arrays, deflate output) aliases its arena and must not be returned,
+// stored globally, or sent on a channel past the put. The only buffers
+// that outlive a worker iteration are the per-chunk payload buffers from
+// chunkBufPool: an encode worker deposits one into its captured output
+// slot, and mergeChunks — summarized by the analyzer as releasing its
+// parameter — re-pools every slot after copying it into its extent.
 type scratch struct {
 	bits []byte // Huffman bit buffer / inflate target
 

@@ -10,13 +10,15 @@ import (
 )
 
 // TestFaultSweep is the byte-level crash-proofing proof for the cpSZ layer:
-// it flips bits in EVERY byte of a v2 (checksum-less) and v3 archive,
-// truncates at every offset, and applies seeded random zero/duplicate-range
-// mutations; every outcome must be either a streamerr-typed error or a
-// structurally sound decode — never a panic, and (for v3, where CRC32C
-// detects all single-bit errors) never a silent success. Decode runs with
-// workers=4 so the mutations also exercise the parallel inflate path, and
-// the test asserts the sweep leaks no goroutines.
+// it flips bits in EVERY byte of a v2 (checksum-less), v3 (CRC-sealed),
+// and v4 (CRC + chunk modes) archive, truncates at every offset, and
+// applies seeded random zero/duplicate-range mutations; every outcome must
+// be either a streamerr-typed error or a structurally sound decode — never
+// a panic, and (for v3+, where CRC32C detects all single-bit errors) never
+// a silent success. The v4 sweep therefore also covers every chunk mode
+// byte and every packed-chunk base/width byte the archive carries. Decode
+// runs with workers=4 so the mutations also exercise the parallel inflate
+// path, and the test asserts the sweep leaks no goroutines.
 func TestFaultSweep(t *testing.T) {
 	f := gyre2D(16, 12)
 	opts := Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1}
@@ -24,21 +26,23 @@ func TestFaultSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v3 := res.Bytes
-	_, ebSyms, quantSyms, raw, err := parse(v3, 1, nil)
+	v4 := res.Bytes
+	_, ebSyms, quantSyms, raw, err := parse(v4, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	v3 := serializeV3(t, f, opts, ebSyms, quantSyms, raw)
 	v2 := serializeV2(t, f, opts, ebSyms, quantSyms, raw)
 
 	before := runtime.NumGoroutine()
+	sweepArchive(t, "v4", v4, true)
 	sweepArchive(t, "v3", v3, true)
 	sweepArchive(t, "v2", v2, false)
 	checkNoGoroutineLeak(t, before)
 }
 
 // sweepArchive runs the three mutation families against one archive.
-// hasCRC marks a v3 archive, where every single-bit flip must be detected.
+// hasCRC marks a v3+ archive, where every single-bit flip must be detected.
 func sweepArchive(t *testing.T, name string, stream []byte, hasCRC bool) {
 	t.Helper()
 	bits := []uint{0, 1, 2, 3, 4, 5, 6, 7}

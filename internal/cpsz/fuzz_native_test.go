@@ -74,6 +74,21 @@ func FuzzDecompressTruncated(f *testing.F) {
 	modeLie := buildSymbolSection(f, manySyms(chunkSymbols+10), formatV4,
 		func(_ *uint64, _, _ []uint64, _ []uint32, modes []byte) { modes[0] = symChunkPacked })
 	f.Add(append(append([]byte{}, stream[:headerBytesV3]...), modeLie...), uint16(0))
+	// Packed base/width lies sealed behind a valid per-chunk CRC: the
+	// structural checks, not the checksums, must reject these.
+	for _, pl := range [][]byte{
+		append(binary.AppendUvarint(nil, 1<<33), 0),   // base past the u32 symbol range
+		append([]byte{0x00, 33}, make([]byte, 64)...), // width beyond 32 bits
+		{0x80, 0x01}, // base uvarint swallows the width byte
+	} {
+		sec := packedSection(f, uniform[:500], pl, len(pl), len(pl))
+		f.Add(append(append([]byte{}, stream[:headerBytesV3]...), sec...), uint16(0))
+	}
+	// A chunk mode byte flipped in a real archive with the stream trailer
+	// resealed, so every CRC passes and only per-mode validation objects.
+	flipped := append([]byte{}, stream...)
+	flipped[walkV4(f, stream)[0].modeOff] ^= 1
+	f.Add(resealTrailer(flipped), uint16(0))
 	// Checksum-tamper regression seeds: a flipped per-chunk CRC in the v3
 	// directory, and a trailer lying about the payload length.
 	crcFlip := append([]byte{}, stream...)

@@ -88,7 +88,7 @@ func TestFixedSoSDeduplicatesFaceCP(t *testing.T) {
 func TestFixedFieldExactForDyadicData(t *testing.T) {
 	f := field.New2D(4, 4)
 	for i := range f.U {
-		f.U[i] = float32(i) - 7.5  // dyadic values
+		f.U[i] = float32(i) - 7.5 // dyadic values
 		f.V[i] = float32(i)*0.25 - 1
 	}
 	fx := NewFixedField(f)
