@@ -1,0 +1,259 @@
+package tspsz_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"tspsz"
+)
+
+// bigField is large enough that compress and decompress take several
+// milliseconds even on fast machines, giving mid-flight cancellation a real
+// window to land in.
+func bigField() *tspsz.Field {
+	f := tspsz.NewField2D(192, 192)
+	l := 23.5
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		x, y := math.Pi*p[0]/l, math.Pi*p[1]/l
+		f.U[idx] = float32(-math.Sin(x)*math.Cos(y) - 0.1*math.Cos(x)*math.Sin(y))
+		f.V[idx] = float32(math.Cos(x)*math.Sin(y) - 0.1*math.Sin(x)*math.Cos(y))
+	}
+	return f
+}
+
+// wantCancelled asserts err carries the full cancellation contract: typed
+// *StreamError, matches ErrCancelled, still matches the underlying context
+// error, and is not conflated with any stream-fault class.
+func wantCancelled(t *testing.T, err error, ctxErr error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("cancelled operation returned nil error")
+	}
+	if !errors.Is(err, tspsz.ErrCancelled) {
+		t.Fatalf("cancelled operation returned %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, ctxErr) {
+		t.Fatalf("%v hides the underlying %v", err, ctxErr)
+	}
+	var se *tspsz.StreamError
+	if !errors.As(err, &se) {
+		t.Fatalf("cancellation not carried by *StreamError: %T %v", err, err)
+	}
+	for _, wrong := range []error{tspsz.ErrCorrupt, tspsz.ErrTruncated, tspsz.ErrVersion, tspsz.ErrHeader} {
+		if errors.Is(err, wrong) {
+			t.Fatalf("cancellation classified as stream fault %v", wrong)
+		}
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	f := demoField()
+	opts := tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05}
+	res, err := tspsz.Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := tspsz.CompressCtx(ctx, f, opts); err == nil {
+		t.Fatal("CompressCtx succeeded on a dead context")
+	} else {
+		wantCancelled(t, err, context.Canceled)
+	}
+	if _, err := tspsz.DecompressCtx(ctx, res.Bytes, 4); err == nil {
+		t.Fatal("DecompressCtx succeeded on a dead context")
+	} else {
+		wantCancelled(t, err, context.Canceled)
+	}
+	if _, err := tspsz.CompressSequenceCtx(ctx, []*tspsz.Field{f, f}, opts); err == nil {
+		t.Fatal("CompressSequenceCtx succeeded on a dead context")
+	} else {
+		wantCancelled(t, err, context.Canceled)
+	}
+	if _, err := tspsz.CompressCPCtx(ctx, f, tspsz.ModeAbsolute, 0.05, 2); err == nil {
+		t.Fatal("CompressCPCtx succeeded on a dead context")
+	} else {
+		wantCancelled(t, err, context.Canceled)
+	}
+	if _, err := tspsz.DecompressCPCtx(ctx, res.Bytes, 2); err == nil {
+		// res.Bytes is a container, not a bare CPSZ stream, but the dead
+		// context must win before any parsing happens.
+		t.Fatal("DecompressCPCtx succeeded on a dead context")
+	} else {
+		wantCancelled(t, err, context.Canceled)
+	}
+}
+
+func TestExpiredDeadline(t *testing.T) {
+	f := demoField()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	_, err := tspsz.CompressCtx(ctx, f, tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05})
+	wantCancelled(t, err, context.DeadlineExceeded)
+}
+
+// TestMidDecodeCancellation cancels decompression at staggered points in
+// its lifetime under -race. Every run must either finish cleanly (the
+// cancel landed too late) or return the full ErrCancelled contract — and
+// no run may leak a goroutine or leave a worker touching shared state
+// after return (the race detector watches the latter).
+func TestMidDecodeCancellation(t *testing.T) {
+	f := bigField()
+	opts := tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.01}
+	res, err := tspsz.Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	cancelledRuns := 0
+	delays := []time.Duration{0, 50 * time.Microsecond, 200 * time.Microsecond,
+		500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond}
+	rounds := 3
+	if testing.Short() {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		for _, d := range delays {
+			ctx, cancel := context.WithCancel(context.Background())
+			go func(d time.Duration) {
+				if d > 0 {
+					time.Sleep(d)
+				}
+				cancel()
+			}(d)
+			dec, err := tspsz.DecompressCtx(ctx, res.Bytes, 4)
+			if err != nil {
+				cancelledRuns++
+				wantCancelled(t, err, context.Canceled)
+			} else if dec == nil || dec.NumVertices() != f.NumVertices() {
+				t.Fatalf("delay %v: clean decode returned a malformed field", d)
+			}
+			cancel()
+		}
+	}
+	if cancelledRuns == 0 {
+		t.Log("no run was actually cancelled mid-flight; timings too fast to prove anything this run")
+	}
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestMidCompressCancellation does the same on the encode side, where
+// cancellation additionally must return every pooled chunk buffer (the
+// poolguard lint proves the return paths statically; -race proves no
+// worker outlives the call).
+func TestMidCompressCancellation(t *testing.T) {
+	f := bigField()
+	opts := tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.01}
+
+	before := runtime.NumGoroutine()
+	delays := []time.Duration{0, 200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond}
+	for _, d := range delays {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			if d > 0 {
+				time.Sleep(d)
+			}
+			cancel()
+		}(d)
+		res, err := tspsz.CompressCtx(ctx, f, opts)
+		if err != nil {
+			wantCancelled(t, err, context.Canceled)
+		} else if res == nil || len(res.Bytes) == 0 {
+			t.Fatalf("delay %v: clean compress returned an empty result", d)
+		}
+		cancel()
+	}
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestMidSequenceCancellation cancels between and inside frames of a
+// sequence decode; the frame loop must stop without wrapping the
+// cancellation in frame-scoped context.
+func TestMidSequenceCancellation(t *testing.T) {
+	f := demoField()
+	opts := tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05}
+	seq, err := tspsz.CompressSequence([]*tspsz.Field{f, f, f}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	for _, d := range []time.Duration{0, 100 * time.Microsecond, time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(d time.Duration) {
+			if d > 0 {
+				time.Sleep(d)
+			}
+			cancel()
+		}(d)
+		frames, err := tspsz.DecompressSequenceCtx(ctx, seq.Bytes, 4)
+		if err != nil {
+			wantCancelled(t, err, context.Canceled)
+		} else if len(frames) != 3 {
+			t.Fatalf("delay %v: clean decode returned %d frames, want 3", d, len(frames))
+		}
+		cancel()
+	}
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestCancellationIsRetryable proves the core promise of the taxonomy: the
+// same bytes that failed under a dead context decode cleanly under a live
+// one.
+func TestCancellationIsRetryable(t *testing.T) {
+	f := demoField()
+	res, err := tspsz.Compress(f, tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tspsz.DecompressCtx(ctx, res.Bytes, 2); !errors.Is(err, tspsz.ErrCancelled) {
+		t.Fatalf("dead context: %v", err)
+	}
+	dec, err := tspsz.DecompressCtx(context.Background(), res.Bytes, 2)
+	if err != nil {
+		t.Fatalf("retry with live context failed: %v", err)
+	}
+	if dec.NumVertices() != f.NumVertices() {
+		t.Fatal("retry produced a malformed field")
+	}
+}
+
+// TestNilCtxIdentical pins the compatibility contract: the ctx-free API and
+// a nil/background context produce byte-identical streams and fields.
+func TestNilCtxIdentical(t *testing.T) {
+	f := demoField()
+	opts := tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05}
+	plain, err := tspsz.Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := tspsz.CompressCtx(context.Background(), f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain.Bytes) != string(ctxed.Bytes) {
+		t.Fatal("CompressCtx(background) and Compress produced different streams")
+	}
+	a, err := tspsz.Decompress(plain.Bytes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tspsz.DecompressCtx(context.Background(), plain.Bytes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.U {
+		if a.U[i] != b.U[i] || a.V[i] != b.V[i] {
+			t.Fatalf("vertex %d differs between ctx-free and ctx decode", i)
+		}
+	}
+}

@@ -86,3 +86,68 @@ func TestCLIExitCodes(t *testing.T) {
 		t.Errorf("verify output: %s", out)
 	}
 }
+
+// TestCLISalvageAndReport covers the degraded-operation surface: an archive
+// strict decompress rejects must still decompress with -salvage (exit 0,
+// damage narrated), verify -report must list every failure and exit with
+// the class of the first, and an expired -timeout must exit 8.
+func TestCLISalvageAndReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI salvage in short mode")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "tspsz")
+
+	f := demoField()
+	res, err := tspsz.Compress(f, tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	valid := write("valid.tsz", res.Bytes)
+	// Flip the last inner payload byte (before the inner and container
+	// trailers): a raw chunk plus both seals break.
+	damaged := write("damaged.tsz", faultinject.FlipBit(res.Bytes, len(res.Bytes)-25, 0))
+	outPath := filepath.Join(dir, "out.tspf")
+
+	if code, out := exitCodeOf(t, bin, "decompress", "-in", damaged, "-out", outPath); code != 4 {
+		t.Errorf("strict decompress of damaged archive: exit %d, want 4\n%s", code, out)
+	}
+	code, out := exitCodeOf(t, bin, "decompress", "-salvage", "-in", damaged, "-out", outPath)
+	if code != 0 {
+		t.Fatalf("salvage decompress: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "salvage:") || !strings.Contains(out, "recovered") {
+		t.Errorf("salvage output missing damage narration:\n%s", out)
+	}
+	if fi, err := os.Stat(outPath); err != nil || fi.Size() == 0 {
+		t.Errorf("salvage wrote no field: %v", err)
+	}
+	if code, out := exitCodeOf(t, bin, "decompress", "-salvage", "-in", valid, "-out", outPath); code != 0 || !strings.Contains(out, "intact") {
+		t.Errorf("salvage of clean archive: exit %d\n%s", code, out)
+	}
+
+	if code, out := exitCodeOf(t, bin, "verify", "-report", "-in", valid); code != 0 || !strings.Contains(out, "all checksums OK") {
+		t.Errorf("verify -report clean: exit %d\n%s", code, out)
+	}
+	code, out = exitCodeOf(t, bin, "verify", "-report", "-in", damaged)
+	if code != 4 {
+		t.Errorf("verify -report damaged: exit %d, want 4\n%s", code, out)
+	}
+	if !strings.Contains(out, "integrity failure") || strings.Count(out, "\n") < 2 {
+		t.Errorf("verify -report should list every failure:\n%s", out)
+	}
+
+	if code, out := exitCodeOf(t, bin, "decompress", "-timeout", "1ns", "-in", valid, "-out", outPath); code != 8 {
+		t.Errorf("expired -timeout: exit %d, want 8\n%s", code, out)
+	}
+	if code, out := exitCodeOf(t, bin, "decompress", "-salvage", "-timeout", "1ns", "-in", damaged, "-out", outPath); code != 8 {
+		t.Errorf("expired -timeout with -salvage: exit %d, want 8\n%s", code, out)
+	}
+}

@@ -14,10 +14,11 @@
 // Exit codes distinguish stream-failure classes so batch pipelines can
 // branch without parsing stderr: 0 success, 1 generic failure, 2 usage,
 // 3 truncated stream, 4 corrupt stream, 5 unsupported version, 6 invalid
-// header, 7 contained decoder panic.
+// header, 7 contained decoder panic, 8 cancelled (deadline expired).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,8 +31,14 @@ import (
 	"tspsz"
 	"tspsz/internal/datagen"
 	"tspsz/internal/metrics"
+	"tspsz/internal/resilient"
 	"tspsz/internal/skeleton"
 )
+
+// ioPolicy is the retry policy every file touch in this command shares:
+// transient faults (per the Temporary()/Timeout() convention) are absorbed
+// with capped exponential backoff, everything else fails on first contact.
+var ioPolicy = resilient.Policy{}
 
 // Process exit codes for the stream-failure taxonomy.
 const (
@@ -41,6 +48,7 @@ const (
 	exitVersion   = 5
 	exitHeader    = 6
 	exitPanic     = 7
+	exitCancelled = 8
 )
 
 func main() {
@@ -95,6 +103,8 @@ func exitCode(err error) int {
 	switch {
 	case errors.As(err, &pc):
 		return exitPanic
+	case errors.Is(err, tspsz.ErrCancelled):
+		return exitCancelled
 	case errors.Is(err, tspsz.ErrTruncated):
 		return exitTruncated
 	case errors.Is(err, tspsz.ErrCorrupt):
@@ -119,7 +129,7 @@ func usage() {
   stats      print value range, divergence, and vorticity diagnostics
   compress-seq   compress a time series of .tspf frames with temporal prediction
   decompress-seq reconstruct every frame of a .tsq sequence stream
-exit codes: 0 ok, 1 error, 2 usage, 3 truncated, 4 corrupt, 5 version, 6 header, 7 decoder panic`)
+exit codes: 0 ok, 1 error, 2 usage, 3 truncated, 4 corrupt, 5 version, 6 header, 7 decoder panic, 8 cancelled`)
 }
 
 // cmdVerify checks every integrity layer of a compressed stream — header
@@ -128,15 +138,27 @@ exit codes: 0 ok, 1 error, 2 usage, 3 truncated, 4 corrupt, 5 version, 6 header,
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	in := fs.String("in", "", "input .tsz or .tsq path (required)")
+	report := fs.Bool("report", false, "scan every section and chunk, reporting all failures instead of stopping at the first")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("verify: -in is required")
 	}
-	data, err := os.ReadFile(*in)
+	data, err := resilient.ReadFile(*in, ioPolicy)
 	if err != nil {
 		return err
 	}
 	t0 := time.Now()
+	if *report {
+		fails := tspsz.VerifyAll(data)
+		if len(fails) == 0 {
+			fmt.Printf("%s: %d bytes, all checksums OK in %v\n", *in, len(data), time.Since(t0).Round(time.Microsecond))
+			return nil
+		}
+		for _, fe := range fails {
+			fmt.Printf("%s: %v\n", *in, fe)
+		}
+		return fmt.Errorf("verify %s: %d integrity failure(s); first: %w", *in, len(fails), fails[0])
+	}
 	if err := tspsz.Verify(data); err != nil {
 		return fmt.Errorf("verify %s: %w", *in, err)
 	}
@@ -287,13 +309,29 @@ func beginObs(stats *statsFlag, cpuprofile string) (*tspsz.Collector, func() err
 	return col, finish, nil
 }
 
+// timeoutFlag registers the shared -timeout flag: a wall-clock budget for
+// the command's compute stage. Zero means no deadline.
+func timeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0, "abort after this duration (0 = none); an expired deadline exits with code 8")
+}
+
+// timeoutCtx turns the -timeout value into a context for the Ctx entry
+// points. A zero budget yields a nil context, which the library treats as
+// "never cancels" at zero cost.
+func timeoutCtx(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return nil, func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
 func readField(path string) (*tspsz.Field, error) {
 	r, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	return tspsz.ReadField(r)
+	return tspsz.ReadField(resilient.NewReader(r, ioPolicy))
 }
 
 func cmdCompress(args []string) error {
@@ -308,6 +346,7 @@ func cmdCompress(args []string) error {
 	steps := fs.Int("t", 1000, "maximal RK4 steps")
 	h := fs.Float64("h", 0.05, "RK4 step size")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	timeout := timeoutFlag(fs)
 	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -344,13 +383,15 @@ func cmdCompress(args []string) error {
 	default:
 		return fmt.Errorf("compress: unknown mode %q", *mode)
 	}
+	ctx, cancel := timeoutCtx(*timeout)
+	defer cancel()
 	t0 := time.Now()
-	res, err := tspsz.Compress(f, opts)
+	res, err := tspsz.CompressCtx(ctx, f, opts)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(t0)
-	if err := os.WriteFile(*out, res.Bytes, 0o644); err != nil {
+	if err := resilient.WriteFile(*out, res.Bytes, 0o644, ioPolicy); err != nil {
 		return err
 	}
 	fmt.Printf("%s %s: %d -> %d bytes (CR %.2f) in %v\n",
@@ -371,12 +412,14 @@ func cmdDecompress(args []string) error {
 	in := fs.String("in", "", "input .tsz path (required)")
 	out := fs.String("out", "", "output .tspf path (required)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	salvage := fs.Bool("salvage", false, "best-effort decode of a damaged archive: recover every intact chunk, zero-fill the rest")
+	timeout := timeoutFlag(fs)
 	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress: -in and -out are required")
 	}
-	data, err := os.ReadFile(*in)
+	data, err := resilient.ReadFile(*in, ioPolicy)
 	if err != nil {
 		return err
 	}
@@ -384,10 +427,22 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := timeoutCtx(*timeout)
+	defer cancel()
 	t0 := time.Now()
-	f, err := tspsz.DecompressObserved(data, *workers, col)
-	if err != nil {
-		return err
+	var f *tspsz.Field
+	if *salvage {
+		var rep *tspsz.SalvageReport
+		f, rep, err = tspsz.SalvageCtx(ctx, data, *workers)
+		if err != nil {
+			return err
+		}
+		printSalvageReport(rep)
+	} else {
+		f, err = tspsz.DecompressCtxObserved(ctx, data, *workers, col)
+		if err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(t0)
 	w, err := os.Create(*out)
@@ -395,11 +450,52 @@ func cmdDecompress(args []string) error {
 		return err
 	}
 	defer w.Close()
-	if _, err := f.WriteTo(w); err != nil {
+	if _, err := f.WriteTo(resilient.NewWriter(w, ioPolicy)); err != nil {
 		return err
 	}
 	fmt.Printf("decompressed %d vertices in %v -> %s\n", f.NumVertices(), elapsed.Round(time.Millisecond), *out)
 	return finishObs()
+}
+
+// printSalvageReport narrates a salvage decode: per-section chunk damage,
+// seal and patch fate, and the vertex-level recovery total.
+func printSalvageReport(rep *tspsz.SalvageReport) {
+	if rep == nil {
+		return
+	}
+	if rep.Clean() {
+		fmt.Println("salvage: archive is intact, decode is bit-exact")
+		return
+	}
+	if rep.ContainerSealBroken {
+		fmt.Println("salvage: container trailer broken (tolerated)")
+	}
+	if s := rep.Stream; s != nil {
+		if s.SealBroken {
+			fmt.Println("salvage: stream trailer broken (tolerated)")
+		}
+		for _, sec := range s.Sections {
+			switch {
+			case sec.Lost:
+				fmt.Printf("salvage: section %s lost: %s\n", sec.Name, sec.LostReason)
+			case len(sec.DamagedChunks) > 0:
+				fmt.Printf("salvage: section %s: %d of %d chunks damaged %v, %d bytes recovered\n",
+					sec.Name, len(sec.DamagedChunks), sec.Chunks, sec.DamagedChunks, sec.BytesRecovered)
+			default:
+				fmt.Printf("salvage: section %s: all %d chunks intact\n", sec.Name, sec.Chunks)
+			}
+		}
+	}
+	switch {
+	case rep.PatchLost != "":
+		fmt.Printf("salvage: correction patch lost (%s); falling back to uncorrected cpSZ reconstruction\n", rep.PatchLost)
+	case rep.PatchApplied:
+		fmt.Printf("salvage: correction patch intact, %d vertices restored losslessly\n", rep.PatchVertices)
+	}
+	if s := rep.Stream; s != nil {
+		fmt.Printf("salvage: recovered %d of %d vertices (%d damaged, zero-filled)\n",
+			s.TotalVertices-s.DamagedVertices, s.TotalVertices, s.DamagedVertices)
+	}
 }
 
 func cmdInspect(args []string) error {
@@ -466,6 +562,7 @@ func cmdCompressSeq(args []string) error {
 	steps := fs.Int("t", 1000, "maximal RK4 steps")
 	h := fs.Float64("h", 0.05, "RK4 step size")
 	workers := fs.Int("workers", 0, "worker goroutines")
+	timeout := timeoutFlag(fs)
 	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *out == "" || fs.NArg() == 0 {
@@ -497,12 +594,14 @@ func cmdCompressSeq(args []string) error {
 	} else {
 		opts.Mode = tspsz.ModeAbsolute
 	}
+	ctx, cancel := timeoutCtx(*timeout)
+	defer cancel()
 	t0 := time.Now()
-	res, err := tspsz.CompressSequence(frames, opts)
+	res, err := tspsz.CompressSequenceCtx(ctx, frames, opts)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, res.Bytes, 0o644); err != nil {
+	if err := resilient.WriteFile(*out, res.Bytes, 0o644, ioPolicy); err != nil {
 		return err
 	}
 	raw := 0
@@ -520,12 +619,13 @@ func cmdDecompressSeq(args []string) error {
 	in := fs.String("in", "", "input .tsq path (required)")
 	prefix := fs.String("outprefix", "", "output prefix; frames land at <prefix>NNN.tspf (required)")
 	workers := fs.Int("workers", 0, "worker goroutines")
+	timeout := timeoutFlag(fs)
 	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *prefix == "" {
 		return fmt.Errorf("decompress-seq: -in and -outprefix are required")
 	}
-	data, err := os.ReadFile(*in)
+	data, err := resilient.ReadFile(*in, ioPolicy)
 	if err != nil {
 		return err
 	}
@@ -533,7 +633,9 @@ func cmdDecompressSeq(args []string) error {
 	if err != nil {
 		return err
 	}
-	frames, err := tspsz.DecompressSequenceObserved(data, *workers, col)
+	ctx, cancel := timeoutCtx(*timeout)
+	defer cancel()
+	frames, err := tspsz.DecompressSequenceCtxObserved(ctx, data, *workers, col)
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -128,16 +129,24 @@ type Result struct {
 
 // Compress encodes f while preserving its full topological skeleton.
 func Compress(f *field.Field, opts Options) (*Result, error) {
+	return CompressCtx(nil, f, opts)
+}
+
+// CompressCtx is Compress with cancellation: every parallel stage (critical
+// point extraction aside, which is indivisible) checks ctx at grain
+// boundaries, and an abandoned encode returns a streamerr.ErrCancelled-
+// typed error. A nil ctx never cancels.
+func CompressCtx(ctx context.Context, f *field.Field, opts Options) (r *Result, err error) {
+	defer streamerr.CancelGuard("core", &err)
 	o := opts.withDefaults()
 	if !(o.ErrBound > 0) {
 		return nil, fmt.Errorf("core: error bound must be positive, got %v", o.ErrBound)
 	}
 	var res *Result
-	var err error
 	if o.Variant == TspSZ1 {
-		res, err = compress1(f, o, nil)
+		res, err = compress1(ctx, f, o, nil)
 	} else {
-		res, err = compressI(f, o, nil)
+		res, err = compressI(ctx, f, o, nil)
 	}
 	if err != nil {
 		return nil, err
@@ -151,7 +160,15 @@ func Compress(f *field.Field, opts Options) (*Result, error) {
 // Decompress reconstructs a field from a TspSZ container. Containers from
 // CompressSequence must be decoded with DecompressSequence.
 func Decompress(data []byte, workers int) (*field.Field, error) {
-	return decompressRef(data, workers, nil, nil)
+	return decompressRef(nil, data, workers, nil, nil)
+}
+
+// DecompressCtx is Decompress with cancellation: entropy decode and
+// reconstruction check ctx at grain boundaries, and a decode abandoned on
+// a done context returns a streamerr.ErrCancelled-typed error with every
+// worker joined. A nil ctx never cancels.
+func DecompressCtx(ctx context.Context, data []byte, workers int) (*field.Field, error) {
+	return decompressRef(ctx, data, workers, nil, nil)
 }
 
 // DecompressObserved is Decompress with an optional obs.Collector gathering
@@ -159,20 +176,32 @@ func Decompress(data []byte, workers int) (*field.Field, error) {
 // makes it identical to Decompress; the reconstruction is byte-identical
 // either way.
 func DecompressObserved(data []byte, workers int, c *obs.Collector) (*field.Field, error) {
-	return decompressRef(data, workers, nil, c)
+	return decompressRef(nil, data, workers, nil, c)
 }
 
-func decompressRef(data []byte, workers int, ref *field.Field, c *obs.Collector) (f *field.Field, err error) {
+// DecompressCtxObserved is DecompressCtx with an optional obs.Collector.
+func DecompressCtxObserved(ctx context.Context, data []byte, workers int, c *obs.Collector) (*field.Field, error) {
+	return decompressRef(ctx, data, workers, nil, c)
+}
+
+func decompressRef(ctx context.Context, data []byte, workers int, ref *field.Field, c *obs.Collector) (f *field.Field, err error) {
 	defer streamerr.Guard("container", &err)
+	// A context dead on arrival wins before any parsing (see
+	// cpsz.decompress for the rationale).
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	variant, patch, inner, err := parseContainer(data)
 	if err != nil {
 		return nil, err
 	}
 	var dec *field.Field
 	if ref != nil {
-		dec, err = cpsz.DecompressRefObserved(inner, workers, ref, c)
+		dec, err = cpsz.DecompressRefCtxObserved(ctx, inner, workers, ref, c)
 	} else {
-		dec, err = cpsz.DecompressObserved(inner, workers, c)
+		dec, err = cpsz.DecompressCtxObserved(ctx, inner, workers, c)
 	}
 	if err != nil {
 		return nil, err
@@ -190,7 +219,7 @@ func decompressRef(data []byte, workers int, ref *field.Field, c *obs.Collector)
 
 // compress1 is Algorithm 2: selective lossless encoding with a single
 // pass; ref enables temporal prediction for sequence frames.
-func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
+func compress1(ctx context.Context, f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	c := o.Collector
 	workers := parallel.Workers(o.Workers)
 	var cps []critical.Point
@@ -208,7 +237,7 @@ func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	saddles := saddleIndices(cps)
 	perSaddle := make([][]int, len(saddles))
 	if err := c.Do(obs.StageTrace, workers, int64(len(saddles)), func() error {
-		return parallel.ForErr(len(saddles), o.Workers, 1, func(i int) error {
+		return parallel.CtxForErr(ctx, len(saddles), o.Workers, 1, func(i int) error {
 			var verts []int
 			integrate.TraceSeparatricesOf(f, cps, saddles[i], o.Params, &verts)
 			perSaddle[i] = verts
@@ -223,7 +252,7 @@ func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 		}
 	}
 
-	res, err := cpsz.Compress(f, cpsz.Options{
+	res, err := cpsz.CompressCtx(ctx, f, cpsz.Options{
 		Mode: o.Mode, ErrBound: o.ErrBound, Lossless: marks, Workers: o.Workers,
 		Reference: ref, Collector: c,
 	})
@@ -249,7 +278,7 @@ func compress1(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 
 // compressI is Algorithm 3 with the per-trajectory correction of
 // Algorithm 4; ref enables temporal prediction for sequence frames.
-func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
+func compressI(ctx context.Context, f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	c := o.Collector
 	workers := parallel.Workers(o.Workers)
 	var cps []critical.Point
@@ -261,7 +290,7 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	}
 	saddles := saddleIndices(cps)
 
-	res, err := cpsz.Compress(f, cpsz.Options{
+	res, err := cpsz.CompressCtx(ctx, f, cpsz.Options{
 		Mode: o.Mode, ErrBound: o.ErrBound, Workers: o.Workers, Reference: ref,
 		Collector: c,
 	})
@@ -279,10 +308,10 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 	var involved [][]int32
 	if err := c.Do(obs.StageTrace, workers, int64(len(saddles)), func() error {
 		var err error
-		if td, err = traceAll(f, cps, saddles, o.Params, o.Workers); err != nil {
+		if td, err = traceAll(ctx, f, cps, saddles, o.Params, o.Workers); err != nil {
 			return err
 		}
-		tdp, involved, err = traceAllWithInvolved(dec, cps, saddles, o.Params, o.Workers)
+		tdp, involved, err = traceAllWithInvolved(ctx, dec, cps, saddles, o.Params, o.Workers)
 		return err
 	}); err != nil {
 		return nil, err
@@ -326,7 +355,7 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 				// trajectory is fixed against the shared decompressed data;
 				// patch writes are idempotent (they restore originals), and
 				// the subsequent global verification catches interactions.
-				if err := parallel.ForErr(len(queue), o.Workers, 1, func(qi int) error {
+				if err := parallel.CtxForErr(ctx, len(queue), o.Workers, 1, func(qi int) error {
 					fixTraj(f, dec, cps, loc, &td[queue[qi]], o, log)
 					return nil
 				}); err != nil {
@@ -339,7 +368,7 @@ func compressI(f *field.Field, o Options, ref *field.Field) (*Result, error) {
 			for _, idx := range log.round {
 				roundSet.Set(idx)
 			}
-			if err := parallel.ForErr(len(td), o.Workers, 4, func(i int) error {
+			if err := parallel.CtxForErr(ctx, len(td), o.Workers, 4, func(i int) error {
 				if correct[i] && !touchesAny(involved[i], roundSet) {
 					return nil
 				}
@@ -502,11 +531,11 @@ func (l *patchLog) apply(orig, dec *field.Field, verts []int) {
 
 // traceAllWithInvolved is traceAll plus per-trajectory deduplicated
 // involved-vertex sets.
-func traceAllWithInvolved(f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) ([]integrate.Trajectory, [][]int32, error) {
+func traceAllWithInvolved(ctx context.Context, f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) ([]integrate.Trajectory, [][]int32, error) {
 	perSaddle := make([][]integrate.Trajectory, len(saddles))
 	perInv := make([][][]int32, len(saddles))
 	loc := integrate.NewCPLocator(cps) // read-only after construction
-	if err := parallel.ForErr(len(saddles), workers, 1, func(i int) error {
+	if err := parallel.CtxForErr(ctx, len(saddles), workers, 1, func(i int) error {
 		cp := cps[saddles[i]]
 		if cp.Type != critical.Saddle {
 			return nil
@@ -599,10 +628,10 @@ func numSeps(dim, saddles int) int {
 	return 6 * saddles
 }
 
-func traceAll(f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) ([]integrate.Trajectory, error) {
+func traceAll(ctx context.Context, f *field.Field, cps []critical.Point, saddles []int, par integrate.Params, workers int) ([]integrate.Trajectory, error) {
 	perSaddle := make([][]integrate.Trajectory, len(saddles))
 	loc := integrate.NewCPLocator(cps) // shared, read-only
-	if err := parallel.ForErr(len(saddles), workers, 1, func(i int) error {
+	if err := parallel.CtxForErr(ctx, len(saddles), workers, 1, func(i int) error {
 		cp := cps[saddles[i]]
 		if cp.Type != critical.Saddle {
 			return nil

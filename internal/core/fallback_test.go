@@ -31,7 +31,7 @@ func TestTspSZiForceExactFallback(t *testing.T) {
 	}
 	o := base.withDefaults()
 	o.MaxIterations = 0 // first round already exceeds the budget
-	res, err := compressI(f, o, nil)
+	res, err := compressI(nil, f, o, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

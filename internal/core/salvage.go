@@ -1,0 +1,327 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"tspsz/internal/cpsz"
+	"tspsz/internal/field"
+	"tspsz/internal/streamerr"
+)
+
+// SalvageReport is the container-level salvage outcome: the inner stream's
+// report plus what happened to the container framing and the TspSZ-i
+// correction patch.
+type SalvageReport struct {
+	// Stream is the inner cpSZ stream's salvage report (see
+	// cpsz.SalvageReport). Non-nil whenever the inner stream's fixed header
+	// was readable.
+	Stream *cpsz.SalvageReport
+	// ContainerSealBroken marks a whole-container trailer that failed to
+	// verify. The container's patch section carries no checksum of its own,
+	// so with the seal broken an applied patch may itself be damaged.
+	ContainerSealBroken bool
+	// PatchPresent reports a non-empty correction patch in the container
+	// (TspSZ-i archives; TspSZ-1 patches are empty). PatchApplied reports
+	// whether it was decoded and applied; when it could not be, PatchLost
+	// says why and the returned field is the uncorrected cpSZ
+	// reconstruction — error-bounded, but without Algorithm 3's separatrix
+	// corrections.
+	PatchPresent bool
+	PatchApplied bool
+	PatchLost    string
+	// PatchVertices counts the vertices the patch restored verbatim. Those
+	// vertices are exact even inside damaged regions, so applying the patch
+	// clears their bits in Stream.Damaged.
+	PatchVertices int
+}
+
+// Clean reports a salvage that recovered the complete archive: container
+// seal intact, patch applied (or absent), and the inner stream clean.
+func (r *SalvageReport) Clean() bool {
+	if r.ContainerSealBroken || r.PatchLost != "" {
+		return false
+	}
+	return r.Stream != nil && r.Stream.Clean()
+}
+
+// Salvage is the best-effort counterpart of Decompress: it accepts a TspSZ
+// container or a bare cpSZ stream, decodes every chunk that verifies,
+// zero-fills damaged extents, and degrades gracefully — a broken container
+// trailer is tolerated, and a damaged correction patch falls back to the
+// uncorrected cpSZ reconstruction instead of failing. Vertices not marked
+// in the report's Damaged bitmap are bit-identical to a clean decode.
+// Sequence (TSPQ) containers are not salvageable frame-wise — later frames
+// are temporally predicted from earlier reconstructions, so damage does not
+// stay local — and return ErrHeader. The report is non-nil whenever the
+// outer framing was readable, even alongside a non-nil error.
+func Salvage(data []byte, workers int) (*field.Field, *SalvageReport, error) {
+	return SalvageCtx(nil, data, workers)
+}
+
+// SalvageCtx is Salvage with cancellation. A nil ctx never cancels.
+func SalvageCtx(ctx context.Context, data []byte, workers int) (f *field.Field, rep *SalvageReport, err error) {
+	defer streamerr.Guard("container", &err)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(data) >= 4 && string(data[:4]) == seqMagic {
+		return nil, nil, streamerr.Header("sequence",
+			"sequence frames are temporally predicted; salvage individual frames by slicing the container")
+	}
+	if len(data) >= 4 && string(data[:4]) == "CPSZ" {
+		// A bare cpSZ stream has no container framing and no patch.
+		f, srep, err := cpsz.SalvageCtx(ctx, data, workers)
+		if srep == nil {
+			return f, nil, err
+		}
+		return f, &SalvageReport{Stream: srep}, err
+	}
+	ncomp, packed, inner, _, sealBroken, err := salvageContainerSections(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep = &SalvageReport{ContainerSealBroken: sealBroken}
+	f, srep, err := cpsz.SalvageCtx(ctx, inner, workers)
+	rep.Stream = srep
+	if err != nil {
+		return nil, rep, err
+	}
+	// The patch restores separatrix-involved vertices verbatim (Algorithm
+	// 3). If it cannot be decoded or applied, the salvage degrades to the
+	// uncorrected cpSZ reconstruction — still error-bounded — and says so.
+	patch, perr := unmarshalPatch(packed, ncomp)
+	if perr == nil {
+		perr = checkPatch(&patch, f)
+	}
+	rep.PatchPresent = perr != nil || len(patch.indices) > 0
+	if perr != nil {
+		rep.PatchLost = perr.Error()
+		return f, rep, nil
+	}
+	if err := patch.apply(f); err != nil {
+		rep.PatchLost = err.Error()
+		return f, rep, nil
+	}
+	rep.PatchApplied = true
+	rep.PatchVertices = len(patch.indices)
+	// Patched vertices carry their original values verbatim, so they are
+	// exact even inside zero-filled regions.
+	if srep.Damaged != nil {
+		n := srep.Damaged.Len()
+		for _, idx := range patch.indices {
+			// checkPatch already proved every index in range; the inline
+			// guard keeps the invariant local to the write.
+			if idx < 0 || idx >= n {
+				continue
+			}
+			srep.Damaged.Clear(idx)
+		}
+		srep.DamagedVertices = srep.Damaged.Count()
+	}
+	return f, rep, nil
+}
+
+// checkPatch validates every patch index against the field before any value
+// is written, so a corrupt patch never half-applies.
+func checkPatch(p *patchSet, f *field.Field) error {
+	n := f.NumVertices()
+	for _, idx := range p.indices {
+		if idx < 0 || idx >= n {
+			return streamerr.Corrupt("patch", "patch index %d out of range [0,%d)", idx, n)
+		}
+	}
+	if len(p.values) != len(f.Components()) {
+		return streamerr.Corrupt("patch", "patch has %d components, field has %d", len(p.values), len(f.Components()))
+	}
+	return nil
+}
+
+// salvageContainerHeader is parseContainerHeader with trailer tolerance:
+// the fixed header and its CRC must verify, but a broken whole-container
+// trailer only sets sealBroken — the trailer is fixed-size at the end, so
+// the section bytes are still located exactly. v1 containers carry no
+// checksums and report ErrVersion.
+func salvageContainerHeader(data []byte) (ncomp, off, end int, sealBroken bool, err error) {
+	if len(data) >= 4 && string(data[:4]) != containerMagic {
+		return 0, 0, 0, false, streamerr.Header("container", "bad magic, not a TspSZ container")
+	}
+	if len(data) < containerHeaderBytes {
+		return 0, 0, 0, false, streamerr.Truncated("container", "%d of %d header bytes", len(data), containerHeaderBytes)
+	}
+	version := data[4]
+	if version != containerV1 && version != containerV3 {
+		return 0, 0, 0, false, streamerr.Version("container", version)
+	}
+	if version < containerV3 {
+		return 0, 0, 0, false, streamerr.Version("container", version).WithOffset(4)
+	}
+	if len(data) < containerHeaderBytes+containerCRCBytes+containerTrailerBytes {
+		return 0, 0, 0, false, streamerr.Truncated("container", "%d bytes, v3 needs at least %d",
+			len(data), containerHeaderBytes+containerCRCBytes+containerTrailerBytes)
+	}
+	stored := binary.LittleEndian.Uint32(data[containerHeaderBytes:])
+	if got := crc32.Checksum(data[:containerHeaderBytes], crcTable); got != stored {
+		return 0, 0, 0, false, streamerr.Corrupt("container", "header CRC32C %08x, stored %08x; a damaged container header cannot be salvaged", got, stored)
+	}
+	off = containerHeaderBytes + containerCRCBytes
+	end = len(data) - containerTrailerBytes
+	plen := binary.LittleEndian.Uint64(data[end:])
+	storedCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if plen != uint64(end) || crc32.Checksum(data[:len(data)-4], crcTable) != storedCRC {
+		sealBroken = true
+	}
+	ncomp = int(data[6])
+	if ncomp != 2 && ncomp != 3 {
+		return 0, 0, 0, sealBroken, streamerr.Header("container", "invalid component count %d", ncomp)
+	}
+	return ncomp, off, end, sealBroken, nil
+}
+
+// salvageContainerSections slices the packed patch and inner stream out of
+// a possibly damaged container. The length fields must be readable (without
+// them the inner stream cannot be located), but an inner length running
+// past the container is clamped instead of fatal — the inner salvage will
+// classify the truncation itself.
+func salvageContainerSections(data []byte) (ncomp int, packed, inner []byte, innerOff int, sealBroken bool, err error) {
+	ncomp, off, end, sealBroken, err := salvageContainerHeader(data)
+	if err != nil {
+		return 0, nil, nil, 0, sealBroken, err
+	}
+	body := data[:end]
+	if off+8 > len(body) {
+		return 0, nil, nil, 0, sealBroken, streamerr.Truncated("container", "patch length cut off").WithOffset(int64(off))
+	}
+	plen := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	if plen > uint64(len(body)-off) {
+		return 0, nil, nil, 0, sealBroken, streamerr.Truncated("patch", "patch claims %d bytes, %d remain", plen, len(body)-off).WithOffset(int64(off))
+	}
+	packed = body[off : off+int(plen)]
+	off += int(plen)
+	if off+8 > len(body) {
+		return 0, nil, nil, 0, sealBroken, streamerr.Truncated("container", "inner length cut off").WithOffset(int64(off))
+	}
+	ilen := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	if ilen > uint64(len(body)-off) {
+		ilen = uint64(len(body) - off)
+	}
+	return ncomp, packed, body[off : off+int(ilen)], off, sealBroken, nil
+}
+
+// VerifyAll is the exhaustive counterpart of Verify: every integrity
+// failure of the container (or TSPQ sequence) and its inner stream is
+// reported in stream order instead of only the first. Inner-stream offsets
+// are shifted to absolute container offsets. An empty result means the
+// archive verifies completely.
+func VerifyAll(data []byte) []*streamerr.Error {
+	if len(data) >= 4 && string(data[:4]) == seqMagic {
+		return verifyAllSequence(data)
+	}
+	return verifyAllContainer(data, "")
+}
+
+// verifyAllSequence walks a TSPQ sequence frame by frame; each frame's
+// failures are prefixed with its index.
+func verifyAllSequence(data []byte) []*streamerr.Error {
+	n, off, err := parseSequenceHeader(data)
+	if err != nil {
+		return []*streamerr.Error{toStreamErr(err)}
+	}
+	var fails []*streamerr.Error
+	for fi := 0; fi < n; fi++ {
+		fr, next, err := sequenceFrame(data, off, fi)
+		if err != nil {
+			return append(fails, toStreamErr(err))
+		}
+		fails = append(fails, shiftOffsets(verifyAllContainer(fr, sectionPrefix(fi)), int64(off+8))...)
+		off = next
+	}
+	return fails
+}
+
+func sectionPrefix(frame int) string {
+	return "frame " + itoa(frame) + ": "
+}
+
+// itoa avoids pulling strconv into the hot import graph for one call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// verifyAllContainer collects every failure of one container, prefixing
+// section names with prefix (used by the sequence walk).
+func verifyAllContainer(data []byte, prefix string) []*streamerr.Error {
+	var fails []*streamerr.Error
+	add := func(err error) {
+		if err == nil {
+			return
+		}
+		se := toStreamErr(err)
+		if prefix != "" {
+			c := *se
+			c.Section = prefix + c.Section
+			se = &c
+		}
+		fails = append(fails, se)
+	}
+	if len(data) >= 4 && string(data[:4]) == "CPSZ" {
+		for _, se := range cpsz.VerifyAll(data) {
+			add(se)
+		}
+		return fails
+	}
+	ncomp, packed, inner, innerOff, sealBroken, err := salvageContainerSections(data)
+	if err != nil {
+		add(err)
+		return fails
+	}
+	if sealBroken {
+		add(streamerr.Corrupt("container trailer", "container trailer CRC32C or length mismatch"))
+	}
+	if _, perr := unmarshalPatch(packed, ncomp); perr != nil {
+		add(perr)
+	}
+	for _, se := range shiftOffsets(cpsz.VerifyAll(inner), int64(innerOff)) {
+		add(se)
+	}
+	return fails
+}
+
+// shiftOffsets rebases each failure's stream offset by base (offsets of -1,
+// meaning unknown, are left alone).
+func shiftOffsets(fails []*streamerr.Error, base int64) []*streamerr.Error {
+	for i, se := range fails {
+		if se.Offset >= 0 {
+			c := *se
+			c.Offset += base
+			fails[i] = &c
+		}
+	}
+	return fails
+}
+
+// toStreamErr coerces err into the concrete *streamerr.Error, wrapping
+// anything untyped as corruption.
+func toStreamErr(err error) *streamerr.Error {
+	var se *streamerr.Error
+	if errors.As(err, &se) {
+		return se
+	}
+	return streamerr.Wrap(streamerr.ErrCorrupt, "container", err)
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -41,6 +42,14 @@ type SeqResult struct {
 // standalone; later frames are temporally predicted against the previous
 // frame's reconstruction.
 func CompressSequence(frames []*field.Field, opts Options) (*SeqResult, error) {
+	return CompressSequenceCtx(nil, frames, opts)
+}
+
+// CompressSequenceCtx is CompressSequence with cancellation, checked
+// between frames and at grain boundaries within each frame's pipeline. A
+// nil ctx never cancels.
+func CompressSequenceCtx(ctx context.Context, frames []*field.Field, opts Options) (sr *SeqResult, err error) {
+	defer streamerr.CancelGuard("sequence", &err)
 	if len(frames) == 0 {
 		return nil, errors.New("core: empty sequence")
 	}
@@ -68,12 +77,15 @@ func CompressSequence(frames []*field.Field, opts Options) (*SeqResult, error) {
 		if err := c.Do(obs.StageFrame, parallel.Workers(o.Workers), int64(f.NumVertices()), func() error {
 			var err error
 			if o.Variant == TspSZ1 {
-				res, err = compress1(f, o, ref)
+				res, err = compress1(ctx, f, o, ref)
 			} else {
-				res, err = compressI(f, o, ref)
+				res, err = compressI(ctx, f, o, ref)
 			}
 			return err
 		}); err != nil {
+			if ctx != nil && streamerr.IsContextErr(err) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: frame %d: %w", fi, err)
 		}
 		var l [8]byte
@@ -103,13 +115,31 @@ func CompressSequence(frames []*field.Field, opts Options) (*SeqResult, error) {
 // DecompressSequence reconstructs every frame of a CompressSequence
 // container, in order.
 func DecompressSequence(data []byte, workers int) (frames []*field.Field, err error) {
-	return DecompressSequenceObserved(data, workers, nil)
+	return DecompressSequenceCtxObserved(nil, data, workers, nil)
+}
+
+// DecompressSequenceCtx is DecompressSequence with cancellation, checked
+// between frames and at grain boundaries within each frame's decode. A nil
+// ctx never cancels.
+func DecompressSequenceCtx(ctx context.Context, data []byte, workers int) (frames []*field.Field, err error) {
+	return DecompressSequenceCtxObserved(ctx, data, workers, nil)
 }
 
 // DecompressSequenceObserved is DecompressSequence with an optional
 // obs.Collector; each frame decode is wrapped in a "frame" span.
 func DecompressSequenceObserved(data []byte, workers int, c *obs.Collector) (frames []*field.Field, err error) {
+	return DecompressSequenceCtxObserved(nil, data, workers, c)
+}
+
+// DecompressSequenceCtxObserved is DecompressSequenceCtx with an optional
+// obs.Collector.
+func DecompressSequenceCtxObserved(ctx context.Context, data []byte, workers int, c *obs.Collector) (frames []*field.Field, err error) {
 	defer streamerr.Guard("sequence", &err)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	n, off, err := parseSequenceHeader(data)
 	if err != nil {
 		return nil, err
@@ -124,9 +154,15 @@ func DecompressSequenceObserved(data []byte, workers int, c *obs.Collector) (fra
 		var dec *field.Field
 		if err := c.Do(obs.StageFrame, parallel.Workers(workers), int64(len(fr)), func() error {
 			var err error
-			dec, err = decompressRef(fr, workers, ref, c)
+			dec, err = decompressRef(ctx, fr, workers, ref, c)
 			return err
 		}); err != nil {
+			var se *streamerr.Error
+			if errors.As(err, &se) && errors.Is(err, streamerr.ErrCancelled) {
+				// Cancellation is request-scoped, not frame-scoped; return
+				// it untouched so errors.Is still sees context.Canceled.
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: frame %d: %w", fi, err)
 		}
 		off = next

@@ -1,6 +1,7 @@
 package cpsz
 
 import (
+	"context"
 	"math"
 
 	"tspsz/internal/bitmap"
@@ -26,7 +27,7 @@ func (rs *regionStreams) rawFloat(v float32) {
 	rs.raw = append(rs.raw, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
 }
 
-func compress(f *field.Field, opts Options) (*Result, error) {
+func compress(ctx context.Context, f *field.Field, opts Options) (*Result, error) {
 	c := opts.Collector
 	work := f.Clone()
 	interiors, boundaries := partition(f.Grid)
@@ -39,7 +40,7 @@ func compress(f *field.Field, opts Options) (*Result, error) {
 		// boundary-plane vertices, which still hold original values; no
 		// other interior is reachable through any adjacent cell, so there
 		// are no races and the result is schedule independent.
-		if err := parallel.ForErr(len(interiors), opts.Workers, 1, func(i int) error {
+		if err := parallel.CtxForErr(ctx, len(interiors), opts.Workers, 1, func(i int) error {
 			compressRegion(work, f, interiors[i], opts, &streams[i])
 			return nil
 		}); err != nil {
@@ -48,7 +49,7 @@ func compress(f *field.Field, opts Options) (*Result, error) {
 		// Stage 2: boundary planes. Their adjacent cells reach only
 		// finalized interiors, and distinct planes share no cells, so
 		// planes are mutually independent.
-		return parallel.ForErr(len(boundaries), opts.Workers, 1, func(i int) error {
+		return parallel.CtxForErr(ctx, len(boundaries), opts.Workers, 1, func(i int) error {
 			compressRegion(work, f, boundaries[i], opts, &streams[len(interiors)+i])
 			return nil
 		})
@@ -82,7 +83,7 @@ func compress(f *field.Field, opts Options) (*Result, error) {
 	var bytes []byte
 	if err := c.Do(obs.StageEntropyEncode, parallel.Workers(opts.Workers), int64(len(ebAll)+len(qAll)), func() error {
 		var err error
-		bytes, err = serialize(f, opts, ebAll, qAll, rawAll)
+		bytes, err = serialize(ctx, f, opts, ebAll, qAll, rawAll)
 		return err
 	}); err != nil {
 		return nil, err

@@ -13,6 +13,7 @@
 package cpsz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -95,6 +96,21 @@ var errBadSymbols error = streamerr.Corrupt("symbol stream", "symbol stream inco
 
 // Compress encodes f under opts. The input field is not modified.
 func Compress(f *field.Field, opts Options) (*Result, error) {
+	return CompressCtx(nil, f, opts)
+}
+
+// CompressCtx is Compress with cancellation: the prediction/quantization
+// and entropy-encode stages check ctx at grain boundaries and abandon the
+// encode with a streamerr.ErrCancelled-typed error once ctx is done. A nil
+// ctx never cancels, making CompressCtx(nil, f, opts) identical to
+// Compress.
+func CompressCtx(ctx context.Context, f *field.Field, opts Options) (r *Result, err error) {
+	defer streamerr.CancelGuard("cpsz", &err)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if !(opts.ErrBound > 0) {
 		return nil, fmt.Errorf("cpsz: error bound must be positive, got %v", opts.ErrBound)
 	}
@@ -118,9 +134,9 @@ func Compress(f *field.Field, opts Options) (*Result, error) {
 	}
 	opts.Collector.Add(obs.CtrBytesIn, int64(f.SizeBytes()))
 	if opts.Predictor == PredictorInterpolation {
-		return compressInterp(f, opts)
+		return compressInterp(ctx, f, opts)
 	}
-	return compress(f, opts)
+	return compress(ctx, f, opts)
 }
 
 // Decompress reconstructs a field from a self-contained stream produced by
@@ -129,7 +145,16 @@ func Compress(f *field.Field, opts Options) (*Result, error) {
 // DecompressRef instead. Failures are streamerr-typed and a panic anywhere
 // in the decode path is contained and returned as an error.
 func Decompress(data []byte, workers int) (f *field.Field, err error) {
-	return DecompressObserved(data, workers, nil)
+	return DecompressCtxObserved(nil, data, workers, nil)
+}
+
+// DecompressCtx is Decompress with cancellation: entropy decode and
+// reconstruction check ctx at grain boundaries, and a decode abandoned on
+// a done context returns a streamerr.ErrCancelled-typed error (never
+// corruption) with every worker joined and every pooled buffer returned.
+// A nil ctx never cancels.
+func DecompressCtx(ctx context.Context, data []byte, workers int) (f *field.Field, err error) {
+	return DecompressCtxObserved(ctx, data, workers, nil)
 }
 
 // DecompressObserved is Decompress with an optional obs.Collector gathering
@@ -137,24 +162,40 @@ func Decompress(data []byte, workers int) (f *field.Field, err error) {
 // collector makes it identical to Decompress; the reconstruction is
 // byte-identical either way.
 func DecompressObserved(data []byte, workers int, c *obs.Collector) (f *field.Field, err error) {
+	return DecompressCtxObserved(nil, data, workers, c)
+}
+
+// DecompressCtxObserved is DecompressCtx with an optional obs.Collector.
+func DecompressCtxObserved(ctx context.Context, data []byte, workers int, c *obs.Collector) (f *field.Field, err error) {
 	defer streamerr.Guard("cpsz", &err)
-	return decompress(data, workers, nil, c)
+	return decompress(ctx, data, workers, nil, c)
 }
 
 // DecompressRef reconstructs a temporally predicted stream against the
 // same reference frame the encoder used (the previous decompressed frame
 // of the sequence).
 func DecompressRef(data []byte, workers int, ref *field.Field) (f *field.Field, err error) {
-	return DecompressRefObserved(data, workers, ref, nil)
+	return DecompressRefCtxObserved(nil, data, workers, ref, nil)
+}
+
+// DecompressRefCtx is DecompressRef with cancellation (see DecompressCtx).
+func DecompressRefCtx(ctx context.Context, data []byte, workers int, ref *field.Field) (f *field.Field, err error) {
+	return DecompressRefCtxObserved(ctx, data, workers, ref, nil)
 }
 
 // DecompressRefObserved is DecompressRef with an optional obs.Collector.
 func DecompressRefObserved(data []byte, workers int, ref *field.Field, c *obs.Collector) (f *field.Field, err error) {
+	return DecompressRefCtxObserved(nil, data, workers, ref, c)
+}
+
+// DecompressRefCtxObserved is DecompressRef with both cancellation and an
+// optional obs.Collector.
+func DecompressRefCtxObserved(ctx context.Context, data []byte, workers int, ref *field.Field, c *obs.Collector) (f *field.Field, err error) {
 	defer streamerr.Guard("cpsz", &err)
 	if ref == nil {
 		return nil, errors.New("cpsz: DecompressRef requires a reference frame")
 	}
-	return decompress(data, workers, ref, c)
+	return decompress(ctx, data, workers, ref, c)
 }
 
 // absSymbol quantizes a derived bound into the absolute-mode exponent

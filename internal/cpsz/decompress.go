@@ -1,6 +1,7 @@
 package cpsz
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 
@@ -17,13 +18,21 @@ type regionOffsets struct {
 	eb, quant, raw int
 }
 
-func decompress(data []byte, workers int, ref *field.Field, c *obs.Collector) (*field.Field, error) {
+func decompress(ctx context.Context, data []byte, workers int, ref *field.Field, c *obs.Collector) (*field.Field, error) {
+	// A context dead on arrival wins before any parsing: the caller already
+	// gave up, so no byte of the stream should be interpreted (and no
+	// stream-fault class fabricated) on its behalf.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	var hdr header
 	var ebSyms, quantSyms []uint32
 	var raw []byte
 	if err := c.Do(obs.StageEntropyDecode, parallel.Workers(workers), int64(len(data)), func() error {
 		var err error
-		hdr, ebSyms, quantSyms, raw, err = parse(data, workers, c)
+		hdr, ebSyms, quantSyms, raw, err = parse(ctx, data, workers, c)
 		return err
 	}); err != nil {
 		return nil, err
@@ -72,7 +81,7 @@ func decompress(data []byte, workers int, ref *field.Field, c *obs.Collector) (*
 		return f, nil
 	}
 	if err := c.Do(obs.StageReconstruct, parallel.Workers(workers), int64(f.NumVertices()), func() error {
-		return reconstructLorenzo(f, ref, hdr, ebSyms, quantSyms, raw, workers)
+		return reconstructLorenzo(ctx, f, ref, hdr, ebSyms, quantSyms, raw, workers)
 	}); err != nil {
 		return nil, err
 	}
@@ -82,17 +91,23 @@ func decompress(data []byte, workers int, ref *field.Field, c *obs.Collector) (*
 // reconstructLorenzo replays the region-parallel Lorenzo encoder: a serial
 // offset scan over the symbol streams followed by prediction-independent
 // per-region reconstruction.
-func reconstructLorenzo(f, ref *field.Field, hdr header, ebSyms, quantSyms []uint32, raw []byte, workers int) error {
+func reconstructLorenzo(ctx context.Context, f, ref *field.Field, hdr header, ebSyms, quantSyms []uint32, raw []byte, workers int) error {
 	interiors, boundaries := partition(f.Grid)
 	regions := append(append([]region{}, interiors...), boundaries...)
 
 	// Serial pass: compute per-region stream offsets. Consumption per
 	// vertex is fully determined by the symbols, so this is a cheap scan
-	// that unlocks parallel reconstruction.
+	// that unlocks parallel reconstruction. Region granularity bounds the
+	// cancellation latency of the scan itself.
 	offsets := make([]regionOffsets, len(regions))
 	nComps := len(f.Components())
 	cur := regionOffsets{}
 	for ri, r := range regions {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		offsets[ri] = cur
 		nv := r.numVertices()
 		for v := 0; v < nv; v++ {
@@ -150,7 +165,7 @@ func reconstructLorenzo(f, ref *field.Field, hdr header, ebSyms, quantSyms []uin
 	// Parallel reconstruction: regions are prediction-independent. The Err
 	// variant contains worker panics, so a reconstruction bug driven by
 	// hostile symbols surfaces as an error instead of killing the process.
-	return parallel.ForErr(len(regions), workers, 1, func(ri int) error {
+	return parallel.CtxForErr(ctx, len(regions), workers, 1, func(ri int) error {
 		return reconstructRegion(f, ref, regions[ri], hdr, ebSyms, quantSyms, raw, offsets[ri])
 	})
 }

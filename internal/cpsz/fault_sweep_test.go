@@ -27,7 +27,7 @@ func TestFaultSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	v4 := res.Bytes
-	_, ebSyms, quantSyms, raw, err := parse(v4, 1, nil)
+	_, ebSyms, quantSyms, raw, err := parse(nil, v4, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

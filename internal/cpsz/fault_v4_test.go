@@ -213,7 +213,7 @@ func TestPackedSectionLies(t *testing.T) {
 
 	// Control: the honest section round-trips through the packed path.
 	sec := packedSection(t, syms, good, len(good), len(good))
-	got, off, err := parseSymbolSection(sec, 0, 2, formatV4, "test", nil)
+	got, off, err := parseSymbolSection(nil, sec, 0, 2, formatV4, "test", nil)
 	if err != nil {
 		t.Fatalf("honest packed section: %v", err)
 	}
@@ -250,7 +250,7 @@ func TestPackedSectionLies(t *testing.T) {
 	for _, lie := range lies {
 		t.Run(lie.name, func(t *testing.T) {
 			sec := packedSection(t, syms, lie.payload, lie.usize, lie.csize)
-			_, _, err := parseSymbolSection(sec, 0, 2, formatV4, "test", nil)
+			_, _, err := parseSymbolSection(nil, sec, 0, 2, formatV4, "test", nil)
 			if err == nil {
 				t.Fatal("lying packed chunk parsed without error")
 			}

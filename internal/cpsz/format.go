@@ -3,6 +3,7 @@ package cpsz
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"hash/crc32"
 	"io"
@@ -119,7 +120,7 @@ const (
 // section, and the whole-stream trailer. This mirrors SZ's Huffman +
 // lossless-backend pipeline with the entropy stage sharded across
 // opts.Workers.
-func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
+func serialize(ctx context.Context, f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []byte) ([]byte, error) {
 	c := opts.Collector
 	workers := parallel.Workers(opts.Workers)
 	out := make([]byte, 0, headerBytesV3+len(raw)/2+(len(ebSyms)+len(quantSyms))/4)
@@ -140,7 +141,7 @@ func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []b
 	var err error
 	for si, syms := range [][]uint32{ebSyms, quantSyms} {
 		mark := len(out)
-		if out, err = appendSymbolSection(out, syms, workers, c); err != nil {
+		if out, err = appendSymbolSection(ctx, out, syms, workers, c); err != nil {
 			return nil, err
 		}
 		ctr := obs.CtrBytesSectionEb
@@ -150,7 +151,7 @@ func serialize(f *field.Field, opts Options, ebSyms, quantSyms []uint32, raw []b
 		c.Add(ctr, int64(len(out)-mark))
 	}
 	mark := len(out)
-	if out, err = appendRawSection(out, raw, workers, c); err != nil {
+	if out, err = appendRawSection(ctx, out, raw, workers, c); err != nil {
 		return nil, err
 	}
 	c.Add(obs.CtrBytesSectionRaw, int64(len(out)-mark))
@@ -203,7 +204,7 @@ type encChunk struct {
 // concurrently; per chunk the encoder picks Huffman+DEFLATE or fixed-width
 // bit packing, a decision that depends only on the chunk contents and the
 // shared table, so archives stay byte-identical at any worker count.
-func appendSymbolSection(dst []byte, syms []uint32, workers int, c *obs.Collector) ([]byte, error) {
+func appendSymbolSection(ctx context.Context, dst []byte, syms []uint32, workers int, c *obs.Collector) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(syms)))
 	if len(syms) == 0 {
 		return dst, nil
@@ -211,7 +212,7 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int, c *obs.Collecto
 	var table *huffman.Table
 	if err := c.Do(obs.StageHistogram, workers, int64(len(syms)), func() error {
 		var err error
-		table, err = huffman.BuildTable(syms, workers)
+		table, err = huffman.BuildTableCtx(ctx, syms, workers)
 		return err
 	}); err != nil {
 		return nil, err
@@ -221,7 +222,7 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int, c *obs.Collecto
 	cc := chunkCount(n, chunkSymbols)
 	workers = parallel.SizedWorkers(workers, cc, 4*int64(n), entropyWorkerBytes)
 	outs := make([]encChunk, cc)
-	err := parallel.ForErr(cc, workers, 1, func(i int) error {
+	err := parallel.CtxForErr(ctx, cc, workers, 1, func(i int) error {
 		lo, hi := chunkBound(n, cc, i)
 		chunk := syms[lo:hi]
 		slo, shi, hbits := table.ChunkBits(chunk)
@@ -262,6 +263,7 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int, c *obs.Collecto
 		return nil
 	})
 	if err != nil {
+		repoolChunks(outs)
 		return nil, err
 	}
 	c.Add(obs.CtrChunksEncoded, int64(cc))
@@ -271,7 +273,7 @@ func appendSymbolSection(dst []byte, syms []uint32, workers int, c *obs.Collecto
 // appendRawSection writes the verbatim-float section with the same
 // directory layout as the symbol sections; chunks that DEFLATE cannot
 // shrink are stored verbatim (mode 1) so decode is a straight copy.
-func appendRawSection(dst []byte, raw []byte, workers int, c *obs.Collector) ([]byte, error) {
+func appendRawSection(ctx context.Context, dst []byte, raw []byte, workers int, c *obs.Collector) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(raw)))
 	if len(raw) == 0 {
 		return dst, nil
@@ -280,7 +282,7 @@ func appendRawSection(dst []byte, raw []byte, workers int, c *obs.Collector) ([]
 	cc := chunkCount(n, chunkRawBytes)
 	workers = parallel.SizedWorkers(workers, cc, int64(n), entropyWorkerBytes)
 	outs := make([]encChunk, cc)
-	err := parallel.ForErr(cc, workers, 1, func(i int) error {
+	err := parallel.CtxForErr(ctx, cc, workers, 1, func(i int) error {
 		lo, hi := chunkBound(n, cc, i)
 		chunk := raw[lo:hi]
 		payload := getChunkBuf()
@@ -303,10 +305,24 @@ func appendRawSection(dst []byte, raw []byte, workers int, c *obs.Collector) ([]
 		return nil
 	})
 	if err != nil {
+		repoolChunks(outs)
 		return nil, err
 	}
 	c.Add(obs.CtrChunksEncoded, int64(cc))
 	return mergeChunks(dst, outs, workers), nil
+}
+
+// repoolChunks returns every payload the encode workers deposited before a
+// failure or cancellation ended the dispatch. All workers have joined by
+// the time the dispatcher returns its error, so the deposited buffers have
+// exactly one owner here; chunks that never ran hold nil.
+func repoolChunks(outs []encChunk) {
+	for i := range outs {
+		if outs[i].payload != nil {
+			putChunkBuf(outs[i].payload)
+			outs[i].payload = nil
+		}
+	}
 }
 
 // mergeChunks appends the uvarint chunk count and the v4 directory to dst,
@@ -354,7 +370,7 @@ func growBytes(b []byte, n int) []byte {
 // the format version byte. For v3+ streams the header CRC and whole-stream
 // trailer are verified up front and the per-chunk checksums inside the
 // parallel section readers.
-func parse(data []byte, workers int, c *obs.Collector) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
+func parse(ctx context.Context, data []byte, workers int, c *obs.Collector) (hdr header, ebSyms, quantSyms []uint32, raw []byte, err error) {
 	hdr, off, end, err := parseHeader(data)
 	if err != nil {
 		return hdr, nil, nil, nil, err
@@ -363,7 +379,7 @@ func parse(data []byte, workers int, c *obs.Collector) (hdr header, ebSyms, quan
 	if version == formatV1 {
 		ebSyms, quantSyms, raw, err = parseSectionsV1(data, off)
 	} else {
-		ebSyms, quantSyms, raw, err = parseSectionsV2(data[:end], off, workers, version, c)
+		ebSyms, quantSyms, raw, err = parseSectionsV2(ctx, data[:end], off, workers, version, c)
 	}
 	if err != nil {
 		return hdr, nil, nil, nil, err
@@ -476,14 +492,14 @@ func parseSectionsV1(data []byte, off int) (ebSyms, quantSyms []uint32, raw []by
 // inflating and entropy-decoding the chunks of each section concurrently.
 // The version selects the directory layout: v3 adds the per-chunk CRC32C
 // column, v4 the per-chunk mode byte.
-func parseSectionsV2(data []byte, off, workers int, version byte, c *obs.Collector) (ebSyms, quantSyms []uint32, raw []byte, err error) {
-	if ebSyms, off, err = parseSymbolSection(data, off, workers, version, "eb-symbols", c); err != nil {
+func parseSectionsV2(ctx context.Context, data []byte, off, workers int, version byte, c *obs.Collector) (ebSyms, quantSyms []uint32, raw []byte, err error) {
+	if ebSyms, off, err = parseSymbolSection(ctx, data, off, workers, version, "eb-symbols", c); err != nil {
 		return nil, nil, nil, err
 	}
-	if quantSyms, off, err = parseSymbolSection(data, off, workers, version, "quant-symbols", c); err != nil {
+	if quantSyms, off, err = parseSymbolSection(ctx, data, off, workers, version, "quant-symbols", c); err != nil {
 		return nil, nil, nil, err
 	}
-	if raw, off, err = parseRawSection(data, off, workers, version, c); err != nil {
+	if raw, off, err = parseRawSection(ctx, data, off, workers, version, c); err != nil {
 		return nil, nil, nil, err
 	}
 	if off != len(data) {
@@ -690,7 +706,7 @@ func decodePackedChunk(pl []byte, out []uint32, section string, i int) error {
 
 // parseSymbolSection reads one chunked symbol section, returning the
 // decoded symbols and the offset past the section.
-func parseSymbolSection(data []byte, off, workers int, version byte, section string, c *obs.Collector) ([]uint32, int, error) {
+func parseSymbolSection(ctx context.Context, data []byte, off, workers int, version byte, section string, c *obs.Collector) ([]uint32, int, error) {
 	// The cursor is maintained by validated returns up the call chain, but
 	// it indexes the stream below, so enforce the bound locally.
 	if off < 0 || off > len(data) {
@@ -728,7 +744,7 @@ func parseSymbolSection(data []byte, off, workers int, version byte, section str
 	payload := data[off : off+dir.total]
 	out := make([]uint32, count)
 	workers = parallel.SizedWorkers(workers, dir.cc, 4*int64(count), entropyWorkerBytes)
-	err = parallel.ForErr(dir.cc, workers, 1, func(i int) error {
+	err = parallel.CtxForErr(ctx, dir.cc, workers, 1, func(i int) error {
 		if err := dir.verifyChunk(payload, i, section); err != nil {
 			return err
 		}
@@ -766,7 +782,7 @@ func parseSymbolSection(data []byte, off, workers int, version byte, section str
 // parseRawSection reads the verbatim-float section, inflating (or, for
 // stored chunks, copying) chunks concurrently straight into their disjoint
 // extents of the output.
-func parseRawSection(data []byte, off, workers int, version byte, c *obs.Collector) ([]byte, int, error) {
+func parseRawSection(ctx context.Context, data []byte, off, workers int, version byte, c *obs.Collector) ([]byte, int, error) {
 	const section = "raw"
 	if off < 0 || off > len(data) {
 		return nil, 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
@@ -794,7 +810,7 @@ func parseRawSection(data []byte, off, workers int, version byte, c *obs.Collect
 	payload := data[off : off+dir.total]
 	raw := make([]byte, rawLen)
 	workers = parallel.SizedWorkers(workers, dir.cc, int64(rawLen), entropyWorkerBytes)
-	err = parallel.ForErr(dir.cc, workers, 1, func(i int) error {
+	err = parallel.CtxForErr(ctx, dir.cc, workers, 1, func(i int) error {
 		if err := dir.verifyChunk(payload, i, section); err != nil {
 			return err
 		}

@@ -122,7 +122,7 @@ func appendLegacySections(t testing.TB, out []byte, version byte, ebSyms, quantS
 // archive by re-serializing its parsed sections through the legacy writer.
 func rewriteAsV1(t *testing.T, f *field.Field, opts Options, cur []byte) []byte {
 	t.Helper()
-	_, ebSyms, quantSyms, raw, err := parse(cur, 1, nil)
+	_, ebSyms, quantSyms, raw, err := parse(nil, cur, 1, nil)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -137,7 +137,7 @@ func rewriteAsV1(t *testing.T, f *field.Field, opts Options, cur []byte) []byte 
 // archive through the CRC-less legacy chunked writer.
 func rewriteAsV2(t *testing.T, f *field.Field, opts Options, cur []byte) []byte {
 	t.Helper()
-	_, ebSyms, quantSyms, raw, err := parse(cur, 1, nil)
+	_, ebSyms, quantSyms, raw, err := parse(nil, cur, 1, nil)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -148,7 +148,7 @@ func rewriteAsV2(t *testing.T, f *field.Field, opts Options, cur []byte) []byte 
 // archive through the CRC-sealed, mode-less legacy chunked writer.
 func rewriteAsV3(t *testing.T, f *field.Field, opts Options, cur []byte) []byte {
 	t.Helper()
-	_, ebSyms, quantSyms, raw, err := parse(cur, 1, nil)
+	_, ebSyms, quantSyms, raw, err := parse(nil, cur, 1, nil)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -346,7 +346,7 @@ func TestChunkDirectoryLies(t *testing.T) {
 			}
 			t.Run(layout+"/"+lie.name, func(t *testing.T) {
 				sec := buildSymbolSection(t, syms, version, lie.tamper)
-				_, _, err := parseSymbolSection(sec, 0, 2, version, "test", nil)
+				_, _, err := parseSymbolSection(nil, sec, 0, 2, version, "test", nil)
 				if err == nil {
 					t.Fatal("lying directory parsed without error")
 				}
@@ -357,7 +357,7 @@ func TestChunkDirectoryLies(t *testing.T) {
 		}
 		// Control: the untampered section round-trips.
 		sec := buildSymbolSection(t, syms, version, nil)
-		got, off, err := parseSymbolSection(sec, 0, 2, version, "test", nil)
+		got, off, err := parseSymbolSection(nil, sec, 0, 2, version, "test", nil)
 		if err != nil {
 			t.Fatalf("%s untampered section: %v", layout, err)
 		}
@@ -381,7 +381,7 @@ func TestTruncatedDirectory(t *testing.T) {
 		// The directory sits between the codebook and the payload; cutting
 		// anywhere before the payload end must fail.
 		for cut := 0; cut < len(sec); cut += 7 {
-			if _, _, err := parseSymbolSection(sec[:cut], 0, 1, version, "test", nil); err == nil {
+			if _, _, err := parseSymbolSection(nil, sec[:cut], 0, 1, version, "test", nil); err == nil {
 				t.Fatalf("section truncated to %d of %d bytes parsed (v%d)", cut, len(sec), version)
 			}
 		}
@@ -559,7 +559,7 @@ func TestV4ChunkModes(t *testing.T) {
 		{"huffman", skewed, symChunkHuffman},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			sec, err := appendSymbolSection(nil, tc.syms, 2, nil)
+			sec, err := appendSymbolSection(nil, nil, tc.syms, 2, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -568,7 +568,7 @@ func TestV4ChunkModes(t *testing.T) {
 					t.Fatalf("chunk %d wrote mode %d, want %d", i, m, tc.mode)
 				}
 			}
-			got, off, err := parseSymbolSection(sec, 0, 2, formatV4, "test", nil)
+			got, off, err := parseSymbolSection(nil, sec, 0, 2, formatV4, "test", nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -600,7 +600,7 @@ func TestV4ChunkModes(t *testing.T) {
 		{"deflate", make([]byte, chunkRawBytes/4), rawChunkDeflate},
 	} {
 		t.Run("raw-"+tc.name, func(t *testing.T) {
-			sec, err := appendRawSection(nil, tc.raw, 2, nil)
+			sec, err := appendRawSection(nil, nil, tc.raw, 2, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -609,7 +609,7 @@ func TestV4ChunkModes(t *testing.T) {
 					t.Fatalf("chunk %d wrote mode %d, want %d", i, m, tc.mode)
 				}
 			}
-			got, off, err := parseRawSection(sec, 0, 2, formatV4, nil)
+			got, off, err := parseRawSection(nil, sec, 0, 2, formatV4, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -675,7 +675,7 @@ func entropyFixture(b *testing.B) (*field.Field, Options, []uint32, []uint32, []
 	if err != nil {
 		b.Fatal(err)
 	}
-	_, ebSyms, quantSyms, raw, err := parse(res.Bytes, 0, nil)
+	_, ebSyms, quantSyms, raw, err := parse(nil, res.Bytes, 0, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -694,7 +694,7 @@ func BenchmarkSerialize(b *testing.B) {
 			b.SetBytes(int64(f.SizeBytes()))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := serialize(f, o, ebSyms, quantSyms, raw); err != nil {
+				if _, err := serialize(nil, f, o, ebSyms, quantSyms, raw); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -712,7 +712,7 @@ func BenchmarkParse(b *testing.B) {
 			b.SetBytes(int64(f.SizeBytes()))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, _, _, err := parse(stream, workers, nil); err != nil {
+				if _, _, _, _, err := parse(nil, stream, workers, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -38,7 +38,7 @@ func FuzzDecompressTruncated(f *testing.F) {
 	}
 	// Legacy-layout seeds: the v1, v2, and v3 readers must stay as robust
 	// as the v4 one.
-	_, ebSyms, quantSyms, raw, err := parse(stream, 1, nil)
+	_, ebSyms, quantSyms, raw, err := parse(nil, stream, 1, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func FuzzDecompressTruncated(f *testing.F) {
 	for i := range uniform {
 		uniform[i] = uint32(i % 64)
 	}
-	packedSec, err := appendSymbolSection(nil, uniform, 1, nil)
+	packedSec, err := appendSymbolSection(nil, nil, uniform, 1, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -120,6 +120,91 @@ func FuzzDecompressTruncated(f *testing.F) {
 		}
 		if err == nil && fld == nil {
 			t.Fatal("nil field with nil error on full stream")
+		}
+	})
+}
+
+// FuzzSalvage feeds the salvage decoder the strict decoder's hostile
+// corpus plus resealed per-chunk corruptions of a real archive. Salvage
+// must never panic, every error must be streamerr-typed, every report must
+// be self-consistent — and on any stream the strict decoder accepts,
+// salvage must agree bit-exactly with an all-clean report. The exhaustive
+// verify scan obeys the same typing contract.
+func FuzzSalvage(f *testing.F) {
+	field2d := gyre2D(16, 12)
+	opts := Options{Mode: ebound.Absolute, ErrBound: 0.05, Workers: 1}
+	valid, err := Compress(field2d, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	stream := valid.Bytes
+	f.Add([]byte{})
+	f.Add(stream)
+	for _, cut := range []int{4, headerBytes, headerBytesV3, len(stream) / 2, len(stream) - trailerBytes, len(stream) - 1} {
+		f.Add(append([]byte{}, stream[:cut]...))
+	}
+	// Every chunk of the archive corrupted one at a time, trailer resealed:
+	// the salvage sweep's own seed corpus.
+	for _, r := range walkV4(f, stream) {
+		if r.csize == 0 {
+			continue
+		}
+		mut := append([]byte{}, stream...)
+		mut[r.payOff+r.csize/2] ^= 0xff
+		f.Add(resealTrailer(mut))
+		// And with the seal left broken.
+		mut2 := append([]byte{}, stream...)
+		mut2[r.payOff] ^= 0xff
+		f.Add(mut2)
+	}
+	// Directory CRC column and trailer tampers.
+	crcFlip := append([]byte{}, stream...)
+	crcFlip[headerBytesV3+10] ^= 0x01
+	f.Add(crcFlip)
+	lyingTrailer := append([]byte{}, stream...)
+	binary.LittleEndian.PutUint64(lyingTrailer[len(lyingTrailer)-trailerBytes:], 1<<40)
+	f.Add(lyingTrailer)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fld, rep, err := Salvage(data, 1)
+		if err != nil && !streamErrTyped(err) {
+			t.Fatalf("untyped salvage error: %v", err)
+		}
+		if err == nil {
+			if fld == nil || rep == nil {
+				t.Fatal("salvage returned nil field or report without error")
+			}
+			if rep.Damaged == nil || rep.DamagedVertices != rep.Damaged.Count() {
+				t.Fatalf("inconsistent damage accounting: %d vs bitmap", rep.DamagedVertices)
+			}
+			if rep.TotalVertices != fld.NumVertices() {
+				t.Fatalf("TotalVertices %d, field has %d", rep.TotalVertices, fld.NumVertices())
+			}
+		}
+		for _, fe := range VerifyAll(data) {
+			if !streamErrTyped(fe) {
+				t.Fatalf("untyped verify-all failure: %v", fe)
+			}
+		}
+		// Differential contract: anything the strict decoder accepts,
+		// salvage must reproduce exactly and report clean.
+		strict, serr := Decompress(data, 1)
+		if serr != nil {
+			return
+		}
+		if err != nil {
+			t.Fatalf("strict decode succeeded but salvage failed: %v", err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("strict-valid stream reported damage: %+v", rep)
+		}
+		sc, fc := strict.Components(), fld.Components()
+		for c := range sc {
+			for i := range sc[c] {
+				if sc[c][i] != fc[c][i] {
+					t.Fatalf("salvage differs from strict decode at vertex %d comp %d", i, c)
+				}
+			}
 		}
 	})
 }

@@ -14,10 +14,10 @@ import (
 func TestSectionParsersRejectBadOffset(t *testing.T) {
 	data := []byte{1, 2, 3, 4}
 	for _, off := range []int{-1, len(data) + 1, 1 << 30} {
-		if _, _, err := parseSymbolSection(data, off, 1, formatV2, "test", nil); !errors.Is(err, streamerr.ErrCorrupt) {
+		if _, _, err := parseSymbolSection(nil, data, off, 1, formatV2, "test", nil); !errors.Is(err, streamerr.ErrCorrupt) {
 			t.Errorf("parseSymbolSection(off=%d): got %v, want ErrCorrupt", off, err)
 		}
-		if _, _, err := parseRawSection(data, off, 1, formatV2, nil); !errors.Is(err, streamerr.ErrCorrupt) {
+		if _, _, err := parseRawSection(nil, data, off, 1, formatV2, nil); !errors.Is(err, streamerr.ErrCorrupt) {
 			t.Errorf("parseRawSection(off=%d): got %v, want ErrCorrupt", off, err)
 		}
 		if _, err := scanSymbolSection(data, off, formatV4, "test"); !errors.Is(err, streamerr.ErrCorrupt) {
@@ -29,7 +29,7 @@ func TestSectionParsersRejectBadOffset(t *testing.T) {
 	}
 	// A valid offset still parses: the guard is a boundary, not a
 	// behavior change (empty symbol section = count 0).
-	if _, off, err := parseSymbolSection([]byte{0}, 0, 1, formatV2, "test", nil); err != nil || off != 1 {
+	if _, off, err := parseSymbolSection(nil, []byte{0}, 0, 1, formatV2, "test", nil); err != nil || off != 1 {
 		t.Errorf("parseSymbolSection on empty section: off=%d err=%v", off, err)
 	}
 }

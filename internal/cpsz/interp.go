@@ -10,6 +10,7 @@ package cpsz
 // independent.
 
 import (
+	"context"
 	"math"
 
 	"tspsz/internal/bitmap"
@@ -105,7 +106,7 @@ func interpPredict(vals []float32, nx, ny, nz, i, j, k, axis, stride int) float6
 // compressInterp is the interpolation-path encoder: identical stream
 // semantics to the Lorenzo path, different visit order and predictor, one
 // region.
-func compressInterp(f *field.Field, opts Options) (*Result, error) {
+func compressInterp(ctx context.Context, f *field.Field, opts Options) (*Result, error) {
 	col := opts.Collector
 	work := f.Clone()
 	lossless := bitmap.New(f.NumVertices())
@@ -213,7 +214,7 @@ func compressInterp(f *field.Field, opts Options) (*Result, error) {
 	var bytes []byte
 	if err := col.Do(obs.StageEntropyEncode, parallel.Workers(opts.Workers), int64(len(out.ebSyms)+len(out.quantSyms)), func() error {
 		var err error
-		bytes, err = serialize(f, opts, out.ebSyms, out.quantSyms, out.raw)
+		bytes, err = serialize(ctx, f, opts, out.ebSyms, out.quantSyms, out.raw)
 		return err
 	}); err != nil {
 		return nil, err

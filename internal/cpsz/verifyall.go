@@ -1,0 +1,144 @@
+package cpsz
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"tspsz/internal/huffman"
+	"tspsz/internal/streamerr"
+)
+
+// VerifyAll is the exhaustive counterpart of Verify: instead of stopping at
+// the first integrity failure it scans every section and every chunk,
+// returning one typed failure per violation in stream order (header, then
+// trailer, then sections in order, then chunks ascending within each) — a
+// deterministic, stable ordering for any given stream. Like Verify it
+// checksums without inflating or decoding. A structural failure that makes
+// later bytes unlocatable is the scan's final entry. An empty result means
+// the stream verifies completely.
+func VerifyAll(data []byte) []*streamerr.Error {
+	var fails []*streamerr.Error
+	add := func(err error) {
+		if err != nil {
+			fails = append(fails, toStreamErr(err))
+		}
+	}
+	walkErr := func() (err error) {
+		defer streamerr.Guard("cpsz", &err)
+		_, off, end, sealBroken, herr := salvageHeader(data)
+		if herr != nil {
+			return herr
+		}
+		if sealBroken {
+			_, terr := verifyTrailer(data)
+			add(terr)
+		}
+		body := data[:end]
+		for _, section := range []string{"eb-symbols", "quant-symbols"} {
+			if off, err = scanSymbolSectionAll(body, off, data[4], section, add); err != nil {
+				return err
+			}
+		}
+		if off, err = scanRawSectionAll(body, off, data[4], add); err != nil {
+			return err
+		}
+		if off != len(body) {
+			return streamerr.Corrupt("cpsz stream", "%d trailing bytes after final section", len(body)-off).WithOffset(int64(off))
+		}
+		return nil
+	}()
+	add(walkErr)
+	return fails
+}
+
+// toStreamErr coerces err into the concrete *streamerr.Error, wrapping
+// anything untyped (e.g. a contained panic) as corruption.
+func toStreamErr(err error) *streamerr.Error {
+	var se *streamerr.Error
+	if errors.As(err, &se) {
+		return se
+	}
+	return streamerr.Wrap(streamerr.ErrCorrupt, "cpsz", err)
+}
+
+// scanSymbolSectionAll walks one symbol section like scanSymbolSection but
+// reports every chunk checksum failure through add instead of stopping at
+// the first; only structural failures (which end the walk) are returned.
+func scanSymbolSectionAll(data []byte, off int, version byte, section string, add func(error)) (int, error) {
+	if off < 0 || off > len(data) {
+		return 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
+	}
+	count, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return 0, streamerr.Truncated(section, "symbol count cut off").WithOffset(int64(off))
+	}
+	off += sz
+	if count == 0 {
+		return off, nil
+	}
+	if count > 8*maxDeflateRatio*uint64(len(data)-off)+64 {
+		return 0, streamerr.Corrupt(section, "symbol count %d exceeds stream capacity", count)
+	}
+	_, consumed, err := huffman.ParseTable(data[off:], count)
+	if err != nil {
+		return 0, streamerr.Wrap(streamerr.ErrCorrupt, section, err)
+	}
+	off += consumed
+	s := getScratch()
+	defer putScratch(s)
+	dir, off, err := parseChunkDirectory(s, data, off, int(count), version, kindSymbols, section)
+	if err != nil {
+		return 0, err
+	}
+	if dir.total > len(data)-off {
+		return 0, streamerr.Truncated(section, "chunk payloads exceed stream length").WithOffset(int64(off))
+	}
+	scanChunksAll(&dir, data[off:off+dir.total], int64(off), section, add)
+	return off + dir.total, nil
+}
+
+// scanRawSectionAll is scanSymbolSectionAll for the raw section.
+func scanRawSectionAll(data []byte, off int, version byte, add func(error)) (int, error) {
+	const section = "raw"
+	if off < 0 || off > len(data) {
+		return 0, streamerr.Corrupt(section, "section offset %d outside %d-byte stream", off, len(data))
+	}
+	rawLen, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		return 0, streamerr.Truncated(section, "section length cut off").WithOffset(int64(off))
+	}
+	off += sz
+	if rawLen == 0 {
+		return off, nil
+	}
+	if rawLen > maxDeflateRatio*uint64(len(data)-off)+64 {
+		return 0, streamerr.Corrupt(section, "raw length %d exceeds stream capacity", rawLen)
+	}
+	s := getScratch()
+	defer putScratch(s)
+	dir, off, err := parseChunkDirectory(s, data, off, int(rawLen), version, kindRaw, section)
+	if err != nil {
+		return 0, err
+	}
+	if dir.total > len(data)-off {
+		return 0, streamerr.Truncated(section, "chunk payloads exceed stream length").WithOffset(int64(off))
+	}
+	scanChunksAll(&dir, data[off:off+dir.total], int64(off), section, add)
+	return off + dir.total, nil
+}
+
+// scanChunksAll checks every chunk checksum serially (ascending, so output
+// order is stable) and reports each mismatch with its chunk index and the
+// absolute stream offset of the offending payload.
+func scanChunksAll(dir *chunkDirectory, payload []byte, payBase int64, section string, add func(error)) {
+	if dir.crcs == nil {
+		return
+	}
+	for i := 0; i < dir.cc; i++ {
+		if got := crc32.Checksum(dir.payloadAt(payload, i), crcTable); got != dir.crcs[i] {
+			add(streamerr.Corrupt(section, "chunk CRC32C %08x, directory says %08x", got, dir.crcs[i]).
+				WithChunk(i).WithOffset(payBase + int64(dir.offsets[i])))
+		}
+	}
+}

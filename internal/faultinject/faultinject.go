@@ -127,6 +127,108 @@ func (r *errReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// transientErr is the failure a Flaky reader or writer injects. It
+// implements the net.Error-style Temporary() convention so retry layers
+// (internal/resilient) classify it as retryable, while plain error handling
+// sees an ordinary opaque failure.
+type transientErr struct{ op string }
+
+func (e *transientErr) Error() string   { return "faultinject: transient " + e.op + " fault" }
+func (e *transientErr) Temporary() bool { return true }
+func (e *transientErr) Timeout() bool   { return false }
+
+// Transient returns a retryable error labeled with the failing operation.
+func Transient(op string) error { return &transientErr{op: op} }
+
+// FlakyReader wraps an io.Reader with seeded intermittent transient
+// failures: a Read fails with probability num/den — before consuming any
+// input, so an immediate retry resumes exactly where the fault struck — and
+// a successful Read may be short. Equal seeds yield equal fault sequences.
+type FlakyReader struct {
+	r        io.Reader
+	rng      *Rand
+	num, den int
+	failures int
+}
+
+// NewFlakyReader builds a FlakyReader failing num out of every den reads on
+// average. den must be positive; num is clamped to [0, den-1] so progress
+// is always possible.
+func NewFlakyReader(r io.Reader, seed uint64, num, den int) *FlakyReader {
+	if den < 1 {
+		den = 1
+	}
+	if num < 0 {
+		num = 0
+	}
+	if num >= den {
+		num = den - 1
+	}
+	return &FlakyReader{r: r, rng: NewRand(seed), num: num, den: den}
+}
+
+// Failures reports how many transient faults have been injected so far.
+func (f *FlakyReader) Failures() int { return f.failures }
+
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	if len(p) > 0 && f.rng.Intn(f.den) < f.num {
+		f.failures++
+		return 0, Transient("read")
+	}
+	// A short read is not an error under the io.Reader contract, but it
+	// exercises callers that forget io.ReadFull.
+	if len(p) > 1 {
+		p = p[:1+f.rng.Intn(len(p))]
+	}
+	return f.r.Read(p)
+}
+
+// FlakyWriter wraps an io.Writer with seeded intermittent transient
+// failures: a Write either fails before any byte reaches the underlying
+// writer, or commits a prefix and reports a transient error for the rest —
+// the two shapes a real device fault takes. A retry layer resuming from the
+// returned count reconstructs the exact intended byte stream.
+type FlakyWriter struct {
+	w        io.Writer
+	rng      *Rand
+	num, den int
+	failures int
+}
+
+// NewFlakyWriter builds a FlakyWriter failing num out of every den writes
+// on average, with the same clamping as NewFlakyReader.
+func NewFlakyWriter(w io.Writer, seed uint64, num, den int) *FlakyWriter {
+	if den < 1 {
+		den = 1
+	}
+	if num < 0 {
+		num = 0
+	}
+	if num >= den {
+		num = den - 1
+	}
+	return &FlakyWriter{w: w, rng: NewRand(seed), num: num, den: den}
+}
+
+// Failures reports how many transient faults have been injected so far.
+func (f *FlakyWriter) Failures() int { return f.failures }
+
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 && f.rng.Intn(f.den) < f.num {
+		f.failures++
+		if len(p) > 1 && f.rng.Intn(2) == 0 {
+			// Partial commit: a prefix lands, then the fault strikes.
+			n, err := f.w.Write(p[:1+f.rng.Intn(len(p)-1)])
+			if err != nil {
+				return n, err
+			}
+			return n, Transient("write")
+		}
+		return 0, Transient("write")
+	}
+	return f.w.Write(p)
+}
+
 // ShortReader wraps r so every Read delivers at most k bytes, exercising
 // partial-read handling in code that forgets io.ReadFull.
 func ShortReader(r io.Reader, k int) io.Reader {

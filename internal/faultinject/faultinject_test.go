@@ -72,6 +72,115 @@ func TestErrReader(t *testing.T) {
 	}
 }
 
+func TestTransientErrConvention(t *testing.T) {
+	err := Transient("read")
+	var te interface{ Temporary() bool }
+	if !errors.As(err, &te) || !te.Temporary() {
+		t.Fatal("Transient error does not implement Temporary() == true")
+	}
+	var to interface{ Timeout() bool }
+	if !errors.As(err, &to) || to.Timeout() {
+		t.Fatal("Transient error should not claim Timeout()")
+	}
+}
+
+// retryRead keeps calling Read until it makes progress or hits a
+// non-transient error, mimicking what a retry layer does.
+func retryRead(t *testing.T, r io.Reader, p []byte) (int, error) {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		if attempt > 10_000 {
+			t.Fatal("reader never succeeds")
+		}
+		n, err := r.Read(p)
+		var te interface{ Temporary() bool }
+		if err != nil && errors.As(err, &te) && te.Temporary() {
+			if n != 0 {
+				t.Fatalf("transient read fault consumed %d bytes", n)
+			}
+			continue
+		}
+		return n, err
+	}
+}
+
+func TestFlakyReaderRecoversLosslessly(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	fr := NewFlakyReader(bytes.NewReader(data), 0xBEEF, 1, 2)
+	var got []byte
+	buf := make([]byte, 7)
+	for {
+		n, err := retryRead(t, fr, buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("reconstructed %q, want %q", got, data)
+	}
+	if fr.Failures() == 0 {
+		t.Fatal("a 50%% flaky reader injected no faults over the whole stream")
+	}
+}
+
+func TestFlakyReaderDeterministic(t *testing.T) {
+	data := make([]byte, 256)
+	a := NewFlakyReader(bytes.NewReader(data), 7, 1, 3)
+	b := NewFlakyReader(bytes.NewReader(data), 7, 1, 3)
+	bufA, bufB := make([]byte, 9), make([]byte, 9)
+	for i := 0; i < 200; i++ {
+		na, errA := a.Read(bufA)
+		nb, errB := b.Read(bufB)
+		if na != nb || (errA == nil) != (errB == nil) {
+			t.Fatalf("call %d diverged for equal seeds: (%d,%v) vs (%d,%v)", i, na, errA, nb, errB)
+		}
+		if errA == io.EOF {
+			break
+		}
+	}
+}
+
+func TestFlakyWriterRecoversLosslessly(t *testing.T) {
+	data := []byte("pack my box with five dozen liquor jugs")
+	var sink bytes.Buffer
+	fw := NewFlakyWriter(&sink, 0xCAFE, 1, 2)
+	// Resume-from-n retry loop, the contract a resilient writer follows.
+	for off := 0; off < len(data); {
+		n, err := fw.Write(data[off:])
+		off += n
+		if err != nil {
+			var te interface{ Temporary() bool }
+			if errors.As(err, &te) && te.Temporary() {
+				continue
+			}
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(sink.Bytes(), data) {
+		t.Fatalf("committed %q, want %q", sink.Bytes(), data)
+	}
+	if fw.Failures() == 0 {
+		t.Fatal("a 50%% flaky writer injected no faults over the whole stream")
+	}
+}
+
+func TestFlakyZeroRateIsTransparent(t *testing.T) {
+	data := []byte("no faults here")
+	got, err := io.ReadAll(NewFlakyReader(bytes.NewReader(data), 1, 0, 10))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("zero-rate flaky reader altered the stream: %q, %v", got, err)
+	}
+	var sink bytes.Buffer
+	fw := NewFlakyWriter(&sink, 1, 0, 10)
+	if n, err := fw.Write(data); err != nil || n != len(data) {
+		t.Fatalf("zero-rate flaky writer = (%d, %v)", n, err)
+	}
+}
+
 func TestShortReader(t *testing.T) {
 	r := ShortReader(bytes.NewReader(make([]byte, 10)), 3)
 	buf := make([]byte, 8)

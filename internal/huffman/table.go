@@ -1,6 +1,7 @@
 package huffman
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -68,6 +69,13 @@ type partialHist struct {
 // encodes only empty chunks. A panic in the reduction workers is contained
 // and returned as an error rather than crashing the process.
 func BuildTable(symbols []uint32, workers int) (*Table, error) {
+	return BuildTableCtx(nil, symbols, workers)
+}
+
+// BuildTableCtx is BuildTable with cancellation: the histogram reduction
+// checks ctx at range boundaries and returns the context's error (verbatim)
+// if the build is abandoned. A nil ctx never cancels.
+func BuildTableCtx(ctx context.Context, symbols []uint32, workers int) (*Table, error) {
 	if len(symbols) == 0 {
 		return &Table{}, nil
 	}
@@ -75,7 +83,7 @@ func BuildTable(symbols []uint32, workers int) (*Table, error) {
 	if len(symbols) < histogramParts {
 		parts = 1
 	}
-	partial, err := parallel.ReduceRangesErr(len(symbols), parts, workers, func(lo, hi int) (partialHist, error) {
+	partial, err := parallel.CtxReduceRangesErr(ctx, len(symbols), parts, workers, func(lo, hi int) (partialHist, error) {
 		seg := symbols[lo:hi]
 		// Size the count array to the largest dense symbol actually present
 		// so sparse alphabets (relative mode tops out near 400) do not pay

@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// The Ctx* dispatchers are the cancellation-aware halves of the *Err
+// family: identical scheduling, error propagation, and panic containment,
+// plus a ctx.Err() check at every grain boundary so a cancelled or expired
+// context stops new work from being dispatched promptly. In-flight grains
+// always drain — a worker is never killed mid-iteration — and every
+// goroutine is joined before the call returns, so cancellation can never
+// leak a worker or leave a loop body running against freed state.
+//
+// The returned error is the earliest loop-body failure if any iteration
+// failed, otherwise the context's error verbatim (context.Canceled or
+// context.DeadlineExceeded) when the loop stopped early; callers at decode
+// entry points classify it via streamerr (Guard and Wrap map context errors
+// to ErrCancelled). A nil ctx means "never cancelled" and degrades to the
+// plain *Err dispatcher.
+
+// CtxForErr is ForErr with cancellation: workers re-check ctx.Err() before
+// claiming each chunk of grain iterations and stop claiming once the
+// context is done.
+func CtxForErr(ctx context.Context, n, workers, grain int, fn func(i int) error) error {
+	if ctx == nil {
+		return ForErr(n, workers, grain, fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers = Workers(workers)
+	if grain < 1 {
+		grain = 1
+	}
+	if max := (n + grain - 1) / grain; workers > max {
+		workers = max
+	}
+	if workers <= 1 || n <= grain {
+		if done := beginDispatch("CtxForErr", n, 1); done != nil {
+			defer done()
+		}
+		for lo := 0; lo < n; lo += grain {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				if err := call(fn, i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if done := beginDispatch("CtxForErr", n, workers); done != nil {
+		defer done()
+	}
+	var next atomic.Int64
+	var fe firstErr
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !fe.stop.Load() {
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if err := call(fn, i); err != nil {
+						fe.record(i, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fe.err != nil {
+		return fe.err
+	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// CtxForChunksErr is ForChunksErr with cancellation: each contiguous range
+// checks ctx.Err() once before it starts, so ranges not yet running are
+// skipped after cancellation while started ranges drain to completion.
+func CtxForChunksErr(ctx context.Context, n, workers int, fn func(lo, hi int) error) error {
+	if ctx == nil {
+		return ForChunksErr(n, workers, fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if done := beginDispatch("CtxForChunksErr", n, 1); done != nil {
+			defer done()
+		}
+		if n > 0 {
+			return callRange(fn, 0, n)
+		}
+		return nil
+	}
+	if done := beginDispatch("CtxForChunksErr", n, workers); done != nil {
+		defer done()
+	}
+	errs := make([]error, workers)
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				cancelled.Store(true)
+				return
+			}
+			errs[w] = callRange(fn, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// CtxReduceRangesErr is ReduceRangesErr with cancellation: per-range
+// results are computed concurrently under CtxForErr's grain-boundary
+// checks. On any failure — including cancellation — the slice is nil.
+func CtxReduceRangesErr[T any](ctx context.Context, n, parts, workers int, fn func(lo, hi int) (T, error)) ([]T, error) {
+	ranges := Ranges(n, parts)
+	out := make([]T, len(ranges))
+	err := CtxForErr(ctx, len(ranges), workers, 1, func(i int) error {
+		var err error
+		out[i], err = fn(ranges[i][0], ranges[i][1])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

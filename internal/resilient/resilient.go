@@ -1,0 +1,204 @@
+// Package resilient retries transient I/O faults with capped, seeded-jitter
+// exponential backoff. Storage and network stacks surface short-lived
+// failures — a congested NFS mount, a device resetting, EINTR — that a
+// batch pipeline should absorb rather than die on; this package wraps the
+// retry loop once so every file touch in cmd/tspsz shares the same policy.
+//
+// Only errors that declare themselves retryable via the net.Error-style
+// Temporary()/Timeout() convention are retried by default; everything else
+// (corruption, permission, ENOSPC) fails fast on the first attempt.
+package resilient
+
+import (
+	"errors"
+	"io"
+	"os"
+	"time"
+)
+
+// Policy bounds a retry loop. The zero value of any field selects the
+// package default, so Policy{} is a usable production policy.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	// Values < 1 mean 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry. Values <= 0 mean 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubling. Values <= 0 mean 1s.
+	MaxDelay time.Duration
+	// Seed drives the deterministic jitter (each delay is uniformly drawn
+	// from [delay/2, delay]). Equal seeds give equal retry schedules, so a
+	// failure reproduces from its log line.
+	Seed uint64
+	// Sleep is the delay function, injectable so tests run in microseconds.
+	// Nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Retryable classifies errors worth retrying. Nil means IsTransient.
+	Retryable func(error) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Retryable == nil {
+		p.Retryable = IsTransient
+	}
+	return p
+}
+
+// IsTransient reports whether err declares itself short-lived via the
+// net.Error-style Temporary() or Timeout() methods anywhere in its chain.
+// io.EOF and io.ErrUnexpectedEOF are never transient: they describe stream
+// shape, not device health.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return false
+	}
+	var te interface{ Temporary() bool }
+	if errors.As(err, &te) && te.Temporary() {
+		return true
+	}
+	var to interface{ Timeout() bool }
+	return errors.As(err, &to) && to.Timeout()
+}
+
+// backoff is the per-loop retry schedule: splitmix64 jitter over doubling
+// delays, isolated per Do/Reader/Writer so concurrent loops never share
+// state.
+type backoff struct {
+	p       Policy
+	state   uint64
+	attempt int
+}
+
+func newBackoff(p Policy) *backoff { return &backoff{p: p, state: p.Seed} }
+
+func (b *backoff) next() uint64 {
+	b.state += 0x9e3779b97f4a7c15
+	z := b.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// retry reports whether the loop should try again after err, sleeping the
+// jittered backoff when it does.
+func (b *backoff) retry(err error) bool {
+	b.attempt++
+	if b.attempt >= b.p.MaxAttempts || !b.p.Retryable(err) {
+		return false
+	}
+	d := b.p.BaseDelay << (b.attempt - 1)
+	if d > b.p.MaxDelay || d <= 0 {
+		d = b.p.MaxDelay
+	}
+	// Uniform jitter in [d/2, d] de-synchronizes loops that fail together.
+	half := uint64(d / 2)
+	if half > 0 {
+		d = time.Duration(half + b.next()%(half+1))
+	}
+	b.p.Sleep(d)
+	return true
+}
+
+// Do runs op until it succeeds, exhausts the attempt budget, or fails
+// non-transiently; the last error is returned.
+func Do(p Policy, op func() error) error {
+	p = p.withDefaults()
+	b := newBackoff(p)
+	for {
+		err := op()
+		if err == nil || !b.retry(err) {
+			return err
+		}
+	}
+}
+
+// Reader wraps r so transient read faults are retried in place. The
+// attempt budget applies per fault run, not per stream, so a long stream
+// with scattered faults still completes. Reads that delivered bytes are
+// never retried — the bytes are handed up and the fault, if persistent,
+// surfaces on the next call.
+type Reader struct {
+	r io.Reader
+	p Policy
+}
+
+// NewReader builds a retrying reader over r.
+func NewReader(r io.Reader, p Policy) *Reader {
+	return &Reader{r: r, p: p.withDefaults()}
+}
+
+func (rr *Reader) Read(p []byte) (int, error) {
+	b := newBackoff(rr.p)
+	for {
+		n, err := rr.r.Read(p)
+		if n > 0 || err == nil || !b.retry(err) {
+			return n, err
+		}
+	}
+}
+
+// Writer wraps w so transient write faults are retried, resuming after any
+// partially committed prefix; a successful Write has delivered every byte
+// exactly once. The attempt budget applies per fault run: progress resets
+// the counter.
+type Writer struct {
+	w io.Writer
+	p Policy
+}
+
+// NewWriter builds a retrying writer over w.
+func NewWriter(w io.Writer, p Policy) *Writer {
+	return &Writer{w: w, p: p.withDefaults()}
+}
+
+func (rw *Writer) Write(p []byte) (int, error) {
+	b := newBackoff(rw.p)
+	written := 0
+	for written < len(p) {
+		n, err := rw.w.Write(p[written:])
+		written += n
+		if err == nil {
+			continue
+		}
+		if n > 0 {
+			// Progress: restart the backoff schedule for the next fault run.
+			b = newBackoff(rw.p)
+		}
+		if !b.retry(err) {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadFile is os.ReadFile under the retry policy: transient open or read
+// faults are retried from scratch, preserving whole-file semantics.
+func ReadFile(path string, p Policy) (data []byte, err error) {
+	err = Do(p, func() error {
+		data, err = os.ReadFile(path)
+		return err
+	})
+	return data, err
+}
+
+// WriteFile is os.WriteFile under the retry policy. Each retry rewrites
+// from offset zero, so a short transient window cannot interleave two
+// attempts' bytes.
+func WriteFile(path string, data []byte, perm os.FileMode, p Policy) error {
+	return Do(p, func() error {
+		return os.WriteFile(path, data, perm)
+	})
+}

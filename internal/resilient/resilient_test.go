@@ -1,0 +1,190 @@
+package resilient
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"tspsz/internal/faultinject"
+)
+
+// testPolicy sleeps into a recorder instead of the clock, so backoff
+// schedules are assertable and tests finish instantly.
+func testPolicy(delays *[]time.Duration) Policy {
+	return Policy{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    80 * time.Millisecond,
+		Seed:        42,
+		Sleep: func(d time.Duration) {
+			if delays != nil {
+				*delays = append(*delays, d)
+			}
+		},
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(faultinject.Transient("read")) {
+		t.Fatal("injected transient fault not classified transient")
+	}
+	for _, err := range []error{nil, io.EOF, io.ErrUnexpectedEOF, errors.New("disk full")} {
+		if IsTransient(err) {
+			t.Fatalf("%v classified transient", err)
+		}
+	}
+}
+
+func TestDoRetriesTransientOnly(t *testing.T) {
+	var delays []time.Duration
+	calls := 0
+	err := Do(testPolicy(&delays), func() error {
+		calls++
+		if calls < 3 {
+			return faultinject.Transient("op")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want success on call 3", err, calls)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+
+	perm := errors.New("permission denied")
+	calls = 0
+	if err := Do(testPolicy(nil), func() error { calls++; return perm }); err != perm || calls != 1 {
+		t.Fatalf("non-transient error retried: %v after %d calls", err, calls)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	var delays []time.Duration
+	calls := 0
+	fault := faultinject.Transient("op")
+	err := Do(testPolicy(&delays), func() error { calls++; return fault })
+	if err == nil || calls != 5 {
+		t.Fatalf("Do = %v after %d calls, want the fault after 5", err, calls)
+	}
+	if !IsTransient(err) {
+		t.Fatal("the final error lost its transient classification")
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	var delays []time.Duration
+	_ = Do(testPolicy(&delays), func() error { return faultinject.Transient("op") })
+	// Nominal schedule 10,20,40,80ms; jitter keeps each in [d/2, d].
+	want := []time.Duration{10, 20, 40, 80}
+	if len(delays) != len(want) {
+		t.Fatalf("%d delays, want %d", len(delays), len(want))
+	}
+	for i, d := range delays {
+		nominal := want[i] * time.Millisecond
+		if d < nominal/2 || d > nominal {
+			t.Fatalf("delay %d = %v, want within [%v, %v]", i, d, nominal/2, nominal)
+		}
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		var delays []time.Duration
+		p := testPolicy(&delays)
+		p.Seed = seed
+		_ = Do(p, func() error { return faultinject.Transient("op") })
+		return delays
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d diverged for equal seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReaderSurvivesFlakySource(t *testing.T) {
+	data := bytes.Repeat([]byte("resilient stream "), 64)
+	fr := faultinject.NewFlakyReader(bytes.NewReader(data), 0xD00D, 1, 2)
+	got, err := io.ReadAll(NewReader(fr, testPolicy(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("reconstructed %d bytes, want %d", len(got), len(data))
+	}
+	if fr.Failures() == 0 {
+		t.Fatal("flaky source injected no faults; the test proved nothing")
+	}
+}
+
+func TestReaderPassesThroughHardErrors(t *testing.T) {
+	boom := errors.New("device gone")
+	r := NewReader(faultinject.ErrReader([]byte{1, 2, 3}, 2, boom), testPolicy(nil))
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, boom) {
+		t.Fatalf("hard error = %v, want pass-through", err)
+	}
+	if !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("delivered %v before the hard error", got)
+	}
+}
+
+func TestWriterSurvivesFlakySink(t *testing.T) {
+	data := bytes.Repeat([]byte("durable bytes "), 64)
+	var sink bytes.Buffer
+	fw := faultinject.NewFlakyWriter(&sink, 0xFEED, 1, 2)
+	w := NewWriter(fw, testPolicy(nil))
+	for off := 0; off < len(data); off += 16 {
+		end := off + 16
+		if end > len(data) {
+			end = len(data)
+		}
+		n, err := w.Write(data[off:end])
+		if err != nil || n != end-off {
+			t.Fatalf("Write chunk at %d = (%d, %v), want full success", off, n, err)
+		}
+	}
+	if !bytes.Equal(sink.Bytes(), data) {
+		t.Fatal("committed bytes differ from input — a retry duplicated or dropped a range")
+	}
+	if fw.Failures() == 0 {
+		t.Fatal("flaky sink injected no faults; the test proved nothing")
+	}
+}
+
+func TestWriterGivesUpOnPersistentFault(t *testing.T) {
+	w := NewWriter(failingWriter{}, testPolicy(nil))
+	n, err := w.Write([]byte("doomed"))
+	if err == nil {
+		t.Fatal("persistent fault reported success")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("final error lost its classification: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("reported %d bytes written, sink accepted none", n)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, faultinject.Transient("write") }
+
+func TestReadWriteFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/blob.bin"
+	data := []byte{1, 2, 3, 4, 5}
+	if err := WriteFile(path, data, 0o644, testPolicy(nil)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, testPolicy(nil))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+	if _, err := ReadFile(path+".missing", testPolicy(nil)); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}

@@ -5,6 +5,7 @@
 package skeleton
 
 import (
+	"context"
 	"math"
 
 	"tspsz/internal/critical"
@@ -51,6 +52,27 @@ func ExtractWithParallel(f *field.Field, cps []critical.Point, par integrate.Par
 	return &Skeleton{CPs: cps, Seps: traceParallel(f, cps, par, workers)}
 }
 
+// ExtractParallelCtx is ExtractParallel with cancellation: both the cell
+// partition and the saddle tracing check ctx at grain boundaries and the
+// extraction is abandoned with the context's error once ctx is done. A nil
+// ctx never cancels.
+func ExtractParallelCtx(ctx context.Context, f *field.Field, par integrate.Params, workers int) (*Skeleton, error) {
+	cps, err := ExtractCPsParallelCtx(ctx, f, workers)
+	if err != nil {
+		return nil, err
+	}
+	return ExtractWithParallelCtx(ctx, f, cps, par, workers)
+}
+
+// ExtractWithParallelCtx is ExtractWithParallel with cancellation.
+func ExtractWithParallelCtx(ctx context.Context, f *field.Field, cps []critical.Point, par integrate.Params, workers int) (*Skeleton, error) {
+	seps, err := traceParallelCtx(ctx, f, cps, par, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Skeleton{CPs: cps, Seps: seps}, nil
+}
+
 // ExtractCPsParallel extracts only the critical points, cells partitioned
 // across workers, in the same deterministic order as critical.Extract.
 func ExtractCPsParallel(f *field.Field, workers int) []critical.Point {
@@ -65,6 +87,22 @@ func ExtractCPsParallel(f *field.Field, workers int) []critical.Point {
 func ExtractCPsParallelRobust(f *field.Field, workers int) []critical.Point {
 	fx := critical.NewFixedField(f)
 	return gatherCPs(f, workers, func(lo, hi int) []critical.Point {
+		return critical.ExtractSoSFixedRange(f, fx, lo, hi)
+	})
+}
+
+// ExtractCPsParallelCtx is ExtractCPsParallel with cancellation.
+func ExtractCPsParallelCtx(ctx context.Context, f *field.Field, workers int) ([]critical.Point, error) {
+	return gatherCPsCtx(ctx, f, workers, func(lo, hi int) []critical.Point {
+		return critical.ExtractRange(f, lo, hi)
+	})
+}
+
+// ExtractCPsParallelRobustCtx is ExtractCPsParallelRobust with
+// cancellation.
+func ExtractCPsParallelRobustCtx(ctx context.Context, f *field.Field, workers int) ([]critical.Point, error) {
+	fx := critical.NewFixedField(f)
+	return gatherCPsCtx(ctx, f, workers, func(lo, hi int) []critical.Point {
 		return critical.ExtractSoSFixedRange(f, fx, lo, hi)
 	})
 }
@@ -91,6 +129,25 @@ func gatherCPs(f *field.Field, workers int, extract func(lo, hi int) []critical.
 	return out
 }
 
+// gatherCPsCtx is gatherCPs under a cancellable dispatcher; the ctx-free
+// path stays on parallel.For so its panic behavior is unchanged.
+func gatherCPsCtx(ctx context.Context, f *field.Field, workers int, extract func(lo, hi int) []critical.Point) ([]critical.Point, error) {
+	nc := f.Grid.NumCells()
+	ranges := parallel.Ranges(nc, workers)
+	results := make([][]critical.Point, len(ranges))
+	if err := parallel.CtxForErr(ctx, len(ranges), workers, 1, func(i int) error {
+		results[i] = extract(ranges[i][0], ranges[i][1])
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var out []critical.Point
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
 func traceParallel(f *field.Field, cps []critical.Point, par integrate.Params, workers int) []integrate.Trajectory {
 	saddles := make([]int, 0)
 	for i, cp := range cps {
@@ -115,6 +172,36 @@ func traceParallel(f *field.Field, cps []critical.Point, par integrate.Params, w
 		out = append(out, trs...)
 	}
 	return out
+}
+
+// traceParallelCtx is traceParallel under a cancellable dispatcher.
+func traceParallelCtx(ctx context.Context, f *field.Field, cps []critical.Point, par integrate.Params, workers int) ([]integrate.Trajectory, error) {
+	saddles := make([]int, 0)
+	for i, cp := range cps {
+		if cp.Type == critical.Saddle {
+			saddles = append(saddles, i)
+		}
+	}
+	perSaddle := make([][]integrate.Trajectory, len(saddles))
+	loc := integrate.NewCPLocator(cps) // shared, read-only after construction
+	if err := parallel.CtxForErr(ctx, len(saddles), workers, 1, func(i int) error {
+		cp := cps[saddles[i]]
+		seeds, dirs, seedIdx := integrate.SeparatrixSeeds(cp, par.EpsP)
+		for si := range seeds {
+			tr := integrate.Streamline(f, seeds[si], dirs[si], par, loc, nil)
+			tr.Saddle = saddles[i]
+			tr.SeedIdx = seedIdx[si]
+			perSaddle[i] = append(perSaddle[i], tr)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var out []integrate.Trajectory
+	for _, trs := range perSaddle {
+		out = append(out, trs...)
+	}
+	return out, nil
 }
 
 // CheckTraj implements check_traj from Algorithms 3 and 4: trajectories
@@ -231,6 +318,54 @@ func CompareParallel(orig, dec *Skeleton, tau float64, workers int) Stats {
 		st.StdF = math.Sqrt(variance)
 	}
 	return st
+}
+
+// CompareParallelCtx is CompareParallel with cancellation; the per-pair
+// Fréchet computations check ctx at grain boundaries.
+func CompareParallelCtx(ctx context.Context, orig, dec *Skeleton, tau float64, workers int) (Stats, error) {
+	n := len(orig.Seps)
+	if len(dec.Seps) < n {
+		n = len(dec.Seps)
+	}
+	st := Stats{Total: n, MinF: math.Inf(1)}
+	if n == 0 {
+		st.MinF = 0
+		return st, nil
+	}
+	dists := make([]float64, n)
+	bad := make([]bool, n)
+	if err := parallel.CtxForErr(ctx, n, workers, 4, func(i int) error {
+		a, b := &orig.Seps[i], &dec.Seps[i]
+		dists[i] = frechet.Distance(a.Points, b.Points)
+		bad[i] = !CheckTraj(a, b, tau)
+		return nil
+	}); err != nil {
+		return Stats{}, err
+	}
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		if bad[i] {
+			st.Incorrect++
+		}
+		d := dists[i]
+		if d < st.MinF {
+			st.MinF = d
+		}
+		if d > st.MaxF {
+			st.MaxF = d
+		}
+		sum += d
+		sumSq += d * d
+	}
+	if len(orig.Seps) != len(dec.Seps) {
+		st.Incorrect += abs(len(orig.Seps) - len(dec.Seps))
+	}
+	st.MeanF = sum / float64(n)
+	variance := sumSq/float64(n) - st.MeanF*st.MeanF
+	if variance > 0 {
+		st.StdF = math.Sqrt(variance)
+	}
+	return st, nil
 }
 
 func abs(x int) int {

@@ -5,7 +5,9 @@
 // stream is damaged" (integrity fault, includes the section/chunk/offset of
 // the first violation), "the stream is from a different format generation"
 // (compatibility fault), and "the stream never was an archive" (caller
-// fault). Callers branch on the four sentinels with errors.Is; the *Error
+// fault), and — orthogonally — "the caller gave up" (cancelled context,
+// implicating the request, not the stream). Callers branch on the sentinels
+// with errors.Is; the *Error
 // type carries the location detail for diagnostics via errors.As.
 //
 // The sentinels are re-exported from the root tspsz package, and cmd/tspsz
@@ -13,12 +15,14 @@
 package streamerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
 )
 
-// The four failure classes of untrusted-stream decoding.
+// The failure classes of untrusted-stream decoding, plus one caller-side
+// class (ErrCancelled) that implicates the request, not the stream.
 var (
 	// ErrTruncated marks a stream that ends before a section, directory
 	// entry, or payload it declares; retrying with the complete stream may
@@ -34,13 +38,25 @@ var (
 	// ErrHeader marks input that is not an archive at all, or whose fixed
 	// header carries invalid field parameters (magic, dimension, mode).
 	ErrHeader = errors.New("invalid stream header")
+	// ErrCancelled marks work abandoned because the caller's context was
+	// cancelled or its deadline expired. Unlike the other classes it says
+	// nothing about the stream: retrying the same bytes with a live context
+	// may succeed, so it must never be conflated with corruption.
+	ErrCancelled = errors.New("operation cancelled")
 )
+
+// IsContextErr reports whether err is (or wraps) context.Canceled or
+// context.DeadlineExceeded — the two errors the Ctx* dispatchers return
+// verbatim when a pipeline stops early.
+func IsContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Error is the concrete error every constructor in this package returns:
 // one failure class plus the location of the first violation. Chunk and
 // Offset are -1 when the fault is not chunk- or offset-scoped.
 type Error struct {
-	Kind    error  // one of the four sentinels
+	Kind    error  // one of the package sentinels
 	Section string // e.g. "container", "eb-symbols", "chunk directory"
 	Chunk   int    // chunk index within the section, -1 if not chunk-scoped
 	Offset  int64  // byte offset within the stream, -1 if unknown
@@ -113,14 +129,26 @@ func Header(section, format string, args ...any) *Error {
 	return newError(ErrHeader, section, format, args...)
 }
 
+// Cancelled reports that processing of section was abandoned on a cancelled
+// or expired context; cause should be the context's error so errors.Is
+// still matches context.Canceled / context.DeadlineExceeded through the
+// wrapper.
+func Cancelled(section string, cause error) *Error {
+	return &Error{Kind: ErrCancelled, Section: section, Chunk: -1, Offset: -1, cause: cause}
+}
+
 // Wrap attaches a failure class and section to an underlying non-nil
 // cause. A cause that already carries a *Error keeps its original
 // classification — the innermost decoder saw the violation first and knows
-// it best.
+// it best — and a bare context error is classified ErrCancelled regardless
+// of the kind the caller proposed, because cancellation implicates the
+// request rather than the bytes.
 func Wrap(kind error, section string, cause error) *Error {
 	var se *Error
 	if errors.As(cause, &se) {
 		kind = se.Kind
+	} else if IsContextErr(cause) {
+		kind = ErrCancelled
 	}
 	return &Error{Kind: kind, Section: section, Chunk: -1, Offset: -1, cause: cause}
 }
@@ -154,6 +182,31 @@ func Guard(section string, errp *error) {
 			Kind: ErrCorrupt, Section: section, Chunk: -1, Offset: -1,
 			msg: "worker panic during decode", cause: *errp,
 		}
+		return
+	}
+	// A bare context error escaping a Ctx* dispatcher is the caller's
+	// cancellation, never stream damage: type it ErrCancelled. Errors a
+	// decoder already typed (including ones that merely wrap a context
+	// error) pass through untouched.
+	var se *Error
+	if !errors.As(*errp, &se) && IsContextErr(*errp) {
+		*errp = Cancelled(section, *errp)
+	}
+}
+
+// CancelGuard types a bare context error as ErrCancelled without the panic
+// containment of Guard. Encode paths use it: their inputs are trusted
+// fields rather than untrusted streams, so a panic there must stay a panic
+// report instead of being relabeled corruption, but cancellation
+// classification is the same on both sides.
+//
+//	func Compress(f *Field) (out []byte, err error) {
+//		defer streamerr.CancelGuard("mycodec", &err)
+//		...
+func CancelGuard(section string, errp *error) {
+	var se *Error
+	if *errp != nil && !errors.As(*errp, &se) && IsContextErr(*errp) {
+		*errp = Cancelled(section, *errp)
 	}
 }
 

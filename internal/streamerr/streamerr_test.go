@@ -1,6 +1,7 @@
 package streamerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -70,6 +71,122 @@ func TestGuardContainsPanics(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "index out of range") {
 		t.Fatalf("panic value lost: %q", err.Error())
+	}
+}
+
+func TestCancelledWrapsContextErrors(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		err := Cancelled("pipeline", cause)
+		if !errors.Is(err, ErrCancelled) {
+			t.Errorf("Cancelled(%v) does not match ErrCancelled", cause)
+		}
+		// errors.Is must see the original context error through the wrapper,
+		// so callers holding the ctx can still branch on ctx.Err().
+		if !errors.Is(err, cause) {
+			t.Errorf("Cancelled(%v) hides the context error", cause)
+		}
+		for _, other := range []error{ErrTruncated, ErrCorrupt, ErrVersion, ErrHeader} {
+			if errors.Is(err, other) {
+				t.Errorf("Cancelled(%v) also matches %v", cause, other)
+			}
+		}
+		var se *Error
+		if !errors.As(err, &se) || se.Section != "pipeline" {
+			t.Errorf("Cancelled(%v) lost the section", cause)
+		}
+	}
+}
+
+func TestWrapClassifiesContextErrors(t *testing.T) {
+	// A bare (or fmt-wrapped) context error must land in ErrCancelled no
+	// matter what kind the caller proposed: cancellation implicates the
+	// request, not the bytes.
+	err := Wrap(ErrCorrupt, "outer", fmt.Errorf("stage: %w", context.Canceled))
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("context error wrapped as %v, want ErrCancelled", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("cancellation classified as corruption")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("context.Canceled not visible through the wrapper")
+	}
+	// But an error a decoder already typed keeps its class even when a
+	// context error lurks underneath.
+	inner := Truncated("inner", "short")
+	err = Wrap(ErrCorrupt, "outer", fmt.Errorf("%w after %w", inner, context.Canceled))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("typed cause lost its class: %v", err)
+	}
+}
+
+func TestGuardDoesNotReclassifyCancellation(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		decode := func() (err error) {
+			defer Guard("codec", &err)
+			return cause // what a Ctx* dispatcher returns verbatim
+		}
+		err := decode()
+		if !errors.Is(err, ErrCancelled) {
+			t.Fatalf("Guard left %v untyped: %v", cause, err)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Guard reclassified %v as corruption", cause)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatalf("Guard hid the underlying %v", cause)
+		}
+	}
+	// An error already carrying a *Error passes through Guard untouched,
+	// even when it wraps a context error.
+	pre := Cancelled("inner", context.Canceled)
+	decode := func() (err error) {
+		defer Guard("codec", &err)
+		return pre
+	}
+	if err := decode(); err != error(pre) {
+		t.Fatalf("Guard rewrapped an already-typed cancellation: %v", err)
+	}
+}
+
+func TestCancelGuard(t *testing.T) {
+	encode := func(ret error) (err error) {
+		defer CancelGuard("encoder", &err)
+		return ret
+	}
+	if err := encode(context.Canceled); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("CancelGuard left context.Canceled untyped: %v", err)
+	}
+	if err := encode(nil); err != nil {
+		t.Fatalf("CancelGuard fabricated an error: %v", err)
+	}
+	plain := errors.New("disk full")
+	if err := encode(plain); err != plain {
+		t.Fatalf("CancelGuard rewrote a non-context error: %v", err)
+	}
+	// Unlike Guard, CancelGuard must NOT contain panics: an encode-side
+	// panic is a bug report, not stream corruption.
+	panicked := func() (err error) {
+		defer func() {
+			if recover() == nil {
+				t.Error("CancelGuard swallowed an encode-side panic")
+			}
+		}()
+		defer CancelGuard("encoder", &err)
+		panic("encoder bug")
+	}
+	_ = panicked()
+}
+
+func TestIsContextErr(t *testing.T) {
+	if !IsContextErr(context.Canceled) || !IsContextErr(context.DeadlineExceeded) {
+		t.Fatal("IsContextErr misses the raw context errors")
+	}
+	if !IsContextErr(fmt.Errorf("x: %w", context.Canceled)) {
+		t.Fatal("IsContextErr misses a wrapped context error")
+	}
+	if IsContextErr(errors.New("nope")) || IsContextErr(nil) {
+		t.Fatal("IsContextErr matches non-context errors")
 	}
 }
 

@@ -18,6 +18,7 @@ package zfp
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -48,6 +49,13 @@ const (
 // Compress encodes every component of f independently under the absolute
 // per-sample tolerance tol.
 func Compress(f *field.Field, tol float64) ([]byte, error) {
+	return CompressCtx(nil, f, tol)
+}
+
+// CompressCtx is Compress with cancellation, checked between components. A
+// nil ctx never cancels.
+func CompressCtx(ctx context.Context, f *field.Field, tol float64) (out []byte, err error) {
+	defer streamerr.CancelGuard("zfp", &err)
 	if !(tol > 0) {
 		return nil, fmt.Errorf("zfp: tolerance must be positive, got %v", tol)
 	}
@@ -68,6 +76,11 @@ func Compress(f *field.Field, tol float64) ([]byte, error) {
 	}
 
 	for _, comp := range f.Components() {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		syms, side, err := encodeComponent(comp, nx, ny, nz, f.Dim(), tol)
 		if err != nil {
 			return nil, err
@@ -100,6 +113,13 @@ func Compress(f *field.Field, tol float64) ([]byte, error) {
 // streamerr-typed, a panic anywhere in the decode is contained and
 // returned as an error, and the per-component sections decode in parallel.
 func Decompress(data []byte) (f *field.Field, err error) {
+	return DecompressCtx(nil, data)
+}
+
+// DecompressCtx is Decompress with cancellation, checked at the
+// per-component decode boundaries; an abandoned decode returns a
+// streamerr.ErrCancelled-typed error. A nil ctx never cancels.
+func DecompressCtx(ctx context.Context, data []byte) (f *field.Field, err error) {
 	defer streamerr.Guard("zfp", &err)
 	if len(data) >= 4 && string(data[:4]) != magic {
 		return nil, streamerr.Header("zfp header", "bad magic, not a zfp stream")
@@ -170,7 +190,7 @@ func Decompress(data []byte) (f *field.Field, err error) {
 		return nil, streamerr.Corrupt("zfp stream", "%d trailing bytes after final component", len(data)-off).WithOffset(int64(off))
 	}
 	comps := make([][]float32, ncomp)
-	if err := parallel.ForErr(ncomp, 0, 1, func(c int) error {
+	if err := parallel.CtxForErr(ctx, ncomp, 0, 1, func(c int) error {
 		rawSyms, err := inflateUnpack(secs[c].syms)
 		if err != nil {
 			return streamerr.Wrap(streamerr.ErrCorrupt, "zfp symbols", err).WithChunk(c)

@@ -1,0 +1,126 @@
+package tspsz_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tspsz"
+)
+
+// tamperTail flips the last inner-stream payload byte of a container
+// archive (just before the inner and container trailers) on a copy —
+// deterministically a raw-section byte for streams with lossless vertices.
+func tamperTail(data []byte) []byte {
+	b := append([]byte(nil), data...)
+	b[len(b)-25] ^= 0xff
+	return b
+}
+
+// TestRootSalvage exercises the public Salvage entry point end to end:
+// clean archives salvage bit-exactly, damaged ones degrade gracefully with
+// a report, and cancellation still wins.
+func TestRootSalvage(t *testing.T) {
+	f := demoField()
+	res, err := tspsz.Compress(f, tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := tspsz.Decompress(res.Bytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, rep, err := tspsz.Salvage(res.Bytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Stream == nil {
+		t.Fatalf("clean archive: %+v", rep)
+	}
+	for idx := 0; idx < clean.NumVertices(); idx++ {
+		if got.U[idx] != clean.U[idx] || got.V[idx] != clean.V[idx] {
+			t.Fatalf("clean salvage differs at vertex %d", idx)
+		}
+	}
+
+	// Damage the archive tail: strict decode refuses, salvage recovers.
+	mut := tamperTail(res.Bytes)
+	if _, err := tspsz.Decompress(mut, 0); err == nil {
+		t.Fatal("strict decode accepted damaged archive")
+	}
+	got, rep, err = tspsz.Salvage(mut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("damaged archive reported clean")
+	}
+	if !rep.ContainerSealBroken {
+		t.Fatal("container seal breakage not reported")
+	}
+	s := rep.Stream
+	if s == nil || !s.Sections[2].Damaged() {
+		t.Fatalf("raw damage not reported: %+v", s)
+	}
+	for idx := 0; idx < clean.NumVertices(); idx++ {
+		if s.Damaged.Get(idx) {
+			continue
+		}
+		if got.U[idx] != clean.U[idx] || got.V[idx] != clean.V[idx] {
+			t.Fatalf("undamaged vertex %d not exact", idx)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := tspsz.SalvageCtx(ctx, mut, 0); err == nil {
+		t.Fatal("SalvageCtx succeeded on a dead context")
+	} else {
+		wantCancelled(t, err, context.Canceled)
+	}
+}
+
+// TestRootVerifyAll checks the exhaustive verify reports everything the
+// tamper broke — container trailer, inner trailer, and the chunk itself —
+// where strict Verify stops at the first failure.
+func TestRootVerifyAll(t *testing.T) {
+	f := demoField()
+	res, err := tspsz.Compress(f, tspsz.Options{Variant: tspsz.TspSZ1, Mode: tspsz.ModeAbsolute, ErrBound: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := tspsz.VerifyAll(res.Bytes); len(fails) != 0 {
+		t.Fatalf("clean archive: %v", fails)
+	}
+	fails := tspsz.VerifyAll(tamperTail(res.Bytes))
+	if len(fails) < 2 {
+		t.Fatalf("tail tamper breaks several layers, got %v", fails)
+	}
+	sawChunk := false
+	for _, fe := range fails {
+		if !errors.Is(fe, tspsz.ErrCorrupt) && !errors.Is(fe, tspsz.ErrTruncated) {
+			t.Fatalf("unexpected failure kind: %v", fe)
+		}
+		if fe.Section == "raw" && fe.Chunk >= 0 {
+			sawChunk = true
+		}
+	}
+	if !sawChunk {
+		t.Fatalf("damaged raw chunk not localized: %v", fails)
+	}
+
+	// Bare cpSZ streams dispatch to the stream-level scan.
+	cp, err := tspsz.CompressCP(f, tspsz.ModeAbsolute, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := tspsz.VerifyAll(cp.Bytes); len(fails) != 0 {
+		t.Fatalf("clean bare stream: %v", fails)
+	}
+	mut := append([]byte(nil), cp.Bytes...)
+	mut[len(mut)-13] ^= 0xff
+	if fails := tspsz.VerifyAll(mut); len(fails) == 0 {
+		t.Fatal("tampered bare stream verified")
+	}
+}

@@ -31,6 +31,7 @@
 package tspsz
 
 import (
+	"context"
 	"io"
 
 	"tspsz/internal/core"
@@ -58,6 +59,13 @@ var (
 	ErrVersion = streamerr.ErrVersion
 	// ErrHeader: a malformed fixed header (bad magic, implausible dims).
 	ErrHeader = streamerr.ErrHeader
+	// ErrCancelled: the operation was abandoned because the caller's
+	// context was cancelled or its deadline expired. Unlike the four
+	// stream-fault sentinels it says nothing about the bytes — retrying the
+	// same stream with a live context may succeed. The original
+	// context.Canceled / context.DeadlineExceeded stays visible through
+	// errors.Is.
+	ErrCancelled = streamerr.ErrCancelled
 )
 
 // StreamError is the concrete error type carrying the failing section name
@@ -75,6 +83,50 @@ func Verify(data []byte) error {
 		return cpsz.Verify(data)
 	}
 	return core.Verify(data)
+}
+
+// VerifyAll is the exhaustive counterpart of Verify: instead of stopping at
+// the first integrity failure it scans every section and every chunk of the
+// archive (and, for sequences, every frame) and returns one typed failure
+// per violation in stream order — a deterministic, stable ordering for any
+// given input. An empty result means the archive verifies completely.
+func VerifyAll(data []byte) []*StreamError {
+	if len(data) >= 4 && string(data[:4]) == "CPSZ" {
+		return cpsz.VerifyAll(data)
+	}
+	return core.VerifyAll(data)
+}
+
+// SalvageReport is the outcome of a salvage decode: the inner stream's
+// per-section chunk damage, vertex-level recovery map, and the fate of the
+// container seal and correction patch. See core.SalvageReport.
+type SalvageReport = core.SalvageReport
+
+// StreamSalvageReport is the inner stream's portion of a SalvageReport.
+type StreamSalvageReport = cpsz.SalvageReport
+
+// SectionSalvage reports the salvage outcome of one stream section.
+type SectionSalvage = cpsz.SectionSalvage
+
+// Salvage is the best-effort counterpart of Decompress for damaged
+// archives: every chunk whose checksum verifies is decoded, the extents of
+// damaged chunks are zero-filled, a broken archive trailer is tolerated,
+// and a damaged TspSZ-i correction patch degrades to the uncorrected cpSZ
+// reconstruction instead of failing. The report says exactly which chunks
+// and which vertices were lost; vertices not marked in its Damaged bitmap
+// are bit-identical to a clean decode. Accepts Compress containers and bare
+// CompressCP streams; pre-checksum (pre-v3) archives cannot be salvaged and
+// return ErrVersion, and sequence containers return ErrHeader. The report
+// is non-nil whenever the outer framing was readable, even alongside a
+// non-nil error.
+func Salvage(data []byte, workers int) (*Field, *SalvageReport, error) {
+	return core.Salvage(data, workers)
+}
+
+// SalvageCtx is Salvage with cancellation (see DecompressCtx). A nil ctx
+// never cancels.
+func SalvageCtx(ctx context.Context, data []byte, workers int) (*Field, *SalvageReport, error) {
+	return core.SalvageCtx(ctx, data, workers)
 }
 
 // Field is a 2D/3D vector field sampled on a regular grid; U, V (and W in
@@ -163,15 +215,36 @@ func ObserveDispatches(c *Collector) (uninstall func()) {
 // Compress encodes f while preserving its topological skeleton.
 func Compress(f *Field, opts Options) (*Result, error) { return core.Compress(f, opts) }
 
+// CompressCtx is Compress with cancellation: every parallel stage checks
+// ctx at grain boundaries and a cancelled or expired context abandons the
+// encode with an ErrCancelled-typed error. A nil ctx never cancels.
+func CompressCtx(ctx context.Context, f *Field, opts Options) (*Result, error) {
+	return core.CompressCtx(ctx, f, opts)
+}
+
 // Decompress reconstructs a field from a stream produced by Compress.
 // workers bounds parallelism; values < 1 mean GOMAXPROCS.
 func Decompress(data []byte, workers int) (*Field, error) { return core.Decompress(data, workers) }
+
+// DecompressCtx is Decompress with cancellation: entropy decode and
+// reconstruction check ctx at grain boundaries, and a decode abandoned on a
+// done context returns an ErrCancelled-typed error — never corruption —
+// with every worker joined and every pooled buffer returned. A nil ctx
+// never cancels.
+func DecompressCtx(ctx context.Context, data []byte, workers int) (*Field, error) {
+	return core.DecompressCtx(ctx, data, workers)
+}
 
 // DecompressObserved is Decompress with per-stage instrumentation recorded
 // into c. A nil c makes it identical to Decompress; the reconstruction is
 // identical either way.
 func DecompressObserved(data []byte, workers int, c *Collector) (*Field, error) {
 	return core.DecompressObserved(data, workers, c)
+}
+
+// DecompressCtxObserved is DecompressCtx with an optional Collector.
+func DecompressCtxObserved(ctx context.Context, data []byte, workers int, c *Collector) (*Field, error) {
+	return core.DecompressCtxObserved(ctx, data, workers, c)
 }
 
 // SeqResult is the outcome of CompressSequence.
@@ -185,9 +258,21 @@ func CompressSequence(frames []*Field, opts Options) (*SeqResult, error) {
 	return core.CompressSequence(frames, opts)
 }
 
+// CompressSequenceCtx is CompressSequence with cancellation, checked
+// between frames and at grain boundaries within each frame.
+func CompressSequenceCtx(ctx context.Context, frames []*Field, opts Options) (*SeqResult, error) {
+	return core.CompressSequenceCtx(ctx, frames, opts)
+}
+
 // DecompressSequence reconstructs all frames of a CompressSequence stream.
 func DecompressSequence(data []byte, workers int) ([]*Field, error) {
 	return core.DecompressSequence(data, workers)
+}
+
+// DecompressSequenceCtx is DecompressSequence with cancellation (see
+// DecompressCtx).
+func DecompressSequenceCtx(ctx context.Context, data []byte, workers int) ([]*Field, error) {
+	return core.DecompressSequenceCtx(ctx, data, workers)
 }
 
 // DecompressSequenceObserved is DecompressSequence with per-stage
@@ -195,6 +280,12 @@ func DecompressSequence(data []byte, workers int) ([]*Field, error) {
 // span. A nil c makes it identical to DecompressSequence.
 func DecompressSequenceObserved(data []byte, workers int, c *Collector) ([]*Field, error) {
 	return core.DecompressSequenceObserved(data, workers, c)
+}
+
+// DecompressSequenceCtxObserved is DecompressSequenceCtx with an optional
+// Collector.
+func DecompressSequenceCtxObserved(ctx context.Context, data []byte, workers int, c *Collector) ([]*Field, error) {
+	return core.DecompressSequenceCtxObserved(ctx, data, workers, c)
 }
 
 // CPResult is the outcome of CompressCP.
@@ -218,9 +309,19 @@ func CompressCP(f *Field, mode Mode, errBound float64, workers int) (*CPResult, 
 	return cpsz.Compress(f, cpsz.Options{Mode: mode, ErrBound: errBound, Workers: workers})
 }
 
+// CompressCPCtx is CompressCP with cancellation (see CompressCtx).
+func CompressCPCtx(ctx context.Context, f *Field, mode Mode, errBound float64, workers int) (*CPResult, error) {
+	return cpsz.CompressCtx(ctx, f, cpsz.Options{Mode: mode, ErrBound: errBound, Workers: workers})
+}
+
 // DecompressCP reconstructs a field from a CompressCP stream.
 func DecompressCP(data []byte, workers int) (*Field, error) {
 	return cpsz.Decompress(data, workers)
+}
+
+// DecompressCPCtx is DecompressCP with cancellation (see DecompressCtx).
+func DecompressCPCtx(ctx context.Context, data []byte, workers int) (*Field, error) {
+	return cpsz.DecompressCtx(ctx, data, workers)
 }
 
 // Skeleton is a field's topological skeleton: critical points plus
@@ -237,6 +338,13 @@ func ExtractSkeleton(f *Field, par IntegrationParams, workers int) *Skeleton {
 	return skeleton.ExtractParallel(f, par, workers)
 }
 
+// ExtractSkeletonCtx is ExtractSkeleton with cancellation: critical-point
+// search and separatrix tracing check ctx at grain boundaries. A nil ctx
+// never cancels.
+func ExtractSkeletonCtx(ctx context.Context, f *Field, par IntegrationParams, workers int) (*Skeleton, error) {
+	return skeleton.ExtractParallelCtx(ctx, f, par, workers)
+}
+
 // ExtractSkeletonWith traces f's separatrices from an externally supplied
 // critical point set, so skeletons of original and decompressed data
 // correspond separatrix-by-separatrix.
@@ -249,6 +357,12 @@ func ExtractSkeletonWith(f *Field, ref *Skeleton, par IntegrationParams, workers
 // IV–VII).
 func CompareSkeletons(orig, dec *Skeleton, tau float64, workers int) SkeletonStats {
 	return skeleton.CompareParallel(orig, dec, tau, workers)
+}
+
+// CompareSkeletonsCtx is CompareSkeletons with cancellation over the
+// per-separatrix Fréchet computations.
+func CompareSkeletonsCtx(ctx context.Context, orig, dec *Skeleton, tau float64, workers int) (SkeletonStats, error) {
+	return skeleton.CompareParallelCtx(ctx, orig, dec, tau, workers)
 }
 
 // WriteSkeletonVTK serializes a skeleton as legacy VTK polydata for
