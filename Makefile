@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench bench-smoke bench-diff bench-full race fuzz-smoke fault-sweep profile-smoke cover experiments figures clean
+.PHONY: all build vet lint test bench bench-smoke bench-diff bench-full race fuzz-smoke fault-sweep profile-smoke stream-suite cover experiments figures clean
 
 all: build vet lint test
 
@@ -80,11 +80,24 @@ profile-smoke:
 	test -s profile_smoke.pprof
 	@echo "profile-smoke: OK"
 
+# Streaming acceptance: the byte-identity differentials (streamed archive
+# equal to the in-memory one at several worker counts, from in-memory and
+# file-backed fetchers) and the cancellation-leak check under the race
+# detector, then the out-of-core memory gate — peak heap must stay under
+# the size of a 192 MiB procedural field that is never resident. The
+# memory gate runs without -race (the race runtime owns its own heap
+# accounting) and not -short (the gate is the point).
+stream-suite:
+	$(GO) test -race -run='^TestStream' ./internal/cpsz
+	$(GO) test -race -run='^(TestCompressStream|TestCompressSequenceStream|TestSequenceRejectsTransposedFrame)' ./internal/core
+	$(GO) test -race -run='^(TestStreamDifferential|TestStreamCancellationNoLeak)$$' .
+	$(GO) test -run='^TestStreamMemoryBounded$$' -v .
+
 # Perf-trajectory harness: run the key hot-path benchmarks BENCH_COUNT
 # times each and record the mean ns/op, B/op, and allocs/op per benchmark
 # in $(BENCH_JSON). The JSON is committed so later PRs diff their run
 # against this baseline instead of guessing.
-BENCH_JSON ?= BENCH_pr2.json
+BENCH_JSON ?= BENCH_pr10.json
 BENCH_COUNT ?= 3
 BENCH_TIME ?= 1s
 BENCH_BASELINE ?= BENCH_pr6.json
@@ -94,7 +107,7 @@ bench:
 		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./internal/cpsz | tee bench_raw.txt
 	$(GO) test -run='^$$' -bench='^(BenchmarkEncode|BenchmarkDecode)$$' \
 		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./internal/huffman | tee -a bench_raw.txt
-	$(GO) test -run='^$$' -bench='^BenchmarkFig8Scalability$$' \
+	$(GO) test -run='^$$' -bench='^(BenchmarkFig8Scalability|BenchmarkCompress(Stream|InMemory|StreamEb))$$' \
 		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee -a bench_raw.txt
 	$(GO) run ./cmd/benchjson -in bench_raw.txt -out $(BENCH_JSON)
 
@@ -114,6 +127,8 @@ bench-diff:
 		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./internal/cpsz | tee bench_raw.txt
 	$(GO) test -run='^$$' -bench='^(BenchmarkEncode|BenchmarkDecode)$$' \
 		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./internal/huffman | tee -a bench_raw.txt
+	$(GO) test -run='^$$' -bench='^BenchmarkCompressStreamEb$$' \
+		-benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) . | tee -a bench_raw.txt
 	$(GO) run ./cmd/benchjson -in bench_raw.txt -baseline $(BENCH_BASELINE)
 
 # The full sweep over every package (slow; reproduces the paper tables).

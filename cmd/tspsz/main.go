@@ -25,6 +25,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"time"
 
@@ -180,31 +181,19 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := os.Create(*out)
-	if err != nil {
+	if err := resilient.AtomicWrite(*out, 0o644, ioPolicy, func(w io.Writer) error {
+		_, err := f.WriteTo(w)
 		return err
-	}
-	defer w.Close()
-	if _, err := f.WriteTo(w); err != nil {
+	}); err != nil {
 		return err
 	}
 	if *rawPrefix != "" {
 		names := []string{"_u.dat", "_v.dat", "_w.dat"}[:len(f.Components())]
-		writers := make([]io.Writer, len(names))
-		files := make([]*os.File, len(names))
+		paths := make([]string, len(names))
 		for i, suffix := range names {
-			fh, err := os.Create(*rawPrefix + suffix)
-			if err != nil {
-				return err
-			}
-			files[i] = fh
-			writers[i] = fh
+			paths[i] = *rawPrefix + suffix
 		}
-		err := f.WriteRaw(writers...)
-		for _, fh := range files {
-			fh.Close()
-		}
-		if err != nil {
+		if err := writeRawAtomic(f, paths); err != nil {
 			return err
 		}
 		fmt.Printf("wrote raw components with prefix %s\n", *rawPrefix)
@@ -212,6 +201,51 @@ func cmdGen(args []string) error {
 	nx, ny, nz := f.Grid.Dims()
 	fmt.Printf("wrote %s: %dD %dx%dx%d (%d vertices, %.2f MB raw)\n",
 		*out, f.Dim(), nx, ny, nz, f.NumVertices(), float64(f.SizeBytes())/1e6)
+	return nil
+}
+
+// writeRawAtomic lands one raw float32 file per component with all-or-
+// nothing visibility across the set: every component streams into a temp
+// file beside its destination, and the renames happen only after the whole
+// WriteRaw succeeded — a failure leaves no partial component behind.
+func writeRawAtomic(f *tspsz.Field, paths []string) error {
+	files := make([]*os.File, len(paths))
+	cleanup := func() {
+		for _, fh := range files {
+			if fh != nil {
+				fh.Close()
+				os.Remove(fh.Name())
+			}
+		}
+	}
+	writers := make([]io.Writer, len(paths))
+	for i, path := range paths {
+		fh, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+		if err != nil {
+			cleanup()
+			return err
+		}
+		files[i] = fh
+		writers[i] = resilient.NewWriter(fh, ioPolicy)
+	}
+	if err := f.WriteRaw(writers...); err != nil {
+		cleanup()
+		return err
+	}
+	for i, fh := range files {
+		err := fh.Chmod(0o644)
+		if cerr := fh.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(fh.Name(), paths[i])
+		}
+		if err != nil {
+			cleanup()
+			return err
+		}
+		files[i] = nil
+	}
 	return nil
 }
 
@@ -296,15 +330,7 @@ func beginObs(stats *statsFlag, cpuprofile string) (*tspsz.Collector, func() err
 		if stats.path == "" {
 			return snap.WriteJSON(os.Stdout)
 		}
-		w, err := os.Create(stats.path)
-		if err != nil {
-			return err
-		}
-		if err := snap.WriteJSON(w); err != nil {
-			w.Close()
-			return err
-		}
-		return w.Close()
+		return resilient.AtomicWrite(stats.path, 0o644, ioPolicy, snap.WriteJSON)
 	}
 	return col, finish, nil
 }
@@ -346,15 +372,20 @@ func cmdCompress(args []string) error {
 	steps := fs.Int("t", 1000, "maximal RK4 steps")
 	h := fs.Float64("h", 0.05, "RK4 step size")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	stream := fs.Bool("stream", false, "out-of-core mode: pull the input layer-by-layer so peak memory tracks the slab window, not the field (variant 1 only)")
 	timeout := timeoutFlag(fs)
 	stats, cpuprofile := obsFlags(fs)
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compress: -in and -out are required")
 	}
-	f, err := readField(*in)
-	if err != nil {
-		return err
+	var f *tspsz.Field
+	var err error
+	if !*stream {
+		f, err = readField(*in)
+		if err != nil {
+			return err
+		}
 	}
 	col, finishObs, err := beginObs(stats, *cpuprofile)
 	if err != nil {
@@ -385,13 +416,19 @@ func cmdCompress(args []string) error {
 	}
 	ctx, cancel := timeoutCtx(*timeout)
 	defer cancel()
+	if *stream {
+		if err := compressStreaming(ctx, *in, *out, opts); err != nil {
+			return err
+		}
+		return finishObs()
+	}
 	t0 := time.Now()
 	res, err := tspsz.CompressCtx(ctx, f, opts)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(t0)
-	if err := resilient.WriteFile(*out, res.Bytes, 0o644, ioPolicy); err != nil {
+	if err := resilient.WriteFileAtomic(*out, res.Bytes, 0o644, ioPolicy); err != nil {
 		return err
 	}
 	fmt.Printf("%s %s: %d -> %d bytes (CR %.2f) in %v\n",
@@ -405,6 +442,37 @@ func cmdCompress(args []string) error {
 	}
 	fmt.Println()
 	return finishObs()
+}
+
+// compressStreaming is compress -stream: the input field never becomes
+// resident. Layers are pulled straight off the .tspf file through the
+// two-pass streaming encoder, and the archive lands atomically at out.
+// Only TspSZ-1 streams (TspSZ-i's correction loop needs the whole field);
+// the library rejects other variants with a header error.
+func compressStreaming(ctx context.Context, in, out string, opts tspsz.Options) error {
+	src, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	fl, err := tspsz.NewFileLayers(src)
+	if err != nil {
+		return fmt.Errorf("compress -stream %s: %w", in, err)
+	}
+	nx, ny, nz := fl.Dims()
+	t0 := time.Now()
+	var written int64
+	if err := resilient.AtomicWrite(out, 0o644, ioPolicy, func(w io.Writer) error {
+		written, err = tspsz.CompressStream(ctx, w, nx, ny, nz, fl, nil, opts)
+		return err
+	}); err != nil {
+		return err
+	}
+	raw := nx * ny * nz * 3 * 4
+	fmt.Printf("%s %s streamed: %dx%dx%d, %d -> %d bytes (CR %.2f) in %v\n",
+		opts.Variant, opts.Mode, nx, ny, nz, raw, written,
+		float64(raw)/float64(written), time.Since(t0).Round(time.Millisecond))
+	return nil
 }
 
 func cmdDecompress(args []string) error {
@@ -445,12 +513,10 @@ func cmdDecompress(args []string) error {
 		}
 	}
 	elapsed := time.Since(t0)
-	w, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer w.Close()
-	if _, err := f.WriteTo(resilient.NewWriter(w, ioPolicy)); err != nil {
+	if err := resilient.AtomicWrite(*out, 0o644, ioPolicy, func(w io.Writer) error {
+		_, werr := f.WriteTo(w)
+		return werr
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("decompressed %d vertices in %v -> %s\n", f.NumVertices(), elapsed.Round(time.Millisecond), *out)
@@ -601,7 +667,7 @@ func cmdCompressSeq(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := resilient.WriteFile(*out, res.Bytes, 0o644, ioPolicy); err != nil {
+	if err := resilient.WriteFileAtomic(*out, res.Bytes, 0o644, ioPolicy); err != nil {
 		return err
 	}
 	raw := 0
@@ -641,15 +707,12 @@ func cmdDecompressSeq(args []string) error {
 	}
 	for i, f := range frames {
 		path := fmt.Sprintf("%s%03d.tspf", *prefix, i)
-		w, err := os.Create(path)
-		if err != nil {
+		if err := resilient.AtomicWrite(path, 0o644, ioPolicy, func(w io.Writer) error {
+			_, werr := f.WriteTo(w)
+			return werr
+		}); err != nil {
 			return err
 		}
-		if _, err := f.WriteTo(w); err != nil {
-			w.Close()
-			return err
-		}
-		w.Close()
 	}
 	fmt.Printf("decompressed %d frames to %sNNN.tspf\n", len(frames), *prefix)
 	return finishObs()
@@ -672,12 +735,9 @@ func cmdExport(args []string) error {
 		return err
 	}
 	sk := tspsz.ExtractSkeleton(f, tspsz.IntegrationParams{EpsP: *epsP, MaxSteps: *steps, H: *h}, *workers)
-	w, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer w.Close()
-	if err := skeleton.WriteVTK(w, sk); err != nil {
+	if err := resilient.AtomicWrite(*out, 0o644, ioPolicy, func(w io.Writer) error {
+		return skeleton.WriteVTK(w, sk)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d critical points, %d separatrices\n", *out, len(sk.CPs), len(sk.Seps))

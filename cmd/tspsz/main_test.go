@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -143,4 +144,56 @@ func readSnapshot(t *testing.T, path string) *snapshotDoc {
 		t.Fatalf("stats JSON at %s does not parse: %v", path, err)
 	}
 	return &snap
+}
+
+// TestCompressStreamCLI drives compress -stream end to end: a 3D field
+// streams off disk into a valid archive, the unsupported shapes exit with
+// the header code, and no command leaves temp debris in the output
+// directory.
+func TestCompressStreamCLI(t *testing.T) {
+	dir := t.TempDir()
+	fieldPath := filepath.Join(dir, "h.tspf")
+	if code := realMain([]string{"gen", "-dataset", "hurricane", "-scale", "0.05", "-out", fieldPath}); code != 0 {
+		t.Fatalf("gen exited %d", code)
+	}
+	outPath := filepath.Join(dir, "h.tsz")
+	args := []string{"compress", "-in", fieldPath, "-out", outPath, "-variant", "1", "-eb", "1e-2", "-stream"}
+	if code := realMain(args); code != 0 {
+		t.Fatalf("compress -stream exited %d", code)
+	}
+	decPath := filepath.Join(dir, "h.dec.tspf")
+	if code := realMain([]string{"decompress", "-in", outPath, "-out", decPath}); code != 0 {
+		t.Fatalf("decompress of streamed archive exited %d", code)
+	}
+
+	// TspSZ-i cannot stream: the library rejects it with a header error,
+	// which must surface as the header exit code and leave no output.
+	badPath := filepath.Join(dir, "bad.tsz")
+	args = []string{"compress", "-in", fieldPath, "-out", badPath, "-variant", "i", "-stream"}
+	if code := realMain(args); code != exitHeader {
+		t.Fatalf("compress -stream -variant i exited %d, want %d", code, exitHeader)
+	}
+	if _, err := os.Stat(badPath); err == nil {
+		t.Fatal("rejected streaming compress left an output file")
+	}
+
+	// A 2D field has no z-layers to stream.
+	flatPath := filepath.Join(dir, "flat.tspf")
+	if code := realMain([]string{"gen", "-dataset", "cba", "-scale", "1", "-out", flatPath}); code != 0 {
+		t.Fatalf("gen cba exited %d", code)
+	}
+	args = []string{"compress", "-in", flatPath, "-out", badPath, "-variant", "1", "-stream"}
+	if code := realMain(args); code != exitHeader {
+		t.Fatalf("compress -stream on 2D field exited %d, want %d", code, exitHeader)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
 }

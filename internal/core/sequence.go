@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"tspsz/internal/field"
 	"tspsz/internal/obs"
@@ -57,16 +58,17 @@ func CompressSequenceCtx(ctx context.Context, frames []*field.Field, opts Option
 	if !(o.ErrBound > 0) {
 		return nil, fmt.Errorf("core: error bound must be positive, got %v", o.ErrBound)
 	}
-	for i, f := range frames[1:] {
-		if f.Dim() != frames[0].Dim() || f.NumVertices() != frames[0].NumVertices() {
-			return nil, fmt.Errorf("core: frame %d shape differs from frame 0", i+1)
-		}
+	if err := validateFrameShapes(frames); err != nil {
+		return nil, err
+	}
+	if len(frames) > math.MaxUint32 {
+		return nil, streamerr.Header("sequence", "frame count %d exceeds the u32 header field", len(frames))
 	}
 	var buf bytes.Buffer
 	buf.WriteString(seqMagic)
 	buf.WriteByte(seqVersion)
 	var nf [4]byte
-	binary.LittleEndian.PutUint32(nf[:], uint32(len(frames)))
+	binary.LittleEndian.PutUint32(nf[:], uint32(len(frames))) //lint:allow narrowing count checked against MaxUint32 above
 	buf.Write(nf[:])
 
 	c := o.Collector
@@ -170,6 +172,23 @@ func DecompressSequenceCtxObserved(ctx context.Context, data []byte, workers int
 		ref = dec
 	}
 	return frames, nil
+}
+
+// validateFrameShapes rejects any frame whose per-axis extents differ from
+// frame 0. Comparing Dim and NumVertices alone is not enough: a transposed
+// frame (4×6 against 6×4) has the same dimension and vertex product, but
+// temporal prediction would read every reference value at the wrong stride
+// and silently produce garbage reconstructions.
+func validateFrameShapes(frames []*field.Field) error {
+	x0, y0, z0 := frames[0].Grid.Dims()
+	for i, f := range frames[1:] {
+		nx, ny, nz := f.Grid.Dims()
+		if f.Dim() != frames[0].Dim() || nx != x0 || ny != y0 || nz != z0 {
+			return streamerr.Header("sequence", "frame %d extents %dx%dx%d differ from frame 0 (%dx%dx%d)",
+				i+1, nx, ny, nz, x0, y0, z0)
+		}
+	}
+	return nil
 }
 
 // parseSequenceHeader validates the TSPQ header and returns the frame count

@@ -123,6 +123,12 @@ func compressRegion(work, orig *field.Field, r region, opts Options, out *region
 				var derived float64
 				if !storeLossless {
 					switch {
+					case opts.ebFor != nil:
+						if eb, f := opts.ebFor(idx); f {
+							storeLossless = true
+						} else {
+							derived = eb
+						}
 					case opts.Plain:
 						derived = math.Inf(1)
 					case opts.SoS:

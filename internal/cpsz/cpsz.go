@@ -63,6 +63,15 @@ type Options struct {
 	// stream is then no longer self-contained — decode it with
 	// DecompressRef supplying the same reference. Shape must match f.
 	Reference *field.Field
+
+	// ebFor, when set, supplies the derived per-vertex bound instead of
+	// the topology analysis: it returns the vertex's effective bound, or
+	// forced=true to store the vertex losslessly. The streaming path sets
+	// a per-region closure over EbFetcher-supplied bound slabs; it is nil
+	// everywhere else, so the in-memory output is unchanged by
+	// construction. Indices are in the coordinate space of the field being
+	// compressed (the local sub-field, on the streaming path).
+	ebFor func(idx int) (eb float64, forced bool)
 }
 
 // Result is the outcome of Compress.
@@ -128,7 +137,12 @@ func CompressCtx(ctx context.Context, f *field.Field, opts Options) (r *Result, 
 		if opts.Predictor == PredictorInterpolation {
 			return nil, errors.New("cpsz: temporal reference requires the Lorenzo path")
 		}
-		if opts.Reference.Dim() != f.Dim() || opts.Reference.NumVertices() != f.NumVertices() {
+		// Compare per-axis extents, not just dim and vertex count: a
+		// transposed reference (4x6 against 6x4) has the same product but
+		// every neighborhood read would use the wrong stride.
+		rx, ry, rz := opts.Reference.Grid.Dims()
+		fx, fy, fz := f.Grid.Dims()
+		if opts.Reference.Dim() != f.Dim() || rx != fx || ry != fy || rz != fz {
 			return nil, errors.New("cpsz: reference shape differs from input")
 		}
 	}

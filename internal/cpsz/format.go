@@ -224,41 +224,10 @@ func appendSymbolSection(ctx context.Context, dst []byte, syms []uint32, workers
 	outs := make([]encChunk, cc)
 	err := parallel.CtxForErr(ctx, cc, workers, 1, func(i int) error {
 		lo, hi := chunkBound(n, cc, i)
-		chunk := syms[lo:hi]
-		slo, shi, hbits := table.ChunkBits(chunk)
-		k := uint8(bits.Len32(shi - slo))
-		payload := getChunkBuf()
-		e := encChunk{mode: symChunkHuffman}
-		// Huffman must beat raw k-bit packing by more than ~5% of the
-		// packed size to earn its codebook walk on decode; otherwise the
-		// chunk goes bit-packed. k == 0 (constant chunks) always packs.
-		if packedBits := uint64(k) * uint64(hi-lo); 20*hbits >= 19*packedBits {
-			payload = binary.AppendUvarint(payload, uint64(slo))
-			payload = append(payload, k)
-			payload = huffman.AppendPacked(payload, chunk, slo, k)
-			e.mode = symChunkPacked
-			e.usize = len(payload)
-		} else {
-			s := getScratch()
-			s.bits = table.EncodeChunk(s.bits[:0], chunk)
-			var err error
-			payload, err = s.deflate(payload, s.bits)
-			e.usize = len(s.bits)
-			if err == nil && len(payload) >= len(s.bits) {
-				// Entropy-coded bits are near-incompressible, so DEFLATE
-				// usually breaks even or expands; store the bits verbatim.
-				// usize == csize marks the stored form for the reader, which
-				// then skips inflate entirely on the hot path.
-				payload = append(payload[:0], s.bits...)
-			}
-			putScratch(s)
-			if err != nil {
-				putChunkBuf(payload)
-				return err
-			}
+		e, err := encodeSymChunk(table, syms[lo:hi])
+		if err != nil {
+			return err
 		}
-		e.payload = payload
-		e.crc = crc32.Checksum(payload, crcTable)
 		outs[i] = e
 		return nil
 	})
@@ -268,6 +237,75 @@ func appendSymbolSection(ctx context.Context, dst []byte, syms []uint32, workers
 	}
 	c.Add(obs.CtrChunksEncoded, int64(cc))
 	return mergeChunks(dst, outs, workers), nil
+}
+
+// encodeSymChunk encodes one fixed-extent symbol chunk against the shared
+// table into a pooled payload buffer (ownership of the returned payload
+// transfers to the caller). The per-chunk mode decision depends only on
+// the chunk contents and the table, never on scheduling, so the in-memory
+// serialize path and the streaming writer produce identical bytes by
+// construction.
+func encodeSymChunk(table *huffman.Table, chunk []uint32) (encChunk, error) {
+	slo, shi, hbits := table.ChunkBits(chunk)
+	k := uint8(bits.Len32(shi - slo))
+	//lint:allow poolguard ownership of the payload transfers to the caller, which re-pools it via repoolChunks
+	payload := getChunkBuf()
+	e := encChunk{mode: symChunkHuffman}
+	// Huffman must beat raw k-bit packing by more than ~5% of the
+	// packed size to earn its codebook walk on decode; otherwise the
+	// chunk goes bit-packed. k == 0 (constant chunks) always packs.
+	if packedBits := uint64(k) * uint64(len(chunk)); 20*hbits >= 19*packedBits {
+		payload = binary.AppendUvarint(payload, uint64(slo))
+		payload = append(payload, k)
+		payload = huffman.AppendPacked(payload, chunk, slo, k)
+		e.mode = symChunkPacked
+		e.usize = len(payload)
+	} else {
+		s := getScratch()
+		s.bits = table.EncodeChunk(s.bits[:0], chunk)
+		var err error
+		payload, err = s.deflate(payload, s.bits)
+		e.usize = len(s.bits)
+		if err == nil && len(payload) >= len(s.bits) {
+			// Entropy-coded bits are near-incompressible, so DEFLATE
+			// usually breaks even or expands; store the bits verbatim.
+			// usize == csize marks the stored form for the reader, which
+			// then skips inflate entirely on the hot path.
+			payload = append(payload[:0], s.bits...)
+		}
+		putScratch(s)
+		if err != nil {
+			putChunkBuf(payload)
+			return encChunk{}, err
+		}
+	}
+	e.payload = payload
+	e.crc = crc32.Checksum(payload, crcTable)
+	return e, nil
+}
+
+// encodeRawChunk encodes one verbatim-float chunk into a pooled payload
+// buffer (ownership transfers to the caller), choosing DEFLATE or stored
+// mode from the chunk contents alone.
+func encodeRawChunk(chunk []byte) (encChunk, error) {
+	//lint:allow poolguard ownership of the payload transfers to the caller, which re-pools it via repoolChunks
+	payload := getChunkBuf()
+	s := getScratch()
+	payload, err := s.deflate(payload, chunk)
+	putScratch(s)
+	if err != nil {
+		putChunkBuf(payload)
+		return encChunk{}, err
+	}
+	e := encChunk{usize: len(chunk), mode: rawChunkDeflate}
+	if len(payload) >= len(chunk) {
+		// DEFLATE expanded (or broke even): store the bytes verbatim.
+		payload = append(payload[:0], chunk...)
+		e.mode = rawChunkStored
+	}
+	e.payload = payload
+	e.crc = crc32.Checksum(payload, crcTable)
+	return e, nil
 }
 
 // appendRawSection writes the verbatim-float section with the same
@@ -284,23 +322,10 @@ func appendRawSection(ctx context.Context, dst []byte, raw []byte, workers int, 
 	outs := make([]encChunk, cc)
 	err := parallel.CtxForErr(ctx, cc, workers, 1, func(i int) error {
 		lo, hi := chunkBound(n, cc, i)
-		chunk := raw[lo:hi]
-		payload := getChunkBuf()
-		s := getScratch()
-		payload, err := s.deflate(payload, chunk)
-		putScratch(s)
+		e, err := encodeRawChunk(raw[lo:hi])
 		if err != nil {
-			putChunkBuf(payload)
 			return err
 		}
-		e := encChunk{usize: len(chunk), mode: rawChunkDeflate}
-		if len(payload) >= len(chunk) {
-			// DEFLATE expanded (or broke even): store the bytes verbatim.
-			payload = append(payload[:0], chunk...)
-			e.mode = rawChunkStored
-		}
-		e.payload = payload
-		e.crc = crc32.Checksum(payload, crcTable)
 		outs[i] = e
 		return nil
 	})

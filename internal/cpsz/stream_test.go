@@ -1,0 +1,265 @@
+package cpsz
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"tspsz/internal/ebound"
+	"tspsz/internal/field"
+	"tspsz/internal/streamerr"
+)
+
+// turbBox is turb3D over a non-cubic box, tall in z so the streaming path
+// exercises many slabs and cut planes.
+func turbBox(nx, ny, nz int) *field.Field {
+	f := field.New3D(nx, ny, nz)
+	s := float64(nx-1) / 2
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		p := f.Grid.VertexPosition(idx)
+		x, y, z := math.Pi*p[0]/s, math.Pi*p[1]/s, math.Pi*p[2]/s
+		f.U[idx] = float32(math.Sin(x)*math.Cos(y) + 0.3*math.Cos(2*z))
+		f.V[idx] = float32(-math.Cos(x)*math.Sin(y) + 0.3*math.Sin(2*z))
+		f.W[idx] = float32(math.Sin(z)*math.Cos(x) - 0.3*math.Sin(2*y))
+	}
+	return f
+}
+
+// TestStreamMatchesInMemory is the core acceptance differential: the
+// streaming writer must produce archives byte-identical to Compress for
+// the same field — with critical points, in both error modes, with and
+// without Plain — at every worker count.
+func TestStreamMatchesInMemory(t *testing.T) {
+	f := turbBox(16, 14, 96)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"abs", Options{Mode: ebound.Absolute, ErrBound: 0.01}},
+		{"rel", Options{Mode: ebound.Relative, ErrBound: 0.05}},
+		{"plain-abs", Options{Mode: ebound.Absolute, ErrBound: 0.01, Plain: true}},
+	}
+	for _, tc := range cases {
+		ref, err := Compress(f, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: in-memory: %v", tc.name, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			opts := tc.opts
+			opts.Workers = workers
+			var buf bytes.Buffer
+			n, err := CompressStream(nil, &buf, 16, 14, 96, field.Layers(f), nil, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("%s workers=%d: reported %d bytes, wrote %d", tc.name, workers, n, buf.Len())
+			}
+			if !bytes.Equal(buf.Bytes(), ref.Bytes) {
+				t.Fatalf("%s workers=%d: streaming archive differs from in-memory (%d vs %d bytes)",
+					tc.name, workers, buf.Len(), len(ref.Bytes))
+			}
+		}
+	}
+}
+
+// TestStreamDecodes proves a streamed archive round-trips through the
+// standard decoder within the bound.
+func TestStreamDecodes(t *testing.T) {
+	f := turbBox(12, 12, 40)
+	opts := Options{Mode: ebound.Absolute, ErrBound: 0.01, Workers: 4}
+	var buf bytes.Buffer
+	if _, err := CompressStream(nil, &buf, 12, 12, 40, field.Layers(f), nil, opts); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(buf.Bytes(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refComps := ref.Decompressed.Components()
+	for c, vals := range dec.Components() {
+		for i := range vals {
+			if vals[i] != refComps[c][i] {
+				t.Fatalf("component %d vertex %d: streamed decode %v, in-memory recon %v", c, i, vals[i], refComps[c][i])
+			}
+		}
+	}
+}
+
+// TestStreamEbFetcher pins the EbFetcher contract: fetched bounds replace
+// the topology-derived ones (still capped by the user bound), and a
+// negative bound forces the vertex lossless (bit-exact on decode).
+func TestStreamEbFetcher(t *testing.T) {
+	nx, ny, nz := 10, 10, 32
+	f := turbBox(nx, ny, nz)
+	plane := nx * ny
+	forced := func(k, rem int) bool { return k == 7 && rem < 25 }
+	eb := field.EbFetcherFunc(func(k int) ([]float64, error) {
+		b := make([]float64, plane)
+		for i := range b {
+			if forced(k, i) {
+				b[i] = -1
+			} else {
+				b[i] = 0.02
+			}
+		}
+		return b, nil
+	})
+	opts := Options{Mode: ebound.Absolute, ErrBound: 0.01, Workers: 3}
+	var buf bytes.Buffer
+	if _, err := CompressStream(nil, &buf, nx, ny, nz, field.Layers(f), eb, opts); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(buf.Bytes(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, decComps := f.Components(), dec.Components()
+	for idx := 0; idx < f.NumVertices(); idx++ {
+		k, rem := idx/plane, idx%plane
+		for c := range comps {
+			got, want := decComps[c][idx], comps[c][idx]
+			if forced(k, rem) {
+				if got != want {
+					t.Fatalf("forced-lossless vertex %d comp %d: %v != %v", idx, c, got, want)
+				}
+			} else if math.Abs(float64(got)-float64(want)) > 0.01+1e-12 {
+				t.Fatalf("vertex %d comp %d: error %v exceeds bound", idx, c,
+					math.Abs(float64(got)-float64(want)))
+			}
+		}
+	}
+
+	// Bounds at the user bound everywhere must reproduce the Plain stream
+	// exactly: min(user, fetched) == user == the Plain derived bound.
+	wide := field.EbFetcherFunc(func(k int) ([]float64, error) {
+		b := make([]float64, plane)
+		for i := range b {
+			b[i] = math.Inf(1)
+		}
+		return b, nil
+	})
+	var wideBuf bytes.Buffer
+	if _, err := CompressStream(nil, &wideBuf, nx, ny, nz, field.Layers(f), wide, opts); err != nil {
+		t.Fatal(err)
+	}
+	plainOpts := opts
+	plainOpts.Plain = true
+	ref, err := Compress(f, plainOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wideBuf.Bytes(), ref.Bytes) {
+		t.Fatal("infinite fetched bounds do not reproduce the Plain stream")
+	}
+}
+
+// TestStreamRejectsUnsupported pins the validation surface: unsupported
+// options fail fast with clear errors, implausible dims and malformed
+// fetcher output are typed header errors.
+func TestStreamRejectsUnsupported(t *testing.T) {
+	f := turbBox(8, 8, 16)
+	ok := Options{Mode: ebound.Absolute, ErrBound: 0.01}
+	var buf bytes.Buffer
+
+	bad := []Options{
+		{Mode: ebound.Absolute, ErrBound: 0.01, SoS: true},
+		{Mode: ebound.Absolute, ErrBound: 0.01, Predictor: PredictorInterpolation},
+		{Mode: ebound.Absolute, ErrBound: 0.01, Reference: f},
+		{Mode: ebound.Absolute},
+	}
+	for i, opts := range bad {
+		if _, err := CompressStream(nil, &buf, 8, 8, 16, field.Layers(f), nil, opts); err == nil {
+			t.Fatalf("bad option set %d accepted", i)
+		}
+	}
+	if _, err := CompressStream(nil, &buf, 8, 8, 1, field.Layers(f), nil, ok); !errors.Is(err, streamerr.ErrHeader) {
+		t.Fatalf("nz=1 accepted or mistyped: %v", err)
+	}
+	if _, err := CompressStream(nil, &buf, 1<<30, 8, 16, field.Layers(f), nil, ok); !errors.Is(err, streamerr.ErrHeader) {
+		t.Fatalf("oversized axis accepted or mistyped: %v", err)
+	}
+
+	// Fetcher output disagreeing with the declared dims: wrong component
+	// count and wrong plane extent must both be typed header errors.
+	short := field.LayerFetcherFunc(func(k int) ([][]float32, error) {
+		return [][]float32{make([]float32, 64), make([]float32, 64)}, nil
+	})
+	if _, err := CompressStream(nil, &buf, 8, 8, 16, short, nil, ok); !errors.Is(err, streamerr.ErrHeader) {
+		t.Fatalf("2-component fetcher: %v", err)
+	}
+	shear := field.LayerFetcherFunc(func(k int) ([][]float32, error) {
+		p := make([]float32, 63)
+		return [][]float32{p, p, p}, nil
+	})
+	if _, err := CompressStream(nil, &buf, 8, 8, 16, shear, nil, ok); !errors.Is(err, streamerr.ErrHeader) {
+		t.Fatalf("wrong-extent fetcher: %v", err)
+	}
+	badEb := field.EbFetcherFunc(func(k int) ([]float64, error) {
+		return make([]float64, 10), nil
+	})
+	if _, err := CompressStream(nil, &buf, 8, 8, 16, field.Layers(f), badEb, ok); !errors.Is(err, streamerr.ErrHeader) {
+		t.Fatalf("wrong-extent eb fetcher: %v", err)
+	}
+}
+
+// TestStreamCancellation proves a pre-cancelled context fails before any
+// fetch and a mid-stream cancel comes back as ErrCancelled.
+func TestStreamCancellation(t *testing.T) {
+	f := turbBox(12, 12, 48)
+	opts := Options{Mode: ebound.Absolute, ErrBound: 0.01, Workers: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fetches := 0
+	counting := field.LayerFetcherFunc(func(k int) ([][]float32, error) {
+		fetches++
+		return f.LayerView(k), nil
+	})
+	var buf bytes.Buffer
+	if _, err := CompressStream(ctx, &buf, 12, 12, 48, counting, nil, opts); !errors.Is(err, streamerr.ErrCancelled) {
+		t.Fatalf("pre-cancelled: %v", err)
+	}
+	if fetches != 0 {
+		t.Fatalf("pre-cancelled context still fetched %d layers", fetches)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	n := 0
+	tripwire := field.LayerFetcherFunc(func(k int) ([][]float32, error) {
+		n++
+		if n == 10 {
+			cancel2()
+		}
+		return f.LayerView(k), nil
+	})
+	defer cancel2()
+	if _, err := CompressStream(ctx2, &buf, 12, 12, 48, tripwire, nil, opts); !errors.Is(err, streamerr.ErrCancelled) {
+		t.Fatalf("mid-stream cancel: %v", err)
+	}
+}
+
+// TestStreamFetchError proves a fetcher failure aborts the stream with the
+// fetcher's error and no partial trailer.
+func TestStreamFetchError(t *testing.T) {
+	f := turbBox(10, 10, 32)
+	boom := errors.New("disk gone")
+	n := 0
+	flaky := field.LayerFetcherFunc(func(k int) ([][]float32, error) {
+		n++
+		if n == 12 {
+			return nil, boom
+		}
+		return f.LayerView(k), nil
+	})
+	var buf bytes.Buffer
+	_, err := CompressStream(nil, &buf, 10, 10, 32, flaky, nil, Options{Mode: ebound.Absolute, ErrBound: 0.01, Workers: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the fetcher error", err)
+	}
+}

@@ -1,0 +1,51 @@
+package huffman
+
+// Histogram accumulates symbol frequencies incrementally. The streaming
+// compression path cannot hold a whole section's symbol stream in memory,
+// so instead of handing BuildTable one giant slice it Observes each
+// region's symbols as they are produced and builds the table once at the
+// end. Totals are plain sums, so a Histogram fed the same multiset of
+// symbols in any observation order yields — via TableFromHistogram — a
+// table bit-identical to BuildTable over the concatenated stream.
+//
+// A Histogram is not safe for concurrent use; the streaming pipeline
+// observes from its serial emit stage only.
+type Histogram struct {
+	dense []uint64
+	rest  map[uint32]uint64
+	total uint64
+}
+
+// Observe adds one occurrence of every symbol in syms.
+func (h *Histogram) Observe(syms []uint32) {
+	for _, s := range syms {
+		if s < denseSyms {
+			if int(s) >= len(h.dense) {
+				grown := make([]uint64, int(s)+1)
+				copy(grown, h.dense)
+				h.dense = grown
+			}
+			h.dense[s]++
+		} else {
+			if h.rest == nil {
+				h.rest = make(map[uint32]uint64)
+			}
+			h.rest[s]++
+		}
+	}
+	h.total += uint64(len(syms))
+}
+
+// Total reports the number of symbols observed so far.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// TableFromHistogram builds the canonical codebook for the observed
+// frequencies. The construction tail is shared with BuildTableCtx, so the
+// result is bit-identical to BuildTable over any stream with the same
+// per-symbol totals. An empty histogram yields the valid empty table.
+func TableFromHistogram(h *Histogram) *Table {
+	if h.total == 0 {
+		return &Table{}
+	}
+	return tableFromMerged(h.dense, h.rest)
+}

@@ -1,0 +1,65 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramTableEquivalence pins the streaming contract: a table built
+// from incremental Observe calls over arbitrary splits of a stream is
+// bit-identical (wire form and encoded chunks) to BuildTable over the
+// whole stream.
+func TestHistogramTableEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	syms := make([]uint32, 50000)
+	for i := range syms {
+		switch rng.Intn(10) {
+		case 0:
+			syms[i] = ^uint32(0) // overflow-map outlier
+		case 1:
+			syms[i] = uint32(denseSyms + rng.Intn(5))
+		default:
+			syms[i] = uint32(rng.Intn(300))
+		}
+	}
+	want, err := BuildTable(syms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var h Histogram
+	for lo := 0; lo < len(syms); {
+		hi := lo + 1 + rng.Intn(4096)
+		if hi > len(syms) {
+			hi = len(syms)
+		}
+		h.Observe(syms[lo:hi])
+		lo = hi
+	}
+	if h.Total() != uint64(len(syms)) {
+		t.Fatalf("Total() = %d, want %d", h.Total(), len(syms))
+	}
+	got := TableFromHistogram(&h)
+
+	if !bytes.Equal(want.AppendTable(nil), got.AppendTable(nil)) {
+		t.Fatal("histogram-built table differs from BuildTable wire form")
+	}
+	chunk := syms[:4096]
+	if !bytes.Equal(want.EncodeChunk(nil, chunk), got.EncodeChunk(nil, chunk)) {
+		t.Fatal("histogram-built table encodes chunks differently")
+	}
+}
+
+// TestHistogramEmpty pins that a zero-observation histogram yields the
+// valid empty table, matching BuildTable(nil).
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	got := TableFromHistogram(&h)
+	if got.Len() != 0 {
+		t.Fatalf("empty histogram produced %d symbols", got.Len())
+	}
+	if !bytes.Equal(got.AppendTable(nil), (&Table{}).AppendTable(nil)) {
+		t.Fatal("empty table wire forms differ")
+	}
+}

@@ -126,9 +126,19 @@ func BuildTableCtx(ctx context.Context, symbols []uint32, workers int) (*Table, 
 			merged.rest[s] += c
 		}
 	}
+	return tableFromMerged(merged.dense, merged.rest), nil
+}
+
+// tableFromMerged builds the canonical codebook from final frequency
+// totals: array counts for dense symbols plus an overflow map. Both
+// BuildTableCtx (parallel reduction) and TableFromHistogram (incremental
+// streaming accumulation) funnel through here, so the resulting table —
+// and every chunk encoded against it — depends only on the totals, not on
+// how they were gathered.
+func tableFromMerged(dense []uint64, rest map[uint32]uint64) *Table {
 	var syms []uint32
 	var freqs []uint64
-	for s, c := range merged.dense {
+	for s, c := range dense {
 		if c > 0 {
 			syms = append(syms, uint32(s))
 			freqs = append(freqs, c)
@@ -136,15 +146,15 @@ func BuildTableCtx(ctx context.Context, symbols []uint32, workers int) (*Table, 
 	}
 	// Outlier symbols are all >= denseSyms, so appending them in sorted
 	// order keeps the whole alphabet sorted.
-	restKeys := make([]uint32, 0, len(merged.rest))
+	restKeys := make([]uint32, 0, len(rest))
 	//lint:allow determinism iteration only collects the key set; it is sorted on the next line before anything reaches the stream
-	for s := range merged.rest {
+	for s := range rest {
 		restKeys = append(restKeys, s)
 	}
 	sort.Slice(restKeys, func(i, j int) bool { return restKeys[i] < restKeys[j] })
 	for _, s := range restKeys {
 		syms = append(syms, s)
-		freqs = append(freqs, merged.rest[s])
+		freqs = append(freqs, rest[s])
 	}
 	lens := codeLengths(syms, freqs)
 	c := buildCanonical(syms, lens)
@@ -166,7 +176,7 @@ func BuildTableCtx(ctx context.Context, symbols []uint32, workers int) (*Table, 
 			t.dense[s] = int32(i)
 		}
 	}
-	return t, nil
+	return t
 }
 
 // AppendTable appends the wire form of the codebook to dst: a uvarint

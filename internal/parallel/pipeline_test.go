@@ -1,0 +1,240 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPipelineOrder proves prepare and emit run in strict index order at
+// every worker count while work runs concurrently.
+func TestPipelineOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		var prepared, emitted []int
+		err := Pipeline(nil, 100, workers, 4,
+			func(i int) (int, error) {
+				prepared = append(prepared, i)
+				return i * 2, nil
+			},
+			func(i, in int) (int, error) { return in + 1, nil },
+			func(i, r int) error {
+				if r != i*2+1 {
+					t.Errorf("workers=%d: emit(%d) got %d, want %d", workers, i, r, i*2+1)
+				}
+				emitted = append(emitted, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := 0; i < 100; i++ {
+			if prepared[i] != i || emitted[i] != i {
+				t.Fatalf("workers=%d: out of order at %d: prepared=%d emitted=%d", workers, i, prepared[i], emitted[i])
+			}
+		}
+	}
+}
+
+// TestPipelineWindowBound proves no more than `window` items are between
+// prepare and emit at any instant.
+func TestPipelineWindowBound(t *testing.T) {
+	const window = 3
+	var inFlight, peak atomic.Int64
+	err := Pipeline(nil, 64, 4, window,
+		func(i int) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(i, in int) (int, error) {
+			time.Sleep(time.Millisecond)
+			return in, nil
+		},
+		func(i, r int) error {
+			inFlight.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > window {
+		t.Fatalf("peak in-flight %d exceeds window %d", p, window)
+	}
+}
+
+// TestPipelineEarliestError proves the reported failure is the earliest
+// index, that items before it are emitted in order, and that the call
+// drains cleanly.
+func TestPipelineEarliestError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var emitted []int
+		err := Pipeline(nil, 50, workers, 4,
+			func(i int) (int, error) { return i, nil },
+			func(i, in int) (int, error) {
+				if i == 20 {
+					return 0, boom
+				}
+				return in, nil
+			},
+			func(i, r int) error {
+				mu.Lock()
+				emitted = append(emitted, i)
+				mu.Unlock()
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", workers, err)
+		}
+		mu.Lock()
+		for j, i := range emitted {
+			if i != j {
+				t.Fatalf("workers=%d: emit order broken at %d: %v", workers, j, emitted)
+			}
+			if i >= 20 {
+				t.Fatalf("workers=%d: emitted index %d at/after the failure", workers, i)
+			}
+		}
+		mu.Unlock()
+	}
+}
+
+// TestPipelineEmitError proves an emit failure is propagated and stops
+// later emits.
+func TestPipelineEmitError(t *testing.T) {
+	boom := errors.New("emit boom")
+	var last atomic.Int64
+	last.Store(-1)
+	err := Pipeline(nil, 50, 4, 4,
+		func(i int) (int, error) { return i, nil },
+		func(i, in int) (int, error) { return in, nil },
+		func(i, r int) error {
+			if i == 10 {
+				return boom
+			}
+			last.Store(int64(i))
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want emit boom", err)
+	}
+	if l := last.Load(); l >= 10 {
+		t.Fatalf("emit ran for index %d after the failure at 10", l)
+	}
+}
+
+// TestPipelinePanicContained proves a panic in any stage comes back as
+// *PanicError rather than crashing the process.
+func TestPipelinePanicContained(t *testing.T) {
+	stages := map[string]struct {
+		prepare func(i int) (int, error)
+		work    func(i, in int) (int, error)
+		emit    func(i, r int) error
+	}{
+		"prepare": {
+			prepare: func(i int) (int, error) {
+				if i == 7 {
+					panic("prepare")
+				}
+				return i, nil
+			},
+			work: func(i, in int) (int, error) { return in, nil },
+			emit: func(i, r int) error { return nil },
+		},
+		"work": {
+			prepare: func(i int) (int, error) { return i, nil },
+			work: func(i, in int) (int, error) {
+				if i == 7 {
+					panic("work")
+				}
+				return in, nil
+			},
+			emit: func(i, r int) error { return nil },
+		},
+		"emit": {
+			prepare: func(i int) (int, error) { return i, nil },
+			work:    func(i, in int) (int, error) { return in, nil },
+			emit: func(i, r int) error {
+				if i == 7 {
+					panic("emit")
+				}
+				return nil
+			},
+		},
+	}
+	for name, s := range stages {
+		for _, workers := range []int{1, 4} {
+			err := Pipeline(nil, 20, workers, 3, s.prepare, s.work, s.emit)
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s workers=%d: got %v, want *PanicError", name, workers, err)
+			}
+			if pe.PanicValue() != name {
+				t.Fatalf("%s workers=%d: panic value %v", name, workers, pe.PanicValue())
+			}
+		}
+	}
+}
+
+// TestPipelineCancellation proves a cancelled context stops dispatch and
+// returns the context error verbatim, with every goroutine joined.
+func TestPipelineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted atomic.Int64
+	err := Pipeline(ctx, 1000, 4, 4,
+		func(i int) (int, error) {
+			if i == 5 {
+				cancel()
+			}
+			return i, nil
+		},
+		func(i, in int) (int, error) {
+			time.Sleep(100 * time.Microsecond)
+			return in, nil
+		},
+		func(i, r int) error {
+			emitted.Add(1)
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := emitted.Load(); n > 10 {
+		t.Fatalf("emitted %d items after cancellation at 5", n)
+	}
+}
+
+// TestPipelinePreCancelled proves a dead context wins before any stage
+// runs.
+func TestPipelinePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Pipeline(ctx, 10, 4, 2,
+		func(i int) (int, error) { ran = true; return i, nil },
+		func(i, in int) (int, error) { ran = true; return in, nil },
+		func(i, r int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("a stage ran under a pre-cancelled context")
+	}
+}
+
+// TestPipelineEmpty proves n <= 0 is a no-op.
+func TestPipelineEmpty(t *testing.T) {
+	err := Pipeline[int, int](nil, 0, 4, 2, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

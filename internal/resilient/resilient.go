@@ -13,6 +13,7 @@ import (
 	"errors"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 )
 
@@ -200,5 +201,50 @@ func ReadFile(path string, p Policy) (data []byte, err error) {
 func WriteFile(path string, data []byte, perm os.FileMode, p Policy) error {
 	return Do(p, func() error {
 		return os.WriteFile(path, data, perm)
+	})
+}
+
+// AtomicWrite streams output into a temporary file beside path and renames
+// it into place only after fn and the close both succeed. A failure at any
+// point leaves the previous file (or nothing) at path — never a truncated
+// output — and removes the temporary. The writer handed to fn retries
+// transient faults under p; the temp file lives in path's directory so the
+// final rename never crosses a filesystem boundary.
+func AtomicWrite(path string, perm os.FileMode, p Policy, fn func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	var f *os.File
+	if err = Do(p, func() error {
+		var e error
+		f, e = os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+		return e
+	}); err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = fn(NewWriter(f, p)); err != nil {
+		return err
+	}
+	if err = f.Chmod(perm); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return Do(p, func() error { return os.Rename(tmp, path) })
+}
+
+// WriteFileAtomic is WriteFile with all-or-nothing visibility: the data
+// lands at path via AtomicWrite, so readers never observe a partial file
+// and a mid-write failure cannot truncate an existing one.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode, p Policy) error {
+	return AtomicWrite(path, perm, p, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
 	})
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package tspsz_test
+
+// raceEnabled reports whether the race detector is compiled in.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package tspsz_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// out-of-core memory gate skips under -race: the race runtime owns its
+// own heap accounting (shadow memory, delayed frees), so HeapAlloc no
+// longer measures the compressor's working set.
+const raceEnabled = true
